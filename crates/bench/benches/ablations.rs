@@ -1,0 +1,125 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! Chimp's window size, bitshuffle's block size, SPDP's LZ window,
+//! pFPC's thread/dimension alignment, and ndzip's hypercube size.
+//! Each reports compression time; the companion ratio effect is printed
+//! once per configuration (Criterion measures time, ratios are stable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fcbench_codecs_cpu::{Backend, Bitshuffle, Chimp, Ndzip, Pfpc, Spdp};
+use fcbench_core::Compressor;
+use fcbench_datasets::{find, generate};
+use fcbench_entropy::lz77::Lz77Config;
+use std::time::Duration;
+
+const ELEMS: usize = 1 << 14;
+
+fn report_ratio(label: &str, codec: &dyn Compressor, data: &fcbench_core::FloatData) {
+    if let Ok(p) = codec.compress(data) {
+        eprintln!(
+            "ablation {label}: ratio {:.3}",
+            data.bytes().len() as f64 / p.len() as f64
+        );
+    }
+}
+
+/// Chimp window: 1 (Gorilla-style) vs 128 (§3.5's sliding window), on DB
+/// transaction data — where the window's value-revisit hits pay off
+/// (Table 4: Chimp leads the DB domain).
+fn ablation_chimp(c: &mut Criterion) {
+    let spec = find("tpcxBB-store").expect("catalog dataset");
+    let data = generate(&spec, ELEMS);
+    let mut group = c.benchmark_group("ablation_chimp_window");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group.throughput(Throughput::Bytes(data.bytes().len() as u64));
+    for window in [1usize, 8, 128] {
+        let codec = Chimp::with_window(window);
+        report_ratio(&format!("chimp window={window}"), &codec, &data);
+        group.bench_with_input(BenchmarkId::new("window", window), &data, |b, data| {
+            b.iter(|| codec.compress(data).expect("compress"))
+        });
+    }
+    group.finish();
+}
+
+/// Bitshuffle block size: the reference 4 KB L1 block vs the paper's 64 KB.
+fn ablation_bitshuffle(c: &mut Criterion) {
+    let spec = find("acs-wht").expect("catalog dataset");
+    let data = generate(&spec, ELEMS);
+    let mut group = c.benchmark_group("ablation_bitshuffle_block");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group.throughput(Throughput::Bytes(data.bytes().len() as u64));
+    for block in [4096usize, 65_536] {
+        let codec = Bitshuffle::with_config(Backend::Lz4, block, 4);
+        report_ratio(&format!("bitshuffle block={block}"), &codec, &data);
+        group.bench_with_input(BenchmarkId::new("block", block), &data, |b, data| {
+            b.iter(|| codec.compress(data).expect("compress"))
+        });
+    }
+    group.finish();
+}
+
+/// SPDP LZ window: the §3.2 ratio/throughput trade-off.
+fn ablation_spdp(c: &mut Criterion) {
+    let spec = find("msg-bt").expect("catalog dataset");
+    let data = generate(&spec, ELEMS);
+    let mut group = c.benchmark_group("ablation_spdp_window");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group.throughput(Throughput::Bytes(data.bytes().len() as u64));
+    for (label, cfg) in [
+        ("4K/d4", Lz77Config { window: 1 << 12, chain_depth: 4 }),
+        ("64K/d8", Lz77Config { window: 1 << 16, chain_depth: 8 }),
+        ("1M/d64", Lz77Config { window: 1 << 20, chain_depth: 64 }),
+    ] {
+        let codec = Spdp::with_lz_config(cfg);
+        report_ratio(&format!("spdp window={label}"), &codec, &data);
+        group.bench_with_input(BenchmarkId::new("window", label), &data, |b, data| {
+            b.iter(|| codec.compress(data).expect("compress"))
+        });
+    }
+    group.finish();
+}
+
+/// pFPC thread count vs dimensionality (§3.6: chunking interacts with the
+/// column interleave of multidimensional tables).
+fn ablation_pfpc(c: &mut Criterion) {
+    let spec = find("wesad-chest").expect("catalog dataset"); // 8 channels
+    let data = generate(&spec, ELEMS);
+    let mut group = c.benchmark_group("ablation_pfpc_threads");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group.throughput(Throughput::Bytes(data.bytes().len() as u64));
+    for threads in [1usize, 8, 32] {
+        let codec = Pfpc::with_threads(threads);
+        report_ratio(&format!("pfpc threads={threads}"), &codec, &data);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &data, |b, data| {
+            b.iter(|| codec.compress(data).expect("compress"))
+        });
+    }
+    group.finish();
+}
+
+/// ndzip hypercube size (default 4096 elements).
+fn ablation_ndzip(c: &mut Criterion) {
+    let spec = find("miranda3d").expect("catalog dataset");
+    let data = generate(&spec, 1 << 15);
+    let mut group = c.benchmark_group("ablation_ndzip_cube");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group.throughput(Throughput::Bytes(data.bytes().len() as u64));
+    for cube in [64usize, 4096] {
+        let codec = Ndzip::with_cube_elems(cube);
+        report_ratio(&format!("ndzip cube={cube}"), &codec, &data);
+        group.bench_with_input(BenchmarkId::new("cube", cube), &data, |b, data| {
+            b.iter(|| codec.compress(data).expect("compress"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_chimp,
+    ablation_bitshuffle,
+    ablation_spdp,
+    ablation_pfpc,
+    ablation_ndzip
+);
+criterion_main!(benches);

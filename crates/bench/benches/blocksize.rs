@@ -1,0 +1,34 @@
+//! Criterion bench behind Table 10: block/page size effect (4 KB vs 64 KB
+//! vs 8 MB) on compression throughput for block-capable codecs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fcbench_core::blocks::{BlockCodec, BLOCK_4K, BLOCK_64K, BLOCK_8M};
+use fcbench_datasets::{find, generate};
+use std::time::Duration;
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let spec = find("tpcH-order").expect("catalog dataset");
+    let data = generate(&spec, 1 << 15);
+    let mut group = c.benchmark_group("block_size");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(900));
+    group.throughput(Throughput::Bytes(data.bytes().len() as u64));
+
+    for (label, bytes) in [("4K", BLOCK_4K), ("64K", BLOCK_64K), ("8M", BLOCK_8M)] {
+        let gorilla = BlockCodec::new(fcbench_codecs_cpu::Gorilla::new(), bytes);
+        group.bench_with_input(BenchmarkId::new("gorilla", label), &data, |b, data| {
+            b.iter(|| fcbench_core::Compressor::compress(&gorilla, data).expect("compress"))
+        });
+        let chimp = BlockCodec::new(fcbench_codecs_cpu::Chimp::new(), bytes);
+        group.bench_with_input(BenchmarkId::new("chimp128", label), &data, |b, data| {
+            b.iter(|| fcbench_core::Compressor::compress(&chimp, data).expect("compress"))
+        });
+        let spdp = BlockCodec::new(fcbench_codecs_cpu::Spdp::new(), bytes);
+        group.bench_with_input(BenchmarkId::new("spdp", label), &data, |b, data| {
+            b.iter(|| fcbench_core::Compressor::compress(&spdp, data).expect("compress"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_sizes);
+criterion_main!(benches);

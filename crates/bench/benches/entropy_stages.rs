@@ -1,0 +1,98 @@
+//! Substrate benches: the from-scratch entropy stages (LZ4, LZ77, Huffman,
+//! zzip, range coder) that every codec builds on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fcbench_entropy::lz77::Lz77Config;
+use fcbench_entropy::{huffman, lz4, lz77, zzip, AdaptiveModel, RangeDecoder, RangeEncoder};
+use std::time::Duration;
+
+/// Bitshuffled-float-like test block: structured lanes + noise lanes.
+fn test_block(n: usize) -> Vec<u8> {
+    let mut x = 0x1234_5678_9ABC_DEF0u64;
+    (0..n)
+        .map(|i| {
+            if i < n / 3 {
+                0u8 // zero lanes (exponents)
+            } else if i < 2 * n / 3 {
+                (i % 7) as u8 // low-entropy lanes
+            } else {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8 // noise lanes (mantissas)
+            }
+        })
+        .collect()
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let data = test_block(64 * 1024);
+    let mut group = c.benchmark_group("entropy_compress");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    group.bench_function("lz4", |b| b.iter(|| lz4::compress(&data)));
+    group.bench_function("lz77_fast", |b| {
+        b.iter(|| lz77::compress(&data, Lz77Config::fast()))
+    });
+    group.bench_function("huffman", |b| b.iter(|| huffman::encode(&data)));
+    group.bench_function("zzip", |b| b.iter(|| zzip::compress(&data)));
+    group.finish();
+
+    let mut group = c.benchmark_group("entropy_decompress");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    let c_lz4 = lz4::compress(&data);
+    group.bench_function("lz4", |b| {
+        b.iter(|| lz4::decompress(&c_lz4, data.len()).expect("lz4"))
+    });
+    let c_zzip = zzip::compress(&data);
+    group.bench_function("zzip", |b| b.iter(|| zzip::decompress(&c_zzip).expect("zzip")));
+    group.finish();
+}
+
+fn bench_range_coder(c: &mut Criterion) {
+    let mut x = 7u64;
+    let symbols: Vec<usize> = (0..32_768)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x >> 59) as usize).min(15)
+        })
+        .collect();
+    let mut group = c.benchmark_group("range_coder");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group.throughput(Throughput::Elements(symbols.len() as u64));
+    group.bench_with_input(BenchmarkId::new("encode", 16), &symbols, |b, syms| {
+        b.iter(|| {
+            let mut model = AdaptiveModel::new(16);
+            let mut enc = RangeEncoder::new();
+            for &s in syms {
+                model.encode(&mut enc, s);
+            }
+            enc.finish()
+        })
+    });
+    let encoded = {
+        let mut model = AdaptiveModel::new(16);
+        let mut enc = RangeEncoder::new();
+        for &s in &symbols {
+            model.encode(&mut enc, s);
+        }
+        enc.finish()
+    };
+    group.bench_with_input(BenchmarkId::new("decode", 16), &encoded, |b, bytes| {
+        b.iter(|| {
+            let mut model = AdaptiveModel::new(16);
+            let mut dec = RangeDecoder::new(bytes);
+            let mut sum = 0usize;
+            for _ in 0..symbols.len() {
+                sum += model.decode(&mut dec);
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_range_coder);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench behind Tables 7–8: thread scaling of the four
+//! parallel CPU codecs (speedups are bounded by host cores; the paper's
+//! testbed has 24).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fcbench_bench::codecs::scalable_factories;
+use fcbench_datasets::{find, generate};
+use std::time::Duration;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let spec = find("miranda3d").expect("catalog dataset");
+    let data = generate(&spec, 1 << 16);
+    let mut group = c.benchmark_group("thread_scaling");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(900));
+    group.throughput(Throughput::Bytes(data.bytes().len() as u64));
+
+    for (name, factory) in scalable_factories() {
+        for threads in [1usize, 2, 4, 8] {
+            let codec = factory(threads);
+            group.bench_with_input(
+                BenchmarkId::new(name, threads),
+                &data,
+                |b, data| b.iter(|| codec.compress(data).expect("compress")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches behind Table 5 / Figure 8: per-codec compression and
+//! decompression throughput on a representative dataset from each domain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fcbench_bench::codecs::all_codecs;
+use fcbench_datasets::{find, generate};
+use std::time::Duration;
+
+const ELEMS: usize = 1 << 14;
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(900));
+    for ds in ["msg-bt", "citytemp", "acs-wht", "tpcDS-store"] {
+        let spec = find(ds).expect("catalog dataset");
+        let data = generate(&spec, ELEMS);
+        group.throughput(Throughput::Bytes(data.bytes().len() as u64));
+        for codec in all_codecs() {
+            if codec.compress(&data).is_err() {
+                continue; // paper's "-" cells
+            }
+            group.bench_with_input(
+                BenchmarkId::new(codec.info().name, ds),
+                &data,
+                |b, data| b.iter(|| codec.compress(data).expect("compress")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(900));
+    let spec = find("msg-bt").expect("catalog dataset");
+    let data = generate(&spec, ELEMS);
+    group.throughput(Throughput::Bytes(data.bytes().len() as u64));
+    for codec in all_codecs() {
+        let Ok(payload) = codec.compress(&data) else { continue };
+        group.bench_function(BenchmarkId::new(codec.info().name, "msg-bt"), |b| {
+            b.iter(|| codec.decompress(&payload, data.desc()).expect("decompress"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

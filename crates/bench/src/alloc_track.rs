@@ -1,0 +1,85 @@
+//! Peak-allocation tracking for the Figure 10 memory-footprint experiment.
+//!
+//! A counting wrapper around the system allocator. The `fcbench` binary
+//! installs it as the global allocator; library tests that run without it
+//! see zeros and skip footprint assertions.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Counting allocator: tracks live and peak bytes.
+pub struct CountingAllocator;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+// SAFETY: delegates all allocation to `System`; only bookkeeping is added.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let live =
+                    LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                        - layout.size();
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// Mark the counting allocator as installed (called by the binary).
+pub fn mark_installed() {
+    INSTALLED.store(true, Ordering::Relaxed);
+}
+
+/// Is peak tracking active in this process?
+pub fn is_installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Reset the peak to the current live size.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Peak bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Live bytes right now.
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Run `f`, returning `(peak_delta_bytes, result)` — the extra memory the
+/// call needed beyond what was live at entry. Zero if not installed.
+pub fn measure_peak<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    if !is_installed() {
+        return (0, f());
+    }
+    let base = live_bytes();
+    reset_peak();
+    let r = f();
+    let peak = peak_bytes().saturating_sub(base);
+    (peak, r)
+}

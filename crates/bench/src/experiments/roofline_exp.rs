@@ -1,0 +1,82 @@
+//! Figure 11: roofline placement of every codec's dominant kernel.
+
+use crate::codecs::{cpu_codecs, gpu_codecs};
+use crate::context::render_table;
+use fcbench_core::Compressor;
+use fcbench_datasets::{find, generate};
+use fcbench_roofline::{Bound, MachineModel, RooflinePoint};
+use std::time::Instant;
+
+fn place(
+    codecs: Vec<Box<dyn Compressor>>,
+    machine: &MachineModel,
+    target_elems: usize,
+) -> Vec<(RooflinePoint, Bound)> {
+    // The paper profiles on msg-bt (footnote 15).
+    let spec = find("msg-bt").expect("catalog dataset");
+    let data = generate(&spec, target_elems);
+    codecs
+        .into_iter()
+        .filter_map(|codec| {
+            let profile = codec.op_profile(data.desc())?;
+            let t0 = Instant::now();
+            codec.compress(&data).ok()?;
+            let secs = t0.elapsed().as_secs_f64();
+            let point = RooflinePoint::from_profile(codec.info().name, &profile, secs);
+            let bound = point.classify(machine, 0.5);
+            Some((point, bound))
+        })
+        .collect()
+}
+
+fn render(machine: &MachineModel, points: &[(RooflinePoint, Bound)]) -> String {
+    let headers = vec![
+        "method".to_string(),
+        "ops/byte".to_string(),
+        "GOP/s".to_string(),
+        "roof GOP/s".to_string(),
+        "bound".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(p, b)| {
+            vec![
+                p.name.clone(),
+                format!("{:.2}", p.intensity),
+                format!("{:.2}", p.performance),
+                format!("{:.1}", machine.attainable(p.intensity)),
+                format!("{b:?}"),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "{}: compute roof {:.1} GOP/s, DRAM roof {:.1} GB/s, ridge {:.2} ops/byte\n",
+        machine.name,
+        machine.compute_roof(),
+        machine.dram_roof(),
+        machine.ridge_intensity()
+    );
+    out.push_str(&render_table(&headers, &rows));
+    out
+}
+
+/// Figure 11a/11b: CPU and GPU rooflines (profiled on msg-bt, as in the
+/// paper's footnote 15).
+pub fn fig11(target_elems: usize) -> String {
+    let cpu_machine = MachineModel::xeon_gold_6126();
+    let gpu_machine = MachineModel::rtx_6000();
+
+    let mut out = String::from("Figure 11a: CPU-based methods\n");
+    out.push_str(&render(&cpu_machine, &place(cpu_codecs(), &cpu_machine, target_elems)));
+    out.push_str("\nFigure 11b: GPU-based methods (simulated device)\n");
+    out.push_str(&render(&gpu_machine, &place(gpu_codecs(), &gpu_machine, target_elems)));
+    out.push_str(
+        "\npaper shape: serial codecs (fpzip, BUFF, SPDP, Gorilla, Chimp) sit far\n\
+         below both roofs (underutilized — parallelism would help); bitshuffle is\n\
+         memory-bound; ndzip is compute-bound; most GPU kernels hug the memory\n\
+         roof. Absolute GOP/s here reflect host execution of the simulated\n\
+         kernels, so dots sit lower than on the paper's testbed while the\n\
+         *relative* placement (who is near which roof) is what reproduces.\n",
+    );
+    out
+}

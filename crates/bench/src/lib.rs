@@ -1,0 +1,14 @@
+//! # fcbench-bench
+//!
+//! The benchmark harness regenerating every table and figure of FCBench's
+//! evaluation (§6). The `fcbench` binary drives it; Criterion benches in
+//! `benches/` cover throughput, scaling, block sizes, and the design
+//! ablations called out in DESIGN.md.
+
+pub mod alloc_track;
+pub mod codecs;
+pub mod context;
+pub mod experiments;
+pub mod recommend;
+
+pub use context::{build_context, Context, DEFAULT_ELEMS};

@@ -1,0 +1,116 @@
+//! Shared helpers for the CPU codec implementations.
+
+use fcbench_core::{DataDesc, Precision};
+
+/// Split `total` elements into per-thread chunk ranges of roughly equal size.
+/// Returns at most `threads` non-empty `(start, end)` ranges.
+pub fn chunk_ranges(total: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1);
+    if total == 0 {
+        return Vec::new();
+    }
+    let per = total.div_ceil(threads);
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    while start < total {
+        let end = (start + per).min(total);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Effective dimensionality for codecs that cap at 3-D: higher-dimensional
+/// extents collapse extra leading axes into the slowest one (matching how
+/// fpzip/ndzip are driven with at most 3 dimensions in the paper).
+pub fn effective_dims(desc: &DataDesc) -> Vec<usize> {
+    let dims = &desc.dims;
+    if dims.len() <= 3 {
+        return dims.clone();
+    }
+    let lead: usize = dims[..dims.len() - 2].iter().product();
+    vec![lead, dims[dims.len() - 2], dims[dims.len() - 1]]
+}
+
+/// Byte length of one element.
+pub fn elem_bytes(p: Precision) -> usize {
+    p.bytes()
+}
+
+/// Write a `u32` length prefix.
+pub fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u32` at `pos`, advancing it.
+pub fn read_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let s = bytes.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+/// Write a `u64` length prefix.
+pub fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u64` at `pos`, advancing it.
+pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let s = bytes.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcbench_core::Domain;
+
+    #[test]
+    fn chunking_covers_everything_without_overlap() {
+        for total in [0usize, 1, 7, 100, 4096, 4097] {
+            for threads in [1usize, 2, 3, 8, 64] {
+                let ranges = chunk_ranges(total, threads);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for &(s, e) in &ranges {
+                    assert_eq!(s, prev_end, "ranges must be contiguous");
+                    assert!(e > s, "ranges must be non-empty");
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, total);
+                assert!(ranges.len() <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunking_is_balanced() {
+        let ranges = chunk_ranges(100, 3);
+        let sizes: Vec<usize> = ranges.iter().map(|(s, e)| e - s).collect();
+        assert_eq!(sizes, vec![34, 34, 32]);
+    }
+
+    #[test]
+    fn effective_dims_collapse() {
+        let d = DataDesc::new(Precision::Single, vec![2, 3, 4, 5], Domain::Hpc).unwrap();
+        assert_eq!(effective_dims(&d), vec![6, 4, 5]);
+        let d3 = DataDesc::new(Precision::Single, vec![3, 4, 5], Domain::Hpc).unwrap();
+        assert_eq!(effective_dims(&d3), vec![3, 4, 5]);
+        let d1 = DataDesc::new(Precision::Single, vec![60], Domain::Hpc).unwrap();
+        assert_eq!(effective_dims(&d1), vec![60]);
+    }
+
+    #[test]
+    fn int_io_round_trip() {
+        let mut buf = Vec::new();
+        push_u32(&mut buf, 0xDEAD_BEEF);
+        push_u64(&mut buf, 0x0123_4567_89AB_CDEF);
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), Some(0xDEAD_BEEF));
+        assert_eq!(read_u64(&buf, &mut pos), Some(0x0123_4567_89AB_CDEF));
+        assert_eq!(pos, 12);
+        assert_eq!(read_u32(&buf, &mut pos), None);
+    }
+}

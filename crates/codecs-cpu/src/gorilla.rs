@@ -1,0 +1,330 @@
+//! Gorilla value compression (Pelkonen et al., VLDB 2015; paper §3.4).
+//!
+//! Facebook's in-memory TSDB compresses each value by XOR-ing it with the
+//! previous value and encoding the residual with three control forms:
+//!
+//! - `0` — residual is all zeros (value repeats);
+//! - `10` — the residual's meaningful bits fall inside the previous
+//!   leading/trailing-zero window: store just those bits;
+//! - `11` — new window: 5 bits of leading-zero count, 6 bits of
+//!   meaningful-bit length, then the bits.
+//!
+//! The paper's datasets are value arrays (no timestamps), so only the value
+//! stream is implemented; the timestamp delta-of-delta path is not exercised
+//! by any FCBench experiment. Works on both precisions via bit-pattern
+//! words (Table 4 runs Gorilla on fp32 datasets too).
+
+use crate::common::{push_u64, read_u64};
+use fcbench_core::{
+    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
+    Platform, Precision, PrecisionSupport, Result,
+};
+use fcbench_entropy::{BitReader, BitWriter};
+
+/// Gorilla's XOR value codec.
+#[derive(Debug, Default, Clone)]
+pub struct Gorilla;
+
+impl Gorilla {
+    pub fn new() -> Self {
+        Gorilla
+    }
+}
+
+/// Per-word-width constants.
+#[derive(Clone, Copy)]
+struct Layout {
+    bits: u32,
+    /// Field width of the leading-zero count (5 bits, clamped to 31, per
+    /// the original design; sufficient for 32-bit words too).
+    lz_field: u32,
+    /// Field width of the meaningful-length count (stores `len - 1`).
+    len_field: u32,
+}
+
+const L64: Layout = Layout { bits: 64, lz_field: 5, len_field: 6 };
+const L32: Layout = Layout { bits: 32, lz_field: 5, len_field: 5 };
+
+fn encode_words(words: &[u64], lay: Layout, w: &mut BitWriter) {
+    if words.is_empty() {
+        return;
+    }
+    w.push_bits(words[0], lay.bits);
+    let mut prev = words[0];
+    // The active meaningful-bit window from the last `11` form.
+    let mut win_lz = 0u32;
+    let mut win_tz = 0u32;
+    let mut have_window = false;
+
+    for &cur in &words[1..] {
+        let xor = prev ^ cur;
+        prev = cur;
+        if xor == 0 {
+            w.push_bit(false);
+            continue;
+        }
+        w.push_bit(true);
+        // leading_zeros is computed on u64; shift out the unused high bits
+        // for 32-bit words, then clamp to the 5-bit field maximum of 31.
+        let lz = (xor.leading_zeros() - (64 - lay.bits)).min(31);
+        let tz = xor.trailing_zeros().min(lay.bits - 1);
+
+        if have_window && lz >= win_lz && tz >= win_tz {
+            // `10`: reuse previous window.
+            w.push_bit(false);
+            let len = lay.bits - win_lz - win_tz;
+            w.push_bits(xor >> win_tz, len);
+        } else {
+            // `11`: emit a fresh window.
+            w.push_bit(true);
+            let len = lay.bits - lz - tz;
+            w.push_bits(lz as u64, lay.lz_field);
+            w.push_bits((len - 1) as u64, lay.len_field);
+            w.push_bits(xor >> tz, len);
+            win_lz = lz;
+            win_tz = tz;
+            have_window = true;
+        }
+    }
+}
+
+fn decode_words(r: &mut BitReader<'_>, count: usize, lay: Layout) -> Result<Vec<u64>> {
+    let mut out = Vec::with_capacity(count);
+    if count == 0 {
+        return Ok(out);
+    }
+    let first = r
+        .read_bits(lay.bits)
+        .ok_or_else(|| Error::Corrupt("gorilla: missing first value".into()))?;
+    out.push(first);
+    let mut prev = first;
+    let mut win_lz = 0u32;
+    let mut win_tz = 0u32;
+
+    while out.len() < count {
+        let c0 = r
+            .read_bit()
+            .ok_or_else(|| Error::Corrupt("gorilla: truncated control bit".into()))?;
+        if !c0 {
+            out.push(prev);
+            continue;
+        }
+        let c1 = r
+            .read_bit()
+            .ok_or_else(|| Error::Corrupt("gorilla: truncated control form".into()))?;
+        let xor = if !c1 {
+            // `10`: previous window.
+            let len = lay.bits - win_lz - win_tz;
+            let bits = r
+                .read_bits(len)
+                .ok_or_else(|| Error::Corrupt("gorilla: truncated windowed bits".into()))?;
+            bits << win_tz
+        } else {
+            // `11`: new window.
+            let lz = r
+                .read_bits(lay.lz_field)
+                .ok_or_else(|| Error::Corrupt("gorilla: truncated lz field".into()))?
+                as u32;
+            let len = r
+                .read_bits(lay.len_field)
+                .ok_or_else(|| Error::Corrupt("gorilla: truncated len field".into()))?
+                as u32
+                + 1;
+            if lz + len > lay.bits {
+                return Err(Error::Corrupt("gorilla: window exceeds word".into()));
+            }
+            let tz = lay.bits - lz - len;
+            let bits = r
+                .read_bits(len)
+                .ok_or_else(|| Error::Corrupt("gorilla: truncated new-window bits".into()))?;
+            win_lz = lz;
+            win_tz = tz;
+            bits << tz
+        };
+        prev ^= xor;
+        out.push(prev);
+    }
+    Ok(out)
+}
+
+impl Compressor for Gorilla {
+    fn info(&self) -> CodecInfo {
+        CodecInfo {
+            name: "gorilla",
+            year: 2015,
+            community: Community::Database,
+            class: CodecClass::Delta,
+            platform: Platform::Cpu,
+            parallel: false,
+            precisions: PrecisionSupport::Both,
+        }
+    }
+
+    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(data.bytes().len() / 2 + 16);
+        push_u64(&mut out, data.elements() as u64);
+        let mut w = BitWriter::with_capacity(data.bytes().len());
+        match data.desc().precision {
+            Precision::Double => encode_words(&data.as_u64_words()?, L64, &mut w),
+            Precision::Single => {
+                let words: Vec<u64> =
+                    data.as_u32_words()?.into_iter().map(u64::from).collect();
+                encode_words(&words, L32, &mut w);
+            }
+        }
+        out.extend_from_slice(&w.into_bytes());
+        Ok(out)
+    }
+
+    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+        let mut pos = 0usize;
+        let count = read_u64(payload, &mut pos)
+            .ok_or_else(|| Error::Corrupt("gorilla: missing element count".into()))?
+            as usize;
+        if count != desc.elements() {
+            return Err(Error::Corrupt(format!(
+                "gorilla: stream holds {count} elements, descriptor expects {}",
+                desc.elements()
+            )));
+        }
+        let mut r = BitReader::new(&payload[pos..]);
+        match desc.precision {
+            Precision::Double => {
+                let words = decode_words(&mut r, count, L64)?;
+                FloatData::from_u64_words(&words, desc.dims.clone(), desc.domain)
+            }
+            Precision::Single => {
+                let words = decode_words(&mut r, count, L32)?;
+                let narrowed: Vec<u32> = words.into_iter().map(|w| w as u32).collect();
+                FloatData::from_u32_words(&narrowed, desc.dims.clone(), desc.domain)
+            }
+        }
+    }
+
+    fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {
+        // Dominant loop: per element one XOR, lz/tz counts, window compare,
+        // and bit pushes — ~12 integer ops; reads the word, writes ~CR⁻¹ of it.
+        let n = desc.elements() as u64;
+        let esz = desc.precision.bytes() as u64;
+        Some(OpProfile {
+            int_ops: 12 * n,
+            float_ops: 0,
+            bytes_moved: 2 * n * esz,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcbench_core::Domain;
+
+    fn round_trip_f64(vals: &[f64]) -> usize {
+        let data = FloatData::from_f64(vals, vec![vals.len().max(1)], Domain::TimeSeries)
+            .unwrap_or_else(|_| {
+                FloatData::from_f64(&[0.0], vec![1], Domain::TimeSeries).unwrap()
+            });
+        let g = Gorilla::new();
+        let c = g.compress(&data).unwrap();
+        let d = g.decompress(&c, data.desc()).unwrap();
+        assert_eq!(d.bytes(), data.bytes());
+        c.len()
+    }
+
+    fn round_trip_f32(vals: &[f32]) -> usize {
+        let data = FloatData::from_f32(vals, vec![vals.len()], Domain::TimeSeries).unwrap();
+        let g = Gorilla::new();
+        let c = g.compress(&data).unwrap();
+        let d = g.decompress(&c, data.desc()).unwrap();
+        assert_eq!(d.bytes(), data.bytes());
+        c.len()
+    }
+
+    #[test]
+    fn constant_series_compresses_to_bits() {
+        let vals = vec![42.5f64; 10_000];
+        let n = round_trip_f64(&vals);
+        // 1 control bit per repeat: ~1250 bytes + first value + header.
+        assert!(n < 1400, "constant series took {n} bytes");
+    }
+
+    #[test]
+    fn slowly_varying_sensor_series() {
+        let vals: Vec<f64> = (0..5000).map(|i| 20.0 + 0.001 * (i % 10) as f64).collect();
+        let n = round_trip_f64(&vals);
+        assert!(n < 5000 * 8, "should compress below raw size");
+    }
+
+    #[test]
+    fn random_values_survive() {
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let vals: Vec<f64> = (0..3000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                f64::from_bits((x >> 12) | 0x3FF0_0000_0000_0000)
+            })
+            .collect();
+        round_trip_f64(&vals);
+    }
+
+    #[test]
+    fn special_values_round_trip() {
+        round_trip_f64(&[0.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 5e-324]);
+    }
+
+    #[test]
+    fn single_element() {
+        round_trip_f64(&[std::f64::consts::E]);
+    }
+
+    #[test]
+    fn single_precision_round_trip() {
+        let vals: Vec<f32> = (0..4000).map(|i| (i as f32 * 0.25).sin()).collect();
+        round_trip_f32(&vals);
+    }
+
+    #[test]
+    fn single_precision_specials() {
+        round_trip_f32(&[0.0, -0.0, f32::NAN, f32::INFINITY, f32::MIN_POSITIVE]);
+    }
+
+    #[test]
+    fn window_reuse_beats_fresh_windows_on_stable_data() {
+        // Values whose XOR stays in the same bit window: form `10` dominates.
+        let base = 1000.0f64;
+        let vals: Vec<f64> = (0..2000).map(|i| base + (i % 4) as f64).collect();
+        let n = round_trip_f64(&vals);
+        assert!(n < 2000 * 8 / 2, "window reuse should halve the size, got {n}");
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let data = FloatData::from_f64(&[1.0, 2.0], vec![2], Domain::TimeSeries).unwrap();
+        let g = Gorilla::new();
+        let c = g.compress(&data).unwrap();
+        let wrong = DataDesc::new(Precision::Double, vec![3], Domain::TimeSeries).unwrap();
+        assert!(g.decompress(&c, &wrong).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64 * 1.7).collect();
+        let data = FloatData::from_f64(&vals, vec![100], Domain::TimeSeries).unwrap();
+        let g = Gorilla::new();
+        let c = g.compress(&data).unwrap();
+        assert!(g.decompress(&c[..c.len() / 2], data.desc()).is_err());
+        assert!(g.decompress(&c[..4], data.desc()).is_err());
+    }
+
+    #[test]
+    fn info_matches_table1() {
+        let info = Gorilla::new().info();
+        assert_eq!(info.name, "gorilla");
+        assert_eq!(info.year, 2015);
+        assert_eq!(info.class, CodecClass::Delta);
+        assert_eq!(info.platform, Platform::Cpu);
+        assert!(!info.parallel);
+    }
+}

@@ -1,0 +1,39 @@
+//! # fcbench-codecs-cpu
+//!
+//! Pure-Rust implementations of the eight CPU-based lossless floating-point
+//! compressors surveyed in FCBench §3:
+//!
+//! | Codec | Paper § | Class | Parallel |
+//! |---|---|---|---|
+//! | [`Fpzip`] | 3.1 | Lorenzo + range coding | serial |
+//! | [`Spdp`] | 3.2 | byte transforms + LZ77 | serial |
+//! | [`Buff`] | 3.3 | bounded decimal delta, byte columns | serial |
+//! | [`Gorilla`] | 3.4 | XOR delta | serial |
+//! | [`Chimp`] | 3.5 | XOR + 128-value window | serial |
+//! | [`Pfpc`] | 3.6 | FCM/DFCM hash prediction | threads |
+//! | [`Bitshuffle`] | 3.7 | bit transpose + LZ4/zstd-class | threads |
+//! | [`Ndzip`] | 3.8 | integer Lorenzo + transpose | threads |
+//!
+//! Every codec implements [`fcbench_core::Compressor`] and round-trips
+//! bit-exactly (NaN payloads and signed zeros included).
+
+pub mod bitshuffle;
+pub mod buff;
+pub mod chimp;
+pub mod common;
+pub mod fpzip;
+pub mod gorilla;
+pub mod gorilla_ts;
+pub mod ndzip;
+pub mod pfpc;
+pub mod spdp;
+
+pub use bitshuffle::{Backend, Bitshuffle};
+pub use buff::{Buff, BuffView};
+pub use chimp::Chimp;
+pub use fpzip::Fpzip;
+pub use gorilla::Gorilla;
+pub use gorilla_ts::{compress_timestamps, decompress_timestamps};
+pub use ndzip::Ndzip;
+pub use pfpc::Pfpc;
+pub use spdp::Spdp;

@@ -1,0 +1,434 @@
+//! pFPC (Burtscher & Ratanaworabhan, DCC 2009; paper §3.6).
+//!
+//! FPC predicts each 64-bit word with two hash-table predictors —
+//! **FCM** (finite context) and **DFCM** (differential finite context) —
+//! XORs the better prediction with the true value, and encodes the result
+//! as a 4-bit code (1 bit predictor selector + 3 bits leading-zero-byte
+//! count, with the rare count of 4 folded into 3) followed by the non-zero
+//! residual bytes. pFPC parallelizes by splitting the input into chunks
+//! compressed independently on `threads` OS threads, each with private
+//! predictor tables.
+//!
+//! The stream is processed as raw u64 words regardless of the nominal
+//! precision (FPC treats everything as doubles); a non-multiple-of-8 tail
+//! is stored verbatim. The paper's §3.6 insight — aligning thread count
+//! with data dimensionality preserves per-dimension correlation — is
+//! exercised by the `ablation_pfpc` bench via [`Pfpc::with_threads`].
+
+use crate::common::{chunk_ranges, push_u32, push_u64, read_u32, read_u64};
+use fcbench_core::{
+    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
+    Platform, PrecisionSupport, Result,
+};
+
+/// Log2 of the predictor hash-table sizes.
+const TABLE_LOG: u32 = 16;
+const TABLE_SIZE: usize = 1 << TABLE_LOG;
+
+/// Leading-zero-byte counts representable by the 3-bit code.
+/// Count 4 is folded down to 3 (the original FPC design: 4 is rare).
+const LZB_TABLE: [u32; 8] = [0, 1, 2, 3, 5, 6, 7, 8];
+
+#[inline]
+fn lzb_to_code(lzb: u32) -> u32 {
+    match lzb {
+        0..=3 => lzb,
+        4 => 3,
+        5..=8 => lzb - 1,
+        _ => 7,
+    }
+}
+
+/// The pFPC codec.
+#[derive(Debug, Clone)]
+pub struct Pfpc {
+    threads: usize,
+}
+
+impl Default for Pfpc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pfpc {
+    /// Default 8 threads, as in the original release.
+    pub fn new() -> Self {
+        Pfpc { threads: 8 }
+    }
+
+    pub fn with_threads(threads: usize) -> Self {
+        Pfpc { threads: threads.max(1) }
+    }
+}
+
+struct Predictors {
+    fcm: Vec<u64>,
+    dfcm: Vec<u64>,
+    fcm_hash: usize,
+    dfcm_hash: usize,
+    last: u64,
+}
+
+impl Predictors {
+    fn new() -> Self {
+        Predictors {
+            fcm: vec![0; TABLE_SIZE],
+            dfcm: vec![0; TABLE_SIZE],
+            fcm_hash: 0,
+            dfcm_hash: 0,
+            last: 0,
+        }
+    }
+
+    /// Current predictions (FCM, DFCM).
+    #[inline]
+    fn predict(&self) -> (u64, u64) {
+        (self.fcm[self.fcm_hash], self.dfcm[self.dfcm_hash].wrapping_add(self.last))
+    }
+
+    /// Update tables and hashes with the true value.
+    #[inline]
+    fn update(&mut self, val: u64) {
+        self.fcm[self.fcm_hash] = val;
+        self.fcm_hash = ((self.fcm_hash << 6) ^ (val >> 48) as usize) & (TABLE_SIZE - 1);
+        let delta = val.wrapping_sub(self.last);
+        self.dfcm[self.dfcm_hash] = delta;
+        self.dfcm_hash = ((self.dfcm_hash << 2) ^ (delta >> 40) as usize) & (TABLE_SIZE - 1);
+        self.last = val;
+    }
+}
+
+/// Compress one chunk of words with private predictor state.
+fn compress_chunk(words: &[u64]) -> Vec<u8> {
+    let mut p = Predictors::new();
+    let mut codes = Vec::with_capacity(words.len() / 2 + 1);
+    let mut residuals = Vec::with_capacity(words.len() * 4);
+
+    let mut nibbles: Vec<(u32, u64)> = Vec::with_capacity(2);
+    for &val in words {
+        let (f, d) = p.predict();
+        let xf = val ^ f;
+        let xd = val ^ d;
+        let (sel, xor) = if xf <= xd { (0u32, xf) } else { (1u32, xd) };
+        let lzb = (xor.leading_zeros() / 8).min(8);
+        // The code table may claim fewer leading zero bytes than actual
+        // (4 -> 3); residual bytes are emitted per the *code*.
+        let code = lzb_to_code(lzb);
+        nibbles.push(((sel << 3) | code, xor));
+        if nibbles.len() == 2 {
+            codes.push(((nibbles[0].0 << 4) | nibbles[1].0) as u8);
+            for &(nib, x) in &nibbles {
+                let eb = 8 - LZB_TABLE[(nib & 7) as usize];
+                residuals.extend_from_slice(&x.to_le_bytes()[..eb as usize]);
+            }
+            nibbles.clear();
+        }
+        p.update(val);
+    }
+    if let Some(&(nib, x)) = nibbles.first() {
+        codes.push((nib << 4) as u8);
+        let eb = 8 - LZB_TABLE[(nib & 7) as usize];
+        residuals.extend_from_slice(&x.to_le_bytes()[..eb as usize]);
+    }
+
+    let mut out = Vec::with_capacity(8 + codes.len() + residuals.len());
+    push_u32(&mut out, codes.len() as u32);
+    push_u32(&mut out, residuals.len() as u32);
+    out.extend_from_slice(&codes);
+    out.extend_from_slice(&residuals);
+    out
+}
+
+/// Decompress one chunk of `count` words.
+fn decompress_chunk(payload: &[u8], count: usize) -> Result<Vec<u64>> {
+    let mut pos = 0usize;
+    let ncodes = read_u32(payload, &mut pos)
+        .ok_or_else(|| Error::Corrupt("pfpc: missing code count".into()))? as usize;
+    let nres = read_u32(payload, &mut pos)
+        .ok_or_else(|| Error::Corrupt("pfpc: missing residual count".into()))? as usize;
+    let codes = payload
+        .get(pos..pos + ncodes)
+        .ok_or_else(|| Error::Corrupt("pfpc: code bytes truncated".into()))?;
+    let residuals = payload
+        .get(pos + ncodes..pos + ncodes + nres)
+        .ok_or_else(|| Error::Corrupt("pfpc: residual bytes truncated".into()))?;
+    if ncodes != count.div_ceil(2) {
+        return Err(Error::Corrupt("pfpc: code count mismatch".into()));
+    }
+
+    let mut p = Predictors::new();
+    let mut out = Vec::with_capacity(count);
+    let mut rpos = 0usize;
+    for (k, &cb) in codes.iter().enumerate() {
+        for half in 0..2 {
+            let idx = 2 * k + half;
+            if idx >= count {
+                break;
+            }
+            let nib = if half == 0 { (cb >> 4) as u32 } else { (cb & 0x0F) as u32 };
+            let sel = nib >> 3;
+            let code = nib & 7;
+            let eb = (8 - LZB_TABLE[code as usize]) as usize;
+            let rbytes = residuals
+                .get(rpos..rpos + eb)
+                .ok_or_else(|| Error::Corrupt("pfpc: residual stream truncated".into()))?;
+            rpos += eb;
+            let mut le = [0u8; 8];
+            le[..eb].copy_from_slice(rbytes);
+            let xor = u64::from_le_bytes(le);
+            let (f, d) = p.predict();
+            let pred = if sel == 0 { f } else { d };
+            let val = pred ^ xor;
+            p.update(val);
+            out.push(val);
+        }
+    }
+    if rpos != residuals.len() {
+        return Err(Error::Corrupt("pfpc: trailing residual bytes".into()));
+    }
+    Ok(out)
+}
+
+impl Compressor for Pfpc {
+    fn info(&self) -> CodecInfo {
+        CodecInfo {
+            name: "pfpc",
+            year: 2009,
+            community: Community::Hpc,
+            class: CodecClass::Prediction,
+            platform: Platform::Cpu,
+            parallel: true,
+            precisions: PrecisionSupport::Both,
+        }
+    }
+
+    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+        let bytes = data.bytes();
+        let nwords = bytes.len() / 8;
+        let tail = &bytes[nwords * 8..];
+        let words: Vec<u64> = bytes[..nwords * 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect();
+
+        let ranges = chunk_ranges(nwords, self.threads);
+        let mut chunk_payloads: Vec<Vec<u8>> = vec![Vec::new(); ranges.len()];
+        std::thread::scope(|s| {
+            for (slot, &(start, end)) in chunk_payloads.iter_mut().zip(ranges.iter()) {
+                let words = &words[start..end];
+                s.spawn(move || {
+                    *slot = compress_chunk(words);
+                });
+            }
+        });
+
+        let mut out = Vec::new();
+        push_u64(&mut out, nwords as u64);
+        push_u32(&mut out, chunk_payloads.len() as u32);
+        out.push(tail.len() as u8);
+        for p in &chunk_payloads {
+            push_u32(&mut out, p.len() as u32);
+        }
+        for p in &chunk_payloads {
+            out.extend_from_slice(p);
+        }
+        out.extend_from_slice(tail);
+        Ok(out)
+    }
+
+    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+        let mut pos = 0usize;
+        let nwords = read_u64(payload, &mut pos)
+            .ok_or_else(|| Error::Corrupt("pfpc: missing word count".into()))?
+            as usize;
+        let nchunks = read_u32(payload, &mut pos)
+            .ok_or_else(|| Error::Corrupt("pfpc: missing chunk count".into()))?
+            as usize;
+        let tail_len = *payload
+            .get(pos)
+            .ok_or_else(|| Error::Corrupt("pfpc: missing tail length".into()))?
+            as usize;
+        pos += 1;
+        // Validate against the descriptor before any allocation sized by
+        // stream-supplied counts (fuzzed payloads must not OOM).
+        if nwords != desc.byte_len() / 8 || tail_len != desc.byte_len() % 8 {
+            return Err(Error::Corrupt(format!(
+                "pfpc: stream geometry ({nwords} words + {tail_len}) does not match descriptor"
+            )));
+        }
+        if nchunks > nwords.max(1) {
+            return Err(Error::Corrupt("pfpc: more chunks than words".into()));
+        }
+        let mut sizes = Vec::with_capacity(nchunks);
+        for _ in 0..nchunks {
+            sizes.push(
+                read_u32(payload, &mut pos)
+                    .ok_or_else(|| Error::Corrupt("pfpc: chunk directory truncated".into()))?
+                    as usize,
+            );
+        }
+        let ranges = chunk_ranges(nwords, nchunks.max(1));
+        if ranges.len() != nchunks {
+            return Err(Error::Corrupt("pfpc: chunk layout mismatch".into()));
+        }
+
+        // Slice up the payload per chunk, then decode in parallel.
+        let mut chunk_slices = Vec::with_capacity(nchunks);
+        for &sz in &sizes {
+            let s = payload
+                .get(pos..pos + sz)
+                .ok_or_else(|| Error::Corrupt("pfpc: chunk payload truncated".into()))?;
+            chunk_slices.push(s);
+            pos += sz;
+        }
+        let tail = payload
+            .get(pos..pos + tail_len)
+            .ok_or_else(|| Error::Corrupt("pfpc: tail truncated".into()))?;
+        if pos + tail_len != payload.len() {
+            return Err(Error::Corrupt("pfpc: trailing bytes".into()));
+        }
+
+        let mut results: Vec<Result<Vec<u64>>> = Vec::with_capacity(nchunks);
+        results.resize_with(nchunks, || Ok(Vec::new()));
+        std::thread::scope(|s| {
+            for ((slot, slice), &(start, end)) in
+                results.iter_mut().zip(chunk_slices.iter()).zip(ranges.iter())
+            {
+                let count = end - start;
+                s.spawn(move || {
+                    *slot = decompress_chunk(slice, count);
+                });
+            }
+        });
+
+        let mut bytes = Vec::with_capacity(desc.byte_len());
+        for r in results {
+            for w in r? {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        bytes.extend_from_slice(tail);
+        FloatData::from_bytes(desc.clone(), bytes)
+    }
+
+    fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {
+        // Per word: two table lookups, two XORs, lz count, two table
+        // updates, hash mixing — ~18 int ops; moves the word plus two
+        // table entries each way.
+        let n = (desc.byte_len() / 8) as u64;
+        Some(OpProfile {
+            int_ops: 18 * n,
+            float_ops: 0,
+            bytes_moved: 6 * 8 * n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcbench_core::Domain;
+
+    fn round_trip_with(data: &FloatData, threads: usize) -> usize {
+        let p = Pfpc::with_threads(threads);
+        let c = p.compress(data).unwrap();
+        let back = p.decompress(&c, data.desc()).unwrap();
+        assert_eq!(back.bytes(), data.bytes());
+        c.len()
+    }
+
+    #[test]
+    fn smooth_data_compresses() {
+        let vals: Vec<f64> = (0..20_000).map(|i| 5e5 + (i as f64) * 0.25).collect();
+        let data = FloatData::from_f64(&vals, vec![20_000], Domain::Hpc).unwrap();
+        let n = round_trip_with(&data, 8);
+        assert!(n < 20_000 * 8, "predictable stream must compress, got {n}");
+    }
+
+    #[test]
+    fn thread_counts_all_round_trip() {
+        let vals: Vec<f64> = (0..5000).map(|i| ((i % 100) as f64).powi(2)).collect();
+        let data = FloatData::from_f64(&vals, vec![5000], Domain::Hpc).unwrap();
+        for t in [1, 2, 3, 7, 8, 16, 48] {
+            round_trip_with(&data, t);
+        }
+    }
+
+    #[test]
+    fn cross_thread_payloads_are_compatible() {
+        // Compress with 4 threads, decompress with a codec configured for 1:
+        // the stream carries its own chunk directory.
+        let vals: Vec<f64> = (0..3000).map(|i| (i as f64).sin()).collect();
+        let data = FloatData::from_f64(&vals, vec![3000], Domain::Hpc).unwrap();
+        let c4 = Pfpc::with_threads(4).compress(&data).unwrap();
+        let back = Pfpc::with_threads(1).decompress(&c4, data.desc()).unwrap();
+        assert_eq!(back.bytes(), data.bytes());
+    }
+
+    #[test]
+    fn single_precision_via_word_reinterpretation() {
+        let vals: Vec<f32> = (0..4001).map(|i| i as f32 * 1.5).collect(); // odd count => tail
+        let data = FloatData::from_f32(&vals, vec![4001], Domain::Hpc).unwrap();
+        round_trip_with(&data, 8);
+    }
+
+    #[test]
+    fn special_values() {
+        let vals = [0.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 5e-324, 1.0];
+        let data = FloatData::from_f64(&vals, vec![7], Domain::Hpc).unwrap();
+        round_trip_with(&data, 2);
+    }
+
+    #[test]
+    fn repeating_values_hit_fcm() {
+        // A strict cycle is exactly what FCM's context hash learns.
+        let vals: Vec<f64> = (0..10_000).map(|i| ((i % 16) as f64) * 3.5).collect();
+        let data = FloatData::from_f64(&vals, vec![10_000], Domain::Hpc).unwrap();
+        let n = round_trip_with(&data, 1);
+        assert!(n < 10_000 * 8 / 4, "cyclic stream should compress 4x+, got {n}");
+    }
+
+    #[test]
+    fn lzb_code_folding() {
+        assert_eq!(lzb_to_code(0), 0);
+        assert_eq!(lzb_to_code(3), 3);
+        assert_eq!(lzb_to_code(4), 3); // folded
+        assert_eq!(lzb_to_code(5), 4);
+        assert_eq!(lzb_to_code(8), 7);
+        for lzb in 0..=8u32 {
+            let code = lzb_to_code(lzb);
+            // The emitted byte count must cover the actual residual bytes.
+            assert!(LZB_TABLE[code as usize] <= lzb);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let data = FloatData::from_f64(&[1.5], vec![1], Domain::Hpc).unwrap();
+        round_trip_with(&data, 8);
+        let data = FloatData::from_f32(&[2.5], vec![1], Domain::Hpc).unwrap();
+        round_trip_with(&data, 8); // 4 bytes => pure tail, zero words
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let vals: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let data = FloatData::from_f64(&vals, vec![500], Domain::Hpc).unwrap();
+        let p = Pfpc::new();
+        let c = p.compress(&data).unwrap();
+        assert!(p.decompress(&c[..10], data.desc()).is_err());
+        assert!(p.decompress(&c[..c.len() - 2], data.desc()).is_err());
+        let mut extra = c.clone();
+        extra.push(1);
+        assert!(p.decompress(&extra, data.desc()).is_err());
+    }
+
+    #[test]
+    fn info_matches_table1() {
+        let info = Pfpc::new().info();
+        assert_eq!(info.name, "pfpc");
+        assert!(info.parallel);
+        assert_eq!(info.class, CodecClass::Prediction);
+    }
+}

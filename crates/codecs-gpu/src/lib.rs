@@ -1,0 +1,26 @@
+//! # fcbench-codecs-gpu
+//!
+//! The five GPU-based compressors of FCBench §4, executing on the
+//! `fcbench-gpu-sim` SIMT simulator (see DESIGN.md's substitution table):
+//!
+//! | Codec | Paper § | Class | Notes |
+//! |---|---|---|---|
+//! | [`Gfc`] | 4.1 | delta | warp subchunks of 32 doubles, input limit |
+//! | [`Mpc`] | 4.2 | delta + transpose | LNVd/BIT/LNV1/ZE pipeline |
+//! | [`NvLz4`] | 4.3 | dictionary | batched pages, divergence-heavy |
+//! | [`NvBitcomp`] | 4.3 | prediction | delta + LZ suppression, fastest |
+//! | [`NdzipGpu`] | 4.4 | Lorenzo | shared pipeline with ndzip-CPU |
+//!
+//! All model host↔device transfer cost, surfaced via
+//! [`fcbench_core::Compressor::last_aux_time`] for the paper's Table 6
+//! end-to-end wall times.
+
+pub mod gfc;
+pub mod mpc;
+pub mod ndzip_gpu;
+pub mod nvcomp;
+
+pub use gfc::Gfc;
+pub use mpc::Mpc;
+pub use ndzip_gpu::NdzipGpu;
+pub use nvcomp::{NvBitcomp, NvLz4};

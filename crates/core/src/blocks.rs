@@ -1,0 +1,247 @@
+//! Block/page-based compression (§6.2.1, Table 10).
+//!
+//! Database systems compress per page; the paper measures how CR/CT/DT react
+//! to 4 KB, 64 KB, and 8 MB block sizes. [`BlockCodec`] wraps any
+//! [`Compressor`], splitting the element stream into fixed-byte blocks that
+//! are compressed independently, with a small directory so blocks can be
+//! decompressed (and in a database, fetched) individually.
+//!
+//! Container layout (little-endian):
+//!
+//! ```text
+//! block count      4 bytes
+//! per block:       8-byte compressed length
+//! payloads         concatenated
+//! ```
+
+use crate::codec::{AuxTime, CodecInfo, Compressor, OpProfile};
+use crate::data::{DataDesc, FloatData};
+use crate::error::{Error, Result};
+
+/// Paper's three studied block sizes.
+pub const BLOCK_4K: usize = 4 * 1024;
+/// 64 KB — the paper's default nvCOMP/bitshuffle-scale block.
+pub const BLOCK_64K: usize = 64 * 1024;
+/// 8 MB — the paper's large-block configuration.
+pub const BLOCK_8M: usize = 8 * 1024 * 1024;
+
+/// A [`Compressor`] adaptor that compresses fixed-size blocks independently.
+pub struct BlockCodec<C> {
+    inner: C,
+    block_bytes: usize,
+}
+
+impl<C: Compressor> BlockCodec<C> {
+    /// Wrap `inner`, using blocks of `block_bytes` (rounded down to a whole
+    /// number of elements at compress time; must fit at least one element).
+    pub fn new(inner: C, block_bytes: usize) -> Self {
+        assert!(block_bytes >= 4, "block must hold at least one element");
+        BlockCodec { inner, block_bytes }
+    }
+
+    /// The wrapped codec.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    fn elems_per_block(&self, desc: &DataDesc) -> usize {
+        (self.block_bytes / desc.precision.bytes()).max(1)
+    }
+}
+
+impl<C: Compressor> Compressor for BlockCodec<C> {
+    fn info(&self) -> CodecInfo {
+        self.inner.info()
+    }
+
+    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+        let desc = data.desc();
+        let esize = desc.precision.bytes();
+        let epb = self.elems_per_block(desc);
+        let bpb = epb * esize;
+        let bytes = data.bytes();
+        let nblocks = bytes.len().div_ceil(bpb).max(1);
+        if nblocks > u32::MAX as usize {
+            return Err(Error::Unsupported("too many blocks".into()));
+        }
+
+        let mut payloads = Vec::with_capacity(nblocks);
+        for chunk in bytes.chunks(bpb) {
+            let block_desc =
+                DataDesc::new(desc.precision, vec![chunk.len() / esize], desc.domain)?;
+            let block = FloatData::from_bytes(block_desc, chunk.to_vec())?;
+            payloads.push(self.inner.compress(&block)?);
+        }
+
+        let total: usize = payloads.iter().map(|p| p.len()).sum();
+        let mut out = Vec::with_capacity(4 + 8 * payloads.len() + total);
+        out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+        for p in &payloads {
+            out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        }
+        for p in &payloads {
+            out.extend_from_slice(p);
+        }
+        Ok(out)
+    }
+
+    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+        if payload.len() < 4 {
+            return Err(Error::Corrupt("block container truncated".into()));
+        }
+        let nblocks =
+            u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+        let dir_end = 4 + 8 * nblocks;
+        if payload.len() < dir_end {
+            return Err(Error::Corrupt("block directory truncated".into()));
+        }
+        let mut lens = Vec::with_capacity(nblocks);
+        for i in 0..nblocks {
+            let off = 4 + 8 * i;
+            let l = u64::from_le_bytes([
+                payload[off],
+                payload[off + 1],
+                payload[off + 2],
+                payload[off + 3],
+                payload[off + 4],
+                payload[off + 5],
+                payload[off + 6],
+                payload[off + 7],
+            ]) as usize;
+            lens.push(l);
+        }
+
+        let epb = self.elems_per_block(desc);
+        let total_elems = desc.elements();
+        let mut out = Vec::with_capacity(desc.byte_len());
+        let mut pos = dir_end;
+        let mut remaining = total_elems;
+        for len in lens {
+            if pos + len > payload.len() {
+                return Err(Error::Corrupt("block payload truncated".into()));
+            }
+            let block_elems = remaining.min(epb);
+            if block_elems == 0 {
+                return Err(Error::Corrupt("more blocks than elements".into()));
+            }
+            let block_desc = DataDesc::new(desc.precision, vec![block_elems], desc.domain)?;
+            let block = self.inner.decompress(&payload[pos..pos + len], &block_desc)?;
+            out.extend_from_slice(block.bytes());
+            pos += len;
+            remaining -= block_elems;
+        }
+        if remaining != 0 {
+            return Err(Error::Corrupt(format!("{remaining} elements missing from blocks")));
+        }
+        if pos != payload.len() {
+            return Err(Error::Corrupt("trailing bytes after final block".into()));
+        }
+        if out.len() != desc.byte_len() {
+            return Err(Error::Corrupt("reassembled size mismatch".into()));
+        }
+        FloatData::from_bytes(desc.clone(), out)
+    }
+
+    fn last_aux_time(&self) -> AuxTime {
+        self.inner.last_aux_time()
+    }
+
+    fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {
+        self.inner.op_profile(desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecClass, Community, Platform, PrecisionSupport};
+    use crate::data::Domain;
+
+    /// Store codec with a 2-byte header per call, so block overhead is visible.
+    struct HeaderedStore;
+
+    impl Compressor for HeaderedStore {
+        fn info(&self) -> CodecInfo {
+            CodecInfo {
+                name: "hstore",
+                year: 2024,
+                community: Community::General,
+                class: CodecClass::Delta,
+                platform: Platform::Cpu,
+                parallel: false,
+                precisions: PrecisionSupport::Both,
+            }
+        }
+        fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+            let mut v = vec![0xAB, 0xCD];
+            v.extend_from_slice(data.bytes());
+            Ok(v)
+        }
+        fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+            if payload.len() < 2 || payload[0] != 0xAB || payload[1] != 0xCD {
+                return Err(Error::Corrupt("bad hstore header".into()));
+            }
+            FloatData::from_bytes(desc.clone(), payload[2..].to_vec())
+        }
+    }
+
+    fn sample(n: usize) -> FloatData {
+        let vals: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        FloatData::from_f32(&vals, vec![n], Domain::TimeSeries).unwrap()
+    }
+
+    #[test]
+    fn round_trip_exact_multiple() {
+        let bc = BlockCodec::new(HeaderedStore, 16); // 4 f32 per block
+        let data = sample(16);
+        let payload = bc.compress(&data).unwrap();
+        let back = bc.decompress(&payload, data.desc()).unwrap();
+        assert_eq!(back.bytes(), data.bytes());
+    }
+
+    #[test]
+    fn round_trip_ragged_tail() {
+        let bc = BlockCodec::new(HeaderedStore, 16);
+        for n in [1usize, 3, 5, 17, 31] {
+            let data = sample(n);
+            let payload = bc.compress(&data).unwrap();
+            let back = bc.decompress(&payload, data.desc()).unwrap();
+            assert_eq!(back.bytes(), data.bytes(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn small_blocks_cost_more_overhead() {
+        let data = sample(1024);
+        let small = BlockCodec::new(HeaderedStore, 16).compress(&data).unwrap();
+        let large = BlockCodec::new(HeaderedStore, 4096).compress(&data).unwrap();
+        // More blocks => more 2-byte headers + directory entries.
+        assert!(small.len() > large.len());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let bc = BlockCodec::new(HeaderedStore, 16);
+        let data = sample(8);
+        let payload = bc.compress(&data).unwrap();
+        assert!(bc.decompress(&payload[..3], data.desc()).is_err());
+        let mut trunc = payload.clone();
+        trunc.truncate(payload.len() - 1);
+        assert!(bc.decompress(&trunc, data.desc()).is_err());
+        let mut extra = payload.clone();
+        extra.push(0);
+        assert!(bc.decompress(&extra, data.desc()).is_err());
+    }
+
+    #[test]
+    fn block_constants_match_paper() {
+        assert_eq!(BLOCK_4K, 4096);
+        assert_eq!(BLOCK_64K, 65536);
+        assert_eq!(BLOCK_8M, 8 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,301 @@
+//! The [`Compressor`] trait every method implements, plus the method
+//! taxonomy from Table 1 of the paper (predictor class, platform, year,
+//! community, parallelism).
+
+use crate::data::{DataDesc, FloatData, Precision};
+use crate::error::Result;
+
+/// Predictor/transform family, used for the Figure 6b grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CodecClass {
+    /// Lorenzo-predictor based (fpzip, ndzip-CPU, ndzip-GPU).
+    Lorenzo,
+    /// Delta based (Gorilla, GFC, MPC, BUFF).
+    Delta,
+    /// Dictionary based (bitshuffle::LZ4, bitshuffle::zstd-class, Chimp, nv-lz4).
+    Dictionary,
+    /// Other prediction based (pFPC's hash predictors, nv-bitcomp, Dzip).
+    Prediction,
+}
+
+impl CodecClass {
+    /// Label used in figures.
+    pub const fn label(self) -> &'static str {
+        match self {
+            CodecClass::Lorenzo => "LORENZO",
+            CodecClass::Delta => "DELTA",
+            CodecClass::Dictionary => "DICTIONARY",
+            CodecClass::Prediction => "PREDICTION",
+        }
+    }
+}
+
+/// Hardware platform a method targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Platform {
+    Cpu,
+    Gpu,
+}
+
+impl Platform {
+    pub const fn label(self) -> &'static str {
+        match self {
+            Platform::Cpu => "CPU",
+            Platform::Gpu => "GPU",
+        }
+    }
+}
+
+/// Which community published the method (Table 1 "domain" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Community {
+    Hpc,
+    Database,
+    General,
+}
+
+/// Which precisions a codec accepts (Table 1 "precision" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrecisionSupport {
+    SingleOnly,
+    DoubleOnly,
+    Both,
+}
+
+impl PrecisionSupport {
+    /// Does this support level include `p`?
+    #[inline]
+    pub fn accepts(self, p: Precision) -> bool {
+        match self {
+            PrecisionSupport::SingleOnly => p == Precision::Single,
+            PrecisionSupport::DoubleOnly => p == Precision::Double,
+            PrecisionSupport::Both => true,
+        }
+    }
+}
+
+/// Static metadata about a compression method (one row of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecInfo {
+    /// Canonical lowercase name used in reports, e.g. `"bitshuffle-lz4"`.
+    pub name: &'static str,
+    /// Publication year (Figure 3 timeline).
+    pub year: u16,
+    /// Publishing community.
+    pub community: Community,
+    /// Predictor/transform family.
+    pub class: CodecClass,
+    /// CPU or GPU.
+    pub platform: Platform,
+    /// Whether the implementation is data-parallel.
+    pub parallel: bool,
+    /// Accepted precisions.
+    pub precisions: PrecisionSupport,
+}
+
+/// Auxiliary (modelled) time not captured by wall-clock measurement of the
+/// `compress`/`decompress` call itself — chiefly the simulated host-to-device
+/// and device-to-host copies of GPU codecs (§6.1.4, Table 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AuxTime {
+    /// Modelled host→device transfer seconds for the last operation.
+    pub h2d_seconds: f64,
+    /// Modelled device→host transfer seconds for the last operation.
+    pub d2h_seconds: f64,
+}
+
+impl AuxTime {
+    /// Total modelled transfer time.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.h2d_seconds + self.d2h_seconds
+    }
+}
+
+/// Analytic operation/byte counts for one full pass over a dataset,
+/// used by the roofline model (§6.3). Counts are per the dominant kernel
+/// ("the most expensive function/loop that consumes greater than 40% of
+/// computation time", Fig. 11 caption).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpProfile {
+    /// Integer ALU operations executed by the dominant kernel.
+    pub int_ops: u64,
+    /// Floating-point operations executed by the dominant kernel.
+    pub float_ops: u64,
+    /// Bytes moved to/from memory by the dominant kernel.
+    pub bytes_moved: u64,
+}
+
+impl OpProfile {
+    /// Arithmetic intensity in integer ops per byte (CPU roofline axis).
+    pub fn int_intensity(&self) -> f64 {
+        if self.bytes_moved == 0 {
+            0.0
+        } else {
+            self.int_ops as f64 / self.bytes_moved as f64
+        }
+    }
+
+    /// Arithmetic intensity in FLOPs per byte (GPU roofline axis).
+    pub fn float_intensity(&self) -> f64 {
+        if self.bytes_moved == 0 {
+            0.0
+        } else {
+            self.float_ops as f64 / self.bytes_moved as f64
+        }
+    }
+}
+
+/// A lossless floating-point compressor.
+///
+/// Implementations transform the payload of a [`FloatData`] into an opaque
+/// byte stream and back. The stream carries *no* framing: the caller (see
+/// [`crate::frame`]) records the descriptor. Round trips must be byte-exact,
+/// including NaN payloads and signed zeros.
+pub trait Compressor: Send + Sync {
+    /// Static method metadata (Table 1 row).
+    fn info(&self) -> CodecInfo;
+
+    /// Compress `data` into an opaque payload.
+    fn compress(&self, data: &FloatData) -> Result<Vec<u8>>;
+
+    /// Reconstruct the exact original data from `payload`.
+    ///
+    /// `desc` is the descriptor of the original data (provided by the frame).
+    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData>;
+
+    /// Modelled auxiliary time (host↔device transfers) for the most recent
+    /// compress or decompress call. CPU codecs return zero.
+    fn last_aux_time(&self) -> AuxTime {
+        AuxTime::default()
+    }
+
+    /// Analytic operation profile of the dominant compression kernel over
+    /// `desc`, for roofline placement. `None` if not modelled.
+    fn op_profile(&self, _desc: &DataDesc) -> Option<OpProfile> {
+        None
+    }
+}
+
+/// Compress with an explicit lossless check: decompress the result and
+/// compare byte-for-byte. Returns the payload.
+pub fn compress_verified(codec: &dyn Compressor, data: &FloatData) -> Result<Vec<u8>> {
+    let payload = codec.compress(data)?;
+    let back = codec.decompress(&payload, data.desc())?;
+    if back.bytes() != data.bytes() {
+        return Err(crate::error::Error::LosslessViolation {
+            codec: codec.info().name.to_string(),
+        });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Domain;
+    use crate::error::Error;
+
+    /// A trivial "store" codec used to exercise the trait plumbing.
+    struct StoreCodec;
+
+    impl Compressor for StoreCodec {
+        fn info(&self) -> CodecInfo {
+            CodecInfo {
+                name: "store",
+                year: 2024,
+                community: Community::General,
+                class: CodecClass::Delta,
+                platform: Platform::Cpu,
+                parallel: false,
+                precisions: PrecisionSupport::Both,
+            }
+        }
+
+        fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+            Ok(data.bytes().to_vec())
+        }
+
+        fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+            FloatData::from_bytes(desc.clone(), payload.to_vec())
+        }
+    }
+
+    /// A deliberately broken codec that loses the last byte.
+    struct LossyCodec;
+
+    impl Compressor for LossyCodec {
+        fn info(&self) -> CodecInfo {
+            CodecInfo {
+                name: "lossy",
+                year: 2024,
+                community: Community::General,
+                class: CodecClass::Delta,
+                platform: Platform::Cpu,
+                parallel: false,
+                precisions: PrecisionSupport::Both,
+            }
+        }
+
+        fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+            Ok(data.bytes().to_vec())
+        }
+
+        fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+            let mut bytes = payload.to_vec();
+            if let Some(last) = bytes.last_mut() {
+                *last ^= 0xFF;
+            }
+            FloatData::from_bytes(desc.clone(), bytes)
+        }
+    }
+
+    #[test]
+    fn verified_compression_passes_for_store() {
+        let data = FloatData::from_f32(&[1.0, 2.0, 3.0], vec![3], Domain::Hpc).unwrap();
+        let payload = compress_verified(&StoreCodec, &data).unwrap();
+        assert_eq!(payload, data.bytes());
+    }
+
+    #[test]
+    fn verified_compression_catches_lossy_codec() {
+        let data = FloatData::from_f32(&[1.0, 2.0, 3.0], vec![3], Domain::Hpc).unwrap();
+        let err = compress_verified(&LossyCodec, &data).unwrap_err();
+        assert!(matches!(err, Error::LosslessViolation { .. }));
+    }
+
+    #[test]
+    fn precision_support_logic() {
+        assert!(PrecisionSupport::Both.accepts(Precision::Single));
+        assert!(PrecisionSupport::Both.accepts(Precision::Double));
+        assert!(PrecisionSupport::SingleOnly.accepts(Precision::Single));
+        assert!(!PrecisionSupport::SingleOnly.accepts(Precision::Double));
+        assert!(PrecisionSupport::DoubleOnly.accepts(Precision::Double));
+        assert!(!PrecisionSupport::DoubleOnly.accepts(Precision::Single));
+    }
+
+    #[test]
+    fn op_profile_intensities() {
+        let p = OpProfile { int_ops: 100, float_ops: 50, bytes_moved: 200 };
+        assert!((p.int_intensity() - 0.5).abs() < 1e-12);
+        assert!((p.float_intensity() - 0.25).abs() < 1e-12);
+        let z = OpProfile::default();
+        assert_eq!(z.int_intensity(), 0.0);
+        assert_eq!(z.float_intensity(), 0.0);
+    }
+
+    #[test]
+    fn aux_time_totals() {
+        let a = AuxTime { h2d_seconds: 0.25, d2h_seconds: 0.5 };
+        assert!((a.total() - 0.75).abs() < 1e-12);
+        assert_eq!(AuxTime::default().total(), 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CodecClass::Lorenzo.label(), "LORENZO");
+        assert_eq!(CodecClass::Dictionary.label(), "DICTIONARY");
+        assert_eq!(Platform::Cpu.label(), "CPU");
+        assert_eq!(Platform::Gpu.label(), "GPU");
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types shared by every FCBench-rs crate.
+
+use std::fmt;
+
+/// Errors that can occur while compressing, decompressing, or framing data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The compressed stream is malformed or truncated.
+    Corrupt(String),
+    /// The codec does not support the requested precision
+    /// (e.g. pFPC and GFC are double-only, per Table 1 of the paper).
+    UnsupportedPrecision {
+        codec: &'static str,
+        precision: crate::data::Precision,
+    },
+    /// The data description is inconsistent (dims product != element count,
+    /// byte length not a multiple of the element size, ...).
+    BadDescriptor(String),
+    /// The input violates a codec-specific constraint
+    /// (e.g. GFC's 512 MB input limit, BUFF's precision table bounds).
+    Unsupported(String),
+    /// Decompressed output did not match the original input byte-for-byte.
+    LosslessViolation { codec: String },
+    /// An I/O error from the on-disk container (message only, to stay `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Corrupt(msg) => write!(f, "corrupt compressed stream: {msg}"),
+            Error::UnsupportedPrecision { codec, precision } => {
+                write!(f, "codec {codec} does not support {precision:?} precision")
+            }
+            Error::BadDescriptor(msg) => write!(f, "bad data descriptor: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported input: {msg}"),
+            Error::LosslessViolation { codec } => {
+                write!(f, "codec {codec} violated losslessness (round-trip mismatch)")
+            }
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Precision;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::Corrupt("truncated header".into());
+        assert!(e.to_string().contains("truncated header"));
+
+        let e = Error::UnsupportedPrecision {
+            codec: "gfc",
+            precision: Precision::Single,
+        };
+        assert!(e.to_string().contains("gfc"));
+        assert!(e.to_string().contains("Single"));
+
+        let e = Error::LosslessViolation { codec: "spdp".into() };
+        assert!(e.to_string().contains("spdp"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("missing file"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Self-describing container frame wrapped around every compressed payload.
+//!
+//! The frame carries everything needed to decompress without out-of-band
+//! metadata: codec name, precision, dimensional extent, domain tag, and the
+//! original byte length. Layout (all integers little-endian):
+//!
+//! ```text
+//! magic            4 bytes  "FCB1"
+//! codec name len   1 byte   n
+//! codec name       n bytes  UTF-8
+//! precision        1 byte   0 = single, 1 = double
+//! domain           1 byte   0 = HPC, 1 = TS, 2 = OBS, 3 = DB
+//! ndims            1 byte   d  (1..=255)
+//! dims             8*d bytes
+//! payload len      8 bytes
+//! payload          ...
+//! ```
+
+use crate::data::{DataDesc, Domain, FloatData, Precision};
+use crate::error::{Error, Result};
+
+const MAGIC: &[u8; 4] = b"FCB1";
+
+/// Encode a frame around `payload` for data described by `desc`,
+/// compressed by codec `name`.
+pub fn encode_frame(name: &str, desc: &DataDesc, payload: &[u8]) -> Vec<u8> {
+    let name_bytes = name.as_bytes();
+    assert!(name_bytes.len() <= 255, "codec name too long");
+    assert!(desc.dims.len() <= 255, "too many dimensions");
+
+    let mut out = Vec::with_capacity(4 + 1 + name_bytes.len() + 3 + 8 * desc.dims.len() + 8 + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.push(name_bytes.len() as u8);
+    out.extend_from_slice(name_bytes);
+    out.push(match desc.precision {
+        Precision::Single => 0,
+        Precision::Double => 1,
+    });
+    out.push(match desc.domain {
+        Domain::Hpc => 0,
+        Domain::TimeSeries => 1,
+        Domain::Observation => 2,
+        Domain::Database => 3,
+    });
+    out.push(desc.dims.len() as u8);
+    for &d in &desc.dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A decoded frame: codec name, data descriptor, and borrowed payload.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Frame<'a> {
+    pub codec: String,
+    pub desc: DataDesc,
+    pub payload: &'a [u8],
+}
+
+/// Decode a frame produced by [`encode_frame`].
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame<'_>> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        if *pos + n > bytes.len() {
+            return Err(Error::Corrupt(format!(
+                "frame truncated at offset {} (wanted {} more bytes of {})",
+                pos, n, bytes.len()
+            )));
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+
+    let magic = take(&mut pos, 4)?;
+    if magic != MAGIC {
+        return Err(Error::Corrupt("bad magic (expected FCB1)".into()));
+    }
+    let name_len = take(&mut pos, 1)?[0] as usize;
+    let name_bytes = take(&mut pos, name_len)?;
+    let codec = std::str::from_utf8(name_bytes)
+        .map_err(|_| Error::Corrupt("codec name is not UTF-8".into()))?
+        .to_string();
+
+    let precision = match take(&mut pos, 1)?[0] {
+        0 => Precision::Single,
+        1 => Precision::Double,
+        b => return Err(Error::Corrupt(format!("bad precision byte {b}"))),
+    };
+    let domain = match take(&mut pos, 1)?[0] {
+        0 => Domain::Hpc,
+        1 => Domain::TimeSeries,
+        2 => Domain::Observation,
+        3 => Domain::Database,
+        b => return Err(Error::Corrupt(format!("bad domain byte {b}"))),
+    };
+    let ndims = take(&mut pos, 1)?[0] as usize;
+    if ndims == 0 {
+        return Err(Error::Corrupt("frame has zero dimensions".into()));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let d = take(&mut pos, 8)?;
+        let v = u64::from_le_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]]) as usize;
+        if v == 0 {
+            return Err(Error::Corrupt("frame has a zero-extent dimension".into()));
+        }
+        dims.push(v);
+    }
+    let plen_bytes = take(&mut pos, 8)?;
+    let plen = u64::from_le_bytes([
+        plen_bytes[0], plen_bytes[1], plen_bytes[2], plen_bytes[3],
+        plen_bytes[4], plen_bytes[5], plen_bytes[6], plen_bytes[7],
+    ]) as usize;
+    let payload = take(&mut pos, plen)?;
+    if pos != bytes.len() {
+        return Err(Error::Corrupt(format!(
+            "{} trailing bytes after payload",
+            bytes.len() - pos
+        )));
+    }
+
+    let desc = DataDesc::new(precision, dims, domain)?;
+    Ok(Frame { codec, desc, payload })
+}
+
+/// Compress `data` with `codec` and wrap the result in a frame.
+pub fn compress_framed(
+    codec: &dyn crate::codec::Compressor,
+    data: &FloatData,
+) -> Result<Vec<u8>> {
+    let payload = codec.compress(data)?;
+    Ok(encode_frame(codec.info().name, data.desc(), &payload))
+}
+
+/// Decode a frame and decompress it with `codec`, checking the codec name.
+pub fn decompress_framed(
+    codec: &dyn crate::codec::Compressor,
+    bytes: &[u8],
+) -> Result<FloatData> {
+    let frame = decode_frame(bytes)?;
+    if frame.codec != codec.info().name {
+        return Err(Error::Corrupt(format!(
+            "frame was written by codec {:?} but {:?} was asked to decode it",
+            frame.codec,
+            codec.info().name
+        )));
+    }
+    codec.decompress(frame.payload, &frame.desc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc() -> DataDesc {
+        DataDesc::new(Precision::Double, vec![3, 5], Domain::TimeSeries).unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let payload = vec![1u8, 2, 3, 4, 5];
+        let framed = encode_frame("gorilla", &desc(), &payload);
+        let frame = decode_frame(&framed).unwrap();
+        assert_eq!(frame.codec, "gorilla");
+        assert_eq!(frame.desc, desc());
+        assert_eq!(frame.payload, &payload[..]);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let framed = encode_frame("x", &desc(), &[]);
+        let frame = decode_frame(&framed).unwrap();
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut framed = encode_frame("x", &desc(), &[1, 2, 3]);
+        framed[0] = b'Z';
+        assert!(matches!(decode_frame(&framed), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let framed = encode_frame("gorilla", &desc(), &[9u8; 32]);
+        for cut in 0..framed.len() {
+            assert!(
+                decode_frame(&framed[..cut]).is_err(),
+                "truncation to {cut} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut framed = encode_frame("x", &desc(), &[1, 2, 3]);
+        framed.push(0xAA);
+        assert!(matches!(decode_frame(&framed), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_bad_precision_and_domain_bytes() {
+        let framed = encode_frame("x", &desc(), &[]);
+        // precision byte sits right after magic + name-len + name
+        let ppos = 4 + 1 + 1;
+        let mut bad = framed.clone();
+        bad[ppos] = 9;
+        assert!(decode_frame(&bad).is_err());
+        let mut bad = framed.clone();
+        bad[ppos + 1] = 9;
+        assert!(decode_frame(&bad).is_err());
+    }
+
+    #[test]
+    fn all_domains_and_precisions_encode() {
+        for domain in Domain::ALL {
+            for precision in [Precision::Single, Precision::Double] {
+                let d = DataDesc::new(precision, vec![2, 2, 2], domain).unwrap();
+                let framed = encode_frame("c", &d, &[0xFF]);
+                let frame = decode_frame(&framed).unwrap();
+                assert_eq!(frame.desc.domain, domain);
+                assert_eq!(frame.desc.precision, precision);
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # fcbench-core
+//!
+//! Core abstractions for **FCBench-rs**, a pure-Rust reproduction of
+//! *"FCBench: Cross-Domain Benchmarking of Lossless Compression for
+//! Floating-Point Data"* (VLDB 2024).
+//!
+//! This crate defines:
+//!
+//! - the floating-point [data model](data) (precision, domain, shape);
+//! - the [`Compressor`](codec::Compressor) trait with the Table 1 taxonomy;
+//! - the self-describing [frame](frame) container;
+//! - the paper's [metrics](metrics) (CR/CT/DT, harmonic/arithmetic means);
+//! - the benchmark [run matrix](runner) (codecs × datasets);
+//! - [boxplot & group summaries](summary) for Figures 5–6;
+//! - [block/page compression](blocks) for the Table 10 experiment;
+//! - the [thread-scaling harness](scaling) for Tables 7–8.
+//!
+//! Compressor implementations live in `fcbench-codecs-cpu`,
+//! `fcbench-codecs-gpu`, and `fcbench-dzip`; everything here is
+//! codec-agnostic.
+
+pub mod blocks;
+pub mod codec;
+pub mod data;
+pub mod error;
+pub mod frame;
+pub mod metrics;
+pub mod runner;
+pub mod scaling;
+pub mod summary;
+
+pub use codec::{
+    AuxTime, CodecClass, CodecInfo, Community, Compressor, OpProfile, Platform, PrecisionSupport,
+};
+pub use data::{DataDesc, Domain, FloatData, Precision};
+pub use error::{Error, Result};
+pub use metrics::Measurement;
+pub use runner::{run_cell, run_matrix, CellOutcome, NamedData, RunConfig, RunMatrix};

@@ -1,0 +1,221 @@
+//! Evaluation metrics from §5.2 of the paper:
+//!
+//! ```text
+//! CR = orig_size / comp_size
+//! CT = orig_size / comp_time
+//! DT = orig_size / decomp_time
+//! ```
+//!
+//! plus the aggregation rules the paper uses: harmonic mean for compression
+//! ratios, arithmetic mean for throughputs.
+
+/// One measured compression + decompression run of a codec on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Original (uncompressed) size in bytes.
+    pub orig_bytes: u64,
+    /// Compressed size in bytes (including nothing but the codec payload).
+    pub comp_bytes: u64,
+    /// Wall-clock compression time in seconds (kernel only, I/O excluded).
+    pub comp_seconds: f64,
+    /// Wall-clock decompression time in seconds.
+    pub decomp_seconds: f64,
+    /// Modelled host→device + device→host transfer seconds during compression
+    /// (zero for CPU codecs). Included in end-to-end wall time (Table 6).
+    pub comp_transfer_seconds: f64,
+    /// Modelled transfer seconds during decompression.
+    pub decomp_transfer_seconds: f64,
+}
+
+impl Measurement {
+    /// Compression ratio `orig/comp`. Ratios below 1.0 mean expansion —
+    /// the paper reports these too (e.g. BUFF 0.64 on rsim).
+    #[inline]
+    pub fn compression_ratio(&self) -> f64 {
+        self.orig_bytes as f64 / self.comp_bytes.max(1) as f64
+    }
+
+    /// Compression throughput in GB/s (decimal GB, as in the paper).
+    #[inline]
+    pub fn compression_throughput_gbs(&self) -> f64 {
+        self.orig_bytes as f64 / self.comp_seconds.max(f64::MIN_POSITIVE) / 1e9
+    }
+
+    /// Decompression throughput in GB/s.
+    #[inline]
+    pub fn decompression_throughput_gbs(&self) -> f64 {
+        self.orig_bytes as f64 / self.decomp_seconds.max(f64::MIN_POSITIVE) / 1e9
+    }
+
+    /// End-to-end compression wall time in seconds, including modelled
+    /// host↔device transfers (Table 6).
+    #[inline]
+    pub fn e2e_comp_seconds(&self) -> f64 {
+        self.comp_seconds + self.comp_transfer_seconds
+    }
+
+    /// End-to-end decompression wall time in seconds.
+    #[inline]
+    pub fn e2e_decomp_seconds(&self) -> f64 {
+        self.decomp_seconds + self.decomp_transfer_seconds
+    }
+
+    /// The paper's Figure 9 ratio `rD = (CT - DT) / CT`; positive means
+    /// compression is faster than decompression.
+    pub fn r_d(&self) -> f64 {
+        let ct = self.compression_throughput_gbs();
+        let dt = self.decompression_throughput_gbs();
+        if ct == 0.0 {
+            0.0
+        } else {
+            (ct - dt) / ct
+        }
+    }
+
+    /// Merge repeated measurements of the same configuration by averaging
+    /// times and keeping sizes (the paper repeats each run 10×, §5.2).
+    pub fn average_of(runs: &[Measurement]) -> Option<Measurement> {
+        if runs.is_empty() {
+            return None;
+        }
+        let n = runs.len() as f64;
+        Some(Measurement {
+            orig_bytes: runs[0].orig_bytes,
+            comp_bytes: runs[0].comp_bytes,
+            comp_seconds: runs.iter().map(|m| m.comp_seconds).sum::<f64>() / n,
+            decomp_seconds: runs.iter().map(|m| m.decomp_seconds).sum::<f64>() / n,
+            comp_transfer_seconds: runs.iter().map(|m| m.comp_transfer_seconds).sum::<f64>() / n,
+            decomp_transfer_seconds: runs.iter().map(|m| m.decomp_transfer_seconds).sum::<f64>()
+                / n,
+        })
+    }
+}
+
+/// Harmonic mean — the paper's aggregation for compression ratios (§5.2).
+/// Returns `None` for an empty slice; non-positive entries are rejected.
+pub fn harmonic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let recip_sum: f64 = values.iter().map(|v| 1.0 / v).sum();
+    Some(values.len() as f64 / recip_sum)
+}
+
+/// Arithmetic mean — the paper's aggregation for throughputs (§5.2).
+pub fn arithmetic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Median of a sample (averaging the two central order statistics).
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = sorted.len();
+    Some(if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    })
+}
+
+/// Linear-interpolation quantile (type-7, as NumPy's default), `q` in `[0,1]`.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas() -> Measurement {
+        Measurement {
+            orig_bytes: 1_000_000_000,
+            comp_bytes: 500_000_000,
+            comp_seconds: 2.0,
+            decomp_seconds: 1.0,
+            comp_transfer_seconds: 0.5,
+            decomp_transfer_seconds: 0.25,
+        }
+    }
+
+    #[test]
+    fn ratio_and_throughputs() {
+        let m = meas();
+        assert!((m.compression_ratio() - 2.0).abs() < 1e-12);
+        assert!((m.compression_throughput_gbs() - 0.5).abs() < 1e-12);
+        assert!((m.decompression_throughput_gbs() - 1.0).abs() < 1e-12);
+        assert!((m.e2e_comp_seconds() - 2.5).abs() < 1e-12);
+        assert!((m.e2e_decomp_seconds() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_d_sign_convention() {
+        // Decompression faster than compression => rD negative? No:
+        // rD = (CT - DT)/CT; DT > CT gives negative rD, matching the paper
+        // where nvcomp::LZ4 has rD = -18.64.
+        let m = meas();
+        assert!(m.r_d() < 0.0);
+        let balanced = Measurement { decomp_seconds: 2.0, ..meas() };
+        assert!(balanced.r_d().abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_comp_bytes_does_not_divide_by_zero() {
+        let m = Measurement { comp_bytes: 0, ..meas() };
+        assert!(m.compression_ratio().is_finite());
+    }
+
+    #[test]
+    fn average_of_runs() {
+        let a = meas();
+        let b = Measurement { comp_seconds: 4.0, decomp_seconds: 3.0, ..meas() };
+        let avg = Measurement::average_of(&[a, b]).unwrap();
+        assert!((avg.comp_seconds - 3.0).abs() < 1e-12);
+        assert!((avg.decomp_seconds - 2.0).abs() < 1e-12);
+        assert!(Measurement::average_of(&[]).is_none());
+    }
+
+    #[test]
+    fn harmonic_mean_matches_hand_computation() {
+        // HM of 1, 2, 4 = 3 / (1 + 0.5 + 0.25) = 12/7
+        let hm = harmonic_mean(&[1.0, 2.0, 4.0]).unwrap();
+        assert!((hm - 12.0 / 7.0).abs() < 1e-12);
+        assert!(harmonic_mean(&[]).is_none());
+        assert!(harmonic_mean(&[1.0, 0.0]).is_none());
+        assert!(harmonic_mean(&[1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn harmonic_mean_le_arithmetic_mean() {
+        let vals = [1.2, 3.4, 0.9, 2.2, 8.8];
+        let hm = harmonic_mean(&vals).unwrap();
+        let am = arithmetic_mean(&vals).unwrap();
+        assert!(hm <= am);
+    }
+
+    #[test]
+    fn median_and_quantiles() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+        assert!(median(&[]).is_none());
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 1.0).unwrap(), 4.0);
+        assert!((quantile(&[1.0, 2.0, 3.0, 4.0], 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!(quantile(&[1.0], 1.5).is_none());
+    }
+}

@@ -1,0 +1,307 @@
+//! The benchmark run matrix: codecs × datasets → measurements.
+//!
+//! This is the engine behind Table 4 (compression ratios), Table 5 /
+//! Figure 8 (throughputs), Table 6 (end-to-end wall time) and the inputs to
+//! the Friedman ranking (Figure 7b). Runs that fail (a codec rejecting a
+//! precision, or a runtime error — the paper reports 2.0% CPU / 7.3% GPU
+//! failures, Observation 2) are recorded as [`CellOutcome::Failed`] and the
+//! cell is excluded from aggregates, mirroring the dashes in Table 4.
+
+use crate::codec::Compressor;
+use crate::data::FloatData;
+use crate::error::Error;
+use crate::metrics::Measurement;
+use std::time::Instant;
+
+/// A named dataset instance handed to the runner.
+pub struct NamedData {
+    pub name: String,
+    pub data: FloatData,
+}
+
+impl NamedData {
+    pub fn new(name: impl Into<String>, data: FloatData) -> Self {
+        NamedData { name: name.into(), data }
+    }
+}
+
+/// Outcome of one (codec, dataset) cell.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// Codec round-tripped the data losslessly; measurement attached.
+    Ok(Measurement),
+    /// The codec refused or crashed on this input (paper's "-" cells).
+    Failed(String),
+}
+
+impl CellOutcome {
+    /// The measurement, if the run succeeded.
+    pub fn measurement(&self) -> Option<&Measurement> {
+        match self {
+            CellOutcome::Ok(m) => Some(m),
+            CellOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The compression ratio, if the run succeeded.
+    pub fn ratio(&self) -> Option<f64> {
+        self.measurement().map(|m| m.compression_ratio())
+    }
+}
+
+/// Full result matrix of a benchmark campaign.
+pub struct RunMatrix {
+    /// Codec names, row order.
+    pub codecs: Vec<String>,
+    /// Dataset names, column order.
+    pub datasets: Vec<String>,
+    /// `cells[codec_idx][dataset_idx]`.
+    pub cells: Vec<Vec<CellOutcome>>,
+}
+
+impl RunMatrix {
+    /// Look up a cell by names.
+    pub fn cell(&self, codec: &str, dataset: &str) -> Option<&CellOutcome> {
+        let ci = self.codecs.iter().position(|c| c == codec)?;
+        let di = self.datasets.iter().position(|d| d == dataset)?;
+        Some(&self.cells[ci][di])
+    }
+
+    /// All successful compression ratios for one codec, column-ordered.
+    pub fn ratios_for_codec(&self, codec: &str) -> Vec<f64> {
+        let Some(ci) = self.codecs.iter().position(|c| c == codec) else {
+            return Vec::new();
+        };
+        self.cells[ci].iter().filter_map(|c| c.ratio()).collect()
+    }
+
+    /// Every successful ratio in the matrix (Figure 5 input).
+    pub fn all_ratios(&self) -> Vec<f64> {
+        self.cells
+            .iter()
+            .flat_map(|row| row.iter().filter_map(|c| c.ratio()))
+            .collect()
+    }
+
+    /// Fraction of failed cells for a set of codec names (Observation 2's
+    /// robustness comparison: "2.0% of CPU experiments incurred runtime
+    /// errors, while 7.3% of the GPU experiments were killed").
+    pub fn failure_rate(&self, codec_names: &[&str]) -> f64 {
+        let mut total = 0usize;
+        let mut failed = 0usize;
+        for (ci, codec) in self.codecs.iter().enumerate() {
+            if !codec_names.contains(&codec.as_str()) {
+                continue;
+            }
+            for cell in &self.cells[ci] {
+                total += 1;
+                if matches!(cell, CellOutcome::Failed(_)) {
+                    failed += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            failed as f64 / total as f64
+        }
+    }
+
+    /// The ratio matrix restricted to datasets where *every* listed codec
+    /// succeeded — the complete-cases input required by the Friedman test.
+    /// Returns (dataset names, rows per codec in `codec_names` order).
+    pub fn complete_ratio_rows(&self, codec_names: &[&str]) -> (Vec<String>, Vec<Vec<f64>>) {
+        let idxs: Vec<usize> = codec_names
+            .iter()
+            .filter_map(|n| self.codecs.iter().position(|c| c == n))
+            .collect();
+        let mut kept_datasets = Vec::new();
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); idxs.len()];
+        'data: for (di, dname) in self.datasets.iter().enumerate() {
+            let mut col = Vec::with_capacity(idxs.len());
+            for &ci in &idxs {
+                match self.cells[ci][di].ratio() {
+                    Some(r) => col.push(r),
+                    None => continue 'data,
+                }
+            }
+            kept_datasets.push(dname.clone());
+            for (k, r) in col.into_iter().enumerate() {
+                rows[k].push(r);
+            }
+        }
+        (kept_datasets, rows)
+    }
+}
+
+/// Configuration for a campaign run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Timed repetitions per cell; times are averaged (paper uses 10).
+    pub repetitions: usize,
+    /// Verify losslessness on every repetition (always on for tests; the
+    /// harness keeps it on — the check is cheap relative to compression).
+    pub verify: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { repetitions: 1, verify: true }
+    }
+}
+
+/// Run one codec over one dataset, timing compression and decompression.
+pub fn run_cell(codec: &dyn Compressor, data: &FloatData, cfg: RunConfig) -> CellOutcome {
+    let info = codec.info();
+    if !info.precisions.accepts(data.desc().precision) {
+        return CellOutcome::Failed(format!(
+            "{} does not support {:?}",
+            info.name,
+            data.desc().precision
+        ));
+    }
+
+    let mut runs = Vec::with_capacity(cfg.repetitions.max(1));
+    for _ in 0..cfg.repetitions.max(1) {
+        let t0 = Instant::now();
+        let payload = match codec.compress(data) {
+            Ok(p) => p,
+            Err(e) => return CellOutcome::Failed(e.to_string()),
+        };
+        let comp_seconds = t0.elapsed().as_secs_f64();
+        let comp_aux = codec.last_aux_time();
+
+        let t1 = Instant::now();
+        let back = match codec.decompress(&payload, data.desc()) {
+            Ok(d) => d,
+            Err(e) => return CellOutcome::Failed(e.to_string()),
+        };
+        let decomp_seconds = t1.elapsed().as_secs_f64();
+        let decomp_aux = codec.last_aux_time();
+
+        if cfg.verify && back.bytes() != data.bytes() {
+            return CellOutcome::Failed(
+                Error::LosslessViolation { codec: info.name.to_string() }.to_string(),
+            );
+        }
+        runs.push(Measurement {
+            orig_bytes: data.bytes().len() as u64,
+            comp_bytes: payload.len() as u64,
+            comp_seconds,
+            decomp_seconds,
+            comp_transfer_seconds: comp_aux.total(),
+            decomp_transfer_seconds: decomp_aux.total(),
+        });
+    }
+    CellOutcome::Ok(Measurement::average_of(&runs).expect("at least one repetition"))
+}
+
+/// Run the full codec × dataset matrix.
+pub fn run_matrix(
+    codecs: &[&dyn Compressor],
+    datasets: &[NamedData],
+    cfg: RunConfig,
+) -> RunMatrix {
+    let mut cells = Vec::with_capacity(codecs.len());
+    for codec in codecs {
+        let mut row = Vec::with_capacity(datasets.len());
+        for ds in datasets {
+            row.push(run_cell(*codec, &ds.data, cfg));
+        }
+        cells.push(row);
+    }
+    RunMatrix {
+        codecs: codecs.iter().map(|c| c.info().name.to_string()).collect(),
+        datasets: datasets.iter().map(|d| d.name.clone()).collect(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
+    use crate::data::{DataDesc, Domain};
+    use crate::error::Result;
+
+    struct StoreCodec(&'static str, PrecisionSupport);
+
+    impl Compressor for StoreCodec {
+        fn info(&self) -> CodecInfo {
+            CodecInfo {
+                name: self.0,
+                year: 2024,
+                community: Community::General,
+                class: CodecClass::Delta,
+                platform: Platform::Cpu,
+                parallel: false,
+                precisions: self.1,
+            }
+        }
+        fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+            Ok(data.bytes().to_vec())
+        }
+        fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+            FloatData::from_bytes(desc.clone(), payload.to_vec())
+        }
+    }
+
+    fn datasets() -> Vec<NamedData> {
+        vec![
+            NamedData::new(
+                "single",
+                FloatData::from_f32(&[1.0, 2.0, 3.0, 4.0], vec![4], Domain::Hpc).unwrap(),
+            ),
+            NamedData::new(
+                "double",
+                FloatData::from_f64(&[1.0, 2.0], vec![2], Domain::Database).unwrap(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn matrix_shape_and_lookup() {
+        let a = StoreCodec("a", PrecisionSupport::Both);
+        let b = StoreCodec("b", PrecisionSupport::DoubleOnly);
+        let m = run_matrix(&[&a, &b], &datasets(), RunConfig::default());
+        assert_eq!(m.codecs, vec!["a", "b"]);
+        assert_eq!(m.datasets, vec!["single", "double"]);
+        assert!(m.cell("a", "single").unwrap().ratio().is_some());
+        // b rejects single precision => Failed cell, like the paper's dashes.
+        assert!(matches!(m.cell("b", "single").unwrap(), CellOutcome::Failed(_)));
+        assert!(m.cell("b", "double").unwrap().ratio().is_some());
+        assert!(m.cell("zz", "single").is_none());
+    }
+
+    #[test]
+    fn failure_rate_counts_only_requested_codecs() {
+        let a = StoreCodec("a", PrecisionSupport::Both);
+        let b = StoreCodec("b", PrecisionSupport::DoubleOnly);
+        let m = run_matrix(&[&a, &b], &datasets(), RunConfig::default());
+        assert_eq!(m.failure_rate(&["a"]), 0.0);
+        assert!((m.failure_rate(&["b"]) - 0.5).abs() < 1e-12);
+        assert!((m.failure_rate(&["a", "b"]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_rows_drop_failed_datasets() {
+        let a = StoreCodec("a", PrecisionSupport::Both);
+        let b = StoreCodec("b", PrecisionSupport::DoubleOnly);
+        let m = run_matrix(&[&a, &b], &datasets(), RunConfig::default());
+        let (kept, rows) = m.complete_ratio_rows(&["a", "b"]);
+        assert_eq!(kept, vec!["double"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 1);
+    }
+
+    #[test]
+    fn store_codec_ratio_is_one() {
+        let a = StoreCodec("a", PrecisionSupport::Both);
+        let m = run_matrix(&[&a], &datasets(), RunConfig { repetitions: 3, verify: true });
+        let r = m.cell("a", "single").unwrap().ratio().unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        assert_eq!(m.all_ratios().len(), 2);
+        assert_eq!(m.ratios_for_codec("a").len(), 2);
+        assert!(m.ratios_for_codec("nope").is_empty());
+    }
+}

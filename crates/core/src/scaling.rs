@@ -1,0 +1,187 @@
+//! Parallel-scalability harness (§6.1.6, Tables 7 & 8).
+//!
+//! The paper sweeps thread counts 1–48 for the four thread-capable CPU
+//! methods and reports throughput, speedup over single-threaded, and
+//! parallel efficiency. This module drives any factory of thread-configured
+//! codecs through that sweep.
+
+use crate::codec::Compressor;
+use crate::data::FloatData;
+use crate::error::Result;
+use std::time::Instant;
+
+/// The thread counts reported in Tables 7–8.
+pub const PAPER_THREAD_COUNTS: [usize; 8] = [1, 2, 4, 8, 16, 24, 32, 48];
+
+/// One row of a scalability table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    pub threads: usize,
+    /// Throughput in MB/s (decimal), matching the tables' units.
+    pub mb_per_s: f64,
+    /// Speedup over the single-thread point.
+    pub speedup: f64,
+    /// Parallel efficiency = speedup / threads.
+    pub efficiency: f64,
+}
+
+/// Scalability sweep result for one codec and one direction.
+#[derive(Debug, Clone)]
+pub struct ScalingCurve {
+    pub codec: String,
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingCurve {
+    /// The thread count with peak throughput (paper: 16–24 for most codecs,
+    /// after which oversubscription degrades it).
+    pub fn peak(&self) -> Option<&ScalingPoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.mb_per_s.partial_cmp(&b.mb_per_s).expect("finite throughputs"))
+    }
+}
+
+/// Which direction to time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Compress,
+    Decompress,
+}
+
+/// Sweep `factory(threads)` over `thread_counts`, timing the requested
+/// direction on `data` with `reps` repetitions (fastest rep is kept, which
+/// is standard practice for throughput curves).
+pub fn scaling_sweep<F>(
+    factory: F,
+    data: &FloatData,
+    thread_counts: &[usize],
+    direction: Direction,
+    reps: usize,
+) -> Result<ScalingCurve>
+where
+    F: Fn(usize) -> Box<dyn Compressor>,
+{
+    assert!(!thread_counts.is_empty());
+    let mut name = String::new();
+    let mut raw: Vec<(usize, f64)> = Vec::with_capacity(thread_counts.len());
+
+    for &t in thread_counts {
+        let codec = factory(t);
+        name = codec.info().name.to_string();
+        let payload = codec.compress(data)?;
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let secs = match direction {
+                Direction::Compress => {
+                    let t0 = Instant::now();
+                    let p = codec.compress(data)?;
+                    let s = t0.elapsed().as_secs_f64();
+                    std::hint::black_box(p.len());
+                    s
+                }
+                Direction::Decompress => {
+                    let t0 = Instant::now();
+                    let d = codec.decompress(&payload, data.desc())?;
+                    let s = t0.elapsed().as_secs_f64();
+                    std::hint::black_box(d.bytes().len());
+                    s
+                }
+            };
+            best = best.min(secs);
+        }
+        let mbps = data.bytes().len() as f64 / best.max(f64::MIN_POSITIVE) / 1e6;
+        raw.push((t, mbps));
+    }
+
+    let base = raw[0].1.max(f64::MIN_POSITIVE);
+    let points = raw
+        .into_iter()
+        .map(|(threads, mb_per_s)| ScalingPoint {
+            threads,
+            mb_per_s,
+            speedup: mb_per_s / base,
+            efficiency: mb_per_s / base / threads as f64,
+        })
+        .collect();
+    Ok(ScalingCurve { codec: name, points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
+    use crate::data::{DataDesc, Domain};
+
+    /// Codec whose compression does `work / threads` spins, simulating
+    /// perfect linear scaling.
+    struct SpinCodec {
+        threads: usize,
+    }
+
+    impl Compressor for SpinCodec {
+        fn info(&self) -> CodecInfo {
+            CodecInfo {
+                name: "spin",
+                year: 2024,
+                community: Community::General,
+                class: CodecClass::Delta,
+                platform: Platform::Cpu,
+                parallel: true,
+                precisions: PrecisionSupport::Both,
+            }
+        }
+        fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+            let spins = 2_000_000 / self.threads;
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            }
+            std::hint::black_box(acc);
+            Ok(data.bytes().to_vec())
+        }
+        fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+            FloatData::from_bytes(desc.clone(), payload.to_vec())
+        }
+    }
+
+    #[test]
+    fn sweep_reports_speedup_over_base() {
+        let data = FloatData::from_f32(&[0.0; 64], vec![64], Domain::Hpc).unwrap();
+        let curve = scaling_sweep(
+            |t| Box::new(SpinCodec { threads: t }),
+            &data,
+            &[1, 4],
+            Direction::Compress,
+            3,
+        )
+        .unwrap();
+        assert_eq!(curve.codec, "spin");
+        assert_eq!(curve.points.len(), 2);
+        assert!((curve.points[0].speedup - 1.0).abs() < 1e-9);
+        // 4 "threads" spin 4x less, so speedup should be well above 1.
+        assert!(curve.points[1].speedup > 1.5, "speedup = {}", curve.points[1].speedup);
+        assert_eq!(curve.peak().unwrap().threads, 4);
+    }
+
+    #[test]
+    fn efficiency_is_speedup_per_thread() {
+        let data = FloatData::from_f32(&[0.0; 16], vec![16], Domain::Hpc).unwrap();
+        let curve = scaling_sweep(
+            |t| Box::new(SpinCodec { threads: t }),
+            &data,
+            &[1, 2],
+            Direction::Decompress,
+            2,
+        )
+        .unwrap();
+        for p in &curve.points {
+            assert!((p.efficiency - p.speedup / p.threads as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_thread_counts() {
+        assert_eq!(PAPER_THREAD_COUNTS, [1, 2, 4, 8, 16, 24, 32, 48]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the core substrate: frames and block containers are
+//! exact inverses, and their decoders reject malformed input gracefully.
+
+use fcbench_core::blocks::BlockCodec;
+use fcbench_core::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
+use fcbench_core::frame::{decode_frame, encode_frame};
+use fcbench_core::{Compressor, DataDesc, Domain, FloatData, Precision, Result};
+use proptest::prelude::*;
+
+/// Trivial store codec used to exercise container plumbing.
+struct Store;
+
+impl Compressor for Store {
+    fn info(&self) -> CodecInfo {
+        CodecInfo {
+            name: "store",
+            year: 2024,
+            community: Community::General,
+            class: CodecClass::Delta,
+            platform: Platform::Cpu,
+            parallel: false,
+            precisions: PrecisionSupport::Both,
+        }
+    }
+    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+        Ok(data.bytes().to_vec())
+    }
+    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+        FloatData::from_bytes(desc.clone(), payload.to_vec())
+    }
+}
+
+fn arb_desc() -> impl Strategy<Value = DataDesc> {
+    (
+        prop::bool::ANY,
+        prop::collection::vec(1usize..20, 1..4),
+        0usize..4,
+    )
+        .prop_map(|(double, dims, dom)| {
+            let precision = if double { Precision::Double } else { Precision::Single };
+            DataDesc::new(precision, dims, Domain::ALL[dom]).expect("nonzero dims")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frames_are_exact_inverses(
+        desc in arb_desc(),
+        payload in prop::collection::vec(any::<u8>(), 0..500),
+        name in "[a-z][a-z0-9-]{0,30}",
+    ) {
+        let framed = encode_frame(&name, &desc, &payload);
+        let frame = decode_frame(&framed).unwrap();
+        prop_assert_eq!(frame.codec, name);
+        prop_assert_eq!(&frame.desc, &desc);
+        prop_assert_eq!(frame.payload, &payload[..]);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    #[test]
+    fn frame_decoder_rejects_every_truncation(
+        desc in arb_desc(),
+        payload in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let framed = encode_frame("codec", &desc, &payload);
+        for cut in 0..framed.len() {
+            prop_assert!(decode_frame(&framed[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn block_container_round_trips_any_shape(
+        desc in arb_desc(),
+        block_bytes in 8usize..512,
+        seed in any::<u64>(),
+    ) {
+        let n = desc.byte_len();
+        let mut x = seed | 1;
+        let bytes: Vec<u8> = (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect();
+        let data = FloatData::from_bytes(desc.clone(), bytes).unwrap();
+        let bc = BlockCodec::new(Store, block_bytes);
+        let payload = bc.compress(&data).unwrap();
+        let back = bc.decompress(&payload, &desc).unwrap();
+        prop_assert_eq!(back.bytes(), data.bytes());
+    }
+
+    #[test]
+    fn block_decoder_never_panics_on_garbage(
+        desc in arb_desc(),
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let bc = BlockCodec::new(Store, 64);
+        if let Ok(out) = bc.decompress(&bytes, &desc) {
+            prop_assert_eq!(out.bytes().len(), desc.byte_len());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Value entropy — the statistic reported in Table 3.
+//!
+//! Shannon entropy over the distribution of element *values* (bit
+//! patterns), in bits. Matches the scale of Table 3: a near-constant
+//! field (astro-mhd) scores ≈ 1; a dataset of N all-distinct values
+//! saturates at log₂ N (astro-pt's 26.32 = log₂ 83.9M); low-precision
+//! decimal series score log₂ of their distinct-value count (citytemp's
+//! 9.43 ≈ 690 distinct temperatures).
+//!
+//! Because synthetic instances are scaled down, a dataset whose original
+//! entropy saturates at log₂ N can only reach log₂ n_scaled here;
+//! [`scaled_target`] applies that cap when validating generators.
+
+use fcbench_core::{FloatData, Precision};
+use std::collections::HashMap;
+
+/// Shannon entropy (bits) over element bit-pattern frequencies.
+pub fn value_entropy(data: &FloatData) -> f64 {
+    let esize = data.desc().precision.bytes();
+    let bytes = data.bytes();
+    let n = bytes.len() / esize;
+    if n == 0 {
+        return 0.0;
+    }
+    let mut counts: HashMap<u64, u64> = HashMap::with_capacity(n.min(1 << 20));
+    match data.desc().precision {
+        Precision::Double => {
+            for c in bytes.chunks_exact(8) {
+                let w =
+                    u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        Precision::Single => {
+            for c in bytes.chunks_exact(4) {
+                let w = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u64;
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+    }
+    let nf = n as f64;
+    let mut h = 0.0;
+    for &c in counts.values() {
+        let p = c as f64 / nf;
+        h -= p * p.log2();
+    }
+    h
+}
+
+/// The entropy a faithful scaled-down instance should exhibit: the paper's
+/// value capped by the information capacity of `n_scaled` elements.
+pub fn scaled_target(paper_entropy: f64, n_scaled: usize) -> f64 {
+    paper_entropy.min((n_scaled as f64).log2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcbench_core::Domain;
+
+    #[test]
+    fn constant_data_has_zero_entropy() {
+        let data = FloatData::from_f64(&[7.5; 1000], vec![1000], Domain::Hpc).unwrap();
+        assert!(value_entropy(&data) < 1e-9);
+    }
+
+    #[test]
+    fn uniform_two_values_score_one_bit() {
+        let vals: Vec<f32> = (0..10_000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 2.0 })
+            .collect();
+        let data = FloatData::from_f32(&vals, vec![vals.len()], Domain::Hpc).unwrap();
+        let h = value_entropy(&data);
+        assert!((h - 1.0).abs() < 1e-9, "h = {h}");
+    }
+
+    #[test]
+    fn all_distinct_values_saturate_at_log2_n() {
+        let vals: Vec<f64> = (0..4096).map(|i| i as f64 + 0.5).collect();
+        let data = FloatData::from_f64(&vals, vec![4096], Domain::Hpc).unwrap();
+        let h = value_entropy(&data);
+        assert!((h - 12.0).abs() < 1e-9, "h = {h}");
+    }
+
+    #[test]
+    fn skew_lowers_entropy() {
+        // 90% zeros, 10% spread over 1000 values.
+        let mut vals = vec![0.0f64; 9000];
+        vals.extend((0..1000).map(|i| 1.0 + i as f64));
+        let data = FloatData::from_f64(&vals, vec![vals.len()], Domain::Hpc).unwrap();
+        let h = value_entropy(&data);
+        // H = 0.9*log2(1/0.9) + 1000 * 0.0001*log2(10000) ≈ 0.137 + 1.329
+        assert!(h > 1.0 && h < 2.0, "h = {h}");
+    }
+
+    #[test]
+    fn nan_payloads_count_as_distinct_patterns() {
+        let a = f64::from_bits(0x7FF8_0000_0000_0001);
+        let b = f64::from_bits(0x7FF8_0000_0000_0002);
+        let data = FloatData::from_f64(&[a, b, a, b], vec![4], Domain::Hpc).unwrap();
+        assert!((value_entropy(&data) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_target_caps_at_capacity() {
+        assert_eq!(scaled_target(26.32, 1 << 18), 18.0);
+        assert!((scaled_target(9.43, 1 << 18) - 9.43).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Property tests for the dataset substrate: generation is total,
+//! deterministic, and scale-consistent for every catalog entry.
+
+use fcbench_datasets::{catalog, generate, scaled_target, value_entropy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generation_is_total_and_shape_consistent(
+        which in 0usize..33,
+        target in 512usize..8192,
+    ) {
+        let spec = &catalog()[which];
+        let data = generate(spec, target);
+        prop_assert_eq!(data.desc().precision, spec.precision);
+        prop_assert_eq!(data.desc().domain, spec.domain);
+        prop_assert_eq!(data.desc().ndims(), spec.paper_dims.len());
+        prop_assert_eq!(data.bytes().len(), data.desc().byte_len());
+        // Scaled size lands near the request (dims rounding allowed).
+        let n = data.elements();
+        prop_assert!(n >= target / 8 && n <= target * 4, "{}: {n} vs {target}", spec.name);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_spec(which in 0usize..33) {
+        let spec = &catalog()[which];
+        let a = generate(spec, 2048);
+        let b = generate(spec, 2048);
+        prop_assert_eq!(a.bytes(), b.bytes());
+    }
+
+    #[test]
+    fn entropy_never_exceeds_capacity(which in 0usize..33) {
+        let spec = &catalog()[which];
+        let data = generate(spec, 4096);
+        let h = value_entropy(&data);
+        let cap = (data.elements() as f64).log2();
+        prop_assert!(h <= cap + 1e-9, "{}: H {h} > capacity {cap}", spec.name);
+        prop_assert!(h >= 0.0);
+        // scaled_target is the documented validation bound.
+        let _ = scaled_target(spec.paper_entropy, data.elements());
+    }
+}

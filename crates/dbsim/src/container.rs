@@ -1,0 +1,335 @@
+//! Chunked columnar container — the on-disk half of the paper's simulated
+//! database (§5.1.2, Figure 4).
+//!
+//! Mirrors how HDF5 stores a dataset: data arranged by field (column),
+//! each column split into fixed-element **chunks** (disk pages), each
+//! chunk passed through a compression filter. The reader can fetch and
+//! decompress chunks independently, which is what the Table 11 "read"
+//! primitive measures.
+//!
+//! File layout (little-endian):
+//!
+//! ```text
+//! magic "FCDB"      4 bytes
+//! codec name        u8 len + bytes
+//! column count      u32
+//! per column:
+//!   name            u8 len + bytes
+//!   precision       u8 (0 = f32, 1 = f64)
+//!   rows            u64
+//!   chunk elems     u32
+//!   chunk count     u32
+//!   chunk sizes     u64 × count
+//! column payloads   concatenated chunks
+//! ```
+
+use fcbench_core::{Compressor, DataDesc, Domain, Error, FloatData, Precision, Result};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"FCDB";
+
+/// One column to be written.
+pub struct ColumnData {
+    pub name: String,
+    pub precision: Precision,
+    /// Raw little-endian element bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl ColumnData {
+    pub fn from_f64(name: impl Into<String>, values: &[f64]) -> Self {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        ColumnData { name: name.into(), precision: Precision::Double, bytes }
+    }
+
+    pub fn from_f32(name: impl Into<String>, values: &[f32]) -> Self {
+        let mut bytes = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        ColumnData { name: name.into(), precision: Precision::Single, bytes }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.bytes.len() / self.precision.bytes()
+    }
+}
+
+/// Write `columns` to `path`, compressing each chunk with `codec`.
+/// `chunk_elems` is the page size in elements (the Table 10 variable).
+pub fn write_container(
+    path: &Path,
+    codec: &dyn Compressor,
+    columns: &[ColumnData],
+    chunk_elems: usize,
+) -> Result<()> {
+    assert!(chunk_elems > 0);
+    let mut header = Vec::new();
+    header.extend_from_slice(MAGIC);
+    let codec_name = codec.info().name.as_bytes();
+    header.push(codec_name.len() as u8);
+    header.extend_from_slice(codec_name);
+    header.extend_from_slice(&(columns.len() as u32).to_le_bytes());
+
+    let mut body: Vec<u8> = Vec::new();
+    for col in columns {
+        let esize = col.precision.bytes();
+        let rows = col.rows();
+        let chunk_bytes = chunk_elems * esize;
+        let nchunks = col.bytes.len().div_ceil(chunk_bytes).max(1);
+
+        let name = col.name.as_bytes();
+        header.push(name.len() as u8);
+        header.extend_from_slice(name);
+        header.push(match col.precision {
+            Precision::Single => 0,
+            Precision::Double => 1,
+        });
+        header.extend_from_slice(&(rows as u64).to_le_bytes());
+        header.extend_from_slice(&(chunk_elems as u32).to_le_bytes());
+        header.extend_from_slice(&(nchunks as u32).to_le_bytes());
+
+        let mut sizes = Vec::with_capacity(nchunks);
+        for chunk in col.bytes.chunks(chunk_bytes.max(esize)) {
+            let elems = chunk.len() / esize;
+            let desc = DataDesc::new(col.precision, vec![elems], Domain::Database)?;
+            let data = FloatData::from_bytes(desc, chunk.to_vec())?;
+            let payload = codec.compress(&data)?;
+            sizes.push(payload.len() as u64);
+            body.extend_from_slice(&payload);
+        }
+        for s in sizes {
+            header.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&header)?;
+    f.write_all(&body)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// A column read back from disk (still compressed).
+#[derive(Debug)]
+pub struct CompressedColumn {
+    pub name: String,
+    pub precision: Precision,
+    pub rows: usize,
+    pub chunk_elems: usize,
+    /// Compressed chunk payloads.
+    pub chunks: Vec<Vec<u8>>,
+}
+
+/// A parsed container (I/O done, decode pending).
+#[derive(Debug)]
+pub struct CompressedTable {
+    pub codec_name: String,
+    pub columns: Vec<CompressedColumn>,
+}
+
+/// Read the container file: this is the Table 11 **file I/O** primitive
+/// (bytes land in memory; nothing is decompressed yet).
+pub fn read_container(path: &Path) -> Result<CompressedTable> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    parse_container(&bytes)
+}
+
+fn parse_container(bytes: &[u8]) -> Result<CompressedTable> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        let s = bytes
+            .get(*pos..*pos + n)
+            .ok_or_else(|| Error::Corrupt("container truncated".into()))?;
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(Error::Corrupt("bad container magic".into()));
+    }
+    let nlen = take(&mut pos, 1)?[0] as usize;
+    let codec_name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
+        .map_err(|_| Error::Corrupt("codec name not UTF-8".into()))?;
+    let ncols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+
+    // Header pass: metadata + chunk sizes.
+    struct Meta {
+        name: String,
+        precision: Precision,
+        rows: usize,
+        chunk_elems: usize,
+        sizes: Vec<usize>,
+    }
+    let mut metas = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let nlen = take(&mut pos, 1)?[0] as usize;
+        let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
+            .map_err(|_| Error::Corrupt("column name not UTF-8".into()))?;
+        let precision = match take(&mut pos, 1)?[0] {
+            0 => Precision::Single,
+            1 => Precision::Double,
+            b => return Err(Error::Corrupt(format!("bad precision byte {b}"))),
+        };
+        let rows = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
+        let chunk_elems =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let nchunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        if chunk_elems == 0 || nchunks > rows.max(1) {
+            return Err(Error::Corrupt("implausible chunk layout".into()));
+        }
+        let mut sizes = Vec::with_capacity(nchunks);
+        for _ in 0..nchunks {
+            sizes.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize);
+        }
+        metas.push(Meta { name, precision, rows, chunk_elems, sizes });
+    }
+
+    // Body pass: slice out chunk payloads.
+    let mut columns = Vec::with_capacity(ncols);
+    for m in metas {
+        let mut chunks = Vec::with_capacity(m.sizes.len());
+        for &sz in &m.sizes {
+            chunks.push(take(&mut pos, sz)?.to_vec());
+        }
+        columns.push(CompressedColumn {
+            name: m.name,
+            precision: m.precision,
+            rows: m.rows,
+            chunk_elems: m.chunk_elems,
+            chunks,
+        });
+    }
+    if pos != bytes.len() {
+        return Err(Error::Corrupt("trailing bytes in container".into()));
+    }
+    Ok(CompressedTable { codec_name, columns })
+}
+
+impl CompressedColumn {
+    /// Decode every chunk with `codec` — the Table 11 **decode** primitive.
+    pub fn decode(&self, codec: &dyn Compressor) -> Result<ColumnData> {
+        let esize = self.precision.bytes();
+        let mut bytes = Vec::with_capacity(self.rows * esize);
+        let mut remaining = self.rows;
+        for chunk in &self.chunks {
+            let elems = remaining.min(self.chunk_elems);
+            if elems == 0 {
+                return Err(Error::Corrupt("more chunks than rows".into()));
+            }
+            let desc = DataDesc::new(self.precision, vec![elems], Domain::Database)?;
+            let data = codec.decompress(chunk, &desc)?;
+            bytes.extend_from_slice(data.bytes());
+            remaining -= elems;
+        }
+        if remaining != 0 {
+            return Err(Error::Corrupt("chunks do not cover all rows".into()));
+        }
+        Ok(ColumnData {
+            name: self.name.clone(),
+            precision: self.precision,
+            bytes,
+        })
+    }
+
+    /// Total compressed bytes of this column.
+    pub fn compressed_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcbench_core::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
+
+    struct StoreCodec;
+
+    impl Compressor for StoreCodec {
+        fn info(&self) -> CodecInfo {
+            CodecInfo {
+                name: "store",
+                year: 2024,
+                community: Community::General,
+                class: CodecClass::Delta,
+                platform: Platform::Cpu,
+                parallel: false,
+                precisions: PrecisionSupport::Both,
+            }
+        }
+        fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+            Ok(data.bytes().to_vec())
+        }
+        fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+            FloatData::from_bytes(desc.clone(), payload.to_vec())
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fcbench-dbsim-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn container_round_trip() {
+        let path = tmp("rt");
+        let a: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f32> = (0..500).map(|i| i as f32).collect();
+        let cols = vec![
+            ColumnData::from_f64("price", &a),
+            ColumnData::from_f32("qty", &b),
+        ];
+        write_container(&path, &StoreCodec, &cols, 128).unwrap();
+
+        let table = read_container(&path).unwrap();
+        assert_eq!(table.codec_name, "store");
+        assert_eq!(table.columns.len(), 2);
+        assert_eq!(table.columns[0].rows, 1000);
+        assert_eq!(table.columns[1].rows, 500);
+        // 1000 rows at 128 elems/chunk => 8 chunks.
+        assert_eq!(table.columns[0].chunks.len(), 8);
+
+        let col0 = table.columns[0].decode(&StoreCodec).unwrap();
+        assert_eq!(col0.bytes, cols[0].bytes);
+        let col1 = table.columns[1].decode(&StoreCodec).unwrap();
+        assert_eq!(col1.bytes, cols[1].bytes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ragged_last_chunk() {
+        let path = tmp("ragged");
+        let a: Vec<f64> = (0..130).map(|i| i as f64).collect();
+        write_container(&path, &StoreCodec, &[ColumnData::from_f64("x", &a)], 64).unwrap();
+        let table = read_container(&path).unwrap();
+        assert_eq!(table.columns[0].chunks.len(), 3); // 64 + 64 + 2
+        let col = table.columns[0].decode(&StoreCodec).unwrap();
+        assert_eq!(col.rows(), 130);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let path = tmp("corrupt");
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        write_container(&path, &StoreCodec, &[ColumnData::from_f64("x", &a)], 32).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'Z';
+        assert!(parse_container(&bytes).is_err());
+        let good = std::fs::read(&path).unwrap();
+        assert!(parse_container(&good[..good.len() - 1]).is_err());
+        let mut extra = good.clone();
+        extra.push(0);
+        assert!(parse_container(&extra).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_container(Path::new("/nonexistent/fcbench-xyz")).unwrap_err();
+        assert!(matches!(err, Error::Io(_)));
+    }
+}

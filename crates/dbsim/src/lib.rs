@@ -1,0 +1,19 @@
+//! # fcbench-dbsim
+//!
+//! The paper's simulated in-memory database (§5.1.2, Figure 4): an
+//! HDF5-style chunked columnar [container](container) on disk, an
+//! in-memory [dataframe](dataframe) with histogram-driven full-table
+//! scans, and the [three-primitive timer](bench3) (file I/O, decode,
+//! query) behind Table 11 and the block-size study of Table 10.
+//!
+//! As the paper notes, this deliberately oversimplifies a real database —
+//! no joins, no updates — to "bypass the substantial engineering efforts
+//! needed to integrate compressors into an actual database system".
+
+pub mod bench3;
+pub mod container;
+pub mod dataframe;
+
+pub use bench3::{measure_three_primitives, ThreePrimitives};
+pub use container::{read_container, write_container, ColumnData, CompressedColumn, CompressedTable};
+pub use dataframe::{Column, DataFrame};

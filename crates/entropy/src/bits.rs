@@ -1,0 +1,263 @@
+//! MSB-first bit-granular writer and reader.
+//!
+//! These are the backbone of Gorilla/Chimp control-bit streams, BUFF's
+//! padded sub-columns, and the verbatim-bit tails of fpzip/pFPC/GFC.
+
+/// Writes bits MSB-first into a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Free bits remaining in the final byte (0..=8). 0 means byte-aligned.
+    used: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        BitWriter { buf: Vec::new(), used: 0 }
+    }
+
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter { buf: Vec::with_capacity(bytes), used: 0 }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 - self.used as usize
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.buf.push(0);
+            self.used = 8;
+        }
+        self.used -= 1;
+        if bit {
+            let last = self.buf.last_mut().expect("buffer nonempty after push");
+            *last |= 1 << self.used;
+        }
+    }
+
+    /// Append the low `n` bits of `value`, MSB of that field first. `n <= 64`.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        if n < 64 {
+            debug_assert_eq!(value >> n, 0, "value has bits above the field width");
+        }
+        let mut remaining = n;
+        while remaining > 0 {
+            if self.used == 0 {
+                self.buf.push(0);
+                self.used = 8;
+            }
+            let take = remaining.min(self.used);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            let last = self.buf.last_mut().expect("buffer nonempty");
+            *last |= chunk << (self.used - take);
+            self.used -= take;
+            remaining -= take;
+        }
+    }
+
+    /// Pad with zero bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.used = 0;
+    }
+
+    /// Finish, returning the backing bytes (final partial byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far (final partial byte zero-padded).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read one bit; `None` at end of stream.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.buf.len() * 8 {
+            return None;
+        }
+        let byte = self.buf[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Some(bit == 1)
+    }
+
+    /// Read `n` bits (MSB-first) into the low bits of a u64. `n <= 64`.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return Some(0);
+        }
+        if self.remaining() < n as usize {
+            return None;
+        }
+        let mut out: u64 = 0;
+        let mut remaining = n;
+        while remaining > 0 {
+            let byte = self.buf[self.pos / 8];
+            let avail = 8 - (self.pos % 8) as u32;
+            let take = remaining.min(avail);
+            let shift = avail - take;
+            let chunk = ((byte >> shift) as u64) & ((1u64 << take) - 1);
+            out = (out << take) | chunk;
+            self.pos += take as usize;
+            remaining -= take;
+        }
+        Some(out)
+    }
+
+    /// Skip to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let pattern = [true, false, true, true, false, false, true, false, true, true];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.push_bit(b);
+        }
+        assert_eq!(w.bit_len(), pattern.len());
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multi_bit_fields_round_trip() {
+        let fields: [(u64, u32); 7] = [
+            (0b101, 3),
+            (0xFFFF_FFFF, 32),
+            (0, 1),
+            (0x1234_5678_9ABC_DEF0, 64),
+            (1, 1),
+            (0x7F, 7),
+            (0b11, 2),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.push_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.read_bits(n), Some(v), "field {v:#x}/{n}");
+        }
+    }
+
+    #[test]
+    fn zero_width_fields_are_noops() {
+        let mut w = BitWriter::new();
+        w.push_bits(0, 0);
+        w.push_bits(0b1, 1);
+        w.push_bits(0, 0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0), Some(0));
+        assert_eq!(r.read_bit(), Some(true));
+    }
+
+    #[test]
+    fn reader_stops_at_end() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0b1010_0000)); // zero padding readable
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn alignment() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1, 1);
+        w.align_byte();
+        w.push_bits(0xAB, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000, 0xAB]);
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit(), Some(true));
+        r.align_byte();
+        assert_eq!(r.read_bits(8), Some(0xAB));
+        // align on an already-aligned reader is a no-op
+        r.align_byte();
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bit_len_accounting() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.push_bit(true);
+        assert_eq!(w.bit_len(), 1);
+        w.push_bits(0, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.push_bits(0b111, 3);
+        assert_eq!(w.bit_len(), 11);
+    }
+
+    #[test]
+    fn msb_first_layout_matches_expectation() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1, 1); // 1.......
+        w.push_bits(0b01, 2); // 101.....
+        w.push_bits(0b10110, 5); // 10110110
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1011_0110]);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let bytes = [0xFF, 0x00];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.position(), 0);
+        r.read_bits(5);
+        assert_eq!(r.position(), 5);
+        assert_eq!(r.remaining(), 11);
+    }
+}

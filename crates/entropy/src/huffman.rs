@@ -1,0 +1,376 @@
+//! Canonical Huffman coding over byte symbols (§2.2(2) of the paper).
+//!
+//! Used as the entropy stage of [`crate::zzip`] (the zstd-class codec) and
+//! available standalone. Code lengths are limited to [`MAX_CODE_LEN`] bits
+//! by frequency damping; codes are canonical so the table header is just
+//! 256 nibble lengths (128 bytes).
+
+use crate::bits::{BitReader, BitWriter};
+
+/// Maximum code length in bits.
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Error type for Huffman decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanError(pub String);
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "huffman: {}", self.0)
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+/// Compute Huffman code lengths for 256 byte symbols, limited to
+/// [`MAX_CODE_LEN`]. Symbols with zero frequency get length 0 (no code).
+pub fn code_lengths(freqs: &[u64; 256]) -> [u8; 256] {
+    let mut f: Vec<u64> = freqs.to_vec();
+    loop {
+        let lens = huffman_lengths_unbounded(&f);
+        let max = lens.iter().copied().max().unwrap_or(0);
+        if u32::from(max) <= MAX_CODE_LEN {
+            let mut out = [0u8; 256];
+            out.copy_from_slice(&lens);
+            return out;
+        }
+        // Damp frequencies and retry; converges because the distribution
+        // flattens toward uniform (max length 8 for 256 symbols).
+        for v in f.iter_mut() {
+            if *v > 0 {
+                *v = (*v + 1) / 2;
+            }
+        }
+    }
+}
+
+/// Plain Huffman algorithm (two-queue over sorted leaves) with no limit.
+fn huffman_lengths_unbounded(freqs: &[u64]) -> Vec<u8> {
+    let n = freqs.len();
+    let mut lens = vec![0u8; n];
+    let active: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match active.len() {
+        0 => return lens,
+        1 => {
+            // A single symbol still needs 1 bit on the wire.
+            lens[active[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+
+    // Node arena: leaves then internals; track parents to assign depths.
+    #[derive(Clone, Copy)]
+    struct Node {
+        freq: u64,
+        parent: usize,
+    }
+    const NO_PARENT: usize = usize::MAX;
+    let mut nodes: Vec<Node> = active
+        .iter()
+        .map(|&i| Node { freq: freqs[i], parent: NO_PARENT })
+        .collect();
+
+    // Min-heap of (freq, node index); tie-break on index for determinism.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, nd)| Reverse((nd.freq, i)))
+        .collect();
+
+    while heap.len() > 1 {
+        let Reverse((fa, a)) = heap.pop().expect("heap nonempty");
+        let Reverse((fb, b)) = heap.pop().expect("heap has two");
+        let parent = nodes.len();
+        nodes.push(Node { freq: fa + fb, parent: NO_PARENT });
+        nodes[a].parent = parent;
+        nodes[b].parent = parent;
+        heap.push(Reverse((fa + fb, parent)));
+    }
+
+    // Depth of each leaf = number of parent hops to the root.
+    for (k, &sym) in active.iter().enumerate() {
+        let mut depth = 0u8;
+        let mut cur = k;
+        while nodes[cur].parent != NO_PARENT {
+            cur = nodes[cur].parent;
+            depth += 1;
+        }
+        lens[sym] = depth.max(1);
+    }
+    lens
+}
+
+/// Canonical codes from code lengths: `(code, len)` per symbol.
+pub fn canonical_codes(lens: &[u8; 256]) -> [(u16, u8); 256] {
+    let mut count = [0u16; (MAX_CODE_LEN + 1) as usize];
+    for &l in lens.iter() {
+        if l > 0 {
+            count[l as usize] += 1;
+        }
+    }
+    let mut next = [0u16; (MAX_CODE_LEN + 2) as usize];
+    let mut code = 0u16;
+    for bits in 1..=MAX_CODE_LEN as usize {
+        code = (code + count[bits - 1]) << 1;
+        next[bits] = code;
+    }
+    let mut out = [(0u16, 0u8); 256];
+    for sym in 0..256 {
+        let l = lens[sym];
+        if l > 0 {
+            out[sym] = (next[l as usize], l);
+            next[l as usize] += 1;
+        }
+    }
+    out
+}
+
+/// Encode `data`: 128-byte nibble-packed length table, u32 symbol count,
+/// then the canonical-Huffman bitstream.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut freqs = [0u64; 256];
+    for &b in data {
+        freqs[b as usize] += 1;
+    }
+    let lens = code_lengths(&freqs);
+    let codes = canonical_codes(&lens);
+
+    let mut out = Vec::with_capacity(128 + 4 + data.len() / 2);
+    for pair in lens.chunks(2) {
+        out.push((pair[0] << 4) | (pair[1] & 0x0F));
+    }
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+
+    let mut w = BitWriter::with_capacity(data.len() / 2);
+    for &b in data {
+        let (code, len) = codes[b as usize];
+        w.push_bits(code as u64, len as u32);
+    }
+    out.extend_from_slice(&w.into_bytes());
+    out
+}
+
+/// Decode a stream produced by [`encode`].
+pub fn decode(input: &[u8]) -> Result<Vec<u8>, HuffmanError> {
+    if input.len() < 132 {
+        return Err(HuffmanError("stream shorter than header".into()));
+    }
+    let mut lens = [0u8; 256];
+    for i in 0..128 {
+        lens[2 * i] = input[i] >> 4;
+        lens[2 * i + 1] = input[i] & 0x0F;
+    }
+    let count = u32::from_le_bytes([input[128], input[129], input[130], input[131]]) as usize;
+
+    // Canonical decoding tables: first code and first symbol index per length.
+    let mut bl_count = [0u32; (MAX_CODE_LEN + 1) as usize];
+    for &l in lens.iter() {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let total_syms: u32 = bl_count.iter().sum();
+    if total_syms == 0 {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        return Err(HuffmanError("no codes but nonzero symbol count".into()));
+    }
+
+    let mut first_code = [0u32; (MAX_CODE_LEN + 1) as usize];
+    let mut first_sym_idx = [0u32; (MAX_CODE_LEN + 1) as usize];
+    let mut code = 0u32;
+    let mut idx = 0u32;
+    for bits in 1..=MAX_CODE_LEN as usize {
+        code <<= 1;
+        first_code[bits] = code;
+        first_sym_idx[bits] = idx;
+        code += bl_count[bits];
+        idx += bl_count[bits];
+    }
+    // Symbols sorted by (length, symbol) — canonical order.
+    let mut sym_by_idx = Vec::with_capacity(total_syms as usize);
+    for bits in 1..=MAX_CODE_LEN {
+        for (sym, &l) in lens.iter().enumerate() {
+            if u32::from(l) == bits {
+                sym_by_idx.push(sym as u8);
+            }
+        }
+    }
+
+    let mut r = BitReader::new(&input[132..]);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut code = 0u32;
+        let mut len = 0usize;
+        loop {
+            let bit = r
+                .read_bit()
+                .ok_or_else(|| HuffmanError("bitstream exhausted".into()))?;
+            code = (code << 1) | bit as u32;
+            len += 1;
+            if len > MAX_CODE_LEN as usize {
+                return Err(HuffmanError("code longer than maximum".into()));
+            }
+            let n_at_len = bl_count[len];
+            if n_at_len > 0 && code >= first_code[len] && code < first_code[len] + n_at_len {
+                let sym = sym_by_idx[(first_sym_idx[len] + (code - first_code[len])) as usize];
+                out.push(sym);
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let enc = encode(data);
+        let dec = decode(&enc).expect("decode");
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        round_trip(&[b'z'; 1000]);
+        // Entropy ~0, so output should be near the 132-byte header.
+        let enc = encode(&[b'z'; 1000]);
+        assert!(enc.len() < 132 + 150);
+    }
+
+    #[test]
+    fn two_symbol_skew() {
+        let mut data = vec![0u8; 10_000];
+        for i in (0..10_000).step_by(100) {
+            data[i] = 1;
+        }
+        let enc = encode(&data);
+        // ~0.08 bits/symbol entropy => far below 1 byte/symbol.
+        assert!(enc.len() < 132 + 10_000 / 4);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn all_bytes_uniform() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(8192).collect();
+        round_trip(&data);
+        // Uniform bytes cannot compress below 8 bits/symbol.
+        let enc = encode(&data);
+        assert!(enc.len() >= 8192);
+    }
+
+    #[test]
+    fn random_data_round_trip() {
+        let mut x = 0xDEADBEEFu32;
+        let data: Vec<u8> = (0..30_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 16) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn text_like_data_compresses() {
+        let text = b"the quick brown fox jumps over the lazy dog ".repeat(200);
+        let enc = encode(&text);
+        assert!(enc.len() < text.len() * 3 / 4);
+        round_trip(&text);
+    }
+
+    #[test]
+    fn code_lengths_respect_limit_under_pathological_skew() {
+        // Fibonacci-like frequencies make plain Huffman arbitrarily deep.
+        let mut freqs = [0u64; 256];
+        let mut a = 1u64;
+        let mut b = 1u64;
+        for slot in freqs.iter_mut().take(40) {
+            *slot = a;
+            let c = a.saturating_add(b);
+            a = b;
+            b = c;
+        }
+        let lens = code_lengths(&freqs);
+        assert!(lens.iter().all(|&l| u32::from(l) <= MAX_CODE_LEN));
+        // Codes must form a valid prefix set (Kraft sum <= 1).
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "Kraft sum {kraft} exceeds 1");
+    }
+
+    #[test]
+    fn kraft_inequality_on_random_frequencies() {
+        let mut x = 7u64;
+        let mut freqs = [0u64; 256];
+        for slot in freqs.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *slot = x % 1000;
+        }
+        let lens = code_lengths(&freqs);
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let enc = encode(b"hello world hello world");
+        assert!(decode(&enc[..50]).is_err());
+        let mut bad = enc.clone();
+        bad.truncate(enc.len() - 1);
+        // Removing bitstream bytes must fail (count can no longer be met)...
+        // unless padding made the last byte redundant; accept either failure
+        // or correct output, but never a wrong success.
+        if let Ok(out) = decode(&bad) {
+            assert_eq!(out, b"hello world hello world");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_empty() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0u8; 131]).is_err());
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut freqs = [1u64; 256];
+        freqs[0] = 1000;
+        freqs[17] = 500;
+        let lens = code_lengths(&freqs);
+        let codes = canonical_codes(&lens);
+        for (i, &(ci, li)) in codes.iter().enumerate() {
+            for (j, &(cj, lj)) in codes.iter().enumerate() {
+                if i == j || li == 0 || lj == 0 || li > lj {
+                    continue;
+                }
+                // ci (shorter or equal) must not be a prefix of cj
+                let shifted = cj >> (lj - li);
+                assert!(
+                    !(li < lj && shifted == ci),
+                    "code {i} ({ci:b}/{li}) is a prefix of {j} ({cj:b}/{lj})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # fcbench-entropy
+//!
+//! Entropy-coding substrates for FCBench-rs, all implemented from scratch
+//! (the benchmark's offline build permits no third-party compression
+//! crates):
+//!
+//! - [`bits`] — MSB-first bit writer/reader (Gorilla/Chimp/BUFF streams);
+//! - [`lz4`] — the LZ4 block format with greedy hash-table matching;
+//! - [`lz77`] — configurable-window hash-chain LZ77 (SPDP's `LZa6`);
+//! - [`huffman`] — canonical, length-limited Huffman over byte symbols;
+//! - [`range`] — carry-less range coder + adaptive models (fpzip, Dzip);
+//! - [`zzip`] — the zstd-class LZ77+Huffman codec used by
+//!   `bitshuffle::zstd`'s backend.
+
+pub mod bits;
+pub mod huffman;
+pub mod lz4;
+pub mod lz77;
+pub mod range;
+pub mod zzip;
+
+pub use bits::{BitReader, BitWriter};
+pub use range::{AdaptiveModel, RangeDecoder, RangeEncoder};

@@ -1,0 +1,342 @@
+//! LZ4 block-format codec, implemented from scratch.
+//!
+//! The block format follows the published LZ4 specification: a stream of
+//! sequences, each `token | literal-length ext | literals | 2-byte offset |
+//! match-length ext`, with the end-of-block rules (final sequence is
+//! literals-only; the last 5 bytes are always literals; no match starts
+//! within the last 12 bytes). Compression uses a 4-byte hash table with
+//! greedy matching — the same strategy as the reference `LZ4_compress_default`.
+//!
+//! This is the dictionary backend of `bitshuffle::LZ4` (§3.7) and the
+//! payload codec of the simulated `nvCOMP::LZ4` (§4.3).
+
+/// Minimum match length in the LZ4 format.
+const MIN_MATCH: usize = 4;
+/// No match may start within this many bytes of the end.
+const MF_LIMIT: usize = 12;
+/// The final literals run must cover at least this many bytes.
+const LAST_LITERALS: usize = 5;
+/// Maximum back-reference distance (64 KB window).
+const MAX_DISTANCE: usize = 65_535;
+
+const HASH_LOG: u32 = 16;
+
+#[inline]
+fn hash4(v: u32) -> usize {
+    (v.wrapping_mul(2654435761) >> (32 - HASH_LOG)) as usize
+}
+
+#[inline]
+fn read_u32(data: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]])
+}
+
+/// Compress `input` into LZ4 block format.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    if n == 0 {
+        // A single empty-literals token terminates the block.
+        out.push(0);
+        return out;
+    }
+    if n < MF_LIMIT + 1 {
+        emit_final_literals(&mut out, input);
+        return out;
+    }
+
+    let mut table = vec![0u32; 1 << HASH_LOG];
+    // `table` stores position+1; 0 means empty.
+    let match_limit = n - MF_LIMIT; // last position where a match may start
+    let mut anchor = 0usize; // start of pending literals
+    let mut i = 0usize;
+
+    while i < match_limit {
+        let h = hash4(read_u32(input, i));
+        let candidate = table[h] as usize;
+        table[h] = (i + 1) as u32;
+
+        let matched = candidate != 0
+            && i - (candidate - 1) <= MAX_DISTANCE
+            && read_u32(input, candidate - 1) == read_u32(input, i);
+
+        if !matched {
+            i += 1;
+            continue;
+        }
+        let m = candidate - 1;
+
+        // Extend the match forward, but never into the last-literals zone.
+        let mut len = MIN_MATCH;
+        let max_len = n - LAST_LITERALS - i;
+        while len < max_len && input[m + len] == input[i + len] {
+            len += 1;
+        }
+
+        emit_sequence(&mut out, &input[anchor..i], (i - m) as u16, len);
+        i += len;
+        anchor = i;
+
+        // Prime the table at the end of the match, as the reference does.
+        if i < match_limit {
+            let h2 = hash4(read_u32(input, i.saturating_sub(2)));
+            table[h2] = (i.saturating_sub(2) + 1) as u32;
+        }
+    }
+
+    emit_final_literals(&mut out, &input[anchor..]);
+    out
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], offset: u16, match_len: usize) {
+    debug_assert!(match_len >= MIN_MATCH);
+    debug_assert!(offset >= 1);
+    let lit_len = literals.len();
+    let ml_code = match_len - MIN_MATCH;
+
+    let token_lit = lit_len.min(15) as u8;
+    let token_ml = ml_code.min(15) as u8;
+    out.push((token_lit << 4) | token_ml);
+
+    if lit_len >= 15 {
+        emit_length(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+    out.extend_from_slice(&offset.to_le_bytes());
+    if ml_code >= 15 {
+        emit_length(out, ml_code - 15);
+    }
+}
+
+fn emit_final_literals(out: &mut Vec<u8>, literals: &[u8]) {
+    let lit_len = literals.len();
+    out.push((lit_len.min(15) as u8) << 4);
+    if lit_len >= 15 {
+        emit_length(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+}
+
+#[inline]
+fn emit_length(out: &mut Vec<u8>, mut rest: usize) {
+    while rest >= 255 {
+        out.push(255);
+        rest -= 255;
+    }
+    out.push(rest as u8);
+}
+
+/// Error from [`decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lz4Error(pub String);
+
+impl std::fmt::Display for Lz4Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lz4: {}", self.0)
+    }
+}
+
+impl std::error::Error for Lz4Error {}
+
+/// Decompress an LZ4 block produced by [`compress`].
+///
+/// `expected_len` is the known decompressed size (the block format does not
+/// embed it); output is validated against it.
+pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Lz4Error> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+
+    loop {
+        let token = *input
+            .get(pos)
+            .ok_or_else(|| Lz4Error("truncated token".into()))?;
+        pos += 1;
+
+        // Literals.
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len += read_length(input, &mut pos)?;
+        }
+        if pos + lit_len > input.len() {
+            return Err(Lz4Error("literals overrun input".into()));
+        }
+        out.extend_from_slice(&input[pos..pos + lit_len]);
+        pos += lit_len;
+
+        if pos == input.len() {
+            break; // final literals-only sequence
+        }
+
+        // Match.
+        if pos + 2 > input.len() {
+            return Err(Lz4Error("truncated offset".into()));
+        }
+        let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+        pos += 2;
+        if offset == 0 {
+            return Err(Lz4Error("zero match offset".into()));
+        }
+        if offset > out.len() {
+            return Err(Lz4Error(format!(
+                "offset {offset} exceeds output length {}",
+                out.len()
+            )));
+        }
+
+        let mut match_len = (token & 0x0F) as usize;
+        if match_len == 15 {
+            match_len += read_length(input, &mut pos)?;
+        }
+        match_len += MIN_MATCH;
+
+        // Overlapping copy, byte at a time (offsets < match_len overlap).
+        let start = out.len() - offset;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+        if out.len() > expected_len {
+            return Err(Lz4Error("output exceeds expected length".into()));
+        }
+    }
+
+    if out.len() != expected_len {
+        return Err(Lz4Error(format!(
+            "decompressed {} bytes, expected {expected_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[inline]
+fn read_length(input: &[u8], pos: &mut usize) -> Result<usize, Lz4Error> {
+    let mut total = 0usize;
+    loop {
+        let b = *input
+            .get(*pos)
+            .ok_or_else(|| Lz4Error("truncated length extension".into()))?;
+        *pos += 1;
+        total += b as usize;
+        if b != 255 {
+            return Ok(total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).expect("decompress");
+        assert_eq!(d, data, "round trip failed for {} bytes", data.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in 1..=16 {
+            let data: Vec<u8> = (0..n as u8).collect();
+            round_trip(&data);
+        }
+    }
+
+    #[test]
+    fn highly_repetitive_compresses_well() {
+        let data = vec![42u8; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 100, "repetitive data should shrink, got {}", c.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn incompressible_random_survives() {
+        // xorshift-generated pseudo-random bytes
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 24) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn periodic_pattern() {
+        let data: Vec<u8> = (0..20_000).map(|i| (i % 7) as u8).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_rle_case() {
+        // "aaaa..." forces offset-1 overlapping copies.
+        let mut data = vec![b'x'];
+        data.extend(std::iter::repeat(b'a').take(1000));
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_literal_runs_use_length_extensions() {
+        // > 15 literals triggers the 255-extension path.
+        let mut x = 99u32;
+        let data: Vec<u8> = (0..600)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_matches_use_length_extensions() {
+        let mut data = Vec::new();
+        let unit: Vec<u8> = (0..64u8).collect();
+        for _ in 0..100 {
+            data.extend_from_slice(&unit);
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 8);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(decompress(&[], 10).is_err());
+        // token promising literals beyond input
+        assert!(decompress(&[0xF0], 100).is_err());
+        // match offset of zero
+        assert!(decompress(&[0x10, b'a', 0x00, 0x00], 100).is_err());
+        // offset pointing before output start
+        assert!(decompress(&[0x10, b'a', 0x05, 0x00], 100).is_err());
+    }
+
+    #[test]
+    fn decompress_length_mismatch_detected() {
+        let data = vec![7u8; 100];
+        let c = compress(&data);
+        assert!(decompress(&c, 99).is_err());
+        assert!(decompress(&c, 101).is_err());
+    }
+
+    #[test]
+    fn float_like_data() {
+        // Little-endian f32 of a smooth ramp — typical bitshuffle input.
+        let mut data = Vec::new();
+        for i in 0..5000 {
+            data.extend_from_slice(&(i as f32 * 0.001).to_le_bytes());
+        }
+        round_trip(&data);
+    }
+}

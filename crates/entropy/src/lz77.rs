@@ -1,0 +1,352 @@
+//! Sliding-window LZ77 with hash-chain matching (Ziv & Lempel 1977).
+//!
+//! This is the configurable-window dictionary coder behind SPDP's `LZa6`
+//! reducer component (§3.2) and the match stage of [`crate::zzip`]. Deeper
+//! chain search and larger windows raise the compression ratio at the cost
+//! of throughput — exactly the trade-off the paper calls out for SPDP.
+//!
+//! Serialized format: a 1-byte header holding the offset width (2 for
+//! windows ≤ 64 KiB, else 3), then groups of up to 8 items, each preceded
+//! by a control byte whose bit *i* (LSB-first) marks item *i* as a match.
+//! A literal item is one byte. A match item is a little-endian offset
+//! (1-based distance) followed by a length byte: values 0..=254 encode
+//! lengths `4..=258`; 255 is followed by a little-endian u16 extension.
+//! The narrow-offset mode keeps matches as tight as LZ4's inside the
+//! 64 KB blocks bitshuffle feeds this codec.
+
+/// Minimum match length.
+pub const MIN_MATCH: usize = 4;
+/// Maximum supported window (3-byte offsets).
+pub const MAX_WINDOW: usize = (1 << 24) - 1;
+
+/// Matching effort configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Lz77Config {
+    /// Sliding-window size in bytes (max [`MAX_WINDOW`]).
+    pub window: usize,
+    /// Maximum hash-chain positions probed per input position.
+    pub chain_depth: usize,
+}
+
+impl Lz77Config {
+    /// SPDP-style: 64 KiB window, shallow search (fast).
+    pub fn fast() -> Self {
+        Lz77Config { window: 1 << 16, chain_depth: 8 }
+    }
+
+    /// zzip-style: 1 MiB window, deeper search (better ratio).
+    pub fn thorough() -> Self {
+        Lz77Config { window: 1 << 20, chain_depth: 64 }
+    }
+}
+
+const HASH_LOG: u32 = 16;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_LOG)) as usize
+}
+
+/// Compress `input` with the given effort configuration.
+pub fn compress(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
+    assert!(cfg.window >= MIN_MATCH && cfg.window <= MAX_WINDOW);
+    let offset_bytes: usize = if cfg.window <= u16::MAX as usize { 2 } else { 3 };
+    let n = input.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    out.push(offset_bytes as u8);
+
+    // Pending group of up to 8 items sharing one control byte.
+    struct GroupBuf {
+        control: u8,
+        nitems: u32,
+        bytes: Vec<u8>,
+    }
+    impl GroupBuf {
+        fn push(&mut self, is_match: bool, item: &[u8], out: &mut Vec<u8>) {
+            if is_match {
+                self.control |= 1 << self.nitems;
+            }
+            self.bytes.extend_from_slice(item);
+            self.nitems += 1;
+            if self.nitems == 8 {
+                self.flush(out);
+            }
+        }
+        fn flush(&mut self, out: &mut Vec<u8>) {
+            if self.nitems > 0 {
+                out.push(self.control);
+                out.extend_from_slice(&self.bytes);
+                self.control = 0;
+                self.nitems = 0;
+                self.bytes.clear();
+            }
+        }
+    }
+    let mut pending = GroupBuf { control: 0, nitems: 0, bytes: Vec::with_capacity(8 * 6) };
+
+    // head[h] = most recent position+1 with hash h; prev[i % window] = chain.
+    let mut head = vec![0u32; 1 << HASH_LOG];
+    let mut prev = vec![0u32; cfg.window];
+
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+
+        if i + MIN_MATCH <= n {
+            let h = hash4(input, i);
+            let mut candidate = head[h] as usize;
+            let mut depth = cfg.chain_depth;
+            let max_len = n - i;
+            while candidate != 0 && depth > 0 {
+                let c = candidate - 1;
+                let dist = i - c;
+                if dist > cfg.window {
+                    break;
+                }
+                // Quick check on the byte past the current best.
+                if best_len == 0 || input.get(c + best_len) == input.get(i + best_len) {
+                    let mut l = 0usize;
+                    while l < max_len && input[c + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l >= MIN_MATCH && l > best_len {
+                        best_len = l;
+                        best_dist = dist;
+                        if l >= max_len {
+                            break;
+                        }
+                    }
+                }
+                candidate = prev[c % cfg.window] as usize;
+                depth -= 1;
+            }
+            // Insert current position into the chain.
+            prev[i % cfg.window] = head[h];
+            head[h] = (i + 1) as u32;
+        }
+
+        if best_len >= MIN_MATCH {
+            let mut item = Vec::with_capacity(6);
+            item.extend_from_slice(&(best_dist as u32).to_le_bytes()[..offset_bytes]);
+            let code_len = best_len - MIN_MATCH;
+            if code_len < 255 {
+                item.push(code_len as u8);
+            } else {
+                item.push(255);
+                let ext = (code_len - 255).min(u16::MAX as usize);
+                item.extend_from_slice(&(ext as u16).to_le_bytes());
+            }
+            let actual_len = if code_len < 255 {
+                best_len
+            } else {
+                MIN_MATCH + 255 + (code_len - 255).min(u16::MAX as usize)
+            };
+            pending.push(true, &item, &mut out);
+
+            // Insert skipped positions into the chain (sparsely for speed).
+            let end = i + actual_len;
+            let mut j = i + 1;
+            while j < end && j + MIN_MATCH <= n {
+                let h = hash4(input, j);
+                prev[j % cfg.window] = head[h];
+                head[h] = (j + 1) as u32;
+                j += 1.max(actual_len / 16);
+            }
+            i = end;
+        } else {
+            pending.push(false, &[input[i]], &mut out);
+            i += 1;
+        }
+    }
+    pending.flush(&mut out);
+    out
+}
+
+/// Error from [`decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lz77Error(pub String);
+
+impl std::fmt::Display for Lz77Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lz77: {}", self.0)
+    }
+}
+
+impl std::error::Error for Lz77Error {}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Lz77Error> {
+    let mut out = Vec::with_capacity(expected_len);
+    let offset_bytes = *input
+        .get(0)
+        .ok_or_else(|| Lz77Error("missing format header".into()))? as usize;
+    if offset_bytes != 2 && offset_bytes != 3 {
+        return Err(Lz77Error(format!("bad offset width {offset_bytes}")));
+    }
+    let mut pos = 1usize;
+
+    while out.len() < expected_len {
+        let control = *input
+            .get(pos)
+            .ok_or_else(|| Lz77Error("truncated control byte".into()))?;
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() >= expected_len {
+                break;
+            }
+            if control & (1 << bit) == 0 {
+                let b = *input
+                    .get(pos)
+                    .ok_or_else(|| Lz77Error("truncated literal".into()))?;
+                out.push(b);
+                pos += 1;
+            } else {
+                if pos + offset_bytes + 1 > input.len() {
+                    return Err(Lz77Error("truncated match".into()));
+                }
+                let mut le = [0u8; 4];
+                le[..offset_bytes].copy_from_slice(&input[pos..pos + offset_bytes]);
+                let dist = u32::from_le_bytes(le) as usize;
+                let mut len_code = input[pos + offset_bytes] as usize;
+                pos += offset_bytes + 1;
+                let len = if len_code == 255 {
+                    if pos + 2 > input.len() {
+                        return Err(Lz77Error("truncated length extension".into()));
+                    }
+                    let ext = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+                    pos += 2;
+                    len_code = 255 + ext;
+                    MIN_MATCH + len_code
+                } else {
+                    MIN_MATCH + len_code
+                };
+                if dist == 0 || dist > out.len() {
+                    return Err(Lz77Error(format!(
+                        "match distance {dist} invalid at output length {}",
+                        out.len()
+                    )));
+                }
+                if out.len() + len > expected_len {
+                    return Err(Lz77Error("match overruns expected length".into()));
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8], cfg: Lz77Config) {
+        let c = compress(data, cfg);
+        let d = decompress(&c, data.len()).expect("decompress");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        for n in 0..10usize {
+            let data: Vec<u8> = (0..n as u8).collect();
+            round_trip(&data, Lz77Config::fast());
+        }
+    }
+
+    #[test]
+    fn repetitive_data() {
+        let data = b"abcabcabcabcabcabcabcabcabc".repeat(100);
+        let c = compress(&data, Lz77Config::fast());
+        assert!(c.len() < data.len() / 4);
+        round_trip(&data, Lz77Config::fast());
+    }
+
+    #[test]
+    fn random_data_survives_both_configs() {
+        let mut x = 0xABCDu32;
+        let data: Vec<u8> = (0..40_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        round_trip(&data, Lz77Config::fast());
+        round_trip(&data, Lz77Config::thorough());
+    }
+
+    #[test]
+    fn thorough_config_never_worse_on_structured_data() {
+        let mut data = Vec::new();
+        for i in 0..30_000u32 {
+            data.extend_from_slice(&(i / 7).to_le_bytes());
+        }
+        let fast = compress(&data, Lz77Config::fast());
+        let thorough = compress(&data, Lz77Config::thorough());
+        assert!(thorough.len() <= fast.len() + 64);
+        round_trip(&data, Lz77Config::thorough());
+    }
+
+    #[test]
+    fn very_long_match_uses_extension() {
+        let mut data = vec![0u8; 100_000];
+        data[0] = 1; // one literal then a gigantic run
+        let c = compress(&data, Lz77Config::fast());
+        assert!(c.len() < 1000);
+        round_trip(&data, Lz77Config::fast());
+    }
+
+    #[test]
+    fn window_limit_respected() {
+        // Distance to the repeat exceeds a tiny window: must stay literal
+        // (and still round-trip).
+        let cfg = Lz77Config { window: 64, chain_depth: 8 };
+        let mut data = Vec::new();
+        let unit: Vec<u8> = (0..32u8).collect();
+        data.extend_from_slice(&unit);
+        data.extend(std::iter::repeat(0xEE).take(200));
+        data.extend_from_slice(&unit);
+        round_trip(&data, cfg);
+    }
+
+    #[test]
+    fn overlapping_matches() {
+        let mut data = vec![b'q'];
+        data.extend(std::iter::repeat(b'r').take(5000));
+        round_trip(&data, Lz77Config::fast());
+    }
+
+    #[test]
+    fn decompress_rejects_corruption() {
+        assert!(decompress(&[], 5).is_err());
+        // bad offset-width header
+        assert!(decompress(&[9, 0], 5).is_err());
+        // control byte promising a match with no bytes
+        assert!(decompress(&[3, 0b0000_0001], 5).is_err());
+        // invalid distance 0 — crafted: header=3, control=1, dist=0, len=0
+        assert!(decompress(&[3, 1, 0, 0, 0, 0], 5).is_err());
+        // distance beyond output
+        assert!(decompress(&[3, 1, 9, 0, 0, 0], 5).is_err());
+        // same with 2-byte offsets
+        assert!(decompress(&[2, 1, 9, 0, 0], 5).is_err());
+    }
+
+    #[test]
+    fn float_pattern_round_trip() {
+        let mut data = Vec::new();
+        for i in 0..8000 {
+            data.extend_from_slice(&(1000.0f64 + (i % 50) as f64).to_le_bytes());
+        }
+        let c = compress(&data, Lz77Config::thorough());
+        assert!(c.len() < data.len() / 3);
+        round_trip(&data, Lz77Config::thorough());
+    }
+}

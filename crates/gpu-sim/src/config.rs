@@ -1,0 +1,90 @@
+//! Simulated GPU device properties.
+//!
+//! Defaults model the paper's test card, an NVIDIA Quadro RTX 6000
+//! (§5.5): 72 SMs, 32-lane warps, ~621 GB/s device memory bandwidth
+//! (Fig. 11b roofline), and a PCIe 3.0 ×16 host link (~12 GB/s effective)
+//! whose cost drives the paper's "host-to-device is slow" observation.
+
+/// Static properties of the simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Number of streaming multiprocessors (parallel block slots).
+    pub sm_count: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Maximum resident threads per block.
+    pub max_threads_per_block: usize,
+    /// Device-memory bandwidth in GB/s (roofline ceiling).
+    pub dram_gbs: f64,
+    /// Host↔device link bandwidth in GB/s.
+    pub pcie_gbs: f64,
+    /// Per-transfer fixed latency in seconds (driver + DMA setup).
+    pub transfer_latency_s: f64,
+    /// Device memory capacity in bytes (allocation guard).
+    pub vram_bytes: usize,
+    /// Peak single-precision throughput in GFLOP/s (roofline ceiling).
+    pub peak_fp32_gflops: f64,
+    /// Peak double-precision throughput in GFLOP/s.
+    pub peak_fp64_gflops: f64,
+}
+
+impl GpuConfig {
+    /// The paper's Quadro RTX 6000 (Fig. 11b ceilings).
+    pub fn rtx6000() -> Self {
+        GpuConfig {
+            name: "Quadro RTX 6000 (simulated)".to_string(),
+            sm_count: 72,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            dram_gbs: 621.5,
+            pcie_gbs: 12.0,
+            transfer_latency_s: 10e-6,
+            vram_bytes: 24 * 1024 * 1024 * 1024,
+            peak_fp32_gflops: 13_325.8,
+            peak_fp64_gflops: 416.4,
+        }
+    }
+
+    /// A small device for tests (tiny VRAM, slow link) so limits trigger.
+    pub fn tiny() -> Self {
+        GpuConfig {
+            name: "test-gpu".to_string(),
+            sm_count: 2,
+            warp_size: 32,
+            max_threads_per_block: 64,
+            dram_gbs: 10.0,
+            pcie_gbs: 1.0,
+            transfer_latency_s: 1e-6,
+            vram_bytes: 1024 * 1024,
+            peak_fp32_gflops: 100.0,
+            peak_fp64_gflops: 50.0,
+        }
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::rtx6000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx6000_matches_paper_rooflines() {
+        let c = GpuConfig::rtx6000();
+        assert_eq!(c.warp_size, 32);
+        assert!((c.dram_gbs - 621.5).abs() < 1e-9);
+        assert!((c.peak_fp32_gflops - 13_325.8).abs() < 1e-9);
+        assert!((c.peak_fp64_gflops - 416.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_rtx6000() {
+        assert_eq!(GpuConfig::default(), GpuConfig::rtx6000());
+    }
+}

@@ -1,0 +1,25 @@
+//! # fcbench-stats
+//!
+//! The statistical toolkit behind the paper's fairness machinery (§2.4,
+//! §5.4, §6.1.5):
+//!
+//! - [`friedman`] — the Friedman test (χ² and Iman–Davenport F) deciding
+//!   whether all 13 compressors are equivalent over the 33 datasets;
+//! - [`nemenyi`] — post-hoc critical differences and the Figure 7b CD
+//!   diagram with cliques;
+//! - [`mannwhitney`] — the Mann–Whitney U test for the Table 9
+//!   multi-dimensional vs 1-D experiment;
+//! - [`ranks`] — tie-averaged ranking;
+//! - [`dist`] — the underlying special functions (log-gamma, regularized
+//!   incomplete gamma/beta, normal/χ²/F distributions).
+
+pub mod dist;
+pub mod friedman;
+pub mod mannwhitney;
+pub mod nemenyi;
+pub mod ranks;
+
+pub use friedman::{friedman_test, FriedmanResult};
+pub use mannwhitney::{mann_whitney_u, MannWhitneyResult};
+pub use nemenyi::{cd_diagram, critical_difference, CdDiagram, CdEntry};
+pub use ranks::{average_ranks, rank_row};

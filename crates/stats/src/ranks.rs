@@ -1,0 +1,118 @@
+//! Rank utilities for the Friedman / Nemenyi machinery (§2.4, §5.4).
+//!
+//! Following Demšar's procedure, algorithms are ranked **per dataset**
+//! (rank 1 = best) with tied values receiving the average of the ranks
+//! they span, then ranks are averaged over datasets.
+
+/// Ranks of one observation vector, ties averaged. `higher_is_better`
+/// controls the sort direction (compression ratios: higher is better).
+pub fn rank_row(values: &[f64], higher_is_better: bool) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let cmp = values[a].partial_cmp(&values[b]).expect("NaN in rank input");
+        if higher_is_better {
+            cmp.reverse()
+        } else {
+            cmp
+        }
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the tie run [i, j).
+        let mut j = i + 1;
+        while j < n && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        // Average rank of positions i..j (1-based).
+        let avg = (i + 1..=j).sum::<usize>() as f64 / (j - i) as f64;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Average ranks over datasets. `rows[algorithm][dataset]`; every row must
+/// have the same length. Returns one average rank per algorithm.
+pub fn average_ranks(rows: &[Vec<f64>], higher_is_better: bool) -> Vec<f64> {
+    assert!(!rows.is_empty(), "need at least one algorithm");
+    let k = rows.len();
+    let n = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == n), "ragged rank matrix");
+    assert!(n > 0, "need at least one dataset");
+
+    let mut sums = vec![0.0; k];
+    for d in 0..n {
+        let col: Vec<f64> = rows.iter().map(|r| r[d]).collect();
+        let ranks = rank_row(&col, higher_is_better);
+        for (s, r) in sums.iter_mut().zip(ranks.iter()) {
+            *s += r;
+        }
+    }
+    sums.iter_mut().for_each(|s| *s /= n as f64);
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranking_higher_better() {
+        // values 3.0 > 2.0 > 1.0 => ranks 1, 2, 3
+        let r = rank_row(&[1.0, 3.0, 2.0], true);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn simple_ranking_lower_better() {
+        let r = rank_row(&[1.0, 3.0, 2.0], false);
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        // 5, 5 are best => share (1+2)/2 = 1.5; then 3 => rank 3.
+        let r = rank_row(&[5.0, 3.0, 5.0], true);
+        assert_eq!(r, vec![1.5, 3.0, 1.5]);
+        // All equal => all get (1+2+3)/3 = 2.
+        let r = rank_row(&[7.0, 7.0, 7.0], true);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_sum_is_invariant() {
+        // Sum of ranks must equal n(n+1)/2 regardless of ties.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.0, 1.0, 2.0, 2.0],
+            vec![9.0, 9.0, 9.0, 1.0],
+        ];
+        for vals in cases {
+            let r = rank_row(&vals, true);
+            let n = vals.len() as f64;
+            assert!((r.iter().sum::<f64>() - n * (n + 1.0) / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn average_ranks_demsar_example_shape() {
+        // 3 algorithms, 4 datasets; A always best, C always worst.
+        let rows = vec![
+            vec![0.9, 0.8, 0.95, 0.85], // A
+            vec![0.8, 0.7, 0.90, 0.80], // B
+            vec![0.7, 0.6, 0.85, 0.75], // C
+        ];
+        let avg = average_ranks(&rows, true);
+        assert_eq!(avg, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_panics() {
+        average_ranks(&[vec![1.0, 2.0], vec![1.0]], true);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the statistical machinery: rank invariants,
+//! Friedman consistency, and Mann-Whitney symmetry on arbitrary samples.
+
+use fcbench_stats::{average_ranks, cd_diagram, friedman_test, mann_whitney_u, rank_row};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((-1e6f64..1e6).prop_map(|v| (v * 100.0).round() / 100.0), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rank_sums_are_invariant(vals in finite_vec(1..50)) {
+        let n = vals.len() as f64;
+        for dir in [true, false] {
+            let ranks = rank_row(&vals, dir);
+            let sum: f64 = ranks.iter().sum();
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+            // Every rank is within [1, n].
+            prop_assert!(ranks.iter().all(|&r| r >= 1.0 - 1e-9 && r <= n + 1e-9));
+        }
+    }
+
+    #[test]
+    fn rank_directions_mirror(vals in finite_vec(1..40)) {
+        let hi = rank_row(&vals, true);
+        let lo = rank_row(&vals, false);
+        let n = vals.len() as f64;
+        // For every element: rank_hi + rank_lo == n + 1 (ties included).
+        for (a, b) in hi.iter().zip(lo.iter()) {
+            prop_assert!((a + b - (n + 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn average_ranks_bounded(
+        k in 2usize..6,
+        n in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut x = seed | 1;
+        let rows: Vec<Vec<f64>> = (0..k)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        ((x >> 40) % 1000) as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        let avg = average_ranks(&rows, true);
+        let sum: f64 = avg.iter().sum();
+        let expect = k as f64 * (k as f64 + 1.0) / 2.0;
+        prop_assert!((sum - expect).abs() < 1e-6, "rank sums must be conserved");
+        prop_assert!(avg.iter().all(|&r| r >= 1.0 - 1e-9 && r <= k as f64 + 1e-9));
+    }
+
+    #[test]
+    fn friedman_p_values_are_probabilities(
+        k in 2usize..6,
+        n in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut x = seed | 1;
+        let rows: Vec<Vec<f64>> = (0..k)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        ((x >> 40) % 97) as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        let r = friedman_test(&rows, true);
+        prop_assert!(r.chi2 >= -1e-9);
+        prop_assert!((0.0..=1.0).contains(&r.p_chi2));
+        prop_assert!((0.0..=1.0).contains(&r.p_f));
+    }
+
+    #[test]
+    fn mann_whitney_is_symmetric_and_bounded(
+        a in finite_vec(1..30),
+        b in finite_vec(1..30),
+    ) {
+        let r1 = mann_whitney_u(&a, &b);
+        let r2 = mann_whitney_u(&b, &a);
+        prop_assert!((r1.u - r2.u).abs() < 1e-9);
+        prop_assert!((r1.p - r2.p).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&r1.p));
+        // U is bounded by n1*n2/2 (we report the smaller of U1/U2).
+        prop_assert!(r1.u <= a.len() as f64 * b.len() as f64 / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn cd_diagram_cliques_are_well_formed(
+        ranks in prop::collection::vec(1.0f64..14.0, 2..14),
+        n_datasets in 10usize..40,
+    ) {
+        let names: Vec<String> = (0..ranks.len()).map(|i| format!("m{i}")).collect();
+        let d = cd_diagram(&names, &ranks, n_datasets, 0.05);
+        // Entries sorted ascending by rank.
+        for w in d.entries.windows(2) {
+            prop_assert!(w[0].avg_rank <= w[1].avg_rank);
+        }
+        // Cliques reference valid ranges and respect the CD width.
+        for &(lo, hi) in &d.cliques {
+            prop_assert!(lo < hi && hi < d.entries.len());
+            prop_assert!(d.entries[hi].avg_rank - d.entries[lo].avg_rank < d.cd + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: compress a floating-point series losslessly, inspect the
+//! ratio, decompress, and verify bit-exactness.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fcbench::core::{frame, Compressor, Domain, FloatData};
+use fcbench::cpu::{Bitshuffle, Chimp, Gorilla};
+
+fn main() {
+    // A sensor-like series: slow oscillation plus a small random walk,
+    // rounded to two decimals (typical IoT telemetry).
+    let mut walk = 0.0f64;
+    let mut seed = 0x2545F4914F6CDD1Du64;
+    let values: Vec<f64> = (0..100_000)
+        .map(|i| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            walk += (seed >> 60) as f64 * 0.01 - 0.075;
+            let v = 20.0 + 5.0 * (i as f64 * 0.001).sin() + walk;
+            (v * 100.0).round() / 100.0
+        })
+        .collect();
+    let data = FloatData::from_f64(&values, vec![values.len()], Domain::TimeSeries)
+        .expect("consistent dims");
+    println!("input: {} values, {} bytes", values.len(), data.bytes().len());
+
+    for codec in [
+        Box::new(Gorilla::new()) as Box<dyn Compressor>,
+        Box::new(Chimp::new()),
+        Box::new(Bitshuffle::zzip()),
+    ] {
+        let t0 = std::time::Instant::now();
+        let payload = codec.compress(&data).expect("compress");
+        let dt = t0.elapsed();
+        let restored = codec.decompress(&payload, data.desc()).expect("decompress");
+        assert_eq!(restored.bytes(), data.bytes(), "lossless round trip");
+        println!(
+            "{:<16} ratio {:.3}  ({} -> {} bytes, {:.1} ms, bit-exact)",
+            codec.info().name,
+            data.bytes().len() as f64 / payload.len() as f64,
+            data.bytes().len(),
+            payload.len(),
+            dt.as_secs_f64() * 1e3
+        );
+    }
+
+    // Self-describing frames carry codec + shape, so a reader needs no
+    // out-of-band metadata.
+    let codec = Gorilla::new();
+    let framed = frame::compress_framed(&codec, &data).expect("frame");
+    let back = frame::decompress_framed(&codec, &framed).expect("unframe");
+    assert_eq!(back.bytes(), data.bytes());
+    println!("\nframed stream: {} bytes (self-describing container)", framed.len());
+}

@@ -1,0 +1,86 @@
+//! Scientific-simulation scenario (the paper's HPC domain): compress a
+//! 3-D field with the Lorenzo-predictor codecs and see why dimensionality
+//! matters — the §6.1.5 experiment in miniature.
+//!
+//! ```sh
+//! cargo run --release --example scientific_simulation
+//! ```
+
+use fcbench::core::{Compressor, Domain, FloatData};
+use fcbench::cpu::{Fpzip, Ndzip};
+use fcbench::gpu::NdzipGpu;
+
+fn main() {
+    // A smooth 64x64x64 field: two superposed waves plus a mild gradient,
+    // the structure Lorenzo predictors are built for.
+    let n = 64usize;
+    let mut seed = 0xD1B54A32D192ED03u64;
+    let mut values = Vec::with_capacity(n * n * n);
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                let jitter = ((seed >> 60) as f32 - 7.5) / 64.0; // grid noise
+                let v = 100.0
+                    + 10.0 * ((x as f32) * 0.1).sin()
+                    + 8.0 * ((y as f32) * 0.07).cos()
+                    + 0.5 * z as f32
+                    + jitter;
+                // Simulation outputs carry limited-precision physics:
+                // quantize to a grid to mimic that.
+                values.push((v * 64.0).round() / 64.0);
+            }
+        }
+    }
+    let field = FloatData::from_f32(&values, vec![n, n, n], Domain::Hpc)
+        .expect("consistent dims");
+    println!("3-D field: {n}^3 f32 = {} bytes\n", field.bytes().len());
+
+    let codecs: Vec<Box<dyn Compressor>> = vec![
+        Box::new(Fpzip::new()),
+        Box::new(Ndzip::new()),
+        Box::new(NdzipGpu::new()),
+    ];
+
+    println!("{:<12} {:>10} {:>10}  (3-D vs flattened-1-D ratio)", "codec", "3-D", "1-D");
+    for codec in &codecs {
+        let c3 = codec.compress(&field).expect("compress 3-D");
+        let flat = field.flattened_1d();
+        let c1 = codec.compress(&flat).expect("compress 1-D");
+        // Verify both round-trip.
+        assert_eq!(
+            codec.decompress(&c3, field.desc()).expect("decompress").bytes(),
+            field.bytes()
+        );
+        assert_eq!(
+            codec.decompress(&c1, flat.desc()).expect("decompress").bytes(),
+            flat.bytes()
+        );
+        println!(
+            "{:<12} {:>10.3} {:>10.3}",
+            codec.info().name,
+            field.bytes().len() as f64 / c3.len() as f64,
+            field.bytes().len() as f64 / c1.len() as f64,
+        );
+    }
+    println!(
+        "\nThe paper's Observation 6: flattening degrades the Lorenzo predictor\n\
+         to a delta predictor, but the change is not statistically significant —\n\
+         column stores can compress scientific data as plain 1-D columns."
+    );
+
+    // GPU end-to-end cost: kernel + modelled PCIe transfers (Table 6's point).
+    let gpu = NdzipGpu::new();
+    let t0 = std::time::Instant::now();
+    let payload = gpu.compress(&field).expect("compress");
+    let kernel = t0.elapsed().as_secs_f64();
+    let aux = gpu.last_aux_time();
+    println!(
+        "\nndzip-gpu: kernel {:.2} ms + modelled transfers {:.2} ms (ratio {:.3})",
+        kernel * 1e3,
+        aux.total() * 1e3,
+        field.bytes().len() as f64 / payload.len() as f64
+    );
+}

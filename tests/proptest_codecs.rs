@@ -1,0 +1,139 @@
+//! Property-based tests: arbitrary float vectors must round-trip through
+//! every codec bit-exactly, and malformed payloads must error, not panic.
+
+use fcbench::core::{Compressor, DataDesc, Domain, FloatData, Precision};
+use proptest::prelude::*;
+
+fn all_codecs() -> Vec<Box<dyn Compressor>> {
+    use fcbench::cpu::{Bitshuffle, Chimp, Fpzip, Gorilla, Ndzip, Pfpc, Spdp};
+    use fcbench::gpu::{Gfc, Mpc, NvBitcomp, NvLz4};
+    vec![
+        Box::new(Pfpc::with_threads(2)),
+        Box::new(Spdp::new()),
+        Box::new(Fpzip::new()),
+        Box::new(Bitshuffle::lz4()),
+        Box::new(Bitshuffle::zzip()),
+        Box::new(Ndzip::with_threads(2)),
+        Box::new(Gorilla::new()),
+        Box::new(Chimp::new()),
+        Box::new(Gfc::with_config(Default::default(), usize::MAX)),
+        Box::new(Mpc::new()),
+        Box::new(NvLz4::new()),
+        Box::new(NvBitcomp::new()),
+    ]
+}
+
+/// Any f64 bit pattern, including NaNs with payloads and denormals.
+fn any_f64_bits() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn any_f32_bits() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+/// Structured-ish doubles: a random walk with occasional jumps, closer to
+/// the benchmark's data than raw bit noise.
+fn walk_f64() -> impl Strategy<Value = Vec<f64>> {
+    (1usize..300, any::<u64>()).prop_map(|(n, seed)| {
+        let mut x = seed | 1;
+        let mut v = 1000.0f64;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                v += ((x >> 60) as f64 - 7.5) * 0.25;
+                v
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_f64_bits_round_trip(vals in prop::collection::vec(any_f64_bits(), 1..200)) {
+        let data = FloatData::from_f64(&vals, vec![vals.len()], Domain::Hpc).unwrap();
+        for codec in all_codecs() {
+            let payload = codec.compress(&data).expect("compress never fails on finite-size input");
+            let back = codec.decompress(&payload, data.desc()).expect("decompress");
+            prop_assert_eq!(back.bytes(), data.bytes(), "{}", codec.info().name);
+        }
+    }
+
+    #[test]
+    fn arbitrary_f32_bits_round_trip(vals in prop::collection::vec(any_f32_bits(), 1..200)) {
+        let data = FloatData::from_f32(&vals, vec![vals.len()], Domain::Observation).unwrap();
+        for codec in all_codecs() {
+            let payload = codec.compress(&data).expect("compress");
+            let back = codec.decompress(&payload, data.desc()).expect("decompress");
+            prop_assert_eq!(back.bytes(), data.bytes(), "{}", codec.info().name);
+        }
+    }
+
+    #[test]
+    fn structured_walks_round_trip(vals in walk_f64()) {
+        let data = FloatData::from_f64(&vals, vec![vals.len()], Domain::TimeSeries).unwrap();
+        for codec in all_codecs() {
+            let payload = codec.compress(&data).expect("compress");
+            let back = codec.decompress(&payload, data.desc()).expect("decompress");
+            prop_assert_eq!(back.bytes(), data.bytes(), "{}", codec.info().name);
+        }
+    }
+
+    #[test]
+    fn random_payload_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let desc = DataDesc::new(Precision::Double, vec![16], Domain::Hpc).unwrap();
+        for codec in all_codecs() {
+            // Garbage in => error or (for store-like formats) some output,
+            // but never a panic or wrong-size success.
+            if let Ok(out) = codec.decompress(&bytes, &desc) {
+                prop_assert_eq!(out.bytes().len(), desc.byte_len());
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_substrates_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let c = fcbench::entropy::lz4::compress(&bytes);
+        prop_assert_eq!(fcbench::entropy::lz4::decompress(&c, bytes.len()).unwrap(), bytes.clone());
+
+        let c = fcbench::entropy::zzip::compress(&bytes);
+        prop_assert_eq!(fcbench::entropy::zzip::decompress(&c).unwrap(), bytes.clone());
+
+        let c = fcbench::entropy::huffman::encode(&bytes);
+        prop_assert_eq!(fcbench::entropy::huffman::decode(&c).unwrap(), bytes);
+    }
+
+    #[test]
+    fn multidim_shapes_round_trip(
+        a in 1usize..12,
+        b in 1usize..12,
+        c in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let n = a * b * c;
+        let mut x = seed | 1;
+        let vals: Vec<f32> = (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 40) as f32 * 0.001
+            })
+            .collect();
+        let data = FloatData::from_f32(&vals, vec![a, b, c], Domain::Hpc).unwrap();
+        for codec in [
+            Box::new(fcbench::cpu::Fpzip::new()) as Box<dyn Compressor>,
+            Box::new(fcbench::cpu::Ndzip::with_threads(2)),
+            Box::new(fcbench::gpu::NdzipGpu::new()),
+            Box::new(fcbench::gpu::Mpc::new()),
+        ] {
+            let payload = codec.compress(&data).expect("compress");
+            let back = codec.decompress(&payload, data.desc()).expect("decompress");
+            prop_assert_eq!(back.bytes(), data.bytes(), "{}", codec.info().name);
+        }
+    }
+}
