@@ -29,7 +29,10 @@ fn ablation_chimp(c: &mut Criterion) {
     let spec = find("tpcxBB-store").expect("catalog dataset");
     let data = generate(&spec, ELEMS);
     let mut group = c.benchmark_group("ablation_chimp_window");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
     group.throughput(Throughput::Bytes(data.bytes().len() as u64));
     for window in [1usize, 8, 128] {
         let codec = Chimp::with_window(window);
@@ -46,7 +49,10 @@ fn ablation_bitshuffle(c: &mut Criterion) {
     let spec = find("acs-wht").expect("catalog dataset");
     let data = generate(&spec, ELEMS);
     let mut group = c.benchmark_group("ablation_bitshuffle_block");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
     group.throughput(Throughput::Bytes(data.bytes().len() as u64));
     for block in [4096usize, 65_536] {
         let codec = Bitshuffle::with_config(Backend::Lz4, block, 4);
@@ -63,12 +69,33 @@ fn ablation_spdp(c: &mut Criterion) {
     let spec = find("msg-bt").expect("catalog dataset");
     let data = generate(&spec, ELEMS);
     let mut group = c.benchmark_group("ablation_spdp_window");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
     group.throughput(Throughput::Bytes(data.bytes().len() as u64));
     for (label, cfg) in [
-        ("4K/d4", Lz77Config { window: 1 << 12, chain_depth: 4 }),
-        ("64K/d8", Lz77Config { window: 1 << 16, chain_depth: 8 }),
-        ("1M/d64", Lz77Config { window: 1 << 20, chain_depth: 64 }),
+        (
+            "4K/d4",
+            Lz77Config {
+                window: 1 << 12,
+                chain_depth: 4,
+            },
+        ),
+        (
+            "64K/d8",
+            Lz77Config {
+                window: 1 << 16,
+                chain_depth: 8,
+            },
+        ),
+        (
+            "1M/d64",
+            Lz77Config {
+                window: 1 << 20,
+                chain_depth: 64,
+            },
+        ),
     ] {
         let codec = Spdp::with_lz_config(cfg);
         report_ratio(&format!("spdp window={label}"), &codec, &data);
@@ -85,7 +112,10 @@ fn ablation_pfpc(c: &mut Criterion) {
     let spec = find("wesad-chest").expect("catalog dataset"); // 8 channels
     let data = generate(&spec, ELEMS);
     let mut group = c.benchmark_group("ablation_pfpc_threads");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
     group.throughput(Throughput::Bytes(data.bytes().len() as u64));
     for threads in [1usize, 8, 32] {
         let codec = Pfpc::with_threads(threads);
@@ -102,7 +132,10 @@ fn ablation_ndzip(c: &mut Criterion) {
     let spec = find("miranda3d").expect("catalog dataset");
     let data = generate(&spec, 1 << 15);
     let mut group = c.benchmark_group("ablation_ndzip_cube");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
     group.throughput(Throughput::Bytes(data.bytes().len() as u64));
     for cube in [64usize, 4096] {
         let codec = Ndzip::with_cube_elems(cube);

@@ -10,7 +10,10 @@ fn bench_block_sizes(c: &mut Criterion) {
     let spec = find("tpcH-order").expect("catalog dataset");
     let data = generate(&spec, 1 << 15);
     let mut group = c.benchmark_group("block_size");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
     group.throughput(Throughput::Bytes(data.bytes().len() as u64));
 
     for (label, bytes) in [("4K", BLOCK_4K), ("64K", BLOCK_64K), ("8M", BLOCK_8M)] {

@@ -28,7 +28,10 @@ fn test_block(n: usize) -> Vec<u8> {
 fn bench_stages(c: &mut Criterion) {
     let data = test_block(64 * 1024);
     let mut group = c.benchmark_group("entropy_compress");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
     group.throughput(Throughput::Bytes(data.len() as u64));
 
     group.bench_function("lz4", |b| b.iter(|| lz4::compress(&data)));
@@ -40,14 +43,19 @@ fn bench_stages(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("entropy_decompress");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
     group.throughput(Throughput::Bytes(data.len() as u64));
     let c_lz4 = lz4::compress(&data);
     group.bench_function("lz4", |b| {
         b.iter(|| lz4::decompress(&c_lz4, data.len()).expect("lz4"))
     });
     let c_zzip = zzip::compress(&data);
-    group.bench_function("zzip", |b| b.iter(|| zzip::decompress(&c_zzip).expect("zzip")));
+    group.bench_function("zzip", |b| {
+        b.iter(|| zzip::decompress(&c_zzip).expect("zzip"))
+    });
     group.finish();
 }
 
@@ -60,7 +68,10 @@ fn bench_range_coder(c: &mut Criterion) {
         })
         .collect();
     let mut group = c.benchmark_group("range_coder");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(700));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
     group.throughput(Throughput::Elements(symbols.len() as u64));
     group.bench_with_input(BenchmarkId::new("encode", 16), &symbols, |b, syms| {
         b.iter(|| {

@@ -11,17 +11,18 @@ fn bench_thread_scaling(c: &mut Criterion) {
     let spec = find("miranda3d").expect("catalog dataset");
     let data = generate(&spec, 1 << 16);
     let mut group = c.benchmark_group("thread_scaling");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
     group.throughput(Throughput::Bytes(data.bytes().len() as u64));
 
     for (name, factory) in scalable_factories() {
         for threads in [1usize, 2, 4, 8] {
             let codec = factory(threads);
-            group.bench_with_input(
-                BenchmarkId::new(name, threads),
-                &data,
-                |b, data| b.iter(|| codec.compress(data).expect("compress")),
-            );
+            group.bench_with_input(BenchmarkId::new(name, threads), &data, |b, data| {
+                b.iter(|| codec.compress(data).expect("compress"))
+            });
         }
     }
     group.finish();

@@ -10,7 +10,10 @@ const ELEMS: usize = 1 << 14;
 
 fn bench_compress(c: &mut Criterion) {
     let mut group = c.benchmark_group("compress");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
     for ds in ["msg-bt", "citytemp", "acs-wht", "tpcDS-store"] {
         let spec = find(ds).expect("catalog dataset");
         let data = generate(&spec, ELEMS);
@@ -19,11 +22,9 @@ fn bench_compress(c: &mut Criterion) {
             if codec.compress(&data).is_err() {
                 continue; // paper's "-" cells
             }
-            group.bench_with_input(
-                BenchmarkId::new(codec.info().name, ds),
-                &data,
-                |b, data| b.iter(|| codec.compress(data).expect("compress")),
-            );
+            group.bench_with_input(BenchmarkId::new(codec.info().name, ds), &data, |b, data| {
+                b.iter(|| codec.compress(data).expect("compress"))
+            });
         }
     }
     group.finish();
@@ -31,12 +32,17 @@ fn bench_compress(c: &mut Criterion) {
 
 fn bench_decompress(c: &mut Criterion) {
     let mut group = c.benchmark_group("decompress");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
     let spec = find("msg-bt").expect("catalog dataset");
     let data = generate(&spec, ELEMS);
     group.throughput(Throughput::Bytes(data.bytes().len() as u64));
     for codec in all_codecs() {
-        let Ok(payload) = codec.compress(&data) else { continue };
+        let Ok(payload) = codec.compress(&data) else {
+            continue;
+        };
         group.bench_function(BenchmarkId::new(codec.info().name, "msg-bt"), |b| {
             b.iter(|| codec.decompress(&payload, data.desc()).expect("decompress"))
         });

@@ -71,15 +71,20 @@ pub fn block_capable_codecs() -> Vec<Box<dyn Compressor>> {
     ]
 }
 
+/// A codec constructor parameterized by thread count.
+pub type ScalableFactory = Box<dyn Fn(usize) -> Box<dyn Compressor>>;
+
 /// Thread-scalable codec factories for Tables 7–8, by name.
-pub fn scalable_factories() -> Vec<(&'static str, Box<dyn Fn(usize) -> Box<dyn Compressor>>)> {
+pub fn scalable_factories() -> Vec<(&'static str, ScalableFactory)> {
     vec![
-        ("pfpc", Box::new(|t| Box::new(Pfpc::with_threads(t)) as Box<dyn Compressor>)),
+        (
+            "pfpc",
+            Box::new(|t| Box::new(Pfpc::with_threads(t)) as Box<dyn Compressor>),
+        ),
         (
             "bitshuffle-lz4",
             Box::new(|t| {
-                Box::new(Bitshuffle::with_config(Backend::Lz4, 64 * 1024, t))
-                    as Box<dyn Compressor>
+                Box::new(Bitshuffle::with_config(Backend::Lz4, 64 * 1024, t)) as Box<dyn Compressor>
             }),
         ),
         (
@@ -89,7 +94,10 @@ pub fn scalable_factories() -> Vec<(&'static str, Box<dyn Fn(usize) -> Box<dyn C
                     as Box<dyn Compressor>
             }),
         ),
-        ("ndzip-cpu", Box::new(|t| Box::new(Ndzip::with_threads(t)) as Box<dyn Compressor>)),
+        (
+            "ndzip-cpu",
+            Box::new(|t| Box::new(Ndzip::with_threads(t)) as Box<dyn Compressor>),
+        ),
     ]
 }
 
@@ -140,7 +148,10 @@ mod tests {
     #[test]
     fn four_scalable_codecs() {
         let names: Vec<&str> = scalable_factories().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["pfpc", "bitshuffle-lz4", "bitshuffle-zstd", "ndzip-cpu"]);
+        assert_eq!(
+            names,
+            vec!["pfpc", "bitshuffle-lz4", "bitshuffle-zstd", "ndzip-cpu"]
+        );
         // Factories honour the thread parameter without panicking.
         for (_, f) in scalable_factories() {
             let _ = f(1);

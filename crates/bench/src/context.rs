@@ -30,7 +30,10 @@ pub fn build_context(target_elems: usize, repetitions: usize) -> Context {
         .collect();
 
     let codecs = all_codecs();
-    let cfg = RunConfig { repetitions, verify: true };
+    let cfg = RunConfig {
+        repetitions,
+        verify: true,
+    };
     let mut cells = Vec::with_capacity(codecs.len());
     for codec in &codecs {
         let name = codec.info().name;
@@ -52,7 +55,11 @@ pub fn build_context(target_elems: usize, repetitions: usize) -> Context {
         datasets: datasets.iter().map(|d| d.name.clone()).collect(),
         cells,
     };
-    Context { specs, datasets, matrix }
+    Context {
+        specs,
+        datasets,
+        matrix,
+    }
 }
 
 /// Column-aligned text table helper used by every experiment printer.

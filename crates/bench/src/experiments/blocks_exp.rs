@@ -14,7 +14,10 @@ struct BlockAvg {
 }
 
 fn run_block_size(datasets: &[NamedData], block_bytes: usize) -> Vec<(String, BlockAvg)> {
-    let cfg = RunConfig { repetitions: 1, verify: true };
+    let cfg = RunConfig {
+        repetitions: 1,
+        verify: true,
+    };
     block_capable_codecs()
         .into_iter()
         .map(|codec| {

@@ -53,12 +53,8 @@ pub fn table9(specs: &[DatasetSpec], datasets: &[NamedData]) -> String {
     let mut p_row = vec!["Mann-Whitney p".to_string()];
     let mut all_insignificant = true;
     for k in 0..codecs.len() {
-        md_row.push(
-            harmonic_mean(&md_ratios[k]).map_or("-".into(), |h| format!("{h:.3}")),
-        );
-        od_row.push(
-            harmonic_mean(&oned_ratios[k]).map_or("-".into(), |h| format!("{h:.3}")),
-        );
+        md_row.push(harmonic_mean(&md_ratios[k]).map_or("-".into(), |h| format!("{h:.3}")));
+        od_row.push(harmonic_mean(&oned_ratios[k]).map_or("-".into(), |h| format!("{h:.3}")));
         if md_ratios[k].len() >= 2 {
             let r = mann_whitney_u(&md_ratios[k], &oned_ratios[k]);
             p_row.push(format!("{:.3}", r.p));
@@ -70,9 +66,8 @@ pub fn table9(specs: &[DatasetSpec], datasets: &[NamedData]) -> String {
         }
     }
 
-    let mut out = String::from(
-        "Table 9: dimension information's influence on compression ratios\n",
-    );
+    let mut out =
+        String::from("Table 9: dimension information's influence on compression ratios\n");
     out.push_str(&render_table(&headers, &[md_row, od_row, p_row]));
     out.push_str(&format!(
         "\nno significant md-vs-1d difference at alpha = 0.05: {all_insignificant}\n\

@@ -76,7 +76,9 @@ pub fn dzip_roundtrips_smoke() -> bool {
     )
     .expect("valid data");
     let d = Dzip::with_bootstrap(1, 512);
-    let Ok(c) = d.compress(&data) else { return false };
+    let Ok(c) = d.compress(&data) else {
+        return false;
+    };
     let desc: &DataDesc = data.desc();
     match d.decompress(&c, desc) {
         Ok(back) => back.bytes() == data.bytes(),

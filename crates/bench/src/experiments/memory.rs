@@ -48,10 +48,12 @@ pub fn fig10(base_elems: usize) -> String {
         rows.push(row);
     }
     median_ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let med = median_ratios.get(median_ratios.len() / 2).copied().unwrap_or(f64::NAN);
+    let med = median_ratios
+        .get(median_ratios.len() / 2)
+        .copied()
+        .unwrap_or(f64::NAN);
 
-    let mut out =
-        String::from("Figure 10: peak memory during compression (and ratio to input)\n");
+    let mut out = String::from("Figure 10: peak memory during compression (and ratio to input)\n");
     out.push_str(&render_table(&headers, &rows));
     out.push_str(&format!(
         "\nBUFF footprint ratio {buff_ratio:.1}x vs median of the others {med:.1}x\n\

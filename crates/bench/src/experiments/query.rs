@@ -30,7 +30,11 @@ fn table11_codecs() -> Vec<Box<dyn Compressor>> {
 /// Split a generated (rows × cols) dataset into dbsim columns.
 fn to_columns(data: &fcbench_core::FloatData) -> Vec<ColumnData> {
     let dims = data.desc().dims.clone();
-    let (rows, cols) = if dims.len() == 2 { (dims[0], dims[1]) } else { (dims[0], 1) };
+    let (rows, cols) = if dims.len() == 2 {
+        (dims[0], dims[1])
+    } else {
+        (dims[0], 1)
+    };
     match data.desc().precision {
         Precision::Double => {
             let vals = data.to_f64_vec().expect("precision checked");
@@ -97,9 +101,8 @@ pub fn table11(target_elems: usize, chunk_elems: usize) -> String {
         rows.push(row);
     }
 
-    let mut out = String::from(
-        "Table 11: read (I/O + decode) and query time in ms from container files\n",
-    );
+    let mut out =
+        String::from("Table 11: read (I/O + decode) and query time in ms from container files\n");
     out.push_str(&render_table(&headers, &rows));
     out.push_str(
         "\npaper shape: query time is codec-independent (identical decoded\n\

@@ -40,8 +40,8 @@ pub fn table4(ctx: &Context) -> String {
     // Domain averages (harmonic mean, §5.2) and overall.
     for (dom_idx, dom) in Domain::ALL.iter().enumerate() {
         let mut row = vec![format!("{}-avg", dom.label())];
-        for ci in 0..m.codecs.len() {
-            match harmonic_mean(&domain_ratios[dom_idx][ci]) {
+        for cell in &domain_ratios[dom_idx] {
+            match harmonic_mean(cell) {
                 Some(h) => row.push(format!("{h:.3}")),
                 None => row.push("-".to_string()),
             }
@@ -118,19 +118,31 @@ pub fn fig6(ctx: &Context) -> String {
 
     let mut out = String::from("Figure 6a: ratios by data type and domain (medians)\n");
     for g in group_boxplots(&by_type) {
-        out.push_str(&format!("  {:<12} median {:.3}  (n = {})\n", g.label, g.stats.median, g.stats.count));
+        out.push_str(&format!(
+            "  {:<12} median {:.3}  (n = {})\n",
+            g.label, g.stats.median, g.stats.count
+        ));
     }
     for g in group_boxplots(&by_domain) {
-        out.push_str(&format!("  {:<12} median {:.3}  (n = {})\n", g.label, g.stats.median, g.stats.count));
+        out.push_str(&format!(
+            "  {:<12} median {:.3}  (n = {})\n",
+            g.label, g.stats.median, g.stats.count
+        ));
     }
     out.push_str("paper: fp32 1.225 / fp64 1.202; OBS 1.292 > TS 1.223 > HPC 1.206 > DB 1.080\n\n");
 
     out.push_str("Figure 6b: ratios by predictor class and platform (medians)\n");
     for g in group_boxplots(&by_class) {
-        out.push_str(&format!("  {:<12} median {:.3}  (n = {})\n", g.label, g.stats.median, g.stats.count));
+        out.push_str(&format!(
+            "  {:<12} median {:.3}  (n = {})\n",
+            g.label, g.stats.median, g.stats.count
+        ));
     }
     for g in group_boxplots(&by_platform) {
-        out.push_str(&format!("  {:<12} median {:.3}  (n = {})\n", g.label, g.stats.median, g.stats.count));
+        out.push_str(&format!(
+            "  {:<12} median {:.3}  (n = {})\n",
+            g.label, g.stats.median, g.stats.count
+        ));
     }
     out.push_str("paper: DICTIONARY 1.309 > LORENZO 1.219 > DELTA 1.116; CPU > GPU\n");
     out
@@ -146,7 +158,10 @@ pub fn fig7(ctx: &Context) -> String {
             .filter_map(|di| m.cells[ci][di].ratio())
             .collect();
         let h = harmonic_mean(&ratios).unwrap_or(f64::NAN);
-        out.push_str(&format!("  {codec:<16} {h:.3}  ({} datasets)\n", ratios.len()));
+        out.push_str(&format!(
+            "  {codec:<16} {h:.3}  ({} datasets)\n",
+            ratios.len()
+        ));
     }
 
     // Friedman needs complete cases: datasets where every codec succeeded.

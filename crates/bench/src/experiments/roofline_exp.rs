@@ -67,9 +67,15 @@ pub fn fig11(target_elems: usize) -> String {
     let gpu_machine = MachineModel::rtx_6000();
 
     let mut out = String::from("Figure 11a: CPU-based methods\n");
-    out.push_str(&render(&cpu_machine, &place(cpu_codecs(), &cpu_machine, target_elems)));
+    out.push_str(&render(
+        &cpu_machine,
+        &place(cpu_codecs(), &cpu_machine, target_elems),
+    ));
     out.push_str("\nFigure 11b: GPU-based methods (simulated device)\n");
-    out.push_str(&render(&gpu_machine, &place(gpu_codecs(), &gpu_machine, target_elems)));
+    out.push_str(&render(
+        &gpu_machine,
+        &place(gpu_codecs(), &gpu_machine, target_elems),
+    ));
     out.push_str(
         "\npaper shape: serial codecs (fpzip, BUFF, SPDP, Gorilla, Chimp) sit far\n\
          below both roofs (underutilized — parallelism would help); bitshuffle is\n\

@@ -56,17 +56,13 @@ fn modelled_device_gbs(ctx: &Context, codec_idx: usize) -> Option<f64> {
         return None;
     }
     let divergent = codec.info().class == fcbench_core::CodecClass::Dictionary;
-    let peak_ops = machine.attainable(f64::INFINITY) * 1e9
-        / if divergent { 16.0 } else { 1.0 };
+    let peak_ops = machine.attainable(f64::INFINITY) * 1e9 / if divergent { 16.0 } else { 1.0 };
     let dram = machine.dram_roof() * 1e9;
     let mut rates = Vec::new();
     for spec in &ctx.specs {
-        let desc = fcbench_core::DataDesc::new(
-            spec.precision,
-            spec.scaled_dims(1 << 17),
-            spec.domain,
-        )
-        .expect("catalog dims are valid");
+        let desc =
+            fcbench_core::DataDesc::new(spec.precision, spec.scaled_dims(1 << 17), spec.domain)
+                .expect("catalog dims are valid");
         if let Some(p) = codec.op_profile(&desc) {
             let t = (p.bytes_moved as f64 / dram).max(p.int_ops.max(p.float_ops) as f64 / peak_ops);
             rates.push(desc.byte_len() as f64 / t / 1e9);
@@ -140,12 +136,15 @@ pub fn fig9(ctx: &Context) -> String {
     let rows: Vec<Vec<String>> = per
         .iter()
         .map(|p| {
-            let rd = if p.avg_ct == 0.0 { f64::NAN } else { (p.avg_ct - p.avg_dt) / p.avg_ct };
+            let rd = if p.avg_ct == 0.0 {
+                f64::NAN
+            } else {
+                (p.avg_ct - p.avg_dt) / p.avg_ct
+            };
             vec![p.name.clone(), format!("{rd:+.2}")]
         })
         .collect();
-    let mut out =
-        String::from("Figure 9: rD = (CT - DT)/CT; positive = compression faster\n");
+    let mut out = String::from("Figure 9: rD = (CT - DT)/CT; positive = compression faster\n");
     out.push_str(&render_table(&headers, &rows));
     out.push_str(
         "\npaper shape: dictionary methods decompress much faster than they\n\

@@ -50,7 +50,11 @@ fn parse_args() -> Opts {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    Opts { elems, reps, experiments }
+    Opts {
+        elems,
+        reps,
+        experiments,
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -68,8 +72,16 @@ fn print_usage() {
 }
 
 /// Experiments that share the full measurement matrix.
-const MATRIX_EXPERIMENTS: [&str; 8] =
-    ["table4", "fig5", "fig6", "fig7", "table5", "fig9", "table6", "recommend"];
+const MATRIX_EXPERIMENTS: [&str; 8] = [
+    "table4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table5",
+    "fig9",
+    "table6",
+    "recommend",
+];
 
 fn main() {
     mark_installed();
@@ -77,17 +89,23 @@ fn main() {
 
     let wanted: Vec<String> = if opts.experiments.iter().any(|e| e == "all") {
         let mut v: Vec<String> = MATRIX_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+        // "recommend" is already in MATRIX_EXPERIMENTS; adding it here would
+        // run the S7.3 map twice.
         v.extend(
-            ["table7", "table9", "table10", "table11", "fig10", "fig11", "dzip", "recommend"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "table7", "table9", "table10", "table11", "fig10", "fig11", "dzip",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         v
     } else {
         opts.experiments.clone()
     };
 
-    let needs_matrix = wanted.iter().any(|e| MATRIX_EXPERIMENTS.contains(&e.as_str()));
+    let needs_matrix = wanted
+        .iter()
+        .any(|e| MATRIX_EXPERIMENTS.contains(&e.as_str()));
     let needs_datasets = wanted.iter().any(|e| e == "table9" || e == "table10");
 
     let mut ctx: Option<Context> = None;

@@ -87,16 +87,20 @@ pub fn recommend(
     let time_ranks = rank_row(&times, false); // lower time better
 
     let best_idx = match priority {
-        Priority::Storage => ratio_ranks
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite ranks"))?
-            .0,
-        Priority::Speed => time_ranks
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite ranks"))?
-            .0,
+        Priority::Storage => {
+            ratio_ranks
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite ranks"))?
+                .0
+        }
+        Priority::Speed => {
+            time_ranks
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite ranks"))?
+                .0
+        }
         Priority::Balanced => (0..aggs.len()).min_by(|&a, &b| {
             let ga = (ratio_ranks[a] * time_ranks[a]).sqrt();
             let gb = (ratio_ranks[b] * time_ranks[b]).sqrt();
@@ -108,9 +112,7 @@ pub fn recommend(
 
 /// The full §7.3 map as printable text.
 pub fn recommendation_map(ctx: &Context) -> String {
-    let mut out = String::from(
-        "Recommendation map (S7.3), derived from the measured matrix:\n\n",
-    );
+    let mut out = String::from("Recommendation map (S7.3), derived from the measured matrix:\n\n");
     out.push_str("for users focused on storage reduction:\n");
     for domain in Domain::ALL {
         if let Some(r) = recommend(ctx, Some(domain), Priority::Storage) {

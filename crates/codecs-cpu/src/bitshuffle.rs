@@ -19,8 +19,8 @@
 
 use crate::common::{push_u32, read_u32};
 use fcbench_core::{
-    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
-    Platform, PrecisionSupport, Result,
+    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
+    PrecisionSupport, Result,
 };
 use fcbench_entropy::{lz4, lz77::Lz77Config, zzip};
 
@@ -50,18 +50,30 @@ pub struct Bitshuffle {
 impl Bitshuffle {
     /// `bitshuffle::LZ4` with the 4096-byte default block and 8 threads.
     pub fn lz4() -> Self {
-        Bitshuffle { backend: Backend::Lz4, block_bytes: DEFAULT_BLOCK_BYTES, threads: 8 }
+        Bitshuffle {
+            backend: Backend::Lz4,
+            block_bytes: DEFAULT_BLOCK_BYTES,
+            threads: 8,
+        }
     }
 
     /// `bitshuffle::zstd`-class with defaults.
     pub fn zzip() -> Self {
-        Bitshuffle { backend: Backend::Zzip, block_bytes: DEFAULT_BLOCK_BYTES, threads: 8 }
+        Bitshuffle {
+            backend: Backend::Zzip,
+            block_bytes: DEFAULT_BLOCK_BYTES,
+            threads: 8,
+        }
     }
 
     /// Full configuration (for scaling and block-size ablations).
     pub fn with_config(backend: Backend, block_bytes: usize, threads: usize) -> Self {
         assert!(block_bytes >= 64, "block must hold at least a few elements");
-        Bitshuffle { backend, block_bytes, threads: threads.max(1) }
+        Bitshuffle {
+            backend,
+            block_bytes,
+            threads: threads.max(1),
+        }
     }
 
     pub fn backend(&self) -> Backend {
@@ -148,7 +160,13 @@ fn compress_one(block: &[u8], elem_size: usize, backend: Backend) -> Vec<u8> {
             // Blocks are <= 64 KB: a 64 KB window with deep chains gives
             // 2-byte offsets (as tight as LZ4) plus the entropy stage —
             // the slower-but-stronger profile of real zstd.
-            zzip::compress_with(&shuffled, Lz77Config { window: 1 << 16, chain_depth: 128 })
+            zzip::compress_with(
+                &shuffled,
+                Lz77Config {
+                    window: 1 << 16,
+                    chain_depth: 128,
+                },
+            )
         }
     };
     let mut out = Vec::with_capacity(4 + body.len());
@@ -281,7 +299,9 @@ impl Compressor for Bitshuffle {
             bytes.extend_from_slice(&r?);
         }
         if bytes.len() != desc.byte_len() {
-            return Err(Error::Corrupt("bitshuffle: reassembled size mismatch".into()));
+            return Err(Error::Corrupt(
+                "bitshuffle: reassembled size mismatch".into(),
+            ));
         }
         FloatData::from_bytes(desc.clone(), bytes)
     }
@@ -349,7 +369,9 @@ mod tests {
 
     #[test]
     fn lz4_backend_round_trip() {
-        let vals: Vec<f32> = (0..50_000).map(|i| 1.5 + (i % 1000) as f32 * 0.001).collect();
+        let vals: Vec<f32> = (0..50_000)
+            .map(|i| 1.5 + (i % 1000) as f32 * 0.001)
+            .collect();
         let data = FloatData::from_f32(&vals, vec![50_000], Domain::Observation).unwrap();
         let n = round_trip(&Bitshuffle::lz4(), &data);
         assert!(n < data.bytes().len(), "must compress, got {n}");
@@ -357,7 +379,9 @@ mod tests {
 
     #[test]
     fn zzip_backend_beats_lz4_on_structured_data() {
-        let vals: Vec<f64> = (0..30_000).map(|i| 300.0 + ((i % 365) as f64) * 0.1).collect();
+        let vals: Vec<f64> = (0..30_000)
+            .map(|i| 300.0 + ((i % 365) as f64) * 0.1)
+            .collect();
         let data = FloatData::from_f64(&vals, vec![30_000], Domain::TimeSeries).unwrap();
         let l = round_trip(&Bitshuffle::lz4(), &data);
         let z = round_trip(&Bitshuffle::zzip(), &data);
@@ -389,12 +413,24 @@ mod tests {
         let data = FloatData::from_f64(&vals, vec![40_000], Domain::TimeSeries).unwrap();
         let small = round_trip(&Bitshuffle::with_config(Backend::Lz4, 512, 4), &data);
         let big = round_trip(&Bitshuffle::with_config(Backend::Lz4, 65_536, 4), &data);
-        assert!(big <= small, "64K blocks ({big}) should beat 512B blocks ({small})");
+        assert!(
+            big <= small,
+            "64K blocks ({big}) should beat 512B blocks ({small})"
+        );
     }
 
     #[test]
     fn special_values() {
-        let vals = [f64::NAN, f64::INFINITY, -0.0, 0.0, 5e-324, -1.0, 1.0, f64::MAX];
+        let vals = [
+            f64::NAN,
+            f64::INFINITY,
+            -0.0,
+            0.0,
+            5e-324,
+            -1.0,
+            1.0,
+            f64::MAX,
+        ];
         let data = FloatData::from_f64(&vals, vec![8], Domain::Hpc).unwrap();
         round_trip(&Bitshuffle::lz4(), &data);
         round_trip(&Bitshuffle::zzip(), &data);

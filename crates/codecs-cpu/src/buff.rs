@@ -27,8 +27,8 @@
 
 use crate::common::{push_u64, read_u64};
 use fcbench_core::{
-    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
-    Platform, Precision, PrecisionSupport, Result,
+    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
+    Precision, PrecisionSupport, Result,
 };
 
 /// Table 2 of the paper: bits needed for decimal precisions 1..=10.
@@ -191,8 +191,7 @@ fn encode_scaled(p: u32, scaled: &[i64]) -> Encoded {
     let bits = field_bits(span, p);
     let nbytes = (bits as usize).div_ceil(8);
     let n = scaled.len();
-    let is_outlier: std::collections::HashSet<u32> =
-        outliers.iter().map(|&(i, _)| i).collect();
+    let is_outlier: std::collections::HashSet<u32> = outliers.iter().map(|&(i, _)| i).collect();
 
     // Column-major planes: plane b holds byte b (most significant first)
     // of every record, so predicates can scan plane 0 across all records.
@@ -263,8 +262,7 @@ impl Compressor for Buff {
                 FloatData::from_f64(&vals, desc.dims.clone(), desc.domain)
             }
             Precision::Single => {
-                let vals: Vec<f32> =
-                    (0..view.count).map(|i| view.value_at(i) as f32).collect();
+                let vals: Vec<f32> = (0..view.count).map(|i| view.value_at(i) as f32).collect();
                 FloatData::from_f32(&vals, desc.dims.clone(), desc.domain)
             }
         }
@@ -300,7 +298,8 @@ impl<'a> BuffView<'a> {
     pub fn parse(payload: &'a [u8]) -> Result<Self> {
         let mut pos = 0usize;
         let count = read_u64(payload, &mut pos)
-            .ok_or_else(|| Error::Corrupt("buff: missing count".into()))? as usize;
+            .ok_or_else(|| Error::Corrupt("buff: missing count".into()))?
+            as usize;
         let precision = *payload
             .get(pos)
             .ok_or_else(|| Error::Corrupt("buff: missing precision".into()))?
@@ -314,8 +313,14 @@ impl<'a> BuffView<'a> {
             .get(pos..pos + 8)
             .ok_or_else(|| Error::Corrupt("buff: missing minimum".into()))?;
         let min = i64::from_le_bytes([
-            min_bytes[0], min_bytes[1], min_bytes[2], min_bytes[3],
-            min_bytes[4], min_bytes[5], min_bytes[6], min_bytes[7],
+            min_bytes[0],
+            min_bytes[1],
+            min_bytes[2],
+            min_bytes[3],
+            min_bytes[4],
+            min_bytes[5],
+            min_bytes[6],
+            min_bytes[7],
         ]);
         pos += 8;
         if precision > MAX_PRECISION || bits == 0 || bits > 63 {
@@ -358,7 +363,14 @@ impl<'a> BuffView<'a> {
                 nbytes * count
             )));
         }
-        Ok(BuffView { count, precision, nbytes, min, outliers, planes })
+        Ok(BuffView {
+            count,
+            precision,
+            nbytes,
+            min,
+            outliers,
+            planes,
+        })
     }
 
     /// The stashed scaled value of record `i`, if it is an outlier.
@@ -446,12 +458,12 @@ impl<'a> BuffView<'a> {
                 candidates.push(i);
             }
         }
-        for b in 1..self.nbytes {
+        for (b, &tb) in target.iter().enumerate().take(self.nbytes).skip(1) {
             if candidates.is_empty() {
                 break;
             }
             let plane = &self.planes[b * self.count..(b + 1) * self.count];
-            candidates.retain(|&i| plane[i] == target[b]);
+            candidates.retain(|&i| plane[i] == tb);
         }
         candidates.retain(|&i| self.outlier_at(i).is_none());
         hits.extend(candidates);
@@ -515,11 +527,11 @@ impl<'a> BuffView<'a> {
         let mut result = Vec::new();
         // undecided: records equal to the threshold prefix so far.
         let mut undecided: Vec<usize> = (0..self.count).collect();
-        for b in 0..self.nbytes {
+        for (b, &tb) in target.iter().enumerate().take(self.nbytes) {
             let plane = &self.planes[b * self.count..(b + 1) * self.count];
             let mut still = Vec::new();
             for &i in &undecided {
-                match plane[i].cmp(&target[b]) {
+                match plane[i].cmp(&tb) {
                     std::cmp::Ordering::Less => result.push(i),
                     std::cmp::Ordering::Equal => still.push(i),
                     std::cmp::Ordering::Greater => {}
@@ -567,7 +579,9 @@ mod tests {
     #[test]
     fn low_precision_sensor_data_compresses() {
         // One-decimal temperatures: 5 bits/value per Table 2, padded to 1 byte.
-        let vals: Vec<f64> = (0..10_000).map(|i| 20.0 + ((i % 60) as f64) * 0.1).collect();
+        let vals: Vec<f64> = (0..10_000)
+            .map(|i| 20.0 + ((i % 60) as f64) * 0.1)
+            .collect();
         let n = round_trip(&vals);
         assert!(n < 10_000 * 2, "one byte per value expected, got {n}");
     }
@@ -641,7 +655,9 @@ mod tests {
 
     #[test]
     fn query_lt_matches_scan() {
-        let vals: Vec<f64> = (0..3000).map(|i| ((i * 13) % 400) as f64 * 0.25 - 20.0).collect();
+        let vals: Vec<f64> = (0..3000)
+            .map(|i| ((i * 13) % 400) as f64 * 0.25 - 20.0)
+            .collect();
         let data = data_f64(&vals);
         let payload = Buff::new().compress(&data).unwrap();
         let view = BuffView::parse(&payload).unwrap();

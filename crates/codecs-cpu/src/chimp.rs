@@ -22,8 +22,8 @@
 
 use crate::common::{push_u64, read_u64};
 use fcbench_core::{
-    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
-    Platform, Precision, PrecisionSupport, Result,
+    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
+    Precision, PrecisionSupport, Result,
 };
 use fcbench_entropy::{BitReader, BitWriter};
 
@@ -60,7 +60,7 @@ impl Chimp {
 
     /// Custom window size (must be a power of two, ≥ 1, ≤ 2¹⁶).
     pub fn with_window(window: usize) -> Self {
-        assert!(window.is_power_of_two() && window >= 1 && window <= 1 << 16);
+        assert!(window.is_power_of_two() && (1..=1 << 16).contains(&window));
         Chimp { window }
     }
 
@@ -79,8 +79,18 @@ struct Layout {
     center_field: u32,
 }
 
-const L64: Layout = Layout { bits: 64, buckets: &LEADING_BUCKETS_64, key_bits: 14, center_field: 6 };
-const L32: Layout = Layout { bits: 32, buckets: &LEADING_BUCKETS_32, key_bits: 10, center_field: 5 };
+const L64: Layout = Layout {
+    bits: 64,
+    buckets: &LEADING_BUCKETS_64,
+    key_bits: 14,
+    center_field: 6,
+};
+const L32: Layout = Layout {
+    bits: 32,
+    buckets: &LEADING_BUCKETS_32,
+    key_bits: 10,
+    center_field: 5,
+};
 
 /// Round a leading-zero count down to its bucket; returns (code, value).
 fn bucket_of(lz: u32, buckets: &[u32; 8]) -> (u32, u32) {
@@ -330,8 +340,7 @@ impl Compressor for Chimp {
                 encode_words(&data.as_u64_words()?, L64, self.window, idx_bits, &mut w)
             }
             Precision::Single => {
-                let words: Vec<u64> =
-                    data.as_u32_words()?.into_iter().map(u64::from).collect();
+                let words: Vec<u64> = data.as_u32_words()?.into_iter().map(u64::from).collect();
                 encode_words(&words, L32, self.window, idx_bits, &mut w);
             }
         }
@@ -441,7 +450,15 @@ mod tests {
 
     #[test]
     fn special_values() {
-        round_trip_f64(&[0.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 5e-324, 1.0]);
+        round_trip_f64(&[
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            5e-324,
+            1.0,
+        ]);
         round_trip_f32(&[0.0, -0.0, f32::NAN, f32::INFINITY, f32::MIN_POSITIVE, -1.5]);
     }
 
@@ -474,7 +491,10 @@ mod tests {
         let data = FloatData::from_f64(&vals, vec![8000], Domain::TimeSeries).unwrap();
         let small = Chimp::with_window(2).compress(&data).unwrap().len();
         let big = Chimp::with_window(128).compress(&data).unwrap().len();
-        assert!(big <= small, "window 128 ({big}) should not lose to window 2 ({small})");
+        assert!(
+            big <= small,
+            "window 128 ({big}) should not lose to window 2 ({small})"
+        );
     }
 
     #[test]
@@ -483,7 +503,9 @@ mod tests {
         let data = FloatData::from_f64(&vals, vec![500], Domain::TimeSeries).unwrap();
         let c = Chimp::new();
         let payload = c.compress(&data).unwrap();
-        assert!(c.decompress(&payload[..payload.len() / 3], data.desc()).is_err());
+        assert!(c
+            .decompress(&payload[..payload.len() / 3], data.desc())
+            .is_err());
         assert!(c.decompress(&[], data.desc()).is_err());
     }
 

@@ -58,7 +58,9 @@ pub fn push_u64(out: &mut Vec<u8>, v: u64) {
 pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
     let s = bytes.get(*pos..*pos + 8)?;
     *pos += 8;
-    Some(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    Some(u64::from_le_bytes([
+        s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+    ]))
 }
 
 #[cfg(test)]

@@ -16,8 +16,8 @@
 
 use crate::common::{push_u64, read_u64};
 use fcbench_core::{
-    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
-    Platform, Precision, PrecisionSupport, Result,
+    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
+    Precision, PrecisionSupport, Result,
 };
 use fcbench_entropy::{BitReader, BitWriter};
 
@@ -42,8 +42,16 @@ struct Layout {
     len_field: u32,
 }
 
-const L64: Layout = Layout { bits: 64, lz_field: 5, len_field: 6 };
-const L32: Layout = Layout { bits: 32, lz_field: 5, len_field: 5 };
+const L64: Layout = Layout {
+    bits: 64,
+    lz_field: 5,
+    len_field: 6,
+};
+const L32: Layout = Layout {
+    bits: 32,
+    lz_field: 5,
+    len_field: 5,
+};
 
 fn encode_words(words: &[u64], lay: Layout, w: &mut BitWriter) {
     if words.is_empty() {
@@ -167,8 +175,7 @@ impl Compressor for Gorilla {
         match data.desc().precision {
             Precision::Double => encode_words(&data.as_u64_words()?, L64, &mut w),
             Precision::Single => {
-                let words: Vec<u64> =
-                    data.as_u32_words()?.into_iter().map(u64::from).collect();
+                let words: Vec<u64> = data.as_u32_words()?.into_iter().map(u64::from).collect();
                 encode_words(&words, L32, &mut w);
             }
         }
@@ -221,9 +228,7 @@ mod tests {
 
     fn round_trip_f64(vals: &[f64]) -> usize {
         let data = FloatData::from_f64(vals, vec![vals.len().max(1)], Domain::TimeSeries)
-            .unwrap_or_else(|_| {
-                FloatData::from_f64(&[0.0], vec![1], Domain::TimeSeries).unwrap()
-            });
+            .unwrap_or_else(|_| FloatData::from_f64(&[0.0], vec![1], Domain::TimeSeries).unwrap());
         let g = Gorilla::new();
         let c = g.compress(&data).unwrap();
         let d = g.decompress(&c, data.desc()).unwrap();
@@ -271,7 +276,14 @@ mod tests {
 
     #[test]
     fn special_values_round_trip() {
-        round_trip_f64(&[0.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 5e-324]);
+        round_trip_f64(&[
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            5e-324,
+        ]);
     }
 
     #[test]
@@ -296,7 +308,10 @@ mod tests {
         let base = 1000.0f64;
         let vals: Vec<f64> = (0..2000).map(|i| base + (i % 4) as f64).collect();
         let n = round_trip_f64(&vals);
-        assert!(n < 2000 * 8 / 2, "window reuse should halve the size, got {n}");
+        assert!(
+            n < 2000 * 8 / 2,
+            "window reuse should halve the size, got {n}"
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub fn compress_timestamps(timestamps: &[i64]) -> Vec<u8> {
             w.push_bits(first_delta as u64, 64);
         }
     }
-    let mut prev = *timestamps.get(1).unwrap_or(timestamps.first().unwrap_or(&0));
+    let mut prev = *timestamps
+        .get(1)
+        .unwrap_or(timestamps.first().unwrap_or(&0));
     let mut prev_delta = if timestamps.len() > 1 {
         timestamps[1].wrapping_sub(timestamps[0])
     } else {
@@ -107,13 +109,20 @@ pub fn decompress_timestamps(payload: &[u8]) -> Result<Vec<i64>> {
         let dod = if !r.read_bit().ok_or_else(|| trunc("truncated control"))? {
             0i64
         } else if !r.read_bit().ok_or_else(|| trunc("truncated control"))? {
-            r.read_bits(7).ok_or_else(|| trunc("truncated 7-bit field"))? as i64 - 63
+            r.read_bits(7)
+                .ok_or_else(|| trunc("truncated 7-bit field"))? as i64
+                - 63
         } else if !r.read_bit().ok_or_else(|| trunc("truncated control"))? {
-            r.read_bits(9).ok_or_else(|| trunc("truncated 9-bit field"))? as i64 - 255
+            r.read_bits(9)
+                .ok_or_else(|| trunc("truncated 9-bit field"))? as i64
+                - 255
         } else if !r.read_bit().ok_or_else(|| trunc("truncated control"))? {
-            r.read_bits(12).ok_or_else(|| trunc("truncated 12-bit field"))? as i64 - 2047
+            r.read_bits(12)
+                .ok_or_else(|| trunc("truncated 12-bit field"))? as i64
+                - 2047
         } else {
-            r.read_bits(64).ok_or_else(|| trunc("truncated 64-bit field"))? as i64
+            r.read_bits(64)
+                .ok_or_else(|| trunc("truncated 64-bit field"))? as i64
         };
         let delta = prev_delta.wrapping_add(dod);
         prev = prev.wrapping_add(delta);

@@ -21,8 +21,8 @@
 use crate::bitshuffle::{bit_transpose, bit_untranspose};
 use crate::common::{effective_dims, push_u32, read_u32};
 use fcbench_core::{
-    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
-    Platform, Precision, PrecisionSupport, Result,
+    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
+    Precision, PrecisionSupport, Result,
 };
 
 /// Elements per hypercube.
@@ -44,11 +44,17 @@ impl Default for Ndzip {
 impl Ndzip {
     /// Default: 4096-element cubes, 8 worker threads.
     pub fn new() -> Self {
-        Ndzip { threads: 8, cube_elems: CUBE_ELEMS }
+        Ndzip {
+            threads: 8,
+            cube_elems: CUBE_ELEMS,
+        }
     }
 
     pub fn with_threads(threads: usize) -> Self {
-        Ndzip { threads: threads.max(1), cube_elems: CUBE_ELEMS }
+        Ndzip {
+            threads: threads.max(1),
+            cube_elems: CUBE_ELEMS,
+        }
     }
 
     /// Custom cube size for the hypercube-size ablation (power of two,
@@ -56,7 +62,10 @@ impl Ndzip {
     /// must be divisible by 6 for 3-D and 2 for 2-D — 4096 satisfies both).
     pub fn with_cube_elems(cube_elems: usize) -> Self {
         assert!(cube_elems.is_power_of_two() && cube_elems >= 64);
-        Ndzip { threads: 8, cube_elems }
+        Ndzip {
+            threads: 8,
+            cube_elems,
+        }
     }
 
     /// Cube side lengths for dimensionality `nd`.
@@ -126,10 +135,8 @@ pub fn lorenzo_inverse(words: &mut [u64], sides: &[usize], bits: u32) {
         *w = unzigzag(*w, bits);
     }
     let mask = u64::MAX >> (64 - bits);
-    let nd = sides.len();
     let mut stride = words.len();
-    for d in 0..nd {
-        let len = sides[d];
+    for &len in sides {
         stride /= len;
         for idx in 0..words.len() {
             let coord = (idx / stride) % len;
@@ -281,7 +288,11 @@ pub fn plan_cubes(dims: &[usize], sides: &[usize]) -> Cubes {
         }
     }
     let border = (0..covered.len()).filter(|&i| !covered[i]).collect();
-    Cubes { cube_indices, border, sides: sides.to_vec() }
+    Cubes {
+        cube_indices,
+        border,
+        sides: sides.to_vec(),
+    }
 }
 
 /// View any-precision data as a u64 word stream (fp32 zero-extended).
@@ -330,8 +341,7 @@ impl Compressor for Ndzip {
                 s.spawn(move || {
                     for (k, slot) in chunk.iter_mut().enumerate() {
                         let idxs = &plan.cube_indices[start + k];
-                        let mut cube: Vec<u64> =
-                            idxs.iter().map(|&i| words[i]).collect();
+                        let mut cube: Vec<u64> = idxs.iter().map(|&i| words[i]).collect();
                         lorenzo_forward(&mut cube, &plan.sides, elem_bits as u32);
                         let mut out = Vec::with_capacity(cube.len() * esize);
                         encode_cube(&cube, elem_bits, &mut out);
@@ -391,7 +401,9 @@ impl Compressor for Ndzip {
             let mut local_pos = 0usize;
             let mut cube = decode_cube(slice, &mut local_pos, cube_elems, elem_bits)?;
             if local_pos != slice.len() {
-                return Err(Error::Corrupt("ndzip: cube stream has trailing bytes".into()));
+                return Err(Error::Corrupt(
+                    "ndzip: cube stream has trailing bytes".into(),
+                ));
             }
             lorenzo_inverse(&mut cube, &sides, elem_bits as u32);
             for (&i, &w) in plan.cube_indices[k].iter().zip(cube.iter()) {
@@ -414,9 +426,7 @@ impl Compressor for Ndzip {
         }
 
         match desc.precision {
-            Precision::Double => {
-                FloatData::from_u64_words(&words, desc.dims.clone(), desc.domain)
-            }
+            Precision::Double => FloatData::from_u64_words(&words, desc.dims.clone(), desc.domain),
             Precision::Single => {
                 let narrowed: Vec<u32> = words.into_iter().map(|w| w as u32).collect();
                 FloatData::from_u32_words(&narrowed, desc.dims.clone(), desc.domain)

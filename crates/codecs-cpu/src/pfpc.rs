@@ -17,8 +17,8 @@
 
 use crate::common::{chunk_ranges, push_u32, push_u64, read_u32, read_u64};
 use fcbench_core::{
-    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
-    Platform, PrecisionSupport, Result,
+    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
+    PrecisionSupport, Result,
 };
 
 /// Log2 of the predictor hash-table sizes.
@@ -58,7 +58,9 @@ impl Pfpc {
     }
 
     pub fn with_threads(threads: usize) -> Self {
-        Pfpc { threads: threads.max(1) }
+        Pfpc {
+            threads: threads.max(1),
+        }
     }
 }
 
@@ -84,7 +86,10 @@ impl Predictors {
     /// Current predictions (FCM, DFCM).
     #[inline]
     fn predict(&self) -> (u64, u64) {
-        (self.fcm[self.fcm_hash], self.dfcm[self.dfcm_hash].wrapping_add(self.last))
+        (
+            self.fcm[self.fcm_hash],
+            self.dfcm[self.dfcm_hash].wrapping_add(self.last),
+        )
     }
 
     /// Update tables and hashes with the true value.
@@ -144,9 +149,11 @@ fn compress_chunk(words: &[u64]) -> Vec<u8> {
 fn decompress_chunk(payload: &[u8], count: usize) -> Result<Vec<u64>> {
     let mut pos = 0usize;
     let ncodes = read_u32(payload, &mut pos)
-        .ok_or_else(|| Error::Corrupt("pfpc: missing code count".into()))? as usize;
+        .ok_or_else(|| Error::Corrupt("pfpc: missing code count".into()))?
+        as usize;
     let nres = read_u32(payload, &mut pos)
-        .ok_or_else(|| Error::Corrupt("pfpc: missing residual count".into()))? as usize;
+        .ok_or_else(|| Error::Corrupt("pfpc: missing residual count".into()))?
+        as usize;
     let codes = payload
         .get(pos..pos + ncodes)
         .ok_or_else(|| Error::Corrupt("pfpc: code bytes truncated".into()))?;
@@ -166,7 +173,11 @@ fn decompress_chunk(payload: &[u8], count: usize) -> Result<Vec<u64>> {
             if idx >= count {
                 break;
             }
-            let nib = if half == 0 { (cb >> 4) as u32 } else { (cb & 0x0F) as u32 };
+            let nib = if half == 0 {
+                (cb >> 4) as u32
+            } else {
+                (cb & 0x0F) as u32
+            };
             let sel = nib >> 3;
             let code = nib & 7;
             let eb = (8 - LZB_TABLE[code as usize]) as usize;
@@ -292,8 +303,10 @@ impl Compressor for Pfpc {
         let mut results: Vec<Result<Vec<u64>>> = Vec::with_capacity(nchunks);
         results.resize_with(nchunks, || Ok(Vec::new()));
         std::thread::scope(|s| {
-            for ((slot, slice), &(start, end)) in
-                results.iter_mut().zip(chunk_slices.iter()).zip(ranges.iter())
+            for ((slot, slice), &(start, end)) in results
+                .iter_mut()
+                .zip(chunk_slices.iter())
+                .zip(ranges.iter())
             {
                 let count = end - start;
                 s.spawn(move || {
@@ -375,7 +388,15 @@ mod tests {
 
     #[test]
     fn special_values() {
-        let vals = [0.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 5e-324, 1.0];
+        let vals = [
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            5e-324,
+            1.0,
+        ];
         let data = FloatData::from_f64(&vals, vec![7], Domain::Hpc).unwrap();
         round_trip_with(&data, 2);
     }
@@ -386,7 +407,10 @@ mod tests {
         let vals: Vec<f64> = (0..10_000).map(|i| ((i % 16) as f64) * 3.5).collect();
         let data = FloatData::from_f64(&vals, vec![10_000], Domain::Hpc).unwrap();
         let n = round_trip_with(&data, 1);
-        assert!(n < 10_000 * 8 / 4, "cyclic stream should compress 4x+, got {n}");
+        assert!(
+            n < 10_000 * 8 / 4,
+            "cyclic stream should compress 4x+, got {n}"
+        );
     }
 
     #[test]

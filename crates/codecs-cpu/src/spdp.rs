@@ -19,8 +19,8 @@
 //! exactly invertible byte transform, unit-tested in isolation.
 
 use fcbench_core::{
-    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
-    Platform, PrecisionSupport, Result,
+    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
+    PrecisionSupport, Result,
 };
 use fcbench_entropy::lz77::{self, Lz77Config};
 
@@ -40,7 +40,9 @@ impl Default for Spdp {
 
 impl Spdp {
     pub fn new() -> Self {
-        Spdp { lz_config: Lz77Config::fast() }
+        Spdp {
+            lz_config: Lz77Config::fast(),
+        }
     }
 
     /// Custom LZ stage for the SPDP window-size ablation.
@@ -204,7 +206,9 @@ mod tests {
     #[test]
     fn lnvs2_exposes_stride2_correlation() {
         // Alternating pattern: stride-2 residuals are all zero after warmup.
-        let data: Vec<u8> = (0..100).map(|i| if i % 2 == 0 { 0xAA } else { 0x55 }).collect();
+        let data: Vec<u8> = (0..100)
+            .map(|i| if i % 2 == 0 { 0xAA } else { 0x55 })
+            .collect();
         let r = lnvs2_forward(&data);
         assert!(r[2..].iter().all(|&b| b == 0));
     }
@@ -234,7 +238,14 @@ mod tests {
 
     #[test]
     fn special_values() {
-        let vals = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, 5e-324];
+        let vals = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            5e-324,
+        ];
         let data = FloatData::from_f64(&vals, vec![6], Domain::Hpc).unwrap();
         round_trip(&data);
     }
@@ -244,7 +255,9 @@ mod tests {
         let mut x = 0xFEEDu64;
         let vals: Vec<f64> = (0..3000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 f64::from_bits(x)
             })
             .collect();
@@ -256,8 +269,14 @@ mod tests {
     fn bigger_window_never_hurts_ratio_much() {
         let vals: Vec<f64> = (0..10_000).map(|i| ((i % 512) as f64).sqrt()).collect();
         let data = FloatData::from_f64(&vals, vec![10_000], Domain::Hpc).unwrap();
-        let small = Spdp::with_lz_config(Lz77Config { window: 1 << 12, chain_depth: 4 });
-        let large = Spdp::with_lz_config(Lz77Config { window: 1 << 20, chain_depth: 64 });
+        let small = Spdp::with_lz_config(Lz77Config {
+            window: 1 << 12,
+            chain_depth: 4,
+        });
+        let large = Spdp::with_lz_config(Lz77Config {
+            window: 1 << 20,
+            chain_depth: 64,
+        });
         let cs = small.compress(&data).unwrap();
         let cl = large.compress(&data).unwrap();
         // Wide windows pay one extra offset byte per match, so allow a few
@@ -268,7 +287,10 @@ mod tests {
             cl.len(),
             cs.len()
         );
-        assert_eq!(large.decompress(&cl, data.desc()).unwrap().bytes(), data.bytes());
+        assert_eq!(
+            large.decompress(&cl, data.desc()).unwrap().bytes(),
+            data.bytes()
+        );
     }
 
     #[test]

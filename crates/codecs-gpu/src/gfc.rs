@@ -20,8 +20,8 @@
 
 use fcbench_codecs_cpu::common::{chunk_ranges, push_u32, push_u64, read_u32, read_u64};
 use fcbench_core::{
-    AuxTime, CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData,
-    OpProfile, Platform, PrecisionSupport, Result,
+    AuxTime, CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
+    Platform, PrecisionSupport, Result,
 };
 use fcbench_gpu_sim::{Dir, Gpu, GpuConfig, TransferLedger};
 use parking_lot::Mutex;
@@ -70,7 +70,10 @@ impl Gfc {
     fn take_aux(&self) {
         let (h2d, d2h) = self.ledger.totals();
         self.ledger.drain();
-        *self.last_aux.lock() = AuxTime { h2d_seconds: h2d, d2h_seconds: d2h };
+        *self.last_aux.lock() = AuxTime {
+            h2d_seconds: h2d,
+            d2h_seconds: d2h,
+        };
     }
 }
 
@@ -86,7 +89,11 @@ fn compress_chunk(words: &[u64]) -> Vec<u8> {
     for sub in words.chunks(SUBCHUNK) {
         for &w in sub {
             let r = w.wrapping_sub(prev_last) as i64;
-            let (sign, mag) = if r < 0 { (1u8, r.unsigned_abs()) } else { (0u8, r as u64) };
+            let (sign, mag) = if r < 0 {
+                (1u8, r.unsigned_abs())
+            } else {
+                (0u8, r as u64)
+            };
             let lzb = (mag.leading_zeros() / 8).min(7);
             let nib = (sign << 3) | lzb as u8;
             match nibble_pending.take() {
@@ -114,7 +121,8 @@ fn decompress_chunk(payload: &[u8], count: usize) -> Result<Vec<u64>> {
     let ncodes = read_u32(payload, &mut pos)
         .ok_or_else(|| Error::Corrupt("gfc: missing code count".into()))? as usize;
     let nres = read_u32(payload, &mut pos)
-        .ok_or_else(|| Error::Corrupt("gfc: missing residual count".into()))? as usize;
+        .ok_or_else(|| Error::Corrupt("gfc: missing residual count".into()))?
+        as usize;
     if ncodes != count.div_ceil(2) {
         return Err(Error::Corrupt("gfc: code count mismatch".into()));
     }
@@ -141,7 +149,11 @@ fn decompress_chunk(payload: &[u8], count: usize) -> Result<Vec<u64>> {
         let mut le = [0u8; 8];
         le[..nbytes].copy_from_slice(raw);
         let mag = u64::from_le_bytes(le);
-        let r = if sign == 1 { (mag as i64).wrapping_neg() } else { mag as i64 };
+        let r = if sign == 1 {
+            (mag as i64).wrapping_neg()
+        } else {
+            mag as i64
+        };
         let w = prev_last.wrapping_add(r as u64);
         words.push(w);
         // Subchunk boundary bookkeeping.
@@ -304,7 +316,11 @@ impl Compressor for Gfc {
         // Per word: subtract, sign/abs, lz count, nibble pack — ~8 int ops;
         // reads the word, writes ~the word back. FP ops none.
         let n = (desc.byte_len() / 8) as u64;
-        Some(OpProfile { int_ops: 8 * n, float_ops: 0, bytes_moved: 2 * 8 * n })
+        Some(OpProfile {
+            int_ops: 8 * n,
+            float_ops: 0,
+            bytes_moved: 2 * 8 * n,
+        })
     }
 }
 
@@ -349,7 +365,14 @@ mod tests {
 
     #[test]
     fn special_values() {
-        let vals = [0.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 5e-324];
+        let vals = [
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            5e-324,
+        ];
         let data = FloatData::from_f64(&vals, vec![6], Domain::Hpc).unwrap();
         round_trip(&small_gfc(), &data);
     }
@@ -367,7 +390,10 @@ mod tests {
         let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
         let data = FloatData::from_f64(&vals, vec![1000], Domain::Hpc).unwrap();
         let err = gfc.compress(&data).unwrap_err();
-        assert!(matches!(err, Error::Unsupported(_)), "8000 bytes > 1024 limit");
+        assert!(
+            matches!(err, Error::Unsupported(_)),
+            "8000 bytes > 1024 limit"
+        );
     }
 
     #[test]
@@ -403,12 +429,11 @@ mod tests {
         // reason GFC ranks last in Fig. 7b.
         let mut jumpy = Vec::new();
         for s in 0..1000 {
-            jumpy.extend(std::iter::repeat((s * 1000) as f64).take(SUBCHUNK));
+            jumpy.extend(std::iter::repeat_n((s * 1000) as f64, SUBCHUNK));
         }
         let constant = vec![7.0f64; jumpy.len()];
         let d_jumpy = FloatData::from_f64(&jumpy, vec![jumpy.len()], Domain::Hpc).unwrap();
-        let d_const =
-            FloatData::from_f64(&constant, vec![constant.len()], Domain::Hpc).unwrap();
+        let d_const = FloatData::from_f64(&constant, vec![constant.len()], Domain::Hpc).unwrap();
         let n_jumpy = round_trip(&small_gfc(), &d_jumpy);
         let n_const = round_trip(&small_gfc(), &d_const);
         assert!(

@@ -19,8 +19,8 @@ use fcbench_codecs_cpu::bitshuffle::{bit_transpose, bit_untranspose};
 use fcbench_codecs_cpu::common::{push_u32, read_u32};
 use fcbench_codecs_cpu::ndzip::{unzigzag, zigzag};
 use fcbench_core::{
-    AuxTime, CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData,
-    OpProfile, Platform, Precision, PrecisionSupport, Result,
+    AuxTime, CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
+    Platform, Precision, PrecisionSupport, Result,
 };
 use fcbench_gpu_sim::{Dir, Gpu, GpuConfig, TransferLedger};
 use parking_lot::Mutex;
@@ -56,8 +56,11 @@ impl Mpc {
     /// Fix the LNV stride (the original's published default is 6; passing
     /// the true dimensionality is how MPC is driven multi-dimensionally).
     pub fn with_stride(stride: usize) -> Self {
-        assert!(stride >= 1 && stride < CHUNK_WORDS);
-        Mpc { stride_override: Some(stride), ..Self::new() }
+        assert!((1..CHUNK_WORDS).contains(&stride));
+        Mpc {
+            stride_override: Some(stride),
+            ..Self::new()
+        }
     }
 
     /// Derive the LNV stride from the descriptor: for 2-D tables the
@@ -76,7 +79,10 @@ impl Mpc {
     fn take_aux(&self) {
         let (h2d, d2h) = self.ledger.totals();
         self.ledger.drain();
-        *self.last_aux.lock() = AuxTime { h2d_seconds: h2d, d2h_seconds: d2h };
+        *self.last_aux.lock() = AuxTime {
+            h2d_seconds: h2d,
+            d2h_seconds: d2h,
+        };
     }
 }
 
@@ -309,9 +315,9 @@ impl Compressor for Mpc {
             return Err(Error::Corrupt("mpc: trailing bytes".into()));
         }
 
-        let (results, _stats) = self
-            .gpu
-            .launch(slices, |_ctx, slice| decompress_chunk(slice, elem_bits, stride));
+        let (results, _stats) = self.gpu.launch(slices, |_ctx, slice| {
+            decompress_chunk(slice, elem_bits, stride)
+        });
 
         let mut words = Vec::with_capacity(total_words);
         for r in results {
@@ -324,9 +330,7 @@ impl Compressor for Mpc {
         }
 
         let out = match desc.precision {
-            Precision::Double => {
-                FloatData::from_u64_words(&words, desc.dims.clone(), desc.domain)?
-            }
+            Precision::Double => FloatData::from_u64_words(&words, desc.dims.clone(), desc.domain)?,
             Precision::Single => {
                 let narrowed: Vec<u32> = words.into_iter().map(|w| w as u32).collect();
                 FloatData::from_u32_words(&narrowed, desc.dims.clone(), desc.domain)?
@@ -430,11 +434,13 @@ mod tests {
                 vals.push(1000.0 * c as f64 + (r / 50) as f64);
             }
         }
-        let data_md =
-            FloatData::from_f64(&vals, vec![rows, cols], Domain::TimeSeries).unwrap();
+        let data_md = FloatData::from_f64(&vals, vec![rows, cols], Domain::TimeSeries).unwrap();
         let md = round_trip(&Mpc::new(), &data_md);
         let oned = round_trip(&Mpc::new(), &data_md.flattened_1d());
-        assert!(md <= oned, "column stride ({md}) should not lose to 1-d ({oned})");
+        assert!(
+            md <= oned,
+            "column stride ({md}) should not lose to 1-d ({oned})"
+        );
     }
 
     #[test]

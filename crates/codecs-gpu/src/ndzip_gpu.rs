@@ -13,14 +13,14 @@
 //! Payload: `u32 ncubes | per-cube u64 offset (prefix sums) | u64 body len |
 //! cube bodies | border words`.
 
+use fcbench_codecs_cpu::common::effective_dims;
 use fcbench_codecs_cpu::common::{push_u32, push_u64, read_u32, read_u64};
 use fcbench_codecs_cpu::ndzip::{
     decode_cube, encode_cube, lorenzo_forward, lorenzo_inverse, plan_cubes, words_of, Ndzip,
 };
-use fcbench_codecs_cpu::common::effective_dims;
 use fcbench_core::{
-    AuxTime, CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData,
-    OpProfile, Platform, Precision, PrecisionSupport, Result,
+    AuxTime, CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
+    Platform, Precision, PrecisionSupport, Result,
 };
 use fcbench_gpu_sim::{exclusive_prefix_sum, Dir, Gpu, GpuConfig, TransferLedger};
 use parking_lot::Mutex;
@@ -53,7 +53,10 @@ impl NdzipGpu {
     fn take_aux(&self) {
         let (h2d, d2h) = self.ledger.totals();
         self.ledger.drain();
-        *self.last_aux.lock() = AuxTime { h2d_seconds: h2d, d2h_seconds: d2h };
+        *self.last_aux.lock() = AuxTime {
+            h2d_seconds: h2d,
+            d2h_seconds: d2h,
+        };
     }
 }
 
@@ -171,7 +174,11 @@ impl Compressor for NdzipGpu {
         let items: Vec<&[u8]> = (0..ncubes)
             .map(|k| {
                 let start = offsets[k];
-                let end = if k + 1 < ncubes { offsets[k + 1] } else { body_len };
+                let end = if k + 1 < ncubes {
+                    offsets[k + 1]
+                } else {
+                    body_len
+                };
                 &body[start..end.min(body_len)]
             })
             .collect();
@@ -180,7 +187,9 @@ impl Compressor for NdzipGpu {
             let mut local = 0usize;
             let mut cube = decode_cube(slice, &mut local, cube_elems, elem_bits)?;
             if local != slice.len() {
-                return Err(Error::Corrupt("ndzip-gpu: cube slice has trailing bytes".into()));
+                return Err(Error::Corrupt(
+                    "ndzip-gpu: cube slice has trailing bytes".into(),
+                ));
             }
             lorenzo_inverse(&mut cube, sides_ref, elem_bits as u32);
             Ok(cube)

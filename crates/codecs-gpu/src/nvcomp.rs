@@ -18,8 +18,8 @@
 
 use fcbench_codecs_cpu::common::{push_u32, read_u32};
 use fcbench_core::{
-    AuxTime, CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData,
-    OpProfile, Platform, PrecisionSupport, Result,
+    AuxTime, CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
+    Platform, PrecisionSupport, Result,
 };
 use fcbench_entropy::lz4;
 use fcbench_gpu_sim::{Dir, Gpu, GpuConfig, TransferLedger};
@@ -47,7 +47,10 @@ impl Batched {
     fn take_aux(&self) {
         let (h2d, d2h) = self.ledger.totals();
         self.ledger.drain();
-        *self.last_aux.lock() = AuxTime { h2d_seconds: h2d, d2h_seconds: d2h };
+        *self.last_aux.lock() = AuxTime {
+            h2d_seconds: h2d,
+            d2h_seconds: d2h,
+        };
     }
 
     /// Compress pages with `kernel`, assembling the standard container:
@@ -57,7 +60,8 @@ impl Batched {
         K: Fn(&fcbench_gpu_sim::KernelCtx<'_>, &[u8]) -> Vec<u8> + Sync,
     {
         self.ledger.drain();
-        self.ledger.record(self.gpu.config(), Dir::HostToDevice, bytes.len());
+        self.ledger
+            .record(self.gpu.config(), Dir::HostToDevice, bytes.len());
         let pages: Vec<&[u8]> = bytes.chunks(PAGE_BYTES).collect();
         let (streams, _stats) = self.gpu.launch(pages, |ctx, page| kernel(ctx, page));
         let total: usize = streams.iter().map(|s| s.len()).sum();
@@ -69,23 +73,20 @@ impl Batched {
         for s in &streams {
             out.extend_from_slice(s);
         }
-        self.ledger.record(self.gpu.config(), Dir::DeviceToHost, out.len());
+        self.ledger
+            .record(self.gpu.config(), Dir::DeviceToHost, out.len());
         self.take_aux();
         out
     }
 
     /// Decompress a page container with `kernel(page_payload, raw_len)`.
-    fn decompress_pages<K>(
-        &self,
-        payload: &[u8],
-        total_len: usize,
-        kernel: K,
-    ) -> Result<Vec<u8>>
+    fn decompress_pages<K>(&self, payload: &[u8], total_len: usize, kernel: K) -> Result<Vec<u8>>
     where
         K: Fn(&[u8], usize) -> Result<Vec<u8>> + Sync,
     {
         self.ledger.drain();
-        self.ledger.record(self.gpu.config(), Dir::HostToDevice, payload.len());
+        self.ledger
+            .record(self.gpu.config(), Dir::HostToDevice, payload.len());
         let mut pos = 0usize;
         let npages = read_u32(payload, &mut pos)
             .ok_or_else(|| Error::Corrupt("nvcomp: missing page count".into()))?
@@ -126,7 +127,8 @@ impl Batched {
         for r in results {
             out.extend_from_slice(&r?);
         }
-        self.ledger.record(self.gpu.config(), Dir::DeviceToHost, out.len());
+        self.ledger
+            .record(self.gpu.config(), Dir::DeviceToHost, out.len());
         self.take_aux();
         Ok(out)
     }
@@ -145,7 +147,9 @@ impl Default for NvLz4 {
 
 impl NvLz4 {
     pub fn new() -> Self {
-        NvLz4 { inner: Batched::new() }
+        NvLz4 {
+            inner: Batched::new(),
+        }
     }
 }
 
@@ -173,9 +177,11 @@ impl Compressor for NvLz4 {
     }
 
     fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
-        let bytes = self.inner.decompress_pages(payload, desc.byte_len(), |page, raw| {
-            lz4::decompress(page, raw).map_err(|e| Error::Corrupt(e.to_string()))
-        })?;
+        let bytes = self
+            .inner
+            .decompress_pages(payload, desc.byte_len(), |page, raw| {
+                lz4::decompress(page, raw).map_err(|e| Error::Corrupt(e.to_string()))
+            })?;
         FloatData::from_bytes(desc.clone(), bytes)
     }
 
@@ -187,7 +193,11 @@ impl Compressor for NvLz4 {
         // LZ4 kernel: hash, probe, compare per byte — ~12 int ops/byte,
         // reads input + table traffic.
         let b = desc.byte_len() as u64;
-        Some(OpProfile { int_ops: 12 * b, float_ops: 0, bytes_moved: 3 * b })
+        Some(OpProfile {
+            int_ops: 12 * b,
+            float_ops: 0,
+            bytes_moved: 3 * b,
+        })
     }
 }
 
@@ -204,7 +214,9 @@ impl Default for NvBitcomp {
 
 impl NvBitcomp {
     pub fn new() -> Self {
-        NvBitcomp { inner: Batched::new() }
+        NvBitcomp {
+            inner: Batched::new(),
+        }
     }
 }
 
@@ -326,7 +338,11 @@ impl Compressor for NvBitcomp {
         // Delta + lz count: ~4 int ops per word — bandwidth-bound, the
         // closest dot to the GPU memory roof in Fig. 11b.
         let n = (desc.byte_len() / 8) as u64;
-        Some(OpProfile { int_ops: 4 * n, float_ops: 0, bytes_moved: 2 * 8 * n })
+        Some(OpProfile {
+            int_ops: 4 * n,
+            float_ops: 0,
+            bytes_moved: 2 * 8 * n,
+        })
     }
 }
 
@@ -347,7 +363,10 @@ mod tests {
         let vals: Vec<f64> = (0..50_000).map(|i| ((i / 17) % 100) as f64).collect();
         let data = FloatData::from_f64(&vals, vec![50_000], Domain::TimeSeries).unwrap();
         let n = round_trip(&NvLz4::new(), &data);
-        assert!(n < data.bytes().len(), "repetitive data must compress, got {n}");
+        assert!(
+            n < data.bytes().len(),
+            "repetitive data must compress, got {n}"
+        );
     }
 
     #[test]

@@ -1,0 +1,589 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses.
+//!
+//! The build environment has no network access, so the real `proptest` cannot
+//! be fetched. This crate implements the same surface — the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map`, `any::<T>()`, range and
+//! tuple strategies, `prop::collection::vec`, `prop::bool::ANY`, regex-literal
+//! string strategies, and `ProptestConfig::with_cases` — on a deterministic
+//! xoshiro RNG. There is no shrinking: a failing case panics with the usual
+//! assert message, which is enough for CI. Swap the workspace dependency back
+//! to crates.io for full shrinking support.
+
+pub mod test_runner {
+    /// Drop-in for `proptest::test_runner::Config` (aliased `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Like real proptest's `with_cases`, except the `PROPTEST_CASES`
+        /// environment variable overrides even explicit counts — the shim's
+        /// stress-test knob (`PROPTEST_CASES=5000 cargo test`).
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases: env_cases().unwrap_or(cases),
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self {
+                cases: env_cases().unwrap_or(256),
+            }
+        }
+    }
+
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    }
+
+    /// Deterministic xoshiro256++ used to drive all strategies. Each test
+    /// function derives its seed from its own name so cases differ between
+    /// tests but are stable run-to-run.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn deterministic(salt: &str) -> Self {
+            // FNV-1a over the salt, then SplitMix64 to fill the state.
+            // `PROPTEST_RNG_SEED` perturbs the stream so reruns can explore
+            // different cases while staying reproducible.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in salt.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            if let Ok(seed) = std::env::var("PROPTEST_RNG_SEED") {
+                for b in seed.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+            }
+            let mut x = h;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform in [0, n). Panics if n == 0.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "cannot sample empty range");
+            self.next_u64() % n
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Value-generation strategy. Unlike real proptest there is no value
+    /// tree / shrinking; `sample` draws one case directly.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// `S.prop_map(f)` adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Constant strategy, for parity with `proptest::strategy::Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Numbers samplable from range strategies.
+    pub trait RangeSample: PartialOrd + Copy {
+        fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+        fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_range_sample_int {
+        ($($t:ty),*) => {$(
+            impl RangeSample for $t {
+                fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128;
+                    assert!(span > 0, "cannot sample empty range");
+                    let r = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + r) as $t
+                }
+                fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let r = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + r) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_sample_float {
+        ($($t:ty),*) => {$(
+            impl RangeSample for $t {
+                fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+                fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    impl_range_sample_float!(f32, f64);
+
+    impl<T: RangeSample> Strategy for Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: RangeSample> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!(
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    );
+
+    /// String strategies from regex literals, e.g. `"[a-z][a-z0-9-]{0,30}"`.
+    /// Supports literal characters, `[...]` classes with ranges, and the
+    /// quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` — the subset the workspace's
+    /// tests use.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_regex(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in regex strategy {pattern:?}"));
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                            for c in lo..=hi {
+                                set.push(char::from_u32(c).expect("valid class range"));
+                            }
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Atom::Class(set)
+                }
+                '\\' => {
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (lo, hi) = match chars.get(i) {
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed {{ in regex strategy {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("quantifier lower bound"),
+                            hi.trim().parse().expect("quantifier upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            atoms.push((atom, lo, hi));
+        }
+        atoms
+    }
+
+    pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse(pattern) {
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                match &atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        assert!(!set.is_empty(), "empty class in regex strategy {pattern:?}");
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Any bit pattern, like proptest's f64 ANY with all classes on.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size bound for collection strategies (inclusive lo, exclusive hi).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of `proptest::prelude::prop`: module paths for strategies.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// The test-definition macro. Each `#[test] fn name(pat in strategy, ...)`
+/// becomes a plain `#[test]` that samples every strategy `cases` times and
+/// runs the body. Failures panic immediately (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $( let $arg = $crate::strategy::Strategy::sample(&{ $strat }, &mut rng); )+
+                        $body
+                    }));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest {}: failed at case {}/{} (deterministic seed; no shrinking)",
+                            stringify!($name), case + 1, config.cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategy_matches_shape() {
+        let mut rng = crate::test_runner::TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = crate::string::sample_regex("[a-z][a-z0-9-]{0,30}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 31);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(any::<u8>(), 2..10)) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (0u32..10, 5u64..6),
+            s in (1usize..4).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!(s == 2 || s == 4 || s == 6);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline shim for the subset of `rand` 0.9 this workspace uses.
+//!
+//! The build environment has no network access, so the real `rand` cannot be
+//! fetched. This crate provides `rngs::SmallRng` (xoshiro256++ seeded via
+//! SplitMix64 — the same generator family the real `SmallRng` uses on 64-bit
+//! targets), the `SeedableRng::seed_from_u64` constructor, and
+//! `Rng::random_range` / `Rng::random` over the integer and float ranges the
+//! dataset generators and dzip reservoir need. Determinism per seed is the
+//! only property callers rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core RNG interface: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values samplable uniformly from a half-open or inclusive range.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+}
+
+/// Range types accepted by `Rng::random_range`.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                // Modulo over the span: a negligible bias is acceptable for
+                // synthetic data generation; determinism is what matters.
+                let span = (hi as i128 - lo as i128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + r) as $t
+            }
+            fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty, $unit:ident);*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                lo + $unit(rng) * (hi - lo)
+            }
+            fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                lo + $unit(rng) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+/// Uniform f64 in [0, 1) using the top 53 bits.
+fn unit_f64(rng: &mut dyn RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform f32 in [0, 1) using the top 24 bits.
+fn unit_f32(rng: &mut dyn RngCore) -> f32 {
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl_uniform_float!(f64, unit_f64; f32, unit_f32);
+
+/// Types producible by `Rng::random` from raw bits.
+pub trait StandardUniform: Sized {
+    fn from_rng(rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_standard {
+    ($($t:ty => $e:expr),*) => {$(
+        impl StandardUniform for $t {
+            fn from_rng(rng: &mut dyn RngCore) -> Self {
+                let f: fn(&mut dyn RngCore) -> $t = $e;
+                f(rng)
+            }
+        }
+    )*};
+}
+
+impl_standard!(
+    u8 => |r| r.next_u64() as u8,
+    u16 => |r| r.next_u64() as u16,
+    u32 => |r| r.next_u32(),
+    u64 => |r| r.next_u64(),
+    usize => |r| r.next_u64() as usize,
+    bool => |r| r.next_u64() & 1 == 1,
+    f32 => unit_f32,
+    f64 => unit_f64
+);
+
+pub trait Rng: RngCore {
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 stream expands the seed into the full state, as the
+            // xoshiro reference implementation recommends.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&v));
+            let n: usize = rng.random_range(8..64);
+            assert!((8..64).contains(&n));
+            let k: u32 = rng.random_range(1..=50);
+            assert!((1..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert_eq!(same, 0);
+    }
+}

@@ -72,8 +72,7 @@ impl<C: Compressor> Compressor for BlockCodec<C> {
 
         let mut payloads = Vec::with_capacity(nblocks);
         for chunk in bytes.chunks(bpb) {
-            let block_desc =
-                DataDesc::new(desc.precision, vec![chunk.len() / esize], desc.domain)?;
+            let block_desc = DataDesc::new(desc.precision, vec![chunk.len() / esize], desc.domain)?;
             let block = FloatData::from_bytes(block_desc, chunk.to_vec())?;
             payloads.push(self.inner.compress(&block)?);
         }
@@ -94,8 +93,7 @@ impl<C: Compressor> Compressor for BlockCodec<C> {
         if payload.len() < 4 {
             return Err(Error::Corrupt("block container truncated".into()));
         }
-        let nblocks =
-            u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+        let nblocks = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
         let dir_end = 4 + 8 * nblocks;
         if payload.len() < dir_end {
             return Err(Error::Corrupt("block directory truncated".into()));
@@ -130,13 +128,17 @@ impl<C: Compressor> Compressor for BlockCodec<C> {
                 return Err(Error::Corrupt("more blocks than elements".into()));
             }
             let block_desc = DataDesc::new(desc.precision, vec![block_elems], desc.domain)?;
-            let block = self.inner.decompress(&payload[pos..pos + len], &block_desc)?;
+            let block = self
+                .inner
+                .decompress(&payload[pos..pos + len], &block_desc)?;
             out.extend_from_slice(block.bytes());
             pos += len;
             remaining -= block_elems;
         }
         if remaining != 0 {
-            return Err(Error::Corrupt(format!("{remaining} elements missing from blocks")));
+            return Err(Error::Corrupt(format!(
+                "{remaining} elements missing from blocks"
+            )));
         }
         if pos != payload.len() {
             return Err(Error::Corrupt("trailing bytes after final block".into()));
@@ -219,7 +221,9 @@ mod tests {
     fn small_blocks_cost_more_overhead() {
         let data = sample(1024);
         let small = BlockCodec::new(HeaderedStore, 16).compress(&data).unwrap();
-        let large = BlockCodec::new(HeaderedStore, 4096).compress(&data).unwrap();
+        let large = BlockCodec::new(HeaderedStore, 4096)
+            .compress(&data)
+            .unwrap();
         // More blocks => more 2-byte headers + directory entries.
         assert!(small.len() > large.len());
     }

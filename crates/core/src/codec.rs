@@ -276,7 +276,11 @@ mod tests {
 
     #[test]
     fn op_profile_intensities() {
-        let p = OpProfile { int_ops: 100, float_ops: 50, bytes_moved: 200 };
+        let p = OpProfile {
+            int_ops: 100,
+            float_ops: 50,
+            bytes_moved: 200,
+        };
         assert!((p.int_intensity() - 0.5).abs() < 1e-12);
         assert!((p.float_intensity() - 0.25).abs() < 1e-12);
         let z = OpProfile::default();
@@ -286,7 +290,10 @@ mod tests {
 
     #[test]
     fn aux_time_totals() {
-        let a = AuxTime { h2d_seconds: 0.25, d2h_seconds: 0.5 };
+        let a = AuxTime {
+            h2d_seconds: 0.25,
+            d2h_seconds: 0.5,
+        };
         assert!((a.total() - 0.75).abs() < 1e-12);
         assert_eq!(AuxTime::default().total(), 0.0);
     }

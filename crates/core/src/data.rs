@@ -94,10 +94,14 @@ impl DataDesc {
         if dims.is_empty() {
             return Err(Error::BadDescriptor("dims must not be empty".into()));
         }
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err(Error::BadDescriptor(format!("zero dimension in {dims:?}")));
         }
-        Ok(DataDesc { precision, dims, domain })
+        Ok(DataDesc {
+            precision,
+            dims,
+            domain,
+        })
     }
 
     /// Total number of elements (product of dims).

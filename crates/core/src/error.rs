@@ -35,7 +35,10 @@ impl fmt::Display for Error {
             Error::BadDescriptor(msg) => write!(f, "bad data descriptor: {msg}"),
             Error::Unsupported(msg) => write!(f, "unsupported input: {msg}"),
             Error::LosslessViolation { codec } => {
-                write!(f, "codec {codec} violated losslessness (round-trip mismatch)")
+                write!(
+                    f,
+                    "codec {codec} violated losslessness (round-trip mismatch)"
+                )
             }
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
         }
@@ -70,7 +73,9 @@ mod tests {
         assert!(e.to_string().contains("gfc"));
         assert!(e.to_string().contains("Single"));
 
-        let e = Error::LosslessViolation { codec: "spdp".into() };
+        let e = Error::LosslessViolation {
+            codec: "spdp".into(),
+        };
         assert!(e.to_string().contains("spdp"));
     }
 

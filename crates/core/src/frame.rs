@@ -28,7 +28,8 @@ pub fn encode_frame(name: &str, desc: &DataDesc, payload: &[u8]) -> Vec<u8> {
     assert!(name_bytes.len() <= 255, "codec name too long");
     assert!(desc.dims.len() <= 255, "too many dimensions");
 
-    let mut out = Vec::with_capacity(4 + 1 + name_bytes.len() + 3 + 8 * desc.dims.len() + 8 + payload.len());
+    let mut out =
+        Vec::with_capacity(4 + 1 + name_bytes.len() + 3 + 8 * desc.dims.len() + 8 + payload.len());
     out.extend_from_slice(MAGIC);
     out.push(name_bytes.len() as u8);
     out.extend_from_slice(name_bytes);
@@ -66,7 +67,9 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame<'_>> {
         if *pos + n > bytes.len() {
             return Err(Error::Corrupt(format!(
                 "frame truncated at offset {} (wanted {} more bytes of {})",
-                pos, n, bytes.len()
+                pos,
+                n,
+                bytes.len()
             )));
         }
         let s = &bytes[*pos..*pos + n];
@@ -111,8 +114,14 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame<'_>> {
     }
     let plen_bytes = take(&mut pos, 8)?;
     let plen = u64::from_le_bytes([
-        plen_bytes[0], plen_bytes[1], plen_bytes[2], plen_bytes[3],
-        plen_bytes[4], plen_bytes[5], plen_bytes[6], plen_bytes[7],
+        plen_bytes[0],
+        plen_bytes[1],
+        plen_bytes[2],
+        plen_bytes[3],
+        plen_bytes[4],
+        plen_bytes[5],
+        plen_bytes[6],
+        plen_bytes[7],
     ]) as usize;
     let payload = take(&mut pos, plen)?;
     if pos != bytes.len() {
@@ -123,23 +132,21 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame<'_>> {
     }
 
     let desc = DataDesc::new(precision, dims, domain)?;
-    Ok(Frame { codec, desc, payload })
+    Ok(Frame {
+        codec,
+        desc,
+        payload,
+    })
 }
 
 /// Compress `data` with `codec` and wrap the result in a frame.
-pub fn compress_framed(
-    codec: &dyn crate::codec::Compressor,
-    data: &FloatData,
-) -> Result<Vec<u8>> {
+pub fn compress_framed(codec: &dyn crate::codec::Compressor, data: &FloatData) -> Result<Vec<u8>> {
     let payload = codec.compress(data)?;
     Ok(encode_frame(codec.info().name, data.desc(), &payload))
 }
 
 /// Decode a frame and decompress it with `codec`, checking the codec name.
-pub fn decompress_framed(
-    codec: &dyn crate::codec::Compressor,
-    bytes: &[u8],
-) -> Result<FloatData> {
+pub fn decompress_framed(codec: &dyn crate::codec::Compressor, bytes: &[u8]) -> Result<FloatData> {
     let frame = decode_frame(bytes)?;
     if frame.codec != codec.info().name {
         return Err(Error::Corrupt(format!(

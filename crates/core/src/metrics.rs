@@ -170,20 +170,30 @@ mod tests {
         // where nvcomp::LZ4 has rD = -18.64.
         let m = meas();
         assert!(m.r_d() < 0.0);
-        let balanced = Measurement { decomp_seconds: 2.0, ..meas() };
+        let balanced = Measurement {
+            decomp_seconds: 2.0,
+            ..meas()
+        };
         assert!(balanced.r_d().abs() < 1e-12);
     }
 
     #[test]
     fn zero_comp_bytes_does_not_divide_by_zero() {
-        let m = Measurement { comp_bytes: 0, ..meas() };
+        let m = Measurement {
+            comp_bytes: 0,
+            ..meas()
+        };
         assert!(m.compression_ratio().is_finite());
     }
 
     #[test]
     fn average_of_runs() {
         let a = meas();
-        let b = Measurement { comp_seconds: 4.0, decomp_seconds: 3.0, ..meas() };
+        let b = Measurement {
+            comp_seconds: 4.0,
+            decomp_seconds: 3.0,
+            ..meas()
+        };
         let avg = Measurement::average_of(&[a, b]).unwrap();
         assert!((avg.comp_seconds - 3.0).abs() < 1e-12);
         assert!((avg.decomp_seconds - 2.0).abs() < 1e-12);

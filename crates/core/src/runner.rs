@@ -21,7 +21,10 @@ pub struct NamedData {
 
 impl NamedData {
     pub fn new(name: impl Into<String>, data: FloatData) -> Self {
-        NamedData { name: name.into(), data }
+        NamedData {
+            name: name.into(),
+            data,
+        }
     }
 }
 
@@ -146,7 +149,10 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { repetitions: 1, verify: true }
+        RunConfig {
+            repetitions: 1,
+            verify: true,
+        }
     }
 }
 
@@ -181,7 +187,10 @@ pub fn run_cell(codec: &dyn Compressor, data: &FloatData, cfg: RunConfig) -> Cel
 
         if cfg.verify && back.bytes() != data.bytes() {
             return CellOutcome::Failed(
-                Error::LosslessViolation { codec: info.name.to_string() }.to_string(),
+                Error::LosslessViolation {
+                    codec: info.name.to_string(),
+                }
+                .to_string(),
             );
         }
         runs.push(Measurement {
@@ -197,11 +206,7 @@ pub fn run_cell(codec: &dyn Compressor, data: &FloatData, cfg: RunConfig) -> Cel
 }
 
 /// Run the full codec × dataset matrix.
-pub fn run_matrix(
-    codecs: &[&dyn Compressor],
-    datasets: &[NamedData],
-    cfg: RunConfig,
-) -> RunMatrix {
+pub fn run_matrix(codecs: &[&dyn Compressor], datasets: &[NamedData], cfg: RunConfig) -> RunMatrix {
     let mut cells = Vec::with_capacity(codecs.len());
     for codec in codecs {
         let mut row = Vec::with_capacity(datasets.len());
@@ -268,7 +273,10 @@ mod tests {
         assert_eq!(m.datasets, vec!["single", "double"]);
         assert!(m.cell("a", "single").unwrap().ratio().is_some());
         // b rejects single precision => Failed cell, like the paper's dashes.
-        assert!(matches!(m.cell("b", "single").unwrap(), CellOutcome::Failed(_)));
+        assert!(matches!(
+            m.cell("b", "single").unwrap(),
+            CellOutcome::Failed(_)
+        ));
         assert!(m.cell("b", "double").unwrap().ratio().is_some());
         assert!(m.cell("zz", "single").is_none());
     }
@@ -297,7 +305,14 @@ mod tests {
     #[test]
     fn store_codec_ratio_is_one() {
         let a = StoreCodec("a", PrecisionSupport::Both);
-        let m = run_matrix(&[&a], &datasets(), RunConfig { repetitions: 3, verify: true });
+        let m = run_matrix(
+            &[&a],
+            &datasets(),
+            RunConfig {
+                repetitions: 3,
+                verify: true,
+            },
+        );
         let r = m.cell("a", "single").unwrap().ratio().unwrap();
         assert!((r - 1.0).abs() < 1e-12);
         assert_eq!(m.all_ratios().len(), 2);

@@ -36,9 +36,11 @@ impl ScalingCurve {
     /// The thread count with peak throughput (paper: 16–24 for most codecs,
     /// after which oversubscription degrades it).
     pub fn peak(&self) -> Option<&ScalingPoint> {
-        self.points
-            .iter()
-            .max_by(|a, b| a.mb_per_s.partial_cmp(&b.mb_per_s).expect("finite throughputs"))
+        self.points.iter().max_by(|a, b| {
+            a.mb_per_s
+                .partial_cmp(&b.mb_per_s)
+                .expect("finite throughputs")
+        })
     }
 }
 
@@ -104,7 +106,10 @@ where
             efficiency: mb_per_s / base / threads as f64,
         })
         .collect();
-    Ok(ScalingCurve { codec: name, points })
+    Ok(ScalingCurve {
+        codec: name,
+        points,
+    })
 }
 
 #[cfg(test)]
@@ -160,7 +165,11 @@ mod tests {
         assert_eq!(curve.points.len(), 2);
         assert!((curve.points[0].speedup - 1.0).abs() < 1e-9);
         // 4 "threads" spin 4x less, so speedup should be well above 1.
-        assert!(curve.points[1].speedup > 1.5, "speedup = {}", curve.points[1].speedup);
+        assert!(
+            curve.points[1].speedup > 1.5,
+            "speedup = {}",
+            curve.points[1].speedup
+        );
         assert_eq!(curve.peak().unwrap().threads, 4);
     }
 

@@ -37,7 +37,11 @@ fn arb_desc() -> impl Strategy<Value = DataDesc> {
         0usize..4,
     )
         .prop_map(|(double, dims, dom)| {
-            let precision = if double { Precision::Double } else { Precision::Single };
+            let precision = if double {
+                Precision::Double
+            } else {
+                Precision::Single
+            };
             DataDesc::new(precision, dims, Domain::ALL[dom]).expect("nonzero dims")
         })
 }

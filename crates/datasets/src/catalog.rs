@@ -93,39 +93,303 @@ pub fn catalog() -> Vec<DatasetSpec> {
     use Family::*;
     use Precision::*;
     vec![
-        DatasetSpec { name: "msg-bt", domain: Hpc, precision: Double, paper_bytes: 266_389_432, paper_entropy: 23.67, paper_dims: &[33_298_679], family: HpcTrace },
-        DatasetSpec { name: "num-brain", domain: Hpc, precision: Double, paper_bytes: 141_840_000, paper_entropy: 23.97, paper_dims: &[17_730_000], family: HpcTrace },
-        DatasetSpec { name: "num-control", domain: Hpc, precision: Double, paper_bytes: 159_504_744, paper_entropy: 24.14, paper_dims: &[19_938_093], family: HpcTrace },
-        DatasetSpec { name: "rsim", domain: Hpc, precision: Single, paper_bytes: 94_281_728, paper_entropy: 18.50, paper_dims: &[2048, 11_509], family: SmoothField },
-        DatasetSpec { name: "astro-mhd", domain: Hpc, precision: Double, paper_bytes: 548_458_560, paper_entropy: 0.97, paper_dims: &[130, 514, 1026], family: SparseField },
-        DatasetSpec { name: "astro-pt", domain: Hpc, precision: Double, paper_bytes: 671_088_640, paper_entropy: 26.32, paper_dims: &[512, 256, 640], family: NoisyField },
-        DatasetSpec { name: "miranda3d", domain: Hpc, precision: Single, paper_bytes: 4_294_967_296, paper_entropy: 23.08, paper_dims: &[1024, 1024, 1024], family: SmoothField },
-        DatasetSpec { name: "turbulence", domain: Hpc, precision: Single, paper_bytes: 67_108_864, paper_entropy: 23.73, paper_dims: &[256, 256, 256], family: NoisyField },
-        DatasetSpec { name: "wave", domain: Hpc, precision: Single, paper_bytes: 536_870_912, paper_entropy: 25.27, paper_dims: &[512, 512, 512], family: NoisyField },
-        DatasetSpec { name: "hurricane", domain: Hpc, precision: Single, paper_bytes: 100_000_000, paper_entropy: 23.54, paper_dims: &[100, 500, 500], family: SmoothField },
-        DatasetSpec { name: "citytemp", domain: TimeSeries, precision: Single, paper_bytes: 11_625_304, paper_entropy: 9.43, paper_dims: &[2_906_326], family: DecimalSeries },
-        DatasetSpec { name: "ts-gas", domain: TimeSeries, precision: Single, paper_bytes: 307_452_800, paper_entropy: 13.94, paper_dims: &[76_863_200], family: DecimalSeries },
-        DatasetSpec { name: "phone-gyro", domain: TimeSeries, precision: Double, paper_bytes: 334_383_168, paper_entropy: 14.77, paper_dims: &[13_932_632, 3], family: SensorTable },
-        DatasetSpec { name: "wesad-chest", domain: TimeSeries, precision: Double, paper_bytes: 272_339_200, paper_entropy: 13.85, paper_dims: &[4_255_300, 8], family: SensorTable },
-        DatasetSpec { name: "jane-street", domain: TimeSeries, precision: Double, paper_bytes: 1_810_997_760, paper_entropy: 26.07, paper_dims: &[1_664_520, 136], family: MarketTable },
-        DatasetSpec { name: "nyc-taxi", domain: TimeSeries, precision: Double, paper_bytes: 713_711_376, paper_entropy: 13.17, paper_dims: &[12_744_846, 7], family: SensorTable },
-        DatasetSpec { name: "gas-price", domain: TimeSeries, precision: Double, paper_bytes: 886_619_664, paper_entropy: 8.66, paper_dims: &[36_942_486, 3], family: DecimalSeries },
-        DatasetSpec { name: "solar-wind", domain: TimeSeries, precision: Single, paper_bytes: 423_980_536, paper_entropy: 14.06, paper_dims: &[7_571_081, 14], family: SensorTable },
-        DatasetSpec { name: "acs-wht", domain: Observation, precision: Single, paper_bytes: 225_000_000, paper_entropy: 20.13, paper_dims: &[7500, 7500], family: AstroImage },
-        DatasetSpec { name: "hdr-night", domain: Observation, precision: Single, paper_bytes: 536_870_912, paper_entropy: 9.03, paper_dims: &[8192, 16_384], family: HdrImage },
-        DatasetSpec { name: "hdr-palermo", domain: Observation, precision: Single, paper_bytes: 843_454_592, paper_entropy: 9.34, paper_dims: &[10_268, 20_536], family: HdrImage },
-        DatasetSpec { name: "hst-wfc3-uvis", domain: Observation, precision: Single, paper_bytes: 108_924_760, paper_entropy: 15.61, paper_dims: &[5329, 5110], family: AstroImage },
-        DatasetSpec { name: "hst-wfc3-ir", domain: Observation, precision: Single, paper_bytes: 24_015_312, paper_entropy: 15.04, paper_dims: &[2484, 2417], family: AstroImage },
-        DatasetSpec { name: "spitzer-irac", domain: Observation, precision: Single, paper_bytes: 164_989_536, paper_entropy: 20.54, paper_dims: &[6456, 6389], family: AstroImage },
-        DatasetSpec { name: "g24-78-usb", domain: Observation, precision: Single, paper_bytes: 1_335_668_264, paper_entropy: 26.02, paper_dims: &[2426, 371, 371], family: NoisyField },
-        DatasetSpec { name: "jws-mirimage", domain: Observation, precision: Single, paper_bytes: 169_082_880, paper_entropy: 23.16, paper_dims: &[40, 1024, 1032], family: NoisyField },
-        DatasetSpec { name: "tpcH-order", domain: Database, precision: Double, paper_bytes: 120_000_000, paper_entropy: 23.40, paper_dims: &[15_000_000], family: TpcTable },
-        DatasetSpec { name: "tpcxBB-store", domain: Database, precision: Double, paper_bytes: 789_920_928, paper_entropy: 16.73, paper_dims: &[8_228_343, 12], family: TpcTable },
-        DatasetSpec { name: "tpcxBB-web", domain: Database, precision: Double, paper_bytes: 986_782_680, paper_entropy: 17.64, paper_dims: &[8_223_189, 15], family: TpcTable },
-        DatasetSpec { name: "tpcH-lineitem", domain: Database, precision: Single, paper_bytes: 959_776_816, paper_entropy: 8.87, paper_dims: &[59_986_051, 4], family: TpcTable },
-        DatasetSpec { name: "tpcDS-catalog", domain: Database, precision: Single, paper_bytes: 172_803_480, paper_entropy: 17.34, paper_dims: &[2_880_058, 15], family: TpcTable },
-        DatasetSpec { name: "tpcDS-store", domain: Database, precision: Single, paper_bytes: 276_515_952, paper_entropy: 15.17, paper_dims: &[5_760_749, 12], family: TpcTable },
-        DatasetSpec { name: "tpcDS-web", domain: Database, precision: Single, paper_bytes: 86_354_820, paper_entropy: 17.33, paper_dims: &[1_439_247, 15], family: TpcTable },
+        DatasetSpec {
+            name: "msg-bt",
+            domain: Hpc,
+            precision: Double,
+            paper_bytes: 266_389_432,
+            paper_entropy: 23.67,
+            paper_dims: &[33_298_679],
+            family: HpcTrace,
+        },
+        DatasetSpec {
+            name: "num-brain",
+            domain: Hpc,
+            precision: Double,
+            paper_bytes: 141_840_000,
+            paper_entropy: 23.97,
+            paper_dims: &[17_730_000],
+            family: HpcTrace,
+        },
+        DatasetSpec {
+            name: "num-control",
+            domain: Hpc,
+            precision: Double,
+            paper_bytes: 159_504_744,
+            paper_entropy: 24.14,
+            paper_dims: &[19_938_093],
+            family: HpcTrace,
+        },
+        DatasetSpec {
+            name: "rsim",
+            domain: Hpc,
+            precision: Single,
+            paper_bytes: 94_281_728,
+            paper_entropy: 18.50,
+            paper_dims: &[2048, 11_509],
+            family: SmoothField,
+        },
+        DatasetSpec {
+            name: "astro-mhd",
+            domain: Hpc,
+            precision: Double,
+            paper_bytes: 548_458_560,
+            paper_entropy: 0.97,
+            paper_dims: &[130, 514, 1026],
+            family: SparseField,
+        },
+        DatasetSpec {
+            name: "astro-pt",
+            domain: Hpc,
+            precision: Double,
+            paper_bytes: 671_088_640,
+            paper_entropy: 26.32,
+            paper_dims: &[512, 256, 640],
+            family: NoisyField,
+        },
+        DatasetSpec {
+            name: "miranda3d",
+            domain: Hpc,
+            precision: Single,
+            paper_bytes: 4_294_967_296,
+            paper_entropy: 23.08,
+            paper_dims: &[1024, 1024, 1024],
+            family: SmoothField,
+        },
+        DatasetSpec {
+            name: "turbulence",
+            domain: Hpc,
+            precision: Single,
+            paper_bytes: 67_108_864,
+            paper_entropy: 23.73,
+            paper_dims: &[256, 256, 256],
+            family: NoisyField,
+        },
+        DatasetSpec {
+            name: "wave",
+            domain: Hpc,
+            precision: Single,
+            paper_bytes: 536_870_912,
+            paper_entropy: 25.27,
+            paper_dims: &[512, 512, 512],
+            family: NoisyField,
+        },
+        DatasetSpec {
+            name: "hurricane",
+            domain: Hpc,
+            precision: Single,
+            paper_bytes: 100_000_000,
+            paper_entropy: 23.54,
+            paper_dims: &[100, 500, 500],
+            family: SmoothField,
+        },
+        DatasetSpec {
+            name: "citytemp",
+            domain: TimeSeries,
+            precision: Single,
+            paper_bytes: 11_625_304,
+            paper_entropy: 9.43,
+            paper_dims: &[2_906_326],
+            family: DecimalSeries,
+        },
+        DatasetSpec {
+            name: "ts-gas",
+            domain: TimeSeries,
+            precision: Single,
+            paper_bytes: 307_452_800,
+            paper_entropy: 13.94,
+            paper_dims: &[76_863_200],
+            family: DecimalSeries,
+        },
+        DatasetSpec {
+            name: "phone-gyro",
+            domain: TimeSeries,
+            precision: Double,
+            paper_bytes: 334_383_168,
+            paper_entropy: 14.77,
+            paper_dims: &[13_932_632, 3],
+            family: SensorTable,
+        },
+        DatasetSpec {
+            name: "wesad-chest",
+            domain: TimeSeries,
+            precision: Double,
+            paper_bytes: 272_339_200,
+            paper_entropy: 13.85,
+            paper_dims: &[4_255_300, 8],
+            family: SensorTable,
+        },
+        DatasetSpec {
+            name: "jane-street",
+            domain: TimeSeries,
+            precision: Double,
+            paper_bytes: 1_810_997_760,
+            paper_entropy: 26.07,
+            paper_dims: &[1_664_520, 136],
+            family: MarketTable,
+        },
+        DatasetSpec {
+            name: "nyc-taxi",
+            domain: TimeSeries,
+            precision: Double,
+            paper_bytes: 713_711_376,
+            paper_entropy: 13.17,
+            paper_dims: &[12_744_846, 7],
+            family: SensorTable,
+        },
+        DatasetSpec {
+            name: "gas-price",
+            domain: TimeSeries,
+            precision: Double,
+            paper_bytes: 886_619_664,
+            paper_entropy: 8.66,
+            paper_dims: &[36_942_486, 3],
+            family: DecimalSeries,
+        },
+        DatasetSpec {
+            name: "solar-wind",
+            domain: TimeSeries,
+            precision: Single,
+            paper_bytes: 423_980_536,
+            paper_entropy: 14.06,
+            paper_dims: &[7_571_081, 14],
+            family: SensorTable,
+        },
+        DatasetSpec {
+            name: "acs-wht",
+            domain: Observation,
+            precision: Single,
+            paper_bytes: 225_000_000,
+            paper_entropy: 20.13,
+            paper_dims: &[7500, 7500],
+            family: AstroImage,
+        },
+        DatasetSpec {
+            name: "hdr-night",
+            domain: Observation,
+            precision: Single,
+            paper_bytes: 536_870_912,
+            paper_entropy: 9.03,
+            paper_dims: &[8192, 16_384],
+            family: HdrImage,
+        },
+        DatasetSpec {
+            name: "hdr-palermo",
+            domain: Observation,
+            precision: Single,
+            paper_bytes: 843_454_592,
+            paper_entropy: 9.34,
+            paper_dims: &[10_268, 20_536],
+            family: HdrImage,
+        },
+        DatasetSpec {
+            name: "hst-wfc3-uvis",
+            domain: Observation,
+            precision: Single,
+            paper_bytes: 108_924_760,
+            paper_entropy: 15.61,
+            paper_dims: &[5329, 5110],
+            family: AstroImage,
+        },
+        DatasetSpec {
+            name: "hst-wfc3-ir",
+            domain: Observation,
+            precision: Single,
+            paper_bytes: 24_015_312,
+            paper_entropy: 15.04,
+            paper_dims: &[2484, 2417],
+            family: AstroImage,
+        },
+        DatasetSpec {
+            name: "spitzer-irac",
+            domain: Observation,
+            precision: Single,
+            paper_bytes: 164_989_536,
+            paper_entropy: 20.54,
+            paper_dims: &[6456, 6389],
+            family: AstroImage,
+        },
+        DatasetSpec {
+            name: "g24-78-usb",
+            domain: Observation,
+            precision: Single,
+            paper_bytes: 1_335_668_264,
+            paper_entropy: 26.02,
+            paper_dims: &[2426, 371, 371],
+            family: NoisyField,
+        },
+        DatasetSpec {
+            name: "jws-mirimage",
+            domain: Observation,
+            precision: Single,
+            paper_bytes: 169_082_880,
+            paper_entropy: 23.16,
+            paper_dims: &[40, 1024, 1032],
+            family: NoisyField,
+        },
+        DatasetSpec {
+            name: "tpcH-order",
+            domain: Database,
+            precision: Double,
+            paper_bytes: 120_000_000,
+            paper_entropy: 23.40,
+            paper_dims: &[15_000_000],
+            family: TpcTable,
+        },
+        DatasetSpec {
+            name: "tpcxBB-store",
+            domain: Database,
+            precision: Double,
+            paper_bytes: 789_920_928,
+            paper_entropy: 16.73,
+            paper_dims: &[8_228_343, 12],
+            family: TpcTable,
+        },
+        DatasetSpec {
+            name: "tpcxBB-web",
+            domain: Database,
+            precision: Double,
+            paper_bytes: 986_782_680,
+            paper_entropy: 17.64,
+            paper_dims: &[8_223_189, 15],
+            family: TpcTable,
+        },
+        DatasetSpec {
+            name: "tpcH-lineitem",
+            domain: Database,
+            precision: Single,
+            paper_bytes: 959_776_816,
+            paper_entropy: 8.87,
+            paper_dims: &[59_986_051, 4],
+            family: TpcTable,
+        },
+        DatasetSpec {
+            name: "tpcDS-catalog",
+            domain: Database,
+            precision: Single,
+            paper_bytes: 172_803_480,
+            paper_entropy: 17.34,
+            paper_dims: &[2_880_058, 15],
+            family: TpcTable,
+        },
+        DatasetSpec {
+            name: "tpcDS-store",
+            domain: Database,
+            precision: Single,
+            paper_bytes: 276_515_952,
+            paper_entropy: 15.17,
+            paper_dims: &[5_760_749, 12],
+            family: TpcTable,
+        },
+        DatasetSpec {
+            name: "tpcDS-web",
+            domain: Database,
+            precision: Single,
+            paper_bytes: 86_354_820,
+            paper_entropy: 17.33,
+            paper_dims: &[1_439_247, 15],
+            family: TpcTable,
+        },
     ]
 }
 
@@ -187,7 +451,7 @@ mod tests {
         let dims = spec.scaled_dims(250_000);
         assert_eq!(dims.len(), 3);
         let total: usize = dims.iter().product();
-        assert!(total <= 400_000 && total >= 100_000, "total {total}");
+        assert!((100_000..=400_000).contains(&total), "total {total}");
 
         let table = find("jane-street").unwrap();
         let dims = table.scaled_dims(250_000);

@@ -26,8 +26,7 @@ pub fn value_entropy(data: &FloatData) -> f64 {
     match data.desc().precision {
         Precision::Double => {
             for c in bytes.chunks_exact(8) {
-                let w =
-                    u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+                let w = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
                 *counts.entry(w).or_insert(0) += 1;
             }
         }

@@ -49,8 +49,16 @@ struct Tuning {
 /// distinct-value entropy (see DESIGN.md); saturated datasets (entropy ≈
 /// log₂ N in the paper) get supports far above any scaled element count.
 fn tuning(name: &str) -> Tuning {
-    let dec = |d: u32, lo: f64, hi: f64| Tuning { quant: Quant::Decimal(d), lo, hi };
-    let grid = |levels: u64, lo: f64, hi: f64| Tuning { quant: Quant::Grid(levels), lo, hi };
+    let dec = |d: u32, lo: f64, hi: f64| Tuning {
+        quant: Quant::Decimal(d),
+        lo,
+        hi,
+    };
+    let grid = |levels: u64, lo: f64, hi: f64| Tuning {
+        quant: Quant::Grid(levels),
+        lo,
+        hi,
+    };
     let dgrid = |d: u32, levels: u64, lo: f64, hi: f64| Tuning {
         quant: Quant::DecimalGrid(d, levels),
         lo,
@@ -69,7 +77,11 @@ fn tuning(name: &str) -> Tuning {
         "miranda3d" => dec(4, 1.0, 1000.0),
         "turbulence" => grid(1 << 24, -1.5, 1.5),
         "wave" => grid(1 << 25, -300.0, 300.0),
-        "hurricane" => Tuning { quant: Quant::None, lo: -80.0, hi: 120.0 },
+        "hurricane" => Tuning {
+            quant: Quant::None,
+            lo: -80.0,
+            hi: 120.0,
+        },
         "citytemp" => grid(690, -15.0, 54.0),
         "ts-gas" => grid(16_400, 0.0, 164.0),
         "phone-gyro" => dec(6, -14.0, 14.0),
@@ -222,18 +234,20 @@ fn gen_smooth_field(dims: &[usize], tun: Tuning, rng: &mut SmallRng, noise: f64)
 
 /// Mostly-zero field with rare plateaus (astro-mhd's 0.97-bit entropy).
 fn gen_sparse_field(n: usize, tun: Tuning, rng: &mut SmallRng) -> Vec<f64> {
-    let levels: Vec<f64> = (1..=8).map(|k| tun.lo + (tun.hi - tun.lo) * k as f64 / 8.0).collect();
+    let levels: Vec<f64> = (1..=8)
+        .map(|k| tun.lo + (tun.hi - tun.lo) * k as f64 / 8.0)
+        .collect();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         if rng.random_range(0.0..1.0) < 0.92 {
             // Sky/zero background in short runs: keeps ratios in the
             // paper's 8-22x band rather than degenerate constant blocks.
             let run = rng.random_range(8..64).min(n - out.len());
-            out.extend(std::iter::repeat(0.0).take(run));
+            out.extend(std::iter::repeat_n(0.0, run));
         } else {
             let run = rng.random_range(2..12).min(n - out.len());
             let v = levels[rng.random_range(0..levels.len())];
-            out.extend(std::iter::repeat(v).take(run));
+            out.extend(std::iter::repeat_n(v, run));
         }
     }
     out
@@ -241,17 +255,23 @@ fn gen_sparse_field(n: usize, tun: Tuning, rng: &mut SmallRng) -> Vec<f64> {
 
 /// Seasonal decimal series (optionally multi-column, e.g. gas-price).
 fn gen_decimal_series(dims: &[usize], tun: Tuning, rng: &mut SmallRng) -> Vec<f64> {
-    let (rows, cols) = if dims.len() == 2 { (dims[0], dims[1]) } else { (dims[0], 1) };
+    let (rows, cols) = if dims.len() == 2 {
+        (dims[0], dims[1])
+    } else {
+        (dims[0], 1)
+    };
     let span = tun.hi - tun.lo;
-    let offsets: Vec<f64> = (0..cols).map(|_| rng.random_range(0.0..span * 0.2)).collect();
+    let offsets: Vec<f64> = (0..cols)
+        .map(|_| rng.random_range(0.0..span * 0.2))
+        .collect();
     let mut out = Vec::with_capacity(rows * cols);
     let mut walk = 0.0f64;
     for r in 0..rows {
         walk += gauss(rng) * span * 0.004;
         walk = walk.clamp(-span * 0.25, span * 0.25);
         let season = span * 0.25 * (r as f64 * 0.0008).sin() + span * 0.1 * (r as f64 * 0.02).sin();
-        for c in 0..cols {
-            out.push(tun.lo + span * 0.45 + offsets[c] + season + walk);
+        for &off in &offsets {
+            out.push(tun.lo + span * 0.45 + off + season + walk);
         }
     }
     out
@@ -262,7 +282,9 @@ fn gen_sensor_table(dims: &[usize], tun: Tuning, rng: &mut SmallRng) -> Vec<f64>
     let (rows, cols) = (dims[0], dims[1]);
     let span = tun.hi - tun.lo;
     let mid = (tun.lo + tun.hi) / 2.0;
-    let mut state: Vec<f64> = (0..cols).map(|_| rng.random_range(-0.2..0.2) * span).collect();
+    let mut state: Vec<f64> = (0..cols)
+        .map(|_| rng.random_range(-0.2..0.2) * span)
+        .collect();
     let steps: Vec<f64> = (0..cols)
         .map(|c| span * 0.002 * (1.0 + c as f64 * 0.37))
         .collect();
@@ -284,9 +306,9 @@ fn gen_market_table(dims: &[usize], tun: Tuning, rng: &mut SmallRng) -> Vec<f64>
     let mut state: Vec<f64> = vec![0.0; cols];
     let mut out = Vec::with_capacity(rows * cols);
     for _ in 0..rows {
-        for c in 0..cols {
-            state[c] = 0.7 * state[c] + gauss(rng) * span * 0.05;
-            out.push(state[c]);
+        for s in state.iter_mut() {
+            *s = 0.7 * *s + gauss(rng) * span * 0.05;
+            out.push(*s);
         }
     }
     out
@@ -299,7 +321,9 @@ fn gen_astro_image(dims: &[usize], tun: Tuning, rng: &mut SmallRng) -> Vec<f64> 
     let span = tun.hi - tun.lo;
     let bg_mean = tun.lo + span * 0.08;
     let bg_sigma = span * 0.015;
-    let mut img: Vec<f64> = (0..h * w).map(|_| bg_mean + gauss(rng) * bg_sigma).collect();
+    let mut img: Vec<f64> = (0..h * w)
+        .map(|_| bg_mean + gauss(rng) * bg_sigma)
+        .collect();
     // Point sources: ~1 per 3000 pixels, Gaussian PSF of radius ~2.
     let nsrc = (h * w / 3000).max(1);
     for _ in 0..nsrc {
@@ -347,7 +371,11 @@ fn gen_hdr_image(dims: &[usize], tun: Tuning, rng: &mut SmallRng) -> Vec<f64> {
 /// rates 9 levels, counts 500 levels), mapped into the tuned range so the
 /// dataset-level clamp never crushes a column.
 fn gen_tpc_table(dims: &[usize], tun: Tuning, rng: &mut SmallRng) -> Vec<f64> {
-    let (rows, cols) = if dims.len() == 2 { (dims[0], dims[1]) } else { (dims[0], 1) };
+    let (rows, cols) = if dims.len() == 2 {
+        (dims[0], dims[1])
+    } else {
+        (dims[0], 1)
+    };
     let span = tun.hi - tun.lo;
     let mut out = Vec::with_capacity(rows * cols);
     for _ in 0..rows {
@@ -451,7 +479,7 @@ mod tests {
             assert_eq!(data.desc().ndims(), spec.paper_dims.len(), "{}", spec.name);
             let n = data.elements();
             assert!(
-                n >= TEST_ELEMS / 4 && n <= TEST_ELEMS * 2,
+                (TEST_ELEMS / 4..=TEST_ELEMS * 2).contains(&n),
                 "{}: scaled to {n} elements",
                 spec.name
             );
@@ -462,7 +490,9 @@ mod tests {
     fn decimal_datasets_are_exactly_representable() {
         for spec in catalog() {
             let tun = tuning(spec.name);
-            let Quant::Decimal(d) = tun.quant else { continue };
+            let Quant::Decimal(d) = tun.quant else {
+                continue;
+            };
             let data = generate(&spec, 4096);
             let s = 10f64.powi(d as i32);
             let check = |v: f64| {
@@ -573,8 +603,18 @@ mod tests {
                     )
                 }
             };
-            assert!(min >= tun.lo - 1e-6, "{}: min {min} < {}", spec.name, tun.lo);
-            assert!(max <= tun.hi + 1e-6, "{}: max {max} > {}", spec.name, tun.hi);
+            assert!(
+                min >= tun.lo - 1e-6,
+                "{}: min {min} < {}",
+                spec.name,
+                tun.lo
+            );
+            assert!(
+                max <= tun.hi + 1e-6,
+                "{}: max {max} > {}",
+                spec.name,
+                tun.hi
+            );
         }
     }
 }

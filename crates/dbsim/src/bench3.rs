@@ -100,8 +100,7 @@ mod tests {
 
     #[test]
     fn primitives_are_measured_and_consistent() {
-        let path = std::env::temp_dir()
-            .join(format!("fcbench-bench3-{}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("fcbench-bench3-{}", std::process::id()));
         let a: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64).collect();
         let cols = vec![ColumnData::from_f64("a", &a)];
         let r = measure_three_primitives(&path, &StoreCodec, &cols, 1024).unwrap();

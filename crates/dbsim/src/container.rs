@@ -43,7 +43,11 @@ impl ColumnData {
         for v in values {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
-        ColumnData { name: name.into(), precision: Precision::Double, bytes }
+        ColumnData {
+            name: name.into(),
+            precision: Precision::Double,
+            bytes,
+        }
     }
 
     pub fn from_f32(name: impl Into<String>, values: &[f32]) -> Self {
@@ -51,7 +55,11 @@ impl ColumnData {
         for v in values {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
-        ColumnData { name: name.into(), precision: Precision::Single, bytes }
+        ColumnData {
+            name: name.into(),
+            precision: Precision::Single,
+            bytes,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -176,8 +184,7 @@ fn parse_container(bytes: &[u8]) -> Result<CompressedTable> {
             b => return Err(Error::Corrupt(format!("bad precision byte {b}"))),
         };
         let rows = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
-        let chunk_elems =
-            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let chunk_elems = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
         let nchunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
         if chunk_elems == 0 || nchunks > rows.max(1) {
             return Err(Error::Corrupt("implausible chunk layout".into()));
@@ -186,7 +193,13 @@ fn parse_container(bytes: &[u8]) -> Result<CompressedTable> {
         for _ in 0..nchunks {
             sizes.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize);
         }
-        metas.push(Meta { name, precision, rows, chunk_elems, sizes });
+        metas.push(Meta {
+            name,
+            precision,
+            rows,
+            chunk_elems,
+            sizes,
+        });
     }
 
     // Body pass: slice out chunk payloads.
@@ -207,7 +220,10 @@ fn parse_container(bytes: &[u8]) -> Result<CompressedTable> {
     if pos != bytes.len() {
         return Err(Error::Corrupt("trailing bytes in container".into()));
     }
-    Ok(CompressedTable { codec_name, columns })
+    Ok(CompressedTable {
+        codec_name,
+        columns,
+    })
 }
 
 impl CompressedColumn {

@@ -62,9 +62,7 @@ impl DataFrame {
                     c.bytes
                         .chunks_exact(8)
                         .map(|b| {
-                            f64::from_le_bytes([
-                                b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-                            ])
+                            f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
                         })
                         .collect(),
                 ),

@@ -15,5 +15,7 @@ pub mod container;
 pub mod dataframe;
 
 pub use bench3::{measure_three_primitives, ThreePrimitives};
-pub use container::{read_container, write_container, ColumnData, CompressedColumn, CompressedTable};
+pub use container::{
+    read_container, write_container, ColumnData, CompressedColumn, CompressedTable,
+};
 pub use dataframe::{Column, DataFrame};

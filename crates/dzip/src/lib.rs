@@ -58,11 +58,17 @@ impl Default for Dzip {
 
 impl Dzip {
     pub fn new() -> Self {
-        Dzip { bootstrap_passes: 2, bootstrap_budget: 1 << 16 }
+        Dzip {
+            bootstrap_passes: 2,
+            bootstrap_budget: 1 << 16,
+        }
     }
 
     pub fn with_bootstrap(passes: usize, budget: usize) -> Self {
-        Dzip { bootstrap_passes: passes, bootstrap_budget: budget.max(256) }
+        Dzip {
+            bootstrap_passes: passes,
+            bootstrap_budget: budget.max(256),
+        }
     }
 }
 
@@ -119,9 +125,9 @@ impl Reservoir {
         for i in 0..HIDDEN {
             let mut z_acc = self.wz[b][i];
             let mut c_acc = self.wh[b][i];
-            for j in 0..HIDDEN {
-                z_acc += self.uz[i][j] * h[j];
-                c_acc += self.uh[i][j] * h[j];
+            for (j, &hj) in h.iter().enumerate() {
+                z_acc += self.uz[i][j] * hj;
+                c_acc += self.uh[i][j] * hj;
             }
             let z = sigmoid(z_acc);
             let cand = c_acc.tanh();
@@ -147,26 +153,29 @@ struct Readout {
 
 impl Readout {
     fn zeroed() -> Self {
-        Readout { w: vec![[0.0; HIDDEN]; 256], b: vec![0.0; 256] }
+        Readout {
+            w: vec![[0.0; HIDDEN]; 256],
+            b: vec![0.0; 256],
+        }
     }
 
     /// Softmax probabilities for state `h`.
     fn probs(&self, h: &[f64; HIDDEN]) -> [f64; 256] {
         let mut logits = [0.0f64; 256];
         let mut max = f64::NEG_INFINITY;
-        for s in 0..256 {
+        for (s, logit) in logits.iter_mut().enumerate() {
             let mut acc = self.b[s];
-            for j in 0..HIDDEN {
-                acc += self.w[s][j] * h[j];
+            for (j, &hj) in h.iter().enumerate() {
+                acc += self.w[s][j] * hj;
             }
-            logits[s] = acc;
+            *logit = acc;
             max = max.max(acc);
         }
         let mut sum = 0.0;
         let mut out = [0.0f64; 256];
-        for s in 0..256 {
-            let e = (logits[s] - max).exp();
-            out[s] = e;
+        for (o, &logit) in out.iter_mut().zip(logits.iter()) {
+            let e = (logit - max).exp();
+            *o = e;
             sum += e;
         }
         for v in out.iter_mut() {
@@ -177,12 +186,12 @@ impl Readout {
 
     /// One SGD step of softmax cross-entropy toward `target`.
     fn train(&mut self, h: &[f64; HIDDEN], probs: &[f64; 256], target: u8) {
-        for s in 0..256 {
-            let grad = probs[s] - if s == target as usize { 1.0 } else { 0.0 };
+        for (s, &p) in probs.iter().enumerate() {
+            let grad = p - if s == target as usize { 1.0 } else { 0.0 };
             let step = LEARNING_RATE * grad;
             self.b[s] -= step * 0.1;
-            for j in 0..HIDDEN {
-                self.w[s][j] -= step * h[j];
+            for (w, &hj) in self.w[s].iter_mut().zip(h.iter()) {
+                *w -= step * hj;
             }
         }
     }
@@ -243,12 +252,7 @@ fn quantize(probs: &[f64; 256]) -> ([u32; 256], u32) {
 }
 
 /// Train a bootstrap readout over (a prefix of) `data`.
-fn bootstrap(
-    reservoir: &Reservoir,
-    data: &[u8],
-    passes: usize,
-    budget: usize,
-) -> Readout {
+fn bootstrap(reservoir: &Reservoir, data: &[u8], passes: usize, budget: usize) -> Readout {
     let mut readout = Readout::zeroed();
     let slice = &data[..data.len().min(budget)];
     for _ in 0..passes {
@@ -278,7 +282,12 @@ impl Compressor for Dzip {
     fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
         let bytes = data.bytes();
         let reservoir = Reservoir::seeded();
-        let boot = bootstrap(&reservoir, bytes, self.bootstrap_passes, self.bootstrap_budget);
+        let boot = bootstrap(
+            &reservoir,
+            bytes,
+            self.bootstrap_passes,
+            self.bootstrap_budget,
+        );
         let boot_bytes = boot.serialize();
 
         // Supporter phase: adapt while encoding.
@@ -321,7 +330,9 @@ impl Compressor for Dzip {
                 .expect("8"),
         ) as usize;
         if dlen != desc.byte_len() {
-            return Err(Error::Corrupt("dzip: length mismatch with descriptor".into()));
+            return Err(Error::Corrupt(
+                "dzip: length mismatch with descriptor".into(),
+            ));
         }
         let stream = &payload[pos + 8..];
 
@@ -337,12 +348,12 @@ impl Compressor for Dzip {
             // Locate the symbol bucket.
             let mut cum = 0u32;
             let mut sym = 255u8;
-            for s in 0..256 {
-                if target < cum + freqs[s] {
+            for (s, &f) in freqs.iter().enumerate() {
+                if target < cum + f {
                     sym = s as u8;
                     break;
                 }
-                cum += freqs[s];
+                cum += f;
             }
             dec.decode_update(cum, freqs[sym as usize]);
             readout.train(&h, &probs, sym);
@@ -401,7 +412,14 @@ mod tests {
 
     #[test]
     fn special_values() {
-        round_trip(&[0.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 5e-324]);
+        round_trip(&[
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            5e-324,
+        ]);
     }
 
     #[test]

@@ -13,11 +13,17 @@ pub struct BitWriter {
 
 impl BitWriter {
     pub fn new() -> Self {
-        BitWriter { buf: Vec::new(), used: 0 }
+        BitWriter {
+            buf: Vec::new(),
+            used: 0,
+        }
     }
 
     pub fn with_capacity(bytes: usize) -> Self {
-        BitWriter { buf: Vec::with_capacity(bytes), used: 0 }
+        BitWriter {
+            buf: Vec::with_capacity(bytes),
+            used: 0,
+        }
     }
 
     /// Total bits written so far.
@@ -153,7 +159,9 @@ mod tests {
 
     #[test]
     fn single_bits_round_trip() {
-        let pattern = [true, false, true, true, false, false, true, false, true, true];
+        let pattern = [
+            true, false, true, true, false, false, true, false, true, true,
+        ];
         let mut w = BitWriter::new();
         for &b in &pattern {
             w.push_bit(b);

@@ -38,7 +38,7 @@ pub fn code_lengths(freqs: &[u64; 256]) -> [u8; 256] {
         // flattens toward uniform (max length 8 for 256 symbols).
         for v in f.iter_mut() {
             if *v > 0 {
-                *v = (*v + 1) / 2;
+                *v = (*v).div_ceil(2);
             }
         }
     }
@@ -68,7 +68,10 @@ fn huffman_lengths_unbounded(freqs: &[u64]) -> Vec<u8> {
     const NO_PARENT: usize = usize::MAX;
     let mut nodes: Vec<Node> = active
         .iter()
-        .map(|&i| Node { freq: freqs[i], parent: NO_PARENT })
+        .map(|&i| Node {
+            freq: freqs[i],
+            parent: NO_PARENT,
+        })
         .collect();
 
     // Min-heap of (freq, node index); tie-break on index for determinism.
@@ -84,7 +87,10 @@ fn huffman_lengths_unbounded(freqs: &[u64]) -> Vec<u8> {
         let Reverse((fa, a)) = heap.pop().expect("heap nonempty");
         let Reverse((fb, b)) = heap.pop().expect("heap has two");
         let parent = nodes.len();
-        nodes.push(Node { freq: fa + fb, parent: NO_PARENT });
+        nodes.push(Node {
+            freq: fa + fb,
+            parent: NO_PARENT,
+        });
         nodes[a].parent = parent;
         nodes[b].parent = parent;
         heap.push(Reverse((fa + fb, parent)));
@@ -320,7 +326,9 @@ mod tests {
         let mut x = 7u64;
         let mut freqs = [0u64; 256];
         for slot in freqs.iter_mut() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *slot = x % 1000;
         }
         let lens = code_lengths(&freqs);

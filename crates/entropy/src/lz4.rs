@@ -251,7 +251,11 @@ mod tests {
     fn highly_repetitive_compresses_well() {
         let data = vec![42u8; 10_000];
         let c = compress(&data);
-        assert!(c.len() < 100, "repetitive data should shrink, got {}", c.len());
+        assert!(
+            c.len() < 100,
+            "repetitive data should shrink, got {}",
+            c.len()
+        );
         round_trip(&data);
     }
 
@@ -282,7 +286,7 @@ mod tests {
     fn overlapping_match_rle_case() {
         // "aaaa..." forces offset-1 overlapping copies.
         let mut data = vec![b'x'];
-        data.extend(std::iter::repeat(b'a').take(1000));
+        data.extend(std::iter::repeat_n(b'a', 1000));
         round_trip(&data);
     }
 

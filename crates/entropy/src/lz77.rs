@@ -31,12 +31,18 @@ pub struct Lz77Config {
 impl Lz77Config {
     /// SPDP-style: 64 KiB window, shallow search (fast).
     pub fn fast() -> Self {
-        Lz77Config { window: 1 << 16, chain_depth: 8 }
+        Lz77Config {
+            window: 1 << 16,
+            chain_depth: 8,
+        }
     }
 
     /// zzip-style: 1 MiB window, deeper search (better ratio).
     pub fn thorough() -> Self {
-        Lz77Config { window: 1 << 20, chain_depth: 64 }
+        Lz77Config {
+            window: 1 << 20,
+            chain_depth: 64,
+        }
     }
 }
 
@@ -51,7 +57,11 @@ fn hash4(data: &[u8], i: usize) -> usize {
 /// Compress `input` with the given effort configuration.
 pub fn compress(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
     assert!(cfg.window >= MIN_MATCH && cfg.window <= MAX_WINDOW);
-    let offset_bytes: usize = if cfg.window <= u16::MAX as usize { 2 } else { 3 };
+    let offset_bytes: usize = if cfg.window <= u16::MAX as usize {
+        2
+    } else {
+        3
+    };
     let n = input.len();
     let mut out = Vec::with_capacity(n / 2 + 16);
     out.push(offset_bytes as u8);
@@ -83,7 +93,11 @@ pub fn compress(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
             }
         }
     }
-    let mut pending = GroupBuf { control: 0, nitems: 0, bytes: Vec::with_capacity(8 * 6) };
+    let mut pending = GroupBuf {
+        control: 0,
+        nitems: 0,
+        bytes: Vec::with_capacity(8 * 6),
+    };
 
     // head[h] = most recent position+1 with hash h; prev[i % window] = chain.
     let mut head = vec![0u32; 1 << HASH_LOG];
@@ -180,7 +194,7 @@ impl std::error::Error for Lz77Error {}
 pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Lz77Error> {
     let mut out = Vec::with_capacity(expected_len);
     let offset_bytes = *input
-        .get(0)
+        .first()
         .ok_or_else(|| Lz77Error("missing format header".into()))? as usize;
     if offset_bytes != 2 && offset_bytes != 3 {
         return Err(Lz77Error(format!("bad offset width {offset_bytes}")));
@@ -308,11 +322,14 @@ mod tests {
     fn window_limit_respected() {
         // Distance to the repeat exceeds a tiny window: must stay literal
         // (and still round-trip).
-        let cfg = Lz77Config { window: 64, chain_depth: 8 };
+        let cfg = Lz77Config {
+            window: 64,
+            chain_depth: 8,
+        };
         let mut data = Vec::new();
         let unit: Vec<u8> = (0..32u8).collect();
         data.extend_from_slice(&unit);
-        data.extend(std::iter::repeat(0xEE).take(200));
+        data.extend(std::iter::repeat_n(0xEE, 200));
         data.extend_from_slice(&unit);
         round_trip(&data, cfg);
     }
@@ -320,7 +337,7 @@ mod tests {
     #[test]
     fn overlapping_matches() {
         let mut data = vec![b'q'];
-        data.extend(std::iter::repeat(b'r').take(5000));
+        data.extend(std::iter::repeat_n(b'r', 5000));
         round_trip(&data, Lz77Config::fast());
     }
 

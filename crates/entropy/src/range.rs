@@ -28,7 +28,11 @@ impl Default for RangeEncoder {
 
 impl RangeEncoder {
     pub fn new() -> Self {
-        RangeEncoder { low: 0, range: u32::MAX, out: Vec::new() }
+        RangeEncoder {
+            low: 0,
+            range: u32::MAX,
+            out: Vec::new(),
+        }
     }
 
     /// Encode a symbol occupying `[cum, cum + freq)` of a total of `total`.
@@ -86,7 +90,13 @@ impl<'a> RangeDecoder<'a> {
     /// Start decoding. Short inputs are zero-extended (matching the
     /// encoder's flush padding).
     pub fn new(input: &'a [u8]) -> Self {
-        let mut d = RangeDecoder { low: 0, range: u32::MAX, code: 0, input, pos: 0 };
+        let mut d = RangeDecoder {
+            low: 0,
+            range: u32::MAX,
+            code: 0,
+            input,
+            pos: 0,
+        };
         for _ in 0..4 {
             d.code = (d.code << 8) | d.next_byte() as u32;
         }
@@ -150,7 +160,10 @@ impl AdaptiveModel {
 
     pub fn new(n: usize) -> Self {
         assert!(n >= 1 && n as u32 <= MAX_TOTAL_FREQ);
-        AdaptiveModel { freq: vec![1; n], total: n as u32 }
+        AdaptiveModel {
+            freq: vec![1; n],
+            total: n as u32,
+        }
     }
 
     /// Number of symbols.
@@ -181,7 +194,12 @@ impl AdaptiveModel {
             cum += f;
         }
         let last = self.freq.len() - 1;
-        (last, self.total - self.freq[last], self.freq[last], self.total)
+        (
+            last,
+            self.total - self.freq[last],
+            self.freq[last],
+            self.total,
+        )
     }
 
     /// Record one occurrence of `symbol`.
@@ -192,7 +210,7 @@ impl AdaptiveModel {
         if self.total > MAX_TOTAL_FREQ {
             self.total = 0;
             for f in self.freq.iter_mut() {
-                *f = (*f + 1) / 2;
+                *f = (*f).div_ceil(2);
                 self.total += *f;
             }
         }
@@ -265,7 +283,9 @@ mod tests {
         let mut x = 42u64;
         let syms: Vec<usize> = (0..10_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as usize % 64
             })
             .collect();

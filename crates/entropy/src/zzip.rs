@@ -104,18 +104,14 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, ZzipError> {
     }
 
     let out = match mode {
-        MODE_LZ_RAW => {
-            lz77::decompress(body, raw_len).map_err(|e| ZzipError(e.to_string()))?
-        }
+        MODE_LZ_RAW => lz77::decompress(body, raw_len).map_err(|e| ZzipError(e.to_string()))?,
         MODE_LZ_HUFF => {
             let lz = huffman::decode(body).map_err(|e| ZzipError(e.to_string()))?;
             lz77::decompress(&lz, raw_len).map_err(|e| ZzipError(e.to_string()))?
         }
         MODE_HUFF_ONLY => huffman::decode(body).map_err(|e| ZzipError(e.to_string()))?,
         MODE_STORED => body.to_vec(),
-        MODE_LZ4_RAW => {
-            lz4::decompress(body, raw_len).map_err(|e| ZzipError(e.to_string()))?
-        }
+        MODE_LZ4_RAW => lz4::decompress(body, raw_len).map_err(|e| ZzipError(e.to_string()))?,
         MODE_LZ4_HUFF => {
             let l4 = huffman::decode(body).map_err(|e| ZzipError(e.to_string()))?;
             lz4::decompress(&l4, raw_len).map_err(|e| ZzipError(e.to_string()))?
@@ -174,7 +170,9 @@ mod tests {
         let mut x = 0x2222_7777u64;
         let data: Vec<u8> = (0..40_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 // Two-peak distribution over 16 symbols.
                 let r = (x >> 59) as u8;
                 if r < 12 {
@@ -188,7 +186,11 @@ mod tests {
         let l = crate::lz4::compress(&data);
         assert!(z.len() < l.len(), "zzip {} vs lz4 {}", z.len(), l.len());
         // ~4.3-bit entropy over a skewed alphabet: Huffman must engage.
-        assert!(z.len() < data.len() * 3 / 4, "entropy stage must engage: {}", z.len());
+        assert!(
+            z.len() < data.len() * 3 / 4,
+            "entropy stage must engage: {}",
+            z.len()
+        );
         round_trip(&data);
     }
 
@@ -204,7 +206,10 @@ mod tests {
             })
             .collect();
         let c = compress(&data);
-        assert!(c.len() <= data.len() + 10, "stored mode caps expansion at the header");
+        assert!(
+            c.len() <= data.len() + 10,
+            "stored mode caps expansion at the header"
+        );
         round_trip(&data);
     }
 

@@ -96,7 +96,11 @@ impl Gpu {
                 let instructions = &instructions;
                 s.spawn(move || {
                     for ((bid, item), slot) in chunk.into_iter().zip(head.iter_mut()) {
-                        let ctx = KernelCtx { block_id: bid, divergence, instructions };
+                        let ctx = KernelCtx {
+                            block_id: bid,
+                            divergence,
+                            instructions,
+                        };
                         *slot = Some(kernel(&ctx, item));
                     }
                 });

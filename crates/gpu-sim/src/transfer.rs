@@ -41,7 +41,11 @@ impl TransferLedger {
     /// Model a copy of `bytes` in direction `dir` and record it.
     pub fn record(&self, cfg: &GpuConfig, dir: Dir, bytes: usize) -> f64 {
         let seconds = cfg.transfer_latency_s + bytes as f64 / (cfg.pcie_gbs * 1e9);
-        self.inner.lock().push(Transfer { dir, bytes, seconds });
+        self.inner.lock().push(Transfer {
+            dir,
+            bytes,
+            seconds,
+        });
         seconds
     }
 

@@ -36,14 +36,32 @@ impl MachineModel {
         MachineModel {
             name: "Xeon Gold 6126".to_string(),
             compute: vec![
-                Ceiling { label: "Int-Scalar".into(), value: 191.0 },
-                Ceiling { label: "Float-Scalar".into(), value: 157.8 },
+                Ceiling {
+                    label: "Int-Scalar".into(),
+                    value: 191.0,
+                },
+                Ceiling {
+                    label: "Float-Scalar".into(),
+                    value: 157.8,
+                },
             ],
             bandwidth: vec![
-                Ceiling { label: "L1".into(), value: 11_000.0 },
-                Ceiling { label: "L2".into(), value: 5_508.8 },
-                Ceiling { label: "L3".into(), value: 640.1 },
-                Ceiling { label: "DRAM".into(), value: 214.5 },
+                Ceiling {
+                    label: "L1".into(),
+                    value: 11_000.0,
+                },
+                Ceiling {
+                    label: "L2".into(),
+                    value: 5_508.8,
+                },
+                Ceiling {
+                    label: "L3".into(),
+                    value: 640.1,
+                },
+                Ceiling {
+                    label: "DRAM".into(),
+                    value: 214.5,
+                },
             ],
         }
     }
@@ -53,10 +71,19 @@ impl MachineModel {
         MachineModel {
             name: "RTX 6000".to_string(),
             compute: vec![
-                Ceiling { label: "single-precision".into(), value: 13_325.8 },
-                Ceiling { label: "double-precision".into(), value: 416.4 },
+                Ceiling {
+                    label: "single-precision".into(),
+                    value: 13_325.8,
+                },
+                Ceiling {
+                    label: "double-precision".into(),
+                    value: 416.4,
+                },
             ],
-            bandwidth: vec![Ceiling { label: "DRAM".into(), value: 621.5 }],
+            bandwidth: vec![Ceiling {
+                label: "DRAM".into(),
+                value: 621.5,
+            }],
         }
     }
 
@@ -79,22 +106,14 @@ impl MachineModel {
     /// Attainable performance (GOP/s) at `intensity` ops/byte under the
     /// DRAM roof and the *highest* compute ceiling.
     pub fn attainable(&self, intensity: f64) -> f64 {
-        let compute_max = self
-            .compute
-            .iter()
-            .map(|c| c.value)
-            .fold(0.0f64, f64::max);
+        let compute_max = self.compute.iter().map(|c| c.value).fold(0.0f64, f64::max);
         (intensity * self.dram_roof()).min(compute_max)
     }
 
     /// The ridge point: intensity where the DRAM roof meets the highest
     /// compute ceiling.
     pub fn ridge_intensity(&self) -> f64 {
-        let compute_max = self
-            .compute
-            .iter()
-            .map(|c| c.value)
-            .fold(0.0f64, f64::max);
+        let compute_max = self.compute.iter().map(|c| c.value).fold(0.0f64, f64::max);
         compute_max / self.dram_roof()
     }
 }
@@ -132,9 +151,17 @@ impl RooflinePoint {
         } else {
             (profile.float_ops, profile.bytes_moved)
         };
-        let intensity = if bytes == 0 { 0.0 } else { ops as f64 / bytes as f64 };
+        let intensity = if bytes == 0 {
+            0.0
+        } else {
+            ops as f64 / bytes as f64
+        };
         let performance = ops as f64 / seconds.max(f64::MIN_POSITIVE) / 1e9;
-        RooflinePoint { name: name.into(), intensity, performance }
+        RooflinePoint {
+            name: name.into(),
+            intensity,
+            performance,
+        }
     }
 
     /// Classify against `machine`: within `fraction` (e.g. 0.5) of the
@@ -180,7 +207,11 @@ mod tests {
 
     #[test]
     fn placement_from_profile() {
-        let profile = OpProfile { int_ops: 3_000_000, float_ops: 0, bytes_moved: 1_000_000 };
+        let profile = OpProfile {
+            int_ops: 3_000_000,
+            float_ops: 0,
+            bytes_moved: 1_000_000,
+        };
         // 3 ops/byte, 1 ms => 3 GOP/s.
         let p = RooflinePoint::from_profile("x", &profile, 1e-3);
         assert!((p.intensity - 3.0).abs() < 1e-12);
@@ -189,7 +220,11 @@ mod tests {
 
     #[test]
     fn float_axis_used_for_float_kernels() {
-        let profile = OpProfile { int_ops: 10, float_ops: 2_000_000, bytes_moved: 1_000_000 };
+        let profile = OpProfile {
+            int_ops: 10,
+            float_ops: 2_000_000,
+            bytes_moved: 1_000_000,
+        };
         let p = RooflinePoint::from_profile("f", &profile, 1e-3);
         assert!((p.intensity - 2.0).abs() < 1e-12);
     }
@@ -213,13 +248,21 @@ mod tests {
         };
         assert_eq!(fast_high.classify(&m, 0.5), Bound::ComputeBound);
         // Serial codecs sit far below both roofs (§6.3 analysis (1)).
-        let slow = RooflinePoint { name: "fpzip-ish".into(), intensity: 1.0, performance: 0.5 };
+        let slow = RooflinePoint {
+            name: "fpzip-ish".into(),
+            intensity: 1.0,
+            performance: 0.5,
+        };
         assert_eq!(slow.classify(&m, 0.5), Bound::Underutilized);
     }
 
     #[test]
     fn zero_bytes_profile_is_safe() {
-        let profile = OpProfile { int_ops: 10, float_ops: 0, bytes_moved: 0 };
+        let profile = OpProfile {
+            int_ops: 10,
+            float_ops: 0,
+            bytes_moved: 0,
+        };
         let p = RooflinePoint::from_profile("z", &profile, 1.0);
         assert_eq!(p.intensity, 0.0);
     }

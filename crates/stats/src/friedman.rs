@@ -60,7 +60,15 @@ pub fn friedman_test(rows: &[Vec<f64>], higher_is_better: bool) -> FriedmanResul
         (f, f_sf(f, kf - 1.0, (kf - 1.0) * (nf - 1.0)))
     };
 
-    FriedmanResult { k, n, avg_ranks, chi2, p_chi2, f_stat, p_f }
+    FriedmanResult {
+        k,
+        n,
+        avg_ranks,
+        chi2,
+        p_chi2,
+        f_stat,
+        p_f,
+    }
 }
 
 #[cfg(test)]
@@ -74,20 +82,20 @@ mod tests {
         // Accuracy values (higher better) transcribed from the paper.
         vec![
             vec![
-                0.763, 0.599, 0.954, 0.628, 0.882, 0.936, 0.661, 0.583, 0.775, 1.0, 0.94,
-                0.619, 0.972, 0.957,
+                0.763, 0.599, 0.954, 0.628, 0.882, 0.936, 0.661, 0.583, 0.775, 1.0, 0.94, 0.619,
+                0.972, 0.957,
             ],
             vec![
-                0.768, 0.591, 0.971, 0.661, 0.888, 0.931, 0.668, 0.583, 0.838, 1.0, 0.962,
-                0.666, 0.981, 0.978,
+                0.768, 0.591, 0.971, 0.661, 0.888, 0.931, 0.668, 0.583, 0.838, 1.0, 0.962, 0.666,
+                0.981, 0.978,
             ],
             vec![
-                0.771, 0.590, 0.968, 0.654, 0.886, 0.916, 0.609, 0.563, 0.866, 1.0, 0.965,
-                0.614, 0.975, 0.946,
+                0.771, 0.590, 0.968, 0.654, 0.886, 0.916, 0.609, 0.563, 0.866, 1.0, 0.965, 0.614,
+                0.975, 0.946,
             ],
             vec![
-                0.798, 0.569, 0.967, 0.657, 0.898, 0.931, 0.685, 0.625, 0.875, 1.0, 0.962,
-                0.669, 0.975, 0.970,
+                0.798, 0.569, 0.967, 0.657, 0.898, 0.931, 0.685, 0.625, 0.875, 1.0, 0.962, 0.669,
+                0.975, 0.970,
             ],
         ]
     }

@@ -9,14 +9,14 @@
 /// Critical values q_α for α = 0.05 (studentized range statistic divided
 /// by √2), k = 2..=20, from Demšar (2006) Table 5.
 const Q_ALPHA_05: [f64; 19] = [
-    1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164, 3.219, 3.268, 3.313,
-    3.354, 3.391, 3.426, 3.458, 3.489, 3.517, 3.544,
+    1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164, 3.219, 3.268, 3.313, 3.354,
+    3.391, 3.426, 3.458, 3.489, 3.517, 3.544,
 ];
 
 /// Critical values for α = 0.10.
 const Q_ALPHA_10: [f64; 19] = [
-    1.645, 2.052, 2.291, 2.459, 2.589, 2.693, 2.780, 2.855, 2.920, 2.978, 3.030, 3.077,
-    3.120, 3.159, 3.196, 3.230, 3.261, 3.291, 3.319,
+    1.645, 2.052, 2.291, 2.459, 2.589, 2.693, 2.780, 2.855, 2.920, 2.978, 3.030, 3.077, 3.120,
+    3.159, 3.196, 3.230, 3.261, 3.291, 3.319,
 ];
 
 /// The q_α critical value for `k` algorithms at significance `alpha`
@@ -65,7 +65,10 @@ pub fn cd_diagram(names: &[String], avg_ranks: &[f64], n_datasets: usize, alpha:
     let mut entries: Vec<CdEntry> = names
         .iter()
         .zip(avg_ranks.iter())
-        .map(|(n, &r)| CdEntry { name: n.clone(), avg_rank: r })
+        .map(|(n, &r)| CdEntry {
+            name: n.clone(),
+            avg_rank: r,
+        })
         .collect();
     entries.sort_by(|a, b| a.avg_rank.partial_cmp(&b.avg_rank).expect("finite ranks"));
 
@@ -86,7 +89,11 @@ pub fn cd_diagram(names: &[String], avg_ranks: &[f64], n_datasets: usize, alpha:
             cliques.push((lo, hi));
         }
     }
-    CdDiagram { entries, cd, cliques }
+    CdDiagram {
+        entries,
+        cd,
+        cliques,
+    }
 }
 
 impl CdDiagram {
@@ -154,8 +161,7 @@ mod tests {
 
     #[test]
     fn diagram_orders_and_groups() {
-        let names: Vec<String> =
-            ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let names: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
         // d best (1.5), a (1.9), b (3.0), c worst (3.6); N chosen so CD ~ 1.25.
         let ranks = [1.9, 3.0, 3.6, 1.5];
         let d = cd_diagram(&names, &ranks, 14, 0.05);

@@ -10,7 +10,9 @@ pub fn rank_row(values: &[f64], higher_is_better: bool) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        let cmp = values[a].partial_cmp(&values[b]).expect("NaN in rank input");
+        let cmp = values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN in rank input");
         if higher_is_better {
             cmp.reverse()
         } else {

@@ -5,7 +5,10 @@ use fcbench_stats::{average_ranks, cd_diagram, friedman_test, mann_whitney_u, ra
 use proptest::prelude::*;
 
 fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec((-1e6f64..1e6).prop_map(|v| (v * 100.0).round() / 100.0), len)
+    prop::collection::vec(
+        (-1e6f64..1e6).prop_map(|v| (v * 100.0).round() / 100.0),
+        len,
+    )
 }
 
 proptest! {

@@ -20,7 +20,9 @@ fn main() {
         seed ^= seed << 17;
         (seed >> 33) as f64 / (1u64 << 31) as f64
     };
-    let price: Vec<f64> = (0..rows).map(|_| (900.0 + rnd() * rnd() * 90_000.0 * 0.01).round() / 1.0).collect();
+    let price: Vec<f64> = (0..rows)
+        .map(|_| (900.0 + rnd() * rnd() * 90_000.0 * 0.01).round() / 1.0)
+        .collect();
     let qty: Vec<f64> = (0..rows).map(|_| (1.0 + rnd() * 49.0).floor()).collect();
     let disc: Vec<f64> = (0..rows).map(|_| (rnd() * 8.0).floor() / 100.0).collect();
     let columns = vec![

@@ -25,7 +25,11 @@ fn main() {
         .collect();
     let data = FloatData::from_f64(&values, vec![values.len()], Domain::TimeSeries)
         .expect("consistent dims");
-    println!("input: {} values, {} bytes", values.len(), data.bytes().len());
+    println!(
+        "input: {} values, {} bytes",
+        values.len(),
+        data.bytes().len()
+    );
 
     for codec in [
         Box::new(Gorilla::new()) as Box<dyn Compressor>,
@@ -53,5 +57,8 @@ fn main() {
     let framed = frame::compress_framed(&codec, &data).expect("frame");
     let back = frame::decompress_framed(&codec, &framed).expect("unframe");
     assert_eq!(back.bytes(), data.bytes());
-    println!("\nframed stream: {} bytes (self-describing container)", framed.len());
+    println!(
+        "\nframed stream: {} bytes (self-describing container)",
+        framed.len()
+    );
 }

@@ -34,8 +34,7 @@ fn main() {
             }
         }
     }
-    let field = FloatData::from_f32(&values, vec![n, n, n], Domain::Hpc)
-        .expect("consistent dims");
+    let field = FloatData::from_f32(&values, vec![n, n, n], Domain::Hpc).expect("consistent dims");
     println!("3-D field: {n}^3 f32 = {} bytes\n", field.bytes().len());
 
     let codecs: Vec<Box<dyn Compressor>> = vec![
@@ -44,18 +43,27 @@ fn main() {
         Box::new(NdzipGpu::new()),
     ];
 
-    println!("{:<12} {:>10} {:>10}  (3-D vs flattened-1-D ratio)", "codec", "3-D", "1-D");
+    println!(
+        "{:<12} {:>10} {:>10}  (3-D vs flattened-1-D ratio)",
+        "codec", "3-D", "1-D"
+    );
     for codec in &codecs {
         let c3 = codec.compress(&field).expect("compress 3-D");
         let flat = field.flattened_1d();
         let c1 = codec.compress(&flat).expect("compress 1-D");
         // Verify both round-trip.
         assert_eq!(
-            codec.decompress(&c3, field.desc()).expect("decompress").bytes(),
+            codec
+                .decompress(&c3, field.desc())
+                .expect("decompress")
+                .bytes(),
             field.bytes()
         );
         assert_eq!(
-            codec.decompress(&c1, flat.desc()).expect("decompress").bytes(),
+            codec
+                .decompress(&c1, flat.desc())
+                .expect("decompress")
+                .bytes(),
             flat.bytes()
         );
         println!(

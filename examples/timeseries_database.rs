@@ -31,7 +31,11 @@ fn main() {
     let data = FloatData::from_f64(&values, vec![values.len()], Domain::TimeSeries)
         .expect("consistent dims");
 
-    println!("telemetry: {} readings, {} bytes\n", values.len(), data.bytes().len());
+    println!(
+        "telemetry: {} readings, {} bytes\n",
+        values.len(),
+        data.bytes().len()
+    );
     for codec in [
         Box::new(Gorilla::new()) as Box<dyn Compressor>,
         Box::new(Chimp::new()),
@@ -39,7 +43,10 @@ fn main() {
     ] {
         let payload = codec.compress(&data).expect("compress");
         assert_eq!(
-            codec.decompress(&payload, data.desc()).expect("decompress").bytes(),
+            codec
+                .decompress(&payload, data.desc())
+                .expect("decompress")
+                .bytes(),
             data.bytes()
         );
         println!(
@@ -65,7 +72,10 @@ fn main() {
     let hot_scan = values.iter().filter(|&&v| v >= threshold).count();
     let q_scan = t1.elapsed();
 
-    assert_eq!(hot, hot_scan, "compressed-form query must agree with a scan");
+    assert_eq!(
+        hot, hot_scan,
+        "compressed-form query must agree with a scan"
+    );
     println!(
         "\nBUFF query  (>= {threshold} C): {hot} readings\n\
          on compressed planes: {:.2} ms   decoded scan: {:.2} ms\n\

@@ -4,7 +4,9 @@
 
 use fcbench::core::Compressor;
 use fcbench::cpu::{Bitshuffle, Chimp, Gorilla};
-use fcbench::dbsim::{measure_three_primitives, read_container, write_container, ColumnData, DataFrame};
+use fcbench::dbsim::{
+    measure_three_primitives, read_container, write_container, ColumnData, DataFrame,
+};
 
 fn tmp(name: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("fcbench-it-{}-{name}", std::process::id()))
@@ -18,8 +20,12 @@ fn orders_table(rows: usize) -> Vec<ColumnData> {
         x ^= x << 17;
         (x >> 33) as f64 / (1u64 << 31) as f64
     };
-    let price: Vec<f64> = (0..rows).map(|_| ((900.0 + rnd() * 5000.0) * 100.0).round() / 100.0).collect();
-    let qty: Vec<f32> = (0..rows).map(|_| (1.0 + rnd() * 49.0).floor() as f32).collect();
+    let price: Vec<f64> = (0..rows)
+        .map(|_| ((900.0 + rnd() * 5000.0) * 100.0).round() / 100.0)
+        .collect();
+    let qty: Vec<f32> = (0..rows)
+        .map(|_| (1.0 + rnd() * 49.0).floor() as f32)
+        .collect();
     vec![
         ColumnData::from_f64("price", &price),
         ColumnData::from_f32("quantity", &qty),
@@ -92,7 +98,10 @@ fn larger_pages_compress_better() {
         cr_big >= cr_small,
         "64K pages ({cr_big:.3}) should not lose to 4K pages ({cr_small:.3})"
     );
-    assert_eq!(small.scan_checksum, big.scan_checksum, "same data, same query answers");
+    assert_eq!(
+        small.scan_checksum, big.scan_checksum,
+        "same data, same query answers"
+    );
 }
 
 #[test]
@@ -102,7 +111,10 @@ fn three_primitives_are_all_positive_and_reproducible() {
     let codec = Gorilla::new();
     let a = measure_three_primitives(&path, &codec, &cols, 2048).expect("run A");
     let b = measure_three_primitives(&path, &codec, &cols, 2048).expect("run B");
-    assert_eq!(a.compressed_bytes, b.compressed_bytes, "deterministic compression");
+    assert_eq!(
+        a.compressed_bytes, b.compressed_bytes,
+        "deterministic compression"
+    );
     assert_eq!(a.scan_checksum, b.scan_checksum, "deterministic query");
     assert!(a.io_seconds >= 0.0 && a.decode_seconds > 0.0 && a.query_seconds > 0.0);
     std::fs::remove_file(&path).ok();

@@ -41,16 +41,21 @@ fn db_domain_is_hardest_for_transform_codecs() {
     let codec = fcbench::cpu::Bitshuffle::zzip();
     let db = harmonic_mean(&ratios_for(&codec, Some(Domain::Database))).unwrap();
     let obs = harmonic_mean(&ratios_for(&codec, Some(Domain::Observation))).unwrap();
-    assert!(obs > db, "OBS ({obs:.3}) should compress better than DB ({db:.3})");
+    assert!(
+        obs > db,
+        "OBS ({obs:.3}) should compress better than DB ({db:.3})"
+    );
 }
 
 #[test]
 fn fpzip_leads_on_hpc_data() {
     // Table 4 / Recommendations: fpzip has the best HPC compression ratio.
-    let fpzip = harmonic_mean(&ratios_for(&fcbench::cpu::Fpzip::new(), Some(Domain::Hpc)))
-        .unwrap();
-    let gorilla =
-        harmonic_mean(&ratios_for(&fcbench::cpu::Gorilla::new(), Some(Domain::Hpc))).unwrap();
+    let fpzip = harmonic_mean(&ratios_for(&fcbench::cpu::Fpzip::new(), Some(Domain::Hpc))).unwrap();
+    let gorilla = harmonic_mean(&ratios_for(
+        &fcbench::cpu::Gorilla::new(),
+        Some(Domain::Hpc),
+    ))
+    .unwrap();
     let gfc = harmonic_mean(&ratios_for(
         &fcbench::gpu::Gfc::with_config(Default::default(), usize::MAX),
         Some(Domain::Hpc),
@@ -65,19 +70,30 @@ fn zstd_class_backend_beats_lz4_overall() {
     // Figure 7a: bitshuffle+zstd 1.466 > bitshuffle+LZ4 1.430.
     let zstd = harmonic_mean(&ratios_for(&fcbench::cpu::Bitshuffle::zzip(), None)).unwrap();
     let lz4 = harmonic_mean(&ratios_for(&fcbench::cpu::Bitshuffle::lz4(), None)).unwrap();
-    assert!(zstd >= lz4, "bitshuffle-zstd {zstd:.3} must match/beat -lz4 {lz4:.3}");
+    assert!(
+        zstd >= lz4,
+        "bitshuffle-zstd {zstd:.3} must match/beat -lz4 {lz4:.3}"
+    );
 }
 
 #[test]
 fn chimp_beats_gorilla_on_db_data() {
     // Analysis under Observation 2: dictionary predictors help Chimp128
     // outperform Gorilla, most visibly on DB data.
-    let chimp = harmonic_mean(&ratios_for(&fcbench::cpu::Chimp::new(), Some(Domain::Database)))
-        .unwrap();
-    let gorilla =
-        harmonic_mean(&ratios_for(&fcbench::cpu::Gorilla::new(), Some(Domain::Database)))
-            .unwrap();
-    assert!(chimp > gorilla, "chimp {chimp:.3} vs gorilla {gorilla:.3} on DB");
+    let chimp = harmonic_mean(&ratios_for(
+        &fcbench::cpu::Chimp::new(),
+        Some(Domain::Database),
+    ))
+    .unwrap();
+    let gorilla = harmonic_mean(&ratios_for(
+        &fcbench::cpu::Gorilla::new(),
+        Some(Domain::Database),
+    ))
+    .unwrap();
+    assert!(
+        chimp > gorilla,
+        "chimp {chimp:.3} vs gorilla {gorilla:.3} on DB"
+    );
 }
 
 #[test]
@@ -160,5 +176,9 @@ fn dimension_info_does_not_change_ratios_significantly() {
     }
     assert!(md.len() >= 10, "enough multidimensional datasets");
     let r = mann_whitney_u(&md, &oned);
-    assert!(!r.rejects_at(0.05), "md vs 1d should not differ significantly (p = {})", r.p);
+    assert!(
+        !r.rejects_at(0.05),
+        "md vs 1d should not differ significantly (p = {})",
+        r.p
+    );
 }

@@ -50,6 +50,151 @@ fn walk_f64() -> impl Strategy<Value = Vec<f64>> {
     })
 }
 
+/// The IEEE-754 landmines: NaNs (quiet, signalling-style payloads, negative),
+/// signed zeros, subnormals at both ends of the range, infinities, and the
+/// finite extremes. Codecs must either round-trip these bit-exactly or
+/// return a typed error — never panic, and never "succeed" lossily.
+const SPECIAL_F64: [u64; 16] = [
+    0x7FF8_0000_0000_0000, // quiet NaN
+    0xFFF8_0000_0000_0000, // negative quiet NaN
+    0x7FF0_0000_0000_0001, // signalling-style NaN, minimal payload
+    0x7FF7_FFFF_FFFF_FFFF, // NaN, maximal payload
+    0x0000_0000_0000_0000, // +0.0
+    0x8000_0000_0000_0000, // -0.0
+    0x0000_0000_0000_0001, // smallest positive subnormal (5e-324)
+    0x000F_FFFF_FFFF_FFFF, // largest subnormal
+    0x8000_0000_0000_0001, // smallest-magnitude negative subnormal
+    0x7FF0_0000_0000_0000, // +inf
+    0xFFF0_0000_0000_0000, // -inf
+    0x0010_0000_0000_0000, // f64::MIN_POSITIVE (smallest normal)
+    0x7FEF_FFFF_FFFF_FFFF, // f64::MAX
+    0xFFEF_FFFF_FFFF_FFFF, // f64::MIN
+    0x3FF0_0000_0000_0000, // 1.0
+    0xBFF0_0000_0000_0000, // -1.0
+];
+
+const SPECIAL_F32: [u32; 16] = [
+    0x7FC0_0000, // quiet NaN
+    0xFFC0_0000, // negative quiet NaN
+    0x7F80_0001, // signalling-style NaN, minimal payload
+    0x7FBF_FFFF, // NaN, maximal payload
+    0x0000_0000, // +0.0
+    0x8000_0000, // -0.0
+    0x0000_0001, // smallest positive subnormal
+    0x007F_FFFF, // largest subnormal
+    0x8000_0001, // smallest-magnitude negative subnormal
+    0x7F80_0000, // +inf
+    0xFF80_0000, // -inf
+    0x0080_0000, // f32::MIN_POSITIVE
+    0x7F7F_FFFF, // f32::MAX
+    0xFF7F_FFFF, // f32::MIN
+    0x3F80_0000, // 1.0
+    0xBF80_0000, // -1.0
+];
+
+/// Run one dataset through every registered codec: a successful compress
+/// must round-trip bit-exactly; a refusal must be a typed error (enforced by
+/// the `Result` type itself — any panic fails the test).
+fn assert_roundtrip_or_typed_error(data: &FloatData, context: &str) {
+    for codec in fcbench_bench::codecs::all_codecs() {
+        let name = codec.info().name;
+        match codec.compress(data) {
+            Ok(payload) => {
+                let back = codec
+                    .decompress(&payload, data.desc())
+                    .unwrap_or_else(|e| panic!("{name} on {context}: decompress failed: {e}"));
+                assert_eq!(
+                    back.bytes(),
+                    data.bytes(),
+                    "{name} on {context}: lossy round-trip"
+                );
+            }
+            Err(_typed) => {} // refusing the input is allowed; panicking is not
+        }
+    }
+}
+
+#[test]
+fn special_f64_values_round_trip_in_every_codec() {
+    let vals: Vec<f64> = SPECIAL_F64.iter().copied().map(f64::from_bits).collect();
+    let data = FloatData::from_f64(&vals, vec![vals.len()], Domain::Hpc).unwrap();
+    assert_roundtrip_or_typed_error(&data, "special f64 palette");
+}
+
+#[test]
+fn special_f32_values_round_trip_in_every_codec() {
+    let vals: Vec<f32> = SPECIAL_F32.iter().copied().map(f32::from_bits).collect();
+    let data = FloatData::from_f32(&vals, vec![vals.len()], Domain::Observation).unwrap();
+    assert_roundtrip_or_typed_error(&data, "special f32 palette");
+}
+
+#[test]
+fn length_one_inputs_round_trip_in_every_codec() {
+    for bits in SPECIAL_F64 {
+        let v = f64::from_bits(bits);
+        let data = FloatData::from_f64(&[v], vec![1], Domain::TimeSeries).unwrap();
+        assert_roundtrip_or_typed_error(&data, &format!("single f64 {bits:#018x}"));
+    }
+    for bits in SPECIAL_F32 {
+        let v = f32::from_bits(bits);
+        let data = FloatData::from_f32(&[v], vec![1], Domain::TimeSeries).unwrap();
+        assert_roundtrip_or_typed_error(&data, &format!("single f32 {bits:#010x}"));
+    }
+}
+
+#[test]
+fn empty_inputs_are_typed_construction_errors() {
+    // Zero-size arrays are rejected at the container boundary with a typed
+    // error, so no codec ever sees an empty buffer.
+    assert!(FloatData::from_f64(&[], vec![], Domain::Hpc).is_err());
+    assert!(FloatData::from_f64(&[], vec![0], Domain::Hpc).is_err());
+    assert!(FloatData::from_f32(&[], vec![0, 4], Domain::Hpc).is_err());
+    assert!(DataDesc::new(Precision::Double, vec![], Domain::Hpc).is_err());
+    assert!(DataDesc::new(Precision::Single, vec![4, 0], Domain::Hpc).is_err());
+}
+
+/// Mix special values into otherwise-random vectors so codec state machines
+/// hit NaN/inf/subnormal mid-stream, not just at the head.
+fn f64_with_specials() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((any::<u64>(), 0usize..SPECIAL_F64.len() * 3), 1..64).prop_map(|seeds| {
+        seeds
+            .into_iter()
+            .map(|(bits, pick)| match SPECIAL_F64.get(pick) {
+                Some(&special) => f64::from_bits(special),
+                None => f64::from_bits(bits),
+            })
+            .collect()
+    })
+}
+
+fn f32_with_specials() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec((any::<u32>(), 0usize..SPECIAL_F32.len() * 3), 1..64).prop_map(|seeds| {
+        seeds
+            .into_iter()
+            .map(|(bits, pick)| match SPECIAL_F32.get(pick) {
+                Some(&special) => f32::from_bits(special),
+                None => f32::from_bits(bits),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn special_laden_f64_vectors_never_panic(vals in f64_with_specials()) {
+        let data = FloatData::from_f64(&vals, vec![vals.len()], Domain::Hpc).unwrap();
+        assert_roundtrip_or_typed_error(&data, "special-laden f64 vector");
+    }
+
+    #[test]
+    fn special_laden_f32_vectors_never_panic(vals in f32_with_specials()) {
+        let data = FloatData::from_f32(&vals, vec![vals.len()], Domain::Observation).unwrap();
+        assert_roundtrip_or_typed_error(&data, "special-laden f32 vector");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

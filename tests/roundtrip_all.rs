@@ -27,13 +27,22 @@ fn all_codecs() -> Vec<Box<dyn Compressor>> {
 
 /// One dataset per domain, small enough for a fast test run.
 fn sample_datasets() -> Vec<FloatData> {
-    ["msg-bt", "phone-gyro", "acs-wht", "tpcDS-store", "astro-mhd"]
-        .iter()
-        .map(|name| {
-            let spec = catalog().into_iter().find(|s| s.name == *name).expect("catalog name");
-            generate(&spec, 16_384)
-        })
-        .collect()
+    [
+        "msg-bt",
+        "phone-gyro",
+        "acs-wht",
+        "tpcDS-store",
+        "astro-mhd",
+    ]
+    .iter()
+    .map(|name| {
+        let spec = catalog()
+            .into_iter()
+            .find(|s| s.name == *name)
+            .expect("catalog name");
+        generate(&spec, 16_384)
+    })
+    .collect()
 }
 
 #[test]
@@ -126,7 +135,9 @@ fn special_value_gauntlet_across_all_codecs() {
 fn truncated_payloads_never_panic() {
     let data = sample_datasets().remove(0);
     for codec in all_codecs() {
-        let Ok(payload) = codec.compress(&data) else { continue };
+        let Ok(payload) = codec.compress(&data) else {
+            continue;
+        };
         for cut in [0, 1, 4, payload.len() / 2, payload.len().saturating_sub(1)] {
             // Must return an error (or, for self-delimiting tails, a wrong
             // but well-formed result is impossible given the length checks)
