@@ -3,7 +3,7 @@
 //! testbed has 24).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fcbench_bench::codecs::scalable_factories;
+use fcbench_bench::codecs::paper_registry;
 use fcbench_datasets::{find, generate};
 use std::time::Duration;
 
@@ -17,11 +17,13 @@ fn bench_thread_scaling(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(900));
     group.throughput(Throughput::Bytes(data.bytes().len() as u64));
 
-    for (name, factory) in scalable_factories() {
+    let registry = paper_registry();
+    let mut payload = Vec::new();
+    for name in registry.scalable_names() {
         for threads in [1usize, 2, 4, 8] {
-            let codec = factory(threads);
+            let codec = registry.scaled(name, threads).expect("scalable entry");
             group.bench_with_input(BenchmarkId::new(name, threads), &data, |b, data| {
-                b.iter(|| codec.compress(data).expect("compress"))
+                b.iter(|| codec.compress_into(data, &mut payload).expect("compress"))
             });
         }
     }

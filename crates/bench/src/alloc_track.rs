@@ -12,6 +12,7 @@ pub struct CountingAllocator;
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static CALLS: AtomicUsize = AtomicUsize::new(0);
 static INSTALLED: AtomicBool = AtomicBool::new(false);
 
 // SAFETY: delegates all allocation to `System`; only bookkeeping is added.
@@ -19,6 +20,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
+            CALLS.fetch_add(1, Ordering::Relaxed);
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(live, Ordering::Relaxed);
         }
@@ -33,6 +35,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
+            CALLS.fetch_add(1, Ordering::Relaxed);
             if new_size >= layout.size() {
                 let live = LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
                     - layout.size();
@@ -81,4 +84,22 @@ pub fn measure_peak<R>(f: impl FnOnce() -> R) -> (usize, R) {
     let r = f();
     let peak = peak_bytes().saturating_sub(base);
     (peak, r)
+}
+
+/// Total `alloc`/`realloc` calls observed so far in this process.
+pub fn alloc_calls() -> usize {
+    CALLS.load(Ordering::Relaxed)
+}
+
+/// Run `f`, returning `(allocation_calls, result)` — how many times `f`
+/// (and anything else running concurrently) hit the allocator. Zero if the
+/// counting allocator is not installed. This is the regression number behind
+/// the zero-allocation guarantee of the steady-state `compress_into` loops.
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    if !is_installed() {
+        return (0, f());
+    }
+    let before = alloc_calls();
+    let r = f();
+    (alloc_calls() - before, r)
 }

@@ -1,115 +1,75 @@
 //! The 14 benchmark rows (Table 1's methods; bitshuffle and nvCOMP each
-//! contribute two), constructed with the paper's evaluation settings.
+//! contribute two), published as a [`CodecRegistry`] with the paper's
+//! evaluation settings and per-entry capabilities:
+//!
+//! - **block-capable** entries are the eight methods Table 10 sweeps over
+//!   block sizes ("algorithms that cannot be easily converted to work with
+//!   blocks" are omitted);
+//! - **scalable** entries carry the thread-count factories behind the
+//!   Tables 7–8 scalability sweeps.
 
 use fcbench_codecs_cpu::{Backend, Bitshuffle, Buff, Chimp, Fpzip, Gorilla, Ndzip, Pfpc, Spdp};
 use fcbench_codecs_gpu::{Gfc, Mpc, NdzipGpu, NvBitcomp, NvLz4};
-use fcbench_core::Compressor;
+use fcbench_core::{CodecRegistry, Compressor, RegistryEntry};
 
 /// GFC's original input limit (bytes) — applied against the *paper* size
 /// of each dataset, since the scaled instances stand in for the originals.
 pub const GFC_INPUT_LIMIT: u64 = 512 * 1024 * 1024;
 
-/// The eight CPU-based methods in the paper's column order
-/// (pFPC, SPDP, fpzip, shf+LZ4, shf+zstd, ndzip-CPU, BUFF, Gorilla, Chimp).
-pub fn cpu_codecs() -> Vec<Box<dyn Compressor>> {
-    vec![
-        Box::new(Pfpc::new()),
-        Box::new(Spdp::new()),
-        Box::new(Fpzip::new()),
-        Box::new(Bitshuffle::lz4()),
-        Box::new(Bitshuffle::zzip()),
-        Box::new(Ndzip::new()),
-        Box::new(Buff::new()),
-        Box::new(Gorilla::new()),
-        Box::new(Chimp::new()),
-    ]
-}
-
-/// The five GPU-based methods (GFC, MPC, nv-lz4, nv-bitcomp, ndzip-GPU).
+/// The full 14-method registry in the paper's table order
+/// (pFPC, SPDP, fpzip, shf+LZ4, shf+zstd, ndzip-CPU, BUFF, Gorilla, Chimp,
+/// GFC, MPC, nv-lz4, nv-bitcomp, ndzip-GPU).
 ///
 /// GFC is constructed without its own byte limit — the harness gates it
 /// on paper sizes instead (see [`GFC_INPUT_LIMIT`]).
-pub fn gpu_codecs() -> Vec<Box<dyn Compressor>> {
-    vec![
-        Box::new(Gfc::with_config(Default::default(), usize::MAX)),
-        Box::new(Mpc::new()),
-        Box::new(NvLz4::new()),
-        Box::new(NvBitcomp::new()),
-        Box::new(NdzipGpu::new()),
-    ]
-}
-
-/// All 14 rows in the paper's table order.
-pub fn all_codecs() -> Vec<Box<dyn Compressor>> {
-    let mut v = cpu_codecs();
-    v.extend(gpu_codecs());
-    v
-}
-
-/// Names of the CPU rows (for robustness-rate bookkeeping).
-pub fn cpu_names() -> Vec<&'static str> {
-    cpu_codecs().iter().map(|c| c.info().name).collect()
-}
-
-/// Names of the GPU rows.
-pub fn gpu_names() -> Vec<&'static str> {
-    gpu_codecs().iter().map(|c| c.info().name).collect()
-}
-
-/// The codecs Table 10 sweeps over block sizes ("algorithms that cannot be
-/// easily converted to work with blocks" are omitted — the paper keeps 8).
-pub fn block_capable_codecs() -> Vec<Box<dyn Compressor>> {
-    vec![
-        Box::new(Pfpc::new()),
-        Box::new(Spdp::new()),
-        Box::new(Bitshuffle::lz4()),
-        Box::new(Bitshuffle::zzip()),
-        Box::new(Gorilla::new()),
-        Box::new(Chimp::new()),
-        Box::new(NvLz4::new()),
-        Box::new(NvBitcomp::new()),
-    ]
-}
-
-/// A codec constructor parameterized by thread count.
-pub type ScalableFactory = Box<dyn Fn(usize) -> Box<dyn Compressor>>;
-
-/// Thread-scalable codec factories for Tables 7–8, by name.
-pub fn scalable_factories() -> Vec<(&'static str, ScalableFactory)> {
-    vec![
-        (
-            "pfpc",
-            Box::new(|t| Box::new(Pfpc::with_threads(t)) as Box<dyn Compressor>),
-        ),
-        (
-            "bitshuffle-lz4",
-            Box::new(|t| {
-                Box::new(Bitshuffle::with_config(Backend::Lz4, 64 * 1024, t)) as Box<dyn Compressor>
-            }),
-        ),
-        (
-            "bitshuffle-zstd",
-            Box::new(|t| {
-                Box::new(Bitshuffle::with_config(Backend::Zzip, 64 * 1024, t))
-                    as Box<dyn Compressor>
-            }),
-        ),
-        (
-            "ndzip-cpu",
-            Box::new(|t| Box::new(Ndzip::with_threads(t)) as Box<dyn Compressor>),
-        ),
-    ]
+pub fn paper_registry() -> CodecRegistry {
+    CodecRegistry::new()
+        .with(
+            RegistryEntry::new(Pfpc::new())
+                .block_capable()
+                .scalable(|t| Box::new(Pfpc::with_threads(t)) as Box<dyn Compressor>),
+        )
+        .with(RegistryEntry::new(Spdp::new()).block_capable())
+        .with(Fpzip::new())
+        .with(
+            RegistryEntry::new(Bitshuffle::lz4())
+                .block_capable()
+                .scalable(|t| {
+                    Box::new(Bitshuffle::with_config(Backend::Lz4, 64 * 1024, t))
+                        as Box<dyn Compressor>
+                }),
+        )
+        .with(
+            RegistryEntry::new(Bitshuffle::zzip())
+                .block_capable()
+                .scalable(|t| {
+                    Box::new(Bitshuffle::with_config(Backend::Zzip, 64 * 1024, t))
+                        as Box<dyn Compressor>
+                }),
+        )
+        .with(
+            RegistryEntry::new(Ndzip::new())
+                .scalable(|t| Box::new(Ndzip::with_threads(t)) as Box<dyn Compressor>),
+        )
+        .with(Buff::new())
+        .with(RegistryEntry::new(Gorilla::new()).block_capable())
+        .with(RegistryEntry::new(Chimp::new()).block_capable())
+        .with(Gfc::with_config(Default::default(), usize::MAX))
+        .with(Mpc::new())
+        .with(RegistryEntry::new(NvLz4::new()).block_capable())
+        .with(RegistryEntry::new(NvBitcomp::new()).block_capable())
+        .with(NdzipGpu::new())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fcbench_core::Platform;
 
     #[test]
     fn fourteen_rows_in_paper_order() {
-        let names: Vec<&str> = all_codecs().iter().map(|c| c.info().name).collect();
         assert_eq!(
-            names,
+            paper_registry().names(),
             vec![
                 "pfpc",
                 "spdp",
@@ -131,31 +91,41 @@ mod tests {
 
     #[test]
     fn platform_split_matches_paper() {
-        use fcbench_core::Platform;
-        for c in cpu_codecs() {
-            assert_eq!(c.info().platform, Platform::Cpu, "{}", c.info().name);
+        let r = paper_registry();
+        assert_eq!(r.by_platform(Platform::Cpu).count(), 9);
+        assert_eq!(r.by_platform(Platform::Gpu).count(), 5);
+        for e in r.by_platform(Platform::Cpu) {
+            assert_eq!(e.codec().info().platform, Platform::Cpu, "{}", e.name());
         }
-        for c in gpu_codecs() {
-            assert_eq!(c.info().platform, Platform::Gpu, "{}", c.info().name);
+        for e in r.by_platform(Platform::Gpu) {
+            assert_eq!(e.codec().info().platform, Platform::Gpu, "{}", e.name());
         }
     }
 
     #[test]
     fn block_table_has_eight_codecs() {
-        assert_eq!(block_capable_codecs().len(), 8);
+        assert_eq!(paper_registry().block_capable().count(), 8);
     }
 
     #[test]
     fn four_scalable_codecs() {
-        let names: Vec<&str> = scalable_factories().iter().map(|(n, _)| *n).collect();
+        let r = paper_registry();
         assert_eq!(
-            names,
+            r.scalable_names(),
             vec!["pfpc", "bitshuffle-lz4", "bitshuffle-zstd", "ndzip-cpu"]
         );
         // Factories honour the thread parameter without panicking.
-        for (_, f) in scalable_factories() {
-            let _ = f(1);
-            let _ = f(16);
+        for name in r.scalable_names() {
+            let _ = r.scaled(name, 1).unwrap();
+            let _ = r.scaled(name, 16).unwrap();
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_works_for_every_row() {
+        let r = paper_registry();
+        for name in r.names() {
+            assert_eq!(r.get(name).unwrap().info().name, name);
         }
     }
 }

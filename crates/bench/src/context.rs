@@ -2,18 +2,31 @@
 //! (codec × dataset) measurement matrix that most tables and figures
 //! consume.
 
-use crate::codecs::{all_codecs, GFC_INPUT_LIMIT};
+use crate::codecs::{paper_registry, GFC_INPUT_LIMIT};
 use fcbench_core::runner::{run_cell, CellOutcome, NamedData, RunConfig, RunMatrix};
+use fcbench_core::{CodecRegistry, Platform};
 use fcbench_datasets::{catalog, generate, DatasetSpec};
 
 /// Default elements per scaled dataset.
 pub const DEFAULT_ELEMS: usize = 1 << 17;
 
-/// Datasets + matrix for one benchmark campaign.
+/// Datasets + matrix for one benchmark campaign, plus the codec registry
+/// every experiment consumes (the single source of codec instances).
 pub struct Context {
+    pub registry: CodecRegistry,
     pub specs: Vec<DatasetSpec>,
     pub datasets: Vec<NamedData>,
     pub matrix: RunMatrix,
+}
+
+impl Context {
+    /// Names of the registered codecs targeting `platform`.
+    pub fn platform_names(&self, platform: Platform) -> Vec<&'static str> {
+        self.registry
+            .by_platform(platform)
+            .map(|e| e.name())
+            .collect()
+    }
 }
 
 /// Generate all datasets and run the full 14 × 33 matrix.
@@ -29,14 +42,14 @@ pub fn build_context(target_elems: usize, repetitions: usize) -> Context {
         .map(|s| NamedData::new(s.name, generate(s, target_elems)))
         .collect();
 
-    let codecs = all_codecs();
+    let registry = paper_registry();
     let cfg = RunConfig {
         repetitions,
         verify: true,
     };
-    let mut cells = Vec::with_capacity(codecs.len());
-    for codec in &codecs {
-        let name = codec.info().name;
+    let mut cells = Vec::with_capacity(registry.len());
+    for entry in registry.iter() {
+        let name = entry.name();
         let mut row = Vec::with_capacity(datasets.len());
         for (spec, ds) in specs.iter().zip(datasets.iter()) {
             if name == "gfc" && spec.paper_bytes > GFC_INPUT_LIMIT {
@@ -46,16 +59,17 @@ pub fn build_context(target_elems: usize, repetitions: usize) -> Context {
                 )));
                 continue;
             }
-            row.push(run_cell(codec.as_ref(), &ds.data, cfg));
+            row.push(run_cell(entry.codec(), &ds.data, cfg));
         }
         cells.push(row);
     }
     let matrix = RunMatrix {
-        codecs: codecs.iter().map(|c| c.info().name.to_string()).collect(),
+        codecs: registry.names().iter().map(|n| n.to_string()).collect(),
         datasets: datasets.iter().map(|d| d.name.clone()).collect(),
         cells,
     };
     Context {
+        registry,
         specs,
         datasets,
         matrix,

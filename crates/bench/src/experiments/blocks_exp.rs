@@ -1,11 +1,11 @@
 //! Table 10: compression performance under 4 KB / 64 KB / 8 MB blocks.
 
-use crate::codecs::block_capable_codecs;
+use crate::codecs::paper_registry;
 use crate::context::render_table;
 use fcbench_core::blocks::{BlockCodec, BLOCK_4K, BLOCK_64K, BLOCK_8M};
 use fcbench_core::metrics::{arithmetic_mean, harmonic_mean};
 use fcbench_core::runner::{run_cell, NamedData, RunConfig};
-use fcbench_core::Compressor;
+use fcbench_core::CodecRegistry;
 
 struct BlockAvg {
     cr: f64,
@@ -13,16 +13,22 @@ struct BlockAvg {
     dt: f64,
 }
 
-fn run_block_size(datasets: &[NamedData], block_bytes: usize) -> Vec<(String, BlockAvg)> {
+fn run_block_size(
+    registry: &CodecRegistry,
+    datasets: &[NamedData],
+    block_bytes: usize,
+) -> Vec<(String, BlockAvg)> {
     let cfg = RunConfig {
         repetitions: 1,
         verify: true,
     };
-    block_capable_codecs()
-        .into_iter()
-        .map(|codec| {
-            let name = codec.info().name.to_string();
-            let blocked = BlockWrapper(codec, block_bytes);
+    registry
+        .block_capable()
+        .map(|entry| {
+            let name = entry.name().to_string();
+            // `Arc<dyn Compressor>` implements `Compressor`, so the block
+            // adaptor wraps the registry handle directly.
+            let blocked = BlockCodec::new(entry.codec().clone(), block_bytes);
             let mut crs = Vec::new();
             let mut cts = Vec::new();
             let mut dts = Vec::new();
@@ -45,67 +51,19 @@ fn run_block_size(datasets: &[NamedData], block_bytes: usize) -> Vec<(String, Bl
         .collect()
 }
 
-/// Adapter: `BlockCodec` is generic over a concrete codec; wrap the boxed
-/// trait object.
-struct BlockWrapper(Box<dyn Compressor>, usize);
-
-impl Compressor for BlockWrapper {
-    fn info(&self) -> fcbench_core::CodecInfo {
-        self.0.info()
-    }
-    fn compress(&self, data: &fcbench_core::FloatData) -> fcbench_core::Result<Vec<u8>> {
-        BlockCodec::new(ByRef(self.0.as_ref()), self.1).compress(data)
-    }
-    fn decompress(
-        &self,
-        payload: &[u8],
-        desc: &fcbench_core::DataDesc,
-    ) -> fcbench_core::Result<fcbench_core::FloatData> {
-        BlockCodec::new(ByRef(self.0.as_ref()), self.1).decompress(payload, desc)
-    }
-    fn last_aux_time(&self) -> fcbench_core::AuxTime {
-        self.0.last_aux_time()
-    }
-}
-
-/// Borrowed-compressor shim so `BlockCodec` can wrap `&dyn Compressor`.
-struct ByRef<'a>(&'a dyn Compressor);
-
-impl Compressor for ByRef<'_> {
-    fn info(&self) -> fcbench_core::CodecInfo {
-        self.0.info()
-    }
-    fn compress(&self, data: &fcbench_core::FloatData) -> fcbench_core::Result<Vec<u8>> {
-        self.0.compress(data)
-    }
-    fn decompress(
-        &self,
-        payload: &[u8],
-        desc: &fcbench_core::DataDesc,
-    ) -> fcbench_core::Result<fcbench_core::FloatData> {
-        self.0.decompress(payload, desc)
-    }
-    fn last_aux_time(&self) -> fcbench_core::AuxTime {
-        self.0.last_aux_time()
-    }
-}
-
 /// Table 10 over the provided datasets.
 pub fn table10(datasets: &[NamedData]) -> String {
+    let registry = paper_registry();
     let mut out = String::from("Table 10: compression performance under different block sizes\n");
     let mut headers = vec!["blocksize / metric".to_string()];
-    headers.extend(
-        block_capable_codecs()
-            .iter()
-            .map(|c| c.info().name.to_string()),
-    );
+    headers.extend(registry.block_capable().map(|e| e.name().to_string()));
 
     let mut rows = Vec::new();
     let mut best_cr_at_larger_blocks = 0usize;
     let mut total = 0usize;
     let mut cr4k: Vec<f64> = Vec::new();
     for (label, bytes) in [("4K", BLOCK_4K), ("64K", BLOCK_64K), ("8M", BLOCK_8M)] {
-        let results = run_block_size(datasets, bytes);
+        let results = run_block_size(&registry, datasets, bytes);
         let mut cr_row = vec![format!("{label} avg-CR")];
         let mut ct_row = vec![format!("{label} avg-CT (GB/s)")];
         let mut dt_row = vec![format!("{label} avg-DT (GB/s)")];

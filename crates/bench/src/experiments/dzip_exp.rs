@@ -3,7 +3,7 @@
 //! not practical for applications at the time of our survey".
 
 use crate::context::render_table;
-use fcbench_core::{Compressor, DataDesc, FloatData};
+use fcbench_core::{CodecRegistry, Compressor, DataDesc, FloatData};
 use fcbench_datasets::{find, generate};
 use fcbench_dzip::Dzip;
 use std::time::Instant;
@@ -13,11 +13,13 @@ pub fn dzip_experiment(excerpt_elems: usize) -> String {
     let spec = find("msg-bt").expect("catalog dataset");
     let data = generate(&spec, excerpt_elems);
 
-    let codecs: Vec<Box<dyn Compressor>> = vec![
-        Box::new(Dzip::with_bootstrap(1, 1 << 14)),
-        Box::new(fcbench_codecs_cpu::Gorilla::new()),
-        Box::new(fcbench_codecs_cpu::Bitshuffle::lz4()),
-    ];
+    // A purpose-built registry: the neural codec plus two conventional
+    // baselines drawn with the same construction as the paper registry.
+    let registry = CodecRegistry::new()
+        .with(Dzip::with_bootstrap(1, 1 << 14))
+        .with(fcbench_codecs_cpu::Gorilla::new())
+        .with(fcbench_codecs_cpu::Bitshuffle::lz4());
+    let codecs: Vec<_> = registry.codecs().collect();
 
     let headers = vec![
         "method".to_string(),

@@ -1,7 +1,7 @@
 //! Figure 10: memory footprint during compression vs input size.
 
 use crate::alloc_track;
-use crate::codecs::all_codecs;
+use crate::codecs::paper_registry;
 use crate::context::render_table;
 use fcbench_datasets::{find, generate};
 
@@ -24,8 +24,10 @@ pub fn fig10(base_elems: usize) -> String {
     let mut rows = Vec::new();
     let mut buff_ratio = 0.0f64;
     let mut median_ratios: Vec<f64> = Vec::new();
-    for codec in all_codecs() {
-        let name = codec.info().name.to_string();
+    let registry = paper_registry();
+    for entry in registry.iter() {
+        let codec = entry.codec();
+        let name = entry.name().to_string();
         let mut row = vec![name.clone()];
         let mut last_ratio = f64::NAN;
         for &n in &sizes {

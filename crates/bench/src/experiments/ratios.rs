@@ -3,7 +3,7 @@
 use crate::context::{render_table, Context};
 use fcbench_core::metrics::{harmonic_mean, median};
 use fcbench_core::summary::{boxplot, group_boxplots};
-use fcbench_core::{CellOutcome, Domain};
+use fcbench_core::{CellOutcome, Domain, Platform};
 use fcbench_stats::{cd_diagram, friedman_test};
 
 /// Table 4: compression ratio per (dataset × method), with per-domain and
@@ -65,8 +65,8 @@ pub fn table4(ctx: &Context) -> String {
     out.push_str(&render_table(&headers, &rows));
     out.push_str(&format!(
         "\nrobustness: CPU failure rate {:.1}%  GPU failure rate {:.1}%  (paper: 2.0% / 7.3%)\n",
-        m.failure_rate(&crate::codecs::cpu_names()) * 100.0,
-        m.failure_rate(&crate::codecs::gpu_names()) * 100.0,
+        m.failure_rate(&ctx.platform_names(Platform::Cpu)) * 100.0,
+        m.failure_rate(&ctx.platform_names(Platform::Gpu)) * 100.0,
     ));
     out
 }
@@ -103,9 +103,8 @@ pub fn fig6(ctx: &Context) -> String {
     let mut by_class: Vec<(String, f64)> = Vec::new();
     let mut by_platform: Vec<(String, f64)> = Vec::new();
 
-    let codecs = crate::codecs::all_codecs();
-    for (ci, codec) in codecs.iter().enumerate() {
-        let info = codec.info();
+    for (ci, entry) in ctx.registry.iter().enumerate() {
+        let info = entry.codec().info();
         for (di, spec) in ctx.specs.iter().enumerate() {
             if let Some(cr) = m.cells[ci][di].ratio() {
                 by_type.push((spec.precision.label().to_string(), cr));

@@ -1,28 +1,34 @@
 //! Figure 11: roofline placement of every codec's dominant kernel.
 
-use crate::codecs::{cpu_codecs, gpu_codecs};
+use crate::codecs::paper_registry;
 use crate::context::render_table;
-use fcbench_core::Compressor;
+use fcbench_core::Platform;
 use fcbench_datasets::{find, generate};
 use fcbench_roofline::{Bound, MachineModel, RooflinePoint};
 use std::time::Instant;
 
 fn place(
-    codecs: Vec<Box<dyn Compressor>>,
+    registry: &fcbench_core::registry::CodecRegistry,
+    platform: Platform,
     machine: &MachineModel,
     target_elems: usize,
 ) -> Vec<(RooflinePoint, Bound)> {
     // The paper profiles on msg-bt (footnote 15).
     let spec = find("msg-bt").expect("catalog dataset");
     let data = generate(&spec, target_elems);
-    codecs
-        .into_iter()
-        .filter_map(|codec| {
+    let mut payload = Vec::new();
+    registry
+        .by_platform(platform)
+        .filter_map(|entry| {
+            let codec = entry.codec();
             let profile = codec.op_profile(data.desc())?;
+            // Untimed warm-up so the first codec doesn't pay the payload
+            // buffer's growth inside its timed region.
+            codec.compress_into(&data, &mut payload).ok()?;
             let t0 = Instant::now();
-            codec.compress(&data).ok()?;
+            codec.compress_into(&data, &mut payload).ok()?;
             let secs = t0.elapsed().as_secs_f64();
-            let point = RooflinePoint::from_profile(codec.info().name, &profile, secs);
+            let point = RooflinePoint::from_profile(entry.name(), &profile, secs);
             let bound = point.classify(machine, 0.5);
             Some((point, bound))
         })
@@ -63,18 +69,19 @@ fn render(machine: &MachineModel, points: &[(RooflinePoint, Bound)]) -> String {
 /// Figure 11a/11b: CPU and GPU rooflines (profiled on msg-bt, as in the
 /// paper's footnote 15).
 pub fn fig11(target_elems: usize) -> String {
+    let registry = paper_registry();
     let cpu_machine = MachineModel::xeon_gold_6126();
     let gpu_machine = MachineModel::rtx_6000();
 
     let mut out = String::from("Figure 11a: CPU-based methods\n");
     out.push_str(&render(
         &cpu_machine,
-        &place(cpu_codecs(), &cpu_machine, target_elems),
+        &place(&registry, Platform::Cpu, &cpu_machine, target_elems),
     ));
     out.push_str("\nFigure 11b: GPU-based methods (simulated device)\n");
     out.push_str(&render(
         &gpu_machine,
-        &place(gpu_codecs(), &gpu_machine, target_elems),
+        &place(&registry, Platform::Gpu, &gpu_machine, target_elems),
     ));
     out.push_str(
         "\npaper shape: serial codecs (fpzip, BUFF, SPDP, Gorilla, Chimp) sit far\n\

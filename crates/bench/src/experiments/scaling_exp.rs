@@ -1,22 +1,29 @@
 //! Tables 7 & 8: parallel scalability of the four thread-capable CPU
 //! methods over 1–48 threads.
 
-use crate::codecs::scalable_factories;
+use crate::codecs::paper_registry;
 use crate::context::render_table;
+use fcbench_core::registry::CodecRegistry;
 use fcbench_core::scaling::{scaling_sweep, Direction, PAPER_THREAD_COUNTS};
 use fcbench_core::FloatData;
 use fcbench_datasets::{find, generate};
 
 /// Run the sweep on a representative dataset at `target_elems`.
-fn sweep_table(data: &FloatData, direction: Direction, reps: usize) -> String {
-    let factories = scalable_factories();
+fn sweep_table(
+    registry: &CodecRegistry,
+    data: &FloatData,
+    direction: Direction,
+    reps: usize,
+) -> String {
+    let names = registry.scalable_names();
     let mut headers = vec!["threads".to_string()];
-    headers.extend(factories.iter().map(|(n, _)| n.to_string()));
+    headers.extend(names.iter().map(|n| n.to_string()));
 
-    let curves: Vec<_> = factories
+    let curves: Vec<_> = names
         .iter()
-        .map(|(_, f)| {
-            scaling_sweep(f, data, &PAPER_THREAD_COUNTS, direction, reps)
+        .map(|name| {
+            let factory = |t: usize| registry.scaled(name, t).expect("entry is thread-scalable");
+            scaling_sweep(factory, data, &PAPER_THREAD_COUNTS, direction, reps)
                 .expect("scalable codecs succeed on the sweep dataset")
         })
         .collect();
@@ -55,6 +62,7 @@ pub fn tables7_8(target_elems: usize, reps: usize) -> String {
     // The paper sweeps on large inputs; miranda3d-like smooth single data
     // parallelizes representatively. Thread scaling needs enough work per
     // worker, so the sweep uses at least 1M elements.
+    let registry = paper_registry();
     let spec = find("miranda3d").expect("catalog dataset");
     let data = generate(&spec, target_elems.max(1 << 20));
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -63,9 +71,9 @@ pub fn tables7_8(target_elems: usize, reps: usize) -> String {
         "(host exposes {cores} hardware thread(s); speedups are bounded by that —\n\
          the paper's testbed has 2x12 cores)\n\nTable 7: parallel compression throughput\n"
     );
-    out.push_str(&sweep_table(&data, Direction::Compress, reps));
+    out.push_str(&sweep_table(&registry, &data, Direction::Compress, reps));
     out.push_str("\nTable 8: parallel decompression throughput\n");
-    out.push_str(&sweep_table(&data, Direction::Decompress, reps));
+    out.push_str(&sweep_table(&registry, &data, Direction::Decompress, reps));
     out.push_str(
         "\npaper shape: pFPC and both bitshuffles gain 3-4x up to 16-24 threads,\n\
          then decline from oversubscription; ndzip-CPU's reference implementation\n\

@@ -50,8 +50,8 @@ fn collect(ctx: &Context) -> Vec<PerCodec> {
 /// 16x divergence penalty for dictionary kernels (Observation 3's cause).
 fn modelled_device_gbs(ctx: &Context, codec_idx: usize) -> Option<f64> {
     let machine = MachineModel::rtx_6000();
-    let codecs = crate::codecs::all_codecs();
-    let codec = &codecs[codec_idx];
+    // Registry order matches matrix row order by construction.
+    let codec = ctx.registry.iter().nth(codec_idx)?.codec();
     if codec.info().platform != fcbench_core::Platform::Gpu {
         return None;
     }
@@ -101,8 +101,8 @@ pub fn table5(ctx: &Context) -> String {
     );
 
     // Median GPU-vs-CPU gap (Observation 3).
-    let cpu = crate::codecs::cpu_names();
-    let gpu = crate::codecs::gpu_names();
+    let cpu = ctx.platform_names(fcbench_core::Platform::Cpu);
+    let gpu = ctx.platform_names(fcbench_core::Platform::Gpu);
     let med = |names: &[&str], sel: fn(&PerCodec) -> f64| -> f64 {
         let mut v: Vec<f64> = per
             .iter()
@@ -180,10 +180,11 @@ pub fn table6(ctx: &Context) -> String {
     // The paper's headline: transfer cost narrows the GPU advantage;
     // quantify the share of GPU wall time spent on transfers.
     let m = &ctx.matrix;
+    let gpu = ctx.platform_names(fcbench_core::Platform::Gpu);
     let mut transfer = 0.0;
     let mut total = 0.0;
     for (ci, name) in m.codecs.iter().enumerate() {
-        if !crate::codecs::gpu_names().contains(&name.as_str()) {
+        if !gpu.contains(&name.as_str()) {
             continue;
         }
         for di in 0..m.datasets.len() {

@@ -175,6 +175,7 @@ mod tests {
             (0..4).map(|_| mk(2.0, 0.5)).collect(),
         ];
         Context {
+            registry: fcbench_core::CodecRegistry::new(),
             datasets: Vec::new(),
             matrix: RunMatrix {
                 codecs,

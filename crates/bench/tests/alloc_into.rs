@@ -1,0 +1,122 @@
+//! Hard regression guarantee behind the zero-copy API: once buffers reach
+//! steady state, the `compress_into`/`decompress_into` loops of gorilla and
+//! chimp perform **zero** heap allocations. The counting allocator is
+//! installed as this test binary's global allocator, so any hidden
+//! allocation in the hot path fails the assertion.
+//!
+//! Runs without the libtest harness (`harness = false` in Cargo.toml): the
+//! allocation counter is process-global, and libtest's own threads would
+//! allocate inside the measured windows and fail the assertions spuriously.
+
+use fcbench_bench::alloc_track::{self, CountingAllocator};
+use fcbench_bench::codecs::paper_registry;
+use fcbench_core::{Domain, FloatData};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    gorilla_and_chimp_steady_state_loops_do_not_allocate();
+    println!("test gorilla_and_chimp_steady_state_loops_do_not_allocate ... ok");
+    runner_reuses_buffers_across_repetitions();
+    println!("test runner_reuses_buffers_across_repetitions ... ok");
+}
+
+fn telemetry(n: usize) -> FloatData {
+    let vals: Vec<f64> = (0..n)
+        .map(|i| 20.0 + 5.0 * (i as f64 * 0.01).sin() + (i % 7) as f64 * 0.125)
+        .collect();
+    FloatData::from_f64(&vals, vec![n], Domain::TimeSeries).unwrap()
+}
+
+fn gorilla_and_chimp_steady_state_loops_do_not_allocate() {
+    alloc_track::mark_installed();
+    let registry = paper_registry();
+    let data = telemetry(4096);
+
+    for name in ["gorilla", "chimp128"] {
+        let codec = registry.get(name).expect("registered codec");
+        let mut payload = Vec::new();
+        let mut out = FloatData::scratch();
+
+        // Warm-up: buffers grow to steady-state capacity, chimp's
+        // thread-local window scratch is sized, and `out` takes the shape
+        // of the data so later refills skip the descriptor clone.
+        for _ in 0..2 {
+            let n = codec.compress_into(&data, &mut payload).expect("compress");
+            codec
+                .decompress_into(&payload[..n], data.desc(), &mut out)
+                .expect("decompress");
+        }
+        assert_eq!(out.bytes(), data.bytes(), "{name}: warm-up round trip");
+
+        // Steady state: the whole loop must not touch the allocator.
+        let (compress_allocs, _) = alloc_track::count_allocations(|| {
+            for _ in 0..10 {
+                std::hint::black_box(codec.compress_into(&data, &mut payload).expect("compress"));
+            }
+        });
+        assert_eq!(
+            compress_allocs, 0,
+            "{name}: steady-state compress_into loop must not allocate"
+        );
+
+        let n = payload.len();
+        let (decompress_allocs, _) = alloc_track::count_allocations(|| {
+            for _ in 0..10 {
+                codec
+                    .decompress_into(&payload[..n], data.desc(), &mut out)
+                    .expect("decompress");
+            }
+        });
+        assert_eq!(
+            decompress_allocs, 0,
+            "{name}: steady-state decompress_into loop must not allocate"
+        );
+        assert_eq!(out.bytes(), data.bytes(), "{name}: still bit-exact");
+    }
+}
+
+fn runner_reuses_buffers_across_repetitions() {
+    alloc_track::mark_installed();
+    use fcbench_core::runner::{run_cell, RunConfig};
+    let registry = paper_registry();
+    let data = telemetry(2048);
+    let codec = registry.get("gorilla").expect("registered codec");
+
+    // Warm the allocator-side caches once.
+    let cfg = RunConfig {
+        repetitions: 3,
+        verify: true,
+    };
+    let _ = run_cell(&codec, &data, cfg);
+
+    // A multi-repetition cell allocates only its one-time buffers (payload,
+    // scratch, measurement vec), not per repetition: the delta between 2
+    // and 20 repetitions stays far below 18x the per-call warm-up cost.
+    let (allocs_few, _) = alloc_track::count_allocations(|| {
+        run_cell(
+            &codec,
+            &data,
+            RunConfig {
+                repetitions: 2,
+                verify: true,
+            },
+        )
+    });
+    let (allocs_many, _) = alloc_track::count_allocations(|| {
+        run_cell(
+            &codec,
+            &data,
+            RunConfig {
+                repetitions: 20,
+                verify: true,
+            },
+        )
+    });
+    assert!(
+        allocs_many <= allocs_few + 4,
+        "repetitions must reuse buffers: {allocs_few} allocs at 2 reps vs \
+         {allocs_many} at 20"
+    );
+}

@@ -212,7 +212,7 @@ impl Compressor for Bitshuffle {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
         let elem_size = data.desc().precision.bytes();
         let bytes = data.bytes();
         let blocks: Vec<&[u8]> = bytes.chunks(self.block_bytes).collect();
@@ -237,18 +237,19 @@ impl Compressor for Bitshuffle {
         });
 
         let total: usize = payloads.iter().map(|p| p.len()).sum();
-        let mut out = Vec::with_capacity(8 + 4 * payloads.len() + total);
-        push_u32(&mut out, payloads.len() as u32);
+        out.clear();
+        out.reserve(8 + 4 * payloads.len() + total);
+        push_u32(out, payloads.len() as u32);
         for p in &payloads {
-            push_u32(&mut out, p.len() as u32);
+            push_u32(out, p.len() as u32);
         }
         for p in &payloads {
             out.extend_from_slice(p);
         }
-        Ok(out)
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
         let mut pos = 0usize;
         let nblocks = read_u32(payload, &mut pos)
             .ok_or_else(|| Error::Corrupt("bitshuffle: missing block count".into()))?
@@ -294,16 +295,18 @@ impl Compressor for Bitshuffle {
             }
         });
 
-        let mut bytes = Vec::with_capacity(desc.byte_len());
-        for r in results {
-            bytes.extend_from_slice(&r?);
-        }
-        if bytes.len() != desc.byte_len() {
-            return Err(Error::Corrupt(
-                "bitshuffle: reassembled size mismatch".into(),
-            ));
-        }
-        FloatData::from_bytes(desc.clone(), bytes)
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            for r in results {
+                bytes.extend_from_slice(&r?);
+            }
+            if bytes.len() != desc.byte_len() {
+                return Err(Error::Corrupt(
+                    "bitshuffle: reassembled size mismatch".into(),
+                ));
+            }
+            Ok(())
+        })
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

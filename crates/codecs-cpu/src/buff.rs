@@ -230,15 +230,16 @@ impl Compressor for Buff {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
         let (p, scaled) = match data.desc().precision {
             Precision::Double => derive_precision(&data.to_f64_vec()?)?,
             // The exactness check runs in the f32 domain (native BUFF).
             Precision::Single => derive_precision32(&data.to_f32_vec()?)?,
         };
         let enc = encode_scaled(p, &scaled);
-        let mut out = Vec::with_capacity(22 + 12 * enc.outliers.len() + enc.planes.len());
-        push_u64(&mut out, enc.count);
+        out.clear();
+        out.reserve(22 + 12 * enc.outliers.len() + enc.planes.len());
+        push_u64(out, enc.count);
         out.push(enc.precision);
         out.push(enc.bits);
         out.extend_from_slice(&enc.min.to_le_bytes());
@@ -248,24 +249,30 @@ impl Compressor for Buff {
             out.extend_from_slice(&q.to_le_bytes());
         }
         out.extend_from_slice(&enc.planes);
-        Ok(out)
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
         let view = BuffView::parse(payload)?;
         if view.count != desc.elements() {
             return Err(Error::Corrupt("buff: element count mismatch".into()));
         }
-        match desc.precision {
-            Precision::Double => {
-                let vals: Vec<f64> = (0..view.count).map(|i| view.value_at(i)).collect();
-                FloatData::from_f64(&vals, desc.dims.clone(), desc.domain)
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            match desc.precision {
+                Precision::Double => {
+                    for i in 0..view.count {
+                        bytes.extend_from_slice(&view.value_at(i).to_le_bytes());
+                    }
+                }
+                Precision::Single => {
+                    for i in 0..view.count {
+                        bytes.extend_from_slice(&(view.value_at(i) as f32).to_le_bytes());
+                    }
+                }
             }
-            Precision::Single => {
-                let vals: Vec<f32> = (0..view.count).map(|i| view.value_at(i) as f32).collect();
-                FloatData::from_f32(&vals, desc.dims.clone(), desc.domain)
-            }
-        }
+            Ok(())
+        })
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

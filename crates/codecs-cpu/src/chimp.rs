@@ -20,12 +20,13 @@
 //!   leading-zero bucket equals the previous one: `bits − lz` bits verbatim;
 //! - `11` — like `10` but with a fresh 3-bit leading-zero bucket first.
 
-use crate::common::{push_u64, read_u64};
+use crate::common::{push_u64, read_u64, u32_words, u64_words};
 use fcbench_core::{
     CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
     Precision, PrecisionSupport, Result,
 };
-use fcbench_entropy::{BitReader, BitWriter};
+use fcbench_entropy::{BitReader, BitSink};
+use std::cell::RefCell;
 
 /// Residual trailing zeros must exceed this for the indexed (`01`) form.
 pub const TZ_THRESHOLD: u32 = 6;
@@ -103,24 +104,49 @@ fn bucket_of(lz: u32, buckets: &[u32; 8]) -> (u32, u32) {
     (code, buckets[code as usize])
 }
 
-struct Window {
+/// Backing storage for a [`Window`], kept per thread so the sliding-window
+/// probe performs no steady-state allocation on a long-lived thread, even
+/// when one `Chimp` instance is shared across threads. (The pipeline's
+/// scoped workers are born per call, so they size this scratch once per
+/// pipeline call, not once per block.)
+#[derive(Default)]
+struct WindowBufs {
     values: Vec<u64>,
-    /// Most recent absolute position (+1; 0 = empty) per low-bits key.
     index: Vec<u64>,
+}
+
+thread_local! {
+    static WINDOW_SCRATCH: RefCell<WindowBufs> = RefCell::new(WindowBufs::default());
+}
+
+/// Borrow this thread's window scratch, reset for `size`/`lay`, and run `f`.
+fn with_window<R>(size: usize, lay: Layout, f: impl FnOnce(&mut Window<'_>) -> R) -> R {
+    WINDOW_SCRATCH.with(|s| {
+        let mut bufs = s.borrow_mut();
+        let bufs = &mut *bufs;
+        bufs.values.clear();
+        bufs.values.resize(size, 0);
+        bufs.index.clear();
+        bufs.index.resize(1 << lay.key_bits, 0);
+        let mut win = Window {
+            values: &mut bufs.values,
+            index: &mut bufs.index,
+            key_mask: (1u64 << lay.key_bits) - 1,
+            size,
+        };
+        f(&mut win)
+    })
+}
+
+struct Window<'a> {
+    values: &'a mut [u64],
+    /// Most recent absolute position (+1; 0 = empty) per low-bits key.
+    index: &'a mut [u64],
     key_mask: u64,
     size: usize,
 }
 
-impl Window {
-    fn new(size: usize, lay: Layout) -> Self {
-        Window {
-            values: vec![0; size],
-            index: vec![0; 1 << lay.key_bits],
-            key_mask: (1u64 << lay.key_bits) - 1,
-            size,
-        }
-    }
-
+impl Window<'_> {
     /// Candidate reference for `value` at absolute position `pos`:
     /// `(slot, stored_value)` of the latest same-key value still in the
     /// window, if any.
@@ -149,82 +175,89 @@ impl Window {
     }
 }
 
-fn encode_words(words: &[u64], lay: Layout, window_size: usize, idx_bits: u32, w: &mut BitWriter) {
-    if words.is_empty() {
+fn encode_words(
+    mut words: impl Iterator<Item = u64>,
+    lay: Layout,
+    window_size: usize,
+    idx_bits: u32,
+    w: &mut BitSink<'_>,
+) {
+    let Some(first) = words.next() else {
         return;
-    }
-    w.push_bits(words[0], lay.bits);
-    let mut win = Window::new(window_size, lay);
-    win.insert(words[0], 0);
-    let mut prev = words[0];
-    let mut prev_lz_bucket = u32::MAX;
+    };
+    with_window(window_size, lay, |win| {
+        w.push_bits(first, lay.bits);
+        win.insert(first, 0);
+        let mut prev = first;
+        let mut prev_lz_bucket = u32::MAX;
 
-    for (k, &cur) in words.iter().enumerate().skip(1) {
-        // Probe the window for a same-low-bits reference.
-        let candidate = win.candidate(cur, k);
-        let indexed = candidate.and_then(|(slot, val)| {
-            let xor = cur ^ val;
-            if xor == 0 || xor.trailing_zeros().min(lay.bits) > TZ_THRESHOLD {
-                Some((slot, xor))
-            } else {
-                None
-            }
-        });
-
-        match indexed {
-            Some((slot, 0)) => {
-                // `00`: exact repeat of an in-window value.
-                w.push_bits(0b00, 2);
-                w.push_bits(slot as u64, idx_bits);
-            }
-            Some((slot, xor)) => {
-                // `01`: indexed reference, big trailing-zero run.
-                let lz = xor.leading_zeros() - (64 - lay.bits);
-                let (code, lz_rounded) = bucket_of(lz, lay.buckets);
-                let tz = xor.trailing_zeros();
-                let center = lay.bits - lz_rounded - tz;
-                w.push_bits(0b01, 2);
-                w.push_bits(slot as u64, idx_bits);
-                w.push_bits(code as u64, 3);
-                // center ∈ [1, bits − threshold); store center − 1.
-                w.push_bits((center - 1) as u64, lay.center_field);
-                w.push_bits(xor >> tz, center);
-            }
-            None => {
-                // Fall back to the previous value as reference.
-                let xor = cur ^ prev;
-                if xor == 0 {
-                    // Rare (a zero xor with prev would normally hit the
-                    // window path), but reachable when the window slot was
-                    // overwritten. Use the `10`/`11` forms with full width.
-                    let (code, lz_rounded) = bucket_of(lay.bits - 1, lay.buckets);
-                    let stored = lay.bits - lz_rounded;
-                    if code == prev_lz_bucket {
-                        w.push_bits(0b10, 2);
-                    } else {
-                        w.push_bits(0b11, 2);
-                        w.push_bits(code as u64, 3);
-                        prev_lz_bucket = code;
-                    }
-                    w.push_bits(0, stored);
+        for (k, cur) in words.enumerate().map(|(k, cur)| (k + 1, cur)) {
+            // Probe the window for a same-low-bits reference.
+            let candidate = win.candidate(cur, k);
+            let indexed = candidate.and_then(|(slot, val)| {
+                let xor = cur ^ val;
+                if xor == 0 || xor.trailing_zeros().min(lay.bits) > TZ_THRESHOLD {
+                    Some((slot, xor))
                 } else {
+                    None
+                }
+            });
+
+            match indexed {
+                Some((slot, 0)) => {
+                    // `00`: exact repeat of an in-window value.
+                    w.push_bits(0b00, 2);
+                    w.push_bits(slot as u64, idx_bits);
+                }
+                Some((slot, xor)) => {
+                    // `01`: indexed reference, big trailing-zero run.
                     let lz = xor.leading_zeros() - (64 - lay.bits);
                     let (code, lz_rounded) = bucket_of(lz, lay.buckets);
-                    let stored = lay.bits - lz_rounded;
-                    if code == prev_lz_bucket {
-                        w.push_bits(0b10, 2);
+                    let tz = xor.trailing_zeros();
+                    let center = lay.bits - lz_rounded - tz;
+                    w.push_bits(0b01, 2);
+                    w.push_bits(slot as u64, idx_bits);
+                    w.push_bits(code as u64, 3);
+                    // center ∈ [1, bits − threshold); store center − 1.
+                    w.push_bits((center - 1) as u64, lay.center_field);
+                    w.push_bits(xor >> tz, center);
+                }
+                None => {
+                    // Fall back to the previous value as reference.
+                    let xor = cur ^ prev;
+                    if xor == 0 {
+                        // Rare (a zero xor with prev would normally hit the
+                        // window path), but reachable when the window slot was
+                        // overwritten. Use the `10`/`11` forms with full width.
+                        let (code, lz_rounded) = bucket_of(lay.bits - 1, lay.buckets);
+                        let stored = lay.bits - lz_rounded;
+                        if code == prev_lz_bucket {
+                            w.push_bits(0b10, 2);
+                        } else {
+                            w.push_bits(0b11, 2);
+                            w.push_bits(code as u64, 3);
+                            prev_lz_bucket = code;
+                        }
+                        w.push_bits(0, stored);
                     } else {
-                        w.push_bits(0b11, 2);
-                        w.push_bits(code as u64, 3);
-                        prev_lz_bucket = code;
+                        let lz = xor.leading_zeros() - (64 - lay.bits);
+                        let (code, lz_rounded) = bucket_of(lz, lay.buckets);
+                        let stored = lay.bits - lz_rounded;
+                        if code == prev_lz_bucket {
+                            w.push_bits(0b10, 2);
+                        } else {
+                            w.push_bits(0b11, 2);
+                            w.push_bits(code as u64, 3);
+                            prev_lz_bucket = code;
+                        }
+                        w.push_bits(xor, stored);
                     }
-                    w.push_bits(xor, stored);
                 }
             }
+            win.insert(cur, k);
+            prev = cur;
         }
-        win.insert(cur, k);
-        prev = cur;
-    }
+    })
 }
 
 fn decode_words(
@@ -233,88 +266,89 @@ fn decode_words(
     lay: Layout,
     window_size: usize,
     idx_bits: u32,
-) -> Result<Vec<u64>> {
-    let mut out = Vec::with_capacity(count);
+    mut emit: impl FnMut(u64),
+) -> Result<()> {
     if count == 0 {
-        return Ok(out);
+        return Ok(());
     }
     let first = r
         .read_bits(lay.bits)
         .ok_or_else(|| Error::Corrupt("chimp: missing first value".into()))?;
-    out.push(first);
-    let mut win = Window::new(window_size, lay);
-    win.insert(first, 0);
-    let mut prev = first;
-    // Width of the verbatim field for the `10` form; set by each `11`.
-    let mut prev_stored = lay.bits;
+    emit(first);
+    with_window(window_size, lay, |win| {
+        win.insert(first, 0);
+        let mut prev = first;
+        // Width of the verbatim field for the `10` form; set by each `11`.
+        let mut prev_stored = lay.bits;
 
-    for k in 1..count {
-        let form = r
-            .read_bits(2)
-            .ok_or_else(|| Error::Corrupt("chimp: truncated control".into()))?;
-        let cur = match form {
-            0b00 => {
-                let slot = r
-                    .read_bits(idx_bits)
-                    .ok_or_else(|| Error::Corrupt("chimp: truncated index".into()))?
-                    as usize;
-                if slot >= window_size {
-                    return Err(Error::Corrupt("chimp: index out of window".into()));
+        for k in 1..count {
+            let form = r
+                .read_bits(2)
+                .ok_or_else(|| Error::Corrupt("chimp: truncated control".into()))?;
+            let cur = match form {
+                0b00 => {
+                    let slot = r
+                        .read_bits(idx_bits)
+                        .ok_or_else(|| Error::Corrupt("chimp: truncated index".into()))?
+                        as usize;
+                    if slot >= window_size {
+                        return Err(Error::Corrupt("chimp: index out of window".into()));
+                    }
+                    win.value_at_slot(slot)
                 }
-                win.value_at_slot(slot)
-            }
-            0b01 => {
-                let slot = r
-                    .read_bits(idx_bits)
-                    .ok_or_else(|| Error::Corrupt("chimp: truncated index".into()))?
-                    as usize;
-                if slot >= window_size {
-                    return Err(Error::Corrupt("chimp: index out of window".into()));
+                0b01 => {
+                    let slot = r
+                        .read_bits(idx_bits)
+                        .ok_or_else(|| Error::Corrupt("chimp: truncated index".into()))?
+                        as usize;
+                    if slot >= window_size {
+                        return Err(Error::Corrupt("chimp: index out of window".into()));
+                    }
+                    let code = r
+                        .read_bits(3)
+                        .ok_or_else(|| Error::Corrupt("chimp: truncated lz code".into()))?
+                        as usize;
+                    let lz = lay.buckets[code];
+                    let center = r
+                        .read_bits(lay.center_field)
+                        .ok_or_else(|| Error::Corrupt("chimp: truncated center len".into()))?
+                        as u32
+                        + 1;
+                    if lz + center > lay.bits {
+                        return Err(Error::Corrupt("chimp: center exceeds word".into()));
+                    }
+                    let tz = lay.bits - lz - center;
+                    let bits = r
+                        .read_bits(center)
+                        .ok_or_else(|| Error::Corrupt("chimp: truncated center bits".into()))?;
+                    win.value_at_slot(slot) ^ (bits << tz)
                 }
-                let code = r
-                    .read_bits(3)
-                    .ok_or_else(|| Error::Corrupt("chimp: truncated lz code".into()))?
-                    as usize;
-                let lz = lay.buckets[code];
-                let center = r
-                    .read_bits(lay.center_field)
-                    .ok_or_else(|| Error::Corrupt("chimp: truncated center len".into()))?
-                    as u32
-                    + 1;
-                if lz + center > lay.bits {
-                    return Err(Error::Corrupt("chimp: center exceeds word".into()));
+                0b10 => {
+                    let bits = r
+                        .read_bits(prev_stored)
+                        .ok_or_else(|| Error::Corrupt("chimp: truncated 10-form bits".into()))?;
+                    prev ^ bits
                 }
-                let tz = lay.bits - lz - center;
-                let bits = r
-                    .read_bits(center)
-                    .ok_or_else(|| Error::Corrupt("chimp: truncated center bits".into()))?;
-                win.value_at_slot(slot) ^ (bits << tz)
-            }
-            0b10 => {
-                let bits = r
-                    .read_bits(prev_stored)
-                    .ok_or_else(|| Error::Corrupt("chimp: truncated 10-form bits".into()))?;
-                prev ^ bits
-            }
-            _ => {
-                let code = r
-                    .read_bits(3)
-                    .ok_or_else(|| Error::Corrupt("chimp: truncated 11-form code".into()))?
-                    as usize;
-                let lz = lay.buckets[code];
-                let stored = lay.bits - lz;
-                prev_stored = stored;
-                let bits = r
-                    .read_bits(stored)
-                    .ok_or_else(|| Error::Corrupt("chimp: truncated 11-form bits".into()))?;
-                prev ^ bits
-            }
-        };
-        win.insert(cur, k);
-        prev = cur;
-        out.push(cur);
-    }
-    Ok(out)
+                _ => {
+                    let code = r
+                        .read_bits(3)
+                        .ok_or_else(|| Error::Corrupt("chimp: truncated 11-form code".into()))?
+                        as usize;
+                    let lz = lay.buckets[code];
+                    let stored = lay.bits - lz;
+                    prev_stored = stored;
+                    let bits = r
+                        .read_bits(stored)
+                        .ok_or_else(|| Error::Corrupt("chimp: truncated 11-form bits".into()))?;
+                    prev ^ bits
+                }
+            };
+            win.insert(cur, k);
+            prev = cur;
+            emit(cur);
+        }
+        Ok(())
+    })
 }
 
 impl Compressor for Chimp {
@@ -330,25 +364,31 @@ impl Compressor for Chimp {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
-        let mut out = Vec::with_capacity(data.bytes().len() / 2 + 16);
-        push_u64(&mut out, data.elements() as u64);
-        let mut w = BitWriter::with_capacity(data.bytes().len());
+    /// Zero-allocation in steady state: bits are emitted straight into `out`
+    /// through a [`BitSink`], words stream from the payload bytes, and the
+    /// 128-value window lives in thread-local scratch.
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+        out.clear();
+        out.reserve(data.bytes().len() / 2 + 16);
+        push_u64(out, data.elements() as u64);
+        let mut w = BitSink::new(out);
         let idx_bits = self.index_bits();
         match data.desc().precision {
             Precision::Double => {
-                encode_words(&data.as_u64_words()?, L64, self.window, idx_bits, &mut w)
+                encode_words(u64_words(data.bytes()), L64, self.window, idx_bits, &mut w)
             }
-            Precision::Single => {
-                let words: Vec<u64> = data.as_u32_words()?.into_iter().map(u64::from).collect();
-                encode_words(&words, L32, self.window, idx_bits, &mut w);
-            }
+            Precision::Single => encode_words(
+                u32_words(data.bytes()).map(u64::from),
+                L32,
+                self.window,
+                idx_bits,
+                &mut w,
+            ),
         }
-        out.extend_from_slice(&w.into_bytes());
-        Ok(out)
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
         let mut pos = 0usize;
         let count = read_u64(payload, &mut pos)
             .ok_or_else(|| Error::Corrupt("chimp: missing element count".into()))?
@@ -356,19 +396,19 @@ impl Compressor for Chimp {
         if count != desc.elements() {
             return Err(Error::Corrupt("chimp: element count mismatch".into()));
         }
-        let mut r = BitReader::new(&payload[pos..]);
         let idx_bits = self.index_bits();
-        match desc.precision {
-            Precision::Double => {
-                let words = decode_words(&mut r, count, L64, self.window, idx_bits)?;
-                FloatData::from_u64_words(&words, desc.dims.clone(), desc.domain)
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            let mut r = BitReader::new(&payload[pos..]);
+            match desc.precision {
+                Precision::Double => decode_words(&mut r, count, L64, self.window, idx_bits, |w| {
+                    bytes.extend_from_slice(&w.to_le_bytes())
+                }),
+                Precision::Single => decode_words(&mut r, count, L32, self.window, idx_bits, |w| {
+                    bytes.extend_from_slice(&(w as u32).to_le_bytes())
+                }),
             }
-            Precision::Single => {
-                let words = decode_words(&mut r, count, L32, self.window, idx_bits)?;
-                let narrowed: Vec<u32> = words.into_iter().map(|w| w as u32).collect();
-                FloatData::from_u32_words(&narrowed, desc.dims.clone(), desc.domain)
-            }
-        }
+        })
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

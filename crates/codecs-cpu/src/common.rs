@@ -37,6 +37,24 @@ pub fn elem_bytes(p: Precision) -> usize {
     p.bytes()
 }
 
+/// Iterate little-endian `u64` bit-pattern words over a payload without
+/// materialising a vector — the allocation-free feed for `compress_into`
+/// hot paths. The caller guarantees `bytes.len()` is a multiple of 8
+/// (`FloatData` enforces this for double-precision payloads).
+pub fn u64_words(bytes: &[u8]) -> impl ExactSizeIterator<Item = u64> + '_ {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+}
+
+/// Iterate little-endian `u32` bit-pattern words over a payload
+/// (single-precision sibling of [`u64_words`]).
+pub fn u32_words(bytes: &[u8]) -> impl ExactSizeIterator<Item = u32> + '_ {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+}
+
 /// Write a `u32` length prefix.
 pub fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());

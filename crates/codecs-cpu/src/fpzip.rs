@@ -263,26 +263,34 @@ impl Compressor for Fpzip {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
         let dims = effective_dims(data.desc());
+        out.clear();
         match data.desc().precision {
-            Precision::Double => Ok(encode_f64(&data.to_f64_vec()?, &dims)),
-            Precision::Single => Ok(encode_f32(&data.to_f32_vec()?, &dims)),
+            Precision::Double => out.extend_from_slice(&encode_f64(&data.to_f64_vec()?, &dims)),
+            Precision::Single => out.extend_from_slice(&encode_f32(&data.to_f32_vec()?, &dims)),
         }
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
         let dims = effective_dims(desc);
-        match desc.precision {
-            Precision::Double => {
-                let vals = decode_f64(payload, &dims, desc.elements())?;
-                FloatData::from_f64(&vals, desc.dims.clone(), desc.domain)
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            match desc.precision {
+                Precision::Double => {
+                    for v in decode_f64(payload, &dims, desc.elements())? {
+                        bytes.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Precision::Single => {
+                    for v in decode_f32(payload, &dims, desc.elements())? {
+                        bytes.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
             }
-            Precision::Single => {
-                let vals = decode_f32(payload, &dims, desc.elements())?;
-                FloatData::from_f32(&vals, desc.dims.clone(), desc.domain)
-            }
-        }
+            Ok(())
+        })
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

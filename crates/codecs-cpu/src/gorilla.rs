@@ -14,12 +14,12 @@
 //! by any FCBench experiment. Works on both precisions via bit-pattern
 //! words (Table 4 runs Gorilla on fp32 datasets too).
 
-use crate::common::{push_u64, read_u64};
+use crate::common::{push_u64, read_u64, u32_words, u64_words};
 use fcbench_core::{
     CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
     Precision, PrecisionSupport, Result,
 };
-use fcbench_entropy::{BitReader, BitWriter};
+use fcbench_entropy::{BitReader, BitSink};
 
 /// Gorilla's XOR value codec.
 #[derive(Debug, Default, Clone)]
@@ -53,18 +53,18 @@ const L32: Layout = Layout {
     len_field: 5,
 };
 
-fn encode_words(words: &[u64], lay: Layout, w: &mut BitWriter) {
-    if words.is_empty() {
+fn encode_words(mut words: impl Iterator<Item = u64>, lay: Layout, w: &mut BitSink<'_>) {
+    let Some(first) = words.next() else {
         return;
-    }
-    w.push_bits(words[0], lay.bits);
-    let mut prev = words[0];
+    };
+    w.push_bits(first, lay.bits);
+    let mut prev = first;
     // The active meaningful-bit window from the last `11` form.
     let mut win_lz = 0u32;
     let mut win_tz = 0u32;
     let mut have_window = false;
 
-    for &cur in &words[1..] {
+    for cur in words {
         let xor = prev ^ cur;
         prev = cur;
         if xor == 0 {
@@ -96,25 +96,31 @@ fn encode_words(words: &[u64], lay: Layout, w: &mut BitWriter) {
     }
 }
 
-fn decode_words(r: &mut BitReader<'_>, count: usize, lay: Layout) -> Result<Vec<u64>> {
-    let mut out = Vec::with_capacity(count);
+fn decode_words(
+    r: &mut BitReader<'_>,
+    count: usize,
+    lay: Layout,
+    mut emit: impl FnMut(u64),
+) -> Result<()> {
     if count == 0 {
-        return Ok(out);
+        return Ok(());
     }
     let first = r
         .read_bits(lay.bits)
         .ok_or_else(|| Error::Corrupt("gorilla: missing first value".into()))?;
-    out.push(first);
+    emit(first);
+    let mut decoded = 1usize;
     let mut prev = first;
     let mut win_lz = 0u32;
     let mut win_tz = 0u32;
 
-    while out.len() < count {
+    while decoded < count {
         let c0 = r
             .read_bit()
             .ok_or_else(|| Error::Corrupt("gorilla: truncated control bit".into()))?;
         if !c0 {
-            out.push(prev);
+            emit(prev);
+            decoded += 1;
             continue;
         }
         let c1 = r
@@ -150,9 +156,10 @@ fn decode_words(r: &mut BitReader<'_>, count: usize, lay: Layout) -> Result<Vec<
             bits << tz
         };
         prev ^= xor;
-        out.push(prev);
+        emit(prev);
+        decoded += 1;
     }
-    Ok(out)
+    Ok(())
 }
 
 impl Compressor for Gorilla {
@@ -168,22 +175,22 @@ impl Compressor for Gorilla {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
-        let mut out = Vec::with_capacity(data.bytes().len() / 2 + 16);
-        push_u64(&mut out, data.elements() as u64);
-        let mut w = BitWriter::with_capacity(data.bytes().len());
+    /// Zero-allocation in steady state: the stream is emitted straight into
+    /// `out` through a [`BitSink`], and words are read from the payload
+    /// bytes without an intermediate vector.
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+        out.clear();
+        out.reserve(data.bytes().len() / 2 + 16);
+        push_u64(out, data.elements() as u64);
+        let mut w = BitSink::new(out);
         match data.desc().precision {
-            Precision::Double => encode_words(&data.as_u64_words()?, L64, &mut w),
-            Precision::Single => {
-                let words: Vec<u64> = data.as_u32_words()?.into_iter().map(u64::from).collect();
-                encode_words(&words, L32, &mut w);
-            }
+            Precision::Double => encode_words(u64_words(data.bytes()), L64, &mut w),
+            Precision::Single => encode_words(u32_words(data.bytes()).map(u64::from), L32, &mut w),
         }
-        out.extend_from_slice(&w.into_bytes());
-        Ok(out)
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
         let mut pos = 0usize;
         let count = read_u64(payload, &mut pos)
             .ok_or_else(|| Error::Corrupt("gorilla: missing element count".into()))?
@@ -194,18 +201,18 @@ impl Compressor for Gorilla {
                 desc.elements()
             )));
         }
-        let mut r = BitReader::new(&payload[pos..]);
-        match desc.precision {
-            Precision::Double => {
-                let words = decode_words(&mut r, count, L64)?;
-                FloatData::from_u64_words(&words, desc.dims.clone(), desc.domain)
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            let mut r = BitReader::new(&payload[pos..]);
+            match desc.precision {
+                Precision::Double => decode_words(&mut r, count, L64, |w| {
+                    bytes.extend_from_slice(&w.to_le_bytes())
+                }),
+                Precision::Single => decode_words(&mut r, count, L32, |w| {
+                    bytes.extend_from_slice(&(w as u32).to_le_bytes())
+                }),
             }
-            Precision::Single => {
-                let words = decode_words(&mut r, count, L32)?;
-                let narrowed: Vec<u32> = words.into_iter().map(|w| w as u32).collect();
-                FloatData::from_u32_words(&narrowed, desc.dims.clone(), desc.domain)
-            }
-        }
+        })
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

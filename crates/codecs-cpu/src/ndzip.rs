@@ -321,7 +321,7 @@ impl Compressor for Ndzip {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
         let desc = data.desc();
         let elem_bits = desc.precision.bits();
         let esize = desc.precision.bytes();
@@ -351,10 +351,10 @@ impl Compressor for Ndzip {
             }
         });
 
-        let mut out = Vec::new();
-        push_u32(&mut out, streams.len() as u32);
+        out.clear();
+        push_u32(out, streams.len() as u32);
         for s in &streams {
-            push_u32(&mut out, s.len() as u32);
+            push_u32(out, s.len() as u32);
         }
         for s in &streams {
             out.extend_from_slice(s);
@@ -363,10 +363,10 @@ impl Compressor for Ndzip {
         for &i in &plan.border {
             out.extend_from_slice(&words[i].to_le_bytes()[..esize]);
         }
-        Ok(out)
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
         let elem_bits = desc.precision.bits();
         let esize = desc.precision.bytes();
         let dims = effective_dims(desc);
@@ -425,13 +425,22 @@ impl Compressor for Ndzip {
             return Err(Error::Corrupt("ndzip: trailing bytes".into()));
         }
 
-        match desc.precision {
-            Precision::Double => FloatData::from_u64_words(&words, desc.dims.clone(), desc.domain),
-            Precision::Single => {
-                let narrowed: Vec<u32> = words.into_iter().map(|w| w as u32).collect();
-                FloatData::from_u32_words(&narrowed, desc.dims.clone(), desc.domain)
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            match desc.precision {
+                Precision::Double => {
+                    for w in words {
+                        bytes.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+                Precision::Single => {
+                    for w in words {
+                        bytes.extend_from_slice(&(w as u32).to_le_bytes());
+                    }
+                }
             }
-        }
+            Ok(())
+        })
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

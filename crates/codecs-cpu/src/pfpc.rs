@@ -214,7 +214,7 @@ impl Compressor for Pfpc {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
         let bytes = data.bytes();
         let nwords = bytes.len() / 8;
         let tail = &bytes[nwords * 8..];
@@ -234,21 +234,21 @@ impl Compressor for Pfpc {
             }
         });
 
-        let mut out = Vec::new();
-        push_u64(&mut out, nwords as u64);
-        push_u32(&mut out, chunk_payloads.len() as u32);
+        out.clear();
+        push_u64(out, nwords as u64);
+        push_u32(out, chunk_payloads.len() as u32);
         out.push(tail.len() as u8);
         for p in &chunk_payloads {
-            push_u32(&mut out, p.len() as u32);
+            push_u32(out, p.len() as u32);
         }
         for p in &chunk_payloads {
             out.extend_from_slice(p);
         }
         out.extend_from_slice(tail);
-        Ok(out)
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
         let mut pos = 0usize;
         let nwords = read_u64(payload, &mut pos)
             .ok_or_else(|| Error::Corrupt("pfpc: missing word count".into()))?
@@ -315,14 +315,16 @@ impl Compressor for Pfpc {
             }
         });
 
-        let mut bytes = Vec::with_capacity(desc.byte_len());
-        for r in results {
-            for w in r? {
-                bytes.extend_from_slice(&w.to_le_bytes());
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            for r in results {
+                for w in r? {
+                    bytes.extend_from_slice(&w.to_le_bytes());
+                }
             }
-        }
-        bytes.extend_from_slice(tail);
-        FloatData::from_bytes(desc.clone(), bytes)
+            bytes.extend_from_slice(tail);
+            Ok(())
+        })
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

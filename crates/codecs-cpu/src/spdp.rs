@@ -137,20 +137,23 @@ impl Compressor for Spdp {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
         let s1 = dim8_forward(data.bytes());
         let s2 = lnvs2_forward(&s1);
         let s3 = lnvs1_forward(&s2);
-        Ok(lz77::compress(&s3, self.lz_config))
+        lz77::compress_into(&s3, self.lz_config, out);
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
         let s3 = lz77::decompress(payload, desc.byte_len())
             .map_err(|e| Error::Corrupt(e.to_string()))?;
         let s2 = lnvs1_inverse(&s3);
         let s1 = lnvs2_inverse(&s2);
-        let bytes = dim8_inverse(&s1);
-        FloatData::from_bytes(desc.clone(), bytes)
+        out.refill(desc, |bytes| {
+            bytes.extend_from_slice(&dim8_inverse(&s1));
+            Ok(())
+        })
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

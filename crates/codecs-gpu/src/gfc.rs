@@ -24,7 +24,6 @@ use fcbench_core::{
     Platform, PrecisionSupport, Result,
 };
 use fcbench_gpu_sim::{Dir, Gpu, GpuConfig, TransferLedger};
-use parking_lot::Mutex;
 
 /// Values per subchunk (one GPU warp of 32 lanes).
 pub const SUBCHUNK: usize = 32;
@@ -32,8 +31,7 @@ pub const SUBCHUNK: usize = 32;
 /// The GFC codec on the simulated GPU.
 pub struct Gfc {
     gpu: Gpu,
-    ledger: TransferLedger,
-    last_aux: Mutex<AuxTime>,
+    last_aux: crate::AuxSlot,
     input_limit: usize,
     /// Number of parallel chunks (the original sizes this to the warp
     /// count resident on the device).
@@ -60,20 +58,10 @@ impl Gfc {
         let chunks = config.sm_count * 16; // warps resident across SMs
         Gfc {
             gpu: Gpu::new(config),
-            ledger: TransferLedger::new(),
-            last_aux: Mutex::new(AuxTime::default()),
+            last_aux: crate::AuxSlot::new(),
             input_limit,
             chunks,
         }
-    }
-
-    fn take_aux(&self) {
-        let (h2d, d2h) = self.ledger.totals();
-        self.ledger.drain();
-        *self.last_aux.lock() = AuxTime {
-            h2d_seconds: h2d,
-            d2h_seconds: d2h,
-        };
     }
 }
 
@@ -180,7 +168,7 @@ impl Compressor for Gfc {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
         if data.bytes().len() > self.input_limit {
             return Err(Error::Unsupported(format!(
                 "gfc: input of {} bytes exceeds the {} byte limit",
@@ -188,9 +176,8 @@ impl Compressor for Gfc {
                 self.input_limit
             )));
         }
-        self.ledger.drain();
-        self.ledger
-            .record(self.gpu.config(), Dir::HostToDevice, data.bytes().len());
+        let ledger = TransferLedger::new();
+        ledger.record(self.gpu.config(), Dir::HostToDevice, data.bytes().len());
 
         let bytes = data.bytes();
         let nwords = bytes.len() / 8;
@@ -213,28 +200,26 @@ impl Compressor for Gfc {
             compress_chunk(chunk)
         });
 
-        let mut out = Vec::new();
-        push_u64(&mut out, nwords as u64);
-        push_u32(&mut out, streams.len() as u32);
+        out.clear();
+        push_u64(out, nwords as u64);
+        push_u32(out, streams.len() as u32);
         out.push(tail.len() as u8);
         for s in &streams {
-            push_u32(&mut out, s.len() as u32);
+            push_u32(out, s.len() as u32);
         }
         for s in &streams {
             out.extend_from_slice(s);
         }
         out.extend_from_slice(tail);
 
-        self.ledger
-            .record(self.gpu.config(), Dir::DeviceToHost, out.len());
-        self.take_aux();
-        Ok(out)
+        ledger.record(self.gpu.config(), Dir::DeviceToHost, out.len());
+        self.last_aux.store(&ledger);
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
-        self.ledger.drain();
-        self.ledger
-            .record(self.gpu.config(), Dir::HostToDevice, payload.len());
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        let ledger = TransferLedger::new();
+        ledger.record(self.gpu.config(), Dir::HostToDevice, payload.len());
 
         let mut pos = 0usize;
         let nwords = read_u64(payload, &mut pos)
@@ -294,22 +279,24 @@ impl Compressor for Gfc {
             .gpu
             .launch(items, |_ctx, (slice, count)| decompress_chunk(slice, count));
 
-        let mut bytes = Vec::with_capacity(desc.byte_len());
-        for r in results {
-            for w in r? {
-                bytes.extend_from_slice(&w.to_le_bytes());
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            for r in results {
+                for w in r? {
+                    bytes.extend_from_slice(&w.to_le_bytes());
+                }
             }
-        }
-        bytes.extend_from_slice(tail);
+            bytes.extend_from_slice(tail);
+            Ok(())
+        })?;
 
-        self.ledger
-            .record(self.gpu.config(), Dir::DeviceToHost, bytes.len());
-        self.take_aux();
-        FloatData::from_bytes(desc.clone(), bytes)
+        ledger.record(self.gpu.config(), Dir::DeviceToHost, out.bytes().len());
+        self.last_aux.store(&ledger);
+        Ok(())
     }
 
     fn last_aux_time(&self) -> AuxTime {
-        *self.last_aux.lock()
+        self.last_aux.get()
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

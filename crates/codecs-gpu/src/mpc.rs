@@ -23,7 +23,6 @@ use fcbench_core::{
     Platform, Precision, PrecisionSupport, Result,
 };
 use fcbench_gpu_sim::{Dir, Gpu, GpuConfig, TransferLedger};
-use parking_lot::Mutex;
 
 /// Words per chunk (one thread block).
 pub const CHUNK_WORDS: usize = 1024;
@@ -31,8 +30,7 @@ pub const CHUNK_WORDS: usize = 1024;
 /// The MPC codec on the simulated GPU.
 pub struct Mpc {
     gpu: Gpu,
-    ledger: TransferLedger,
-    last_aux: Mutex<AuxTime>,
+    last_aux: crate::AuxSlot,
     /// LNV stride; `None` derives it from the data dimensionality.
     stride_override: Option<usize>,
 }
@@ -47,8 +45,7 @@ impl Mpc {
     pub fn new() -> Self {
         Mpc {
             gpu: Gpu::new(GpuConfig::default()),
-            ledger: TransferLedger::new(),
-            last_aux: Mutex::new(AuxTime::default()),
+            last_aux: crate::AuxSlot::new(),
             stride_override: None,
         }
     }
@@ -74,15 +71,6 @@ impl Mpc {
             2 if desc.dims[1] >= 2 && desc.dims[1] <= 64 => desc.dims[1],
             _ => 6,
         }
-    }
-
-    fn take_aux(&self) {
-        let (h2d, d2h) = self.ledger.totals();
-        self.ledger.drain();
-        *self.last_aux.lock() = AuxTime {
-            h2d_seconds: h2d,
-            d2h_seconds: d2h,
-        };
     }
 }
 
@@ -231,10 +219,9 @@ impl Compressor for Mpc {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
-        self.ledger.drain();
-        self.ledger
-            .record(self.gpu.config(), Dir::HostToDevice, data.bytes().len());
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+        let ledger = TransferLedger::new();
+        ledger.record(self.gpu.config(), Dir::HostToDevice, data.bytes().len());
         let (words, elem_bits) = words_of(data);
         let esize = elem_bits / 8;
         let stride = self.stride_for(data.desc());
@@ -249,11 +236,11 @@ impl Compressor for Mpc {
             compress_chunk(chunk, elem_bits, stride)
         });
 
-        let mut out = Vec::new();
-        push_u32(&mut out, streams.len() as u32);
+        out.clear();
+        push_u32(out, streams.len() as u32);
         out.push(stride as u8);
         for s in &streams {
-            push_u32(&mut out, s.len() as u32);
+            push_u32(out, s.len() as u32);
         }
         for s in &streams {
             out.extend_from_slice(s);
@@ -262,16 +249,14 @@ impl Compressor for Mpc {
             out.extend_from_slice(&w.to_le_bytes()[..esize]);
         }
 
-        self.ledger
-            .record(self.gpu.config(), Dir::DeviceToHost, out.len());
-        self.take_aux();
-        Ok(out)
+        ledger.record(self.gpu.config(), Dir::DeviceToHost, out.len());
+        self.last_aux.store(&ledger);
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
-        self.ledger.drain();
-        self.ledger
-            .record(self.gpu.config(), Dir::HostToDevice, payload.len());
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        let ledger = TransferLedger::new();
+        ledger.record(self.gpu.config(), Dir::HostToDevice, payload.len());
         let elem_bits = desc.precision.bits();
         let esize = elem_bits / 8;
         let total_words = desc.elements();
@@ -329,21 +314,29 @@ impl Compressor for Mpc {
             words.push(u64::from_le_bytes(le));
         }
 
-        let out = match desc.precision {
-            Precision::Double => FloatData::from_u64_words(&words, desc.dims.clone(), desc.domain)?,
-            Precision::Single => {
-                let narrowed: Vec<u32> = words.into_iter().map(|w| w as u32).collect();
-                FloatData::from_u32_words(&narrowed, desc.dims.clone(), desc.domain)?
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            match desc.precision {
+                Precision::Double => {
+                    for w in words {
+                        bytes.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+                Precision::Single => {
+                    for w in words {
+                        bytes.extend_from_slice(&(w as u32).to_le_bytes());
+                    }
+                }
             }
-        };
-        self.ledger
-            .record(self.gpu.config(), Dir::DeviceToHost, out.bytes().len());
-        self.take_aux();
-        Ok(out)
+            Ok(())
+        })?;
+        ledger.record(self.gpu.config(), Dir::DeviceToHost, out.bytes().len());
+        self.last_aux.store(&ledger);
+        Ok(())
     }
 
     fn last_aux_time(&self) -> AuxTime {
-        *self.last_aux.lock()
+        self.last_aux.get()
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

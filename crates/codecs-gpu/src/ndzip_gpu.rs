@@ -23,13 +23,11 @@ use fcbench_core::{
     Platform, Precision, PrecisionSupport, Result,
 };
 use fcbench_gpu_sim::{exclusive_prefix_sum, Dir, Gpu, GpuConfig, TransferLedger};
-use parking_lot::Mutex;
 
 /// The ndzip-GPU codec.
 pub struct NdzipGpu {
     gpu: Gpu,
-    ledger: TransferLedger,
-    last_aux: Mutex<AuxTime>,
+    last_aux: crate::AuxSlot,
     /// CPU-side geometry helper (cube sides per dimensionality).
     geometry: Ndzip,
 }
@@ -44,19 +42,9 @@ impl NdzipGpu {
     pub fn new() -> Self {
         NdzipGpu {
             gpu: Gpu::new(GpuConfig::default()),
-            ledger: TransferLedger::new(),
-            last_aux: Mutex::new(AuxTime::default()),
+            last_aux: crate::AuxSlot::new(),
             geometry: Ndzip::new(),
         }
-    }
-
-    fn take_aux(&self) {
-        let (h2d, d2h) = self.ledger.totals();
-        self.ledger.drain();
-        *self.last_aux.lock() = AuxTime {
-            h2d_seconds: h2d,
-            d2h_seconds: d2h,
-        };
     }
 }
 
@@ -73,10 +61,9 @@ impl Compressor for NdzipGpu {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
-        self.ledger.drain();
-        self.ledger
-            .record(self.gpu.config(), Dir::HostToDevice, data.bytes().len());
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+        let ledger = TransferLedger::new();
+        ledger.record(self.gpu.config(), Dir::HostToDevice, data.bytes().len());
         let desc = data.desc();
         let elem_bits = desc.precision.bits();
         let esize = desc.precision.bytes();
@@ -105,12 +92,12 @@ impl Compressor for NdzipGpu {
         let offsets = exclusive_prefix_sum(&sizes);
         let body_len: u64 = sizes.iter().sum();
 
-        let mut out = Vec::new();
-        push_u32(&mut out, scratch.len() as u32);
+        out.clear();
+        push_u32(out, scratch.len() as u32);
         for &off in &offsets {
-            push_u64(&mut out, off);
+            push_u64(out, off);
         }
-        push_u64(&mut out, body_len);
+        push_u64(out, body_len);
         for s in &scratch {
             out.extend_from_slice(s);
         }
@@ -118,16 +105,14 @@ impl Compressor for NdzipGpu {
             out.extend_from_slice(&words[i].to_le_bytes()[..esize]);
         }
 
-        self.ledger
-            .record(self.gpu.config(), Dir::DeviceToHost, out.len());
-        self.take_aux();
-        Ok(out)
+        ledger.record(self.gpu.config(), Dir::DeviceToHost, out.len());
+        self.last_aux.store(&ledger);
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
-        self.ledger.drain();
-        self.ledger
-            .record(self.gpu.config(), Dir::HostToDevice, payload.len());
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        let ledger = TransferLedger::new();
+        ledger.record(self.gpu.config(), Dir::HostToDevice, payload.len());
         let elem_bits = desc.precision.bits();
         let esize = desc.precision.bytes();
         let dims = effective_dims(desc);
@@ -215,23 +200,29 @@ impl Compressor for NdzipGpu {
             return Err(Error::Corrupt("ndzip-gpu: trailing bytes".into()));
         }
 
-        let out = match desc.precision {
-            Precision::Double => {
-                FloatData::from_u64_words(&out_words, desc.dims.clone(), desc.domain)?
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            match desc.precision {
+                Precision::Double => {
+                    for w in out_words {
+                        bytes.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+                Precision::Single => {
+                    for w in out_words {
+                        bytes.extend_from_slice(&(w as u32).to_le_bytes());
+                    }
+                }
             }
-            Precision::Single => {
-                let narrowed: Vec<u32> = out_words.into_iter().map(|w| w as u32).collect();
-                FloatData::from_u32_words(&narrowed, desc.dims.clone(), desc.domain)?
-            }
-        };
-        self.ledger
-            .record(self.gpu.config(), Dir::DeviceToHost, out.bytes().len());
-        self.take_aux();
-        Ok(out)
+            Ok(())
+        })?;
+        ledger.record(self.gpu.config(), Dir::DeviceToHost, out.bytes().len());
+        self.last_aux.store(&ledger);
+        Ok(())
     }
 
     fn last_aux_time(&self) -> AuxTime {
-        *self.last_aux.lock()
+        self.last_aux.get()
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

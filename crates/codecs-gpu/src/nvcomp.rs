@@ -23,7 +23,6 @@ use fcbench_core::{
 };
 use fcbench_entropy::lz4;
 use fcbench_gpu_sim::{Dir, Gpu, GpuConfig, TransferLedger};
-use parking_lot::Mutex;
 
 /// Batched page size (nvCOMP's default batch granularity).
 pub const PAGE_BYTES: usize = 64 * 1024;
@@ -31,62 +30,57 @@ pub const PAGE_BYTES: usize = 64 * 1024;
 /// Shared batched-page scaffolding for both nvCOMP-class codecs.
 struct Batched {
     gpu: Gpu,
-    ledger: TransferLedger,
-    last_aux: Mutex<AuxTime>,
+    last_aux: crate::AuxSlot,
 }
 
 impl Batched {
     fn new() -> Self {
         Batched {
             gpu: Gpu::new(GpuConfig::default()),
-            ledger: TransferLedger::new(),
-            last_aux: Mutex::new(AuxTime::default()),
+            last_aux: crate::AuxSlot::new(),
         }
     }
 
-    fn take_aux(&self) {
-        let (h2d, d2h) = self.ledger.totals();
-        self.ledger.drain();
-        *self.last_aux.lock() = AuxTime {
-            h2d_seconds: h2d,
-            d2h_seconds: d2h,
-        };
-    }
-
-    /// Compress pages with `kernel`, assembling the standard container:
+    /// Compress pages with `kernel` into `out` (contents replaced),
+    /// assembling the standard container:
     /// `u32 npages | per-page u32 size | pages`.
-    fn compress_pages<K>(&self, bytes: &[u8], kernel: K) -> Vec<u8>
+    fn compress_pages<K>(&self, bytes: &[u8], out: &mut Vec<u8>, kernel: K) -> usize
     where
         K: Fn(&fcbench_gpu_sim::KernelCtx<'_>, &[u8]) -> Vec<u8> + Sync,
     {
-        self.ledger.drain();
-        self.ledger
-            .record(self.gpu.config(), Dir::HostToDevice, bytes.len());
+        let ledger = TransferLedger::new();
+        ledger.record(self.gpu.config(), Dir::HostToDevice, bytes.len());
         let pages: Vec<&[u8]> = bytes.chunks(PAGE_BYTES).collect();
         let (streams, _stats) = self.gpu.launch(pages, |ctx, page| kernel(ctx, page));
         let total: usize = streams.iter().map(|s| s.len()).sum();
-        let mut out = Vec::with_capacity(8 + 4 * streams.len() + total);
-        push_u32(&mut out, streams.len() as u32);
+        out.clear();
+        out.reserve(8 + 4 * streams.len() + total);
+        push_u32(out, streams.len() as u32);
         for s in &streams {
-            push_u32(&mut out, s.len() as u32);
+            push_u32(out, s.len() as u32);
         }
         for s in &streams {
             out.extend_from_slice(s);
         }
-        self.ledger
-            .record(self.gpu.config(), Dir::DeviceToHost, out.len());
-        self.take_aux();
-        out
+        ledger.record(self.gpu.config(), Dir::DeviceToHost, out.len());
+        self.last_aux.store(&ledger);
+        out.len()
     }
 
-    /// Decompress a page container with `kernel(page_payload, raw_len)`.
-    fn decompress_pages<K>(&self, payload: &[u8], total_len: usize, kernel: K) -> Result<Vec<u8>>
+    /// Decompress a page container with `kernel(page_payload, raw_len)`,
+    /// appending the decoded bytes to `out`.
+    fn decompress_pages<K>(
+        &self,
+        payload: &[u8],
+        total_len: usize,
+        out: &mut Vec<u8>,
+        kernel: K,
+    ) -> Result<()>
     where
         K: Fn(&[u8], usize) -> Result<Vec<u8>> + Sync,
     {
-        self.ledger.drain();
-        self.ledger
-            .record(self.gpu.config(), Dir::HostToDevice, payload.len());
+        let ledger = TransferLedger::new();
+        ledger.record(self.gpu.config(), Dir::HostToDevice, payload.len());
         let mut pos = 0usize;
         let npages = read_u32(payload, &mut pos)
             .ok_or_else(|| Error::Corrupt("nvcomp: missing page count".into()))?
@@ -123,14 +117,13 @@ impl Batched {
         let (results, _stats) = self
             .gpu
             .launch(items, |_ctx, (page, raw_len)| kernel(page, raw_len));
-        let mut out = Vec::with_capacity(total_len);
+        out.reserve(total_len);
         for r in results {
             out.extend_from_slice(&r?);
         }
-        self.ledger
-            .record(self.gpu.config(), Dir::DeviceToHost, out.len());
-        self.take_aux();
-        Ok(out)
+        ledger.record(self.gpu.config(), Dir::DeviceToHost, out.len());
+        self.last_aux.store(&ledger);
+        Ok(())
     }
 }
 
@@ -166,8 +159,8 @@ impl Compressor for NvLz4 {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
-        Ok(self.inner.compress_pages(data.bytes(), |ctx, page| {
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+        Ok(self.inner.compress_pages(data.bytes(), out, |ctx, page| {
             // Dictionary matching: every hash-probe mismatch is a
             // data-dependent branch — report coarse divergence.
             ctx.report_divergence();
@@ -176,17 +169,17 @@ impl Compressor for NvLz4 {
         }))
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
-        let bytes = self
-            .inner
-            .decompress_pages(payload, desc.byte_len(), |page, raw| {
-                lz4::decompress(page, raw).map_err(|e| Error::Corrupt(e.to_string()))
-            })?;
-        FloatData::from_bytes(desc.clone(), bytes)
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        out.refill(desc, |bytes| {
+            self.inner
+                .decompress_pages(payload, desc.byte_len(), bytes, |page, raw| {
+                    lz4::decompress(page, raw).map_err(|e| Error::Corrupt(e.to_string()))
+                })
+        })
     }
 
     fn last_aux_time(&self) -> AuxTime {
-        *self.inner.last_aux.lock()
+        self.inner.last_aux.get()
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {
@@ -315,23 +308,23 @@ impl Compressor for NvBitcomp {
         }
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
-        Ok(self.inner.compress_pages(data.bytes(), |ctx, page| {
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+        Ok(self.inner.compress_pages(data.bytes(), out, |ctx, page| {
             // Uniform control flow: no divergence reported.
             ctx.report_instructions(page.len() as u64 * 2);
             bitcomp_page(page)
         }))
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
-        let bytes = self
-            .inner
-            .decompress_pages(payload, desc.byte_len(), bitcomp_unpage)?;
-        FloatData::from_bytes(desc.clone(), bytes)
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        out.refill(desc, |bytes| {
+            self.inner
+                .decompress_pages(payload, desc.byte_len(), bytes, bitcomp_unpage)
+        })
     }
 
     fn last_aux_time(&self) -> AuxTime {
-        *self.inner.last_aux.lock()
+        self.inner.last_aux.get()
     }
 
     fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {

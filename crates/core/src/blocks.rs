@@ -54,12 +54,113 @@ impl<C: Compressor> BlockCodec<C> {
     }
 }
 
+/// Per-block ceiling on declared-output vs payload size. Codecs typically
+/// reserve `desc.byte_len()` before decoding, so a block descriptor is
+/// handed to the codec only after this check — bounding the allocation a
+/// hostile container can force to this multiple of the bytes it actually
+/// carries. Far above any real compression ratio (a 512 KiB block would
+/// need a sub-byte payload to hit it).
+const MAX_BLOCK_EXPANSION: usize = 1 << 20;
+
+/// Typed rejection for blocks whose descriptor claims vastly more output
+/// than their payload could decode to.
+pub(crate) fn check_block_plausible(bdesc: &DataDesc, payload_len: usize) -> Result<()> {
+    if bdesc.byte_len() / MAX_BLOCK_EXPANSION > payload_len {
+        return Err(Error::Corrupt(format!(
+            "descriptor claims {} decoded bytes from a {payload_len}-byte payload",
+            bdesc.byte_len()
+        )));
+    }
+    Ok(())
+}
+
+/// Decode one `elems`-element block from `payload` into `scratch`:
+/// plausibility gate, decode, size check. The shared validation sequence —
+/// any tightening here covers [`BlockCodec`] and both
+/// [`crate::pipeline::Pipeline`] decode paths at once.
+fn decode_block_scratch(
+    codec: &dyn Compressor,
+    desc: &DataDesc,
+    elems: usize,
+    payload: &[u8],
+    scratch: &mut FloatData,
+) -> Result<()> {
+    let bdesc = DataDesc::new(desc.precision, vec![elems], desc.domain)?;
+    check_block_plausible(&bdesc, payload.len())?;
+    codec.decompress_into(payload, &bdesc, scratch)?;
+    if scratch.bytes().len() != bdesc.byte_len() {
+        return Err(Error::Corrupt("block decoded to a wrong size".into()));
+    }
+    Ok(())
+}
+
+/// [`decode_block_scratch`] + append: the sequential decode-loop step of
+/// [`BlockCodec`] and the pipeline's inline path.
+pub(crate) fn decode_block_into(
+    codec: &dyn Compressor,
+    desc: &DataDesc,
+    elems: usize,
+    payload: &[u8],
+    scratch: &mut FloatData,
+    bytes: &mut Vec<u8>,
+) -> Result<()> {
+    decode_block_scratch(codec, desc, elems, payload, scratch)?;
+    bytes.extend_from_slice(scratch.bytes());
+    Ok(())
+}
+
+/// [`decode_block_scratch`] + copy into a caller-owned output chunk: the
+/// step for parallel decoders whose workers own disjoint slices of the
+/// reassembled stream.
+pub(crate) fn decode_block_to_slice(
+    codec: &dyn Compressor,
+    desc: &DataDesc,
+    elems: usize,
+    payload: &[u8],
+    scratch: &mut FloatData,
+    chunk: &mut [u8],
+) -> Result<()> {
+    decode_block_scratch(codec, desc, elems, payload, scratch)?;
+    if scratch.bytes().len() != chunk.len() {
+        return Err(Error::Corrupt("block decoded to a wrong size".into()));
+    }
+    chunk.copy_from_slice(scratch.bytes());
+    Ok(())
+}
+
+/// Sequentially compress `data` in `bpb`-byte blocks through one reusable
+/// scratch container and one reusable payload buffer; compressed blocks
+/// accumulate in a contiguous blob. Shared by [`BlockCodec`] and the
+/// single-threaded [`crate::pipeline::Pipeline`] path, which differ only in
+/// the container they wrap around the `(lens, blob)` pair.
+pub(crate) fn compress_blocks_sequential(
+    codec: &dyn Compressor,
+    data: &FloatData,
+    bpb: usize,
+    nblocks: usize,
+) -> Result<(Vec<usize>, Vec<u8>)> {
+    let desc = data.desc();
+    let esize = desc.precision.bytes();
+    let mut scratch = FloatData::scratch();
+    let mut block_payload = Vec::new();
+    let mut blob = Vec::new();
+    let mut lens = Vec::with_capacity(nblocks);
+    for chunk in data.bytes().chunks(bpb) {
+        let block_desc = DataDesc::new(desc.precision, vec![chunk.len() / esize], desc.domain)?;
+        scratch.refill_from_slice(&block_desc, chunk)?;
+        let n = codec.compress_into(&scratch, &mut block_payload)?;
+        lens.push(n);
+        blob.extend_from_slice(&block_payload[..n]);
+    }
+    Ok((lens, blob))
+}
+
 impl<C: Compressor> Compressor for BlockCodec<C> {
     fn info(&self) -> CodecInfo {
         self.inner.info()
     }
 
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
         let desc = data.desc();
         let esize = desc.precision.bytes();
         let epb = self.elems_per_block(desc);
@@ -70,83 +171,74 @@ impl<C: Compressor> Compressor for BlockCodec<C> {
             return Err(Error::Unsupported("too many blocks".into()));
         }
 
-        let mut payloads = Vec::with_capacity(nblocks);
-        for chunk in bytes.chunks(bpb) {
-            let block_desc = DataDesc::new(desc.precision, vec![chunk.len() / esize], desc.domain)?;
-            let block = FloatData::from_bytes(block_desc, chunk.to_vec())?;
-            payloads.push(self.inner.compress(&block)?);
-        }
+        let (lens, blob) = compress_blocks_sequential(&self.inner, data, bpb, nblocks)?;
 
-        let total: usize = payloads.iter().map(|p| p.len()).sum();
-        let mut out = Vec::with_capacity(4 + 8 * payloads.len() + total);
-        out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
-        for p in &payloads {
-            out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        out.clear();
+        out.reserve(4 + 8 * lens.len() + blob.len());
+        out.extend_from_slice(&(lens.len() as u32).to_le_bytes());
+        for &l in &lens {
+            out.extend_from_slice(&(l as u64).to_le_bytes());
         }
-        for p in &payloads {
-            out.extend_from_slice(p);
-        }
-        Ok(out)
+        out.extend_from_slice(&blob);
+        Ok(out.len())
     }
 
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
         if payload.len() < 4 {
             return Err(Error::Corrupt("block container truncated".into()));
         }
         let nblocks = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
-        let dir_end = 4 + 8 * nblocks;
-        if payload.len() < dir_end {
-            return Err(Error::Corrupt("block directory truncated".into()));
-        }
+        let dir_end = nblocks
+            .checked_mul(8)
+            .and_then(|n| n.checked_add(4))
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| Error::Corrupt("block directory truncated".into()))?;
         let mut lens = Vec::with_capacity(nblocks);
         for i in 0..nblocks {
             let off = 4 + 8 * i;
-            let l = u64::from_le_bytes([
-                payload[off],
-                payload[off + 1],
-                payload[off + 2],
-                payload[off + 3],
-                payload[off + 4],
-                payload[off + 5],
-                payload[off + 6],
-                payload[off + 7],
-            ]) as usize;
+            let l = u64::from_le_bytes(payload[off..off + 8].try_into().expect("8 bytes")) as usize;
             lens.push(l);
         }
 
         let epb = self.elems_per_block(desc);
         let total_elems = desc.elements();
-        let mut out = Vec::with_capacity(desc.byte_len());
-        let mut pos = dir_end;
-        let mut remaining = total_elems;
-        for len in lens {
-            if pos + len > payload.len() {
-                return Err(Error::Corrupt("block payload truncated".into()));
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            let mut block = FloatData::scratch();
+            let mut pos = dir_end;
+            let mut remaining = total_elems;
+            for len in lens {
+                if len > payload.len() - pos {
+                    return Err(Error::Corrupt("block payload truncated".into()));
+                }
+                let block_elems = remaining.min(epb);
+                if block_elems == 0 {
+                    return Err(Error::Corrupt("more blocks than elements".into()));
+                }
+                decode_block_into(
+                    &self.inner,
+                    desc,
+                    block_elems,
+                    &payload[pos..pos + len],
+                    &mut block,
+                    bytes,
+                )?;
+                pos += len;
+                remaining -= block_elems;
             }
-            let block_elems = remaining.min(epb);
-            if block_elems == 0 {
-                return Err(Error::Corrupt("more blocks than elements".into()));
+            if remaining != 0 {
+                return Err(Error::Corrupt(format!(
+                    "{remaining} elements missing from blocks"
+                )));
             }
-            let block_desc = DataDesc::new(desc.precision, vec![block_elems], desc.domain)?;
-            let block = self
-                .inner
-                .decompress(&payload[pos..pos + len], &block_desc)?;
-            out.extend_from_slice(block.bytes());
-            pos += len;
-            remaining -= block_elems;
-        }
-        if remaining != 0 {
-            return Err(Error::Corrupt(format!(
-                "{remaining} elements missing from blocks"
-            )));
-        }
-        if pos != payload.len() {
-            return Err(Error::Corrupt("trailing bytes after final block".into()));
-        }
-        if out.len() != desc.byte_len() {
-            return Err(Error::Corrupt("reassembled size mismatch".into()));
-        }
-        FloatData::from_bytes(desc.clone(), out)
+            if pos != payload.len() {
+                return Err(Error::Corrupt("trailing bytes after final block".into()));
+            }
+            if bytes.len() != desc.byte_len() {
+                return Err(Error::Corrupt("reassembled size mismatch".into()));
+            }
+            Ok(())
+        })
     }
 
     fn last_aux_time(&self) -> AuxTime {

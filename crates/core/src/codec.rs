@@ -149,23 +149,73 @@ impl OpProfile {
 /// A lossless floating-point compressor.
 ///
 /// Implementations transform the payload of a [`FloatData`] into an opaque
-/// byte stream and back. The stream carries *no* framing: the caller (see
-/// [`crate::frame`]) records the descriptor. Round trips must be byte-exact,
-/// including NaN payloads and signed zeros.
+/// byte stream and back. The payload is self-contained at the codec's
+/// discretion — most codecs embed small internal headers such as element
+/// counts or per-chunk directories — but it does **not** carry the data
+/// descriptor: the caller (see [`crate::frame`]) records codec name,
+/// precision, and shape out of band and supplies them again at decompression.
+/// Round trips must be byte-exact, including NaN payloads and signed zeros.
+///
+/// # Buffer-reusing and allocating forms
+///
+/// The hot path is the `_into` pair: [`compress_into`](Self::compress_into)
+/// and [`decompress_into`](Self::decompress_into) write into caller-owned
+/// buffers so a measurement or pipeline loop performs no steady-state heap
+/// allocation. The allocating [`compress`](Self::compress) /
+/// [`decompress`](Self::decompress) forms are thin convenience wrappers.
+///
+/// All four methods have default implementations, each pair bridging to the
+/// other; an implementation **must override at least one method of each
+/// pair** (leaving both defaults would recurse forever). Production codecs
+/// implement the `_into` forms natively and inherit the wrappers.
 pub trait Compressor: Send + Sync {
     /// Static method metadata (Table 1 row).
     fn info(&self) -> CodecInfo;
 
-    /// Compress `data` into an opaque payload.
-    fn compress(&self, data: &FloatData) -> Result<Vec<u8>>;
+    /// Compress `data` into `out`, replacing its contents (capacity is
+    /// reused, never shrunk). Returns the payload length, which equals
+    /// `out.len()` on success.
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+        let payload = self.compress(data)?;
+        out.clear();
+        out.extend_from_slice(&payload);
+        Ok(out.len())
+    }
+
+    /// Reconstruct the exact original data from `payload` into `out`,
+    /// replacing its descriptor and contents (byte capacity is reused).
+    /// Seed `out` with [`FloatData::scratch`] and keep it across calls.
+    ///
+    /// `desc` is the descriptor of the original data (provided by the frame).
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        *out = self.decompress(payload, desc)?;
+        Ok(())
+    }
+
+    /// Compress `data` into a freshly allocated payload.
+    fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.compress_into(data, &mut out)?;
+        Ok(out)
+    }
 
     /// Reconstruct the exact original data from `payload`.
     ///
     /// `desc` is the descriptor of the original data (provided by the frame).
-    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData>;
+    fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+        let mut out = FloatData::scratch();
+        self.decompress_into(payload, desc, &mut out)?;
+        Ok(out)
+    }
 
     /// Modelled auxiliary time (host↔device transfers) for the most recent
     /// compress or decompress call. CPU codecs return zero.
+    ///
+    /// On an instance shared across threads (the registry hands out
+    /// `Arc<dyn Compressor>`), "most recent" means the most recently
+    /// *completed* call — always one call's coherent totals, but callers
+    /// that need per-call attribution must not run the instance
+    /// concurrently.
     fn last_aux_time(&self) -> AuxTime {
         AuxTime::default()
     }
@@ -177,17 +227,72 @@ pub trait Compressor: Send + Sync {
     }
 }
 
+/// Forward the whole trait through a smart pointer / reference so adaptors
+/// like [`crate::blocks::BlockCodec`] can wrap `&dyn Compressor`,
+/// `Box<dyn Compressor>`, or the registry's `Arc<dyn Compressor>` directly.
+macro_rules! forward_compressor {
+    ($ty:ty) => {
+        impl<T: Compressor + ?Sized> Compressor for $ty {
+            fn info(&self) -> CodecInfo {
+                (**self).info()
+            }
+            fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+                (**self).compress_into(data, out)
+            }
+            fn decompress_into(
+                &self,
+                payload: &[u8],
+                desc: &DataDesc,
+                out: &mut FloatData,
+            ) -> Result<()> {
+                (**self).decompress_into(payload, desc, out)
+            }
+            fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+                (**self).compress(data)
+            }
+            fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+                (**self).decompress(payload, desc)
+            }
+            fn last_aux_time(&self) -> AuxTime {
+                (**self).last_aux_time()
+            }
+            fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {
+                (**self).op_profile(desc)
+            }
+        }
+    };
+}
+
+forward_compressor!(&T);
+forward_compressor!(Box<T>);
+forward_compressor!(std::sync::Arc<T>);
+
 /// Compress with an explicit lossless check: decompress the result and
 /// compare byte-for-byte. Returns the payload.
 pub fn compress_verified(codec: &dyn Compressor, data: &FloatData) -> Result<Vec<u8>> {
-    let payload = codec.compress(data)?;
-    let back = codec.decompress(&payload, data.desc())?;
-    if back.bytes() != data.bytes() {
+    let mut out = Vec::new();
+    let mut scratch = FloatData::scratch();
+    compress_verified_into(codec, data, &mut out, &mut scratch)?;
+    Ok(out)
+}
+
+/// Buffer-reusing form of [`compress_verified`]: the payload lands in `out`
+/// and the round-trip check decodes into `scratch`, so a caller looping over
+/// many inputs allocates nothing in steady state. Returns the payload length.
+pub fn compress_verified_into(
+    codec: &dyn Compressor,
+    data: &FloatData,
+    out: &mut Vec<u8>,
+    scratch: &mut FloatData,
+) -> Result<usize> {
+    let len = codec.compress_into(data, out)?;
+    codec.decompress_into(&out[..len], data.desc(), scratch)?;
+    if scratch.bytes() != data.bytes() {
         return Err(crate::error::Error::LosslessViolation {
             codec: codec.info().name.to_string(),
         });
     }
-    Ok(payload)
+    Ok(len)
 }
 
 #[cfg(test)]
@@ -250,11 +355,72 @@ mod tests {
         }
     }
 
+    /// A codec implementing only the `_into` pair; the allocating forms
+    /// must come from the trait defaults.
+    struct IntoOnlyCodec;
+
+    impl Compressor for IntoOnlyCodec {
+        fn info(&self) -> CodecInfo {
+            StoreCodec.info()
+        }
+
+        fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+            out.clear();
+            out.extend_from_slice(data.bytes());
+            Ok(out.len())
+        }
+
+        fn decompress_into(
+            &self,
+            payload: &[u8],
+            desc: &DataDesc,
+            out: &mut FloatData,
+        ) -> Result<()> {
+            out.refill_from_slice(desc, payload)
+        }
+    }
+
     #[test]
     fn verified_compression_passes_for_store() {
         let data = FloatData::from_f32(&[1.0, 2.0, 3.0], vec![3], Domain::Hpc).unwrap();
         let payload = compress_verified(&StoreCodec, &data).unwrap();
         assert_eq!(payload, data.bytes());
+    }
+
+    #[test]
+    fn default_bridges_work_both_ways() {
+        let data = FloatData::from_f32(&[4.0, 5.0], vec![2], Domain::Hpc).unwrap();
+
+        // Old-style impl reached through the `_into` API.
+        let mut out = vec![0xEE; 64];
+        let n = StoreCodec.compress_into(&data, &mut out).unwrap();
+        assert_eq!(&out[..n], data.bytes());
+        let mut scratch = FloatData::scratch();
+        StoreCodec
+            .decompress_into(&out[..n], data.desc(), &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.bytes(), data.bytes());
+
+        // `_into`-style impl reached through the allocating API.
+        let payload = IntoOnlyCodec.compress(&data).unwrap();
+        assert_eq!(payload, data.bytes());
+        let back = IntoOnlyCodec.decompress(&payload, data.desc()).unwrap();
+        assert_eq!(back.bytes(), data.bytes());
+        assert_eq!(back.desc(), data.desc());
+    }
+
+    #[test]
+    fn verified_into_reuses_buffers() {
+        let data = FloatData::from_f32(&[1.0, 2.0, 3.0], vec![3], Domain::Hpc).unwrap();
+        let mut out = Vec::new();
+        let mut scratch = FloatData::scratch();
+        for _ in 0..3 {
+            let n = compress_verified_into(&IntoOnlyCodec, &data, &mut out, &mut scratch).unwrap();
+            assert_eq!(n, data.bytes().len());
+            assert_eq!(&out[..n], data.bytes());
+        }
+        let err = compress_verified_into(&LossyCodec, &data, &mut out, &mut scratch).unwrap_err();
+        assert!(matches!(err, Error::LosslessViolation { .. }));
     }
 
     #[test]

@@ -89,13 +89,25 @@ pub struct DataDesc {
 }
 
 impl DataDesc {
-    /// Create a descriptor, validating that no dimension is zero.
+    /// Create a descriptor, validating that no dimension is zero and that
+    /// the total byte length fits in `usize` (a decoder handed hostile dims
+    /// must get a typed error, not an arithmetic overflow).
     pub fn new(precision: Precision, dims: Vec<usize>, domain: Domain) -> Result<Self> {
         if dims.is_empty() {
             return Err(Error::BadDescriptor("dims must not be empty".into()));
         }
         if dims.contains(&0) {
             return Err(Error::BadDescriptor(format!("zero dimension in {dims:?}")));
+        }
+        let elements = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| Error::BadDescriptor(format!("element count overflows: {dims:?}")))?;
+        if elements.checked_mul(precision.bytes()).is_none() {
+            return Err(Error::BadDescriptor(format!(
+                "byte length overflows: {elements} elements of {} bytes",
+                precision.bytes()
+            )));
         }
         Ok(DataDesc {
             precision,
@@ -305,6 +317,74 @@ impl FloatData {
             bytes: self.bytes.clone(),
         }
     }
+
+    /// A minimal valid container intended as a reusable target for
+    /// [`Compressor::decompress_into`](crate::codec::Compressor::decompress_into):
+    /// one single-precision zero. Each `decompress_into` call replaces both
+    /// descriptor and payload, growing the byte buffer once and then reusing
+    /// its capacity.
+    pub fn scratch() -> FloatData {
+        FloatData {
+            desc: DataDesc {
+                precision: Precision::Single,
+                dims: vec![1],
+                domain: Domain::Hpc,
+            },
+            bytes: vec![0u8; 4],
+        }
+    }
+
+    /// Rebuild this container in place: clear the payload (keeping its
+    /// capacity), let `fill` append exactly `desc.byte_len()` bytes, then
+    /// install `desc`. This is the writer side of the zero-copy decode path —
+    /// codecs emit decoded words straight into the reused buffer.
+    ///
+    /// The descriptor is only cloned when it differs from the current one, so
+    /// steady-state reuse with a fixed shape performs no heap allocation
+    /// beyond what `fill` itself does.
+    ///
+    /// On error (from `fill`, or a length mismatch) the container is restored
+    /// to a valid state for its previous descriptor; its contents are
+    /// unspecified.
+    pub fn refill(
+        &mut self,
+        desc: &DataDesc,
+        fill: impl FnOnce(&mut Vec<u8>) -> Result<()>,
+    ) -> Result<()> {
+        self.bytes.clear();
+        let result = fill(&mut self.bytes).and_then(|()| {
+            if self.bytes.len() != desc.byte_len() {
+                return Err(Error::BadDescriptor(format!(
+                    "refill produced {} bytes but descriptor implies {}",
+                    self.bytes.len(),
+                    desc.byte_len()
+                )));
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => {
+                if self.desc != *desc {
+                    self.desc = desc.clone();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // Keep the len-matches-desc invariant for the old descriptor.
+                self.bytes.resize(self.desc.byte_len(), 0);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`refill`](Self::refill) from an existing byte slice (one memcpy, no
+    /// allocation once the buffer has capacity).
+    pub fn refill_from_slice(&mut self, desc: &DataDesc, bytes: &[u8]) -> Result<()> {
+        self.refill(desc, |buf| {
+            buf.extend_from_slice(bytes);
+            Ok(())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +467,35 @@ mod tests {
         let fd = FloatData::from_f64(&[1.0], vec![1], Domain::Hpc).unwrap();
         assert!(fd.to_f32_vec().is_err());
         assert!(fd.as_u32_words().is_err());
+    }
+
+    #[test]
+    fn desc_rejects_overflowing_dims() {
+        assert!(DataDesc::new(Precision::Double, vec![usize::MAX, 2], Domain::Hpc).is_err());
+        assert!(DataDesc::new(Precision::Double, vec![usize::MAX / 4], Domain::Hpc).is_err());
+    }
+
+    #[test]
+    fn scratch_is_valid_and_refillable() {
+        let mut s = FloatData::scratch();
+        assert_eq!(s.bytes().len(), s.desc().byte_len());
+
+        let desc = DataDesc::new(Precision::Double, vec![3], Domain::TimeSeries).unwrap();
+        s.refill_from_slice(&desc, &[7u8; 24]).unwrap();
+        assert_eq!(s.desc(), &desc);
+        assert_eq!(s.bytes(), &[7u8; 24]);
+
+        // Wrong length is rejected and the container stays valid.
+        let err = s.refill_from_slice(&desc, &[1u8; 5]).unwrap_err();
+        assert!(matches!(err, Error::BadDescriptor(_)));
+        assert_eq!(s.bytes().len(), s.desc().byte_len());
+
+        // A failing fill closure propagates and restores the invariant.
+        let err = s
+            .refill(&desc, |_| Err(Error::Corrupt("synthetic".into())))
+            .unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)));
+        assert_eq!(s.bytes().len(), s.desc().byte_len());
     }
 
     #[test]

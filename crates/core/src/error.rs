@@ -19,6 +19,10 @@ pub enum Error {
     /// The input violates a codec-specific constraint
     /// (e.g. GFC's 512 MB input limit, BUFF's precision table bounds).
     Unsupported(String),
+    /// A codec name longer than the frame format's 255-byte name field.
+    NameTooLong { len: usize },
+    /// More dimensions than the frame format's single-byte dim count.
+    TooManyDims { ndims: usize },
     /// Decompressed output did not match the original input byte-for-byte.
     LosslessViolation { codec: String },
     /// An I/O error from the on-disk container (message only, to stay `Clone`).
@@ -34,6 +38,15 @@ impl fmt::Display for Error {
             }
             Error::BadDescriptor(msg) => write!(f, "bad data descriptor: {msg}"),
             Error::Unsupported(msg) => write!(f, "unsupported input: {msg}"),
+            Error::NameTooLong { len } => {
+                write!(f, "codec name is {len} bytes; frames allow at most 255")
+            }
+            Error::TooManyDims { ndims } => {
+                write!(
+                    f,
+                    "descriptor has {ndims} dimensions; frames allow at most 255"
+                )
+            }
             Error::LosslessViolation { codec } => {
                 write!(
                     f,
@@ -77,6 +90,16 @@ mod tests {
             codec: "spdp".into(),
         };
         assert!(e.to_string().contains("spdp"));
+    }
+
+    #[test]
+    fn frame_limit_errors_name_the_limit() {
+        let e = Error::NameTooLong { len: 300 };
+        assert!(e.to_string().contains("300"));
+        assert!(e.to_string().contains("255"));
+        let e = Error::TooManyDims { ndims: 1000 };
+        assert!(e.to_string().contains("1000"));
+        assert!(e.to_string().contains("255"));
     }
 
     #[test]

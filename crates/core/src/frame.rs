@@ -1,8 +1,11 @@
-//! Self-describing container frame wrapped around every compressed payload.
+//! Self-describing container frames wrapped around compressed payloads.
 //!
-//! The frame carries everything needed to decompress without out-of-band
+//! Frames carry everything needed to decompress without out-of-band
 //! metadata: codec name, precision, dimensional extent, domain tag, and the
-//! original byte length. Layout (all integers little-endian):
+//! payload length(s). Two layouts share one header (all integers
+//! little-endian):
+//!
+//! **`FCB1` — single-shot.** One payload covering the whole dataset:
 //!
 //! ```text
 //! magic            4 bytes  "FCB1"
@@ -15,24 +18,53 @@
 //! payload len      8 bytes
 //! payload          ...
 //! ```
+//!
+//! **`FCB2` — chunked.** The element stream is split into fixed-size blocks
+//! (the last may be short), each compressed independently — the layout
+//! produced and consumed by [`crate::pipeline::Pipeline`], mirroring the
+//! block decomposition FCBench applies to its ndzip/GPU methods:
+//!
+//! ```text
+//! magic            4 bytes  "FCB2"
+//! codec name len   1 byte   n
+//! codec name       n bytes  UTF-8
+//! precision        1 byte
+//! domain           1 byte
+//! ndims            1 byte   d  (1..=255)
+//! dims             8*d bytes
+//! block elems      8 bytes  elements per block (>= 1)
+//! block count      4 bytes  == ceil(elements / block elems)
+//! block lens       8 bytes each
+//! payloads         concatenated
+//! ```
 
 use crate::data::{DataDesc, Domain, FloatData, Precision};
 use crate::error::{Error, Result};
 
-const MAGIC: &[u8; 4] = b"FCB1";
+const MAGIC_V1: &[u8; 4] = b"FCB1";
+const MAGIC_V2: &[u8; 4] = b"FCB2";
 
-/// Encode a frame around `payload` for data described by `desc`,
-/// compressed by codec `name`.
-pub fn encode_frame(name: &str, desc: &DataDesc, payload: &[u8]) -> Vec<u8> {
-    let name_bytes = name.as_bytes();
-    assert!(name_bytes.len() <= 255, "codec name too long");
-    assert!(desc.dims.len() <= 255, "too many dimensions");
+/// Check that `name` and `desc` fit the frame header's single-byte length
+/// fields. The benchmark runner calls this up front so an unencodable cell
+/// is reported as a failure instead of panicking mid-campaign.
+pub fn check_frame_params(name: &str, desc: &DataDesc) -> Result<()> {
+    if name.len() > 255 {
+        return Err(Error::NameTooLong { len: name.len() });
+    }
+    if desc.dims.len() > 255 {
+        return Err(Error::TooManyDims {
+            ndims: desc.dims.len(),
+        });
+    }
+    Ok(())
+}
 
-    let mut out =
-        Vec::with_capacity(4 + 1 + name_bytes.len() + 3 + 8 * desc.dims.len() + 8 + payload.len());
-    out.extend_from_slice(MAGIC);
-    out.push(name_bytes.len() as u8);
-    out.extend_from_slice(name_bytes);
+/// Append the shared header (magic through dims) to `out`.
+fn encode_header(magic: &[u8; 4], name: &str, desc: &DataDesc, out: &mut Vec<u8>) -> Result<()> {
+    check_frame_params(name, desc)?;
+    out.extend_from_slice(magic);
+    out.push(name.len() as u8);
+    out.extend_from_slice(name.as_bytes());
     out.push(match desc.precision {
         Precision::Single => 0,
         Precision::Double => 1,
@@ -47,12 +79,83 @@ pub fn encode_frame(name: &str, desc: &DataDesc, payload: &[u8]) -> Vec<u8> {
     for &d in &desc.dims {
         out.extend_from_slice(&(d as u64).to_le_bytes());
     }
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
+    Ok(())
 }
 
-/// A decoded frame: codec name, data descriptor, and borrowed payload.
+/// Encode a frame around `payload` for data described by `desc`,
+/// compressed by codec `name`.
+pub fn encode_frame(name: &str, desc: &DataDesc, payload: &[u8]) -> Result<Vec<u8>> {
+    let mut out =
+        Vec::with_capacity(4 + 2 + name.len() + 3 + 8 * desc.dims.len() + 8 + payload.len());
+    encode_header(MAGIC_V1, name, desc, &mut out)?;
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Bounds-checked slice cursor shared by both decoders.
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+    // `pos` never exceeds `bytes.len()`, so this subtraction cannot wrap —
+    // and unlike `pos + n` it cannot overflow on hostile length fields.
+    if n > bytes.len() - *pos {
+        return Err(Error::Corrupt(format!(
+            "frame truncated at offset {} (wanted {} more bytes of {})",
+            pos,
+            n,
+            bytes.len()
+        )));
+    }
+    let s = &bytes[*pos..*pos + n];
+    *pos += n;
+    Ok(s)
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let s = take(bytes, pos, 8)?;
+    Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+}
+
+/// Decode the shared header after the magic: `(codec name, descriptor)`.
+fn decode_header(bytes: &[u8], pos: &mut usize) -> Result<(String, DataDesc)> {
+    let name_len = take(bytes, pos, 1)?[0] as usize;
+    let name_bytes = take(bytes, pos, name_len)?;
+    let codec = std::str::from_utf8(name_bytes)
+        .map_err(|_| Error::Corrupt("codec name is not UTF-8".into()))?
+        .to_string();
+
+    let precision = match take(bytes, pos, 1)?[0] {
+        0 => Precision::Single,
+        1 => Precision::Double,
+        b => return Err(Error::Corrupt(format!("bad precision byte {b}"))),
+    };
+    let domain = match take(bytes, pos, 1)?[0] {
+        0 => Domain::Hpc,
+        1 => Domain::TimeSeries,
+        2 => Domain::Observation,
+        3 => Domain::Database,
+        b => return Err(Error::Corrupt(format!("bad domain byte {b}"))),
+    };
+    let ndims = take(bytes, pos, 1)?[0] as usize;
+    if ndims == 0 {
+        return Err(Error::Corrupt("frame has zero dimensions".into()));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let v = read_u64(bytes, pos)?;
+        if v == 0 {
+            return Err(Error::Corrupt("frame has a zero-extent dimension".into()));
+        }
+        let v = usize::try_from(v)
+            .map_err(|_| Error::Corrupt(format!("dimension {v} exceeds the address space")))?;
+        dims.push(v);
+    }
+    // `DataDesc::new` re-validates with checked arithmetic, so hostile dims
+    // (element-count or byte-length overflow) become typed errors here.
+    let desc = DataDesc::new(precision, dims, domain)?;
+    Ok((codec, desc))
+}
+
+/// A decoded single-shot frame: codec name, data descriptor, borrowed payload.
 #[derive(Debug, PartialEq, Eq)]
 pub struct Frame<'a> {
     pub codec: String,
@@ -63,75 +166,20 @@ pub struct Frame<'a> {
 /// Decode a frame produced by [`encode_frame`].
 pub fn decode_frame(bytes: &[u8]) -> Result<Frame<'_>> {
     let mut pos = 0usize;
-    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
-        if *pos + n > bytes.len() {
-            return Err(Error::Corrupt(format!(
-                "frame truncated at offset {} (wanted {} more bytes of {})",
-                pos,
-                n,
-                bytes.len()
-            )));
-        }
-        let s = &bytes[*pos..*pos + n];
-        *pos += n;
-        Ok(s)
-    };
-
-    let magic = take(&mut pos, 4)?;
-    if magic != MAGIC {
+    if take(bytes, &mut pos, 4)? != MAGIC_V1 {
         return Err(Error::Corrupt("bad magic (expected FCB1)".into()));
     }
-    let name_len = take(&mut pos, 1)?[0] as usize;
-    let name_bytes = take(&mut pos, name_len)?;
-    let codec = std::str::from_utf8(name_bytes)
-        .map_err(|_| Error::Corrupt("codec name is not UTF-8".into()))?
-        .to_string();
-
-    let precision = match take(&mut pos, 1)?[0] {
-        0 => Precision::Single,
-        1 => Precision::Double,
-        b => return Err(Error::Corrupt(format!("bad precision byte {b}"))),
-    };
-    let domain = match take(&mut pos, 1)?[0] {
-        0 => Domain::Hpc,
-        1 => Domain::TimeSeries,
-        2 => Domain::Observation,
-        3 => Domain::Database,
-        b => return Err(Error::Corrupt(format!("bad domain byte {b}"))),
-    };
-    let ndims = take(&mut pos, 1)?[0] as usize;
-    if ndims == 0 {
-        return Err(Error::Corrupt("frame has zero dimensions".into()));
-    }
-    let mut dims = Vec::with_capacity(ndims);
-    for _ in 0..ndims {
-        let d = take(&mut pos, 8)?;
-        let v = u64::from_le_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]]) as usize;
-        if v == 0 {
-            return Err(Error::Corrupt("frame has a zero-extent dimension".into()));
-        }
-        dims.push(v);
-    }
-    let plen_bytes = take(&mut pos, 8)?;
-    let plen = u64::from_le_bytes([
-        plen_bytes[0],
-        plen_bytes[1],
-        plen_bytes[2],
-        plen_bytes[3],
-        plen_bytes[4],
-        plen_bytes[5],
-        plen_bytes[6],
-        plen_bytes[7],
-    ]) as usize;
-    let payload = take(&mut pos, plen)?;
+    let (codec, desc) = decode_header(bytes, &mut pos)?;
+    let plen = read_u64(bytes, &mut pos)?;
+    let plen = usize::try_from(plen)
+        .map_err(|_| Error::Corrupt(format!("payload length {plen} exceeds the address space")))?;
+    let payload = take(bytes, &mut pos, plen)?;
     if pos != bytes.len() {
         return Err(Error::Corrupt(format!(
             "{} trailing bytes after payload",
             bytes.len() - pos
         )));
     }
-
-    let desc = DataDesc::new(precision, dims, domain)?;
     Ok(Frame {
         codec,
         desc,
@@ -139,10 +187,168 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame<'_>> {
     })
 }
 
-/// Compress `data` with `codec` and wrap the result in a frame.
+/// Encode a chunked `FCB2` frame from per-block payloads. `block_elems` is
+/// the elements-per-block the stream was split with; `payloads.len()` must
+/// equal `ceil(desc.elements() / block_elems)`.
+pub fn encode_chunked_frame<P: AsRef<[u8]>>(
+    name: &str,
+    desc: &DataDesc,
+    block_elems: usize,
+    payloads: &[P],
+) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    encode_chunked_frame_into(name, desc, block_elems, payloads, &mut out)?;
+    Ok(out)
+}
+
+/// [`encode_chunked_frame`] into a reusable buffer (contents replaced).
+/// Returns the frame length.
+pub fn encode_chunked_frame_into<P: AsRef<[u8]>>(
+    name: &str,
+    desc: &DataDesc,
+    block_elems: usize,
+    payloads: &[P],
+    out: &mut Vec<u8>,
+) -> Result<usize> {
+    check_chunked_params(desc, block_elems, payloads.len())?;
+    let total: usize = payloads.iter().map(|p| p.as_ref().len()).sum();
+    out.clear();
+    out.reserve(4 + 2 + name.len() + 3 + 8 * desc.dims.len() + 12 + 8 * payloads.len() + total);
+    encode_header(MAGIC_V2, name, desc, out)?;
+    out.extend_from_slice(&(block_elems as u64).to_le_bytes());
+    out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    for p in payloads {
+        out.extend_from_slice(&(p.as_ref().len() as u64).to_le_bytes());
+    }
+    for p in payloads {
+        out.extend_from_slice(p.as_ref());
+    }
+    Ok(out.len())
+}
+
+/// Like [`encode_chunked_frame_into`] but from a `(lengths, contiguous
+/// blob)` pair, so a sequential encoder can accumulate blocks through one
+/// reused scratch buffer instead of allocating a `Vec` per block.
+pub fn encode_chunked_frame_parts_into(
+    name: &str,
+    desc: &DataDesc,
+    block_elems: usize,
+    lens: &[usize],
+    blob: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<usize> {
+    check_chunked_params(desc, block_elems, lens.len())?;
+    let total: usize = lens.iter().sum();
+    if total != blob.len() {
+        return Err(Error::BadDescriptor(format!(
+            "block lengths sum to {total} but the blob holds {} bytes",
+            blob.len()
+        )));
+    }
+    out.clear();
+    out.reserve(4 + 2 + name.len() + 3 + 8 * desc.dims.len() + 12 + 8 * lens.len() + total);
+    encode_header(MAGIC_V2, name, desc, out)?;
+    out.extend_from_slice(&(block_elems as u64).to_le_bytes());
+    out.extend_from_slice(&(lens.len() as u32).to_le_bytes());
+    for &l in lens {
+        out.extend_from_slice(&(l as u64).to_le_bytes());
+    }
+    out.extend_from_slice(blob);
+    Ok(out.len())
+}
+
+fn check_chunked_params(desc: &DataDesc, block_elems: usize, nblocks: usize) -> Result<()> {
+    if block_elems == 0 {
+        return Err(Error::BadDescriptor("block_elems must be >= 1".into()));
+    }
+    let expected = desc.elements().div_ceil(block_elems);
+    if nblocks != expected {
+        return Err(Error::BadDescriptor(format!(
+            "{nblocks} payloads but {} elements in {block_elems}-element blocks need {expected}",
+            desc.elements()
+        )));
+    }
+    if nblocks > u32::MAX as usize {
+        return Err(Error::Unsupported("too many blocks for FCB2".into()));
+    }
+    Ok(())
+}
+
+/// A decoded chunked frame: shared header fields plus borrowed per-block
+/// payload slices in stream order.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ChunkedFrame<'a> {
+    pub codec: String,
+    pub desc: DataDesc,
+    /// Elements per block (the final block holds the remainder).
+    pub block_elems: usize,
+    pub payloads: Vec<&'a [u8]>,
+}
+
+impl ChunkedFrame<'_> {
+    /// Element count of block `i` (the tail block may be short). Returns 0
+    /// for `i >= payloads.len()`; the arithmetic saturates so out-of-range
+    /// indices and `block_elems` near `usize::MAX` never overflow.
+    pub fn block_len(&self, i: usize) -> usize {
+        let total = self.desc.elements();
+        let start = i.saturating_mul(self.block_elems).min(total);
+        self.block_elems.min(total - start)
+    }
+}
+
+/// Decode a frame produced by [`encode_chunked_frame`].
+pub fn decode_chunked_frame(bytes: &[u8]) -> Result<ChunkedFrame<'_>> {
+    let mut pos = 0usize;
+    if take(bytes, &mut pos, 4)? != MAGIC_V2 {
+        return Err(Error::Corrupt("bad magic (expected FCB2)".into()));
+    }
+    let (codec, desc) = decode_header(bytes, &mut pos)?;
+    let block_elems = read_u64(bytes, &mut pos)?;
+    let block_elems = usize::try_from(block_elems)
+        .ok()
+        .filter(|&b| b >= 1)
+        .ok_or_else(|| Error::Corrupt(format!("bad block size {block_elems}")))?;
+    let nblocks = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4 bytes"));
+    let expected = desc.elements().div_ceil(block_elems);
+    if nblocks as usize != expected {
+        return Err(Error::Corrupt(format!(
+            "frame declares {nblocks} blocks but {} elements in {block_elems}-element \
+             blocks need {expected}",
+            desc.elements()
+        )));
+    }
+    // Bound the preallocation by the bytes actually present (8 per length)
+    // so a hostile count can't trigger a huge allocation before validation.
+    let avail = bytes.len().saturating_sub(pos) / 8;
+    let mut lens = Vec::with_capacity((nblocks as usize).min(avail));
+    for _ in 0..nblocks {
+        let l = read_u64(bytes, &mut pos)?;
+        let l = usize::try_from(l)
+            .map_err(|_| Error::Corrupt(format!("block length {l} exceeds the address space")))?;
+        lens.push(l);
+    }
+    let mut payloads = Vec::with_capacity(lens.len());
+    for l in lens {
+        payloads.push(take(bytes, &mut pos, l)?);
+    }
+    if pos != bytes.len() {
+        return Err(Error::Corrupt(format!(
+            "{} trailing bytes after final block",
+            bytes.len() - pos
+        )));
+    }
+    Ok(ChunkedFrame {
+        codec,
+        desc,
+        block_elems,
+        payloads,
+    })
+}
+
+/// Compress `data` with `codec` and wrap the result in an `FCB1` frame.
 pub fn compress_framed(codec: &dyn crate::codec::Compressor, data: &FloatData) -> Result<Vec<u8>> {
     let payload = codec.compress(data)?;
-    Ok(encode_frame(codec.info().name, data.desc(), &payload))
+    encode_frame(codec.info().name, data.desc(), &payload)
 }
 
 /// Decode a frame and decompress it with `codec`, checking the codec name.
@@ -155,6 +361,10 @@ pub fn decompress_framed(codec: &dyn crate::codec::Compressor, bytes: &[u8]) -> 
             codec.info().name
         )));
     }
+    // Codecs typically reserve the descriptor's full byte length before
+    // validating the payload, so gate implausible descriptors here — the
+    // FCB1 counterpart of the pipeline's per-block check.
+    crate::blocks::check_block_plausible(&frame.desc, frame.payload.len())?;
     codec.decompress(frame.payload, &frame.desc)
 }
 
@@ -169,7 +379,7 @@ mod tests {
     #[test]
     fn round_trip() {
         let payload = vec![1u8, 2, 3, 4, 5];
-        let framed = encode_frame("gorilla", &desc(), &payload);
+        let framed = encode_frame("gorilla", &desc(), &payload).unwrap();
         let frame = decode_frame(&framed).unwrap();
         assert_eq!(frame.codec, "gorilla");
         assert_eq!(frame.desc, desc());
@@ -177,22 +387,59 @@ mod tests {
     }
 
     #[test]
+    fn implausible_fcb1_descriptor_is_rejected_before_the_codec_runs() {
+        use crate::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
+
+        /// Panics if decompression is ever attempted.
+        struct MustNotDecode;
+        impl crate::codec::Compressor for MustNotDecode {
+            fn info(&self) -> CodecInfo {
+                CodecInfo {
+                    name: "nodecode",
+                    year: 2024,
+                    community: Community::General,
+                    class: CodecClass::Delta,
+                    platform: Platform::Cpu,
+                    parallel: false,
+                    precisions: PrecisionSupport::Both,
+                }
+            }
+            fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+                Ok(data.bytes().to_vec())
+            }
+            fn decompress(&self, _payload: &[u8], _desc: &DataDesc) -> Result<FloatData> {
+                panic!("hostile frame must be rejected before the codec runs");
+            }
+        }
+
+        // A tiny FCB1 frame claiming 2^59 doubles (2^62 bytes): the gate
+        // must return a typed error without handing the codec the
+        // descriptor (whose byte length it would try to reserve).
+        let huge = DataDesc::new(Precision::Double, vec![1usize << 59], Domain::Hpc).unwrap();
+        let framed = encode_frame("nodecode", &huge, &[1, 2, 3, 4]).unwrap();
+        assert!(matches!(
+            decompress_framed(&MustNotDecode, &framed),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
     fn empty_payload_round_trip() {
-        let framed = encode_frame("x", &desc(), &[]);
+        let framed = encode_frame("x", &desc(), &[]).unwrap();
         let frame = decode_frame(&framed).unwrap();
         assert!(frame.payload.is_empty());
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let mut framed = encode_frame("x", &desc(), &[1, 2, 3]);
+        let mut framed = encode_frame("x", &desc(), &[1, 2, 3]).unwrap();
         framed[0] = b'Z';
         assert!(matches!(decode_frame(&framed), Err(Error::Corrupt(_))));
     }
 
     #[test]
     fn rejects_truncation_at_every_length() {
-        let framed = encode_frame("gorilla", &desc(), &[9u8; 32]);
+        let framed = encode_frame("gorilla", &desc(), &[9u8; 32]).unwrap();
         for cut in 0..framed.len() {
             assert!(
                 decode_frame(&framed[..cut]).is_err(),
@@ -203,14 +450,14 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage() {
-        let mut framed = encode_frame("x", &desc(), &[1, 2, 3]);
+        let mut framed = encode_frame("x", &desc(), &[1, 2, 3]).unwrap();
         framed.push(0xAA);
         assert!(matches!(decode_frame(&framed), Err(Error::Corrupt(_))));
     }
 
     #[test]
     fn rejects_bad_precision_and_domain_bytes() {
-        let framed = encode_frame("x", &desc(), &[]);
+        let framed = encode_frame("x", &desc(), &[]).unwrap();
         // precision byte sits right after magic + name-len + name
         let ppos = 4 + 1 + 1;
         let mut bad = framed.clone();
@@ -222,15 +469,76 @@ mod tests {
     }
 
     #[test]
+    fn oversized_params_are_typed_errors_not_panics() {
+        let long = "x".repeat(256);
+        assert!(matches!(
+            encode_frame(&long, &desc(), &[]),
+            Err(Error::NameTooLong { len: 256 })
+        ));
+        let many = DataDesc::new(Precision::Single, vec![1; 300], Domain::Hpc).unwrap();
+        assert!(matches!(
+            encode_frame("x", &many, &[]),
+            Err(Error::TooManyDims { ndims: 300 })
+        ));
+        assert!(check_frame_params("x", &desc()).is_ok());
+    }
+
+    #[test]
     fn all_domains_and_precisions_encode() {
         for domain in Domain::ALL {
             for precision in [Precision::Single, Precision::Double] {
                 let d = DataDesc::new(precision, vec![2, 2, 2], domain).unwrap();
-                let framed = encode_frame("c", &d, &[0xFF]);
+                let framed = encode_frame("c", &d, &[0xFF]).unwrap();
                 let frame = decode_frame(&framed).unwrap();
                 assert_eq!(frame.desc.domain, domain);
                 assert_eq!(frame.desc.precision, precision);
             }
         }
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let d = DataDesc::new(Precision::Single, vec![10], Domain::Hpc).unwrap();
+        // 10 elements in 4-element blocks => 3 blocks.
+        let payloads = [vec![1u8, 2], vec![3u8], vec![4u8, 5, 6]];
+        let framed = encode_chunked_frame("chimp128", &d, 4, &payloads).unwrap();
+        let frame = decode_chunked_frame(&framed).unwrap();
+        assert_eq!(frame.codec, "chimp128");
+        assert_eq!(frame.desc, d);
+        assert_eq!(frame.block_elems, 4);
+        assert_eq!(frame.payloads.len(), 3);
+        assert_eq!(frame.payloads[2], &[4, 5, 6]);
+        assert_eq!(frame.block_len(0), 4);
+        assert_eq!(frame.block_len(2), 2);
+    }
+
+    #[test]
+    fn chunked_rejects_wrong_block_count_and_truncation() {
+        let d = DataDesc::new(Precision::Single, vec![10], Domain::Hpc).unwrap();
+        // Wrong payload count at encode time.
+        assert!(encode_chunked_frame("c", &d, 4, &[vec![0u8]]).is_err());
+        assert!(encode_chunked_frame::<Vec<u8>>("c", &d, 0, &[]).is_err());
+
+        let payloads = [vec![1u8, 2], vec![3u8], vec![4u8, 5, 6]];
+        let framed = encode_chunked_frame("c", &d, 4, &payloads).unwrap();
+        for cut in 0..framed.len() {
+            assert!(decode_chunked_frame(&framed[..cut]).is_err());
+        }
+        let mut extra = framed.clone();
+        extra.push(0);
+        assert!(decode_chunked_frame(&extra).is_err());
+        // FCB1 magic on an FCB2 decoder and vice versa.
+        assert!(decode_chunked_frame(&encode_frame("c", &d, &[]).unwrap()).is_err());
+        assert!(decode_frame(&framed).is_err());
+    }
+
+    #[test]
+    fn chunked_encode_into_reuses_buffer() {
+        let d = DataDesc::new(Precision::Single, vec![4], Domain::Hpc).unwrap();
+        let mut buf = vec![0xFF; 3];
+        let n = encode_chunked_frame_into("c", &d, 4, &[vec![9u8, 9]], &mut buf).unwrap();
+        assert_eq!(n, buf.len());
+        let frame = decode_chunked_frame(&buf).unwrap();
+        assert_eq!(frame.payloads, vec![&[9u8, 9][..]]);
     }
 }

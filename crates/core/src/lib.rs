@@ -7,9 +7,14 @@
 //! This crate defines:
 //!
 //! - the floating-point [data model](data) (precision, domain, shape);
-//! - the [`Compressor`](codec::Compressor) trait with the Table 1 taxonomy;
-//! - the self-describing [frame](frame) container;
-//! - the paper's [metrics](metrics) (CR/CT/DT, harmonic/arithmetic means);
+//! - the [`Compressor`] trait with the Table 1 taxonomy
+//!   and its buffer-reusing `compress_into`/`decompress_into` hot path;
+//! - the [codec registry](registry) (lookup by name, filtering by platform,
+//!   class, and precision);
+//! - the self-describing [frame] containers (`FCB1` single-shot and
+//!   `FCB2` chunked);
+//! - the chunked block-parallel [pipeline];
+//! - the paper's [metrics] (CR/CT/DT, harmonic/arithmetic means);
 //! - the benchmark [run matrix](runner) (codecs × datasets);
 //! - [boxplot & group summaries](summary) for Figures 5–6;
 //! - [block/page compression](blocks) for the Table 10 experiment;
@@ -25,14 +30,19 @@ pub mod data;
 pub mod error;
 pub mod frame;
 pub mod metrics;
+pub mod pipeline;
+pub mod registry;
 pub mod runner;
 pub mod scaling;
 pub mod summary;
 
 pub use codec::{
-    AuxTime, CodecClass, CodecInfo, Community, Compressor, OpProfile, Platform, PrecisionSupport,
+    compress_verified, compress_verified_into, AuxTime, CodecClass, CodecInfo, Community,
+    Compressor, OpProfile, Platform, PrecisionSupport,
 };
 pub use data::{DataDesc, Domain, FloatData, Precision};
 pub use error::{Error, Result};
 pub use metrics::Measurement;
+pub use pipeline::Pipeline;
+pub use registry::{CodecRegistry, RegistryEntry};
 pub use runner::{run_cell, run_matrix, CellOutcome, NamedData, RunConfig, RunMatrix};

@@ -1,0 +1,551 @@
+//! Chunked, block-parallel compression pipeline.
+//!
+//! [`Pipeline`] splits a [`FloatData`] element stream into fixed-size blocks
+//! (the discipline FCBench applies to its ndzip/GPU methods and the Table 10
+//! page study), compresses the blocks independently — in parallel across a
+//! configurable number of worker threads, each with its own reusable scratch
+//! buffers — and emits the self-describing chunked [`FCB2`
+//! frame](crate::frame::encode_chunked_frame). Decompression reverses the
+//! process, fanning blocks back out to workers and reassembling the exact
+//! original bytes.
+//!
+//! ```
+//! use fcbench_core::pipeline::Pipeline;
+//! use fcbench_core::registry::CodecRegistry;
+//! use fcbench_core::{Domain, FloatData};
+//! # use fcbench_core::{codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport},
+//! #                    Compressor, DataDesc, Result};
+//! # struct Store;
+//! # impl Compressor for Store {
+//! #     fn info(&self) -> CodecInfo {
+//! #         CodecInfo { name: "store", year: 2024, community: Community::General,
+//! #                     class: CodecClass::Delta, platform: Platform::Cpu,
+//! #                     parallel: false, precisions: PrecisionSupport::Both }
+//! #     }
+//! #     fn compress(&self, data: &FloatData) -> Result<Vec<u8>> { Ok(data.bytes().to_vec()) }
+//! #     fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+//! #         FloatData::from_bytes(desc.clone(), payload.to_vec())
+//! #     }
+//! # }
+//! let registry = CodecRegistry::new().with(Store);
+//! let pipeline = Pipeline::new(&registry, "store")
+//!     .unwrap()
+//!     .block_elems(64 * 1024)
+//!     .threads(4);
+//!
+//! let values: Vec<f64> = (0..200_000).map(|i| (i as f64).sin()).collect();
+//! let data = FloatData::from_f64(&values, vec![values.len()], Domain::TimeSeries).unwrap();
+//! let frame = pipeline.compress(&data).unwrap();
+//! let back = pipeline.decompress(&frame).unwrap();
+//! assert_eq!(back.bytes(), data.bytes());
+//! ```
+
+use crate::codec::Compressor;
+use crate::data::{DataDesc, FloatData};
+use crate::error::{Error, Result};
+use crate::frame::{
+    decode_chunked_frame, encode_chunked_frame_into, encode_chunked_frame_parts_into,
+};
+use crate::registry::CodecRegistry;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Default elements per block: 64 Ki elements, the paper's bitshuffle/nvCOMP
+/// working-set scale.
+pub const DEFAULT_BLOCK_ELEMS: usize = 64 * 1024;
+
+/// Expansion ratio above which a frame's declared output size is treated as
+/// implausible and decoded incrementally instead of preallocated (none of
+/// the 14 codecs come near this on real data; only degenerate constant
+/// streams can legitimately exceed it, and those still decode correctly on
+/// the incremental path).
+const MAX_PLAUSIBLE_EXPANSION: usize = 4096;
+
+/// Cap on the speculative upfront reservation for incremental decoding.
+const MAX_UPFRONT_RESERVE: usize = 16 * 1024 * 1024;
+
+/// A configured block-parallel compression pipeline around one codec.
+pub struct Pipeline {
+    codec: Arc<dyn Compressor>,
+    block_elems: usize,
+    threads: usize,
+}
+
+impl Pipeline {
+    /// Build a pipeline around the registered codec `name`.
+    pub fn new(registry: &CodecRegistry, name: &str) -> Result<Self> {
+        Ok(Self::with_codec(registry.require(name)?))
+    }
+
+    /// Build a pipeline around an explicit codec handle.
+    pub fn with_codec(codec: Arc<dyn Compressor>) -> Self {
+        Pipeline {
+            codec,
+            block_elems: DEFAULT_BLOCK_ELEMS,
+            threads: 1,
+        }
+    }
+
+    /// Set the block size in elements (clamped to at least 1).
+    #[must_use]
+    pub fn block_elems(mut self, elems: usize) -> Self {
+        self.block_elems = elems.max(1);
+        self
+    }
+
+    /// Set the worker-thread count (clamped to at least 1; 1 = run inline).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The codec this pipeline drives.
+    pub fn codec(&self) -> &Arc<dyn Compressor> {
+        &self.codec
+    }
+
+    /// Descriptor for block `i` of a stream shaped like `desc`.
+    fn block_desc(&self, desc: &DataDesc, i: usize, nblocks: usize) -> DataDesc {
+        let total = desc.elements();
+        let elems = if i + 1 == nblocks {
+            total - i * self.block_elems
+        } else {
+            self.block_elems
+        };
+        DataDesc {
+            precision: desc.precision,
+            dims: vec![elems],
+            domain: desc.domain,
+        }
+    }
+
+    /// Compress `data` into a freshly allocated `FCB2` frame.
+    pub fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.compress_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// Compress `data` into `out` (contents replaced, capacity reused).
+    /// Returns the frame length.
+    pub fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+        let desc = data.desc();
+        let esize = desc.precision.bytes();
+        // Saturate: block_elems beyond the element count means one block, and
+        // any bpb >= data.bytes().len() chunks identically (no overflow UB).
+        let bpb = self.block_elems.saturating_mul(esize);
+        let nblocks = data.elements().div_ceil(self.block_elems);
+        let bytes = data.bytes();
+
+        if self.threads <= 1 || nblocks <= 1 {
+            // Inline path: reusable scratch + payload buffer, contiguous
+            // blob — no per-block allocation.
+            let (lens, blob) =
+                crate::blocks::compress_blocks_sequential(&*self.codec, data, bpb, nblocks)?;
+            return encode_chunked_frame_parts_into(
+                self.codec.info().name,
+                desc,
+                self.block_elems,
+                &lens,
+                &blob,
+                out,
+            );
+        }
+
+        let payloads: Vec<Vec<u8>> = {
+            let next = AtomicUsize::new(0);
+            let stop = AtomicBool::new(false);
+            let results: Mutex<Vec<Option<Vec<u8>>>> =
+                Mutex::new((0..nblocks).map(|_| None).collect());
+            let first_err: Mutex<Option<Error>> = Mutex::new(None);
+            let workers = self.threads.min(nblocks);
+
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        // Per-worker reusable input scratch; payload buffers
+                        // are per block because the frame keeps them all.
+                        let mut scratch = FloatData::scratch();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= nblocks || stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let start = i * bpb;
+                            let end = (start + bpb).min(bytes.len());
+                            let bdesc = self.block_desc(desc, i, nblocks);
+                            let mut payload = Vec::new();
+                            let r = scratch
+                                .refill_from_slice(&bdesc, &bytes[start..end])
+                                .and_then(|()| self.codec.compress_into(&scratch, &mut payload));
+                            match r {
+                                Ok(_) => results.lock()[i] = Some(payload),
+                                Err(e) => {
+                                    stop.store(true, Ordering::Relaxed);
+                                    first_err.lock().get_or_insert(e);
+                                    break;
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+
+            if let Some(e) = first_err.into_inner() {
+                return Err(e);
+            }
+            results
+                .into_inner()
+                .into_iter()
+                .map(|p| p.ok_or_else(|| Error::Corrupt("pipeline worker dropped a block".into())))
+                .collect::<Result<Vec<_>>>()?
+        };
+
+        encode_chunked_frame_into(
+            self.codec.info().name,
+            desc,
+            self.block_elems,
+            &payloads,
+            out,
+        )
+    }
+
+    /// Decode an `FCB2` frame produced by this pipeline's codec into a
+    /// freshly allocated container.
+    pub fn decompress(&self, frame: &[u8]) -> Result<FloatData> {
+        let mut out = FloatData::scratch();
+        self.decompress_into(frame, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decode an `FCB2` frame into a reusable container.
+    ///
+    /// The frame's block size takes precedence over the pipeline's
+    /// configured one — frames are self-describing.
+    pub fn decompress_into(&self, frame: &[u8], out: &mut FloatData) -> Result<()> {
+        let frame = decode_chunked_frame(frame)?;
+        let name = self.codec.info().name;
+        if frame.codec != name {
+            return Err(Error::Corrupt(format!(
+                "frame was written by codec {:?} but {:?} was asked to decode it",
+                frame.codec, name
+            )));
+        }
+        let desc = frame.desc.clone();
+        let esize = desc.precision.bytes();
+        // Saturate: a hostile frame can declare a block size up to u64::MAX;
+        // the decoder only guarantees block_elems >= 1 and a consistent block
+        // count, so the multiply must not overflow. block_elems beyond the
+        // element count implies one block, where any bpb >= byte_len chunks
+        // identically.
+        let bpb = frame.block_elems.saturating_mul(esize);
+        let nblocks = frame.payloads.len();
+
+        // The frame's declared output size is untrusted: a tiny hostile
+        // frame may claim petabytes. The parallel path needs the full
+        // output buffer up front (disjoint `chunks_mut`), so it is reserved
+        // for frames whose claim is plausible against the payload bytes
+        // present; anything beyond that ratio — hostile, or legitimately
+        // ultra-compressible — takes the inline path, whose allocation
+        // grows only with actually-decoded data. A frame that passes this
+        // gate can still force the parallel-path allocation before its
+        // blocks fail to decode, but only up to MAX_PLAUSIBLE_EXPANSION
+        // times the bytes the caller already holds in memory.
+        let payload_total: usize = frame.payloads.iter().map(|p| p.len()).sum();
+        let plausible = desc.byte_len() / MAX_PLAUSIBLE_EXPANSION <= payload_total;
+
+        out.refill(&desc, |bytes| {
+            if self.threads <= 1 || nblocks <= 1 || !plausible {
+                // Inline path: append blocks in stream order — no zero-fill
+                // of the output, every byte is written exactly once.
+                // (`refill` hands the closure an already-cleared buffer.)
+                bytes.reserve(desc.byte_len().min(MAX_UPFRONT_RESERVE));
+                let mut scratch = FloatData::scratch();
+                for (i, payload) in frame.payloads.iter().enumerate() {
+                    crate::blocks::decode_block_into(
+                        &*self.codec,
+                        &desc,
+                        frame.block_len(i),
+                        payload,
+                        &mut scratch,
+                        bytes,
+                    )?;
+                }
+                return Ok(());
+            }
+            bytes.resize(desc.byte_len(), 0);
+
+            // Parallel path: hand each (output chunk, payload) pair to the
+            // worker pool; chunks are disjoint `&mut` slices so workers
+            // write the reassembled stream without further coordination.
+            let mut items: Vec<(usize, &mut [u8], &[u8])> = bytes
+                .chunks_mut(bpb)
+                .zip(frame.payloads.iter().copied())
+                .enumerate()
+                .map(|(i, (chunk, payload))| (i, chunk, payload))
+                .collect();
+            items.reverse(); // pop() then hands blocks out in stream order
+            let work = Mutex::new(items);
+            let stop = AtomicBool::new(false);
+            let first_err: Mutex<Option<Error>> = Mutex::new(None);
+            let workers = self.threads.min(nblocks);
+            let frame = &frame;
+
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        let mut scratch = FloatData::scratch();
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let Some((i, chunk, payload)) = work.lock().pop() else {
+                                break;
+                            };
+                            let r = crate::blocks::decode_block_to_slice(
+                                &*self.codec,
+                                &desc,
+                                frame.block_len(i),
+                                payload,
+                                &mut scratch,
+                                chunk,
+                            );
+                            if let Err(e) = r {
+                                stop.store(true, Ordering::Relaxed);
+                                first_err.lock().get_or_insert(e);
+                                break;
+                            }
+                        }
+                    });
+                }
+            });
+
+            match first_err.into_inner() {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
+    use crate::data::Domain;
+    use crate::registry::CodecRegistry;
+
+    /// Store codec with a 2-byte header so block boundaries are observable.
+    struct HeaderedStore;
+
+    impl Compressor for HeaderedStore {
+        fn info(&self) -> CodecInfo {
+            CodecInfo {
+                name: "hstore",
+                year: 2024,
+                community: Community::General,
+                class: CodecClass::Delta,
+                platform: Platform::Cpu,
+                parallel: false,
+                precisions: PrecisionSupport::Both,
+            }
+        }
+        fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+            out.clear();
+            out.extend_from_slice(&[0xAB, 0xCD]);
+            out.extend_from_slice(data.bytes());
+            Ok(out.len())
+        }
+        fn decompress_into(
+            &self,
+            payload: &[u8],
+            desc: &DataDesc,
+            out: &mut FloatData,
+        ) -> Result<()> {
+            if payload.len() < 2 || payload[0] != 0xAB || payload[1] != 0xCD {
+                return Err(Error::Corrupt("bad hstore header".into()));
+            }
+            out.refill_from_slice(desc, &payload[2..])
+        }
+    }
+
+    fn registry() -> CodecRegistry {
+        CodecRegistry::new().with(HeaderedStore)
+    }
+
+    fn sample(n: usize) -> FloatData {
+        let vals: Vec<f64> = (0..n)
+            .map(|i| match i % 7 {
+                0 => f64::NAN,
+                1 => -0.0,
+                2 => 5e-324,
+                _ => i as f64 * 0.37,
+            })
+            .collect();
+        FloatData::from_f64(&vals, vec![n], Domain::TimeSeries).unwrap()
+    }
+
+    #[test]
+    fn unknown_codec_is_a_typed_error() {
+        assert!(matches!(
+            Pipeline::new(&registry(), "nope"),
+            Err(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn round_trips_across_block_sizes_and_threads() {
+        let r = registry();
+        let n = 1000;
+        let data = sample(n);
+        for block in [1usize, n - 1, n, n + 1, 64 * 1024] {
+            for threads in [1usize, 2, 8] {
+                let p = Pipeline::new(&r, "hstore")
+                    .unwrap()
+                    .block_elems(block)
+                    .threads(threads);
+                let frame = p.compress(&data).unwrap();
+                let back = p.decompress(&frame).unwrap();
+                assert_eq!(
+                    back.bytes(),
+                    data.bytes(),
+                    "block {block} x threads {threads}"
+                );
+                assert_eq!(back.desc(), data.desc());
+            }
+        }
+    }
+
+    #[test]
+    fn huge_block_size_saturates_instead_of_overflowing() {
+        // block_elems * esize would overflow usize; both the compress and
+        // decompress paths must saturate to a single full-buffer block.
+        let r = registry();
+        let data = sample(100);
+        for threads in [1usize, 4] {
+            let p = Pipeline::new(&r, "hstore")
+                .unwrap()
+                .block_elems(usize::MAX)
+                .threads(threads);
+            let frame = p.compress(&data).unwrap();
+            let back = p.decompress(&frame).unwrap();
+            assert_eq!(back.bytes(), data.bytes());
+        }
+    }
+
+    /// Mimics the production codecs' habit of reserving the descriptor's
+    /// full byte length before decoding anything — the reason hostile
+    /// descriptors must be rejected before the codec is handed one.
+    struct ReservingStore;
+
+    impl Compressor for ReservingStore {
+        fn info(&self) -> CodecInfo {
+            CodecInfo {
+                name: "rstore",
+                year: 2024,
+                community: Community::General,
+                class: CodecClass::Delta,
+                platform: Platform::Cpu,
+                parallel: false,
+                precisions: PrecisionSupport::Both,
+            }
+        }
+        fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+            out.clear();
+            out.extend_from_slice(data.bytes());
+            Ok(out.len())
+        }
+        fn decompress_into(
+            &self,
+            payload: &[u8],
+            desc: &DataDesc,
+            out: &mut FloatData,
+        ) -> Result<()> {
+            out.refill(desc, |bytes| {
+                bytes.reserve(desc.byte_len());
+                bytes.extend_from_slice(payload);
+                Ok(())
+            })
+        }
+    }
+
+    #[test]
+    fn implausible_declared_size_errors_without_huge_allocation() {
+        // A ~40-byte hostile frame declaring 2^50 doubles (8 PB) must fail
+        // with a typed error before the codec can reserve the claimed size.
+        let r = CodecRegistry::new().with(ReservingStore);
+        for threads in [1usize, 8] {
+            let p = Pipeline::new(&r, "rstore").unwrap().threads(threads);
+            let mut f = Vec::new();
+            f.extend_from_slice(b"FCB2");
+            f.push(6);
+            f.extend_from_slice(b"rstore");
+            f.push(1); // double
+            f.push(1); // time series
+            f.push(1); // ndims
+            f.extend_from_slice(&(1u64 << 50).to_le_bytes()); // dims[0]
+            f.extend_from_slice(&(1u64 << 50).to_le_bytes()); // block elems -> 1 block
+            f.extend_from_slice(&1u32.to_le_bytes());
+            let payload = [1u8, 2, 3, 4, 5, 6, 7, 8];
+            f.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            f.extend_from_slice(&payload);
+            assert!(matches!(p.decompress(&f), Err(Error::Corrupt(_))));
+        }
+    }
+
+    #[test]
+    fn buffers_are_reusable_across_calls() {
+        let r = registry();
+        let p = Pipeline::new(&r, "hstore")
+            .unwrap()
+            .block_elems(64)
+            .threads(2);
+        let mut frame_buf = Vec::new();
+        let mut out = FloatData::scratch();
+        for n in [10usize, 500, 129] {
+            let data = sample(n);
+            let len = p.compress_into(&data, &mut frame_buf).unwrap();
+            assert_eq!(len, frame_buf.len());
+            p.decompress_into(&frame_buf, &mut out).unwrap();
+            assert_eq!(out.bytes(), data.bytes());
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_and_corrupt_frames() {
+        let r = registry();
+        let p = Pipeline::new(&r, "hstore").unwrap().block_elems(16);
+        let data = sample(64);
+        let frame = p.compress(&data).unwrap();
+
+        // Codec-name byte flipped -> foreign-codec error.
+        let mut foreign = frame.clone();
+        foreign[4 + 1] ^= 0x55; // first byte of the name "hstore"
+        assert!(p.decompress(&foreign).is_err());
+
+        // Truncations never panic.
+        for cut in [0, 4, frame.len() / 2, frame.len() - 1] {
+            assert!(p.decompress(&frame[..cut]).is_err());
+        }
+
+        // Corrupt the first block's 0xAB marker: the per-block decode error
+        // must surface through both the inline and the parallel path.
+        let payload_total: usize = decode_chunked_frame(&frame)
+            .unwrap()
+            .payloads
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        let mut bad = frame.clone();
+        let first_payload_offset = bad.len() - payload_total;
+        bad[first_payload_offset] ^= 0xFF;
+        assert!(p.decompress(&bad).is_err());
+        let p8 = Pipeline::new(&r, "hstore")
+            .unwrap()
+            .block_elems(16)
+            .threads(8);
+        assert!(p8.decompress(&bad).is_err());
+    }
+}

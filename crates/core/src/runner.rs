@@ -157,6 +157,12 @@ impl Default for RunConfig {
 }
 
 /// Run one codec over one dataset, timing compression and decompression.
+///
+/// The timed loop drives the buffer-reusing
+/// [`compress_into`](Compressor::compress_into) /
+/// [`decompress_into`](Compressor::decompress_into) forms with scratch
+/// buffers held across repetitions, so after the first repetition the
+/// measurement captures codec work, not the allocator.
 pub fn run_cell(codec: &dyn Compressor, data: &FloatData, cfg: RunConfig) -> CellOutcome {
     let info = codec.info();
     if !info.precisions.accepts(data.desc().precision) {
@@ -166,22 +172,28 @@ pub fn run_cell(codec: &dyn Compressor, data: &FloatData, cfg: RunConfig) -> Cel
             data.desc().precision
         ));
     }
+    // A cell whose result could never be framed (oversized codec name,
+    // >255 dims) is a failure, not a panic-in-waiting.
+    if let Err(e) = crate::frame::check_frame_params(info.name, data.desc()) {
+        return CellOutcome::Failed(e.to_string());
+    }
 
+    let mut payload = Vec::new();
+    let mut back = FloatData::scratch();
     let mut runs = Vec::with_capacity(cfg.repetitions.max(1));
     for _ in 0..cfg.repetitions.max(1) {
         let t0 = Instant::now();
-        let payload = match codec.compress(data) {
-            Ok(p) => p,
+        let comp_bytes = match codec.compress_into(data, &mut payload) {
+            Ok(n) => n,
             Err(e) => return CellOutcome::Failed(e.to_string()),
         };
         let comp_seconds = t0.elapsed().as_secs_f64();
         let comp_aux = codec.last_aux_time();
 
         let t1 = Instant::now();
-        let back = match codec.decompress(&payload, data.desc()) {
-            Ok(d) => d,
-            Err(e) => return CellOutcome::Failed(e.to_string()),
-        };
+        if let Err(e) = codec.decompress_into(&payload[..comp_bytes], data.desc(), &mut back) {
+            return CellOutcome::Failed(e.to_string());
+        }
         let decomp_seconds = t1.elapsed().as_secs_f64();
         let decomp_aux = codec.last_aux_time();
 
@@ -195,7 +207,7 @@ pub fn run_cell(codec: &dyn Compressor, data: &FloatData, cfg: RunConfig) -> Cel
         }
         runs.push(Measurement {
             orig_bytes: data.bytes().len() as u64,
-            comp_bytes: payload.len() as u64,
+            comp_bytes: comp_bytes as u64,
             comp_seconds,
             decomp_seconds,
             comp_transfer_seconds: comp_aux.total(),

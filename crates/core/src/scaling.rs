@@ -68,25 +68,29 @@ where
     let mut name = String::new();
     let mut raw: Vec<(usize, f64)> = Vec::with_capacity(thread_counts.len());
 
+    // Reused across every thread count and repetition: the sweep measures
+    // codec scalability, not allocator throughput.
+    let mut payload = Vec::new();
+    let mut scratch = FloatData::scratch();
     for &t in thread_counts {
         let codec = factory(t);
         name = codec.info().name.to_string();
-        let payload = codec.compress(data)?;
+        codec.compress_into(data, &mut payload)?;
         let mut best = f64::INFINITY;
         for _ in 0..reps.max(1) {
             let secs = match direction {
                 Direction::Compress => {
                     let t0 = Instant::now();
-                    let p = codec.compress(data)?;
+                    let n = codec.compress_into(data, &mut payload)?;
                     let s = t0.elapsed().as_secs_f64();
-                    std::hint::black_box(p.len());
+                    std::hint::black_box(n);
                     s
                 }
                 Direction::Decompress => {
                     let t0 = Instant::now();
-                    let d = codec.decompress(&payload, data.desc())?;
+                    codec.decompress_into(&payload, data.desc(), &mut scratch)?;
                     let s = t0.elapsed().as_secs_f64();
-                    std::hint::black_box(d.bytes().len());
+                    std::hint::black_box(scratch.bytes().len());
                     s
                 }
             };

@@ -3,8 +3,8 @@
 
 use fcbench_core::blocks::BlockCodec;
 use fcbench_core::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
-use fcbench_core::frame::{decode_frame, encode_frame};
-use fcbench_core::{Compressor, DataDesc, Domain, FloatData, Precision, Result};
+use fcbench_core::frame::{decode_chunked_frame, decode_frame, encode_chunked_frame, encode_frame};
+use fcbench_core::{Compressor, DataDesc, Domain, Error, FloatData, Pipeline, Precision, Result};
 use proptest::prelude::*;
 
 /// Trivial store codec used to exercise container plumbing.
@@ -55,7 +55,7 @@ proptest! {
         payload in prop::collection::vec(any::<u8>(), 0..500),
         name in "[a-z][a-z0-9-]{0,30}",
     ) {
-        let framed = encode_frame(&name, &desc, &payload);
+        let framed = encode_frame(&name, &desc, &payload).unwrap();
         let frame = decode_frame(&framed).unwrap();
         prop_assert_eq!(frame.codec, name);
         prop_assert_eq!(&frame.desc, &desc);
@@ -72,10 +72,118 @@ proptest! {
         desc in arb_desc(),
         payload in prop::collection::vec(any::<u8>(), 0..100),
     ) {
-        let framed = encode_frame("codec", &desc, &payload);
+        let framed = encode_frame("codec", &desc, &payload).unwrap();
         for cut in 0..framed.len() {
             prop_assert!(decode_frame(&framed[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn chunked_frames_are_exact_inverses(
+        desc in arb_desc(),
+        block_elems in 1usize..64,
+        name in "[a-z][a-z0-9-]{0,30}",
+        seed in any::<u64>(),
+    ) {
+        let nblocks = desc.elements().div_ceil(block_elems);
+        let mut x = seed | 1;
+        let payloads: Vec<Vec<u8>> = (0..nblocks)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (0..(x % 40) as usize).map(|i| (x >> (i % 8)) as u8).collect()
+            })
+            .collect();
+        let framed = encode_chunked_frame(&name, &desc, block_elems, &payloads).unwrap();
+        let frame = decode_chunked_frame(&framed).unwrap();
+        prop_assert_eq!(&frame.codec, &name);
+        prop_assert_eq!(&frame.desc, &desc);
+        prop_assert_eq!(frame.block_elems, block_elems);
+        prop_assert_eq!(frame.payloads.len(), nblocks);
+        for (a, b) in frame.payloads.iter().zip(payloads.iter()) {
+            prop_assert_eq!(*a, &b[..]);
+        }
+    }
+
+    #[test]
+    fn chunked_frame_decoder_rejects_every_truncation_and_garbage(
+        desc in arb_desc(),
+        block_elems in 1usize..32,
+        garbage in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        // Garbage never panics (typed error or — astronomically unlikely —
+        // a structurally valid frame).
+        let _ = decode_chunked_frame(&garbage);
+
+        let nblocks = desc.elements().div_ceil(block_elems);
+        let payloads: Vec<Vec<u8>> = (0..nblocks).map(|i| vec![i as u8; 3]).collect();
+        let framed = encode_chunked_frame("codec", &desc, block_elems, &payloads).unwrap();
+        for cut in 0..framed.len() {
+            prop_assert!(decode_chunked_frame(&framed[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn hostile_headers_yield_typed_errors_never_panics(
+        magic_v2 in prop::bool::ANY,
+        dim_bytes in prop::collection::vec(any::<u8>(), 8..64),
+        plen in any::<u64>(),
+    ) {
+        // Hand-build a frame whose dims and payload length are hostile:
+        // dims overflowing the element count, payload lengths beyond the
+        // buffer. Both decoders must produce typed errors.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(if magic_v2 { b"FCB2" } else { b"FCB1" });
+        bytes.push(1); // name len
+        bytes.push(b'c');
+        bytes.push(1); // precision double
+        bytes.push(0); // domain HPC
+        let ndims = (dim_bytes.len() / 8).min(255);
+        bytes.push(ndims as u8);
+        for c in dim_bytes.chunks_exact(8).take(ndims) {
+            // Force huge dims: set the top bytes so products overflow.
+            let mut d: [u8; 8] = c.try_into().unwrap();
+            d[7] |= 0x80;
+            bytes.extend_from_slice(&d);
+        }
+        bytes.extend_from_slice(&plen.to_le_bytes()); // block_elems or payload len
+        bytes.extend_from_slice(&plen.to_le_bytes()[..4]); // block count-ish tail
+        let r1 = decode_frame(&bytes);
+        let r2 = decode_chunked_frame(&bytes);
+        prop_assert!(r1.is_err());
+        prop_assert!(r2.is_err());
+        prop_assert!(matches!(r1.unwrap_err(), Error::Corrupt(_) | Error::BadDescriptor(_)));
+        prop_assert!(matches!(r2.unwrap_err(), Error::Corrupt(_) | Error::BadDescriptor(_)));
+    }
+
+    #[test]
+    fn pipeline_round_trips_any_block_thread_combination(
+        desc in arb_desc(),
+        block_elems in 1usize..64,
+        threads in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let n = desc.byte_len();
+        let mut x = seed | 1;
+        let bytes: Vec<u8> = (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect();
+        let data = FloatData::from_bytes(desc, bytes).unwrap();
+        let registry = fcbench_core::CodecRegistry::new().with(Store);
+        let p = Pipeline::new(&registry, "store")
+            .unwrap()
+            .block_elems(block_elems)
+            .threads(threads);
+        let frame = p.compress(&data).unwrap();
+        let back = p.decompress(&frame).unwrap();
+        prop_assert_eq!(back.bytes(), data.bytes());
+        prop_assert_eq!(back.desc(), data.desc());
     }
 
     #[test]

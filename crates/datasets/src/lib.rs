@@ -4,7 +4,7 @@
 //! Table 3 (the originals are multi-GB downloads; DESIGN.md documents the
 //! substitution). Three pieces:
 //!
-//! - [`catalog`] — the full Table 3 transcription (name, domain,
+//! - [`catalog`](mod@catalog) — the full Table 3 transcription (name, domain,
 //!   precision, size, value entropy, extent) plus the scaling rule;
 //! - [`gen`] — deterministic per-dataset generators reproducing domain
 //!   structure, decimal representability (BUFF's Table 4 pattern), and

@@ -76,13 +76,22 @@ pub fn write_container(
     chunk_elems: usize,
 ) -> Result<()> {
     assert!(chunk_elems > 0);
+    let codec_name = codec.info().name.as_bytes();
+    if codec_name.len() > 255 {
+        return Err(Error::NameTooLong {
+            len: codec_name.len(),
+        });
+    }
     let mut header = Vec::new();
     header.extend_from_slice(MAGIC);
-    let codec_name = codec.info().name.as_bytes();
     header.push(codec_name.len() as u8);
     header.extend_from_slice(codec_name);
     header.extend_from_slice(&(columns.len() as u32).to_le_bytes());
 
+    // One input scratch and one payload buffer serve every chunk of every
+    // column — the per-page compression loop allocates only for body growth.
+    let mut scratch = FloatData::scratch();
+    let mut payload = Vec::new();
     let mut body: Vec<u8> = Vec::new();
     for col in columns {
         let esize = col.precision.bytes();
@@ -105,10 +114,10 @@ pub fn write_container(
         for chunk in col.bytes.chunks(chunk_bytes.max(esize)) {
             let elems = chunk.len() / esize;
             let desc = DataDesc::new(col.precision, vec![elems], Domain::Database)?;
-            let data = FloatData::from_bytes(desc, chunk.to_vec())?;
-            let payload = codec.compress(&data)?;
-            sizes.push(payload.len() as u64);
-            body.extend_from_slice(&payload);
+            scratch.refill_from_slice(&desc, chunk)?;
+            let n = codec.compress_into(&scratch, &mut payload)?;
+            sizes.push(n as u64);
+            body.extend_from_slice(&payload[..n]);
         }
         for s in sizes {
             header.extend_from_slice(&s.to_le_bytes());
@@ -228,8 +237,10 @@ fn parse_container(bytes: &[u8]) -> Result<CompressedTable> {
 
 impl CompressedColumn {
     /// Decode every chunk with `codec` — the Table 11 **decode** primitive.
+    /// A single reused scratch container serves every chunk.
     pub fn decode(&self, codec: &dyn Compressor) -> Result<ColumnData> {
         let esize = self.precision.bytes();
+        let mut scratch = FloatData::scratch();
         let mut bytes = Vec::with_capacity(self.rows * esize);
         let mut remaining = self.rows;
         for chunk in &self.chunks {
@@ -238,8 +249,8 @@ impl CompressedColumn {
                 return Err(Error::Corrupt("more chunks than rows".into()));
             }
             let desc = DataDesc::new(self.precision, vec![elems], Domain::Database)?;
-            let data = codec.decompress(chunk, &desc)?;
-            bytes.extend_from_slice(data.bytes());
+            codec.decompress_into(chunk, &desc, &mut scratch)?;
+            bytes.extend_from_slice(scratch.bytes());
             remaining -= elems;
         }
         if remaining != 0 {

@@ -1,8 +1,8 @@
 //! # fcbench-dbsim
 //!
 //! The paper's simulated in-memory database (§5.1.2, Figure 4): an
-//! HDF5-style chunked columnar [container](container) on disk, an
-//! in-memory [dataframe](dataframe) with histogram-driven full-table
+//! HDF5-style chunked columnar [container] on disk, an
+//! in-memory [dataframe] with histogram-driven full-table
 //! scans, and the [three-primitive timer](bench3) (file I/O, decode,
 //! query) behind Table 11 and the block-size study of Table 10.
 //!

@@ -3,12 +3,98 @@
 //! These are the backbone of Gorilla/Chimp control-bit streams, BUFF's
 //! padded sub-columns, and the verbatim-bit tails of fpzip/pFPC/GFC.
 
+/// Append one bit to `(buf, used)` state shared by [`BitWriter`]/[`BitSink`].
+#[inline]
+fn push_bit_raw(buf: &mut Vec<u8>, used: &mut u32, bit: bool) {
+    if *used == 0 {
+        buf.push(0);
+        *used = 8;
+    }
+    *used -= 1;
+    if bit {
+        let last = buf.last_mut().expect("buffer nonempty after push");
+        *last |= 1 << *used;
+    }
+}
+
+/// Append the low `n` bits of `value` (MSB of the field first). `n <= 64`.
+#[inline]
+fn push_bits_raw(buf: &mut Vec<u8>, used: &mut u32, value: u64, n: u32) {
+    debug_assert!(n <= 64);
+    if n == 0 {
+        return;
+    }
+    if n < 64 {
+        debug_assert_eq!(value >> n, 0, "value has bits above the field width");
+    }
+    let mut remaining = n;
+    while remaining > 0 {
+        if *used == 0 {
+            buf.push(0);
+            *used = 8;
+        }
+        let take = remaining.min(*used);
+        let shift = remaining - take;
+        let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+        let last = buf.last_mut().expect("buffer nonempty");
+        *last |= chunk << (*used - take);
+        *used -= take;
+        remaining -= take;
+    }
+}
+
 /// Writes bits MSB-first into a growable byte buffer.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     buf: Vec<u8>,
     /// Free bits remaining in the final byte (0..=8). 0 means byte-aligned.
     used: u32,
+}
+
+/// Writes bits MSB-first by **appending to a caller-owned byte buffer** —
+/// the zero-allocation sibling of [`BitWriter`], used by codecs whose
+/// `compress_into` emits straight into a reused output vector. The sink
+/// starts byte-aligned after whatever the buffer already holds.
+#[derive(Debug)]
+pub struct BitSink<'a> {
+    buf: &'a mut Vec<u8>,
+    start: usize,
+    /// Free bits remaining in the final byte (0..=8). 0 means byte-aligned.
+    used: u32,
+}
+
+impl<'a> BitSink<'a> {
+    /// Append bits after the current contents of `buf`.
+    pub fn new(buf: &'a mut Vec<u8>) -> Self {
+        let start = buf.len();
+        BitSink {
+            buf,
+            start,
+            used: 0,
+        }
+    }
+
+    /// Bits written through this sink so far.
+    pub fn bit_len(&self) -> usize {
+        (self.buf.len() - self.start) * 8 - self.used as usize
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        push_bit_raw(self.buf, &mut self.used, bit);
+    }
+
+    /// Append the low `n` bits of `value`, MSB of that field first. `n <= 64`.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, n: u32) {
+        push_bits_raw(self.buf, &mut self.used, value, n);
+    }
+
+    /// Pad with zero bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.used = 0;
+    }
 }
 
 impl BitWriter {
@@ -34,41 +120,13 @@ impl BitWriter {
     /// Append a single bit.
     #[inline]
     pub fn push_bit(&mut self, bit: bool) {
-        if self.used == 0 {
-            self.buf.push(0);
-            self.used = 8;
-        }
-        self.used -= 1;
-        if bit {
-            let last = self.buf.last_mut().expect("buffer nonempty after push");
-            *last |= 1 << self.used;
-        }
+        push_bit_raw(&mut self.buf, &mut self.used, bit);
     }
 
     /// Append the low `n` bits of `value`, MSB of that field first. `n <= 64`.
     #[inline]
     pub fn push_bits(&mut self, value: u64, n: u32) {
-        debug_assert!(n <= 64);
-        if n == 0 {
-            return;
-        }
-        if n < 64 {
-            debug_assert_eq!(value >> n, 0, "value has bits above the field width");
-        }
-        let mut remaining = n;
-        while remaining > 0 {
-            if self.used == 0 {
-                self.buf.push(0);
-                self.used = 8;
-            }
-            let take = remaining.min(self.used);
-            let shift = remaining - take;
-            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
-            let last = self.buf.last_mut().expect("buffer nonempty");
-            *last |= chunk << (self.used - take);
-            self.used -= take;
-            remaining -= take;
-        }
+        push_bits_raw(&mut self.buf, &mut self.used, value, n);
     }
 
     /// Pad with zero bits to the next byte boundary.
@@ -257,6 +315,42 @@ mod tests {
         w.push_bits(0b10110, 5); // 10110110
         let bytes = w.into_bytes();
         assert_eq!(bytes, vec![0b1011_0110]);
+    }
+
+    #[test]
+    fn sink_appends_after_existing_bytes() {
+        let mut buf = vec![0x11, 0x22];
+        {
+            let mut s = BitSink::new(&mut buf);
+            assert_eq!(s.bit_len(), 0);
+            s.push_bits(0b1, 1);
+            s.push_bits(0b01, 2);
+            s.push_bits(0b10110, 5);
+            s.push_bit(true);
+            s.align_byte();
+            s.push_bits(0xAB, 8);
+            assert_eq!(s.bit_len(), 24);
+        }
+        assert_eq!(buf, vec![0x11, 0x22, 0b1011_0110, 0b1000_0000, 0xAB]);
+    }
+
+    #[test]
+    fn sink_and_writer_produce_identical_streams() {
+        let fields: [(u64, u32); 5] = [
+            (0b101, 3),
+            (0xFFFF_FFFF, 32),
+            (0x1234_5678_9ABC_DEF0, 64),
+            (1, 1),
+            (0x7F, 7),
+        ];
+        let mut w = BitWriter::new();
+        let mut buf = Vec::new();
+        let mut s = BitSink::new(&mut buf);
+        for &(v, n) in &fields {
+            w.push_bits(v, n);
+            s.push_bits(v, n);
+        }
+        assert_eq!(w.into_bytes(), buf);
     }
 
     #[test]

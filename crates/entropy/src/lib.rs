@@ -19,5 +19,5 @@ pub mod lz77;
 pub mod range;
 pub mod zzip;
 
-pub use bits::{BitReader, BitWriter};
+pub use bits::{BitReader, BitSink, BitWriter};
 pub use range::{AdaptiveModel, RangeDecoder, RangeEncoder};

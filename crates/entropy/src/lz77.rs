@@ -56,6 +56,14 @@ fn hash4(data: &[u8], i: usize) -> usize {
 
 /// Compress `input` with the given effort configuration.
 pub fn compress(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
+    let mut out = Vec::new();
+    compress_into(input, cfg, &mut out);
+    out
+}
+
+/// Like [`compress`] but into a caller-owned buffer (contents replaced,
+/// capacity reused) — the zero-copy `Compressor::compress_into` hot path.
+pub fn compress_into(input: &[u8], cfg: Lz77Config, out: &mut Vec<u8>) {
     assert!(cfg.window >= MIN_MATCH && cfg.window <= MAX_WINDOW);
     let offset_bytes: usize = if cfg.window <= u16::MAX as usize {
         2
@@ -63,7 +71,8 @@ pub fn compress(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
         3
     };
     let n = input.len();
-    let mut out = Vec::with_capacity(n / 2 + 16);
+    out.clear();
+    out.reserve(n / 2 + 16);
     out.push(offset_bytes as u8);
 
     // Pending group of up to 8 items sharing one control byte.
@@ -157,7 +166,7 @@ pub fn compress(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
             } else {
                 MIN_MATCH + 255 + (code_len - 255).min(u16::MAX as usize)
             };
-            pending.push(true, &item, &mut out);
+            pending.push(true, &item, out);
 
             // Insert skipped positions into the chain (sparsely for speed).
             let end = i + actual_len;
@@ -170,12 +179,11 @@ pub fn compress(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
             }
             i = end;
         } else {
-            pending.push(false, &[input[i]], &mut out);
+            pending.push(false, &[input[i]], out);
             i += 1;
         }
     }
-    pending.flush(&mut out);
-    out
+    pending.flush(out);
 }
 
 /// Error from [`decompress`].

@@ -2,7 +2,7 @@
 //! frequency models.
 //!
 //! fpzip encodes residual sign/leading-zero symbols with "a fast range
-//! coding method [49]" (§3.1); Dzip drives the same coder with
+//! coding method \[49\]" (§3.1); Dzip drives the same coder with
 //! RNN-predicted distributions (§4.5). Range coding is the byte-oriented
 //! formulation of arithmetic coding (§2.2(3)).
 

@@ -7,7 +7,7 @@
 //! ndzip-GPU). The simulator reproduces that distinction by modelling
 //! every `h2d`/`d2h` against link bandwidth + latency and accumulating the
 //! cost in a ledger the codecs expose through
-//! [`fcbench_core`]-style aux-time reporting.
+//! `fcbench_core`-style aux-time reporting.
 
 use crate::config::GpuConfig;
 use parking_lot::Mutex;

@@ -7,8 +7,8 @@
 //! ```
 
 use fcbench::core::Compressor;
-use fcbench::cpu::{Bitshuffle, Chimp, Gorilla};
 use fcbench::dbsim::{measure_three_primitives, ColumnData};
+use fcbench_bench::codecs::paper_registry;
 
 fn main() {
     // An orders-like table: price, quantity, discount columns.
@@ -33,11 +33,11 @@ fn main() {
     let raw_bytes: usize = columns.iter().map(|c| c.bytes.len()).sum();
     println!("table: {rows} rows x 3 columns = {raw_bytes} bytes\n");
 
-    let codecs: Vec<Box<dyn Compressor>> = vec![
-        Box::new(Gorilla::new()),
-        Box::new(Chimp::new()),
-        Box::new(Bitshuffle::zzip()),
-    ];
+    let registry = paper_registry();
+    let codecs: Vec<_> = ["gorilla", "chimp128", "bitshuffle-zstd"]
+        .iter()
+        .map(|name| registry.get(name).expect("registered codec"))
+        .collect();
     // The paper's Table 10 page sizes, in elements (8-byte doubles).
     let pages = [(512usize, "4K"), (8192, "64K"), (1 << 20, "8M")];
 

@@ -1,12 +1,14 @@
-//! Quickstart: compress a floating-point series losslessly, inspect the
-//! ratio, decompress, and verify bit-exactness.
+//! Quickstart: look codecs up in the registry, compress a floating-point
+//! series losslessly through the zero-copy `_into` API, inspect the ratio,
+//! decompress, verify bit-exactness — then run the same data through the
+//! block-parallel pipeline and its chunked `FCB2` frame.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use fcbench::core::{frame, Compressor, Domain, FloatData};
-use fcbench::cpu::{Bitshuffle, Chimp, Gorilla};
+use fcbench::core::{frame, Domain, FloatData, Pipeline};
+use fcbench_bench::codecs::paper_registry;
 
 fn main() {
     // A sensor-like series: slow oscillation plus a small random walk,
@@ -31,34 +33,59 @@ fn main() {
         data.bytes().len()
     );
 
-    for codec in [
-        Box::new(Gorilla::new()) as Box<dyn Compressor>,
-        Box::new(Chimp::new()),
-        Box::new(Bitshuffle::zzip()),
-    ] {
+    // The registry is the single catalogue of methods: look codecs up by
+    // their Table 1 names and reuse one payload/output buffer pair across
+    // all of them (the steady-state loop allocates nothing for gorilla
+    // and chimp).
+    let registry = paper_registry();
+    let mut payload = Vec::new();
+    let mut restored = FloatData::scratch();
+    for name in ["gorilla", "chimp128", "bitshuffle-zstd"] {
+        let codec = registry.get(name).expect("registered codec");
         let t0 = std::time::Instant::now();
-        let payload = codec.compress(&data).expect("compress");
+        let n = codec.compress_into(&data, &mut payload).expect("compress");
         let dt = t0.elapsed();
-        let restored = codec.decompress(&payload, data.desc()).expect("decompress");
+        codec
+            .decompress_into(&payload[..n], data.desc(), &mut restored)
+            .expect("decompress");
         assert_eq!(restored.bytes(), data.bytes(), "lossless round trip");
         println!(
             "{:<16} ratio {:.3}  ({} -> {} bytes, {:.1} ms, bit-exact)",
-            codec.info().name,
-            data.bytes().len() as f64 / payload.len() as f64,
+            name,
+            data.bytes().len() as f64 / n as f64,
             data.bytes().len(),
-            payload.len(),
+            n,
             dt.as_secs_f64() * 1e3
         );
     }
 
     // Self-describing frames carry codec + shape, so a reader needs no
     // out-of-band metadata.
-    let codec = Gorilla::new();
-    let framed = frame::compress_framed(&codec, &data).expect("frame");
-    let back = frame::decompress_framed(&codec, &framed).expect("unframe");
+    let gorilla = registry.get("gorilla").expect("registered codec");
+    let framed = frame::compress_framed(&gorilla, &data).expect("frame");
+    let back = frame::decompress_framed(&gorilla, &framed).expect("unframe");
     assert_eq!(back.bytes(), data.bytes());
     println!(
-        "\nframed stream: {} bytes (self-describing container)",
+        "\nframed stream: {} bytes (self-describing FCB1 container)",
         framed.len()
+    );
+
+    // The pipeline splits the stream into fixed-size blocks, compresses
+    // them on a worker pool, and emits the chunked FCB2 frame.
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    let pipeline = Pipeline::new(&registry, "chimp128")
+        .expect("registered codec")
+        .block_elems(16 * 1024)
+        .threads(threads);
+    let t0 = std::time::Instant::now();
+    let chunked = pipeline.compress(&data).expect("pipeline compress");
+    let dt = t0.elapsed();
+    let back = pipeline.decompress(&chunked).expect("pipeline decompress");
+    assert_eq!(back.bytes(), data.bytes());
+    println!(
+        "pipeline (chimp128, 16Ki-element blocks, {threads} threads): \
+         {} bytes FCB2 frame in {:.1} ms, bit-exact",
+        chunked.len(),
+        dt.as_secs_f64() * 1e3
     );
 }

@@ -7,8 +7,7 @@
 //! ```
 
 use fcbench::core::{Compressor, Domain, FloatData};
-use fcbench::cpu::{Fpzip, Ndzip};
-use fcbench::gpu::NdzipGpu;
+use fcbench_bench::codecs::paper_registry;
 
 fn main() {
     // A smooth 64x64x64 field: two superposed waves plus a mild gradient,
@@ -37,11 +36,11 @@ fn main() {
     let field = FloatData::from_f32(&values, vec![n, n, n], Domain::Hpc).expect("consistent dims");
     println!("3-D field: {n}^3 f32 = {} bytes\n", field.bytes().len());
 
-    let codecs: Vec<Box<dyn Compressor>> = vec![
-        Box::new(Fpzip::new()),
-        Box::new(Ndzip::new()),
-        Box::new(NdzipGpu::new()),
-    ];
+    let registry = paper_registry();
+    let codecs: Vec<_> = ["fpzip", "ndzip-cpu", "ndzip-gpu"]
+        .iter()
+        .map(|name| registry.get(name).expect("registered codec"))
+        .collect();
 
     println!(
         "{:<12} {:>10} {:>10}  (3-D vs flattened-1-D ratio)",
@@ -80,7 +79,7 @@ fn main() {
     );
 
     // GPU end-to-end cost: kernel + modelled PCIe transfers (Table 6's point).
-    let gpu = NdzipGpu::new();
+    let gpu = registry.get("ndzip-gpu").expect("registered codec");
     let t0 = std::time::Instant::now();
     let payload = gpu.compress(&field).expect("compress");
     let kernel = t0.elapsed().as_secs_f64();

@@ -7,7 +7,8 @@
 //! ```
 
 use fcbench::core::{Compressor, Domain, FloatData};
-use fcbench::cpu::{Buff, BuffView, Chimp, Gorilla};
+use fcbench::cpu::BuffView;
+use fcbench_bench::codecs::paper_registry;
 
 fn main() {
     // Server-monitoring telemetry: CPU temperatures with one decimal,
@@ -36,11 +37,9 @@ fn main() {
         values.len(),
         data.bytes().len()
     );
-    for codec in [
-        Box::new(Gorilla::new()) as Box<dyn Compressor>,
-        Box::new(Chimp::new()),
-        Box::new(Buff::new()),
-    ] {
+    let registry = paper_registry();
+    for name in ["gorilla", "chimp128", "buff"] {
+        let codec = registry.get(name).expect("registered codec");
         let payload = codec.compress(&data).expect("compress");
         assert_eq!(
             codec
@@ -58,7 +57,7 @@ fn main() {
 
     // BUFF: query without decoding. Find overheating readings (rare —
     // selective predicates are where byte-plane skipping shines).
-    let buff = Buff::new();
+    let buff = registry.get("buff").expect("registered codec");
     let payload = buff.compress(&data).expect("compress");
     let view = BuffView::parse(&payload).expect("parse view");
 

@@ -4,23 +4,21 @@
 use fcbench::core::{Compressor, DataDesc, Domain, FloatData, Precision};
 use proptest::prelude::*;
 
+/// The proptest codec set, drawn from the registry: BUFF is excluded
+/// (it legitimately rejects arbitrary bit patterns) and ndzip-gpu is
+/// excluded for run time, as before; the thread-scalable CPU codecs run
+/// with 2 workers to exercise their parallel paths.
 fn all_codecs() -> Vec<Box<dyn Compressor>> {
-    use fcbench::cpu::{Bitshuffle, Chimp, Fpzip, Gorilla, Ndzip, Pfpc, Spdp};
-    use fcbench::gpu::{Gfc, Mpc, NvBitcomp, NvLz4};
-    vec![
-        Box::new(Pfpc::with_threads(2)),
-        Box::new(Spdp::new()),
-        Box::new(Fpzip::new()),
-        Box::new(Bitshuffle::lz4()),
-        Box::new(Bitshuffle::zzip()),
-        Box::new(Ndzip::with_threads(2)),
-        Box::new(Gorilla::new()),
-        Box::new(Chimp::new()),
-        Box::new(Gfc::with_config(Default::default(), usize::MAX)),
-        Box::new(Mpc::new()),
-        Box::new(NvLz4::new()),
-        Box::new(NvBitcomp::new()),
-    ]
+    let registry = fcbench_bench::codecs::paper_registry();
+    let mut out: Vec<Box<dyn Compressor>> = Vec::new();
+    for entry in registry.iter() {
+        match entry.name() {
+            "buff" | "ndzip-gpu" => {}
+            "pfpc" | "ndzip-cpu" => out.push(registry.scaled(entry.name(), 2).expect("scalable")),
+            _ => out.push(Box::new(entry.codec().clone())),
+        }
+    }
+    out
 }
 
 /// Any f64 bit pattern, including NaNs with payloads and denormals.
@@ -96,7 +94,8 @@ const SPECIAL_F32: [u32; 16] = [
 /// must round-trip bit-exactly; a refusal must be a typed error (enforced by
 /// the `Result` type itself — any panic fails the test).
 fn assert_roundtrip_or_typed_error(data: &FloatData, context: &str) {
-    for codec in fcbench_bench::codecs::all_codecs() {
+    let registry = fcbench_bench::codecs::paper_registry();
+    for codec in registry.codecs() {
         let name = codec.info().name;
         match codec.compress(data) {
             Ok(payload) => {

@@ -4,25 +4,12 @@
 use fcbench::core::{frame, Compressor, Domain, FloatData};
 use fcbench::datasets::{catalog, generate};
 
+/// All 14 paper methods, consumed through the shared registry.
 fn all_codecs() -> Vec<Box<dyn Compressor>> {
-    use fcbench::cpu::{Bitshuffle, Buff, Chimp, Fpzip, Gorilla, Ndzip, Pfpc, Spdp};
-    use fcbench::gpu::{Gfc, Mpc, NdzipGpu, NvBitcomp, NvLz4};
-    vec![
-        Box::new(Pfpc::new()),
-        Box::new(Spdp::new()),
-        Box::new(Fpzip::new()),
-        Box::new(Bitshuffle::lz4()),
-        Box::new(Bitshuffle::zzip()),
-        Box::new(Ndzip::new()),
-        Box::new(Buff::new()),
-        Box::new(Gorilla::new()),
-        Box::new(Chimp::new()),
-        Box::new(Gfc::with_config(Default::default(), usize::MAX)),
-        Box::new(Mpc::new()),
-        Box::new(NvLz4::new()),
-        Box::new(NvBitcomp::new()),
-        Box::new(NdzipGpu::new()),
-    ]
+    fcbench_bench::codecs::paper_registry()
+        .codecs()
+        .map(|c| Box::new(c.clone()) as Box<dyn Compressor>)
+        .collect()
 }
 
 /// One dataset per domain, small enough for a fast test run.
@@ -86,8 +73,9 @@ fn framed_streams_are_self_describing() {
 #[test]
 fn wrong_codec_refuses_foreign_frames() {
     let data = sample_datasets().remove(0);
-    let gorilla = fcbench::cpu::Gorilla::new();
-    let chimp = fcbench::cpu::Chimp::new();
+    let registry = fcbench_bench::codecs::paper_registry();
+    let gorilla = registry.get("gorilla").expect("registered");
+    let chimp = registry.get("chimp128").expect("registered");
     let framed = frame::compress_framed(&gorilla, &data).expect("frame");
     assert!(frame::decompress_framed(&chimp, &framed).is_err());
 }
