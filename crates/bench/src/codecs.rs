@@ -5,6 +5,10 @@
 //! - **block-capable** entries are the eight methods Table 10 sweeps over
 //!   block sizes ("algorithms that cannot be easily converted to work with
 //!   blocks" are omitted);
+//! - **thread-scalable** entries (the nine CPU methods) may be fanned out
+//!   block-parallel across the persistent `WorkerPool` engine; the five
+//!   GPU-simulated methods are left unmarked — their kernels already model
+//!   device-wide parallelism, so registry-built pipelines run them inline;
 //! - **scalable** entries carry the thread-count factories behind the
 //!   Tables 7–8 scalability sweeps.
 
@@ -27,13 +31,19 @@ pub fn paper_registry() -> CodecRegistry {
         .with(
             RegistryEntry::new(Pfpc::new())
                 .block_capable()
+                .thread_scalable()
                 .scalable(|t| Box::new(Pfpc::with_threads(t)) as Box<dyn Compressor>),
         )
-        .with(RegistryEntry::new(Spdp::new()).block_capable())
-        .with(Fpzip::new())
+        .with(
+            RegistryEntry::new(Spdp::new())
+                .block_capable()
+                .thread_scalable(),
+        )
+        .with(RegistryEntry::new(Fpzip::new()).thread_scalable())
         .with(
             RegistryEntry::new(Bitshuffle::lz4())
                 .block_capable()
+                .thread_scalable()
                 .scalable(|t| {
                     Box::new(Bitshuffle::with_config(Backend::Lz4, 64 * 1024, t))
                         as Box<dyn Compressor>
@@ -42,6 +52,7 @@ pub fn paper_registry() -> CodecRegistry {
         .with(
             RegistryEntry::new(Bitshuffle::zzip())
                 .block_capable()
+                .thread_scalable()
                 .scalable(|t| {
                     Box::new(Bitshuffle::with_config(Backend::Zzip, 64 * 1024, t))
                         as Box<dyn Compressor>
@@ -49,11 +60,20 @@ pub fn paper_registry() -> CodecRegistry {
         )
         .with(
             RegistryEntry::new(Ndzip::new())
+                .thread_scalable()
                 .scalable(|t| Box::new(Ndzip::with_threads(t)) as Box<dyn Compressor>),
         )
-        .with(Buff::new())
-        .with(RegistryEntry::new(Gorilla::new()).block_capable())
-        .with(RegistryEntry::new(Chimp::new()).block_capable())
+        .with(RegistryEntry::new(Buff::new()).thread_scalable())
+        .with(
+            RegistryEntry::new(Gorilla::new())
+                .block_capable()
+                .thread_scalable(),
+        )
+        .with(
+            RegistryEntry::new(Chimp::new())
+                .block_capable()
+                .thread_scalable(),
+        )
         .with(Gfc::with_config(Default::default(), usize::MAX))
         .with(Mpc::new())
         .with(RegistryEntry::new(NvLz4::new()).block_capable())
@@ -105,6 +125,35 @@ mod tests {
     #[test]
     fn block_table_has_eight_codecs() {
         assert_eq!(paper_registry().block_capable().count(), 8);
+    }
+
+    #[test]
+    fn the_nine_cpu_codecs_are_pool_dispatchable() {
+        let r = paper_registry();
+        let pooled: Vec<_> = r.thread_scalable().map(|e| e.name()).collect();
+        assert_eq!(
+            pooled,
+            vec![
+                "pfpc",
+                "spdp",
+                "fpzip",
+                "bitshuffle-lz4",
+                "bitshuffle-zstd",
+                "ndzip-cpu",
+                "buff",
+                "gorilla",
+                "chimp128",
+            ]
+        );
+        // Every pool-dispatchable entry is a CPU method, and no GPU-simulated
+        // method is pool-dispatchable (their kernels already model device
+        // parallelism).
+        for e in r.thread_scalable() {
+            assert_eq!(e.codec().info().platform, Platform::Cpu, "{}", e.name());
+        }
+        for e in r.by_platform(Platform::Gpu) {
+            assert!(!e.is_thread_scalable(), "{}", e.name());
+        }
     }
 
     #[test]

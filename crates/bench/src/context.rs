@@ -3,20 +3,30 @@
 //! consume.
 
 use crate::codecs::{paper_registry, GFC_INPUT_LIMIT};
-use fcbench_core::runner::{run_cell, CellOutcome, NamedData, RunConfig, RunMatrix};
+use fcbench_core::pool::{PoolConfig, WorkerPool};
+use fcbench_core::runner::{run_cell_pooled, CellOutcome, NamedData, RunConfig, RunMatrix};
 use fcbench_core::{CodecRegistry, Platform};
 use fcbench_datasets::{catalog, generate, DatasetSpec};
+use std::sync::Arc;
 
 /// Default elements per scaled dataset.
 pub const DEFAULT_ELEMS: usize = 1 << 17;
 
+/// Worker threads for the campaign's shared execution engine: enough to
+/// keep cells moving, capped so measurement hosts are not oversubscribed.
+pub fn engine_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
 /// Datasets + matrix for one benchmark campaign, plus the codec registry
-/// every experiment consumes (the single source of codec instances).
+/// every experiment consumes (the single source of codec instances) and
+/// the shared [`WorkerPool`] engine every cell executed on.
 pub struct Context {
     pub registry: CodecRegistry,
     pub specs: Vec<DatasetSpec>,
     pub datasets: Vec<NamedData>,
     pub matrix: RunMatrix,
+    pub pool: Arc<WorkerPool>,
 }
 
 impl Context {
@@ -29,7 +39,13 @@ impl Context {
     }
 }
 
-/// Generate all datasets and run the full 14 × 33 matrix.
+/// Generate all datasets and run the full 14 × 33 matrix **on the
+/// persistent worker-pool engine**: every cell's compress/decompress call
+/// is a job submitted to one shared warm [`WorkerPool`], so cells measure
+/// steady-state codec work (worker scratch and codec thread-locals persist
+/// across the whole campaign) rather than thread spawn and allocator
+/// churn. Payload bytes are identical to the direct codec calls — matrix
+/// jobs are not block-decomposed.
 ///
 /// GFC is gated on the *paper* byte size of each dataset (its original
 /// 512 MB device-buffer limit): scaled instances stand in for originals,
@@ -43,6 +59,7 @@ pub fn build_context(target_elems: usize, repetitions: usize) -> Context {
         .collect();
 
     let registry = paper_registry();
+    let pool = Arc::new(WorkerPool::new(PoolConfig::with_threads(engine_threads())));
     let cfg = RunConfig {
         repetitions,
         verify: true,
@@ -59,7 +76,7 @@ pub fn build_context(target_elems: usize, repetitions: usize) -> Context {
                 )));
                 continue;
             }
-            row.push(run_cell(entry.codec(), &ds.data, cfg));
+            row.push(run_cell_pooled(&pool, entry.codec(), &ds.data, cfg));
         }
         cells.push(row);
     }
@@ -73,6 +90,7 @@ pub fn build_context(target_elems: usize, repetitions: usize) -> Context {
         specs,
         datasets,
         matrix,
+        pool,
     }
 }
 

@@ -1,31 +1,32 @@
 //! Table 11: read + decode + query time on the TPC datasets, through the
-//! simulated in-memory database (§6.2.2).
+//! simulated in-memory database (§6.2.2). Container pages are compressed
+//! and decoded on a shared persistent worker-pool engine, the way a
+//! database integration would drive the codecs.
 
-use crate::context::render_table;
-use fcbench_core::{Compressor, Precision};
+use crate::codecs::paper_registry;
+use crate::context::{engine_threads, render_table};
+use fcbench_core::pool::{PoolConfig, WorkerPool};
+use fcbench_core::Precision;
 use fcbench_datasets::{catalog, generate};
-use fcbench_dbsim::{measure_three_primitives, ColumnData};
+use fcbench_dbsim::{measure_three_primitives_pooled, ColumnData};
 
-/// Codecs included in Table 11 (the paper omits BUFF and the nvCOMP
+/// Codec rows included in Table 11 (the paper omits BUFF and the nvCOMP
 /// binaries, which expose no block API in their harness; we keep the same
-/// row set).
-fn table11_codecs() -> Vec<Box<dyn Compressor>> {
-    use fcbench_codecs_cpu::{Bitshuffle, Chimp, Fpzip, Gorilla, Ndzip, Pfpc, Spdp};
-    use fcbench_codecs_gpu::{Gfc, Mpc, NdzipGpu};
-    vec![
-        Box::new(Pfpc::new()),
-        Box::new(Spdp::new()),
-        Box::new(Fpzip::new()),
-        Box::new(Bitshuffle::lz4()),
-        Box::new(Bitshuffle::zzip()),
-        Box::new(Ndzip::new()),
-        Box::new(Gorilla::new()),
-        Box::new(Chimp::new()),
-        Box::new(Gfc::with_config(Default::default(), usize::MAX)),
-        Box::new(Mpc::new()),
-        Box::new(NdzipGpu::new()),
-    ]
-}
+/// row set). Instances come from the registry, so the engine reuses the
+/// shared handles.
+const TABLE11_CODECS: [&str; 11] = [
+    "pfpc",
+    "spdp",
+    "fpzip",
+    "bitshuffle-lz4",
+    "bitshuffle-zstd",
+    "ndzip-cpu",
+    "gorilla",
+    "chimp128",
+    "gfc",
+    "mpc",
+    "ndzip-gpu",
+];
 
 /// Split a generated (rows × cols) dataset into dbsim columns.
 fn to_columns(data: &fcbench_core::FloatData) -> Vec<ColumnData> {
@@ -60,14 +61,15 @@ fn to_columns(data: &fcbench_core::FloatData) -> Vec<ColumnData> {
 /// Table 11 over the 7 TPC datasets at `target_elems`, with `chunk_elems`
 /// container pages.
 pub fn table11(target_elems: usize, chunk_elems: usize) -> String {
-    let codecs = table11_codecs();
+    let registry = paper_registry();
+    let pool = WorkerPool::new(PoolConfig::with_threads(engine_threads()));
     let tpc: Vec<_> = catalog()
         .into_iter()
         .filter(|s| s.domain == fcbench_core::Domain::Database)
         .collect();
 
     let mut headers = vec!["dataset".to_string()];
-    headers.extend(codecs.iter().map(|c| c.info().name.to_string()));
+    headers.extend(TABLE11_CODECS.iter().map(|c| c.to_string()));
     headers.push("query".to_string());
 
     let tmp = std::env::temp_dir();
@@ -77,14 +79,15 @@ pub fn table11(target_elems: usize, chunk_elems: usize) -> String {
         let columns = to_columns(&data);
         let mut row = vec![spec.name.to_string()];
         let mut query_ms = f64::NAN;
-        for codec in &codecs {
+        for name in TABLE11_CODECS {
+            let codec = registry.get(name).expect("registered codec");
             let path = tmp.join(format!(
                 "fcbench-t11-{}-{}-{}",
                 std::process::id(),
                 spec.name,
-                codec.info().name
+                name
             ));
-            match measure_three_primitives(&path, codec.as_ref(), &columns, chunk_elems) {
+            match measure_three_primitives_pooled(&path, &pool, &codec, &columns, chunk_elems) {
                 Ok(r) => {
                     row.push(format!(
                         "{:.1}+{:.1}",
@@ -101,8 +104,11 @@ pub fn table11(target_elems: usize, chunk_elems: usize) -> String {
         rows.push(row);
     }
 
-    let mut out =
-        String::from("Table 11: read (I/O + decode) and query time in ms from container files\n");
+    let mut out = format!(
+        "Table 11: read (I/O + decode) and query time in ms from container files\n\
+         (pages compressed/decoded on a shared {}-worker engine)\n",
+        pool.threads()
+    );
     out.push_str(&render_table(&headers, &rows));
     out.push_str(
         "\npaper shape: query time is codec-independent (identical decoded\n\

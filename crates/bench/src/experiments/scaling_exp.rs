@@ -4,7 +4,7 @@
 use crate::codecs::paper_registry;
 use crate::context::render_table;
 use fcbench_core::registry::CodecRegistry;
-use fcbench_core::scaling::{scaling_sweep, Direction, PAPER_THREAD_COUNTS};
+use fcbench_core::scaling::{pool_scaling_sweep, scaling_sweep, Direction, PAPER_THREAD_COUNTS};
 use fcbench_core::FloatData;
 use fcbench_datasets::{find, generate};
 
@@ -57,6 +57,57 @@ fn sweep_table(
     out
 }
 
+/// Engine thread counts for the block-parallel sweep: a prefix of the
+/// paper's ladder capped at 2x the host's cores — beyond that the pool
+/// only measures oversubscription.
+fn engine_thread_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    PAPER_THREAD_COUNTS
+        .iter()
+        .copied()
+        .filter(|&t| t <= (2 * cores).max(2))
+        .collect()
+}
+
+/// The execution-engine counterpart of Tables 7–8: serial codecs made
+/// block-parallel by fanning fixed-size blocks across the persistent
+/// `WorkerPool`, rather than by codec-internal threading.
+fn engine_sweep_table(registry: &CodecRegistry, data: &FloatData, reps: usize) -> String {
+    let names = ["gorilla", "chimp128", "spdp"];
+    let counts = engine_thread_counts();
+    let mut headers = vec!["engine threads".to_string()];
+    headers.extend(names.iter().map(|n| n.to_string()));
+
+    let curves: Vec<_> = names
+        .iter()
+        .map(|name| {
+            let codec = registry.get(name).expect("registered codec");
+            pool_scaling_sweep(&codec, data, &counts, 64 * 1024, Direction::Compress, reps)
+                .expect("serial codecs succeed on the sweep dataset")
+        })
+        .collect();
+
+    let rows: Vec<Vec<String>> = counts
+        .iter()
+        .enumerate()
+        .map(|(k, &t)| {
+            let mut row = vec![t.to_string()];
+            for c in &curves {
+                let p = &c.points[k];
+                row.push(format!("{:.0} MB/s {:.2}x", p.mb_per_s, p.speedup));
+            }
+            row
+        })
+        .collect();
+    let mut out = String::from(
+        "\nExecution-engine scaling: serial codecs fanned block-parallel across\n\
+         the persistent worker pool (64Ki-element blocks, pool spawned once per\n\
+         thread count, warm before timing)\n",
+    );
+    out.push_str(&render_table(&headers, &rows));
+    out
+}
+
 /// Tables 7 and 8 together.
 pub fn tables7_8(target_elems: usize, reps: usize) -> String {
     // The paper sweeps on large inputs; miranda3d-like smooth single data
@@ -74,6 +125,7 @@ pub fn tables7_8(target_elems: usize, reps: usize) -> String {
     out.push_str(&sweep_table(&registry, &data, Direction::Compress, reps));
     out.push_str("\nTable 8: parallel decompression throughput\n");
     out.push_str(&sweep_table(&registry, &data, Direction::Decompress, reps));
+    out.push_str(&engine_sweep_table(&registry, &data, reps));
     out.push_str(
         "\npaper shape: pFPC and both bitshuffles gain 3-4x up to 16-24 threads,\n\
          then decline from oversubscription; ndzip-CPU's reference implementation\n\

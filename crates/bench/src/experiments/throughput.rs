@@ -92,7 +92,12 @@ pub fn table5(ctx: &Context) -> String {
             ]
         })
         .collect();
-    let mut out = String::from("Table 5 / Figure 8: average (de)compression throughput\n");
+    let mut out = format!(
+        "Table 5 / Figure 8: average (de)compression throughput\n\
+         (cells executed as jobs on the campaign's shared {}-worker engine;\n\
+         workers stay warm across the whole matrix)\n",
+        ctx.pool.threads()
+    );
     out.push_str(&render_table(&headers, &rows));
     out.push_str(
         "\npaper shape: GPU methods fastest (nv-bitcomp, ndzip-gpu lead); serial\n\

@@ -131,10 +131,7 @@ fn main() {
                 let c = ctx.as_ref().expect("datasets built");
                 experiments::table9(&c.specs, &c.datasets)
             }
-            "table10" => {
-                let c = ctx.as_ref().expect("datasets built");
-                experiments::table10(&c.datasets)
-            }
+            "table10" => experiments::table10(ctx.as_ref().expect("datasets built")),
             "table11" => experiments::table11(opts.elems, 64 * 1024 / 8),
             "fig10" => experiments::fig10(opts.elems),
             "fig11" => experiments::fig11(opts.elems),

@@ -183,6 +183,9 @@ mod tests {
                 cells,
             },
             specs,
+            pool: std::sync::Arc::new(fcbench_core::WorkerPool::new(
+                fcbench_core::PoolConfig::with_threads(1),
+            )),
         }
     }
 

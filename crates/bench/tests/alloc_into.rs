@@ -10,6 +10,7 @@
 
 use fcbench_bench::alloc_track::{self, CountingAllocator};
 use fcbench_bench::codecs::paper_registry;
+use fcbench_core::pool::{PoolConfig, WorkerPool};
 use fcbench_core::{Domain, FloatData};
 
 #[global_allocator]
@@ -20,6 +21,8 @@ fn main() {
     println!("test gorilla_and_chimp_steady_state_loops_do_not_allocate ... ok");
     runner_reuses_buffers_across_repetitions();
     println!("test runner_reuses_buffers_across_repetitions ... ok");
+    warm_pool_submits_do_not_allocate_or_spawn();
+    println!("test warm_pool_submits_do_not_allocate_or_spawn ... ok");
 }
 
 fn telemetry(n: usize) -> FloatData {
@@ -75,6 +78,92 @@ fn gorilla_and_chimp_steady_state_loops_do_not_allocate() {
         );
         assert_eq!(out.bytes(), data.bytes(), "{name}: still bit-exact");
     }
+}
+
+/// The execution-engine guarantee behind the worker-pool refactor: once a
+/// pool is warm (slot buffers sized, worker thread-locals such as chimp's
+/// window scratch built), a steady-state `submit`/`collect` round performs
+/// **zero** heap allocations and **zero** thread spawns for gorilla and
+/// chimp — the pool executes codec work, nothing else.
+fn warm_pool_submits_do_not_allocate_or_spawn() {
+    alloc_track::mark_installed();
+    let registry = paper_registry();
+    let data = telemetry(4096);
+
+    // One worker: deterministic — every job (and chimp's thread-local
+    // window state) lands on the same warm worker.
+    let pool = WorkerPool::new(PoolConfig::with_threads(1).queue_depth(2));
+    for name in ["gorilla", "chimp128"] {
+        let codec = registry.get(name).expect("registered codec");
+        let mut payload = Vec::new();
+        let mut out = FloatData::scratch();
+
+        // Warm-up rounds: slot buffers, worker thread-locals, output shape.
+        for _ in 0..3 {
+            let n = pool
+                .run_compress(&codec, &data, &mut payload)
+                .expect("compress");
+            pool.run_decompress(&codec, &payload[..n], data.desc(), &mut out)
+                .expect("decompress");
+        }
+        assert_eq!(out.bytes(), data.bytes(), "{name}: warm-up round trip");
+        let spawned_before = pool.threads_spawned();
+
+        let (compress_allocs, _) = alloc_track::count_allocations(|| {
+            for _ in 0..10 {
+                std::hint::black_box(
+                    pool.run_compress(&codec, &data, &mut payload)
+                        .expect("compress"),
+                );
+            }
+        });
+        assert_eq!(
+            compress_allocs, 0,
+            "{name}: steady-state pool compress submits must not allocate"
+        );
+
+        let n = payload.len();
+        let (decompress_allocs, _) = alloc_track::count_allocations(|| {
+            for _ in 0..10 {
+                pool.run_decompress(&codec, &payload[..n], data.desc(), &mut out)
+                    .expect("decompress");
+            }
+        });
+        assert_eq!(
+            decompress_allocs, 0,
+            "{name}: steady-state pool decompress submits must not allocate"
+        );
+        assert_eq!(out.bytes(), data.bytes(), "{name}: still bit-exact");
+        assert_eq!(
+            pool.threads_spawned(),
+            spawned_before,
+            "{name}: submits must never spawn threads"
+        );
+    }
+
+    // Worker-local state aside (gorilla keeps none), the guarantee holds on
+    // a multi-worker pool too: slots are recycled LIFO, so a single
+    // in-flight job reuses one warm slot whichever worker serves it.
+    let pool = WorkerPool::new(PoolConfig::with_threads(2));
+    let gorilla = registry.get("gorilla").expect("registered codec");
+    let mut payload = Vec::new();
+    for _ in 0..4 {
+        pool.run_compress(&gorilla, &data, &mut payload)
+            .expect("compress");
+    }
+    let (allocs, _) = alloc_track::count_allocations(|| {
+        for _ in 0..10 {
+            std::hint::black_box(
+                pool.run_compress(&gorilla, &data, &mut payload)
+                    .expect("compress"),
+            );
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "gorilla: two-worker warm pool submits must not allocate"
+    );
+    assert_eq!(pool.threads_spawned(), 2);
 }
 
 fn runner_reuses_buffers_across_repetitions() {

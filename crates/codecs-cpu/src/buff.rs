@@ -253,6 +253,10 @@ impl Compressor for Buff {
     }
 
     fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        // The descriptor is untrusted (FCB1 frames and the runner hand it
+        // over unchecked): reject implausible output claims before anything
+        // is reserved against them.
+        fcbench_core::blocks::check_decode_claim(desc, payload.len())?;
         let view = BuffView::parse(payload)?;
         if view.count != desc.elements() {
             return Err(Error::Corrupt("buff: element count mismatch".into()));

@@ -389,6 +389,10 @@ impl Compressor for Chimp {
     }
 
     fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        // The descriptor is untrusted (FCB1 frames and the runner hand it
+        // over unchecked): reject implausible output claims before anything
+        // is reserved against them.
+        fcbench_core::blocks::check_decode_claim(desc, payload.len())?;
         let mut pos = 0usize;
         let count = read_u64(payload, &mut pos)
             .ok_or_else(|| Error::Corrupt("chimp: missing element count".into()))?

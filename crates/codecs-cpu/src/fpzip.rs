@@ -274,6 +274,10 @@ impl Compressor for Fpzip {
     }
 
     fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        // The descriptor is untrusted (FCB1 frames and the runner hand it
+        // over unchecked): reject implausible output claims before anything
+        // is reserved against them.
+        fcbench_core::blocks::check_decode_claim(desc, payload.len())?;
         let dims = effective_dims(desc);
         out.refill(desc, |bytes| {
             bytes.reserve(desc.byte_len());

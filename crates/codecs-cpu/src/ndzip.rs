@@ -367,6 +367,10 @@ impl Compressor for Ndzip {
     }
 
     fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        // The descriptor is untrusted (FCB1 frames and the runner hand it
+        // over unchecked): reject implausible output claims before anything
+        // is reserved against them.
+        fcbench_core::blocks::check_decode_claim(desc, payload.len())?;
         let elem_bits = desc.precision.bits();
         let esize = desc.precision.bytes();
         let dims = effective_dims(desc);

@@ -146,6 +146,10 @@ impl Compressor for Spdp {
     }
 
     fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        // The descriptor is untrusted (FCB1 frames and the runner hand it
+        // over unchecked): reject implausible output claims before anything
+        // is reserved against them.
+        fcbench_core::blocks::check_decode_claim(desc, payload.len())?;
         let s3 = lz77::decompress(payload, desc.byte_len())
             .map_err(|e| Error::Corrupt(e.to_string()))?;
         let s2 = lnvs1_inverse(&s3);

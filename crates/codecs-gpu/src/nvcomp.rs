@@ -170,6 +170,10 @@ impl Compressor for NvLz4 {
     }
 
     fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        // The descriptor is untrusted (FCB1 frames and the runner hand it
+        // over unchecked): reject implausible output claims before anything
+        // is reserved against them.
+        fcbench_core::blocks::check_decode_claim(desc, payload.len())?;
         out.refill(desc, |bytes| {
             self.inner
                 .decompress_pages(payload, desc.byte_len(), bytes, |page, raw| {
@@ -317,6 +321,10 @@ impl Compressor for NvBitcomp {
     }
 
     fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        // The descriptor is untrusted (FCB1 frames and the runner hand it
+        // over unchecked): reject implausible output claims before anything
+        // is reserved against them.
+        fcbench_core::blocks::check_decode_claim(desc, payload.len())?;
         out.refill(desc, |bytes| {
             self.inner
                 .decompress_pages(payload, desc.byte_len(), bytes, bitcomp_unpage)

@@ -62,13 +62,21 @@ impl<C: Compressor> BlockCodec<C> {
 /// need a sub-byte payload to hit it).
 const MAX_BLOCK_EXPANSION: usize = 1 << 20;
 
-/// Typed rejection for blocks whose descriptor claims vastly more output
-/// than their payload could decode to.
-pub(crate) fn check_block_plausible(bdesc: &DataDesc, payload_len: usize) -> Result<()> {
-    if bdesc.byte_len() / MAX_BLOCK_EXPANSION > payload_len {
+/// Typed rejection for a decode whose descriptor claims vastly more output
+/// than its payload could plausibly decode to.
+///
+/// Codecs typically reserve `desc.byte_len()` before decoding anything, so
+/// every `decompress_into` implementation calls this **before touching the
+/// allocator** — a tiny hostile payload carrying a petabyte-claiming
+/// descriptor (via an `FCB1` frame, the runner, or a direct codec call)
+/// gets a typed [`Error::Corrupt`] instead of forcing the reservation. The
+/// ceiling is far above any real compression ratio: a legitimate decode
+/// would need to expand a payload by over a million to trip it.
+pub fn check_decode_claim(desc: &DataDesc, payload_len: usize) -> Result<()> {
+    if desc.byte_len() / MAX_BLOCK_EXPANSION > payload_len {
         return Err(Error::Corrupt(format!(
             "descriptor claims {} decoded bytes from a {payload_len}-byte payload",
-            bdesc.byte_len()
+            desc.byte_len()
         )));
     }
     Ok(())
@@ -86,7 +94,7 @@ fn decode_block_scratch(
     scratch: &mut FloatData,
 ) -> Result<()> {
     let bdesc = DataDesc::new(desc.precision, vec![elems], desc.domain)?;
-    check_block_plausible(&bdesc, payload.len())?;
+    check_decode_claim(&bdesc, payload.len())?;
     codec.decompress_into(payload, &bdesc, scratch)?;
     if scratch.bytes().len() != bdesc.byte_len() {
         return Err(Error::Corrupt("block decoded to a wrong size".into()));
@@ -106,25 +114,6 @@ pub(crate) fn decode_block_into(
 ) -> Result<()> {
     decode_block_scratch(codec, desc, elems, payload, scratch)?;
     bytes.extend_from_slice(scratch.bytes());
-    Ok(())
-}
-
-/// [`decode_block_scratch`] + copy into a caller-owned output chunk: the
-/// step for parallel decoders whose workers own disjoint slices of the
-/// reassembled stream.
-pub(crate) fn decode_block_to_slice(
-    codec: &dyn Compressor,
-    desc: &DataDesc,
-    elems: usize,
-    payload: &[u8],
-    scratch: &mut FloatData,
-    chunk: &mut [u8],
-) -> Result<()> {
-    decode_block_scratch(codec, desc, elems, payload, scratch)?;
-    if scratch.bytes().len() != chunk.len() {
-        return Err(Error::Corrupt("block decoded to a wrong size".into()));
-    }
-    chunk.copy_from_slice(scratch.bytes());
     Ok(())
 }
 

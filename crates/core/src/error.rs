@@ -25,6 +25,9 @@ pub enum Error {
     TooManyDims { ndims: usize },
     /// Decompressed output did not match the original input byte-for-byte.
     LosslessViolation { codec: String },
+    /// A codec panicked inside a worker-pool job; the panic was caught and
+    /// the pool kept running, but the job is lost.
+    WorkerPanic(String),
     /// An I/O error from the on-disk container (message only, to stay `Clone`).
     Io(String),
 }
@@ -52,6 +55,9 @@ impl fmt::Display for Error {
                     f,
                     "codec {codec} violated losslessness (round-trip mismatch)"
                 )
+            }
+            Error::WorkerPanic(msg) => {
+                write!(f, "codec panicked in a pool worker: {msg}")
             }
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
         }
@@ -100,6 +106,13 @@ mod tests {
         let e = Error::TooManyDims { ndims: 1000 };
         assert!(e.to_string().contains("1000"));
         assert!(e.to_string().contains("255"));
+    }
+
+    #[test]
+    fn worker_panic_names_the_payload() {
+        let e = Error::WorkerPanic("index out of bounds".into());
+        assert!(e.to_string().contains("panicked"));
+        assert!(e.to_string().contains("index out of bounds"));
     }
 
     #[test]

@@ -37,12 +37,33 @@
 //! block lens       8 bytes each
 //! payloads         concatenated
 //! ```
+//!
+//! **`FCB3` — streamed chunks.** The on-wire form of `FCB2` for datasets
+//! that never need to be fully resident: the same shared header, but block
+//! records carry their own length inline so a writer can emit them as they
+//! are compressed (an `FCB2` frame front-loads every length, which forces
+//! the whole frame into memory). Produced and consumed by
+//! [`crate::stream::FrameWriter`] / [`crate::stream::FrameReader`]:
+//!
+//! ```text
+//! magic            4 bytes  "FCB3"
+//! codec name len   1 byte   n
+//! codec name       n bytes  UTF-8
+//! precision        1 byte
+//! domain           1 byte
+//! ndims            1 byte   d  (1..=255)
+//! dims             8*d bytes
+//! block elems      8 bytes  elements per block (>= 1)
+//! per block:       8-byte payload len, then the payload
+//!                  (block count is implied: ceil(elements / block elems))
+//! ```
 
 use crate::data::{DataDesc, Domain, FloatData, Precision};
 use crate::error::{Error, Result};
 
 const MAGIC_V1: &[u8; 4] = b"FCB1";
 const MAGIC_V2: &[u8; 4] = b"FCB2";
+const MAGIC_V3: &[u8; 4] = b"FCB3";
 
 /// Check that `name` and `desc` fit the frame header's single-byte length
 /// fields. The benchmark runner calls this up front so an unencodable cell
@@ -345,6 +366,53 @@ pub fn decode_chunked_frame(bytes: &[u8]) -> Result<ChunkedFrame<'_>> {
     })
 }
 
+/// Encode the streaming `FCB3` prologue — everything before the first
+/// block record.
+pub fn encode_stream_header(name: &str, desc: &DataDesc, block_elems: usize) -> Result<Vec<u8>> {
+    if block_elems == 0 {
+        return Err(Error::BadDescriptor("block_elems must be >= 1".into()));
+    }
+    let mut out = Vec::with_capacity(4 + 2 + name.len() + 3 + 8 * desc.dims.len() + 8);
+    encode_header(MAGIC_V3, name, desc, &mut out)?;
+    out.extend_from_slice(&(block_elems as u64).to_le_bytes());
+    Ok(out)
+}
+
+/// Decode a streaming `FCB3` prologue from `src`:
+/// `(codec name, descriptor, block elems)`. Reads exactly the prologue
+/// bytes, leaving `src` positioned at the first block record.
+pub fn decode_stream_header<R: std::io::Read>(src: &mut R) -> Result<(String, DataDesc, usize)> {
+    let mut magic = [0u8; 4];
+    src.read_exact(&mut magic)?;
+    if &magic != MAGIC_V3 {
+        return Err(Error::Corrupt("bad magic (expected FCB3)".into()));
+    }
+    // Accumulate the variable-length header and reuse the slice decoder
+    // (and all its validation).
+    let mut hdr = vec![0u8; 1];
+    src.read_exact(&mut hdr)?;
+    let name_len = hdr[0] as usize;
+    let mut at = hdr.len();
+    hdr.resize(at + name_len + 3, 0); // name, precision, domain, ndims
+    src.read_exact(&mut hdr[at..])?;
+    let ndims = *hdr.last().expect("non-empty header") as usize;
+    at = hdr.len();
+    hdr.resize(at + 8 * ndims, 0);
+    src.read_exact(&mut hdr[at..])?;
+    let mut pos = 0usize;
+    let (codec, desc) = decode_header(&hdr, &mut pos)?;
+    debug_assert_eq!(pos, hdr.len());
+
+    let mut be = [0u8; 8];
+    src.read_exact(&mut be)?;
+    let block_elems = u64::from_le_bytes(be);
+    let block_elems = usize::try_from(block_elems)
+        .ok()
+        .filter(|&b| b >= 1)
+        .ok_or_else(|| Error::Corrupt(format!("bad block size {block_elems}")))?;
+    Ok((codec, desc, block_elems))
+}
+
 /// Compress `data` with `codec` and wrap the result in an `FCB1` frame.
 pub fn compress_framed(codec: &dyn crate::codec::Compressor, data: &FloatData) -> Result<Vec<u8>> {
     let payload = codec.compress(data)?;
@@ -364,7 +432,7 @@ pub fn decompress_framed(codec: &dyn crate::codec::Compressor, bytes: &[u8]) -> 
     // Codecs typically reserve the descriptor's full byte length before
     // validating the payload, so gate implausible descriptors here — the
     // FCB1 counterpart of the pipeline's per-block check.
-    crate::blocks::check_block_plausible(&frame.desc, frame.payload.len())?;
+    crate::blocks::check_decode_claim(&frame.desc, frame.payload.len())?;
     codec.decompress(frame.payload, &frame.desc)
 }
 

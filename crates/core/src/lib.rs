@@ -11,9 +11,12 @@
 //!   and its buffer-reusing `compress_into`/`decompress_into` hot path;
 //! - the [codec registry](registry) (lookup by name, filtering by platform,
 //!   class, and precision);
-//! - the self-describing [frame] containers (`FCB1` single-shot and
-//!   `FCB2` chunked);
-//! - the chunked block-parallel [pipeline];
+//! - the self-describing [frame] containers (`FCB1` single-shot,
+//!   `FCB2` chunked, `FCB3` streamed);
+//! - the persistent [worker-pool execution engine](pool) every compression
+//!   job runs on;
+//! - the chunked block-parallel [pipeline], a façade over the pool;
+//! - [streaming frame I/O](stream) for datasets that exceed memory;
 //! - the paper's [metrics] (CR/CT/DT, harmonic/arithmetic means);
 //! - the benchmark [run matrix](runner) (codecs × datasets);
 //! - [boxplot & group summaries](summary) for Figures 5–6;
@@ -31,9 +34,11 @@ pub mod error;
 pub mod frame;
 pub mod metrics;
 pub mod pipeline;
+pub mod pool;
 pub mod registry;
 pub mod runner;
 pub mod scaling;
+pub mod stream;
 pub mod summary;
 
 pub use codec::{
@@ -44,5 +49,7 @@ pub use data::{DataDesc, Domain, FloatData, Precision};
 pub use error::{Error, Result};
 pub use metrics::Measurement;
 pub use pipeline::Pipeline;
+pub use pool::{PoolConfig, Ticket, WorkerPool};
 pub use registry::{CodecRegistry, RegistryEntry};
 pub use runner::{run_cell, run_matrix, CellOutcome, NamedData, RunConfig, RunMatrix};
+pub use stream::{FrameReader, FrameWriter};

@@ -1,17 +1,32 @@
-//! Chunked, block-parallel compression pipeline.
+//! Chunked, block-parallel compression pipeline — a thin façade over the
+//! persistent [`WorkerPool`] execution engine.
 //!
 //! [`Pipeline`] splits a [`FloatData`] element stream into fixed-size blocks
 //! (the discipline FCBench applies to its ndzip/GPU methods and the Table 10
-//! page study), compresses the blocks independently — in parallel across a
-//! configurable number of worker threads, each with its own reusable scratch
-//! buffers — and emits the self-describing chunked [`FCB2`
+//! page study), compresses the blocks independently, and emits the
+//! self-describing chunked [`FCB2`
 //! frame](crate::frame::encode_chunked_frame). Decompression reverses the
-//! process, fanning blocks back out to workers and reassembling the exact
-//! original bytes.
+//! process and reassembles the exact original bytes.
+//!
+//! With more than one thread configured, blocks are **submitted to a
+//! long-lived [`WorkerPool`]** rather than to per-call scoped threads: the
+//! pool is spawned once (lazily, on the first multi-block call) and reused
+//! by every subsequent call, so worker scratch — slot buffers, codec
+//! thread-locals such as chimp's window state — reaches steady state across
+//! calls instead of being rebuilt each time. Pipelines built from a
+//! [`CodecRegistry`] honour the entry's `thread_scalable` capability: codecs
+//! not marked for pool dispatch (e.g. the GPU-simulated methods, which
+//! already model device-wide parallelism) run inline regardless of the
+//! configured thread count.
+//!
+//! For datasets that should never be fully resident, the same engine drives
+//! the streaming [`FrameWriter`](crate::stream::FrameWriter) /
+//! [`FrameReader`](crate::stream::FrameReader) pair — see
+//! [`Pipeline::frame_writer`] and [`Pipeline::frame_reader`].
 //!
 //! ```
 //! use fcbench_core::pipeline::Pipeline;
-//! use fcbench_core::registry::CodecRegistry;
+//! use fcbench_core::registry::{CodecRegistry, RegistryEntry};
 //! use fcbench_core::{Domain, FloatData};
 //! # use fcbench_core::{codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport},
 //! #                    Compressor, DataDesc, Result};
@@ -27,7 +42,7 @@
 //! #         FloatData::from_bytes(desc.clone(), payload.to_vec())
 //! #     }
 //! # }
-//! let registry = CodecRegistry::new().with(Store);
+//! let registry = CodecRegistry::new().with(RegistryEntry::new(Store).thread_scalable());
 //! let pipeline = Pipeline::new(&registry, "store")
 //!     .unwrap()
 //!     .block_elems(64 * 1024)
@@ -43,26 +58,21 @@
 use crate::codec::Compressor;
 use crate::data::{DataDesc, FloatData};
 use crate::error::{Error, Result};
-use crate::frame::{
-    decode_chunked_frame, encode_chunked_frame_into, encode_chunked_frame_parts_into,
-};
+use crate::frame::{decode_chunked_frame, encode_chunked_frame_parts_into};
+use crate::pool::{PoolConfig, Ticket, WorkerPool};
 use crate::registry::CodecRegistry;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, OnceLock};
 
 /// Default elements per block: 64 Ki elements, the paper's bitshuffle/nvCOMP
 /// working-set scale.
 pub const DEFAULT_BLOCK_ELEMS: usize = 64 * 1024;
 
-/// Expansion ratio above which a frame's declared output size is treated as
-/// implausible and decoded incrementally instead of preallocated (none of
-/// the 14 codecs come near this on real data; only degenerate constant
-/// streams can legitimately exceed it, and those still decode correctly on
-/// the incremental path).
-const MAX_PLAUSIBLE_EXPANSION: usize = 4096;
-
-/// Cap on the speculative upfront reservation for incremental decoding.
+/// Cap on the speculative upfront reservation for decoding: output memory
+/// beyond this grows only with actually-decoded data, so a tiny hostile
+/// frame claiming petabytes cannot force a huge allocation. (Per-block
+/// output claims are additionally gated against payload plausibility —
+/// see [`crate::blocks::check_decode_claim`].)
 const MAX_UPFRONT_RESERVE: usize = 16 * 1024 * 1024;
 
 /// A configured block-parallel compression pipeline around one codec.
@@ -70,21 +80,49 @@ pub struct Pipeline {
     codec: Arc<dyn Compressor>,
     block_elems: usize,
     threads: usize,
+    /// `false` forces inline execution (registry entries not marked
+    /// `thread_scalable`).
+    pool_dispatch: bool,
+    /// The lazily-spawned private engine (unused when an external pool was
+    /// attached via [`Pipeline::with_pool`], which pre-fills it).
+    pool: OnceLock<Arc<WorkerPool>>,
 }
 
 impl Pipeline {
-    /// Build a pipeline around the registered codec `name`.
+    /// Build a pipeline around the registered codec `name`. Pool dispatch
+    /// is gated on the entry's `thread_scalable` capability: unmarked
+    /// codecs execute inline whatever [`threads`](Self::threads) says.
     pub fn new(registry: &CodecRegistry, name: &str) -> Result<Self> {
-        Ok(Self::with_codec(registry.require(name)?))
+        let entry = registry
+            .entry(name)
+            .ok_or_else(|| Error::Unsupported(format!("codec {name:?} is not registered")))?;
+        let mut p = Self::with_codec(Arc::clone(entry.codec()));
+        p.pool_dispatch = entry.is_thread_scalable();
+        Ok(p)
     }
 
-    /// Build a pipeline around an explicit codec handle.
+    /// Build a pipeline around an explicit codec handle (pool dispatch
+    /// ungated).
     pub fn with_codec(codec: Arc<dyn Compressor>) -> Self {
         Pipeline {
             codec,
             block_elems: DEFAULT_BLOCK_ELEMS,
             threads: 1,
+            pool_dispatch: true,
+            pool: OnceLock::new(),
         }
+    }
+
+    /// Build a pipeline that shares an existing [`WorkerPool`] instead of
+    /// owning one — the way to drive many codecs through a single warm
+    /// engine. The thread count defaults to the pool's.
+    pub fn with_pool(codec: Arc<dyn Compressor>, pool: Arc<WorkerPool>) -> Self {
+        let mut p = Self::with_codec(codec);
+        p.threads = pool.threads();
+        p.pool
+            .set(pool)
+            .unwrap_or_else(|_| unreachable!("freshly created OnceLock is empty"));
+        p
     }
 
     /// Set the block size in elements (clamped to at least 1).
@@ -106,19 +144,32 @@ impl Pipeline {
         &self.codec
     }
 
-    /// Descriptor for block `i` of a stream shaped like `desc`.
-    fn block_desc(&self, desc: &DataDesc, i: usize, nblocks: usize) -> DataDesc {
-        let total = desc.elements();
-        let elems = if i + 1 == nblocks {
-            total - i * self.block_elems
+    /// The configured block size in elements.
+    pub fn block_size(&self) -> usize {
+        self.block_elems
+    }
+
+    /// The thread count the engine will actually use: the configured count,
+    /// or 1 when the registry gated this codec off pool dispatch.
+    pub fn effective_threads(&self) -> usize {
+        if self.pool_dispatch {
+            self.threads
         } else {
-            self.block_elems
-        };
-        DataDesc {
-            precision: desc.precision,
-            dims: vec![elems],
-            domain: desc.domain,
+            1
         }
+    }
+
+    /// The execution engine, spawned on first use. `None` means inline
+    /// execution (single thread, or pool dispatch gated off).
+    pub fn engine(&self) -> Option<&Arc<WorkerPool>> {
+        if self.effective_threads() <= 1 {
+            return None;
+        }
+        Some(self.pool.get_or_init(|| {
+            Arc::new(WorkerPool::new(
+                PoolConfig::with_threads(self.threads).block_elems(self.block_elems),
+            ))
+        }))
     }
 
     /// Compress `data` into a freshly allocated `FCB2` frame.
@@ -139,7 +190,8 @@ impl Pipeline {
         let nblocks = data.elements().div_ceil(self.block_elems);
         let bytes = data.bytes();
 
-        if self.threads <= 1 || nblocks <= 1 {
+        let pool = if nblocks > 1 { self.engine() } else { None };
+        let Some(pool) = pool else {
             // Inline path: reusable scratch + payload buffer, contiguous
             // blob — no per-block allocation.
             let (lens, blob) =
@@ -152,62 +204,75 @@ impl Pipeline {
                 &blob,
                 out,
             );
-        }
-
-        let payloads: Vec<Vec<u8>> = {
-            let next = AtomicUsize::new(0);
-            let stop = AtomicBool::new(false);
-            let results: Mutex<Vec<Option<Vec<u8>>>> =
-                Mutex::new((0..nblocks).map(|_| None).collect());
-            let first_err: Mutex<Option<Error>> = Mutex::new(None);
-            let workers = self.threads.min(nblocks);
-
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| {
-                        // Per-worker reusable input scratch; payload buffers
-                        // are per block because the frame keeps them all.
-                        let mut scratch = FloatData::scratch();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= nblocks || stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let start = i * bpb;
-                            let end = (start + bpb).min(bytes.len());
-                            let bdesc = self.block_desc(desc, i, nblocks);
-                            let mut payload = Vec::new();
-                            let r = scratch
-                                .refill_from_slice(&bdesc, &bytes[start..end])
-                                .and_then(|()| self.codec.compress_into(&scratch, &mut payload));
-                            match r {
-                                Ok(_) => results.lock()[i] = Some(payload),
-                                Err(e) => {
-                                    stop.store(true, Ordering::Relaxed);
-                                    first_err.lock().get_or_insert(e);
-                                    break;
-                                }
-                            }
-                        }
-                    });
-                }
-            });
-
-            if let Some(e) = first_err.into_inner() {
-                return Err(e);
-            }
-            results
-                .into_inner()
-                .into_iter()
-                .map(|p| p.ok_or_else(|| Error::Corrupt("pipeline worker dropped a block".into())))
-                .collect::<Result<Vec<_>>>()?
         };
 
-        encode_chunked_frame_into(
+        // Engine path: feed blocks to the persistent pool, collecting
+        // completed payloads in submission order so the queue stays at most
+        // `queue_depth` deep. Workers reuse warm slot buffers; this loop
+        // owns only the (lens, blob) accumulator the frame is built from.
+        // `submit_compress_draining` applies the saturation discipline:
+        // when the pool is full, the drain closure collects our own oldest
+        // block instead of blocking with tickets in hand.
+        let mut lens: Vec<usize> = Vec::with_capacity(nblocks);
+        let mut blob: Vec<u8> = Vec::new();
+        let mut pending: VecDeque<Ticket> = VecDeque::with_capacity(pool.queue_depth());
+        let mut first_err: Option<Error> = None;
+        let mut bdesc = DataDesc {
+            precision: desc.precision,
+            dims: vec![0],
+            domain: desc.domain,
+        };
+
+        /// Collect the oldest in-flight block into (lens, blob); `false`
+        /// when nothing is in flight.
+        fn collect_front(
+            pending: &mut VecDeque<Ticket>,
+            lens: &mut Vec<usize>,
+            blob: &mut Vec<u8>,
+        ) -> Result<bool> {
+            let Some(ticket) = pending.pop_front() else {
+                return Ok(false);
+            };
+            let n = ticket.collect(|payload| {
+                blob.extend_from_slice(payload);
+                payload.len()
+            })?;
+            lens.push(n);
+            Ok(true)
+        }
+
+        for i in 0..nblocks {
+            let start = i * bpb;
+            let end = (start + bpb).min(bytes.len());
+            bdesc.dims[0] = (end - start) / esize;
+            let block = &bytes[start..end];
+            let submitted = pool.submit_compress_draining(&self.codec, &bdesc, block, || {
+                collect_front(&mut pending, &mut lens, &mut blob)
+            });
+            match submitted {
+                Ok(t) => pending.push_back(t),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Always empty the queue — outstanding slots must be recycled even
+        // after an error (their results are discarded past the first error).
+        while !pending.is_empty() {
+            if let Err(e) = collect_front(&mut pending, &mut lens, &mut blob) {
+                let _ = first_err.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        encode_chunked_frame_parts_into(
             self.codec.info().name,
             desc,
             self.block_elems,
-            &payloads,
+            &lens,
+            &blob,
             out,
         )
     }
@@ -223,7 +288,11 @@ impl Pipeline {
     /// Decode an `FCB2` frame into a reusable container.
     ///
     /// The frame's block size takes precedence over the pipeline's
-    /// configured one — frames are self-describing.
+    /// configured one — frames are self-describing. Every declared size in
+    /// the frame is untrusted: per-block output claims are gated against
+    /// payload plausibility before any codec runs, and output memory is
+    /// reserved incrementally, so a tiny hostile frame cannot force a huge
+    /// allocation.
     pub fn decompress_into(&self, frame: &[u8], out: &mut FloatData) -> Result<()> {
         let frame = decode_chunked_frame(frame)?;
         let name = self.codec.info().name;
@@ -234,34 +303,16 @@ impl Pipeline {
             )));
         }
         let desc = frame.desc.clone();
-        let esize = desc.precision.bytes();
-        // Saturate: a hostile frame can declare a block size up to u64::MAX;
-        // the decoder only guarantees block_elems >= 1 and a consistent block
-        // count, so the multiply must not overflow. block_elems beyond the
-        // element count implies one block, where any bpb >= byte_len chunks
-        // identically.
-        let bpb = frame.block_elems.saturating_mul(esize);
         let nblocks = frame.payloads.len();
-
-        // The frame's declared output size is untrusted: a tiny hostile
-        // frame may claim petabytes. The parallel path needs the full
-        // output buffer up front (disjoint `chunks_mut`), so it is reserved
-        // for frames whose claim is plausible against the payload bytes
-        // present; anything beyond that ratio — hostile, or legitimately
-        // ultra-compressible — takes the inline path, whose allocation
-        // grows only with actually-decoded data. A frame that passes this
-        // gate can still force the parallel-path allocation before its
-        // blocks fail to decode, but only up to MAX_PLAUSIBLE_EXPANSION
-        // times the bytes the caller already holds in memory.
-        let payload_total: usize = frame.payloads.iter().map(|p| p.len()).sum();
-        let plausible = desc.byte_len() / MAX_PLAUSIBLE_EXPANSION <= payload_total;
+        let pool = if nblocks > 1 { self.engine() } else { None };
 
         out.refill(&desc, |bytes| {
-            if self.threads <= 1 || nblocks <= 1 || !plausible {
-                // Inline path: append blocks in stream order — no zero-fill
-                // of the output, every byte is written exactly once.
-                // (`refill` hands the closure an already-cleared buffer.)
-                bytes.reserve(desc.byte_len().min(MAX_UPFRONT_RESERVE));
+            // Blocks are appended in stream order — no zero-fill of the
+            // output, every byte written exactly once, allocation growth
+            // bounded by actually-decoded data.
+            bytes.reserve(desc.byte_len().min(MAX_UPFRONT_RESERVE));
+
+            let Some(pool) = pool else {
                 let mut scratch = FloatData::scratch();
                 for (i, payload) in frame.payloads.iter().enumerate() {
                     crate::blocks::decode_block_into(
@@ -274,59 +325,78 @@ impl Pipeline {
                     )?;
                 }
                 return Ok(());
+            };
+
+            // Engine path: workers decode blocks concurrently (each gated
+            // for plausibility and size-checked); collection in submission
+            // order reassembles the stream, with the same saturation
+            // discipline as the compress path.
+            let mut pending: VecDeque<Ticket> = VecDeque::with_capacity(pool.queue_depth());
+            let mut first_err: Option<Error> = None;
+            let mut bdesc = DataDesc {
+                precision: desc.precision,
+                dims: vec![0],
+                domain: desc.domain,
+            };
+
+            /// Append the oldest in-flight decoded block; `false` when
+            /// nothing is in flight.
+            fn collect_front(pending: &mut VecDeque<Ticket>, bytes: &mut Vec<u8>) -> Result<bool> {
+                let Some(ticket) = pending.pop_front() else {
+                    return Ok(false);
+                };
+                ticket.collect(|decoded| bytes.extend_from_slice(decoded))?;
+                Ok(true)
             }
-            bytes.resize(desc.byte_len(), 0);
 
-            // Parallel path: hand each (output chunk, payload) pair to the
-            // worker pool; chunks are disjoint `&mut` slices so workers
-            // write the reassembled stream without further coordination.
-            let mut items: Vec<(usize, &mut [u8], &[u8])> = bytes
-                .chunks_mut(bpb)
-                .zip(frame.payloads.iter().copied())
-                .enumerate()
-                .map(|(i, (chunk, payload))| (i, chunk, payload))
-                .collect();
-            items.reverse(); // pop() then hands blocks out in stream order
-            let work = Mutex::new(items);
-            let stop = AtomicBool::new(false);
-            let first_err: Mutex<Option<Error>> = Mutex::new(None);
-            let workers = self.threads.min(nblocks);
-            let frame = &frame;
-
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| {
-                        let mut scratch = FloatData::scratch();
-                        loop {
-                            if stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let Some((i, chunk, payload)) = work.lock().pop() else {
-                                break;
-                            };
-                            let r = crate::blocks::decode_block_to_slice(
-                                &*self.codec,
-                                &desc,
-                                frame.block_len(i),
-                                payload,
-                                &mut scratch,
-                                chunk,
-                            );
-                            if let Err(e) = r {
-                                stop.store(true, Ordering::Relaxed);
-                                first_err.lock().get_or_insert(e);
-                                break;
-                            }
-                        }
+            for (i, payload) in frame.payloads.iter().enumerate() {
+                bdesc.dims[0] = frame.block_len(i);
+                let submitted =
+                    pool.submit_decompress_draining(&self.codec, &bdesc, payload, || {
+                        collect_front(&mut pending, bytes)
                     });
+                match submitted {
+                    Ok(t) => pending.push_back(t),
+                    Err(e) => {
+                        first_err = Some(e);
+                        break;
+                    }
                 }
-            });
-
-            match first_err.into_inner() {
+            }
+            while !pending.is_empty() {
+                if let Err(e) = collect_front(&mut pending, bytes) {
+                    let _ = first_err.get_or_insert(e);
+                }
+            }
+            match first_err {
                 Some(e) => Err(e),
                 None => Ok(()),
             }
         })
+    }
+
+    /// A streaming `FCB3` writer over this pipeline's codec, block size, and
+    /// engine: element bytes go in chunk-by-chunk, compressed block records
+    /// come out on `sink`, and the dataset is never fully resident.
+    pub fn frame_writer<W: std::io::Write>(
+        &self,
+        desc: &DataDesc,
+        sink: W,
+    ) -> Result<crate::stream::FrameWriter<W>> {
+        crate::stream::FrameWriter::new(
+            sink,
+            Arc::clone(&self.codec),
+            desc.clone(),
+            self.block_elems,
+            self.engine().cloned(),
+        )
+    }
+
+    /// A streaming `FCB3` reader over this pipeline's codec and engine;
+    /// decoded blocks come out in stream order, read-ahead bounded by the
+    /// engine's queue depth.
+    pub fn frame_reader<R: std::io::Read>(&self, src: R) -> Result<crate::stream::FrameReader<R>> {
+        crate::stream::FrameReader::new(src, Arc::clone(&self.codec), self.engine().cloned())
     }
 }
 
@@ -335,7 +405,7 @@ mod tests {
     use super::*;
     use crate::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
     use crate::data::Domain;
-    use crate::registry::CodecRegistry;
+    use crate::registry::{CodecRegistry, RegistryEntry};
 
     /// Store codec with a 2-byte header so block boundaries are observable.
     struct HeaderedStore;
@@ -372,7 +442,7 @@ mod tests {
     }
 
     fn registry() -> CodecRegistry {
-        CodecRegistry::new().with(HeaderedStore)
+        CodecRegistry::new().with(RegistryEntry::new(HeaderedStore).thread_scalable())
     }
 
     fn sample(n: usize) -> FloatData {
@@ -415,6 +485,92 @@ mod tests {
                 );
                 assert_eq!(back.desc(), data.desc());
             }
+        }
+    }
+
+    #[test]
+    fn repeated_calls_reuse_one_engine() {
+        let r = registry();
+        let p = Pipeline::new(&r, "hstore")
+            .unwrap()
+            .block_elems(64)
+            .threads(4);
+        let data = sample(1000);
+        let mut frame = Vec::new();
+        let mut out = FloatData::scratch();
+        for _ in 0..5 {
+            p.compress_into(&data, &mut frame).unwrap();
+            p.decompress_into(&frame, &mut out).unwrap();
+            assert_eq!(out.bytes(), data.bytes());
+        }
+        // The engine was spawned exactly once and never re-spawned a thread.
+        let pool = p.engine().expect("multi-thread pipeline has an engine");
+        assert_eq!(pool.threads_spawned(), 4);
+        // 5 rounds x ceil(1000/64) blocks x (compress + decompress).
+        assert_eq!(pool.jobs_completed(), 5 * 2 * 16);
+    }
+
+    #[test]
+    fn registry_gating_forces_inline_execution() {
+        // Entry NOT marked thread_scalable: threads(8) must stay inline.
+        let r = CodecRegistry::new().with(HeaderedStore);
+        let p = Pipeline::new(&r, "hstore").unwrap().threads(8);
+        assert_eq!(p.effective_threads(), 1);
+        assert!(p.engine().is_none());
+        let data = sample(300);
+        let frame = p.compress(&data).unwrap();
+        assert_eq!(p.decompress(&frame).unwrap().bytes(), data.bytes());
+
+        // Marked entry: engine engages.
+        let p = Pipeline::new(&registry(), "hstore").unwrap().threads(8);
+        assert_eq!(p.effective_threads(), 8);
+    }
+
+    #[test]
+    fn shared_pool_drives_multiple_pipelines() {
+        let pool = Arc::new(WorkerPool::new(PoolConfig::with_threads(2)));
+        let a = Pipeline::with_pool(Arc::new(HeaderedStore), Arc::clone(&pool)).block_elems(32);
+        let b = Pipeline::with_pool(Arc::new(HeaderedStore), Arc::clone(&pool)).block_elems(96);
+        let data = sample(500);
+        let fa = a.compress(&data).unwrap();
+        let fb = b.compress(&data).unwrap();
+        assert_eq!(a.decompress(&fa).unwrap().bytes(), data.bytes());
+        assert_eq!(b.decompress(&fb).unwrap().bytes(), data.bytes());
+        assert_eq!(pool.threads_spawned(), 2);
+    }
+
+    #[test]
+    fn pipeline_makes_progress_on_a_nearly_exhausted_shared_pool() {
+        // Another session pins 3 of the 4 slots (jobs completed but never
+        // collected). A pipeline streaming many blocks through the single
+        // remaining slot must drain its own jobs rather than deadlock in
+        // submit.
+        let pool = Arc::new(WorkerPool::new(PoolConfig::with_threads(2).queue_depth(4)));
+        let codec: Arc<dyn Compressor> = Arc::new(HeaderedStore);
+        let data = sample(500);
+        let hostages: Vec<_> = (0..3)
+            .map(|_| {
+                pool.submit_compress(&codec, data.desc(), data.bytes())
+                    .unwrap()
+            })
+            .collect();
+        pool.drain();
+
+        let p = Pipeline::with_pool(Arc::new(HeaderedStore), Arc::clone(&pool)).block_elems(32);
+        let frame = p.compress(&data).unwrap();
+        assert_eq!(p.decompress(&frame).unwrap().bytes(), data.bytes());
+
+        // The streaming writer/reader obey the same discipline.
+        let mut w = p.frame_writer(data.desc(), Vec::new()).unwrap();
+        w.write(data.bytes()).unwrap();
+        let stored = w.finish().unwrap();
+        let mut r = p.frame_reader(&stored[..]).unwrap();
+        let mut out = FloatData::scratch();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.bytes(), data.bytes());
+
+        for t in hostages {
+            t.collect(|_| ()).unwrap();
         }
     }
 
@@ -475,7 +631,7 @@ mod tests {
     fn implausible_declared_size_errors_without_huge_allocation() {
         // A ~40-byte hostile frame declaring 2^50 doubles (8 PB) must fail
         // with a typed error before the codec can reserve the claimed size.
-        let r = CodecRegistry::new().with(ReservingStore);
+        let r = CodecRegistry::new().with(RegistryEntry::new(ReservingStore).thread_scalable());
         for threads in [1usize, 8] {
             let p = Pipeline::new(&r, "rstore").unwrap().threads(threads);
             let mut f = Vec::new();
@@ -531,7 +687,7 @@ mod tests {
         }
 
         // Corrupt the first block's 0xAB marker: the per-block decode error
-        // must surface through both the inline and the parallel path.
+        // must surface through both the inline and the engine path.
         let payload_total: usize = decode_chunked_frame(&frame)
             .unwrap()
             .payloads

@@ -1,0 +1,1117 @@
+//! Persistent worker-pool execution engine.
+//!
+//! FCBench's throughput comparisons are only meaningful when the harness
+//! measures codec work, not thread spawn and allocator churn. The
+//! [`WorkerPool`] therefore spawns its workers **once** and keeps them alive
+//! for the pool's whole lifetime: every compress/decompress job is pushed
+//! onto a bounded queue, executed by a long-lived worker whose reusable
+//! scratch (including codec-internal thread-local state such as chimp's
+//! window buffers) is warmed on the first job and reused by every later one,
+//! and collected in submission order. In steady state a `submit`/`collect`
+//! round performs **zero thread spawns and ~zero heap allocations** — the
+//! regression test in `crates/bench/tests/alloc_into.rs` holds the gorilla
+//! and chimp paths to exactly that.
+//!
+//! # Model
+//!
+//! The pool owns `queue_depth` recyclable **job slots**. [`submit_compress`]
+//! / [`submit_decompress`](WorkerPool::submit_decompress) copy the input block
+//! into a free slot (blocking while every slot is in flight — natural
+//! backpressure for the streaming frame I/O built on top) and return a
+//! [`Ticket`]. Workers pop slots off the queue and run the codec against
+//! slot-owned buffers. [`Ticket::collect`] blocks until that job finished,
+//! hands the output bytes to a caller closure, and recycles the slot.
+//! Dropping a ticket without collecting it abandons the job: its result is
+//! discarded and the slot returns to the free list on completion.
+//!
+//! Shutdown is graceful: [`WorkerPool::shutdown`] (or dropping the pool)
+//! lets workers finish every queued job before exiting, and outstanding
+//! tickets stay collectable. A panicking codec does not poison the pool: the
+//! worker catches the panic, surfaces it to the collector as the typed
+//! [`Error::WorkerPanic`], and keeps serving jobs.
+//!
+//! [`submit_compress`]: WorkerPool::submit_compress
+//!
+//! ```
+//! use fcbench_core::pool::{PoolConfig, WorkerPool};
+//! use fcbench_core::{Domain, FloatData};
+//! # use fcbench_core::{codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport},
+//! #                    Compressor, DataDesc, Result};
+//! # use std::sync::Arc;
+//! # struct Store;
+//! # impl Compressor for Store {
+//! #     fn info(&self) -> CodecInfo {
+//! #         CodecInfo { name: "store", year: 2024, community: Community::General,
+//! #                     class: CodecClass::Delta, platform: Platform::Cpu,
+//! #                     parallel: false, precisions: PrecisionSupport::Both }
+//! #     }
+//! #     fn compress(&self, data: &FloatData) -> Result<Vec<u8>> { Ok(data.bytes().to_vec()) }
+//! #     fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+//! #         FloatData::from_bytes(desc.clone(), payload.to_vec())
+//! #     }
+//! # }
+//! let pool = WorkerPool::new(PoolConfig::with_threads(2));
+//! let codec: Arc<dyn Compressor> = Arc::new(Store);
+//!
+//! let data = FloatData::from_f64(&[1.0, 2.0, 3.0], vec![3], Domain::Hpc).unwrap();
+//! let ticket = pool
+//!     .submit_compress(&codec, data.desc(), data.bytes())
+//!     .unwrap();
+//! let payload = ticket.collect(|bytes| bytes.to_vec()).unwrap();
+//!
+//! let ticket = pool
+//!     .submit_decompress(&codec, data.desc(), &payload)
+//!     .unwrap();
+//! let back = ticket.collect(|bytes| bytes.to_vec()).unwrap();
+//! assert_eq!(back, data.bytes());
+//! ```
+
+use crate::codec::Compressor;
+use crate::data::{DataDesc, FloatData};
+use crate::error::{Error, Result};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Configuration of a [`WorkerPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Persistent worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Job slots — the maximum number of in-flight jobs before `submit`
+    /// blocks (clamped to at least 1). This bounds the memory a streaming
+    /// producer can pin: at most `queue_depth` blocks exist at once.
+    pub queue_depth: usize,
+    /// Default elements per block for frame streaming built on this pool
+    /// (callers that chunk their own work may ignore it).
+    pub block_elems: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig::with_threads(1)
+    }
+}
+
+impl PoolConfig {
+    /// A configuration with `threads` workers, a `2 * threads` slot queue,
+    /// and the pipeline's default block size.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        PoolConfig {
+            threads,
+            queue_depth: 2 * threads,
+            block_elems: crate::pipeline::DEFAULT_BLOCK_ELEMS,
+        }
+    }
+
+    /// Builder-style queue-depth override (clamped to at least 1).
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Builder-style block-size override (clamped to at least 1).
+    #[must_use]
+    pub fn block_elems(mut self, elems: usize) -> Self {
+        self.block_elems = elems.max(1);
+        self
+    }
+}
+
+/// What a job slot asks its worker to do.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    Compress,
+    Decompress,
+}
+
+/// Buffers owned by one job slot. Slots are recycled: every field keeps its
+/// capacity across jobs, so a warm slot serves a steady-state job without
+/// touching the allocator.
+struct Slot {
+    kind: JobKind,
+    codec: Option<Arc<dyn Compressor>>,
+    /// Block descriptor, rewritten in place (dims capacity reused).
+    desc: DataDesc,
+    /// Compress: the input block. Decompress: the decoded output.
+    data: FloatData,
+    /// Compress: the produced payload. Decompress: the input payload.
+    buf: Vec<u8>,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            kind: JobKind::Compress,
+            codec: None,
+            desc: FloatData::scratch().desc().clone(),
+            data: FloatData::scratch(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Rewrite `self.desc` from `src` without allocating once the dims
+    /// vector has capacity.
+    fn set_desc(&mut self, src: &DataDesc) {
+        self.desc.precision = src.precision;
+        self.desc.domain = src.domain;
+        self.desc.dims.clear();
+        self.desc.dims.extend_from_slice(&src.dims);
+    }
+
+    /// Run this slot's job; called on a worker thread.
+    fn execute(&mut self) -> Result<usize> {
+        let codec = Arc::clone(self.codec.as_ref().expect("queued slot carries a codec"));
+        match self.kind {
+            JobKind::Compress => codec.compress_into(&self.data, &mut self.buf),
+            JobKind::Decompress => {
+                // The descriptor is untrusted on this path (frames and
+                // containers hand it over from the wire): gate the claimed
+                // output size against the payload before the codec can
+                // reserve it.
+                crate::blocks::check_decode_claim(&self.desc, self.buf.len())?;
+                codec.decompress_into(&self.buf, &self.desc, &mut self.data)?;
+                if self.data.bytes().len() != self.desc.byte_len() {
+                    return Err(Error::Corrupt("job decoded to a wrong size".into()));
+                }
+                Ok(self.data.bytes().len())
+            }
+        }
+    }
+
+    /// The output bytes of a completed job.
+    fn output(&self, n: usize) -> &[u8] {
+        match self.kind {
+            JobKind::Compress => &self.buf[..n],
+            JobKind::Decompress => self.data.bytes(),
+        }
+    }
+}
+
+/// Lifecycle of a slot, tracked under the pool lock.
+enum JobState {
+    /// On the free list.
+    Free,
+    /// Queued or running; `abandoned` means the ticket was dropped and the
+    /// result should be discarded on completion.
+    Pending { abandoned: bool },
+    /// Finished; result waiting for its collector.
+    Done(Result<usize>),
+}
+
+struct Inner {
+    /// Slot indices ready for a worker, in submission order.
+    queue: VecDeque<usize>,
+    /// Recyclable slot indices.
+    free: Vec<usize>,
+    /// Per-slot lifecycle state.
+    states: Vec<JobState>,
+    /// Jobs submitted but not yet finished (queued + running).
+    unfinished: usize,
+    /// Set by [`WorkerPool::shutdown`] / `Drop`; workers drain the queue
+    /// and exit, and further submits fail.
+    shutdown: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Workers wait here for queued jobs.
+    work: Condvar,
+    /// Collectors and `drain` wait here for completions.
+    done: Condvar,
+    /// Submitters wait here for a free slot.
+    free: Condvar,
+    /// Slot buffers, locked individually so workers and collectors touch
+    /// them without holding the pool lock.
+    slots: Box<[Mutex<Slot>]>,
+    /// Jobs executed over the pool's lifetime (includes abandoned ones).
+    jobs_done: AtomicU64,
+}
+
+/// A poison-tolerant lock: the pool's invariants are maintained under the
+/// lock by straight-line code, and worker panics are caught before they can
+/// unwind through a guard, so a poisoned mutex only ever reflects a panic
+/// in caller-supplied collect closures — recover the guard.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poison) => poison.into_inner(),
+    }
+}
+
+impl Shared {
+    /// Mark `idx` finished (or recycle it if abandoned) and wake waiters.
+    fn complete(&self, idx: usize, result: Result<usize>) {
+        let mut inner = lock(&self.inner);
+        let abandoned = matches!(
+            inner.states[idx],
+            JobState::Pending {
+                abandoned: true,
+                ..
+            }
+        );
+        if abandoned {
+            inner.states[idx] = JobState::Free;
+            inner.free.push(idx);
+            self.free.notify_all();
+        } else {
+            inner.states[idx] = JobState::Done(result);
+        }
+        inner.unfinished -= 1;
+        self.jobs_done.fetch_add(1, Ordering::Relaxed);
+        self.done.notify_all();
+    }
+}
+
+/// Worker main loop: pop jobs until shutdown *and* the queue is drained.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let idx = {
+            let mut inner = lock(&shared.inner);
+            loop {
+                if let Some(idx) = inner.queue.pop_front() {
+                    break idx;
+                }
+                if inner.shutdown {
+                    return;
+                }
+                inner = match shared.work.wait(inner) {
+                    Ok(g) => g,
+                    Err(poison) => poison.into_inner(),
+                };
+            }
+        };
+
+        // Execute outside the pool lock. A panicking codec must not take
+        // the worker (or the pool) down with it: catch it and surface a
+        // typed error to the collector.
+        let result = {
+            let mut slot = lock(&shared.slots[idx]);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| slot.execute()))
+                .unwrap_or_else(|panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".to_string());
+                    Err(Error::WorkerPanic(msg))
+                })
+        };
+        shared.complete(idx, result);
+    }
+}
+
+/// A long-lived pool of compression workers; see the [module docs](self).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    config: PoolConfig,
+}
+
+impl WorkerPool {
+    /// Spawn `config.threads` persistent workers. This is the **only** place
+    /// the pool creates threads; no submit ever spawns again.
+    pub fn new(config: PoolConfig) -> Self {
+        let threads = config.threads.max(1);
+        let depth = config.queue_depth.max(1);
+        let config = PoolConfig {
+            threads,
+            queue_depth: depth,
+            block_elems: config.block_elems.max(1),
+        };
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(depth),
+                free: (0..depth).rev().collect(),
+                states: (0..depth).map(|_| JobState::Free).collect(),
+                unfinished: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            free: Condvar::new(),
+            slots: (0..depth).map(|_| Mutex::new(Slot::new())).collect(),
+            jobs_done: AtomicU64::new(0),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fcbench-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            config,
+        }
+    }
+
+    /// The effective configuration (after clamping).
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Number of persistent workers.
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// Number of job slots (maximum in-flight jobs).
+    pub fn queue_depth(&self) -> usize {
+        self.config.queue_depth
+    }
+
+    /// Threads spawned over the pool's lifetime — always exactly
+    /// [`threads`](Self::threads): submits never spawn.
+    pub fn threads_spawned(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Jobs executed so far (including abandoned ones).
+    pub fn jobs_completed(&self) -> u64 {
+        self.shared.jobs_done.load(Ordering::Relaxed)
+    }
+
+    /// Acquire a free slot, blocking while all are in flight.
+    ///
+    /// Deadlock discipline: a caller that already holds uncollected
+    /// [`Ticket`]s must not block here — with every slot pinned by ticket
+    /// holders, nobody would ever free one. The pipelined consumers
+    /// (pipeline, frame streams, containers) therefore use the
+    /// `try_submit_*` forms and collect their own oldest job when the pool
+    /// is saturated, only blocking when they hold nothing.
+    fn acquire_slot(&self) -> Result<usize> {
+        let mut inner = lock(&self.shared.inner);
+        loop {
+            if inner.shutdown {
+                return Err(Error::Unsupported("worker pool is shut down".into()));
+            }
+            if let Some(idx) = inner.free.pop() {
+                return Ok(idx);
+            }
+            inner = match self.shared.free.wait(inner) {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            };
+        }
+    }
+
+    /// Like [`acquire_slot`](Self::acquire_slot) but returns `Ok(None)`
+    /// instead of blocking when every slot is in flight.
+    fn try_acquire_slot(&self) -> Result<Option<usize>> {
+        let mut inner = lock(&self.shared.inner);
+        if inner.shutdown {
+            return Err(Error::Unsupported("worker pool is shut down".into()));
+        }
+        Ok(inner.free.pop())
+    }
+
+    /// Return an acquired-but-never-enqueued slot to the free list
+    /// (used when filling the slot fails validation).
+    fn release_unused_slot(&self, idx: usize) {
+        let mut inner = lock(&self.shared.inner);
+        inner.free.push(idx);
+        drop(inner);
+        self.shared.free.notify_all();
+    }
+
+    /// Enqueue the filled slot `idx` and wake a worker.
+    fn enqueue(&self, idx: usize) {
+        let mut inner = lock(&self.shared.inner);
+        inner.states[idx] = JobState::Pending { abandoned: false };
+        inner.queue.push_back(idx);
+        inner.unfinished += 1;
+        drop(inner);
+        self.shared.work.notify_one();
+    }
+
+    /// Fill acquired slot `idx` with a compress job and enqueue it.
+    fn dispatch_compress(
+        &self,
+        idx: usize,
+        codec: &Arc<dyn Compressor>,
+        desc: &DataDesc,
+        bytes: &[u8],
+    ) -> Result<Ticket> {
+        {
+            let mut guard = lock(&self.shared.slots[idx]);
+            let slot = &mut *guard;
+            slot.kind = JobKind::Compress;
+            slot.codec = Some(Arc::clone(codec));
+            slot.set_desc(desc);
+            if let Err(e) = slot.data.refill_from_slice(&slot.desc, bytes) {
+                drop(guard);
+                self.release_unused_slot(idx);
+                return Err(e);
+            }
+        }
+        self.enqueue(idx);
+        Ok(Ticket::new(Arc::clone(&self.shared), idx))
+    }
+
+    /// Fill acquired slot `idx` with a decompress job and enqueue it.
+    fn dispatch_decompress(
+        &self,
+        idx: usize,
+        codec: &Arc<dyn Compressor>,
+        desc: &DataDesc,
+        payload: &[u8],
+    ) -> Result<Ticket> {
+        {
+            let mut slot = lock(&self.shared.slots[idx]);
+            slot.kind = JobKind::Decompress;
+            slot.codec = Some(Arc::clone(codec));
+            slot.set_desc(desc);
+            slot.buf.clear();
+            slot.buf.extend_from_slice(payload);
+        }
+        self.enqueue(idx);
+        Ok(Ticket::new(Arc::clone(&self.shared), idx))
+    }
+
+    fn check_compress_job(desc: &DataDesc, bytes: &[u8]) -> Result<()> {
+        if bytes.len() != desc.byte_len() {
+            return Err(Error::BadDescriptor(format!(
+                "job holds {} bytes but descriptor implies {}",
+                bytes.len(),
+                desc.byte_len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Submit a compression job over `bytes`, a little-endian element
+    /// buffer shaped like `desc` (`bytes.len()` must equal
+    /// `desc.byte_len()`). Blocks while every slot is in flight — callers
+    /// holding uncollected tickets should use
+    /// [`try_submit_compress`](Self::try_submit_compress) and drain their
+    /// own jobs instead. The
+    /// returned ticket's [`collect`](Ticket::collect) sees the compressed
+    /// payload.
+    pub fn submit_compress(
+        &self,
+        codec: &Arc<dyn Compressor>,
+        desc: &DataDesc,
+        bytes: &[u8],
+    ) -> Result<Ticket> {
+        Self::check_compress_job(desc, bytes)?;
+        let idx = self.acquire_slot()?;
+        self.dispatch_compress(idx, codec, desc, bytes)
+    }
+
+    /// Non-blocking [`submit_compress`](Self::submit_compress): returns
+    /// `Ok(None)` when every slot is in flight.
+    pub fn try_submit_compress(
+        &self,
+        codec: &Arc<dyn Compressor>,
+        desc: &DataDesc,
+        bytes: &[u8],
+    ) -> Result<Option<Ticket>> {
+        Self::check_compress_job(desc, bytes)?;
+        match self.try_acquire_slot()? {
+            Some(idx) => Ok(Some(self.dispatch_compress(idx, codec, desc, bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Submit a decompression job: `payload` was produced by `codec` for
+    /// data shaped like `desc`. The descriptor is treated as untrusted —
+    /// the worker rejects implausible output claims before the codec can
+    /// reserve them. Blocks while every slot is in flight (same caveat as
+    /// [`submit_compress`](Self::submit_compress)). The ticket's
+    /// [`collect`](Ticket::collect) sees the decoded element bytes.
+    pub fn submit_decompress(
+        &self,
+        codec: &Arc<dyn Compressor>,
+        desc: &DataDesc,
+        payload: &[u8],
+    ) -> Result<Ticket> {
+        let idx = self.acquire_slot()?;
+        self.dispatch_decompress(idx, codec, desc, payload)
+    }
+
+    /// Non-blocking [`submit_decompress`](Self::submit_decompress): returns
+    /// `Ok(None)` when every slot is in flight.
+    pub fn try_submit_decompress(
+        &self,
+        codec: &Arc<dyn Compressor>,
+        desc: &DataDesc,
+        payload: &[u8],
+    ) -> Result<Option<Ticket>> {
+        match self.try_acquire_slot()? {
+            Some(idx) => Ok(Some(self.dispatch_decompress(idx, codec, desc, payload)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The saturation-discipline loop shared by every pipelined consumer:
+    /// try to take a slot; when the pool is saturated, ask the caller to
+    /// collect its own oldest job (`drain_own` returns `Ok(false)` when it
+    /// holds nothing, at which point blocking is safe — the slots are
+    /// pinned by other sessions, which will release them).
+    fn acquire_slot_draining(&self, mut drain_own: impl FnMut() -> Result<bool>) -> Result<usize> {
+        loop {
+            if let Some(idx) = self.try_acquire_slot()? {
+                return Ok(idx);
+            }
+            if !drain_own()? {
+                return self.acquire_slot();
+            }
+        }
+    }
+
+    /// [`submit_compress`](Self::submit_compress) for callers that hold
+    /// uncollected tickets: instead of ever blocking on a saturated pool
+    /// (a deadlock when every slot is pinned by ticket holders), calls
+    /// `drain_own` so the caller collects its own oldest job; `drain_own`
+    /// returns `Ok(false)` when the caller holds nothing, and only then
+    /// does the submit block.
+    pub fn submit_compress_draining(
+        &self,
+        codec: &Arc<dyn Compressor>,
+        desc: &DataDesc,
+        bytes: &[u8],
+        drain_own: impl FnMut() -> Result<bool>,
+    ) -> Result<Ticket> {
+        Self::check_compress_job(desc, bytes)?;
+        let idx = self.acquire_slot_draining(drain_own)?;
+        self.dispatch_compress(idx, codec, desc, bytes)
+    }
+
+    /// [`submit_decompress`](Self::submit_decompress) with the same
+    /// drain-own-oldest saturation discipline as
+    /// [`submit_compress_draining`](Self::submit_compress_draining).
+    pub fn submit_decompress_draining(
+        &self,
+        codec: &Arc<dyn Compressor>,
+        desc: &DataDesc,
+        payload: &[u8],
+        drain_own: impl FnMut() -> Result<bool>,
+    ) -> Result<Ticket> {
+        let idx = self.acquire_slot_draining(drain_own)?;
+        self.dispatch_decompress(idx, codec, desc, payload)
+    }
+
+    /// Compress `data` through the pool as one job, replacing `out` with
+    /// the payload (capacity reused). Returns the payload length. This is
+    /// the single-call form the benchmark runner routes cells through.
+    pub fn run_compress(
+        &self,
+        codec: &Arc<dyn Compressor>,
+        data: &FloatData,
+        out: &mut Vec<u8>,
+    ) -> Result<usize> {
+        let ticket = self.submit_compress(codec, data.desc(), data.bytes())?;
+        ticket.collect(|payload| {
+            out.clear();
+            out.extend_from_slice(payload);
+            out.len()
+        })
+    }
+
+    /// Decompress `payload` through the pool as one job into the reusable
+    /// container `out`.
+    pub fn run_decompress(
+        &self,
+        codec: &Arc<dyn Compressor>,
+        payload: &[u8],
+        desc: &DataDesc,
+        out: &mut FloatData,
+    ) -> Result<()> {
+        let ticket = self.submit_decompress(codec, desc, payload)?;
+        ticket.collect(|bytes| out.refill_from_slice(desc, bytes))?
+    }
+
+    /// Block until every submitted job has finished executing (collected or
+    /// not). Queued jobs keep running; this does not shut the pool down.
+    pub fn drain(&self) {
+        let mut inner = lock(&self.shared.inner);
+        while inner.unfinished > 0 {
+            inner = match self.shared.done.wait(inner) {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            };
+        }
+    }
+
+    /// Begin a graceful shutdown: workers finish every queued job, then
+    /// exit. Outstanding tickets remain collectable; new submits fail with
+    /// a typed error. Dropping the pool implies this and joins the workers.
+    pub fn shutdown(&self) {
+        let mut inner = lock(&self.shared.inner);
+        inner.shutdown = true;
+        drop(inner);
+        self.shared.work.notify_all();
+        self.shared.free.notify_all();
+        self.shared.done.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+        for h in self.handles.drain(..) {
+            // Workers catch job panics themselves; a join error would mean
+            // a bug in the pool, which Drop has no way to report.
+            let _ = h.join();
+        }
+    }
+}
+
+/// A handle to one submitted job. Collect it to obtain the result and
+/// recycle the slot; dropping it abandons the job (the result is discarded
+/// and the slot is recycled once the worker finishes).
+pub struct Ticket {
+    shared: Arc<Shared>,
+    slot: usize,
+    live: bool,
+}
+
+impl Ticket {
+    fn new(shared: Arc<Shared>, slot: usize) -> Self {
+        Ticket {
+            shared,
+            slot,
+            live: true,
+        }
+    }
+
+    /// Wait for the job to finish. On success, hand the output bytes
+    /// (compressed payload or decoded elements, by job kind) to `f` and
+    /// return its value; on failure return the job's error. The slot is
+    /// recycled either way.
+    pub fn collect<R>(mut self, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.live = false;
+        let shared = Arc::clone(&self.shared);
+        let idx = self.slot;
+
+        let result = {
+            let mut inner = lock(&shared.inner);
+            loop {
+                if matches!(inner.states[idx], JobState::Done(_)) {
+                    let state = std::mem::replace(&mut inner.states[idx], JobState::Free);
+                    let JobState::Done(result) = state else {
+                        unreachable!("matched Done above")
+                    };
+                    break result;
+                }
+                inner = match shared.done.wait(inner) {
+                    Ok(g) => g,
+                    Err(poison) => poison.into_inner(),
+                };
+            }
+        };
+
+        // Recycle the slot on every exit from here on — including an unwind
+        // out of the caller's closure, which must not leak the slot (leaked
+        // slots would shrink the queue until every submit blocks forever).
+        struct Recycle<'a> {
+            shared: &'a Shared,
+            idx: usize,
+        }
+        impl Drop for Recycle<'_> {
+            fn drop(&mut self) {
+                let mut inner = lock(&self.shared.inner);
+                inner.free.push(self.idx);
+                drop(inner);
+                self.shared.free.notify_all();
+            }
+        }
+        let _recycle = Recycle {
+            shared: &shared,
+            idx,
+        };
+
+        // The worker finished and released the slot lock; this ticket is the
+        // slot's sole owner until the guard pushes it back onto the free
+        // list.
+        match result {
+            Ok(n) => {
+                let slot = lock(&shared.slots[idx]);
+                Ok(f(slot.output(n)))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let mut inner = lock(&self.shared.inner);
+        match &mut inner.states[self.slot] {
+            // Still queued or running: the worker recycles it on completion.
+            JobState::Pending { abandoned, .. } => *abandoned = true,
+            // Already done and never collected: recycle here.
+            state @ JobState::Done(_) => {
+                *state = JobState::Free;
+                inner.free.push(self.slot);
+                drop(inner);
+                self.shared.free.notify_all();
+            }
+            JobState::Free => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
+    use crate::data::Domain;
+    use std::sync::atomic::AtomicUsize;
+
+    fn info(name: &'static str) -> CodecInfo {
+        CodecInfo {
+            name,
+            year: 2024,
+            community: Community::General,
+            class: CodecClass::Delta,
+            platform: Platform::Cpu,
+            parallel: false,
+            precisions: PrecisionSupport::Both,
+        }
+    }
+
+    struct Store;
+
+    impl Compressor for Store {
+        fn info(&self) -> CodecInfo {
+            info("store")
+        }
+        fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+            out.clear();
+            out.extend_from_slice(data.bytes());
+            Ok(out.len())
+        }
+        fn decompress_into(
+            &self,
+            payload: &[u8],
+            desc: &DataDesc,
+            out: &mut FloatData,
+        ) -> Result<()> {
+            out.refill_from_slice(desc, payload)
+        }
+    }
+
+    /// Sleeps per call and counts executions — for shutdown/drain tests.
+    struct Slow(Arc<AtomicUsize>);
+
+    impl Compressor for Slow {
+        fn info(&self) -> CodecInfo {
+            info("slow")
+        }
+        fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            self.0.fetch_add(1, Ordering::SeqCst);
+            out.clear();
+            out.extend_from_slice(data.bytes());
+            Ok(out.len())
+        }
+        fn decompress_into(
+            &self,
+            payload: &[u8],
+            desc: &DataDesc,
+            out: &mut FloatData,
+        ) -> Result<()> {
+            out.refill_from_slice(desc, payload)
+        }
+    }
+
+    struct Panicker;
+
+    impl Compressor for Panicker {
+        fn info(&self) -> CodecInfo {
+            info("panicker")
+        }
+        fn compress_into(&self, _data: &FloatData, _out: &mut Vec<u8>) -> Result<usize> {
+            panic!("deliberate test panic");
+        }
+        fn decompress_into(&self, _p: &[u8], _d: &DataDesc, _o: &mut FloatData) -> Result<()> {
+            panic!("deliberate test panic");
+        }
+    }
+
+    fn sample(n: usize) -> FloatData {
+        let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+        FloatData::from_f64(&vals, vec![n], Domain::TimeSeries).unwrap()
+    }
+
+    fn arc(c: impl Compressor + 'static) -> Arc<dyn Compressor> {
+        Arc::new(c)
+    }
+
+    #[test]
+    fn round_trips_through_the_pool() {
+        let pool = WorkerPool::new(PoolConfig::with_threads(4));
+        let codec = arc(Store);
+        let data = sample(257);
+        for _ in 0..3 {
+            let t = pool
+                .submit_compress(&codec, data.desc(), data.bytes())
+                .unwrap();
+            let payload = t.collect(|b| b.to_vec()).unwrap();
+            assert_eq!(payload, data.bytes());
+            let t = pool
+                .submit_decompress(&codec, data.desc(), &payload)
+                .unwrap();
+            let back = t.collect(|b| b.to_vec()).unwrap();
+            assert_eq!(back, data.bytes());
+        }
+        assert_eq!(pool.threads_spawned(), 4);
+        assert_eq!(pool.jobs_completed(), 6);
+    }
+
+    #[test]
+    fn run_helpers_reuse_buffers() {
+        let pool = WorkerPool::new(PoolConfig::with_threads(2));
+        let codec = arc(Store);
+        let mut payload = Vec::new();
+        let mut out = FloatData::scratch();
+        for n in [10usize, 300, 17] {
+            let data = sample(n);
+            let len = pool.run_compress(&codec, &data, &mut payload).unwrap();
+            assert_eq!(len, data.bytes().len());
+            pool.run_decompress(&codec, &payload[..len], data.desc(), &mut out)
+                .unwrap();
+            assert_eq!(out.bytes(), data.bytes());
+        }
+    }
+
+    #[test]
+    fn many_in_flight_jobs_respect_backpressure_and_order() {
+        let pool = WorkerPool::new(PoolConfig::with_threads(3).queue_depth(4));
+        let codec = arc(Store);
+        let data = sample(64);
+        // Submit far more jobs than slots, collecting in submission order.
+        let mut pending = VecDeque::new();
+        let mut seen = 0usize;
+        for i in 0..40usize {
+            if pending.len() == pool.queue_depth() {
+                let t: Ticket = pending.pop_front().unwrap();
+                t.collect(|b| assert_eq!(b, data.bytes())).unwrap();
+                seen += 1;
+            }
+            let t = pool
+                .submit_compress(&codec, data.desc(), data.bytes())
+                .unwrap();
+            pending.push_back(t);
+            let _ = i;
+        }
+        while let Some(t) = pending.pop_front() {
+            t.collect(|b| assert_eq!(b, data.bytes())).unwrap();
+            seen += 1;
+        }
+        assert_eq!(seen, 40);
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error_and_pool_survives() {
+        let pool = WorkerPool::new(PoolConfig::with_threads(2));
+        let bad = arc(Panicker);
+        let good = arc(Store);
+        let data = sample(32);
+
+        let t = pool
+            .submit_compress(&bad, data.desc(), data.bytes())
+            .unwrap();
+        let err = t.collect(|_| ()).unwrap_err();
+        assert!(matches!(err, Error::WorkerPanic(_)), "got {err:?}");
+        assert!(err.to_string().contains("deliberate test panic"));
+
+        // The worker that caught the panic keeps serving jobs.
+        for _ in 0..8 {
+            let t = pool
+                .submit_compress(&good, data.desc(), data.bytes())
+                .unwrap();
+            t.collect(|b| assert_eq!(b, data.bytes())).unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_finishes_queued_jobs_and_rejects_new_ones() {
+        let executed = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(PoolConfig::with_threads(1).queue_depth(8));
+        let codec = arc(Slow(Arc::clone(&executed)));
+        let data = sample(16);
+
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|_| {
+                pool.submit_compress(&codec, data.desc(), data.bytes())
+                    .unwrap()
+            })
+            .collect();
+        pool.shutdown();
+
+        // New submits fail with a typed error...
+        assert!(matches!(
+            pool.submit_compress(&codec, data.desc(), data.bytes()),
+            Err(Error::Unsupported(_))
+        ));
+        // ...but every queued job still runs to completion and collects.
+        for t in tickets {
+            t.collect(|b| assert_eq!(b, data.bytes())).unwrap();
+        }
+        assert_eq!(executed.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn dropping_the_pool_drains_the_queue_gracefully() {
+        let executed = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(PoolConfig::with_threads(2).queue_depth(8));
+            let codec = arc(Slow(Arc::clone(&executed)));
+            let data = sample(16);
+            // Abandon all tickets; Drop must still run every queued job.
+            for _ in 0..8 {
+                drop(
+                    pool.submit_compress(&codec, data.desc(), data.bytes())
+                        .unwrap(),
+                );
+            }
+        }
+        assert_eq!(executed.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn panicking_collect_closures_do_not_leak_slots() {
+        let pool = WorkerPool::new(PoolConfig::with_threads(1).queue_depth(2));
+        let codec = arc(Store);
+        let data = sample(16);
+        // Panic inside the collect closure more times than there are slots:
+        // if any panic leaked its slot, the later submits would block
+        // forever instead of completing.
+        for _ in 0..4 {
+            let t = pool
+                .submit_compress(&codec, data.desc(), data.bytes())
+                .unwrap();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                t.collect(|_| panic!("collector bug"))
+            }));
+            assert!(r.is_err());
+        }
+        // Every slot is still usable.
+        let tickets: Vec<Ticket> = (0..pool.queue_depth())
+            .map(|_| {
+                pool.submit_compress(&codec, data.desc(), data.bytes())
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.collect(|b| assert_eq!(b, data.bytes())).unwrap();
+        }
+    }
+
+    #[test]
+    fn draining_submits_make_progress_on_a_saturated_pool() {
+        let pool = WorkerPool::new(PoolConfig::with_threads(2).queue_depth(2));
+        let codec = arc(Store);
+        let data = sample(32);
+        let mut pending: VecDeque<Ticket> = VecDeque::new();
+        let mut collected = 0usize;
+        for _ in 0..12 {
+            let t = pool
+                .submit_compress_draining(&codec, data.desc(), data.bytes(), || {
+                    match pending.pop_front() {
+                        None => Ok(false),
+                        Some(t) => {
+                            t.collect(|b| assert_eq!(b, data.bytes()))?;
+                            collected += 1;
+                            Ok(true)
+                        }
+                    }
+                })
+                .unwrap();
+            pending.push_back(t);
+        }
+        while let Some(t) = pending.pop_front() {
+            t.collect(|b| assert_eq!(b, data.bytes())).unwrap();
+            collected += 1;
+        }
+        assert_eq!(collected, 12);
+    }
+
+    #[test]
+    fn abandoned_tickets_recycle_their_slots() {
+        let pool = WorkerPool::new(PoolConfig::with_threads(2).queue_depth(2));
+        let codec = arc(Store);
+        let data = sample(8);
+        // 3x the slot count: if abandonment leaked slots this would hang.
+        for _ in 0..6 {
+            drop(
+                pool.submit_compress(&codec, data.desc(), data.bytes())
+                    .unwrap(),
+            );
+        }
+        pool.drain();
+        let t = pool
+            .submit_compress(&codec, data.desc(), data.bytes())
+            .unwrap();
+        t.collect(|b| assert_eq!(b, data.bytes())).unwrap();
+    }
+
+    #[test]
+    fn drain_waits_for_all_submitted_work() {
+        let executed = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(PoolConfig::with_threads(2).queue_depth(4));
+        let codec = arc(Slow(Arc::clone(&executed)));
+        let data = sample(16);
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| {
+                pool.submit_compress(&codec, data.desc(), data.bytes())
+                    .unwrap()
+            })
+            .collect();
+        pool.drain();
+        assert_eq!(executed.load(Ordering::SeqCst), 4);
+        for t in tickets {
+            t.collect(|_| ()).unwrap();
+        }
+    }
+
+    #[test]
+    fn hostile_decompress_descriptor_is_rejected_in_the_worker() {
+        let pool = WorkerPool::new(PoolConfig::with_threads(1));
+        let codec = arc(Store);
+        // 2^50 doubles claimed from an 8-byte payload.
+        let huge =
+            DataDesc::new(crate::data::Precision::Double, vec![1 << 50], Domain::Hpc).unwrap();
+        let t = pool.submit_decompress(&codec, &huge, &[0u8; 8]).unwrap();
+        assert!(matches!(t.collect(|_| ()), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn compress_length_mismatch_is_a_typed_error() {
+        let pool = WorkerPool::new(PoolConfig::default());
+        let codec = arc(Store);
+        let desc = DataDesc::new(crate::data::Precision::Double, vec![4], Domain::Hpc).unwrap();
+        assert!(matches!(
+            pool.submit_compress(&codec, &desc, &[0u8; 7]),
+            Err(Error::BadDescriptor(_))
+        ));
+    }
+
+    #[test]
+    fn config_clamps() {
+        let p = WorkerPool::new(PoolConfig {
+            threads: 0,
+            queue_depth: 0,
+            block_elems: 0,
+        });
+        assert_eq!(p.threads(), 1);
+        assert_eq!(p.queue_depth(), 1);
+        assert_eq!(p.config().block_elems, 1);
+        let c = PoolConfig::with_threads(3).queue_depth(9).block_elems(128);
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.queue_depth, 9);
+        assert_eq!(c.block_elems, 128);
+    }
+}

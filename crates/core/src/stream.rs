@@ -1,0 +1,758 @@
+//! Streaming frame I/O: compress and decompress datasets chunk-by-chunk
+//! through the [`WorkerPool`] engine, so neither the raw data nor the
+//! compressed frame ever needs to be fully resident.
+//!
+//! The on-wire format is the [`FCB3` layout](crate::frame) — the streamed
+//! form of the chunked `FCB2` frame, with block lengths inlined ahead of
+//! each payload so a writer can emit records as blocks finish compressing.
+//!
+//! [`FrameWriter`] accepts element bytes in arbitrary-sized chunks, carves
+//! them into fixed-size blocks, and fans the blocks out to a pool (when one
+//! is attached): at most `queue_depth` blocks are in flight, which bounds
+//! the writer's footprint regardless of dataset size. [`FrameReader`]
+//! mirrors it with bounded read-ahead, yielding decoded blocks in stream
+//! order. Both run inline (no pool, zero extra threads) when constructed
+//! without an engine.
+//!
+//! ```
+//! use fcbench_core::stream::{FrameReader, FrameWriter};
+//! use fcbench_core::{DataDesc, Domain, FloatData, Precision};
+//! # use fcbench_core::{codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport},
+//! #                    Compressor, Result};
+//! # use std::sync::Arc;
+//! # struct Store;
+//! # impl Compressor for Store {
+//! #     fn info(&self) -> CodecInfo {
+//! #         CodecInfo { name: "store", year: 2024, community: Community::General,
+//! #                     class: CodecClass::Delta, platform: Platform::Cpu,
+//! #                     parallel: false, precisions: PrecisionSupport::Both }
+//! #     }
+//! #     fn compress(&self, data: &FloatData) -> Result<Vec<u8>> { Ok(data.bytes().to_vec()) }
+//! #     fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+//! #         FloatData::from_bytes(desc.clone(), payload.to_vec())
+//! #     }
+//! # }
+//! let codec: Arc<dyn Compressor> = Arc::new(Store);
+//! let values: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.5).collect();
+//! let data = FloatData::from_f64(&values, vec![values.len()], Domain::Hpc).unwrap();
+//!
+//! // Compress chunk-by-chunk into any io::Write sink.
+//! let mut writer =
+//!     FrameWriter::new(Vec::new(), Arc::clone(&codec), data.desc().clone(), 1024, None).unwrap();
+//! for chunk in data.bytes().chunks(333) {
+//!     writer.write(chunk).unwrap();
+//! }
+//! let encoded = writer.finish().unwrap();
+//!
+//! // Decode block-by-block from any io::Read source.
+//! let mut reader = FrameReader::new(&encoded[..], codec, None).unwrap();
+//! let mut restored = Vec::new();
+//! while let Some(block) = reader.next_block().unwrap() {
+//!     restored.extend_from_slice(block);
+//! }
+//! assert_eq!(restored, data.bytes());
+//! ```
+
+use crate::codec::Compressor;
+use crate::data::{DataDesc, FloatData};
+use crate::error::{Error, Result};
+use crate::frame::{decode_stream_header, encode_stream_header};
+use crate::pool::{Ticket, WorkerPool};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Ceiling on one block record's declared payload length, as a multiple of
+/// the block's raw byte size: no real codec expands a block anywhere near
+/// 8x, so a stream claiming more is hostile or corrupt and is rejected
+/// before the reader allocates for it.
+const MAX_RECORD_EXPANSION: usize = 8;
+
+/// Slack added to the record ceiling for codec headers on tiny blocks.
+const RECORD_SLACK: usize = 4096;
+
+/// Cap on the speculative upfront reservation when decoding a whole stream
+/// into memory.
+const MAX_UPFRONT_RESERVE: usize = 16 * 1024 * 1024;
+
+/// Streaming `FCB3` encoder; see the [module docs](self).
+pub struct FrameWriter<W: Write> {
+    sink: W,
+    codec: Arc<dyn Compressor>,
+    pool: Option<Arc<WorkerPool>>,
+    desc: DataDesc,
+    esize: usize,
+    /// Bytes per full block (saturating; at least one element).
+    bpb: usize,
+    /// Partial-block accumulator.
+    buf: Vec<u8>,
+    /// In-flight pool jobs, in stream order.
+    pending: VecDeque<Ticket>,
+    /// Reusable per-block descriptor.
+    bdesc: DataDesc,
+    /// Inline-mode scratch input container.
+    scratch: FloatData,
+    /// Inline-mode payload buffer.
+    payload: Vec<u8>,
+    /// Element bytes accepted so far.
+    consumed: usize,
+    /// Bytes emitted to the sink so far.
+    written: u64,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Start a stream for data shaped like `desc`, compressed by `codec` in
+    /// `block_elems`-element blocks, fanned out on `pool` when given. The
+    /// prologue is written to `sink` immediately.
+    pub fn new(
+        mut sink: W,
+        codec: Arc<dyn Compressor>,
+        desc: DataDesc,
+        block_elems: usize,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Result<Self> {
+        let block_elems = block_elems.max(1);
+        let prologue = encode_stream_header(codec.info().name, &desc, block_elems)?;
+        sink.write_all(&prologue)?;
+        let esize = desc.precision.bytes();
+        let bdesc = DataDesc {
+            precision: desc.precision,
+            dims: vec![0],
+            domain: desc.domain,
+        };
+        Ok(FrameWriter {
+            sink,
+            codec,
+            pool,
+            esize,
+            bpb: block_elems.saturating_mul(esize),
+            buf: Vec::new(),
+            pending: VecDeque::new(),
+            bdesc,
+            scratch: FloatData::scratch(),
+            payload: Vec::new(),
+            consumed: 0,
+            written: prologue.len() as u64,
+            desc,
+        })
+    }
+
+    /// Element bytes accepted so far.
+    pub fn bytes_consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Bytes emitted to the sink so far (more may still be in flight).
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Feed the next chunk of little-endian element bytes. Chunks may be
+    /// any size (they need not align with blocks or even elements); full
+    /// blocks are compressed and their records emitted as they form.
+    ///
+    /// On error the writer abandons its in-flight jobs (releasing their
+    /// pool slots immediately) and the stream is unusable; drop it.
+    pub fn write(&mut self, bytes: &[u8]) -> Result<()> {
+        let r = self.write_inner(bytes);
+        if r.is_err() {
+            // Free our pool slots right away — an errored writer must not
+            // pin the engine for other sessions.
+            self.pending.clear();
+        }
+        r
+    }
+
+    fn write_inner(&mut self, mut bytes: &[u8]) -> Result<()> {
+        let total = self.desc.byte_len();
+        if bytes.len() > total - self.consumed {
+            return Err(Error::BadDescriptor(format!(
+                "stream overflow: descriptor declares {total} bytes but {} were written",
+                self.consumed + bytes.len()
+            )));
+        }
+        self.consumed += bytes.len();
+        while !bytes.is_empty() {
+            // Whole blocks straight from the caller's chunk, no copy into
+            // the accumulator.
+            if self.buf.is_empty() && bytes.len() >= self.bpb {
+                let (block, rest) = bytes.split_at(self.bpb);
+                self.emit_block(block)?;
+                bytes = rest;
+                continue;
+            }
+            let need = self.bpb - self.buf.len();
+            let take = need.min(bytes.len());
+            let (head, rest) = bytes.split_at(take);
+            self.buf.extend_from_slice(head);
+            bytes = rest;
+            if self.buf.len() == self.bpb {
+                let full = std::mem::take(&mut self.buf);
+                self.emit_block(&full)?;
+                self.buf = full;
+                self.buf.clear();
+            }
+        }
+        Ok(())
+    }
+
+    /// Compress one block (full, or the short tail) and emit / enqueue it.
+    fn emit_block(&mut self, block: &[u8]) -> Result<()> {
+        debug_assert!(!block.is_empty() && block.len() % self.esize == 0);
+        self.bdesc.dims[0] = block.len() / self.esize;
+        match self.pool.clone() {
+            Some(pool) => {
+                // Saturation discipline: never block in submit while
+                // holding tickets — the drain closure flushes our own
+                // oldest record to free a slot instead.
+                let FrameWriter {
+                    pending,
+                    sink,
+                    written,
+                    codec,
+                    bdesc,
+                    ..
+                } = self;
+                let ticket = pool.submit_compress_draining(codec, bdesc, block, || {
+                    flush_oldest(pending, sink, written)
+                })?;
+                pending.push_back(ticket);
+                Ok(())
+            }
+            None => {
+                self.scratch.refill_from_slice(&self.bdesc, block)?;
+                let n = self.codec.compress_into(&self.scratch, &mut self.payload)?;
+                self.sink.write_all(&(n as u64).to_le_bytes())?;
+                self.sink.write_all(&self.payload[..n])?;
+                self.written += 8 + n as u64;
+                Ok(())
+            }
+        }
+    }
+
+    /// Collect the oldest in-flight block and write its record.
+    fn flush_front(&mut self) -> Result<()> {
+        flush_oldest(&mut self.pending, &mut self.sink, &mut self.written)?;
+        Ok(())
+    }
+
+    /// Emit the tail block, drain the pool, flush the sink, and return it.
+    /// Errors if fewer element bytes were written than the descriptor
+    /// declares (in-flight jobs are abandoned on any error — the writer is
+    /// consumed either way).
+    pub fn finish(mut self) -> Result<W> {
+        if self.consumed != self.desc.byte_len() {
+            return Err(Error::BadDescriptor(format!(
+                "stream ended after {} of {} element bytes",
+                self.consumed,
+                self.desc.byte_len()
+            )));
+        }
+        if !self.buf.is_empty() {
+            let tail = std::mem::take(&mut self.buf);
+            self.emit_block(&tail)?;
+        }
+        while !self.pending.is_empty() {
+            self.flush_front()?;
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Collect a writer's oldest in-flight block and emit its record to the
+/// sink; `false` when nothing is in flight.
+fn flush_oldest<W: Write>(
+    pending: &mut VecDeque<Ticket>,
+    sink: &mut W,
+    written: &mut u64,
+) -> Result<bool> {
+    let Some(ticket) = pending.pop_front() else {
+        return Ok(false);
+    };
+    let n = ticket.collect(|payload| -> std::io::Result<usize> {
+        sink.write_all(&(payload.len() as u64).to_le_bytes())?;
+        sink.write_all(payload)?;
+        Ok(payload.len())
+    })??;
+    *written += 8 + n as u64;
+    Ok(true)
+}
+
+/// Which reader-owned buffer holds the block [`FrameReader::advance`] just
+/// decoded.
+enum BlockHome {
+    /// Inline mode: `FrameReader::scratch`.
+    Scratch,
+    /// Pool mode: `FrameReader::current`.
+    Current,
+}
+
+/// Streaming `FCB3` decoder; see the [module docs](self).
+pub struct FrameReader<R: Read> {
+    src: R,
+    codec: Arc<dyn Compressor>,
+    pool: Option<Arc<WorkerPool>>,
+    desc: DataDesc,
+    block_elems: usize,
+    nblocks: usize,
+    /// Blocks whose records were read and submitted.
+    submitted: usize,
+    /// `payload` holds block `submitted`'s record, read but not yet
+    /// submitted (the pool was saturated by other sessions).
+    record_ready: bool,
+    /// Blocks handed to the caller.
+    collected: usize,
+    /// Sticky failure: once a block errors, later reads refuse instead of
+    /// yielding blocks out of order.
+    failed: bool,
+    pending: VecDeque<Ticket>,
+    bdesc: DataDesc,
+    /// Reusable compressed-record buffer.
+    payload: Vec<u8>,
+    /// Pool mode: the most recently collected decoded block.
+    current: Vec<u8>,
+    /// Inline mode: the reusable decode target.
+    scratch: FloatData,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Read and validate the stream prologue. The stream must have been
+    /// written by `codec` (by name); block decoding fans out on `pool`
+    /// when given.
+    pub fn new(
+        mut src: R,
+        codec: Arc<dyn Compressor>,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Result<Self> {
+        let (name, desc, block_elems) = decode_stream_header(&mut src)?;
+        if name != codec.info().name {
+            return Err(Error::Corrupt(format!(
+                "stream was written by codec {:?} but {:?} was asked to decode it",
+                name,
+                codec.info().name
+            )));
+        }
+        let nblocks = desc.elements().div_ceil(block_elems);
+        let bdesc = DataDesc {
+            precision: desc.precision,
+            dims: vec![0],
+            domain: desc.domain,
+        };
+        Ok(FrameReader {
+            src,
+            codec,
+            pool,
+            block_elems,
+            nblocks,
+            submitted: 0,
+            record_ready: false,
+            collected: 0,
+            failed: false,
+            pending: VecDeque::new(),
+            bdesc,
+            payload: Vec::new(),
+            current: Vec::new(),
+            scratch: FloatData::scratch(),
+            desc,
+        })
+    }
+
+    /// The stream's data descriptor.
+    pub fn desc(&self) -> &DataDesc {
+        &self.desc
+    }
+
+    /// Elements per block (the tail block may be short).
+    pub fn block_elems(&self) -> usize {
+        self.block_elems
+    }
+
+    /// Total number of blocks in the stream.
+    pub fn blocks_total(&self) -> usize {
+        self.nblocks
+    }
+
+    /// Blocks not yet handed to the caller.
+    pub fn blocks_remaining(&self) -> usize {
+        self.nblocks - self.collected
+    }
+
+    /// Element count of block `i`.
+    fn block_len(&self, i: usize) -> usize {
+        let total = self.desc.elements();
+        let start = i.saturating_mul(self.block_elems).min(total);
+        self.block_elems.min(total - start)
+    }
+
+    /// Read the next block record into `self.payload`, rejecting
+    /// implausibly long declared lengths before allocating for them.
+    fn read_record(&mut self, block_idx: usize) -> Result<()> {
+        let mut be = [0u8; 8];
+        self.src.read_exact(&mut be)?;
+        let len = u64::from_le_bytes(be);
+        let raw = self
+            .block_len(block_idx)
+            .saturating_mul(self.desc.precision.bytes());
+        let cap = raw
+            .saturating_mul(MAX_RECORD_EXPANSION)
+            .saturating_add(RECORD_SLACK);
+        let len = usize::try_from(len)
+            .ok()
+            .filter(|&l| l <= cap)
+            .ok_or_else(|| {
+                Error::Corrupt(format!(
+                    "block record claims {len} payload bytes for a {raw}-byte block"
+                ))
+            })?;
+        self.payload.clear();
+        self.payload.resize(len, 0);
+        self.src.read_exact(&mut self.payload)?;
+        Ok(())
+    }
+
+    /// Decode and return the next block's element bytes in stream order, or
+    /// `None` after the final block. The returned slice lives until the
+    /// next call.
+    pub fn next_block(&mut self) -> Result<Option<&[u8]>> {
+        if self.failed {
+            return Err(Error::Corrupt(
+                "stream reader is in a failed state (an earlier block errored)".into(),
+            ));
+        }
+        match self.advance() {
+            Ok(None) => Ok(None),
+            Ok(Some(BlockHome::Scratch)) => Ok(Some(self.scratch.bytes())),
+            Ok(Some(BlockHome::Current)) => Ok(Some(&self.current)),
+            Err(e) => {
+                // Fail sticky: abandon the read-ahead (recycling its pool
+                // slots) and refuse further reads instead of yielding
+                // blocks out of order — or panicking on a drained queue.
+                self.failed = true;
+                self.pending.clear();
+                Err(e)
+            }
+        }
+    }
+
+    /// [`next_block`](Self::next_block) minus the borrow of the output
+    /// buffer: decodes the next block into [`BlockHome::Scratch`] (inline)
+    /// or [`BlockHome::Current`] (pooled) so the caller-facing wrapper can
+    /// record failure before handing out a slice.
+    fn advance(&mut self) -> Result<Option<BlockHome>> {
+        if self.collected == self.nblocks {
+            return Ok(None);
+        }
+        match self.pool.clone() {
+            None => {
+                self.read_record(self.collected)?;
+                self.bdesc.dims[0] = self.block_len(self.collected);
+                crate::blocks::check_decode_claim(&self.bdesc, self.payload.len())?;
+                self.codec
+                    .decompress_into(&self.payload, &self.bdesc, &mut self.scratch)?;
+                if self.scratch.bytes().len() != self.bdesc.byte_len() {
+                    return Err(Error::Corrupt("block decoded to a wrong size".into()));
+                }
+                self.collected += 1;
+                Ok(Some(BlockHome::Scratch))
+            }
+            Some(pool) => {
+                // Keep the read-ahead window full, bounded by the queue.
+                // Saturation discipline: with jobs of our own in flight we
+                // never block in submit — a saturated pool just ends the
+                // top-up (collecting our front below frees a slot), and a
+                // record already read off `src` waits in `payload` for the
+                // next call.
+                while self.submitted < self.nblocks && self.pending.len() < pool.queue_depth() {
+                    let i = self.submitted;
+                    if !self.record_ready {
+                        self.read_record(i)?;
+                        self.record_ready = true;
+                    }
+                    self.bdesc.dims[0] = self.block_len(i);
+                    let ticket = match pool.try_submit_decompress(
+                        &self.codec,
+                        &self.bdesc,
+                        &self.payload,
+                    )? {
+                        Some(t) => t,
+                        None if self.pending.is_empty() => {
+                            pool.submit_decompress(&self.codec, &self.bdesc, &self.payload)?
+                        }
+                        None => break,
+                    };
+                    self.pending.push_back(ticket);
+                    self.submitted += 1;
+                    self.record_ready = false;
+                }
+                let ticket = self
+                    .pending
+                    .pop_front()
+                    .ok_or_else(|| Error::Corrupt("stream reader lost its read-ahead".into()))?;
+                let current = &mut self.current;
+                ticket.collect(|decoded| {
+                    current.clear();
+                    current.extend_from_slice(decoded);
+                })?;
+                self.collected += 1;
+                Ok(Some(BlockHome::Current))
+            }
+        }
+    }
+
+    /// Decode every remaining block into `out` (for a fresh reader: the
+    /// whole dataset). Convenience for callers that do want the data
+    /// resident; the bounded-memory path is [`next_block`](Self::next_block).
+    pub fn read_to_end(&mut self, out: &mut FloatData) -> Result<()> {
+        if self.collected != 0 {
+            return Err(Error::Unsupported(
+                "read_to_end requires a fresh reader (blocks were already consumed)".into(),
+            ));
+        }
+        let desc = self.desc.clone();
+        out.refill(&desc, |bytes| {
+            bytes.reserve(desc.byte_len().min(MAX_UPFRONT_RESERVE));
+            while let Some(block) = self.next_block()? {
+                bytes.extend_from_slice(block);
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
+    use crate::data::{Domain, Precision};
+    use crate::pool::PoolConfig;
+
+    struct HeaderedStore;
+
+    impl Compressor for HeaderedStore {
+        fn info(&self) -> CodecInfo {
+            CodecInfo {
+                name: "hstore",
+                year: 2024,
+                community: Community::General,
+                class: CodecClass::Delta,
+                platform: Platform::Cpu,
+                parallel: false,
+                precisions: PrecisionSupport::Both,
+            }
+        }
+        fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+            out.clear();
+            out.extend_from_slice(&[0xAB, 0xCD]);
+            out.extend_from_slice(data.bytes());
+            Ok(out.len())
+        }
+        fn decompress_into(
+            &self,
+            payload: &[u8],
+            desc: &DataDesc,
+            out: &mut FloatData,
+        ) -> Result<()> {
+            if payload.len() < 2 || payload[0] != 0xAB || payload[1] != 0xCD {
+                return Err(Error::Corrupt("bad hstore header".into()));
+            }
+            out.refill_from_slice(desc, &payload[2..])
+        }
+    }
+
+    fn codec() -> Arc<dyn Compressor> {
+        Arc::new(HeaderedStore)
+    }
+
+    fn sample(n: usize) -> FloatData {
+        let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.31 - 7.5).collect();
+        FloatData::from_f64(&vals, vec![n], Domain::TimeSeries).unwrap()
+    }
+
+    fn encode(
+        data: &FloatData,
+        block: usize,
+        pool: Option<Arc<WorkerPool>>,
+        chunk: usize,
+    ) -> Vec<u8> {
+        let mut w =
+            FrameWriter::new(Vec::new(), codec(), data.desc().clone(), block, pool).unwrap();
+        for c in data.bytes().chunks(chunk) {
+            w.write(c).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trips_inline_and_pooled_with_odd_chunking() {
+        let n = 777;
+        let data = sample(n);
+        for block in [1usize, n - 1, n, n + 1, 64] {
+            for pool_threads in [0usize, 2, 8] {
+                let pool = (pool_threads > 0)
+                    .then(|| Arc::new(WorkerPool::new(PoolConfig::with_threads(pool_threads))));
+                // Chunk sizes that are not element-aligned.
+                for chunk in [1usize, 13, 4096] {
+                    let bytes = encode(&data, block, pool.clone(), chunk);
+                    let mut r = FrameReader::new(&bytes[..], codec(), pool.clone()).unwrap();
+                    assert_eq!(r.desc(), data.desc());
+                    assert_eq!(r.blocks_total(), n.div_ceil(block.max(1)));
+                    let mut restored = Vec::new();
+                    while let Some(b) = r.next_block().unwrap() {
+                        restored.extend_from_slice(b);
+                    }
+                    assert_eq!(
+                        restored,
+                        data.bytes(),
+                        "block {block} pool {pool_threads} chunk {chunk}"
+                    );
+                    assert!(r.next_block().unwrap().is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_to_end_restores_the_container() {
+        let data = sample(300);
+        let bytes = encode(&data, 64, None, 999);
+        let mut r = FrameReader::new(&bytes[..], codec(), None).unwrap();
+        let mut out = FloatData::scratch();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.bytes(), data.bytes());
+        assert_eq!(out.desc(), data.desc());
+        // Not fresh any more.
+        assert!(r.read_to_end(&mut out).is_err());
+    }
+
+    #[test]
+    fn short_stream_is_rejected_at_finish() {
+        let data = sample(100);
+        let mut w = FrameWriter::new(Vec::new(), codec(), data.desc().clone(), 32, None).unwrap();
+        w.write(&data.bytes()[..400]).unwrap();
+        assert!(matches!(w.finish(), Err(Error::BadDescriptor(_))));
+    }
+
+    #[test]
+    fn overlong_write_is_rejected() {
+        let data = sample(10);
+        let mut w = FrameWriter::new(Vec::new(), codec(), data.desc().clone(), 4, None).unwrap();
+        w.write(data.bytes()).unwrap();
+        assert!(matches!(w.write(&[0u8; 1]), Err(Error::BadDescriptor(_))));
+    }
+
+    #[test]
+    fn reader_rejects_wrong_codec_and_bad_magic() {
+        let data = sample(50);
+        let bytes = encode(&data, 16, None, 4096);
+
+        struct Other;
+        impl Compressor for Other {
+            fn info(&self) -> CodecInfo {
+                CodecInfo {
+                    name: "other",
+                    ..HeaderedStore.info()
+                }
+            }
+            fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+                Ok(data.bytes().to_vec())
+            }
+            fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+                FloatData::from_bytes(desc.clone(), payload.to_vec())
+            }
+        }
+        assert!(FrameReader::new(&bytes[..], Arc::new(Other), None).is_err());
+
+        let mut bad = bytes.clone();
+        bad[3] = b'9';
+        assert!(FrameReader::new(&bad[..], codec(), None).is_err());
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed_errors() {
+        let data = sample(120);
+        let bytes = encode(&data, 32, None, 4096);
+        // Truncate at several depths: prologue, mid-record, mid-payload.
+        for cut in [0usize, 3, 10, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = match FrameReader::new(&bytes[..cut], codec(), None) {
+                Ok(r) => r,
+                Err(_) => continue, // prologue truncation already failed
+            };
+            let mut result = Ok(());
+            while match r.next_block() {
+                Ok(Some(_)) => true,
+                Ok(None) => false,
+                Err(e) => {
+                    result = Err(e);
+                    false
+                }
+            } {}
+            assert!(result.is_err(), "cut {cut} must surface an error");
+        }
+
+        // A record claiming an implausibly large payload is rejected
+        // before allocation.
+        let prologue_len = {
+            let mut cursor = &bytes[..];
+            crate::frame::decode_stream_header(&mut cursor).unwrap();
+            bytes.len() - cursor.len()
+        };
+        let mut hostile = bytes[..prologue_len].to_vec();
+        hostile.extend_from_slice(&u64::MAX.to_le_bytes());
+        hostile.extend_from_slice(&[0u8; 16]);
+        let mut r = FrameReader::new(&hostile[..], codec(), None).unwrap();
+        assert!(matches!(r.next_block(), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn reader_fails_sticky_after_a_corrupt_block() {
+        let data = sample(300);
+        let pool = Arc::new(WorkerPool::new(PoolConfig::with_threads(2)));
+        let bytes = encode(&data, 50, Some(Arc::clone(&pool)), 4096);
+        let prologue_len = {
+            let mut cursor = &bytes[..];
+            crate::frame::decode_stream_header(&mut cursor).unwrap();
+            bytes.len() - cursor.len()
+        };
+        // Corrupt the payloads of the first two records (flip the hstore
+        // markers); with read-ahead, both failing jobs are in flight at
+        // once — repeated reads must be typed errors, never a panic.
+        let len0 =
+            u64::from_le_bytes(bytes[prologue_len..prologue_len + 8].try_into().unwrap()) as usize;
+        let mut bad = bytes.clone();
+        bad[prologue_len + 8] ^= 0xFF;
+        bad[prologue_len + 8 + len0 + 8] ^= 0xFF;
+
+        let mut r = FrameReader::new(&bad[..], codec(), Some(pool)).unwrap();
+        assert!(matches!(r.next_block(), Err(Error::Corrupt(_))));
+        for _ in 0..3 {
+            assert!(matches!(r.next_block(), Err(Error::Corrupt(_))));
+        }
+    }
+
+    #[test]
+    fn single_precision_streams_round_trip() {
+        let vals: Vec<f32> = (0..500).map(|i| i as f32 * 0.25).collect();
+        let data = FloatData::from_f32(&vals, vec![500], Domain::Observation).unwrap();
+        assert_eq!(data.desc().precision, Precision::Single);
+        let bytes = encode(&data, 7, None, 11);
+        let mut r = FrameReader::new(&bytes[..], codec(), None).unwrap();
+        let mut out = FloatData::scratch();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.bytes(), data.bytes());
+    }
+
+    #[test]
+    fn writer_reports_progress() {
+        let data = sample(100);
+        let mut w = FrameWriter::new(Vec::new(), codec(), data.desc().clone(), 25, None).unwrap();
+        assert_eq!(w.bytes_consumed(), 0);
+        let prologue = w.bytes_written();
+        assert!(prologue > 0);
+        w.write(data.bytes()).unwrap();
+        assert_eq!(w.bytes_consumed(), data.bytes().len());
+        assert!(w.bytes_written() > prologue);
+        let out = w.finish().unwrap();
+        assert!(!out.is_empty());
+    }
+}

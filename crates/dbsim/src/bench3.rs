@@ -1,10 +1,14 @@
 //! The three-primitive micro-benchmark of §5.1.2 / Table 11:
 //! file I/O → decode → full-table-scan query, each timed separately.
 
-use crate::container::{read_container, write_container, ColumnData};
+use crate::container::{
+    read_container, write_container, write_container_pooled, ColumnData, CompressedColumn,
+};
 use crate::dataframe::DataFrame;
+use fcbench_core::pool::WorkerPool;
 use fcbench_core::{Compressor, Result};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Timed result of one end-to-end pass (all times in seconds).
@@ -38,7 +42,28 @@ pub fn measure_three_primitives(
     chunk_elems: usize,
 ) -> Result<ThreePrimitives> {
     write_container(path, codec, columns, chunk_elems)?;
+    measure_read_side(path, |col| col.decode(codec))
+}
 
+/// [`measure_three_primitives`] with both the write and the decode
+/// primitive pipelined across the persistent worker-pool engine — what a
+/// database integration running on the execution engine would measure.
+pub fn measure_three_primitives_pooled(
+    path: &Path,
+    pool: &WorkerPool,
+    codec: &Arc<dyn Compressor>,
+    columns: &[ColumnData],
+    chunk_elems: usize,
+) -> Result<ThreePrimitives> {
+    write_container_pooled(path, pool, codec, columns, chunk_elems)?;
+    measure_read_side(path, |col| col.decode_pooled(pool, codec))
+}
+
+/// Time the three read-side primitives with the given per-column decoder.
+fn measure_read_side(
+    path: &Path,
+    decode_col: impl Fn(&CompressedColumn) -> Result<ColumnData>,
+) -> Result<ThreePrimitives> {
     let t0 = Instant::now();
     let table = read_container(path)?;
     let io_seconds = t0.elapsed().as_secs_f64();
@@ -51,7 +76,7 @@ pub fn measure_three_primitives(
     let t1 = Instant::now();
     let mut decoded = Vec::with_capacity(table.columns.len());
     for col in &table.columns {
-        decoded.push(col.decode(codec)?);
+        decoded.push(decode_col(col)?);
     }
     let decode_seconds = t1.elapsed().as_secs_f64();
 
@@ -112,5 +137,21 @@ mod tests {
         assert!(r.scan_checksum > 0);
         assert!((r.read_seconds() - r.io_seconds - r.decode_seconds).abs() < 1e-12);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pooled_primitives_agree_with_inline() {
+        use fcbench_core::pool::{PoolConfig, WorkerPool};
+        let p1 = std::env::temp_dir().join(format!("fcbench-bench3p-{}", std::process::id()));
+        let a: Vec<f64> = (0..5_000).map(|i| (i % 100) as f64).collect();
+        let cols = vec![ColumnData::from_f64("a", &a)];
+        let inline = measure_three_primitives(&p1, &StoreCodec, &cols, 512).unwrap();
+
+        let pool = WorkerPool::new(PoolConfig::with_threads(2));
+        let codec: Arc<dyn Compressor> = Arc::new(StoreCodec);
+        let pooled = measure_three_primitives_pooled(&p1, &pool, &codec, &cols, 512).unwrap();
+        assert_eq!(pooled.compressed_bytes, inline.compressed_bytes);
+        assert_eq!(pooled.scan_checksum, inline.scan_checksum);
+        std::fs::remove_file(&p1).ok();
     }
 }

@@ -23,11 +23,30 @@
 //! column payloads   concatenated chunks
 //! ```
 
+use fcbench_core::pool::{Ticket, WorkerPool};
 use fcbench_core::{Compressor, DataDesc, Domain, Error, FloatData, Precision, Result};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"FCDB";
+
+/// How container chunks are compressed/decompressed: inline on the caller
+/// thread, or pipelined across the persistent [`WorkerPool`] engine.
+pub enum ChunkExec<'a> {
+    Inline(&'a dyn Compressor),
+    Pooled(&'a WorkerPool, &'a Arc<dyn Compressor>),
+}
+
+impl ChunkExec<'_> {
+    fn name(&self) -> &'static str {
+        match self {
+            ChunkExec::Inline(c) => c.info().name,
+            ChunkExec::Pooled(_, c) => c.info().name,
+        }
+    }
+}
 
 /// One column to be written.
 pub struct ColumnData {
@@ -75,8 +94,31 @@ pub fn write_container(
     columns: &[ColumnData],
     chunk_elems: usize,
 ) -> Result<()> {
+    write_container_with(path, &ChunkExec::Inline(codec), columns, chunk_elems)
+}
+
+/// [`write_container`] with chunk compression pipelined across the
+/// persistent worker-pool engine: up to `queue_depth` pages are in flight
+/// at once, collected in page order.
+pub fn write_container_pooled(
+    path: &Path,
+    pool: &WorkerPool,
+    codec: &Arc<dyn Compressor>,
+    columns: &[ColumnData],
+    chunk_elems: usize,
+) -> Result<()> {
+    write_container_with(path, &ChunkExec::Pooled(pool, codec), columns, chunk_elems)
+}
+
+/// Shared implementation behind both container writers.
+pub fn write_container_with(
+    path: &Path,
+    exec: &ChunkExec<'_>,
+    columns: &[ColumnData],
+    chunk_elems: usize,
+) -> Result<()> {
     assert!(chunk_elems > 0);
-    let codec_name = codec.info().name.as_bytes();
+    let codec_name = exec.name().as_bytes();
     if codec_name.len() > 255 {
         return Err(Error::NameTooLong {
             len: codec_name.len(),
@@ -110,14 +152,48 @@ pub fn write_container(
         header.extend_from_slice(&(chunk_elems as u32).to_le_bytes());
         header.extend_from_slice(&(nchunks as u32).to_le_bytes());
 
-        let mut sizes = Vec::with_capacity(nchunks);
-        for chunk in col.bytes.chunks(chunk_bytes.max(esize)) {
-            let elems = chunk.len() / esize;
-            let desc = DataDesc::new(col.precision, vec![elems], Domain::Database)?;
-            scratch.refill_from_slice(&desc, chunk)?;
-            let n = codec.compress_into(&scratch, &mut payload)?;
-            sizes.push(n as u64);
-            body.extend_from_slice(&payload[..n]);
+        let mut sizes: Vec<u64> = Vec::with_capacity(nchunks);
+        match exec {
+            ChunkExec::Inline(codec) => {
+                for chunk in col.bytes.chunks(chunk_bytes.max(esize)) {
+                    let elems = chunk.len() / esize;
+                    let desc = DataDesc::new(col.precision, vec![elems], Domain::Database)?;
+                    scratch.refill_from_slice(&desc, chunk)?;
+                    let n = codec.compress_into(&scratch, &mut payload)?;
+                    sizes.push(n as u64);
+                    body.extend_from_slice(&payload[..n]);
+                }
+            }
+            ChunkExec::Pooled(pool, codec) => {
+                // Pipelined: keep up to `queue_depth` pages in flight,
+                // collected in page order so the directory and body stay
+                // aligned; the drain closure applies the engine's
+                // saturation discipline (never block while holding pages).
+                let mut pending: VecDeque<Ticket> = VecDeque::new();
+                let mut desc = DataDesc::new(col.precision, vec![1], Domain::Database)?;
+                let mut first_err: Option<Error> = None;
+                for chunk in col.bytes.chunks(chunk_bytes.max(esize)) {
+                    desc.dims[0] = chunk.len() / esize;
+                    let submitted = pool.submit_compress_draining(codec, &desc, chunk, || {
+                        collect_page(&mut pending, &mut sizes, &mut body)
+                    });
+                    match submitted {
+                        Ok(t) => pending.push_back(t),
+                        Err(e) => {
+                            first_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                while !pending.is_empty() {
+                    if let Err(e) = collect_page(&mut pending, &mut sizes, &mut body) {
+                        let _ = first_err.get_or_insert(e);
+                    }
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+            }
         }
         for s in sizes {
             header.extend_from_slice(&s.to_le_bytes());
@@ -129,6 +205,24 @@ pub fn write_container(
     f.write_all(&body)?;
     f.sync_all()?;
     Ok(())
+}
+
+/// Collect the oldest in-flight page into the directory and body;
+/// `false` when nothing is in flight.
+fn collect_page(
+    pending: &mut VecDeque<Ticket>,
+    sizes: &mut Vec<u64>,
+    body: &mut Vec<u8>,
+) -> Result<bool> {
+    let Some(ticket) = pending.pop_front() else {
+        return Ok(false);
+    };
+    let n = ticket.collect(|p| {
+        body.extend_from_slice(p);
+        p.len()
+    })?;
+    sizes.push(n as u64);
+    Ok(true)
 }
 
 /// A column read back from disk (still compressed).
@@ -263,6 +357,71 @@ impl CompressedColumn {
         })
     }
 
+    /// [`decode`](Self::decode) with chunk decompression pipelined across
+    /// the persistent worker-pool engine, collected in page order.
+    pub fn decode_pooled(
+        &self,
+        pool: &WorkerPool,
+        codec: &Arc<dyn Compressor>,
+    ) -> Result<ColumnData> {
+        let esize = self.precision.bytes();
+        let mut bytes = Vec::with_capacity(self.rows * esize);
+        let mut desc = DataDesc::new(self.precision, vec![1], Domain::Database)?;
+        let mut pending: VecDeque<Ticket> = VecDeque::new();
+        let mut first_err: Option<Error> = None;
+        let mut remaining = self.rows;
+
+        /// Append the oldest in-flight decoded page; `false` when nothing
+        /// is in flight.
+        fn collect_decoded(pending: &mut VecDeque<Ticket>, bytes: &mut Vec<u8>) -> Result<bool> {
+            let Some(ticket) = pending.pop_front() else {
+                return Ok(false);
+            };
+            ticket.collect(|decoded| bytes.extend_from_slice(decoded))?;
+            Ok(true)
+        }
+
+        for chunk in &self.chunks {
+            let elems = remaining.min(self.chunk_elems);
+            if elems == 0 {
+                first_err.get_or_insert(Error::Corrupt("more chunks than rows".into()));
+                break;
+            }
+            desc.dims[0] = elems;
+            // Same saturation discipline as the write side.
+            let submitted = pool.submit_decompress_draining(codec, &desc, chunk, || {
+                collect_decoded(&mut pending, &mut bytes)
+            });
+            match submitted {
+                Ok(t) => pending.push_back(t),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+            remaining -= elems;
+        }
+        while !pending.is_empty() {
+            if let Err(e) = collect_decoded(&mut pending, &mut bytes) {
+                let _ = first_err.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if remaining != 0 {
+            return Err(Error::Corrupt("chunks do not cover all rows".into()));
+        }
+        if bytes.len() != self.rows * esize {
+            return Err(Error::Corrupt("reassembled column size mismatch".into()));
+        }
+        Ok(ColumnData {
+            name: self.name.clone(),
+            precision: self.precision,
+            bytes,
+        })
+    }
+
     /// Total compressed bytes of this column.
     pub fn compressed_bytes(&self) -> usize {
         self.chunks.iter().map(|c| c.len()).sum()
@@ -298,6 +457,41 @@ mod tests {
 
     fn tmp(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("fcbench-dbsim-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn pooled_container_matches_inline_bytes_and_round_trips() {
+        use fcbench_core::pool::PoolConfig;
+
+        let inline_path = tmp("pool-a");
+        let pooled_path = tmp("pool-b");
+        let a: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f32> = (0..1234).map(|i| i as f32 * 0.5).collect();
+        let cols = vec![
+            ColumnData::from_f64("price", &a),
+            ColumnData::from_f32("qty", &b),
+        ];
+        write_container(&inline_path, &StoreCodec, &cols, 100).unwrap();
+
+        let pool = WorkerPool::new(PoolConfig::with_threads(3));
+        let codec: Arc<dyn Compressor> = Arc::new(StoreCodec);
+        write_container_pooled(&pooled_path, &pool, &codec, &cols, 100).unwrap();
+
+        // Page-order collection means the pooled container is bit-identical.
+        assert_eq!(
+            std::fs::read(&inline_path).unwrap(),
+            std::fs::read(&pooled_path).unwrap()
+        );
+
+        let table = read_container(&pooled_path).unwrap();
+        for (col, orig) in table.columns.iter().zip(cols.iter()) {
+            let inline = col.decode(&StoreCodec).unwrap();
+            let pooled = col.decode_pooled(&pool, &codec).unwrap();
+            assert_eq!(inline.bytes, orig.bytes);
+            assert_eq!(pooled.bytes, orig.bytes);
+        }
+        std::fs::remove_file(&inline_path).ok();
+        std::fs::remove_file(&pooled_path).ok();
     }
 
     #[test]

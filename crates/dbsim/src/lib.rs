@@ -14,8 +14,9 @@ pub mod bench3;
 pub mod container;
 pub mod dataframe;
 
-pub use bench3::{measure_three_primitives, ThreePrimitives};
+pub use bench3::{measure_three_primitives, measure_three_primitives_pooled, ThreePrimitives};
 pub use container::{
-    read_container, write_container, ColumnData, CompressedColumn, CompressedTable,
+    read_container, write_container, write_container_pooled, ChunkExec, ColumnData,
+    CompressedColumn, CompressedTable,
 };
 pub use dataframe::{Column, DataFrame};

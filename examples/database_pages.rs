@@ -6,8 +6,9 @@
 //! cargo run --release --example database_pages
 //! ```
 
+use fcbench::core::pool::{PoolConfig, WorkerPool};
 use fcbench::core::Compressor;
-use fcbench::dbsim::{measure_three_primitives, ColumnData};
+use fcbench::dbsim::{measure_three_primitives_pooled, ColumnData};
 use fcbench_bench::codecs::paper_registry;
 
 fn main() {
@@ -38,6 +39,12 @@ fn main() {
         .iter()
         .map(|name| registry.get(name).expect("registered codec"))
         .collect();
+    // One persistent engine serves every codec and page size below: pages
+    // are compressed and decoded by warm pool workers, the way a database
+    // integration would drive the codecs.
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
+    let pool = WorkerPool::new(PoolConfig::with_threads(workers));
+    println!("execution engine: {workers} persistent workers\n");
     // The paper's Table 10 page sizes, in elements (8-byte doubles).
     let pages = [(512usize, "4K"), (8192, "64K"), (1 << 20, "8M")];
 
@@ -53,7 +60,7 @@ fn main() {
                 std::process::id(),
                 codec.info().name
             ));
-            let r = measure_three_primitives(&path, codec.as_ref(), &columns, page_elems)
+            let r = measure_three_primitives_pooled(&path, &pool, codec, &columns, page_elems)
                 .expect("three primitives");
             println!(
                 "{:<16} {:>6} {:>8.3} {:>9.2} {:>9.2} {:>9.2}",

@@ -6,6 +6,7 @@
 //! cargo run --release --example scientific_simulation
 //! ```
 
+use fcbench::core::pool::{PoolConfig, WorkerPool};
 use fcbench::core::{Compressor, Domain, FloatData};
 use fcbench_bench::codecs::paper_registry;
 
@@ -42,14 +43,21 @@ fn main() {
         .map(|name| registry.get(name).expect("registered codec"))
         .collect();
 
+    // Every compression below runs as a job on one persistent two-worker
+    // engine; codec scratch stays warm across all of them.
+    let pool = WorkerPool::new(PoolConfig::with_threads(2));
+    let mut c3 = Vec::new();
+    let mut c1 = Vec::new();
     println!(
         "{:<12} {:>10} {:>10}  (3-D vs flattened-1-D ratio)",
         "codec", "3-D", "1-D"
     );
     for codec in &codecs {
-        let c3 = codec.compress(&field).expect("compress 3-D");
+        pool.run_compress(codec, &field, &mut c3)
+            .expect("compress 3-D");
         let flat = field.flattened_1d();
-        let c1 = codec.compress(&flat).expect("compress 1-D");
+        pool.run_compress(codec, &flat, &mut c1)
+            .expect("compress 1-D");
         // Verify both round-trip.
         assert_eq!(
             codec
