@@ -1,0 +1,106 @@
+//! Serving-layer throughput smoke: loopback `FCS1` round trips through
+//! `fcbench-serve` against the same codecs driven directly, so the table
+//! shows what the network+protocol layer costs on top of the engine.
+//!
+//! Runs without the Criterion harness (`harness = false`): it prints one
+//! table and exits, sized for a CI smoke budget. `FCBENCH_QUICK_BENCH=1`
+//! shrinks the workload.
+
+use fcbench_bench::codecs::paper_registry;
+use fcbench_core::pool::{PoolConfig, WorkerPool};
+use fcbench_core::stream::{FrameReader, FrameWriter};
+use fcbench_datasets::{find, generate};
+use fcbench_serve::{Client, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var_os("FCBENCH_QUICK_BENCH").is_some_and(|v| v != "0")
+}
+
+fn main() {
+    let elems = if quick() { 1 << 14 } else { 1 << 18 };
+    let iters = if quick() { 2 } else { 8 };
+    let block = 8 * 1024;
+    let spec = find("msg-bt").expect("catalog dataset");
+    let data = generate(&spec, elems);
+    let raw_mb = data.bytes().len() as f64 / (1024.0 * 1024.0);
+
+    let registry = Arc::new(paper_registry());
+    let pool = Arc::new(WorkerPool::new(PoolConfig::for_host()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        Arc::clone(&pool),
+        ServeConfig::default(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let running = server.spawn();
+
+    println!(
+        "serve throughput smoke ({elems} elements = {raw_mb:.1} MiB, best of {iters}, \
+         loopback FCS1 vs direct engine):"
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>8}",
+        "codec", "serve MB/s", "direct MB/s", "overhead"
+    );
+    let mut client = Client::connect(addr).expect("connect");
+    for name in ["gorilla", "chimp128", "bitshuffle-zstd"] {
+        let entry = registry.entry(name).expect("registered codec");
+
+        // Serve path: compress + decompress over the wire.
+        let mut best_serve = f64::INFINITY;
+        for _ in 0..iters {
+            let t = Instant::now();
+            let compressed = client.compress(name, &data, block).expect("compress");
+            let restored = client.decompress(&compressed).expect("decompress");
+            best_serve = best_serve.min(t.elapsed().as_secs_f64());
+            assert_eq!(restored.bytes(), data.bytes(), "{name}: lossless");
+        }
+
+        // Direct path: the same FCB3 stream through the same shared pool,
+        // no sockets.
+        let engine = entry.is_thread_scalable().then(|| Arc::clone(&pool));
+        let mut best_direct = f64::INFINITY;
+        for _ in 0..iters {
+            let t = Instant::now();
+            let mut writer = FrameWriter::new(
+                Vec::new(),
+                Arc::clone(entry.codec()),
+                data.desc().clone(),
+                block,
+                engine.clone(),
+            )
+            .expect("writer");
+            writer.write(data.bytes()).expect("write");
+            let stored = writer.finish().expect("finish");
+            let mut reader =
+                FrameReader::new(&stored[..], Arc::clone(entry.codec()), engine.clone())
+                    .expect("reader");
+            let mut n = 0usize;
+            while let Some(b) = reader.next_block().expect("read") {
+                n += b.len();
+            }
+            best_direct = best_direct.min(t.elapsed().as_secs_f64());
+            assert_eq!(n, data.bytes().len(), "{name}: full decode");
+        }
+
+        println!(
+            "{name:<16} {:>12.1} {:>12.1} {:>7.2}x",
+            raw_mb / best_serve,
+            raw_mb / best_direct,
+            best_serve / best_direct.max(f64::MIN_POSITIVE)
+        );
+    }
+
+    let stats = client.stats().expect("stats");
+    drop(client);
+    running.shutdown().expect("shutdown");
+    println!(
+        "\n(server counted {} requests, {} bytes in, {} bytes out; \
+         overhead ~1x means the protocol layer is not the bottleneck)",
+        stats.requests_ok, stats.bytes_in, stats.bytes_out
+    );
+}

@@ -19,6 +19,14 @@ pub enum Error {
     /// The input violates a codec-specific constraint
     /// (e.g. GFC's 512 MB input limit, BUFF's precision table bounds).
     Unsupported(String),
+    /// A name lookup in a [`CodecRegistry`](crate::registry::CodecRegistry)
+    /// found no such codec. Carries the registry's available names so the
+    /// boundary that surfaces the error (CLI, network reply) can say what
+    /// *would* have worked.
+    UnknownCodec {
+        requested: String,
+        available: Vec<String>,
+    },
     /// A codec name longer than the frame format's 255-byte name field.
     NameTooLong { len: usize },
     /// More dimensions than the frame format's single-byte dim count.
@@ -41,6 +49,16 @@ impl fmt::Display for Error {
             }
             Error::BadDescriptor(msg) => write!(f, "bad data descriptor: {msg}"),
             Error::Unsupported(msg) => write!(f, "unsupported input: {msg}"),
+            Error::UnknownCodec {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "codec {requested:?} is not registered (available: {})",
+                    available.join(", ")
+                )
+            }
             Error::NameTooLong { len } => {
                 write!(f, "codec name is {len} bytes; frames allow at most 255")
             }
@@ -113,6 +131,17 @@ mod tests {
         let e = Error::WorkerPanic("index out of bounds".into());
         assert!(e.to_string().contains("panicked"));
         assert!(e.to_string().contains("index out of bounds"));
+    }
+
+    #[test]
+    fn unknown_codec_lists_the_alternatives() {
+        let e = Error::UnknownCodec {
+            requested: "zstd".into(),
+            available: vec!["gorilla".into(), "chimp128".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("\"zstd\""));
+        assert!(msg.contains("gorilla, chimp128"));
     }
 
     #[test]

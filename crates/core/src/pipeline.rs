@@ -93,9 +93,7 @@ impl Pipeline {
     /// is gated on the entry's `thread_scalable` capability: unmarked
     /// codecs execute inline whatever [`threads`](Self::threads) says.
     pub fn new(registry: &CodecRegistry, name: &str) -> Result<Self> {
-        let entry = registry
-            .entry(name)
-            .ok_or_else(|| Error::Unsupported(format!("codec {name:?} is not registered")))?;
+        let entry = registry.entry(name).ok_or_else(|| registry.unknown(name))?;
         let mut p = Self::with_codec(Arc::clone(entry.codec()));
         p.pool_dispatch = entry.is_thread_scalable();
         Ok(p)
@@ -461,7 +459,8 @@ mod tests {
     fn unknown_codec_is_a_typed_error() {
         assert!(matches!(
             Pipeline::new(&registry(), "nope"),
-            Err(Error::Unsupported(_))
+            Err(Error::UnknownCodec { requested, available })
+                if requested == "nope" && !available.is_empty()
         ));
     }
 

@@ -106,6 +106,20 @@ impl PoolConfig {
         }
     }
 
+    /// A configuration sized for the machine the process is running on:
+    /// one worker per available hardware thread (via
+    /// [`std::thread::available_parallelism`], falling back to 2 when the
+    /// host won't say) and a `4 * threads` slot queue clamped to `[8, 256]`.
+    ///
+    /// The deeper-than-default queue is deliberate: a host-sized pool is
+    /// what serving front-ends share across many concurrent streams, and
+    /// each stream pins at most its own in-flight window — extra slots keep
+    /// workers fed while any one stream is stalled on its client.
+    pub fn for_host() -> Self {
+        let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+        PoolConfig::with_threads(threads).queue_depth((threads * 4).clamp(8, 256))
+    }
+
     /// Builder-style queue-depth override (clamped to at least 1).
     #[must_use]
     pub fn queue_depth(mut self, depth: usize) -> Self {
@@ -682,6 +696,17 @@ impl Ticket {
         }
     }
 
+    /// Has this job finished executing? A `true` here means
+    /// [`collect`](Ticket::collect) will not block. Lets pipelined callers
+    /// flush completed work opportunistically (e.g. while waiting on a slow
+    /// input source) instead of pinning finished slots.
+    pub fn is_finished(&self) -> bool {
+        matches!(
+            lock(&self.shared.inner).states[self.slot],
+            JobState::Done(_)
+        )
+    }
+
     /// Wait for the job to finish. On success, hand the output bytes
     /// (compressed payload or decoded elements, by job kind) to `f` and
     /// return its value; on failure return the job's error. The slot is
@@ -1097,6 +1122,22 @@ mod tests {
             pool.submit_compress(&codec, &desc, &[0u8; 7]),
             Err(Error::BadDescriptor(_))
         ));
+    }
+
+    #[test]
+    fn for_host_sizes_from_the_machine() {
+        let c = PoolConfig::for_host();
+        assert!(c.threads >= 1);
+        assert!((8..=256).contains(&c.queue_depth));
+        assert!(c.queue_depth >= c.threads.min(256));
+        // It must build a working pool.
+        let pool = WorkerPool::new(c);
+        let codec = arc(Store);
+        let data = sample(16);
+        let t = pool
+            .submit_compress(&codec, data.desc(), data.bytes())
+            .unwrap();
+        t.collect(|b| assert_eq!(b, data.bytes())).unwrap();
     }
 
     #[test]

@@ -164,10 +164,19 @@ impl CodecRegistry {
         self.entry(name).map(|e| Arc::clone(&e.codec))
     }
 
-    /// Like [`get`](Self::get) but with a typed error naming the codec.
+    /// Like [`get`](Self::get) but with a typed [`Error::UnknownCodec`]
+    /// that lists every registered name — the error a serving boundary can
+    /// hand straight back to a client that asked for a codec it misspelled.
     pub fn require(&self, name: &str) -> Result<Arc<dyn Compressor>> {
-        self.get(name)
-            .ok_or_else(|| Error::Unsupported(format!("codec {name:?} is not registered")))
+        self.get(name).ok_or_else(|| self.unknown(name))
+    }
+
+    /// The [`Error::UnknownCodec`] for a failed lookup of `name`.
+    pub fn unknown(&self, name: &str) -> Error {
+        Error::UnknownCodec {
+            requested: name.to_string(),
+            available: self.names().iter().map(|n| n.to_string()).collect(),
+        }
     }
 
     /// Entries in registration order.
@@ -231,9 +240,7 @@ impl CodecRegistry {
     /// Construct `name` configured for `threads` workers via its registered
     /// factory. Errors if the codec is unknown or not thread-scalable.
     pub fn scaled(&self, name: &str, threads: usize) -> Result<Box<dyn Compressor>> {
-        let entry = self
-            .entry(name)
-            .ok_or_else(|| Error::Unsupported(format!("codec {name:?} is not registered")))?;
+        let entry = self.entry(name).ok_or_else(|| self.unknown(name))?;
         let factory = entry
             .scale
             .as_ref()
@@ -306,7 +313,21 @@ mod tests {
         assert_eq!(r.names(), vec!["a", "b"]);
         assert_eq!(r.get("a").unwrap().info().name, "a");
         assert!(r.get("zz").is_none());
-        assert!(r.require("zz").is_err());
+        let err = match r.require("zz") {
+            Ok(_) => panic!("lookup of \"zz\" must fail"),
+            Err(e) => e,
+        };
+        match &err {
+            Error::UnknownCodec {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested, "zz");
+                assert_eq!(available, &["a", "b"]);
+            }
+            other => panic!("expected UnknownCodec, got {other:?}"),
+        }
+        assert!(err.to_string().contains("a, b"));
         assert_eq!(r.codecs().count(), 2);
     }
 

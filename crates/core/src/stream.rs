@@ -88,6 +88,9 @@ pub struct FrameWriter<W: Write> {
     buf: Vec<u8>,
     /// In-flight pool jobs, in stream order.
     pending: VecDeque<Ticket>,
+    /// Upper bound on `pending.len()` — how much of a shared pool this one
+    /// stream may pin. Defaults to the whole queue.
+    inflight_cap: usize,
     /// Reusable per-block descriptor.
     bdesc: DataDesc,
     /// Inline-mode scratch input container.
@@ -128,6 +131,7 @@ impl<W: Write> FrameWriter<W> {
             bpb: block_elems.saturating_mul(esize),
             buf: Vec::new(),
             pending: VecDeque::new(),
+            inflight_cap: usize::MAX,
             bdesc,
             scratch: FloatData::scratch(),
             payload: Vec::new(),
@@ -135,6 +139,17 @@ impl<W: Write> FrameWriter<W> {
             written: prologue.len() as u64,
             desc,
         })
+    }
+
+    /// Cap the number of blocks this writer may have in flight on a shared
+    /// pool at once (clamped to at least 1). When many independent streams
+    /// share one host-sized engine — a serving front-end's connections —
+    /// per-stream caps stop any single stream from pinning every job slot.
+    /// Inline writers (no pool) ignore it.
+    #[must_use]
+    pub fn max_in_flight(mut self, cap: usize) -> Self {
+        self.inflight_cap = cap.max(1);
+        self
     }
 
     /// Element bytes accepted so far.
@@ -202,6 +217,11 @@ impl<W: Write> FrameWriter<W> {
         self.bdesc.dims[0] = block.len() / self.esize;
         match self.pool.clone() {
             Some(pool) => {
+                // Per-stream cap: flush our own oldest records until we are
+                // back under it before taking another slot.
+                while self.pending.len() >= self.inflight_cap {
+                    self.flush_front()?;
+                }
                 // Saturation discipline: never block in submit while
                 // holding tickets — the drain closure flushes our own
                 // oldest record to free a slot instead.
@@ -234,6 +254,27 @@ impl<W: Write> FrameWriter<W> {
     fn flush_front(&mut self) -> Result<()> {
         flush_oldest(&mut self.pending, &mut self.sink, &mut self.written)?;
         Ok(())
+    }
+
+    /// Emit records for in-flight blocks that have already finished
+    /// compressing, without waiting on unfinished ones. Returns how many
+    /// records were written. Callers that block on a slow input source
+    /// (a network server reading a trickling client) call this while they
+    /// wait, so completed jobs release their pool slots to other streams
+    /// instead of staying pinned until the next `write`.
+    ///
+    /// On error the writer abandons its in-flight jobs and is unusable,
+    /// like [`write`](Self::write).
+    pub fn flush_ready(&mut self) -> Result<usize> {
+        let mut flushed = 0usize;
+        while self.pending.front().is_some_and(Ticket::is_finished) {
+            if let Err(e) = self.flush_front() {
+                self.pending.clear();
+                return Err(e);
+            }
+            flushed += 1;
+        }
+        Ok(flushed)
     }
 
     /// Emit the tail block, drain the pool, flush the sink, and return it.
@@ -307,6 +348,9 @@ pub struct FrameReader<R: Read> {
     /// yielding blocks out of order.
     failed: bool,
     pending: VecDeque<Ticket>,
+    /// Upper bound on read-ahead jobs in flight (shared-pool fairness; see
+    /// [`FrameWriter::max_in_flight`]).
+    inflight_cap: usize,
     bdesc: DataDesc,
     /// Reusable compressed-record buffer.
     payload: Vec<u8>,
@@ -350,12 +394,22 @@ impl<R: Read> FrameReader<R> {
             collected: 0,
             failed: false,
             pending: VecDeque::new(),
+            inflight_cap: usize::MAX,
             bdesc,
             payload: Vec::new(),
             current: Vec::new(),
             scratch: FloatData::scratch(),
             desc,
         })
+    }
+
+    /// Cap this reader's decode read-ahead at `cap` in-flight blocks
+    /// (clamped to at least 1) — the reader-side twin of
+    /// [`FrameWriter::max_in_flight`]. Inline readers (no pool) ignore it.
+    #[must_use]
+    pub fn max_in_flight(mut self, cap: usize) -> Self {
+        self.inflight_cap = cap.max(1);
+        self
     }
 
     /// The stream's data descriptor.
@@ -405,9 +459,21 @@ impl<R: Read> FrameReader<R> {
                     "block record claims {len} payload bytes for a {raw}-byte block"
                 ))
             })?;
+        // Grow the buffer as payload bytes actually arrive (1 MiB steps)
+        // rather than reserving the full claim up front: a hostile record
+        // that declares hundreds of megabytes but delivers nothing must
+        // fail at EOF having committed one step, not the whole claim.
+        // Memory tracks delivered bytes, the same discipline as bounded
+        // length-prefixed reads elsewhere.
+        const STEP: usize = 1 << 20;
         self.payload.clear();
-        self.payload.resize(len, 0);
-        self.src.read_exact(&mut self.payload)?;
+        let mut filled = 0usize;
+        while filled < len {
+            let step = STEP.min(len - filled);
+            self.payload.resize(filled + step, 0);
+            self.src.read_exact(&mut self.payload[filled..])?;
+            filled += step;
+        }
         Ok(())
     }
 
@@ -463,7 +529,8 @@ impl<R: Read> FrameReader<R> {
                 // top-up (collecting our front below frees a slot), and a
                 // record already read off `src` waits in `payload` for the
                 // next call.
-                while self.submitted < self.nblocks && self.pending.len() < pool.queue_depth() {
+                let window = pool.queue_depth().min(self.inflight_cap);
+                while self.submitted < self.nblocks && self.pending.len() < window {
                     let i = self.submitted;
                     if !self.record_ready {
                         self.read_record(i)?;
@@ -740,6 +807,79 @@ mod tests {
         let mut out = FloatData::scratch();
         r.read_to_end(&mut out).unwrap();
         assert_eq!(out.bytes(), data.bytes());
+    }
+
+    #[test]
+    fn flush_ready_emits_finished_blocks_without_blocking() {
+        let data = sample(512);
+        let pool = Arc::new(WorkerPool::new(PoolConfig::with_threads(2)));
+        let mut w = FrameWriter::new(
+            Vec::new(),
+            codec(),
+            data.desc().clone(),
+            32,
+            Some(Arc::clone(&pool)),
+        )
+        .unwrap();
+        w.write(&data.bytes()[..2048]).unwrap();
+        // Once the pool has executed the submitted jobs, flush_ready emits
+        // their records without waiting on anything.
+        pool.drain();
+        let before = w.bytes_written();
+        let flushed = w.flush_ready().unwrap();
+        assert!(flushed > 0, "finished blocks must flush");
+        assert!(w.bytes_written() > before);
+        assert_eq!(w.flush_ready().unwrap(), 0, "nothing left in flight");
+        // The stream is still perfectly usable afterwards.
+        w.write(&data.bytes()[2048..]).unwrap();
+        let encoded = w.finish().unwrap();
+        let mut r = FrameReader::new(&encoded[..], codec(), Some(pool)).unwrap();
+        let mut restored = Vec::new();
+        while let Some(b) = r.next_block().unwrap() {
+            restored.extend_from_slice(b);
+        }
+        assert_eq!(restored, data.bytes());
+    }
+
+    #[test]
+    fn in_flight_caps_round_trip_and_share_a_tiny_pool() {
+        // Two streams capped at 1 job each share a 2-slot pool: neither can
+        // pin both slots, so interleaving their writes cannot deadlock.
+        let n = 400;
+        let data = sample(n);
+        let pool = Arc::new(WorkerPool::new(PoolConfig::with_threads(1).queue_depth(2)));
+        let mut a = FrameWriter::new(
+            Vec::new(),
+            codec(),
+            data.desc().clone(),
+            16,
+            Some(Arc::clone(&pool)),
+        )
+        .unwrap()
+        .max_in_flight(1);
+        let mut b = FrameWriter::new(
+            Vec::new(),
+            codec(),
+            data.desc().clone(),
+            16,
+            Some(Arc::clone(&pool)),
+        )
+        .unwrap()
+        .max_in_flight(1);
+        for chunk in data.bytes().chunks(128) {
+            a.write(chunk).unwrap();
+            b.write(chunk).unwrap();
+        }
+        for encoded in [a.finish().unwrap(), b.finish().unwrap()] {
+            let mut r = FrameReader::new(&encoded[..], codec(), Some(Arc::clone(&pool)))
+                .unwrap()
+                .max_in_flight(1);
+            let mut restored = Vec::new();
+            while let Some(block) = r.next_block().unwrap() {
+                restored.extend_from_slice(block);
+            }
+            assert_eq!(restored, data.bytes());
+        }
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! The `FCS1` client library: a thin, blocking wrapper over one TCP
+//! connection. Used by the integration tests, benches, and examples — and
+//! by anything else that wants compression as a network call.
+
+use crate::protocol::{self, CodecListing};
+use crate::stats::StatsSnapshot;
+use fcbench_core::{Error, FloatData, Result};
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to an `FCS1` server. Requests run strictly in sequence
+/// on the connection (open several clients for concurrency — the server
+/// multiplexes them onto its one engine).
+pub struct Client {
+    stream: TcpStream,
+    /// The server's advertised request-size ceiling (from the handshake).
+    server_max: u64,
+}
+
+impl Client {
+    /// Connect and complete the `FCS1` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            server_max: u64::MAX,
+        };
+        client.stream.write_all(&protocol::client_hello())?;
+        client.stream.flush()?;
+        let body = protocol::read_reply(&mut client.stream)?;
+        let (_version, server_max) = protocol::check_hello_body(&body)?;
+        client.server_max = server_max;
+        Ok(client)
+    }
+
+    /// The server's advertised request-size ceiling in bytes: the raw
+    /// element bytes of a `COMPRESS`. A `DECOMPRESS` stream gets expansion
+    /// headroom on top ([`protocol::stream_cap`]) so a stream the server
+    /// itself produced always fits back through it.
+    pub fn server_max_request_bytes(&self) -> u64 {
+        self.server_max
+    }
+
+    /// Refuse a request the server already told us it will cut off —
+    /// the typed error the server would send, without streaming a body
+    /// whose rejection would reset the connection mid-upload.
+    fn check_request_size(&self, bytes: usize, cap: u64) -> Result<()> {
+        if bytes as u64 > cap {
+            return Err(Error::Unsupported(format!(
+                "request is {bytes} bytes; the server accepts at most {cap}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The reply-body ceiling for this connection: the protocol default,
+    /// widened when the server's advertised request cap means a `COMPRESS`
+    /// reply (stream bytes, with expansion headroom) can legitimately
+    /// exceed it — refusing such a reply unread would desync the framing.
+    fn reply_cap(&self) -> usize {
+        let stream = usize::try_from(protocol::stream_cap(self.server_max)).unwrap_or(usize::MAX);
+        protocol::MAX_REPLY_BYTES.max(stream)
+    }
+
+    fn read_reply(&mut self) -> Result<Vec<u8>> {
+        let cap = self.reply_cap();
+        protocol::read_reply_capped(&mut self.stream, cap)
+    }
+
+    /// Compress `data` on the server with `codec`, split into
+    /// `block_elems`-element blocks. Returns the compressed `FCB3` stream
+    /// — self-describing, so it can be decoded by
+    /// [`decompress`](Client::decompress), by a local
+    /// [`FrameReader`](fcbench_core::stream::FrameReader), or stored as-is.
+    pub fn compress(
+        &mut self,
+        codec: &str,
+        data: &FloatData,
+        block_elems: usize,
+    ) -> Result<Vec<u8>> {
+        self.check_request_size(data.bytes().len(), self.server_max)?;
+        let mut req = Vec::with_capacity(32 + codec.len());
+        req.push(protocol::VERB_COMPRESS);
+        protocol::encode_name(codec, &mut req)?;
+        protocol::encode_desc(data.desc(), &mut req)?;
+        req.extend_from_slice(&(block_elems as u64).to_le_bytes());
+        self.stream.write_all(&req)?;
+        self.stream.write_all(data.bytes())?;
+        self.stream.flush()?;
+        self.read_reply()
+    }
+
+    /// Decompress an `FCB3` stream on the server (its prologue names the
+    /// codec). Returns the restored container.
+    pub fn decompress(&mut self, stream: &[u8]) -> Result<FloatData> {
+        self.check_request_size(stream.len(), protocol::stream_cap(self.server_max))?;
+        let mut req = Vec::with_capacity(9);
+        req.push(protocol::VERB_DECOMPRESS);
+        req.extend_from_slice(&(stream.len() as u64).to_le_bytes());
+        self.stream.write_all(&req)?;
+        self.stream.write_all(stream)?;
+        self.stream.flush()?;
+        let body = self.read_reply()?;
+        let mut cursor = &body[..];
+        let desc = protocol::decode_desc(&mut cursor)?;
+        if cursor.len() != desc.byte_len() {
+            return Err(Error::Corrupt(format!(
+                "reply carries {} element bytes but its descriptor implies {}",
+                cursor.len(),
+                desc.byte_len()
+            )));
+        }
+        FloatData::from_bytes(desc, cursor.to_vec())
+    }
+
+    /// Round-trip helper: compress, then decompress, on the server;
+    /// asserts nothing — callers compare against the original.
+    pub fn roundtrip(
+        &mut self,
+        codec: &str,
+        data: &FloatData,
+        block_elems: usize,
+    ) -> Result<FloatData> {
+        let compressed = self.compress(codec, data, block_elems)?;
+        self.decompress(&compressed)
+    }
+
+    /// The server's codec catalogue with per-entry capabilities.
+    pub fn list_codecs(&mut self) -> Result<Vec<CodecListing>> {
+        self.stream.write_all(&[protocol::VERB_LIST_CODECS])?;
+        self.stream.flush()?;
+        let body = self.read_reply()?;
+        protocol::decode_listings(&body)
+    }
+
+    /// The server's live counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot> {
+        self.stream.write_all(&[protocol::VERB_STATS])?;
+        self.stream.flush()?;
+        let body = self.read_reply()?;
+        StatsSnapshot::decode(&body)
+    }
+
+    /// Raw access for protocol (and hostile-input) tests: send arbitrary
+    /// bytes on the connection and read one reply frame.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<Vec<u8>> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        self.read_reply()
+    }
+}

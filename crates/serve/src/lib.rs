@@ -1,0 +1,68 @@
+//! # fcbench-serve
+//!
+//! Compression as a service boundary: a TCP server speaking the small
+//! length-prefixed [`FCS1` protocol](protocol) that multiplexes many
+//! client streams onto **one** shared
+//! [`WorkerPool`](fcbench_core::pool::WorkerPool) engine — the request
+//! front-end FCBench's Table 11 / dbsim experiments frame but only expose
+//! as offline CLIs.
+//!
+//! - [`Server`] owns the engine (size it with
+//!   [`PoolConfig::for_host`](fcbench_core::PoolConfig::for_host)); each
+//!   connection handler feeds its stream through the core
+//!   `FrameWriter`/`FrameReader` under the shared-pool saturation
+//!   discipline, capped per connection so no client pins every job slot.
+//! - [`Client`] is the matching blocking library.
+//! - [`ServerStats`] (the `STATS` verb) counts bytes, requests, and
+//!   per-codec traffic with plain atomics.
+//!
+//! Every protocol error — unknown codec, oversized record, malformed
+//! header, truncated stream — fails the *request* with a typed reply; the
+//! server keeps serving.
+//!
+//! ```
+//! use fcbench_core::registry::{CodecRegistry, RegistryEntry};
+//! use fcbench_core::{Domain, FloatData, PoolConfig, WorkerPool};
+//! use fcbench_serve::{Client, ServeConfig, Server};
+//! use std::sync::Arc;
+//! # use fcbench_core::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
+//! # use fcbench_core::{Compressor, DataDesc, Result};
+//! # struct Store;
+//! # impl Compressor for Store {
+//! #     fn info(&self) -> CodecInfo {
+//! #         CodecInfo { name: "store", year: 2024, community: Community::General,
+//! #                     class: CodecClass::Delta, platform: Platform::Cpu,
+//! #                     parallel: false, precisions: PrecisionSupport::Both }
+//! #     }
+//! #     fn compress(&self, data: &FloatData) -> Result<Vec<u8>> { Ok(data.bytes().to_vec()) }
+//! #     fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+//! #         FloatData::from_bytes(desc.clone(), payload.to_vec())
+//! #     }
+//! # }
+//! let registry = Arc::new(CodecRegistry::new().with(RegistryEntry::new(Store).thread_scalable()));
+//! let pool = Arc::new(WorkerPool::new(PoolConfig::with_threads(2)));
+//! let server = Server::bind("127.0.0.1:0", registry, pool, ServeConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! let running = server.spawn();
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let data = FloatData::from_f64(&[1.0, 2.0, 3.0], vec![3], Domain::TimeSeries).unwrap();
+//! let compressed = client.compress("store", &data, 2).unwrap();
+//! let restored = client.decompress(&compressed).unwrap();
+//! assert_eq!(restored.bytes(), data.bytes());
+//!
+//! let stats = client.stats().unwrap();
+//! assert_eq!(stats.requests_ok, 2);
+//! drop(client);
+//! running.shutdown().unwrap();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use protocol::CodecListing;
+pub use server::{RunningServer, ServeConfig, Server, ServerHandle};
+pub use stats::{ServerStats, StatsSnapshot};

@@ -1,0 +1,587 @@
+//! The `FCS1` wire protocol shared by [`Server`](crate::Server) and
+//! [`Client`](crate::Client).
+//!
+//! `FCS1` is a small length-prefixed binary protocol over TCP (all integers
+//! little-endian). A connection opens with a handshake, then carries any
+//! number of requests in sequence:
+//!
+//! ```text
+//! client hello     magic "FCS1" + u16 version
+//! server reply     status u8 (0 = ok) + u64 body len + body
+//!                  (ok body: magic "FCS1" + u16 negotiated version)
+//!
+//! request          verb u8, then verb-specific header/payload:
+//!   1 COMPRESS     u8 name len + codec name, descriptor, u64 block elems,
+//!                  then exactly desc.byte_len() raw element bytes
+//!   2 DECOMPRESS   u64 stream len, then an FCB3 stream (self-describing:
+//!                  its prologue names the codec, shape, and block size)
+//!   3 LIST_CODECS  (no payload)
+//!   4 STATS        (no payload)
+//!
+//! descriptor       u8 precision (0 single / 1 double), u8 domain (0..=3),
+//!                  u8 ndims, ndims x u64 dims
+//!
+//! reply            status u8 + u64 body len + body
+//!   COMPRESS ok    the compressed FCB3 stream
+//!   DECOMPRESS ok  descriptor, then the raw element bytes
+//!   LIST_CODECS ok u16 count, per codec: u8 name len + name + u8 flags
+//!                  (bit 0 thread-scalable, bit 1 block-capable)
+//!   STATS ok       6 x u64 counters + u16 count + per codec
+//!                  (u8 name len + name + u64 requests)
+//!   error          status is an error code; body is the UTF-8 message,
+//!                  except UNKNOWN_CODEC whose body is structured so the
+//!                  client rebuilds the typed error (u16 requested len +
+//!                  requested + u16 count + (u16 len + name) each)
+//! ```
+//!
+//! Every error is a *request* failure: the server replies and (whenever the
+//! request body was fully consumed, so framing is intact) keeps serving the
+//! connection. Only unrecoverable framing — garbage handshake, unknown
+//! verb, a body too large to skip — closes the connection, and never the
+//! server.
+
+use fcbench_core::{DataDesc, Domain, Error, Precision, Result};
+use std::io::{Read, Write};
+
+/// Protocol magic, first on the wire in both directions.
+pub const MAGIC: &[u8; 4] = b"FCS1";
+
+/// Protocol version spoken by this build.
+pub const VERSION: u16 = 1;
+
+/// Request verbs.
+pub const VERB_COMPRESS: u8 = 1;
+pub const VERB_DECOMPRESS: u8 = 2;
+pub const VERB_LIST_CODECS: u8 = 3;
+pub const VERB_STATS: u8 = 4;
+
+/// Reply status codes. `0` is success; everything else maps onto a
+/// [`fcbench_core::Error`] variant on the client side.
+pub const STATUS_OK: u8 = 0;
+pub const ERR_PROTOCOL: u8 = 1;
+pub const ERR_UNKNOWN_CODEC: u8 = 2;
+pub const ERR_BAD_DESCRIPTOR: u8 = 3;
+pub const ERR_UNSUPPORTED: u8 = 4;
+pub const ERR_CORRUPT: u8 = 5;
+pub const ERR_WORKER_PANIC: u8 = 6;
+pub const ERR_IO: u8 = 7;
+
+/// Ceiling a client accepts for one reply body (a compressed stream never
+/// legitimately expands a request beyond the reader-side record caps).
+pub const MAX_REPLY_BYTES: usize = 1 << 30;
+
+/// The `DECOMPRESS` stream-byte ceiling implied by a raw-byte ceiling.
+///
+/// `COMPRESS` caps *raw element bytes* at `max_request_bytes`, but a codec
+/// may expand incompressible input, and the `FCB3` framing adds per-block
+/// record headers — so a stream the server itself produced from an in-cap
+/// request can exceed `max_request_bytes`. The worst legal case is
+/// `block_elems = 1`: one record per element, where the frame layer's own
+/// decode gate tolerates up to 8x per-block payload expansion plus an
+/// 8-byte record length per 8-byte block — ≤ 9x the raw bytes overall.
+/// Capping at that bound (plus a fixed prologue allowance) keeps every
+/// stream this server could produce from an in-cap request decompressible
+/// on the same server, while costing nothing real: stream bytes are read
+/// incrementally as they arrive ([`read_sized`]), and the stream's
+/// *decoded-size* claim — the allocation that matters — is still gated at
+/// `max_request_bytes`. Both endpoints use this one formula: the server to
+/// size `read_sized`, the client to refuse locally.
+pub fn stream_cap(max_request_bytes: u64) -> u64 {
+    max_request_bytes.saturating_mul(9).saturating_add(1 << 16)
+}
+
+/// Read exactly `buf.len()` bytes, mapping I/O failures to typed errors.
+pub fn read_exact<R: Read>(src: &mut R, buf: &mut [u8]) -> Result<()> {
+    src.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            Error::Corrupt("connection closed mid-message".into())
+        } else {
+            Error::Io(e.to_string())
+        }
+    })
+}
+
+pub fn read_u8<R: Read>(src: &mut R) -> Result<u8> {
+    let mut b = [0u8; 1];
+    read_exact(src, &mut b)?;
+    Ok(b[0])
+}
+
+pub fn read_u16<R: Read>(src: &mut R) -> Result<u16> {
+    let mut b = [0u8; 2];
+    read_exact(src, &mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+pub fn read_u64<R: Read>(src: &mut R) -> Result<u64> {
+    let mut b = [0u8; 8];
+    read_exact(src, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Growth step for length-prefixed bodies: memory is committed as bytes
+/// actually arrive, so a 9-byte request *claiming* a huge (but in-cap)
+/// body cannot pin that allocation while sending nothing.
+const READ_SIZED_STEP: usize = 1 << 20;
+
+/// Read a length-prefixed buffer, rejecting declared lengths above `cap`
+/// before allocating for them, and growing the buffer incrementally so
+/// the allocation tracks delivered bytes rather than the declared claim.
+pub fn read_sized<R: Read>(src: &mut R, cap: usize) -> Result<Vec<u8>> {
+    let len = read_u64(src)?;
+    let len = usize::try_from(len)
+        .ok()
+        .filter(|&l| l <= cap)
+        .ok_or_else(|| {
+            Error::Unsupported(format!(
+                "message declares {len} bytes but this endpoint accepts at most {cap}"
+            ))
+        })?;
+    let mut buf = Vec::new();
+    let mut filled = 0usize;
+    while filled < len {
+        let step = READ_SIZED_STEP.min(len - filled);
+        buf.resize(filled + step, 0);
+        read_exact(src, &mut buf[filled..])?;
+        filled += step;
+    }
+    Ok(buf)
+}
+
+/// Append a u8-length-prefixed codec name (the frame format's 255-byte
+/// name limit applies on the wire too).
+pub fn encode_name(name: &str, out: &mut Vec<u8>) -> Result<()> {
+    if name.len() > 255 {
+        return Err(Error::NameTooLong { len: name.len() });
+    }
+    out.push(name.len() as u8);
+    out.extend_from_slice(name.as_bytes());
+    Ok(())
+}
+
+/// Read a u8-length-prefixed UTF-8 codec name.
+pub fn decode_name<R: Read>(src: &mut R) -> Result<String> {
+    let len = read_u8(src)? as usize;
+    let mut buf = vec![0u8; len];
+    read_exact(src, &mut buf)?;
+    String::from_utf8(buf).map_err(|_| Error::Corrupt("codec name is not UTF-8".into()))
+}
+
+/// Append a data descriptor in wire form.
+pub fn encode_desc(desc: &DataDesc, out: &mut Vec<u8>) -> Result<()> {
+    if desc.dims.len() > 255 {
+        return Err(Error::TooManyDims {
+            ndims: desc.dims.len(),
+        });
+    }
+    out.push(match desc.precision {
+        Precision::Single => 0,
+        Precision::Double => 1,
+    });
+    out.push(match desc.domain {
+        Domain::Hpc => 0,
+        Domain::TimeSeries => 1,
+        Domain::Observation => 2,
+        Domain::Database => 3,
+    });
+    out.push(desc.dims.len() as u8);
+    for &d in &desc.dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    Ok(())
+}
+
+/// Read a data descriptor, re-validating through [`DataDesc::new`] so
+/// hostile dims (zero extents, overflowing products) become typed errors.
+pub fn decode_desc<R: Read>(src: &mut R) -> Result<DataDesc> {
+    let precision = match read_u8(src)? {
+        0 => Precision::Single,
+        1 => Precision::Double,
+        b => return Err(Error::Corrupt(format!("bad precision byte {b}"))),
+    };
+    let domain = match read_u8(src)? {
+        0 => Domain::Hpc,
+        1 => Domain::TimeSeries,
+        2 => Domain::Observation,
+        3 => Domain::Database,
+        b => return Err(Error::Corrupt(format!("bad domain byte {b}"))),
+    };
+    let ndims = read_u8(src)? as usize;
+    if ndims == 0 {
+        return Err(Error::Corrupt("descriptor has zero dimensions".into()));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let d = read_u64(src)?;
+        let d = usize::try_from(d)
+            .map_err(|_| Error::Corrupt(format!("dimension {d} exceeds the address space")))?;
+        dims.push(d);
+    }
+    DataDesc::new(precision, dims, domain)
+}
+
+/// The client hello: magic plus the version the client speaks.
+pub fn client_hello() -> [u8; 6] {
+    let mut h = [0u8; 6];
+    h[..4].copy_from_slice(MAGIC);
+    h[4..].copy_from_slice(&VERSION.to_le_bytes());
+    h
+}
+
+/// Validate a client hello; returns the client's version.
+pub fn check_client_hello(hello: &[u8; 6]) -> Result<u16> {
+    if &hello[..4] != MAGIC {
+        return Err(Error::Corrupt(format!(
+            "bad protocol magic {:?} (expected {MAGIC:?})",
+            &hello[..4]
+        )));
+    }
+    let version = u16::from_le_bytes([hello[4], hello[5]]);
+    if version != VERSION {
+        return Err(Error::Unsupported(format!(
+            "protocol version {version} is not supported (server speaks {VERSION})"
+        )));
+    }
+    Ok(version)
+}
+
+/// Body of the server's OK handshake reply: the echoed hello plus the
+/// server's request-size ceiling, so clients can refuse oversized
+/// requests with a typed error *before* streaming a body the server will
+/// only cut off.
+pub fn hello_body(max_request_bytes: u64) -> Vec<u8> {
+    let mut body = client_hello().to_vec();
+    body.extend_from_slice(&max_request_bytes.to_le_bytes());
+    body
+}
+
+/// Validate the server's handshake body; returns the negotiated version
+/// and the server's advertised request-size ceiling.
+pub fn check_hello_body(body: &[u8]) -> Result<(u16, u64)> {
+    if body.len() != 14 {
+        return Err(Error::Corrupt("handshake reply has a wrong length".into()));
+    }
+    let hello: &[u8; 6] = body[..6].try_into().expect("6 bytes");
+    let version = check_client_hello(hello)?;
+    let max = u64::from_le_bytes(body[6..].try_into().expect("8 bytes"));
+    Ok((version, max))
+}
+
+/// The wire status code for an error.
+pub fn error_code(err: &Error) -> u8 {
+    match err {
+        Error::UnknownCodec { .. } => ERR_UNKNOWN_CODEC,
+        Error::BadDescriptor(_) => ERR_BAD_DESCRIPTOR,
+        Error::Unsupported(_) | Error::UnsupportedPrecision { .. } => ERR_UNSUPPORTED,
+        Error::WorkerPanic(_) => ERR_WORKER_PANIC,
+        Error::Io(_) => ERR_IO,
+        Error::Corrupt(_)
+        | Error::LosslessViolation { .. }
+        | Error::NameTooLong { .. }
+        | Error::TooManyDims { .. } => ERR_CORRUPT,
+    }
+}
+
+/// Encode an error reply body. [`Error::UnknownCodec`] is structured so the
+/// client reconstructs the typed error (with the available-codec listing);
+/// every other code carries its display message.
+pub fn encode_error_body(err: &Error) -> Vec<u8> {
+    match err {
+        Error::UnknownCodec {
+            requested,
+            available,
+        } => {
+            let mut body = Vec::new();
+            body.extend_from_slice(&(requested.len().min(u16::MAX as usize) as u16).to_le_bytes());
+            body.extend_from_slice(&requested.as_bytes()[..requested.len().min(u16::MAX as usize)]);
+            body.extend_from_slice(&(available.len().min(u16::MAX as usize) as u16).to_le_bytes());
+            for name in available.iter().take(u16::MAX as usize) {
+                body.extend_from_slice(&(name.len().min(u16::MAX as usize) as u16).to_le_bytes());
+                body.extend_from_slice(&name.as_bytes()[..name.len().min(u16::MAX as usize)]);
+            }
+            body
+        }
+        other => other.to_string().into_bytes(),
+    }
+}
+
+/// Rebuild the typed error from a non-OK reply.
+pub fn decode_error(code: u8, body: &[u8]) -> Error {
+    if code == ERR_UNKNOWN_CODEC {
+        if let Some(err) = decode_unknown_codec(body) {
+            return err;
+        }
+        return Error::Corrupt("malformed unknown-codec reply".into());
+    }
+    let msg = String::from_utf8_lossy(body).into_owned();
+    match code {
+        ERR_PROTOCOL | ERR_CORRUPT => Error::Corrupt(msg),
+        ERR_BAD_DESCRIPTOR => Error::BadDescriptor(msg),
+        ERR_UNSUPPORTED => Error::Unsupported(msg),
+        ERR_WORKER_PANIC => Error::WorkerPanic(msg),
+        ERR_IO => Error::Io(msg),
+        other => Error::Corrupt(format!("unknown error code {other}: {msg}")),
+    }
+}
+
+fn decode_unknown_codec(body: &[u8]) -> Option<Error> {
+    let mut src = body;
+    let take_str = |src: &mut &[u8]| -> Option<String> {
+        let len = read_u16(src).ok()? as usize;
+        if src.len() < len {
+            return None;
+        }
+        let (head, rest) = src.split_at(len);
+        let s = String::from_utf8(head.to_vec()).ok()?;
+        *src = rest;
+        Some(s)
+    };
+    let requested = take_str(&mut src)?;
+    let count = read_u16(&mut src).ok()? as usize;
+    let mut available = Vec::with_capacity(count);
+    for _ in 0..count {
+        available.push(take_str(&mut src)?);
+    }
+    src.is_empty().then_some(Error::UnknownCodec {
+        requested,
+        available,
+    })
+}
+
+/// One row of a `LIST_CODECS` reply: the codec name plus the registry
+/// capabilities a client cares about when picking a method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecListing {
+    pub name: String,
+    /// May the server fan this codec's blocks across its pool workers?
+    pub thread_scalable: bool,
+    /// Is the codec driven block-at-a-time (Table 10's set)?
+    pub block_capable: bool,
+}
+
+const FLAG_THREAD_SCALABLE: u8 = 1;
+const FLAG_BLOCK_CAPABLE: u8 = 2;
+
+/// Encode a `LIST_CODECS` reply body. Errors (`NameTooLong`) rather than
+/// silently truncating a name the client would then decode differently.
+pub fn encode_listings(listings: &[CodecListing]) -> Result<Vec<u8>> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(listings.len().min(u16::MAX as usize) as u16).to_le_bytes());
+    for l in listings.iter().take(u16::MAX as usize) {
+        encode_name(&l.name, &mut body)?;
+        let mut flags = 0u8;
+        if l.thread_scalable {
+            flags |= FLAG_THREAD_SCALABLE;
+        }
+        if l.block_capable {
+            flags |= FLAG_BLOCK_CAPABLE;
+        }
+        body.push(flags);
+    }
+    Ok(body)
+}
+
+/// Decode a `LIST_CODECS` reply body.
+pub fn decode_listings(body: &[u8]) -> Result<Vec<CodecListing>> {
+    let mut src = body;
+    let count = read_u16(&mut src)? as usize;
+    let mut listings = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = decode_name(&mut src)?;
+        let flags = read_u8(&mut src)?;
+        listings.push(CodecListing {
+            name,
+            thread_scalable: flags & FLAG_THREAD_SCALABLE != 0,
+            block_capable: flags & FLAG_BLOCK_CAPABLE != 0,
+        });
+    }
+    if !src.is_empty() {
+        return Err(Error::Corrupt("trailing bytes after codec listing".into()));
+    }
+    Ok(listings)
+}
+
+/// Write an OK reply frame around `body`.
+pub fn write_ok_reply<W: Write>(sink: &mut W, body: &[u8]) -> Result<()> {
+    sink.write_all(&[STATUS_OK])?;
+    sink.write_all(&(body.len() as u64).to_le_bytes())?;
+    sink.write_all(body)?;
+    sink.flush()?;
+    Ok(())
+}
+
+/// Write an error reply frame for `err`.
+pub fn write_err_reply<W: Write>(sink: &mut W, err: &Error) -> Result<()> {
+    let body = encode_error_body(err);
+    sink.write_all(&[error_code(err)])?;
+    sink.write_all(&(body.len() as u64).to_le_bytes())?;
+    sink.write_all(&body)?;
+    sink.flush()?;
+    Ok(())
+}
+
+/// Read one reply frame: the OK body on success, the decoded typed error on
+/// a non-OK status. Bodies above [`MAX_REPLY_BYTES`] are refused; a client
+/// that has handshaken with a server advertising a larger request cap
+/// should use [`read_reply_capped`] with the matching [`stream_cap`].
+pub fn read_reply<R: Read>(src: &mut R) -> Result<Vec<u8>> {
+    read_reply_capped(src, MAX_REPLY_BYTES)
+}
+
+/// [`read_reply`] with an explicit body ceiling — a `COMPRESS` reply from a
+/// server whose `max_request_bytes` is near [`MAX_REPLY_BYTES`] can
+/// legitimately exceed the default (expansion headroom, [`stream_cap`]),
+/// and refusing it without reading would leave the unread body desyncing
+/// every later frame on the connection.
+pub fn read_reply_capped<R: Read>(src: &mut R, cap: usize) -> Result<Vec<u8>> {
+    let status = read_u8(src)?;
+    let body = read_sized(src, cap)?;
+    if status == STATUS_OK {
+        Ok(body)
+    } else {
+        Err(decode_error(status, &body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desc_round_trips_on_the_wire() {
+        let desc = DataDesc::new(Precision::Double, vec![3, 5, 7], Domain::Observation).unwrap();
+        let mut wire = Vec::new();
+        encode_desc(&desc, &mut wire).unwrap();
+        let back = decode_desc(&mut &wire[..]).unwrap();
+        assert_eq!(back, desc);
+    }
+
+    #[test]
+    fn hostile_desc_is_rejected_typed() {
+        // Zero-extent dimension.
+        let wire = [1u8, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(decode_desc(&mut &wire[..]).is_err());
+        // Overflowing element count: 2^63 x 2^63 doubles.
+        let mut wire = vec![1u8, 0, 2];
+        wire.extend_from_slice(&(1u64 << 63).to_le_bytes());
+        wire.extend_from_slice(&(1u64 << 63).to_le_bytes());
+        assert!(matches!(
+            decode_desc(&mut &wire[..]),
+            Err(Error::BadDescriptor(_))
+        ));
+        // Bad precision byte.
+        assert!(decode_desc(&mut &[9u8, 0, 1][..]).is_err());
+    }
+
+    #[test]
+    fn handshake_round_trips_and_rejects_garbage() {
+        assert_eq!(check_client_hello(&client_hello()).unwrap(), VERSION);
+        assert_eq!(
+            check_hello_body(&hello_body(1 << 26)).unwrap(),
+            (VERSION, 1 << 26)
+        );
+        assert!(check_hello_body(&hello_body(7)[..6]).is_err());
+        let mut bad = client_hello();
+        bad[0] = b'X';
+        assert!(matches!(check_client_hello(&bad), Err(Error::Corrupt(_))));
+        let mut wrong_version = client_hello();
+        wrong_version[4] = 0xEE;
+        wrong_version[5] = 0xEE;
+        assert!(matches!(
+            check_client_hello(&wrong_version),
+            Err(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_codec_errors_survive_the_wire_typed() {
+        let err = Error::UnknownCodec {
+            requested: "zstd-22".into(),
+            available: vec!["gorilla".into(), "chimp128".into(), "pfpc".into()],
+        };
+        let code = error_code(&err);
+        assert_eq!(code, ERR_UNKNOWN_CODEC);
+        let back = decode_error(code, &encode_error_body(&err));
+        assert_eq!(back, err);
+    }
+
+    #[test]
+    fn other_errors_map_to_stable_codes() {
+        for (err, code) in [
+            (Error::Corrupt("x".into()), ERR_CORRUPT),
+            (Error::BadDescriptor("x".into()), ERR_BAD_DESCRIPTOR),
+            (Error::Unsupported("x".into()), ERR_UNSUPPORTED),
+            (Error::WorkerPanic("x".into()), ERR_WORKER_PANIC),
+            (Error::Io("x".into()), ERR_IO),
+        ] {
+            assert_eq!(error_code(&err), code);
+            let back = decode_error(code, &encode_error_body(&err));
+            assert_eq!(error_code(&back), code);
+            assert!(back.to_string().contains('x'));
+        }
+    }
+
+    #[test]
+    fn codec_listings_round_trip() {
+        let listings = vec![
+            CodecListing {
+                name: "gorilla".into(),
+                thread_scalable: true,
+                block_capable: true,
+            },
+            CodecListing {
+                name: "gfc".into(),
+                thread_scalable: false,
+                block_capable: false,
+            },
+        ];
+        let wire = encode_listings(&listings).unwrap();
+        assert_eq!(decode_listings(&wire).unwrap(), listings);
+        assert!(decode_listings(&wire[..5]).is_err());
+        let long = vec![CodecListing {
+            name: "x".repeat(256),
+            thread_scalable: false,
+            block_capable: false,
+        }];
+        assert!(matches!(
+            encode_listings(&long),
+            Err(Error::NameTooLong { len: 256 })
+        ));
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let mut wire = Vec::new();
+        write_ok_reply(&mut wire, b"payload").unwrap();
+        assert_eq!(read_reply(&mut &wire[..]).unwrap(), b"payload");
+
+        let mut wire = Vec::new();
+        write_err_reply(&mut wire, &Error::BadDescriptor("bad dims".into())).unwrap();
+        let err = read_reply(&mut &wire[..]).unwrap_err();
+        assert!(matches!(err, Error::BadDescriptor(m) if m.contains("bad dims")));
+    }
+
+    #[test]
+    fn stream_cap_covers_worst_case_legal_expansion_and_saturates() {
+        // A stream produced from a cap-sized raw request must fit back
+        // through the DECOMPRESS gate even at block_elems = 1 (8-byte
+        // record header per 8-byte block) with the frame layer's maximum
+        // tolerated 8x per-block payload expansion: ≤ 9x overall.
+        let raw_cap = 64u64 * 1024 * 1024;
+        assert!(stream_cap(raw_cap) >= raw_cap * 9);
+        // Tiny caps still leave room for the stream prologue alone.
+        assert!(stream_cap(16) > 16 * 9 + 64);
+        // No overflow at the extreme.
+        assert_eq!(stream_cap(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn oversized_reply_lengths_are_rejected_before_allocation() {
+        let mut wire = vec![STATUS_OK];
+        wire.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_reply(&mut &wire[..]),
+            Err(Error::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,756 @@
+//! The `FCS1` TCP server: many client connections, one shared
+//! [`WorkerPool`] engine.
+//!
+//! Each accepted connection gets a handler thread, but compression work
+//! does not stay on it: handlers feed their streams through
+//! [`FrameWriter`]/[`FrameReader`], which fan blocks out to the server's
+//! single warm pool under the drain-own-oldest saturation discipline — so
+//! N clients share the engine without deadlock, and a per-connection
+//! in-flight cap ([`ServeConfig::max_inflight_per_conn`]) keeps any one
+//! stream from pinning every job slot. Codecs the registry does not mark
+//! `thread_scalable` (the GPU-simulated methods) run inline on the handler
+//! thread, exactly as registry-built pipelines run them.
+//!
+//! Protocol errors are *request* failures: the handler replies with a typed
+//! error frame and — whenever the request body was fully consumed, so
+//! framing is intact — keeps serving the connection. A body it cannot skip
+//! (a petabyte-claiming record, a malformed header) closes that connection;
+//! nothing a client sends takes the server down.
+
+use crate::protocol::{self, CodecListing};
+use crate::stats::{ServerStats, StatsSnapshot};
+use fcbench_core::registry::RegistryEntry;
+use fcbench_core::stream::{FrameReader, FrameWriter};
+use fcbench_core::{CodecRegistry, DataDesc, Error, Result, WorkerPool};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Socket-read granularity for streaming request bodies into the engine.
+const BODY_CHUNK: usize = 64 * 1024;
+
+/// How often the nonblocking accept loop re-polls the listener (and the
+/// shutdown flag) when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Ceiling on one dataset's raw element bytes, in both directions:
+    /// `COMPRESS` rejects larger inputs, `DECOMPRESS` rejects streams
+    /// larger than this or claiming a larger decoded size. This is the
+    /// gate that turns a petabyte-claiming record into a typed reply
+    /// instead of an allocation.
+    pub max_request_bytes: usize,
+    /// Per-connection cap on blocks in flight on the shared pool (see
+    /// [`FrameWriter::max_in_flight`]).
+    pub max_inflight_per_conn: usize,
+    /// Socket read-timeout granularity; idle handlers poll the shutdown
+    /// flag at this cadence.
+    pub idle_poll: Duration,
+    /// How long a mid-request read or write may stall before the
+    /// connection is dropped.
+    pub stall_limit: Duration,
+    /// Patience for mid-request reads once shutdown has been signalled.
+    pub shutdown_grace: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_request_bytes: 64 * 1024 * 1024,
+            max_inflight_per_conn: 4,
+            idle_poll: Duration::from_millis(50),
+            stall_limit: Duration::from_secs(30),
+            shutdown_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<CodecRegistry>,
+    pool: Arc<WorkerPool>,
+    stats: ServerStats,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// A bound-but-not-yet-running `FCS1` server. Construct with
+/// [`Server::bind`], then either [`run`](Server::run) it on the current
+/// thread or [`spawn`](Server::spawn) it onto a background one.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// A cheap handle onto a server: address, live stats, shutdown signal.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// A server running on a background thread (from [`Server::spawn`]).
+pub struct RunningServer {
+    handle: ServerHandle,
+    join: JoinHandle<Result<()>>,
+}
+
+impl Server {
+    /// Bind `addr` and prepare to serve `registry`'s codecs on `pool`.
+    /// Pass an OS-assigned port (`127.0.0.1:0`) in tests and read the real
+    /// one back from [`local_addr`](Server::local_addr).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<CodecRegistry>,
+        pool: Arc<WorkerPool>,
+        config: ServeConfig,
+    ) -> Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stats = ServerStats::new(&registry);
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                registry,
+                pool,
+                stats,
+                config,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for stats and shutdown, usable from any thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Accept and serve connections until shutdown is signalled through a
+    /// [`ServerHandle`]. Each connection gets a handler thread; on
+    /// shutdown the loop stops accepting and joins every handler, so
+    /// accepted connections drain before this returns.
+    ///
+    /// The listener polls nonblocking every few milliseconds so the shutdown
+    /// flag is always noticed — a blocking `accept` would need a wake-up
+    /// self-connection, which can fail (interface-specific binds,
+    /// saturated backlogs) and leave shutdown hanging forever.
+    pub fn run(self) -> Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.shared.shutting_down() {
+                        drop(stream);
+                        break;
+                    }
+                    let shared = Arc::clone(&self.shared);
+                    // A failed spawn (thread exhaustion under a connection
+                    // flood) drops that one connection — never the server.
+                    let spawned = std::thread::Builder::new()
+                        .name("fcbench-serve-conn".into())
+                        .spawn(move || handle_connection(stream, &shared));
+                    if let Ok(h) = spawned {
+                        handlers.push(h);
+                    }
+                    handlers.retain(|h| !h.is_finished());
+                }
+                Err(_) if self.shared.shutting_down() => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => {
+                    // Every other accept failure is treated as transient —
+                    // fd exhaustion under a connection flood (EMFILE), a
+                    // peer resetting while queued in the backlog
+                    // (ECONNABORTED) — because exiting would drop every
+                    // connection already being served. Conditions like
+                    // these clear on their own; a truly dead listener
+                    // degrades to this poll loop until shutdown, which the
+                    // flag check above still honours.
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// [`run`](Server::run) on a background thread.
+    pub fn spawn(self) -> RunningServer {
+        let handle = self.handle();
+        let join = std::thread::Builder::new()
+            .name("fcbench-serve-accept".into())
+            .spawn(move || self.run())
+            .expect("spawn server accept thread");
+        RunningServer { handle, join }
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Signal a graceful shutdown: the accept loop (which polls the flag
+    /// every few milliseconds) stops taking new connections and existing
+    /// handlers exit at their next request boundary (mid-request work gets
+    /// [`ServeConfig::shutdown_grace`]). Returns immediately; use
+    /// [`RunningServer::shutdown`] to also wait for the drain.
+    pub fn signal_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl RunningServer {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// A cloneable handle (stats, shutdown signal).
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// A point-in-time copy of the serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.handle.stats()
+    }
+
+    /// Gracefully shut down: stop accepting, drain accepted connections,
+    /// join the accept thread.
+    pub fn shutdown(self) -> Result<()> {
+        self.handle.signal_shutdown();
+        self.join
+            .join()
+            .map_err(|_| Error::Io("server accept thread panicked".into()))?
+    }
+}
+
+/// Whether the connection survives the request it just served.
+enum Flow {
+    Continue,
+    Close,
+}
+
+/// One connection's view of the socket: counts bytes for [`ServerStats`]
+/// and absorbs read timeouts with the mid-message patience policy (stall
+/// limits, shutdown grace). Boundary reads — where blocking forever on an
+/// idle keep-alive connection is correct — go through
+/// [`Conn::read_message_start`] instead.
+struct Conn<'a> {
+    stream: &'a TcpStream,
+    shared: &'a Shared,
+    stalled_since: Option<Instant>,
+    /// Has the request currently being served been booked in
+    /// [`ServerStats`] (ok or failed)? Keeps the accounting exactly-once:
+    /// an error propagating out of a handler books a failure only if the
+    /// request was never counted (mid-body disconnect), not when a counted
+    /// request's reply write failed afterwards.
+    accounted: bool,
+}
+
+impl Conn<'_> {
+    /// Book the in-flight request as served, before the reply is written —
+    /// a client that has read its reply must already see itself counted.
+    fn count_ok(&mut self) {
+        self.accounted = true;
+        self.shared.stats.request_ok();
+    }
+
+    /// Book the in-flight request as failed.
+    fn count_failed(&mut self) {
+        self.accounted = true;
+        self.shared.stats.request_failed();
+    }
+}
+
+impl Conn<'_> {
+    fn stall_budget(&self) -> Duration {
+        if self.shared.shutting_down() {
+            self.shared.config.shutdown_grace
+        } else {
+            self.shared.config.stall_limit
+        }
+    }
+
+    /// Wait for the first byte(s) of a message, then read the rest.
+    /// `Ok(false)` means the connection ended cleanly before a message
+    /// started: the peer closed, or shutdown was signalled while idle.
+    fn read_message_start(&mut self, buf: &mut [u8]) -> Result<bool> {
+        debug_assert!(!buf.is_empty());
+        let got = loop {
+            match self.stream_read(buf) {
+                Ok(0) => return Ok(false),
+                Ok(n) => break n,
+                Err(e) if is_timeout(&e) => {
+                    if self.shared.shutting_down() {
+                        return Ok(false);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        };
+        if got < buf.len() {
+            let rest = &mut buf[got..];
+            protocol::read_exact(self, rest)?;
+        }
+        Ok(true)
+    }
+
+    fn stream_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = (&mut &*self.stream).read(buf)?;
+        self.shared.stats.add_bytes_in(n as u64);
+        Ok(n)
+    }
+
+    /// Read up to `buf.len()` body bytes, returning as soon as any arrive.
+    /// Every idle poll tick invokes `on_idle` — the compress path flushes
+    /// finished pool jobs there, so a trickling client cannot keep
+    /// completed job slots pinned away from other connections. The
+    /// mid-message stall budget still applies.
+    fn read_body_some(
+        &mut self,
+        buf: &mut [u8],
+        mut on_idle: impl FnMut() -> Result<()>,
+    ) -> Result<usize> {
+        loop {
+            match self.stream_read(buf) {
+                Ok(0) => {
+                    return Err(Error::Corrupt("connection closed mid-message".into()));
+                }
+                Ok(n) => {
+                    self.stalled_since = None;
+                    return Ok(n);
+                }
+                Err(e) if is_timeout(&e) => {
+                    on_idle()?;
+                    let since = *self.stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= self.stall_budget() {
+                        self.stalled_since = None;
+                        return Err(Error::Io(
+                            "request read stalled past the server's patience".into(),
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+impl Read for Conn<'_> {
+    /// Mid-message read: retries timeouts until the stall budget runs out,
+    /// so length-prefixed framing never desyncs under a slow client.
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.stream_read(buf) {
+                Ok(n) => {
+                    self.stalled_since = None;
+                    return Ok(n);
+                }
+                Err(e) if is_timeout(&e) => {
+                    let since = *self.stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= self.stall_budget() {
+                        self.stalled_since = None;
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "request read stalled past the server's patience",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Write for Conn<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = (&mut &*self.stream).write(buf)?;
+        self.shared.stats.add_bytes_out(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        (&mut &*self.stream).flush()
+    }
+}
+
+/// Decrements the active-connection gauge however the handler exits.
+struct ActiveGuard<'a>(&'a ServerStats);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.connection_closed();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    shared.stats.connection_opened();
+    let _active = ActiveGuard(&shared.stats);
+    // Connection-level I/O failures are that connection's problem alone;
+    // request accounting (including deaths mid-request) happens inside.
+    let _ = serve_connection(&stream, shared);
+}
+
+fn serve_connection(stream: &TcpStream, shared: &Shared) -> Result<()> {
+    // Some platforms hand accepted sockets the listener's nonblocking
+    // flag; the timeout-based read discipline below needs blocking mode.
+    stream.set_nonblocking(false)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(shared.config.idle_poll))?;
+    stream.set_write_timeout(Some(shared.config.stall_limit))?;
+    let mut conn = Conn {
+        stream,
+        shared,
+        stalled_since: None,
+        accounted: false,
+    };
+
+    // Handshake: garbage gets a typed reply and the connection is done.
+    let mut hello = [0u8; 6];
+    if !conn.read_message_start(&mut hello)? {
+        return Ok(());
+    }
+    if let Err(e) = protocol::check_client_hello(&hello) {
+        // Same half-close/drain discipline as every other refusal that
+        // closes the connection: an HTTP probe (or a client pipelining
+        // hello+request) has unread bytes queued, and dropping the socket
+        // over them would RST away the typed reply.
+        let _ = fail_close(&mut conn, &e)?;
+        return Ok(());
+    }
+    protocol::write_ok_reply(
+        &mut conn,
+        &protocol::hello_body(shared.config.max_request_bytes as u64),
+    )?;
+
+    // Request loop: one verb frame at a time, in order.
+    loop {
+        let mut verb = [0u8; 1];
+        if !conn.read_message_start(&mut verb)? {
+            return Ok(());
+        }
+        conn.accounted = false;
+        let served = match verb[0] {
+            protocol::VERB_COMPRESS => handle_compress(&mut conn, shared),
+            protocol::VERB_DECOMPRESS => handle_decompress(&mut conn, shared),
+            protocol::VERB_LIST_CODECS => handle_list_codecs(&mut conn, shared),
+            protocol::VERB_STATS => handle_stats(&mut conn, shared),
+            other => fail_close(
+                &mut conn,
+                &Error::Corrupt(format!("unknown request verb {other}")),
+            ),
+        };
+        let flow = match served {
+            Ok(f) => f,
+            Err(e) => {
+                // The request died on connection I/O: a mid-body
+                // disconnect never reached its per-request accounting —
+                // book it failed, exactly once. (A counted request whose
+                // reply write failed stays counted as it was.)
+                if !conn.accounted {
+                    conn.count_failed();
+                }
+                return Err(e);
+            }
+        };
+        if matches!(flow, Flow::Close) {
+            return Ok(());
+        }
+    }
+}
+
+/// Reply with a typed error; the request body was consumed, so the
+/// connection keeps serving.
+fn fail_continue(conn: &mut Conn<'_>, err: &Error) -> Result<Flow> {
+    conn.count_failed();
+    protocol::write_err_reply(conn, err)?;
+    Ok(Flow::Continue)
+}
+
+/// How much unread request body `fail_close` drains before giving up on a
+/// graceful close (a hostile sender mid-petabyte gets its RST after this).
+const CLOSE_DRAIN_LIMIT: usize = 256 * 1024;
+
+/// Reply with a typed error (best effort) and close: framing is broken or
+/// the body cannot be skipped. Dropping a socket with unread inbound bytes
+/// makes TCP send RST, which can discard the queued error reply before
+/// the client reads it — so half-close the write side (FIN after the
+/// reply) and drain what the peer already sent, bounded, before dropping.
+fn fail_close(conn: &mut Conn<'_>, err: &Error) -> Result<Flow> {
+    conn.count_failed();
+    let _ = protocol::write_err_reply(conn, err);
+    let _ = conn.flush();
+    let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < CLOSE_DRAIN_LIMIT {
+        match conn.stream_read(&mut sink) {
+            Ok(0) => break, // peer saw our FIN and closed
+            Ok(n) => drained += n,
+            Err(e) if is_timeout(&e) => break, // peer quiet for an idle tick
+            Err(_) => break,
+        }
+    }
+    Ok(Flow::Close)
+}
+
+fn read_compress_header(conn: &mut Conn<'_>) -> Result<(String, DataDesc, u64)> {
+    let name = protocol::decode_name(conn)?;
+    let desc = protocol::decode_desc(conn)?;
+    let block_elems = protocol::read_u64(conn)?;
+    Ok((name, desc, block_elems))
+}
+
+/// Read and discard `len` body bytes to keep the connection's framing
+/// intact after a request-level refusal.
+fn discard_body(conn: &mut Conn<'_>, len: usize) -> Result<()> {
+    let mut chunk = [0u8; 4096];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = chunk.len().min(remaining);
+        protocol::read_exact(conn, &mut chunk[..take])?;
+        remaining -= take;
+    }
+    Ok(())
+}
+
+fn handle_compress(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
+    // A malformed header desyncs framing: reply, then close.
+    let (name, desc, block_elems) = match read_compress_header(conn) {
+        Ok(h) => h,
+        Err(e) => return fail_close(conn, &e),
+    };
+    let body_len = desc.byte_len();
+    if body_len > shared.config.max_request_bytes {
+        // Cannot skip a body this large — typed reply, then close.
+        return fail_close(
+            conn,
+            &Error::Unsupported(format!(
+                "request claims {body_len} element bytes; this server accepts at most {}",
+                shared.config.max_request_bytes
+            )),
+        );
+    }
+    let Ok(block_elems) = usize::try_from(block_elems) else {
+        discard_body(conn, body_len)?;
+        return fail_continue(
+            conn,
+            &Error::BadDescriptor("block size exceeds the address space".into()),
+        );
+    };
+    if block_elems == 0 {
+        discard_body(conn, body_len)?;
+        return fail_continue(
+            conn,
+            &Error::BadDescriptor("block size must be at least 1 element".into()),
+        );
+    }
+    let Some(entry) = shared.registry.entry(&name) else {
+        discard_body(conn, body_len)?;
+        return fail_continue(conn, &shared.registry.unknown(&name));
+    };
+
+    let mut writer = match FrameWriter::new(
+        Vec::new(),
+        Arc::clone(entry.codec()),
+        desc,
+        block_elems,
+        engine_for(entry, shared),
+    ) {
+        Ok(w) => w.max_in_flight(shared.config.max_inflight_per_conn),
+        Err(e) => {
+            discard_body(conn, body_len)?;
+            return fail_continue(conn, &e);
+        }
+    };
+
+    // Stream the element bytes from the socket into the engine, taking
+    // whatever the socket has each round and flushing already-finished
+    // blocks while the client is quiet — a trickling sender must not pin
+    // completed job slots away from other connections. A codec refusal
+    // mid-stream still consumes the rest of the body so the next request
+    // on this connection parses cleanly.
+    let mut chunk = vec![0u8; BODY_CHUNK.min(body_len.max(1))];
+    let mut remaining = body_len;
+    let mut refusal: Option<Error> = None;
+    while remaining > 0 {
+        let take = chunk.len().min(remaining);
+        let got = conn.read_body_some(&mut chunk[..take], || {
+            if refusal.is_none() {
+                if let Err(e) = writer.flush_ready() {
+                    refusal = Some(e);
+                }
+            }
+            Ok(())
+        })?;
+        remaining -= got;
+        if refusal.is_none() {
+            if let Err(e) = writer.write(&chunk[..got]) {
+                refusal = Some(e);
+            }
+        }
+    }
+    if let Some(e) = refusal {
+        return fail_continue(conn, &e);
+    }
+    match writer.finish() {
+        Ok(body) => {
+            // Count before replying: once the client has read this reply,
+            // a stats snapshot must already include the request.
+            conn.count_ok();
+            shared.stats.count_codec(&name);
+            protocol::write_ok_reply(conn, &body)?;
+            Ok(Flow::Continue)
+        }
+        Err(e) => fail_continue(conn, &e),
+    }
+}
+
+fn handle_decompress(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
+    // An implausible declared length (or a truncated body) breaks framing:
+    // typed reply, then close. The cap here is on *compressed stream*
+    // bytes, with expansion headroom over the raw-byte cap so a stream
+    // this very server produced from an in-cap COMPRESS always fits
+    // ([`protocol::stream_cap`]); the decoded-size claim gate below still
+    // bounds the real allocation.
+    let cap = usize::try_from(protocol::stream_cap(shared.config.max_request_bytes as u64))
+        .unwrap_or(usize::MAX);
+    let body = match protocol::read_sized(conn, cap) {
+        Ok(b) => b,
+        Err(e) => return fail_close(conn, &e),
+    };
+
+    // The FCB3 prologue names the codec and shape; everything after this
+    // point consumed the body already, so errors keep the connection.
+    let (name, desc, _block_elems) = {
+        let mut cursor = &body[..];
+        match fcbench_core::frame::decode_stream_header(&mut cursor) {
+            Ok(h) => h,
+            Err(e) => return fail_continue(conn, &e),
+        }
+    };
+    let Some(entry) = shared.registry.entry(&name) else {
+        return fail_continue(conn, &shared.registry.unknown(&name));
+    };
+    let claim = desc.byte_len();
+    if claim > shared.config.max_request_bytes {
+        return fail_continue(
+            conn,
+            &Error::Unsupported(format!(
+                "stream claims {claim} decoded bytes; this server accepts at most {}",
+                shared.config.max_request_bytes
+            )),
+        );
+    }
+
+    let reader = match FrameReader::new(
+        &body[..],
+        Arc::clone(entry.codec()),
+        engine_for(entry, shared),
+    ) {
+        Ok(r) => r.max_in_flight(shared.config.max_inflight_per_conn),
+        Err(e) => return fail_continue(conn, &e),
+    };
+    let mut reader = reader;
+    // No up-front claim-sized reservation: a 40-byte body with a cap-sized
+    // decoded claim must not pin max_request_bytes of memory before a
+    // single block has actually decoded. Doubling growth tracks delivered
+    // blocks the way read_sized tracks delivered bytes.
+    let mut reply = Vec::new();
+    if let Err(e) = protocol::encode_desc(&desc, &mut reply) {
+        return fail_continue(conn, &e);
+    }
+    loop {
+        match reader.next_block() {
+            Ok(Some(block)) => reply.extend_from_slice(block),
+            Ok(None) => break,
+            Err(e) => return fail_continue(conn, &e),
+        }
+    }
+    conn.count_ok();
+    shared.stats.count_codec(&name);
+    protocol::write_ok_reply(conn, &reply)?;
+    Ok(Flow::Continue)
+}
+
+fn handle_list_codecs(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
+    let listings: Vec<CodecListing> = shared
+        .registry
+        .iter()
+        .map(|e| CodecListing {
+            name: e.name().to_string(),
+            thread_scalable: e.is_thread_scalable(),
+            block_capable: e.is_block_capable(),
+        })
+        .collect();
+    let body = match protocol::encode_listings(&listings) {
+        Ok(b) => b,
+        Err(e) => return fail_continue(conn, &e),
+    };
+    conn.count_ok();
+    protocol::write_ok_reply(conn, &body)?;
+    Ok(Flow::Continue)
+}
+
+fn handle_stats(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
+    // Snapshot first so a STATS reply never counts itself, then count
+    // before replying like every other verb.
+    let body = match shared.stats.snapshot().encode() {
+        Ok(b) => b,
+        Err(e) => return fail_continue(conn, &e),
+    };
+    conn.count_ok();
+    protocol::write_ok_reply(conn, &body)?;
+    Ok(Flow::Continue)
+}
+
+/// The engine a request for this codec runs on: the shared pool for
+/// `thread_scalable` entries, inline on the handler thread otherwise
+/// (GPU-simulated kernels already model device-wide parallelism — the same
+/// gate registry-built pipelines apply).
+fn engine_for(entry: &RegistryEntry, shared: &Shared) -> Option<Arc<WorkerPool>> {
+    entry.is_thread_scalable().then(|| Arc::clone(&shared.pool))
+}

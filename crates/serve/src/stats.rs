@@ -1,0 +1,228 @@
+//! Atomic serving counters surfaced by the `STATS` verb.
+
+use crate::protocol::{decode_name, encode_name, read_u16, read_u64};
+use fcbench_core::{CodecRegistry, Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters updated by every connection handler. Per-codec
+/// request counts are a fixed array parallel to the registry's
+/// registration order, so bumping one is a single `fetch_add`.
+pub struct ServerStats {
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    requests_ok: AtomicU64,
+    requests_failed: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    codec_names: Vec<&'static str>,
+    codec_requests: Box<[AtomicU64]>,
+}
+
+impl ServerStats {
+    /// Counters for the codecs of `registry`, all zero.
+    pub fn new(registry: &CodecRegistry) -> Self {
+        let codec_names = registry.names();
+        let codec_requests = codec_names.iter().map(|_| AtomicU64::new(0)).collect();
+        ServerStats {
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            requests_ok: AtomicU64::new(0),
+            requests_failed: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
+            codec_names,
+            codec_requests,
+        }
+    }
+
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn request_ok(&self) {
+        self.requests_ok.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn request_failed(&self) {
+        self.requests_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn connection_opened(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Count one served request against `codec` (no-op for names outside
+    /// the registry — those failed before reaching a codec).
+    pub fn count_codec(&self, codec: &str) {
+        if let Some(i) = self.codec_names.iter().position(|n| *n == codec) {
+            self.codec_requests[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_failed: self.requests_failed.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            per_codec: self
+                .codec_names
+                .iter()
+                .zip(self.codec_requests.iter())
+                .map(|(name, count)| (name.to_string(), count.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+/// What `STATS` reports: totals plus per-codec request counts in
+/// registration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub requests_ok: u64,
+    /// Requests refused with a typed error reply, plus connections that
+    /// died with a request in flight (mid-body disconnects, reply write
+    /// failures) — server work consumed without a served reply.
+    pub requests_failed: u64,
+    pub connections_accepted: u64,
+    pub connections_active: u64,
+    pub per_codec: Vec<(String, u64)>,
+}
+
+impl StatsSnapshot {
+    /// Encode as a `STATS` reply body. Errors (`NameTooLong`) rather than
+    /// silently truncating a codec name the client would decode differently.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut body = Vec::new();
+        for v in [
+            self.bytes_in,
+            self.bytes_out,
+            self.requests_ok,
+            self.requests_failed,
+            self.connections_accepted,
+            self.connections_active,
+        ] {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        body.extend_from_slice(&(self.per_codec.len().min(u16::MAX as usize) as u16).to_le_bytes());
+        for (name, count) in self.per_codec.iter().take(u16::MAX as usize) {
+            encode_name(name, &mut body)?;
+            body.extend_from_slice(&count.to_le_bytes());
+        }
+        Ok(body)
+    }
+
+    /// Decode a `STATS` reply body.
+    pub fn decode(body: &[u8]) -> Result<Self> {
+        let mut src = body;
+        let bytes_in = read_u64(&mut src)?;
+        let bytes_out = read_u64(&mut src)?;
+        let requests_ok = read_u64(&mut src)?;
+        let requests_failed = read_u64(&mut src)?;
+        let connections_accepted = read_u64(&mut src)?;
+        let connections_active = read_u64(&mut src)?;
+        let count = read_u16(&mut src)? as usize;
+        let mut per_codec = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = decode_name(&mut src)?;
+            per_codec.push((name, read_u64(&mut src)?));
+        }
+        if !src.is_empty() {
+            return Err(Error::Corrupt("trailing bytes after stats body".into()));
+        }
+        Ok(StatsSnapshot {
+            bytes_in,
+            bytes_out,
+            requests_ok,
+            requests_failed,
+            connections_accepted,
+            connections_active,
+            per_codec,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcbench_core::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
+    use fcbench_core::{Compressor, DataDesc, FloatData};
+
+    struct Fake(&'static str);
+
+    impl Compressor for Fake {
+        fn info(&self) -> CodecInfo {
+            CodecInfo {
+                name: self.0,
+                year: 2024,
+                community: Community::General,
+                class: CodecClass::Delta,
+                platform: Platform::Cpu,
+                parallel: false,
+                precisions: PrecisionSupport::Both,
+            }
+        }
+        fn compress(&self, data: &FloatData) -> Result<Vec<u8>> {
+            Ok(data.bytes().to_vec())
+        }
+        fn decompress(&self, payload: &[u8], desc: &DataDesc) -> Result<FloatData> {
+            FloatData::from_bytes(desc.clone(), payload.to_vec())
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let registry = CodecRegistry::new().with(Fake("a")).with(Fake("b"));
+        let stats = ServerStats::new(&registry);
+        stats.connection_opened();
+        stats.add_bytes_in(100);
+        stats.add_bytes_out(40);
+        stats.request_ok();
+        stats.count_codec("b");
+        stats.count_codec("nope"); // ignored: never reached a codec
+        stats.request_failed();
+        let snap = stats.snapshot();
+        assert_eq!(snap.bytes_in, 100);
+        assert_eq!(snap.bytes_out, 40);
+        assert_eq!(snap.requests_ok, 1);
+        assert_eq!(snap.requests_failed, 1);
+        assert_eq!(snap.connections_accepted, 1);
+        assert_eq!(snap.connections_active, 1);
+        assert_eq!(
+            snap.per_codec,
+            vec![("a".to_string(), 0), ("b".to_string(), 1)]
+        );
+        stats.connection_closed();
+        assert_eq!(stats.snapshot().connections_active, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_on_the_wire() {
+        let snap = StatsSnapshot {
+            bytes_in: 1,
+            bytes_out: 2,
+            requests_ok: 3,
+            requests_failed: 4,
+            connections_accepted: 5,
+            connections_active: 6,
+            per_codec: vec![("gorilla".into(), 7), ("chimp128".into(), 0)],
+        };
+        let wire = snap.encode().unwrap();
+        assert_eq!(StatsSnapshot::decode(&wire).unwrap(), snap);
+        assert!(StatsSnapshot::decode(&wire[..10]).is_err());
+    }
+}

@@ -41,10 +41,14 @@ fn main() {
         .collect();
     // One persistent engine serves every codec and page size below: pages
     // are compressed and decoded by warm pool workers, the way a database
-    // integration would drive the codecs.
-    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
-    let pool = WorkerPool::new(PoolConfig::with_threads(workers));
-    println!("execution engine: {workers} persistent workers\n");
+    // integration would drive the codecs. `for_host` sizes it from the
+    // machine (one worker per hardware thread, serving-depth queue).
+    let engine = PoolConfig::for_host();
+    let pool = WorkerPool::new(engine);
+    println!(
+        "execution engine: {} persistent workers, {} job slots\n",
+        engine.threads, engine.queue_depth
+    );
     // The paper's Table 10 page sizes, in elements (8-byte doubles).
     let pages = [(512usize, "4K"), (8192, "64K"), (1 << 20, "8M")];
 

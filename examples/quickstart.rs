@@ -75,7 +75,7 @@ fn main() {
     // The pipeline splits the stream into fixed-size blocks and submits
     // them to a persistent worker pool (spawned once, on the first call;
     // later calls reuse the warm workers), emitting the chunked FCB2 frame.
-    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    let threads = fcbench::core::PoolConfig::for_host().threads.min(8);
     let pipeline = Pipeline::new(&registry, "chimp128")
         .expect("registered codec")
         .block_elems(16 * 1024)

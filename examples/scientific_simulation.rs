@@ -43,9 +43,9 @@ fn main() {
         .map(|name| registry.get(name).expect("registered codec"))
         .collect();
 
-    // Every compression below runs as a job on one persistent two-worker
+    // Every compression below runs as a job on one persistent host-sized
     // engine; codec scratch stays warm across all of them.
-    let pool = WorkerPool::new(PoolConfig::with_threads(2));
+    let pool = WorkerPool::new(PoolConfig::for_host());
     let mut c3 = Vec::new();
     let mut c1 = Vec::new();
     println!(

@@ -17,6 +17,8 @@
 //! - [`dbsim`] — simulated in-memory database (container, dataframe, scans)
 //! - [`stats`] — Friedman/Nemenyi/Mann-Whitney statistics
 //! - [`roofline`] — roofline performance model
+//! - [`serve`] — the `FCS1` network compression service over the shared
+//!   worker-pool engine
 //!
 //! ## Quickstart
 //!
@@ -43,4 +45,5 @@ pub use fcbench_dzip as dzip;
 pub use fcbench_entropy as entropy;
 pub use fcbench_gpu_sim as gpu_sim;
 pub use fcbench_roofline as roofline;
+pub use fcbench_serve as serve;
 pub use fcbench_stats as stats;

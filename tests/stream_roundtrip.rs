@@ -103,6 +103,95 @@ fn one_shared_engine_serves_every_codec_with_zero_respawns() {
     assert!(pool.jobs_completed() > 0);
 }
 
+/// The serving front-end feeds `FrameReader` state straight from untrusted
+/// sockets, so a stream cut anywhere — mid-prologue, mid-record-length,
+/// mid-payload — must surface a typed error (never a panic or a hang) and
+/// fail sticky, on both the inline and the pooled path.
+#[test]
+fn truncated_streams_from_untrusted_sources_fail_typed() {
+    let registry = paper_registry();
+    let data = decimal_data();
+    let gorilla = registry.get("gorilla").expect("registered codec");
+    let pipeline = Pipeline::with_codec(Arc::clone(&gorilla)).block_elems(50);
+    let mut writer = pipeline.frame_writer(data.desc(), Vec::new()).unwrap();
+    writer.write(data.bytes()).unwrap();
+    let stored = writer.finish().unwrap();
+
+    let prologue_len = {
+        let mut cursor = &stored[..];
+        fcbench::core::frame::decode_stream_header(&mut cursor).unwrap();
+        stored.len() - cursor.len()
+    };
+    let len0 = u64::from_le_bytes(
+        stored[prologue_len..prologue_len + 8]
+            .try_into()
+            .expect("8 bytes"),
+    ) as usize;
+
+    let pool = Arc::new(WorkerPool::new(PoolConfig::with_threads(2)));
+    let cuts = [
+        prologue_len + 4,                // mid first record length
+        prologue_len + 8,                // record length read, zero payload bytes
+        prologue_len + 8 + len0 / 2,     // mid first payload
+        prologue_len + 8 + len0 + 3,     // mid second record length
+        prologue_len + 8 + len0 + 8 + 1, // mid second payload
+    ];
+    for cut in cuts {
+        assert!(cut < stored.len(), "cut {cut} must truncate the stream");
+        for pooled in [false, true] {
+            let engine = pooled.then(|| Arc::clone(&pool));
+            let mut reader =
+                fcbench::core::FrameReader::new(&stored[..cut], Arc::clone(&gorilla), engine)
+                    .expect("prologue is intact at these cuts");
+            let mut result = Ok(());
+            loop {
+                match reader.next_block() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            let err = result.expect_err("typed error required");
+            assert!(
+                matches!(err, Error::Corrupt(_) | Error::Io(_)),
+                "cut {cut} pooled {pooled}: got {err:?}"
+            );
+            // Sticky: later reads refuse instead of yielding blocks out of
+            // order (and must never panic on the drained read-ahead).
+            assert!(reader.next_block().is_err(), "cut {cut} pooled {pooled}");
+        }
+    }
+
+    // A record length claiming almost-u64::MAX payload bytes mid-stream is
+    // rejected before the reader allocates for it.
+    let mut hostile = stored[..prologue_len + 8 + len0].to_vec();
+    hostile.extend_from_slice(&u64::MAX.to_le_bytes());
+    hostile.extend_from_slice(&[0u8; 32]);
+    for pooled in [false, true] {
+        let engine = pooled.then(|| Arc::clone(&pool));
+        let mut reader =
+            fcbench::core::FrameReader::new(&hostile[..], Arc::clone(&gorilla), engine).unwrap();
+        let mut result = Ok(());
+        loop {
+            match reader.next_block() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        assert!(
+            matches!(result, Err(Error::Corrupt(_))),
+            "pooled {pooled}: petabyte record claim must be Corrupt, got {result:?}"
+        );
+    }
+}
+
 /// A codec that panics on every call — the worker must catch it, surface a
 /// typed error to the stream, and stay alive for the next codec.
 struct PanicCodec;
