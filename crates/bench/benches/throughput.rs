@@ -7,6 +7,13 @@
 //! Set `FCBENCH_QUICK_BENCH=1` to shrink inputs and time budgets to a
 //! CI-smoke scale (single dataset, milliseconds per bench).
 //!
+//! The gorilla/chimp rows here are the end-to-end view of the bitstream
+//! engine (`fcbench_entropy::bits`): their inner loops are almost pure
+//! bit I/O, so movement on these rows tracks the `bitstream` microbench.
+//! README's "Performance" table records the PR 4 → PR 5 before/after; the
+//! machine-readable trajectory lives in `BENCH_5.json` (see the
+//! `bench-json` subcommand).
+//!
 //! The counting allocator is installed binary-wide (it is a `#[global_allocator]`,
 //! there is no narrower scope), adding a few relaxed atomic ops per allocation
 //! to the throughput groups too. That matches the `fcbench` binary, which runs

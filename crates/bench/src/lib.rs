@@ -9,6 +9,7 @@ pub mod alloc_track;
 pub mod codecs;
 pub mod context;
 pub mod experiments;
+pub mod perf_json;
 pub mod recommend;
 
 pub use context::{build_context, Context, DEFAULT_ELEMS};

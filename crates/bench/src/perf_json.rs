@@ -1,0 +1,151 @@
+//! Machine-readable perf snapshots: `BENCH_<pr>.json`.
+//!
+//! The `fcbench bench-json` subcommand measures steady-state
+//! `compress_into`/`decompress_into` throughput for every registered codec
+//! over a small synthetic corpus and writes one JSON file. CI regenerates
+//! it on a tiny budget each run, so successive PRs leave a diffable perf
+//! trajectory (the numbers are only comparable within one machine/run —
+//! the value is the *relative* movement between codecs and PRs).
+//!
+//! The JSON is hand-assembled: the workspace's `serde` is an offline
+//! no-op shim, and the schema is two levels deep.
+
+use crate::codecs::paper_registry;
+use fcbench_core::FloatData;
+use fcbench_datasets::{find, generate};
+use std::time::Instant;
+
+/// Snapshot schema identifier, bumped on layout changes.
+pub const SCHEMA: &str = "fcbench-perf-v1";
+
+/// Datasets making up the corpus: one representative per domain, matching
+/// the `throughput` bench's selection.
+pub const CORPUS: [&str; 4] = ["msg-bt", "citytemp", "acs-wht", "tpcDS-store"];
+
+struct CodecRates {
+    name: &'static str,
+    compress_mb_s: f64,
+    decompress_mb_s: f64,
+}
+
+/// Best-of-`reps` throughput in MB/s (decimal) for one closure.
+fn rate_mb_s(raw_bytes: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    raw_bytes as f64 / best / 1e6
+}
+
+/// Measure every codec over the corpus. Codecs that reject a dataset (the
+/// paper's "-" cells) simply skip it; a codec that rejects the whole
+/// corpus is omitted from the snapshot.
+fn measure(elems: usize, reps: usize) -> Vec<CodecRates> {
+    let registry = paper_registry();
+    let corpus: Vec<FloatData> = CORPUS
+        .iter()
+        .map(|name| generate(&find(name).expect("catalog dataset"), elems))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    let mut out = FloatData::scratch();
+    for entry in registry.iter() {
+        let codec = entry.codec();
+        let mut c_rates = Vec::new();
+        let mut d_rates = Vec::new();
+        for data in &corpus {
+            // Warm-up also sizes the reused buffers and skips "-" cells.
+            let Ok(n) = codec.compress_into(data, &mut payload) else {
+                continue;
+            };
+            let raw = data.bytes().len();
+            c_rates.push(rate_mb_s(raw, reps, || {
+                std::hint::black_box(codec.compress_into(data, &mut payload).expect("compress"));
+            }));
+            codec
+                .decompress_into(&payload[..n], data.desc(), &mut out)
+                .expect("decompress");
+            d_rates.push(rate_mb_s(raw, reps, || {
+                codec
+                    .decompress_into(&payload[..n], data.desc(), &mut out)
+                    .expect("decompress");
+            }));
+        }
+        if c_rates.is_empty() {
+            continue;
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        rows.push(CodecRates {
+            name: entry.name(),
+            compress_mb_s: mean(&c_rates),
+            decompress_mb_s: mean(&d_rates),
+        });
+    }
+    rows
+}
+
+/// Render the snapshot as pretty-printed JSON.
+fn render(pr: u32, elems: usize, reps: usize, rows: &[CodecRates]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!("  \"pr\": {pr},\n"));
+    s.push_str(&format!("  \"elems\": {elems},\n"));
+    s.push_str(&format!("  \"reps\": {reps},\n"));
+    let corpus = CORPUS
+        .iter()
+        .map(|d| format!("\"{d}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    s.push_str(&format!("  \"corpus\": [{corpus}],\n"));
+    s.push_str("  \"codecs\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{}\": {{\"compress_mb_s\": {:.2}, \"decompress_mb_s\": {:.2}}}{comma}\n",
+            r.name, r.compress_mb_s, r.decompress_mb_s
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Run the measurement and write `path`. Returns the rendered JSON (also
+/// echoed by the caller for CI logs).
+pub fn write_snapshot(path: &str, pr: u32, elems: usize, reps: usize) -> std::io::Result<String> {
+    let rows = measure(elems, reps);
+    let json = render(pr, elems, reps, &rows);
+    std::fs::write(path, &json)?;
+    Ok(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_has_all_hot_codecs_and_valid_shape() {
+        let rows = measure(512, 1);
+        let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+        for hot in ["gorilla", "chimp128", "fpzip", "pfpc", "buff"] {
+            assert!(names.contains(&hot), "{hot} missing from snapshot");
+        }
+        let json = render(5, 512, 1, &rows);
+        // Minimal structural checks without a JSON parser: balanced
+        // braces, schema line, one entry per codec.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert!(json.contains("\"schema\": \"fcbench-perf-v1\""));
+        for r in &rows {
+            assert!(json.contains(&format!("\"{}\"", r.name)));
+            assert!(r.compress_mb_s.is_finite() && r.compress_mb_s > 0.0);
+            assert!(r.decompress_mb_s.is_finite() && r.decompress_mb_s > 0.0);
+        }
+    }
+}

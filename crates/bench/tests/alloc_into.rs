@@ -19,6 +19,8 @@ static ALLOC: CountingAllocator = CountingAllocator;
 fn main() {
     gorilla_and_chimp_steady_state_loops_do_not_allocate();
     println!("test gorilla_and_chimp_steady_state_loops_do_not_allocate ... ok");
+    compress_into_reserves_once_even_on_a_fresh_buffer();
+    println!("test compress_into_reserves_once_even_on_a_fresh_buffer ... ok");
     runner_reuses_buffers_across_repetitions();
     println!("test runner_reuses_buffers_across_repetitions ... ok");
     warm_pool_submits_do_not_allocate_or_spawn();
@@ -77,6 +79,42 @@ fn gorilla_and_chimp_steady_state_loops_do_not_allocate() {
             "{name}: steady-state decompress_into loop must not allocate"
         );
         assert_eq!(out.bytes(), data.bytes(), "{name}: still bit-exact");
+    }
+}
+
+/// The bit-engine reserve guarantee: gorilla and chimp size their output
+/// from a `DataDesc`-derived worst-case bit estimate before the first
+/// word spills, so even a **fresh** (zero-capacity) buffer sees exactly
+/// one allocation — the up-front reserve — and the accumulator's word
+/// spills never regrow the vector mid-stream.
+fn compress_into_reserves_once_even_on_a_fresh_buffer() {
+    alloc_track::mark_installed();
+    let registry = paper_registry();
+    let data = telemetry(4096);
+
+    for name in ["gorilla", "chimp128"] {
+        let codec = registry.get(name).expect("registered codec");
+        // Warm per-thread state (chimp's window scratch) with a throwaway
+        // buffer so only the fresh output vector allocates below.
+        let mut warm = Vec::new();
+        codec.compress_into(&data, &mut warm).expect("compress");
+
+        let mut payload = Vec::new();
+        let (allocs, _) = alloc_track::count_allocations(|| {
+            std::hint::black_box(codec.compress_into(&data, &mut payload).expect("compress"));
+        });
+        assert_eq!(
+            allocs, 1,
+            "{name}: a fresh-buffer compress_into must allocate exactly once \
+             (the worst-case reserve), word spills must never regrow"
+        );
+        let cap = payload.capacity();
+        codec.compress_into(&data, &mut payload).expect("compress");
+        assert_eq!(
+            cap,
+            payload.capacity(),
+            "{name}: steady-state calls must never resize the reserved buffer"
+        );
     }
 }
 

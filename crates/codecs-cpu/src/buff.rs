@@ -265,14 +265,10 @@ impl Compressor for Buff {
             bytes.reserve(desc.byte_len());
             match desc.precision {
                 Precision::Double => {
-                    for i in 0..view.count {
-                        bytes.extend_from_slice(&view.value_at(i).to_le_bytes());
-                    }
+                    view.decode_each(|v| bytes.extend_from_slice(&v.to_le_bytes()))
                 }
                 Precision::Single => {
-                    for i in 0..view.count {
-                        bytes.extend_from_slice(&(view.value_at(i) as f32).to_le_bytes());
-                    }
+                    view.decode_each(|v| bytes.extend_from_slice(&(v as f32).to_le_bytes()))
                 }
             }
             Ok(())
@@ -290,6 +286,12 @@ impl Compressor for Buff {
             bytes_moved: 2 * n * esz,
         })
     }
+}
+
+thread_local! {
+    /// Reused plane-gather scratch for [`BuffView::decode_each`].
+    static DELTA_SCRATCH: std::cell::RefCell<Vec<u64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Zero-copy view over a BUFF payload supporting queries **without
@@ -410,6 +412,42 @@ impl<'a> BuffView<'a> {
             d = (d << 8) | self.planes[b * self.count + i] as u64;
         }
         d
+    }
+
+    /// Decode every record in order. Unlike a [`BuffView::value_at`] loop
+    /// (a stride-`count` gather plus an outlier binary search per record),
+    /// this sweeps each byte plane **sequentially** — the sub-columns are
+    /// contiguous on the wire, so full decompression reads them
+    /// plane-major like a memcpy — and merges the sorted outlier stash in
+    /// one forward pass.
+    pub fn decode_each(&self, mut emit: impl FnMut(f64)) {
+        let scale = pow10(self.precision);
+        // Per-thread delta scratch (the chimp window pattern): steady-state
+        // decompression on a long-lived worker performs no allocation here.
+        // The vector is *taken* out of the slot rather than borrowed across
+        // the `emit` calls, so a re-entrant decode_each from inside `emit`
+        // allocates a fresh scratch instead of panicking on a double borrow.
+        let mut deltas = DELTA_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        deltas.clear();
+        deltas.resize(self.count, 0);
+        for b in 0..self.nbytes {
+            let plane = &self.planes[b * self.count..(b + 1) * self.count];
+            for (d, &p) in deltas.iter_mut().zip(plane) {
+                *d = (*d << 8) | u64::from(p);
+            }
+        }
+        let mut stash = self.outliers.iter().peekable();
+        for (i, &d) in deltas.iter().enumerate() {
+            let q = match stash.peek() {
+                Some(&&(idx, q)) if idx as usize == i => {
+                    stash.next();
+                    q
+                }
+                _ => self.min + d as i64,
+            };
+            emit(q as f64 / scale);
+        }
+        DELTA_SCRATCH.with(|s| *s.borrow_mut() = deltas);
     }
 
     /// Decode record `i` to its floating-point value.
@@ -788,6 +826,21 @@ mod tests {
                 .collect();
             assert_eq!(fast, slow, "predicate < {c}");
         }
+    }
+
+    #[test]
+    fn bulk_decode_matches_per_record_decode() {
+        // decode_each (the plane-major bulk path used by decompress) and
+        // value_at (the random-access path used by queries) must agree,
+        // outlier rows included.
+        let vals = outlier_data();
+        let payload = Buff::new().compress(&data_f64(&vals)).unwrap();
+        let view = BuffView::parse(&payload).unwrap();
+        let mut bulk = Vec::with_capacity(view.len());
+        view.decode_each(|v| bulk.push(v));
+        let per_record: Vec<f64> = (0..view.len()).map(|i| view.value_at(i)).collect();
+        assert_eq!(bulk, per_record);
+        assert_eq!(bulk, vals);
     }
 
     #[test]

@@ -190,6 +190,27 @@ fn encode_words(
         win.insert(first, 0);
         let mut prev = first;
         let mut prev_lz_bucket = u32::MAX;
+        // Fused header widths, hoisted out of the per-value loop.
+        let hdr00_bits = 2 + idx_bits;
+        let hdr01_bits = 2 + idx_bits + 3 + lay.center_field;
+
+        // Emit the previous-value fallback forms: `10` (bucket repeat,
+        // fused with the payload when it fits one push) or `11` (fresh
+        // 3-bit bucket code fused into a 5-bit header).
+        let mut push_prev_form = |w: &mut BitSink<'_>, code: u32, stored: u32, xor: u64| {
+            if code == prev_lz_bucket {
+                if stored <= 62 {
+                    w.push_bits((0b10u64 << stored) | xor, stored + 2);
+                } else {
+                    w.push_bits(0b10, 2);
+                    w.push_bits(xor, stored);
+                }
+            } else {
+                w.push_bits((0b11u64 << 3) | code as u64, 5);
+                w.push_bits(xor, stored);
+                prev_lz_bucket = code;
+            }
+        };
 
         for (k, cur) in words.enumerate().map(|(k, cur)| (k + 1, cur)) {
             // Probe the window for a same-low-bits reference.
@@ -205,21 +226,23 @@ fn encode_words(
 
             match indexed {
                 Some((slot, 0)) => {
-                    // `00`: exact repeat of an in-window value.
-                    w.push_bits(0b00, 2);
-                    w.push_bits(slot as u64, idx_bits);
+                    // `00`: exact repeat of an in-window value; control and
+                    // index in one push.
+                    w.push_bits(slot as u64, hdr00_bits);
                 }
                 Some((slot, xor)) => {
-                    // `01`: indexed reference, big trailing-zero run.
+                    // `01`: indexed reference, big trailing-zero run. The
+                    // control bits, index, bucket code, and center length
+                    // fuse into a single header push (≤ 27 bits).
                     let lz = xor.leading_zeros() - (64 - lay.bits);
                     let (code, lz_rounded) = bucket_of(lz, lay.buckets);
                     let tz = xor.trailing_zeros();
                     let center = lay.bits - lz_rounded - tz;
-                    w.push_bits(0b01, 2);
-                    w.push_bits(slot as u64, idx_bits);
-                    w.push_bits(code as u64, 3);
                     // center ∈ [1, bits − threshold); store center − 1.
-                    w.push_bits((center - 1) as u64, lay.center_field);
+                    let hdr = (((0b01u64 << idx_bits) | slot as u64) << 3 | code as u64)
+                        << lay.center_field
+                        | (center - 1) as u64;
+                    w.push_bits(hdr, hdr01_bits);
                     w.push_bits(xor >> tz, center);
                 }
                 None => {
@@ -230,27 +253,11 @@ fn encode_words(
                         // window path), but reachable when the window slot was
                         // overwritten. Use the `10`/`11` forms with full width.
                         let (code, lz_rounded) = bucket_of(lay.bits - 1, lay.buckets);
-                        let stored = lay.bits - lz_rounded;
-                        if code == prev_lz_bucket {
-                            w.push_bits(0b10, 2);
-                        } else {
-                            w.push_bits(0b11, 2);
-                            w.push_bits(code as u64, 3);
-                            prev_lz_bucket = code;
-                        }
-                        w.push_bits(0, stored);
+                        push_prev_form(w, code, lay.bits - lz_rounded, 0);
                     } else {
                         let lz = xor.leading_zeros() - (64 - lay.bits);
                         let (code, lz_rounded) = bucket_of(lz, lay.buckets);
-                        let stored = lay.bits - lz_rounded;
-                        if code == prev_lz_bucket {
-                            w.push_bits(0b10, 2);
-                        } else {
-                            w.push_bits(0b11, 2);
-                            w.push_bits(code as u64, 3);
-                            prev_lz_bucket = code;
-                        }
-                        w.push_bits(xor, stored);
+                        push_prev_form(w, code, lay.bits - lz_rounded, xor);
                     }
                 }
             }
@@ -297,23 +304,17 @@ fn decode_words(
                     win.value_at_slot(slot)
                 }
                 0b01 => {
-                    let slot = r
-                        .read_bits(idx_bits)
-                        .ok_or_else(|| Error::Corrupt("chimp: truncated index".into()))?
-                        as usize;
+                    // Index, bucket code, and center length in one read.
+                    let hdr = r
+                        .read_bits(idx_bits + 3 + lay.center_field)
+                        .ok_or_else(|| Error::Corrupt("chimp: truncated 01-form header".into()))?;
+                    let slot = (hdr >> (3 + lay.center_field)) as usize;
                     if slot >= window_size {
                         return Err(Error::Corrupt("chimp: index out of window".into()));
                     }
-                    let code = r
-                        .read_bits(3)
-                        .ok_or_else(|| Error::Corrupt("chimp: truncated lz code".into()))?
-                        as usize;
+                    let code = ((hdr >> lay.center_field) & 0b111) as usize;
                     let lz = lay.buckets[code];
-                    let center = r
-                        .read_bits(lay.center_field)
-                        .ok_or_else(|| Error::Corrupt("chimp: truncated center len".into()))?
-                        as u32
-                        + 1;
+                    let center = (hdr & ((1u64 << lay.center_field) - 1)) as u32 + 1;
                     if lz + center > lay.bits {
                         return Err(Error::Corrupt("chimp: center exceeds word".into()));
                     }
@@ -366,13 +367,23 @@ impl Compressor for Chimp {
 
     /// Zero-allocation in steady state: bits are emitted straight into `out`
     /// through a [`BitSink`], words stream from the payload bytes, and the
-    /// 128-value window lives in thread-local scratch.
+    /// 128-value window lives in thread-local scratch. The reserve covers
+    /// the worst-case stream (every value an `01` form with a full-width
+    /// center), so the sink's word spills never reallocate.
     fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+        let idx_bits = self.index_bits();
+        let lay = match data.desc().precision {
+            Precision::Double => L64,
+            Precision::Single => L32,
+        };
+        // Worst case per value across all four forms: the `01` header plus
+        // a center as wide as the word.
+        let per_value = (2 + idx_bits + 3 + lay.center_field + lay.bits) as usize;
+        let stream_bits = lay.bits as usize + data.elements().saturating_sub(1) * per_value;
         out.clear();
-        out.reserve(data.bytes().len() / 2 + 16);
+        out.reserve(8 + stream_bits.div_ceil(8));
         push_u64(out, data.elements() as u64);
         let mut w = BitSink::new(out);
-        let idx_bits = self.index_bits();
         match data.desc().precision {
             Precision::Double => {
                 encode_words(u64_words(data.bytes()), L64, self.window, idx_bits, &mut w)
@@ -385,6 +396,7 @@ impl Compressor for Chimp {
                 &mut w,
             ),
         }
+        w.finish(); // spill the staged partial word before reading out.len()
         Ok(out.len())
     }
 

@@ -170,7 +170,7 @@ macro_rules! fpzip_impl {
             }
 
             let rc_bytes = rc.finish();
-            let mut out = Vec::with_capacity(8 + rc_bytes.len() + verbatim.as_bytes().len());
+            let mut out = Vec::with_capacity(8 + rc_bytes.len() + verbatim.byte_len());
             push_u32(&mut out, rc_bytes.len() as u32);
             out.extend_from_slice(&rc_bytes);
             out.extend_from_slice(&verbatim.into_bytes());

@@ -53,16 +53,30 @@ const L32: Layout = Layout {
     len_field: 5,
 };
 
+/// Worst-case payload bytes for `elements` values: the 8-byte count header
+/// plus a stream where every value after the first emits a fresh
+/// full-width `11` window. Reserving this up front keeps the bit sink's
+/// word spills from ever growing the buffer.
+fn worst_case_bytes(lay: Layout, elements: usize) -> usize {
+    let per_value = (2 + lay.lz_field + lay.len_field + lay.bits) as usize;
+    let stream_bits = lay.bits as usize + elements.saturating_sub(1) * per_value;
+    8 + stream_bits.div_ceil(8)
+}
+
 fn encode_words(mut words: impl Iterator<Item = u64>, lay: Layout, w: &mut BitSink<'_>) {
     let Some(first) = words.next() else {
         return;
     };
     w.push_bits(first, lay.bits);
     let mut prev = first;
-    // The active meaningful-bit window from the last `11` form.
+    // The active meaningful-bit window from the last `11` form; `win_len`
+    // is hoisted so the hot `10` path does no per-value recomputation.
     let mut win_lz = 0u32;
     let mut win_tz = 0u32;
+    let mut win_len = lay.bits;
     let mut have_window = false;
+    // Width of the fused `11` + lz-count + length header (13 bits for f64).
+    let hdr_bits = 2 + lay.lz_field + lay.len_field;
 
     for cur in words {
         let xor = prev ^ cur;
@@ -71,26 +85,33 @@ fn encode_words(mut words: impl Iterator<Item = u64>, lay: Layout, w: &mut BitSi
             w.push_bit(false);
             continue;
         }
-        w.push_bit(true);
         // leading_zeros is computed on u64; shift out the unused high bits
         // for 32-bit words, then clamp to the 5-bit field maximum of 31.
         let lz = (xor.leading_zeros() - (64 - lay.bits)).min(31);
         let tz = xor.trailing_zeros().min(lay.bits - 1);
 
         if have_window && lz >= win_lz && tz >= win_tz {
-            // `10`: reuse previous window.
-            w.push_bit(false);
-            let len = lay.bits - win_lz - win_tz;
-            w.push_bits(xor >> win_tz, len);
+            // `10`: reuse previous window, control + payload in one push
+            // whenever they fit a single 64-bit field.
+            let payload = xor >> win_tz;
+            if win_len <= 62 {
+                w.push_bits((0b10u64 << win_len) | payload, win_len + 2);
+            } else {
+                w.push_bits(0b10, 2);
+                w.push_bits(payload, win_len);
+            }
         } else {
-            // `11`: emit a fresh window.
-            w.push_bit(true);
+            // `11`: emit a fresh window; the control bits, lz count, and
+            // stored length fuse into one push.
             let len = lay.bits - lz - tz;
-            w.push_bits(lz as u64, lay.lz_field);
-            w.push_bits((len - 1) as u64, lay.len_field);
+            let hdr = (0b11u64 << (lay.lz_field + lay.len_field))
+                | ((lz as u64) << lay.len_field)
+                | (len - 1) as u64;
+            w.push_bits(hdr, hdr_bits);
             w.push_bits(xor >> tz, len);
             win_lz = lz;
             win_tz = tz;
+            win_len = len;
             have_window = true;
         }
     }
@@ -111,39 +132,36 @@ fn decode_words(
     emit(first);
     let mut decoded = 1usize;
     let mut prev = first;
-    let mut win_lz = 0u32;
     let mut win_tz = 0u32;
+    let mut win_len = lay.bits;
+    let len_mask = (1u64 << lay.len_field) - 1;
 
     while decoded < count {
-        let c0 = r
-            .read_bit()
-            .ok_or_else(|| Error::Corrupt("gorilla: truncated control bit".into()))?;
-        if !c0 {
+        // One peek covers the whole control prefix; `consume` still
+        // bounds-checks, so truncated control bits surface as errors.
+        let ctrl = r.peek_bits(2);
+        if ctrl & 0b10 == 0 {
+            r.consume(1)
+                .ok_or_else(|| Error::Corrupt("gorilla: truncated control bit".into()))?;
             emit(prev);
             decoded += 1;
             continue;
         }
-        let c1 = r
-            .read_bit()
+        r.consume(2)
             .ok_or_else(|| Error::Corrupt("gorilla: truncated control form".into()))?;
-        let xor = if !c1 {
+        let xor = if ctrl == 0b10 {
             // `10`: previous window.
-            let len = lay.bits - win_lz - win_tz;
             let bits = r
-                .read_bits(len)
+                .read_bits(win_len)
                 .ok_or_else(|| Error::Corrupt("gorilla: truncated windowed bits".into()))?;
             bits << win_tz
         } else {
-            // `11`: new window.
-            let lz = r
-                .read_bits(lay.lz_field)
-                .ok_or_else(|| Error::Corrupt("gorilla: truncated lz field".into()))?
-                as u32;
-            let len = r
-                .read_bits(lay.len_field)
-                .ok_or_else(|| Error::Corrupt("gorilla: truncated len field".into()))?
-                as u32
-                + 1;
+            // `11`: new window; lz count and stored length in one read.
+            let hdr = r
+                .read_bits(lay.lz_field + lay.len_field)
+                .ok_or_else(|| Error::Corrupt("gorilla: truncated window header".into()))?;
+            let lz = (hdr >> lay.len_field) as u32;
+            let len = (hdr & len_mask) as u32 + 1;
             if lz + len > lay.bits {
                 return Err(Error::Corrupt("gorilla: window exceeds word".into()));
             }
@@ -151,8 +169,8 @@ fn decode_words(
             let bits = r
                 .read_bits(len)
                 .ok_or_else(|| Error::Corrupt("gorilla: truncated new-window bits".into()))?;
-            win_lz = lz;
             win_tz = tz;
+            win_len = len;
             bits << tz
         };
         prev ^= xor;
@@ -177,16 +195,24 @@ impl Compressor for Gorilla {
 
     /// Zero-allocation in steady state: the stream is emitted straight into
     /// `out` through a [`BitSink`], and words are read from the payload
-    /// bytes without an intermediate vector.
+    /// bytes without an intermediate vector. The reserve covers the
+    /// worst-case stream (every value a fresh full-width window), so the
+    /// sink's word spills never reallocate — even on the first call with a
+    /// fresh buffer.
     fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+        let lay = match data.desc().precision {
+            Precision::Double => L64,
+            Precision::Single => L32,
+        };
         out.clear();
-        out.reserve(data.bytes().len() / 2 + 16);
+        out.reserve(worst_case_bytes(lay, data.elements()));
         push_u64(out, data.elements() as u64);
         let mut w = BitSink::new(out);
         match data.desc().precision {
             Precision::Double => encode_words(u64_words(data.bytes()), L64, &mut w),
             Precision::Single => encode_words(u32_words(data.bytes()).map(u64::from), L32, &mut w),
         }
+        w.finish(); // spill the staged partial word before reading out.len()
         Ok(out.len())
     }
 

@@ -34,10 +34,12 @@ pub fn compress_timestamps(timestamps: &[i64]) -> Vec<u8> {
     let mut w = BitWriter::with_capacity(timestamps.len() / 4 + 16);
 
     if let Some(&first) = timestamps.first() {
-        w.push_bits(first as u64, 64);
+        // The leading 64-bit fields sit on byte boundaries: bulk-copy them
+        // (big-endian matches the MSB-first bit layout bit-for-bit).
+        w.extend_aligned(&(first as u64).to_be_bytes());
         if timestamps.len() > 1 {
             let first_delta = timestamps[1].wrapping_sub(first);
-            w.push_bits(first_delta as u64, 64);
+            w.extend_aligned(&(first_delta as u64).to_be_bytes());
         }
     }
     let mut prev = *timestamps
@@ -51,20 +53,12 @@ pub fn compress_timestamps(timestamps: &[i64]) -> Vec<u8> {
     for &ts in timestamps.iter().skip(2) {
         let delta = ts.wrapping_sub(prev);
         let dod = delta.wrapping_sub(prev_delta);
+        // Control code and payload fuse into a single push per point.
         match dod {
             0 => w.push_bit(false),
-            -63..=64 => {
-                w.push_bits(0b10, 2);
-                w.push_bits((dod + 63) as u64, 7);
-            }
-            -255..=256 => {
-                w.push_bits(0b110, 3);
-                w.push_bits((dod + 255) as u64, 9);
-            }
-            -2047..=2048 => {
-                w.push_bits(0b1110, 4);
-                w.push_bits((dod + 2047) as u64, 12);
-            }
+            -63..=64 => w.push_bits((0b10u64 << 7) | (dod + 63) as u64, 9),
+            -255..=256 => w.push_bits((0b110u64 << 9) | (dod + 255) as u64, 12),
+            -2047..=2048 => w.push_bits((0b1110u64 << 12) | (dod + 2047) as u64, 16),
             _ => {
                 w.push_bits(0b1111, 4);
                 w.push_bits(dod as u64, 64);
@@ -88,39 +82,49 @@ pub fn decompress_timestamps(payload: &[u8]) -> Result<Vec<i64>> {
     if count == 0 {
         return Ok(out);
     }
+    let be64 = |s: &[u8]| i64::from_be_bytes(s.try_into().expect("8 bytes"));
     let first = r
-        .read_bits(64)
-        .ok_or_else(|| Error::Corrupt("gorilla-ts: missing first timestamp".into()))?
-        as i64;
+        .read_aligned_bytes(8)
+        .map(be64)
+        .ok_or_else(|| Error::Corrupt("gorilla-ts: missing first timestamp".into()))?;
     out.push(first);
     if count == 1 {
         return Ok(out);
     }
     let first_delta = r
-        .read_bits(64)
-        .ok_or_else(|| Error::Corrupt("gorilla-ts: missing first delta".into()))?
-        as i64;
+        .read_aligned_bytes(8)
+        .map(be64)
+        .ok_or_else(|| Error::Corrupt("gorilla-ts: missing first delta".into()))?;
     let mut prev = first.wrapping_add(first_delta);
     out.push(prev);
     let mut prev_delta = first_delta;
 
     while out.len() < count {
         let trunc = |msg: &str| Error::Corrupt(format!("gorilla-ts: {msg}"));
-        let dod = if !r.read_bit().ok_or_else(|| trunc("truncated control"))? {
+        // One peek covers the widest control prefix; each arm consumes the
+        // actual code+payload width (with the bounds check a plain read
+        // would have done, so truncated streams still error).
+        let ctrl = r.peek_bits(4);
+        let dod = if ctrl & 0b1000 == 0 {
+            r.consume(1).ok_or_else(|| trunc("truncated control"))?;
             0i64
-        } else if !r.read_bit().ok_or_else(|| trunc("truncated control"))? {
-            r.read_bits(7)
-                .ok_or_else(|| trunc("truncated 7-bit field"))? as i64
-                - 63
-        } else if !r.read_bit().ok_or_else(|| trunc("truncated control"))? {
-            r.read_bits(9)
-                .ok_or_else(|| trunc("truncated 9-bit field"))? as i64
-                - 255
-        } else if !r.read_bit().ok_or_else(|| trunc("truncated control"))? {
-            r.read_bits(12)
-                .ok_or_else(|| trunc("truncated 12-bit field"))? as i64
-                - 2047
+        } else if ctrl & 0b0100 == 0 {
+            let f = r
+                .read_bits(9)
+                .ok_or_else(|| trunc("truncated `10` code + 7-bit field"))?;
+            (f & 0x7F) as i64 - 63
+        } else if ctrl & 0b0010 == 0 {
+            let f = r
+                .read_bits(12)
+                .ok_or_else(|| trunc("truncated `110` code + 9-bit field"))?;
+            (f & 0x1FF) as i64 - 255
+        } else if ctrl & 0b0001 == 0 {
+            let f = r
+                .read_bits(16)
+                .ok_or_else(|| trunc("truncated `1110` code + 12-bit field"))?;
+            (f & 0xFFF) as i64 - 2047
         } else {
+            r.consume(4).ok_or_else(|| trunc("truncated control"))?;
             r.read_bits(64)
                 .ok_or_else(|| trunc("truncated 64-bit field"))? as i64
         };

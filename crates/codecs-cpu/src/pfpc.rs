@@ -181,13 +181,25 @@ fn decompress_chunk(payload: &[u8], count: usize) -> Result<Vec<u64>> {
             let sel = nib >> 3;
             let code = nib & 7;
             let eb = (8 - LZB_TABLE[code as usize]) as usize;
-            let rbytes = residuals
-                .get(rpos..rpos + eb)
-                .ok_or_else(|| Error::Corrupt("pfpc: residual stream truncated".into()))?;
+            // Word path: one unaligned 8-byte load + mask covers every
+            // residual width; the byte-copy loop only runs for the last
+            // few residuals of the chunk.
+            let xor = if let Some(s) = residuals.get(rpos..rpos + 8) {
+                let w = u64::from_le_bytes(s.try_into().expect("8 bytes"));
+                if eb == 8 {
+                    w
+                } else {
+                    w & ((1u64 << (8 * eb)) - 1)
+                }
+            } else {
+                let rbytes = residuals
+                    .get(rpos..rpos + eb)
+                    .ok_or_else(|| Error::Corrupt("pfpc: residual stream truncated".into()))?;
+                let mut le = [0u8; 8];
+                le[..eb].copy_from_slice(rbytes);
+                u64::from_le_bytes(le)
+            };
             rpos += eb;
-            let mut le = [0u8; 8];
-            le[..eb].copy_from_slice(rbytes);
-            let xor = u64::from_le_bytes(le);
             let (f, d) = p.predict();
             let pred = if sel == 0 { f } else { d };
             let val = pred ^ xor;

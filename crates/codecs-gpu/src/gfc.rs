@@ -130,13 +130,25 @@ fn decompress_chunk(payload: &[u8], count: usize) -> Result<Vec<u64>> {
         let sign = nib >> 3;
         let lzb = (nib & 7) as usize;
         let nbytes = 8 - lzb;
-        let raw = residuals
-            .get(rpos..rpos + nbytes)
-            .ok_or_else(|| Error::Corrupt("gfc: residual stream truncated".into()))?;
+        // Word path: one unaligned 8-byte load + mask covers every
+        // residual width; the byte-copy fallback only runs near the end
+        // of the chunk's residual stream.
+        let mag = if let Some(s) = residuals.get(rpos..rpos + 8) {
+            let w = u64::from_le_bytes(s.try_into().expect("8 bytes"));
+            if nbytes == 8 {
+                w
+            } else {
+                w & ((1u64 << (8 * nbytes)) - 1)
+            }
+        } else {
+            let raw = residuals
+                .get(rpos..rpos + nbytes)
+                .ok_or_else(|| Error::Corrupt("gfc: residual stream truncated".into()))?;
+            let mut le = [0u8; 8];
+            le[..nbytes].copy_from_slice(raw);
+            u64::from_le_bytes(le)
+        };
         rpos += nbytes;
-        let mut le = [0u8; 8];
-        le[..nbytes].copy_from_slice(raw);
-        let mag = u64::from_le_bytes(le);
         let r = if sign == 1 {
             (mag as i64).wrapping_neg()
         } else {
