@@ -8,7 +8,7 @@ use crate::context::{engine_threads, render_table};
 use fcbench_core::pool::{PoolConfig, WorkerPool};
 use fcbench_core::Precision;
 use fcbench_datasets::{catalog, generate};
-use fcbench_dbsim::{measure_three_primitives_pooled, ColumnData};
+use fcbench_dbsim::{measure_three_primitives_pooled, ColumnData, RecoveryOutcome};
 
 /// Codec rows included in Table 11 (the paper omits BUFF and the nvCOMP
 /// binaries, which expose no block API in their harness; we keep the same
@@ -89,8 +89,15 @@ pub fn table11(target_elems: usize, chunk_elems: usize) -> String {
             ));
             match measure_three_primitives_pooled(&path, &pool, &codec, &columns, chunk_elems) {
                 Ok(r) => {
+                    // A container this experiment just wrote must read back
+                    // clean; a recovery here would mean the write path tore.
+                    let flag = if r.recovery == RecoveryOutcome::Clean {
+                        ""
+                    } else {
+                        "!"
+                    };
                     row.push(format!(
-                        "{:.1}+{:.1}",
+                        "{:.1}+{:.1}{flag}",
                         r.io_seconds * 1e3,
                         r.decode_seconds * 1e3
                     ));

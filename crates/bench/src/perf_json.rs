@@ -11,12 +11,14 @@
 //! no-op shim, and the schema is two levels deep.
 
 use crate::codecs::paper_registry;
+use fcbench_core::pool::{PoolConfig, WorkerPool};
 use fcbench_core::FloatData;
 use fcbench_datasets::{find, generate};
 use std::time::Instant;
 
-/// Snapshot schema identifier, bumped on layout changes.
-pub const SCHEMA: &str = "fcbench-perf-v1";
+/// Snapshot schema identifier, bumped on layout changes (v2 added the
+/// FCDB2 `container` write/read section).
+pub const SCHEMA: &str = "fcbench-perf-v2";
 
 /// Datasets making up the corpus: one representative per domain, matching
 /// the `throughput` bench's selection.
@@ -87,8 +89,70 @@ fn measure(elems: usize, reps: usize) -> Vec<CodecRates> {
     rows
 }
 
+/// Codecs measured through the FCDB2 container path: the database-side
+/// rows of the snapshot (a fast XOR codec and the recommended CPU stack).
+pub const CONTAINER_CODECS: [&str; 2] = ["gorilla", "bitshuffle-zstd"];
+
+/// Container page size used for the snapshot, in elements.
+pub const CONTAINER_CHUNK_ELEMS: usize = 4096;
+
+struct ContainerRates {
+    name: &'static str,
+    write_mb_s: f64,
+    read_mb_s: f64,
+}
+
+/// End-to-end FCDB2 throughput: streaming pooled container writes to a
+/// temp file, and read + pooled decode back — the three-primitive I/O
+/// path Table 11 times, as MB/s of raw column bytes.
+fn measure_container(elems: usize, reps: usize) -> Vec<ContainerRates> {
+    use fcbench_dbsim::{read_container, write_container_pooled, ColumnData};
+    let registry = paper_registry();
+    let pool = WorkerPool::new(PoolConfig::for_host());
+    let data = generate(&find("tpcDS-store").expect("catalog dataset"), elems);
+    let columns = vec![match data.desc().precision {
+        fcbench_core::Precision::Double => {
+            ColumnData::from_f64("c0", &data.to_f64_vec().expect("precision checked"))
+        }
+        fcbench_core::Precision::Single => {
+            ColumnData::from_f32("c0", &data.to_f32_vec().expect("precision checked"))
+        }
+    }];
+    let raw = columns[0].bytes.len();
+
+    let mut rows = Vec::new();
+    for name in CONTAINER_CODECS {
+        let codec = registry.get(name).expect("registered codec");
+        let path =
+            std::env::temp_dir().join(format!("fcbench-perfjson-{}-{name}", std::process::id()));
+        let write_mb_s = rate_mb_s(raw, reps, || {
+            write_container_pooled(&path, &pool, &codec, &columns, CONTAINER_CHUNK_ELEMS)
+                .expect("container write");
+        });
+        let read_mb_s = rate_mb_s(raw, reps, || {
+            let read = read_container(&path).expect("container read");
+            for col in &read.table.columns {
+                std::hint::black_box(col.decode_pooled(&pool, &codec).expect("decode"));
+            }
+        });
+        std::fs::remove_file(&path).ok();
+        rows.push(ContainerRates {
+            name,
+            write_mb_s,
+            read_mb_s,
+        });
+    }
+    rows
+}
+
 /// Render the snapshot as pretty-printed JSON.
-fn render(pr: u32, elems: usize, reps: usize, rows: &[CodecRates]) -> String {
+fn render(
+    pr: u32,
+    elems: usize,
+    reps: usize,
+    rows: &[CodecRates],
+    container: &[ContainerRates],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
@@ -109,6 +173,17 @@ fn render(pr: u32, elems: usize, reps: usize, rows: &[CodecRates]) -> String {
             r.name, r.compress_mb_s, r.decompress_mb_s
         ));
     }
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"container\": {{\n    \"chunk_elems\": {CONTAINER_CHUNK_ELEMS},\n"
+    ));
+    for (i, r) in container.iter().enumerate() {
+        let comma = if i + 1 == container.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{}\": {{\"container_write_mb_s\": {:.2}, \"container_read_mb_s\": {:.2}}}{comma}\n",
+            r.name, r.write_mb_s, r.read_mb_s
+        ));
+    }
     s.push_str("  }\n}\n");
     s
 }
@@ -117,7 +192,8 @@ fn render(pr: u32, elems: usize, reps: usize, rows: &[CodecRates]) -> String {
 /// echoed by the caller for CI logs).
 pub fn write_snapshot(path: &str, pr: u32, elems: usize, reps: usize) -> std::io::Result<String> {
     let rows = measure(elems, reps);
-    let json = render(pr, elems, reps, &rows);
+    let container = measure_container(elems, reps);
+    let json = render(pr, elems, reps, &rows, &container);
     std::fs::write(path, &json)?;
     Ok(json)
 }
@@ -133,7 +209,8 @@ mod tests {
         for hot in ["gorilla", "chimp128", "fpzip", "pfpc", "buff"] {
             assert!(names.contains(&hot), "{hot} missing from snapshot");
         }
-        let json = render(5, 512, 1, &rows);
+        let container = measure_container(512, 1);
+        let json = render(6, 512, 1, &rows, &container);
         // Minimal structural checks without a JSON parser: balanced
         // braces, schema line, one entry per codec.
         assert_eq!(
@@ -141,11 +218,17 @@ mod tests {
             json.matches('}').count(),
             "unbalanced braces"
         );
-        assert!(json.contains("\"schema\": \"fcbench-perf-v1\""));
+        assert!(json.contains("\"schema\": \"fcbench-perf-v2\""));
         for r in &rows {
             assert!(json.contains(&format!("\"{}\"", r.name)));
             assert!(r.compress_mb_s.is_finite() && r.compress_mb_s > 0.0);
             assert!(r.decompress_mb_s.is_finite() && r.decompress_mb_s > 0.0);
+        }
+        assert_eq!(container.len(), CONTAINER_CODECS.len());
+        for r in &container {
+            assert!(json.contains("container_write_mb_s"));
+            assert!(r.write_mb_s.is_finite() && r.write_mb_s > 0.0);
+            assert!(r.read_mb_s.is_finite() && r.read_mb_s > 0.0);
         }
     }
 }

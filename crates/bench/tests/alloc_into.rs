@@ -11,7 +11,8 @@
 use fcbench_bench::alloc_track::{self, CountingAllocator};
 use fcbench_bench::codecs::paper_registry;
 use fcbench_core::pool::{PoolConfig, WorkerPool};
-use fcbench_core::{Domain, FloatData};
+use fcbench_core::{Domain, FloatData, Precision};
+use fcbench_dbsim::{ChunkExec, ContainerWriter};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -25,6 +26,10 @@ fn main() {
     println!("test runner_reuses_buffers_across_repetitions ... ok");
     warm_pool_submits_do_not_allocate_or_spawn();
     println!("test warm_pool_submits_do_not_allocate_or_spawn ... ok");
+    streaming_container_writes_do_not_allocate_per_record();
+    println!("test streaming_container_writes_do_not_allocate_per_record ... ok");
+    streaming_container_writer_memory_stays_bounded();
+    println!("test streaming_container_writer_memory_stays_bounded ... ok");
 }
 
 fn telemetry(n: usize) -> FloatData {
@@ -202,6 +207,92 @@ fn warm_pool_submits_do_not_allocate_or_spawn() {
         "gorilla: two-worker warm pool submits must not allocate"
     );
     assert_eq!(pool.threads_spawned(), 2);
+}
+
+/// The FCDB2 streaming-writer guarantee: a warm inline container write
+/// costs a fixed number of allocations per **column** (writer setup,
+/// metadata vectors, the commit directory), never per **record** — chunk
+/// payloads reuse one scratch buffer and record framing streams straight
+/// to the sink. 4x the chunk records must not mean 4x the allocations.
+fn streaming_container_writes_do_not_allocate_per_record() {
+    alloc_track::mark_installed();
+    let registry = paper_registry();
+    const CHUNK: usize = 128;
+
+    for name in ["gorilla", "chimp128"] {
+        let codec = registry.get(name).expect("registered codec");
+        let few = telemetry(64 * CHUNK);
+        let many = telemetry(256 * CHUNK);
+
+        // Warm-up: learn the sink capacity for the big container and size
+        // any codec thread-locals (chimp's window scratch).
+        let mut w =
+            ContainerWriter::new(Vec::new(), ChunkExec::Inline(codec.as_ref())).expect("prologue");
+        w.begin_column("t", Precision::Double, CHUNK).expect("col");
+        w.write(many.bytes()).expect("write");
+        let mut sink = w.finish().expect("finish");
+
+        let mut count = |data: &FloatData| {
+            sink.clear(); // keeps capacity: the sink itself stays warm
+            let taken = std::mem::take(&mut sink);
+            let (allocs, done) = alloc_track::count_allocations(|| {
+                let mut w = ContainerWriter::new(taken, ChunkExec::Inline(codec.as_ref()))
+                    .expect("prologue");
+                w.begin_column("t", Precision::Double, CHUNK).expect("col");
+                w.write(data.bytes()).expect("write");
+                w.finish().expect("finish")
+            });
+            sink = done;
+            allocs
+        };
+        let allocs_few = count(&few);
+        let allocs_many = count(&many);
+        assert!(
+            allocs_many <= allocs_few + 24,
+            "{name}: container writes must not allocate per record: \
+             {allocs_few} allocs for 64 chunks vs {allocs_many} for 256"
+        );
+    }
+}
+
+/// The acceptance bound behind the FCDB2 refactor: streaming an 8 MiB
+/// column through the pooled writer to disk peaks far below the body —
+/// memory is the in-flight window (pages being compressed) plus framing
+/// scratch, never the container.
+fn streaming_container_writer_memory_stays_bounded() {
+    alloc_track::mark_installed();
+    let registry = paper_registry();
+    let codec = registry.get("gorilla").expect("registered codec");
+    let pool = WorkerPool::new(PoolConfig::with_threads(1).queue_depth(2));
+    let data = telemetry(1 << 20); // 8 MiB of doubles
+    let raw = data.bytes().len();
+    let path = std::env::temp_dir().join(format!("fcbench-alloc-fcdb2-{}", std::process::id()));
+
+    let file = std::fs::File::create(&path).expect("create");
+    let (peak, written) = alloc_track::measure_peak(|| {
+        let mut w = ContainerWriter::new(
+            std::io::BufWriter::new(file),
+            ChunkExec::Pooled(&pool, &codec),
+        )
+        .expect("prologue")
+        .max_in_flight(2);
+        w.begin_column("t", Precision::Double, 4096).expect("col");
+        // Feed the body in page-sized slices, as an ingest stream would.
+        for piece in data.bytes().chunks(4096 * 8) {
+            w.write(piece).expect("write");
+        }
+        let bytes = w.bytes_written();
+        w.finish().expect("finish");
+        bytes
+    });
+    let on_disk = std::fs::metadata(&path).expect("meta").len();
+    std::fs::remove_file(&path).ok();
+    assert!(written > 0 && on_disk > 0);
+    assert!(
+        peak < raw / 8,
+        "streaming an {raw}-byte body must stay bounded by the in-flight \
+         window, peaked at {peak} bytes"
+    );
 }
 
 fn runner_reuses_buffers_across_repetitions() {

@@ -38,6 +38,15 @@ pub enum Error {
     WorkerPanic(String),
     /// An I/O error from the on-disk container (message only, to stay `Clone`).
     Io(String),
+    /// A stored checksum did not match the recomputed one — corruption
+    /// *inside* the committed region of a container. (A torn tail after the
+    /// last commit point is recovered, not errored; see `fcbench-dbsim`.)
+    ChecksumMismatch {
+        /// What was being validated ("container prologue", "chunk record", ...).
+        context: String,
+        stored: u32,
+        computed: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -78,6 +87,16 @@ impl fmt::Display for Error {
                 write!(f, "codec panicked in a pool worker: {msg}")
             }
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::ChecksumMismatch {
+                context,
+                stored,
+                computed,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch in {context}: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
         }
     }
 }
@@ -142,6 +161,19 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("\"zstd\""));
         assert!(msg.contains("gorilla, chimp128"));
+    }
+
+    #[test]
+    fn checksum_mismatch_names_context_and_both_values() {
+        let e = Error::ChecksumMismatch {
+            context: "commit directory".into(),
+            stored: 0xDEAD_BEEF,
+            computed: 0x0000_0001,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("commit directory"));
+        assert!(msg.contains("0xdeadbeef"));
+        assert!(msg.contains("0x00000001"));
     }
 
     #[test]

@@ -75,6 +75,163 @@ const RECORD_SLACK: usize = 4096;
 /// into memory.
 const MAX_UPFRONT_RESERVE: usize = 16 * 1024 * 1024;
 
+// ---------------------------------------------------------------------------
+// Checksummed record framing
+// ---------------------------------------------------------------------------
+//
+// The FCDB2 on-disk container (crate `fcbench-dbsim`) frames every record —
+// column headers, compressed chunks, commit directories — as
+//
+// ```text
+// tag        u8
+// body len   u64 LE
+// body       …
+// crc32      u32 LE   (over tag + len + body)
+// ```
+//
+// so a reader can tell a torn tail from committed data. The helpers live
+// here, next to the frame streaming they mirror, because the framing is not
+// container-specific: any append-style file format in the workspace can use
+// them.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table, built
+/// at compile time so the hasher has no runtime setup and no allocation.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 (IEEE) hasher over byte slices.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        for &b in bytes {
+            s = CRC32_TABLE[((s ^ b as u32) & 0xFF) as usize] ^ (s >> 8);
+        }
+        self.state = s;
+    }
+
+    /// The checksum of everything folded in so far (the hasher stays usable).
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Framing bytes around a record body: 1 tag + 8 length + 4 checksum.
+pub const RECORD_OVERHEAD: u64 = 13;
+
+/// Write one framed record to `sink`. The body is supplied in `parts` so a
+/// caller can prepend a small header to a large payload without
+/// concatenating them first; the checksum streams over the parts, so the
+/// call allocates nothing. Returns the total bytes emitted
+/// ([`RECORD_OVERHEAD`] + body length).
+pub fn put_record<W: Write>(sink: &mut W, tag: u8, parts: &[&[u8]]) -> Result<u64> {
+    let body_len: u64 = parts.iter().map(|p| p.len() as u64).sum();
+    let mut head = [0u8; 9];
+    head[0] = tag;
+    head[1..9].copy_from_slice(&body_len.to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&head);
+    sink.write_all(&head)?;
+    for part in parts {
+        crc.update(part);
+        sink.write_all(part)?;
+    }
+    sink.write_all(&crc.finish().to_le_bytes())?;
+    Ok(RECORD_OVERHEAD + body_len)
+}
+
+/// A framed record parsed back out of a byte buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordView<'a> {
+    pub tag: u8,
+    pub body: &'a [u8],
+    /// Offset one past the record's trailing checksum.
+    pub end: usize,
+}
+
+/// Why [`check_record`] could not return a valid record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordCheck {
+    /// The buffer ends before the record does (a torn write, or not a
+    /// record at all).
+    Truncated,
+    /// The record is complete but its stored checksum does not match.
+    Mismatch { stored: u32, computed: u32 },
+}
+
+/// Validate the framed record starting at `bytes[pos..]`. The length field
+/// is bounds-checked against the buffer **before** the checksum runs, so a
+/// hostile length claims nothing.
+pub fn check_record(bytes: &[u8], pos: usize) -> std::result::Result<RecordView<'_>, RecordCheck> {
+    let head_end = pos.checked_add(9).ok_or(RecordCheck::Truncated)?;
+    let head = bytes.get(pos..head_end).ok_or(RecordCheck::Truncated)?;
+    let body_len = u64::from_le_bytes(head[1..9].try_into().expect("8 bytes"));
+    let body_len = usize::try_from(body_len).map_err(|_| RecordCheck::Truncated)?;
+    let body_start = pos + 9;
+    let body_end = body_start
+        .checked_add(body_len)
+        .ok_or(RecordCheck::Truncated)?;
+    let end = body_end.checked_add(4).ok_or(RecordCheck::Truncated)?;
+    if end > bytes.len() {
+        return Err(RecordCheck::Truncated);
+    }
+    let stored = u32::from_le_bytes(bytes[body_end..end].try_into().expect("4 bytes"));
+    let computed = crc32(&bytes[pos..body_end]);
+    if computed != stored {
+        return Err(RecordCheck::Mismatch { stored, computed });
+    }
+    Ok(RecordView {
+        tag: head[0],
+        body: &bytes[body_start..body_end],
+        end,
+    })
+}
+
+/// [`check_record`] collapsed to an `Option` for scanners that only care
+/// whether a valid record starts at `pos`.
+pub fn take_record(bytes: &[u8], pos: usize) -> Option<RecordView<'_>> {
+    check_record(bytes, pos).ok()
+}
+
 /// Streaming `FCB3` encoder; see the [module docs](self).
 pub struct FrameWriter<W: Write> {
     sink: W,
@@ -880,6 +1037,84 @@ mod tests {
             }
             assert_eq!(restored, data.bytes());
         }
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Incremental hashing agrees with one-shot, however the input splits.
+        let data: Vec<u8> = (0..=255).collect();
+        let whole = crc32(&data);
+        for split in [0usize, 1, 100, 255, 256] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), whole, "split {split}");
+        }
+    }
+
+    #[test]
+    fn framed_records_round_trip_in_parts() {
+        let mut buf = Vec::new();
+        let n = put_record(&mut buf, 7, &[b"hello ", b"", b"world"]).unwrap();
+        assert_eq!(n, buf.len() as u64);
+        assert_eq!(n, RECORD_OVERHEAD + 11);
+        let rec = take_record(&buf, 0).expect("valid record");
+        assert_eq!(rec.tag, 7);
+        assert_eq!(rec.body, b"hello world");
+        assert_eq!(rec.end, buf.len());
+        let first_end = rec.end;
+
+        // Multi-part framing is byte-identical to single-part framing.
+        let mut single = Vec::new();
+        put_record(&mut single, 7, &[b"hello world"]).unwrap();
+        assert_eq!(buf, single);
+
+        // Back-to-back records parse sequentially.
+        put_record(&mut buf, 9, &[&[0xAA; 300]]).unwrap();
+        let second = take_record(&buf, first_end).expect("second record");
+        assert_eq!(second.tag, 9);
+        assert_eq!(second.body.len(), 300);
+        assert_eq!(second.end, buf.len());
+    }
+
+    #[test]
+    fn torn_and_corrupt_records_are_distinguished() {
+        let mut buf = Vec::new();
+        put_record(&mut buf, 2, &[&[0x5A; 64]]).unwrap();
+        // Every truncation is Truncated, never a panic or a false accept.
+        for cut in 0..buf.len() {
+            assert_eq!(
+                check_record(&buf[..cut], 0).unwrap_err(),
+                RecordCheck::Truncated,
+                "cut {cut}"
+            );
+        }
+        // Any single flipped body/header bit is a checksum mismatch.
+        for i in [0usize, 5, 9, 40] {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            match check_record(&bad, 0) {
+                Err(RecordCheck::Mismatch { stored, computed }) => {
+                    assert_ne!(stored, computed)
+                }
+                // Flipping a length byte makes the record claim more than
+                // the buffer holds instead.
+                Err(RecordCheck::Truncated) => assert!((1..9).contains(&i)),
+                Ok(_) => panic!("flipped byte {i} accepted"),
+            }
+        }
+        // A length claiming far past the buffer is rejected before any
+        // checksum work, as is a start past the end.
+        let mut hostile = vec![1u8];
+        hostile.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            check_record(&hostile, 0).unwrap_err(),
+            RecordCheck::Truncated
+        );
+        assert!(take_record(&buf, buf.len()).is_none());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::container::{
     read_container, write_container, write_container_pooled, ColumnData, CompressedColumn,
+    RecoveryOutcome,
 };
 use crate::dataframe::DataFrame;
 use fcbench_core::pool::WorkerPool;
@@ -24,6 +25,10 @@ pub struct ThreePrimitives {
     pub compressed_bytes: u64,
     /// Scan checksum (total matched rows), for verification.
     pub scan_checksum: usize,
+    /// How the container read arrived at its table (`Clean` for a file
+    /// that was just written; `Recovered`/`Legacy` are possible when
+    /// measuring a pre-existing path).
+    pub recovery: RecoveryOutcome,
 }
 
 impl ThreePrimitives {
@@ -65,8 +70,10 @@ fn measure_read_side(
     decode_col: impl Fn(&CompressedColumn) -> Result<ColumnData>,
 ) -> Result<ThreePrimitives> {
     let t0 = Instant::now();
-    let table = read_container(path)?;
+    let read = read_container(path)?;
     let io_seconds = t0.elapsed().as_secs_f64();
+    let recovery = read.outcome;
+    let table = read.table;
     let compressed_bytes: u64 = table
         .columns
         .iter()
@@ -91,6 +98,7 @@ fn measure_read_side(
         query_seconds,
         compressed_bytes,
         scan_checksum,
+        recovery,
     })
 }
 

@@ -1,5 +1,5 @@
-//! Chunked columnar container — the on-disk half of the paper's simulated
-//! database (§5.1.2, Figure 4).
+//! `FCDB2`: streaming, append-friendly chunked columnar container — the
+//! on-disk half of the paper's simulated database (§5.1.2, Figure 4).
 //!
 //! Mirrors how HDF5 stores a dataset: data arranged by field (column),
 //! each column split into fixed-element **chunks** (disk pages), each
@@ -7,33 +7,92 @@
 //! decompress chunks independently, which is what the Table 11 "read"
 //! primitive measures.
 //!
-//! File layout (little-endian):
+//! Unlike the legacy `FCDB1` layout (directory first, body after — so the
+//! whole container had to be resident before the first byte hit disk),
+//! `FCDB2` is a record *log*: chunks stream to the sink as they finish
+//! compressing, the directory trails the data it describes, and a
+//! checksummed commit footer marks the last durable point. Writing holds
+//! at most the in-flight compression window in memory, and a torn write
+//! loses only the records after the last commit.
+//!
+//! File layout (little-endian), built on the shared
+//! [record framing](fcbench_core::stream::put_record):
 //!
 //! ```text
-//! magic "FCDB"      4 bytes
-//! codec name        u8 len + bytes
-//! column count      u32
-//! per column:
-//!   name            u8 len + bytes
-//!   precision       u8 (0 = f32, 1 = f64)
-//!   rows            u64
-//!   chunk elems     u32
-//!   chunk count     u32
-//!   chunk sizes     u64 × count
-//! column payloads   concatenated chunks
+//! prologue:
+//!   magic "FCD2"        4 bytes
+//!   codec name          u8 len + bytes
+//!   crc32               u32  (over the preceding prologue bytes)
+//! records, each framed as `tag u8 | body len u64 | body | crc32 u32`:
+//!   COLUMN (tag 1)      name u8 len + bytes | precision u8 | chunk elems u32
+//!   CHUNK  (tag 2)      elems u32 | compressed payload
+//!   COMMIT (tag 3)      directory of every column/chunk written so far:
+//!                         column count u32, then per column
+//!                           name u8 len + bytes | precision u8 | rows u64
+//!                           chunk elems u32 | chunk count u32
+//!                           per chunk: offset u64 | payload len u64 | elems u32
+//! locator (after every COMMIT record):
+//!   magic "FC2C"        4 bytes
+//!   commit offset       u64  (file offset of the COMMIT record)
+//!   crc32               u32  (over the preceding locator bytes)
 //! ```
+//!
+//! A **commit point** is a valid `COMMIT` record; the locator is only a
+//! fast path for finding the last one without scanning. [`read_container`]
+//! first tries the trailing locator and, when the tail is torn, scans
+//! forward from the prologue validating record checksums, resuming from
+//! the last valid commit and reporting how many uncommitted records were
+//! dropped as [`RecoveryOutcome::Recovered`]. Corruption *inside* the
+//! committed region (a chunk record whose checksum fails while the
+//! directory referencing it is valid) is an error, not a recovery —
+//! recovery is for torn tails only.
 
 use fcbench_core::pool::{Ticket, WorkerPool};
+use fcbench_core::stream::{
+    check_record, crc32, put_record, take_record, RecordCheck, RECORD_OVERHEAD,
+};
 use fcbench_core::{Compressor, DataDesc, Domain, Error, FloatData, Precision, Result};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-const MAGIC: &[u8; 4] = b"FCDB";
+/// Magic of the legacy `FCDB1` layout (see [`legacy`]).
+const MAGIC_V1: &[u8; 4] = b"FCDB";
+/// Magic of the streaming `FCDB2` layout.
+const MAGIC_V2: &[u8; 4] = b"FCD2";
+/// Magic of the commit locator written after every `COMMIT` record.
+const LOCATOR_MAGIC: &[u8; 4] = b"FC2C";
+/// Size of a commit locator: magic + commit offset + crc32.
+const LOCATOR_BYTES: usize = 16;
+
+/// Record tags.
+const TAG_COLUMN: u8 = 1;
+const TAG_CHUNK: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+
+/// Directory bytes per chunk entry: offset u64 + payload len u64 + elems u32.
+const CHUNK_DIR_BYTES: usize = 20;
+/// Directory bytes per column beyond its name and chunk table.
+const COLUMN_DIR_BYTES: usize = 18;
+
+/// Ceiling on a directory's declared chunk payload length, as a multiple
+/// of the chunk's raw byte size (the container twin of the `FCB3` stream's
+/// record-expansion gate): no real codec expands a chunk anywhere near 8x,
+/// so a directory claiming more is hostile or corrupt and is rejected
+/// before anything is reserved for it.
+const MAX_CHUNK_EXPANSION: usize = 8;
+
+/// Slack added to the chunk ceiling for codec headers on tiny chunks.
+const CHUNK_SLACK: usize = 4096;
+
+/// Cap on the speculative upfront reservation when decoding a whole column
+/// into memory; beyond it, memory grows as decoded bytes actually arrive.
+const MAX_UPFRONT_RESERVE: usize = 16 * 1024 * 1024;
 
 /// How container chunks are compressed/decompressed: inline on the caller
 /// thread, or pipelined across the persistent [`WorkerPool`] engine.
+#[derive(Clone, Copy)]
 pub enum ChunkExec<'a> {
     Inline(&'a dyn Compressor),
     Pooled(&'a WorkerPool, &'a Arc<dyn Compressor>),
@@ -86,6 +145,441 @@ impl ColumnData {
     }
 }
 
+fn precision_byte(p: Precision) -> u8 {
+    match p {
+        Precision::Single => 0,
+        Precision::Double => 1,
+    }
+}
+
+/// Write the `FCDB2` prologue; returns its byte length.
+fn write_prologue<W: Write>(sink: &mut W, codec_name: &str) -> Result<u64> {
+    let name = codec_name.as_bytes();
+    if name.len() > 255 {
+        return Err(Error::NameTooLong { len: name.len() });
+    }
+    let mut pro = Vec::with_capacity(9 + name.len());
+    pro.extend_from_slice(MAGIC_V2);
+    pro.push(name.len() as u8);
+    pro.extend_from_slice(name);
+    let crc = crc32(&pro);
+    pro.extend_from_slice(&crc.to_le_bytes());
+    sink.write_all(&pro)?;
+    Ok(pro.len() as u64)
+}
+
+/// The locator bytes for a `COMMIT` record at `commit_offset`.
+fn locator(commit_offset: u64) -> [u8; LOCATOR_BYTES] {
+    let mut loc = [0u8; LOCATOR_BYTES];
+    loc[..4].copy_from_slice(LOCATOR_MAGIC);
+    loc[4..12].copy_from_slice(&commit_offset.to_le_bytes());
+    let crc = crc32(&loc[..12]).to_le_bytes();
+    loc[12..].copy_from_slice(&crc);
+    loc
+}
+
+/// Directory metadata of one written column.
+struct ColumnMeta {
+    name: String,
+    precision: Precision,
+    chunk_elems: u32,
+    rows: u64,
+    chunks: Vec<ChunkMeta>,
+}
+
+/// Directory metadata of one written chunk record.
+struct ChunkMeta {
+    /// File offset of the chunk's record (its framing tag byte).
+    offset: u64,
+    payload_len: u64,
+    elems: u32,
+}
+
+/// Serialize the cumulative commit directory.
+fn encode_directory(columns: &[ColumnMeta]) -> Vec<u8> {
+    let body: usize = columns
+        .iter()
+        .map(|c| COLUMN_DIR_BYTES + c.name.len() + c.chunks.len() * CHUNK_DIR_BYTES)
+        .sum();
+    let mut dir = Vec::with_capacity(4 + body);
+    dir.extend_from_slice(&(columns.len() as u32).to_le_bytes());
+    for col in columns {
+        dir.push(col.name.len() as u8);
+        dir.extend_from_slice(col.name.as_bytes());
+        dir.push(precision_byte(col.precision));
+        dir.extend_from_slice(&col.rows.to_le_bytes());
+        dir.extend_from_slice(&col.chunk_elems.to_le_bytes());
+        dir.extend_from_slice(&(col.chunks.len() as u32).to_le_bytes());
+        for ch in &col.chunks {
+            dir.extend_from_slice(&ch.offset.to_le_bytes());
+            dir.extend_from_slice(&ch.payload_len.to_le_bytes());
+            dir.extend_from_slice(&ch.elems.to_le_bytes());
+        }
+    }
+    dir
+}
+
+/// A pooled compression job whose chunk record has not been emitted yet.
+struct PendingChunk {
+    ticket: Ticket,
+    elems: u32,
+}
+
+/// Streaming `FCDB2` encoder: columns are declared with
+/// [`begin_column`](Self::begin_column), fed element bytes in
+/// arbitrary-sized chunks with [`write`](Self::write), and made durable
+/// with [`commit`](Self::commit). Full chunks are compressed (fanned out
+/// on the engine in `Pooled` mode with `FrameWriter`-style bounded
+/// in-flight submission) and their records emitted as they form, so the
+/// writer's footprint is bounded by the in-flight window — never by the
+/// container size.
+///
+/// On any error the writer abandons its in-flight jobs (releasing their
+/// pool slots immediately) and is unusable; drop it. The file then ends in
+/// a torn tail that [`read_container`] recovers past.
+pub struct ContainerWriter<'a, W: Write> {
+    sink: W,
+    exec: ChunkExec<'a>,
+    /// Bytes emitted to the sink so far (more may still be in flight).
+    written: u64,
+    /// Records emitted since the last commit (COLUMN and CHUNK alike).
+    uncommitted: u64,
+    /// Commits emitted so far.
+    commits: u64,
+    /// Directory metadata of every column so far (commits are cumulative).
+    columns: Vec<ColumnMeta>,
+    /// Whether the last of `columns` is still accepting bytes.
+    open: bool,
+    /// Partial-chunk accumulator for the open column.
+    buf: Vec<u8>,
+    /// In-flight pool jobs, in chunk order (never spanning columns).
+    pending: VecDeque<PendingChunk>,
+    /// Upper bound on `pending.len()` (shared-pool fairness; see
+    /// [`FrameWriter::max_in_flight`](fcbench_core::stream::FrameWriter::max_in_flight)).
+    inflight_cap: usize,
+    /// Reusable per-chunk descriptor.
+    bdesc: DataDesc,
+    /// Inline-mode scratch input container.
+    scratch: FloatData,
+    /// Inline-mode payload buffer.
+    payload: Vec<u8>,
+}
+
+impl<'a, W: Write> ContainerWriter<'a, W> {
+    /// Start a container on `sink`; the prologue is written immediately.
+    pub fn new(mut sink: W, exec: ChunkExec<'a>) -> Result<Self> {
+        let written = write_prologue(&mut sink, exec.name())?;
+        Ok(ContainerWriter {
+            sink,
+            exec,
+            written,
+            uncommitted: 0,
+            commits: 0,
+            columns: Vec::new(),
+            open: false,
+            buf: Vec::new(),
+            pending: VecDeque::new(),
+            inflight_cap: usize::MAX,
+            bdesc: DataDesc::new(Precision::Double, vec![1], Domain::Database)?,
+            scratch: FloatData::scratch(),
+            payload: Vec::new(),
+        })
+    }
+
+    /// Cap the number of chunks this writer may have in flight on a shared
+    /// pool at once (clamped to at least 1). Inline writers ignore it.
+    #[must_use]
+    pub fn max_in_flight(mut self, cap: usize) -> Self {
+        self.inflight_cap = cap.max(1);
+        self
+    }
+
+    /// Bytes emitted to the sink so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Records emitted since the last commit — what a crash right now
+    /// would lose.
+    pub fn uncommitted_records(&self) -> u64 {
+        self.uncommitted
+    }
+
+    /// Open a new column (closing the previous one, if any): `chunk_elems`
+    /// is the page size in elements, the Table 10 variable.
+    pub fn begin_column(
+        &mut self,
+        name: impl Into<String>,
+        precision: Precision,
+        chunk_elems: usize,
+    ) -> Result<()> {
+        let r = self.begin_column_inner(name.into(), precision, chunk_elems);
+        if r.is_err() {
+            self.pending.clear();
+        }
+        r
+    }
+
+    fn begin_column_inner(
+        &mut self,
+        name: String,
+        precision: Precision,
+        chunk_elems: usize,
+    ) -> Result<()> {
+        if name.len() > 255 {
+            return Err(Error::NameTooLong { len: name.len() });
+        }
+        if chunk_elems == 0 || chunk_elems > u32::MAX as usize {
+            return Err(Error::BadDescriptor(format!(
+                "chunk size {chunk_elems} is outside 1..=u32::MAX elements"
+            )));
+        }
+        self.end_column_inner()?;
+        let nlen = [name.len() as u8];
+        let prec = [precision_byte(precision)];
+        let ce = (chunk_elems as u32).to_le_bytes();
+        let rec = put_record(
+            &mut self.sink,
+            TAG_COLUMN,
+            &[&nlen, name.as_bytes(), &prec, &ce],
+        )?;
+        self.written += rec;
+        self.uncommitted += 1;
+        self.bdesc.precision = precision;
+        self.columns.push(ColumnMeta {
+            name,
+            precision,
+            chunk_elems: chunk_elems as u32,
+            rows: 0,
+            chunks: Vec::new(),
+        });
+        self.open = true;
+        Ok(())
+    }
+
+    /// Feed the next chunk of little-endian element bytes for the open
+    /// column. Chunks may be any size (they need not align with pages or
+    /// even elements); full pages are compressed and their records emitted
+    /// as they form.
+    pub fn write(&mut self, bytes: &[u8]) -> Result<()> {
+        let r = self.write_inner(bytes);
+        if r.is_err() {
+            self.pending.clear();
+        }
+        r
+    }
+
+    fn write_inner(&mut self, mut bytes: &[u8]) -> Result<()> {
+        if !self.open {
+            return Err(Error::Unsupported(
+                "container writer has no open column (call begin_column first)".into(),
+            ));
+        }
+        let col = self.columns.last().expect("open column");
+        let cbytes = (col.chunk_elems as usize).saturating_mul(col.precision.bytes());
+        while !bytes.is_empty() {
+            // Whole pages straight from the caller's chunk, no copy into
+            // the accumulator.
+            if self.buf.is_empty() && bytes.len() >= cbytes {
+                let (chunk, rest) = bytes.split_at(cbytes);
+                self.emit_chunk(chunk)?;
+                bytes = rest;
+                continue;
+            }
+            let need = cbytes - self.buf.len();
+            let take = need.min(bytes.len());
+            let (head, rest) = bytes.split_at(take);
+            self.buf.extend_from_slice(head);
+            bytes = rest;
+            if self.buf.len() == cbytes {
+                let full = std::mem::take(&mut self.buf);
+                self.emit_chunk(&full)?;
+                self.buf = full;
+                self.buf.clear();
+            }
+        }
+        Ok(())
+    }
+
+    /// Compress one page (full, or the short tail) and emit / enqueue its
+    /// chunk record.
+    fn emit_chunk(&mut self, chunk: &[u8]) -> Result<()> {
+        let esize = self.columns.last().expect("open column").precision.bytes();
+        debug_assert!(!chunk.is_empty() && chunk.len() % esize == 0);
+        let elems = (chunk.len() / esize) as u32;
+        self.bdesc.dims[0] = chunk.len() / esize;
+        match self.exec {
+            ChunkExec::Inline(codec) => {
+                self.scratch.refill_from_slice(&self.bdesc, chunk)?;
+                let n = codec.compress_into(&self.scratch, &mut self.payload)?;
+                let offset = self.written;
+                let rec = put_record(
+                    &mut self.sink,
+                    TAG_CHUNK,
+                    &[&elems.to_le_bytes(), &self.payload[..n]],
+                )?;
+                let col = self.columns.last_mut().expect("open column");
+                col.chunks.push(ChunkMeta {
+                    offset,
+                    payload_len: n as u64,
+                    elems,
+                });
+                col.rows += elems as u64;
+                self.written += rec;
+                self.uncommitted += 1;
+                Ok(())
+            }
+            ChunkExec::Pooled(pool, codec) => {
+                // Per-writer cap: collect our own oldest chunks until we
+                // are back under it before taking another slot.
+                while self.pending.len() >= self.inflight_cap {
+                    let ContainerWriter {
+                        pending,
+                        sink,
+                        written,
+                        uncommitted,
+                        columns,
+                        ..
+                    } = self;
+                    Self::collect_oldest(pending, sink, written, uncommitted, columns)?;
+                }
+                // Saturation discipline: never block in submit while
+                // holding tickets — the drain closure collects our own
+                // oldest chunk to free a slot instead.
+                let ContainerWriter {
+                    pending,
+                    sink,
+                    written,
+                    uncommitted,
+                    columns,
+                    bdesc,
+                    ..
+                } = self;
+                let ticket = pool.submit_compress_draining(codec, bdesc, chunk, || {
+                    Self::collect_oldest(pending, sink, written, uncommitted, columns)
+                })?;
+                pending.push_back(PendingChunk { ticket, elems });
+                Ok(())
+            }
+        }
+    }
+
+    /// Collect the oldest in-flight chunk, emit its record, and log its
+    /// directory metadata; `false` when nothing is in flight.
+    fn collect_oldest(
+        pending: &mut VecDeque<PendingChunk>,
+        sink: &mut W,
+        written: &mut u64,
+        uncommitted: &mut u64,
+        columns: &mut [ColumnMeta],
+    ) -> Result<bool> {
+        let Some(PendingChunk { ticket, elems }) = pending.pop_front() else {
+            return Ok(false);
+        };
+        let offset = *written;
+        let (payload_len, rec_len) = ticket.collect(|payload| -> Result<(u64, u64)> {
+            let n = put_record(sink, TAG_CHUNK, &[&elems.to_le_bytes(), payload])?;
+            Ok((payload.len() as u64, n))
+        })??;
+        let col = columns.last_mut().expect("open column");
+        col.chunks.push(ChunkMeta {
+            offset,
+            payload_len,
+            elems,
+        });
+        col.rows += elems as u64;
+        *written += rec_len;
+        *uncommitted += 1;
+        Ok(true)
+    }
+
+    /// Close the open column: emit the short tail page (if any) and drain
+    /// the in-flight window so the column's directory metadata is complete.
+    /// A no-op when no column is open.
+    pub fn end_column(&mut self) -> Result<()> {
+        let r = self.end_column_inner();
+        if r.is_err() {
+            self.pending.clear();
+        }
+        r
+    }
+
+    fn end_column_inner(&mut self) -> Result<()> {
+        if !self.open {
+            return Ok(());
+        }
+        if !self.buf.is_empty() {
+            let esize = self.columns.last().expect("open column").precision.bytes();
+            if self.buf.len() % esize != 0 {
+                return Err(Error::BadDescriptor(format!(
+                    "column ended mid-element: {} trailing bytes with {esize}-byte elements",
+                    self.buf.len() % esize
+                )));
+            }
+            let tail = std::mem::take(&mut self.buf);
+            let r = self.emit_chunk(&tail);
+            self.buf = tail;
+            self.buf.clear();
+            r?;
+        }
+        loop {
+            let ContainerWriter {
+                pending,
+                sink,
+                written,
+                uncommitted,
+                columns,
+                ..
+            } = self;
+            if !Self::collect_oldest(pending, sink, written, uncommitted, columns)? {
+                break;
+            }
+        }
+        self.open = false;
+        Ok(())
+    }
+
+    /// Make everything written so far durable: close the open column, then
+    /// emit the cumulative directory as a `COMMIT` record plus its locator
+    /// and flush the sink. A reader recovering a torn file resumes from
+    /// the newest commit point it can validate.
+    pub fn commit(&mut self) -> Result<()> {
+        let r = self.commit_inner();
+        if r.is_err() {
+            self.pending.clear();
+        }
+        r
+    }
+
+    fn commit_inner(&mut self) -> Result<()> {
+        self.end_column_inner()?;
+        let dir = encode_directory(&self.columns);
+        let commit_offset = self.written;
+        let rec = put_record(&mut self.sink, TAG_COMMIT, &[&dir])?;
+        self.written += rec;
+        self.sink.write_all(&locator(commit_offset))?;
+        self.written += LOCATOR_BYTES as u64;
+        self.uncommitted = 0;
+        self.commits += 1;
+        self.sink.flush()?;
+        Ok(())
+    }
+
+    /// Commit any uncommitted records and return the sink. (A container
+    /// that never committed gets its first commit here, so every finished
+    /// container has at least one commit point — even an empty one.)
+    pub fn finish(mut self) -> Result<W> {
+        if self.uncommitted > 0 || self.commits == 0 {
+            let r = self.commit_inner();
+            if let Err(e) = r {
+                self.pending.clear();
+                return Err(e);
+            }
+        }
+        Ok(self.sink)
+    }
+}
+
 /// Write `columns` to `path`, compressing each chunk with `codec`.
 /// `chunk_elems` is the page size in elements (the Table 10 variable).
 pub fn write_container(
@@ -110,119 +604,24 @@ pub fn write_container_pooled(
     write_container_with(path, &ChunkExec::Pooled(pool, codec), columns, chunk_elems)
 }
 
-/// Shared implementation behind both container writers.
+/// Shared implementation behind both container writers: drives a
+/// [`ContainerWriter`] column by column and syncs the file.
 pub fn write_container_with(
     path: &Path,
     exec: &ChunkExec<'_>,
     columns: &[ColumnData],
     chunk_elems: usize,
 ) -> Result<()> {
-    assert!(chunk_elems > 0);
-    let codec_name = exec.name().as_bytes();
-    if codec_name.len() > 255 {
-        return Err(Error::NameTooLong {
-            len: codec_name.len(),
-        });
-    }
-    let mut header = Vec::new();
-    header.extend_from_slice(MAGIC);
-    header.push(codec_name.len() as u8);
-    header.extend_from_slice(codec_name);
-    header.extend_from_slice(&(columns.len() as u32).to_le_bytes());
-
-    // One input scratch and one payload buffer serve every chunk of every
-    // column — the per-page compression loop allocates only for body growth.
-    let mut scratch = FloatData::scratch();
-    let mut payload = Vec::new();
-    let mut body: Vec<u8> = Vec::new();
+    let file = std::fs::File::create(path)?;
+    let mut w = ContainerWriter::new(std::io::BufWriter::new(file), *exec)?;
     for col in columns {
-        let esize = col.precision.bytes();
-        let rows = col.rows();
-        let chunk_bytes = chunk_elems * esize;
-        let nchunks = col.bytes.len().div_ceil(chunk_bytes).max(1);
-
-        let name = col.name.as_bytes();
-        header.push(name.len() as u8);
-        header.extend_from_slice(name);
-        header.push(match col.precision {
-            Precision::Single => 0,
-            Precision::Double => 1,
-        });
-        header.extend_from_slice(&(rows as u64).to_le_bytes());
-        header.extend_from_slice(&(chunk_elems as u32).to_le_bytes());
-        header.extend_from_slice(&(nchunks as u32).to_le_bytes());
-
-        let mut sizes: Vec<u64> = Vec::with_capacity(nchunks);
-        match exec {
-            ChunkExec::Inline(codec) => {
-                for chunk in col.bytes.chunks(chunk_bytes.max(esize)) {
-                    let elems = chunk.len() / esize;
-                    let desc = DataDesc::new(col.precision, vec![elems], Domain::Database)?;
-                    scratch.refill_from_slice(&desc, chunk)?;
-                    let n = codec.compress_into(&scratch, &mut payload)?;
-                    sizes.push(n as u64);
-                    body.extend_from_slice(&payload[..n]);
-                }
-            }
-            ChunkExec::Pooled(pool, codec) => {
-                // Pipelined: keep up to `queue_depth` pages in flight,
-                // collected in page order so the directory and body stay
-                // aligned; the drain closure applies the engine's
-                // saturation discipline (never block while holding pages).
-                let mut pending: VecDeque<Ticket> = VecDeque::new();
-                let mut desc = DataDesc::new(col.precision, vec![1], Domain::Database)?;
-                let mut first_err: Option<Error> = None;
-                for chunk in col.bytes.chunks(chunk_bytes.max(esize)) {
-                    desc.dims[0] = chunk.len() / esize;
-                    let submitted = pool.submit_compress_draining(codec, &desc, chunk, || {
-                        collect_page(&mut pending, &mut sizes, &mut body)
-                    });
-                    match submitted {
-                        Ok(t) => pending.push_back(t),
-                        Err(e) => {
-                            first_err = Some(e);
-                            break;
-                        }
-                    }
-                }
-                while !pending.is_empty() {
-                    if let Err(e) = collect_page(&mut pending, &mut sizes, &mut body) {
-                        let _ = first_err.get_or_insert(e);
-                    }
-                }
-                if let Some(e) = first_err {
-                    return Err(e);
-                }
-            }
-        }
-        for s in sizes {
-            header.extend_from_slice(&s.to_le_bytes());
-        }
+        w.begin_column(col.name.clone(), col.precision, chunk_elems)?;
+        w.write(&col.bytes)?;
     }
-
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&header)?;
-    f.write_all(&body)?;
-    f.sync_all()?;
+    let sink = w.finish()?;
+    let file = sink.into_inner().map_err(|e| Error::Io(e.to_string()))?;
+    file.sync_all()?;
     Ok(())
-}
-
-/// Collect the oldest in-flight page into the directory and body;
-/// `false` when nothing is in flight.
-fn collect_page(
-    pending: &mut VecDeque<Ticket>,
-    sizes: &mut Vec<u64>,
-    body: &mut Vec<u8>,
-) -> Result<bool> {
-    let Some(ticket) = pending.pop_front() else {
-        return Ok(false);
-    };
-    let n = ticket.collect(|p| {
-        body.extend_from_slice(p);
-        p.len()
-    })?;
-    sizes.push(n as u64);
-    Ok(true)
 }
 
 /// A column read back from disk (still compressed).
@@ -243,40 +642,201 @@ pub struct CompressedTable {
     pub columns: Vec<CompressedColumn>,
 }
 
+/// How [`read_container`] arrived at the table it returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The trailing commit locator validated and every byte is accounted
+    /// for: the file is exactly what its writer finished.
+    Clean,
+    /// The file ends in a torn write. The reader resumed from the last
+    /// valid commit point, dropping `dropped_records` uncommitted records
+    /// (complete-but-uncommitted records, plus one for a partial tail
+    /// record when present).
+    Recovered { dropped_records: u64 },
+    /// A legacy `FCDB1` file, parsed by the [`legacy`] compatibility path
+    /// (which has no commit points and no recovery).
+    Legacy,
+}
+
+/// A parsed container together with its [`RecoveryOutcome`].
+#[derive(Debug)]
+pub struct ContainerRead {
+    pub table: CompressedTable,
+    pub outcome: RecoveryOutcome,
+}
+
+impl ContainerRead {
+    /// `true` when the file was exactly what its writer finished.
+    pub fn is_clean(&self) -> bool {
+        self.outcome == RecoveryOutcome::Clean
+    }
+}
+
 /// Read the container file: this is the Table 11 **file I/O** primitive
-/// (bytes land in memory; nothing is decompressed yet).
-pub fn read_container(path: &Path) -> Result<CompressedTable> {
+/// (bytes land in memory; nothing is decompressed yet). A torn tail is
+/// recovered, not errored — check [`ContainerRead::outcome`].
+pub fn read_container(path: &Path) -> Result<ContainerRead> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
     parse_container(&bytes)
 }
 
-fn parse_container(bytes: &[u8]) -> Result<CompressedTable> {
+/// [`read_container`] over an in-memory image (exposed so recovery tests
+/// can truncate at arbitrary byte boundaries without touching disk).
+pub fn parse_container(bytes: &[u8]) -> Result<ContainerRead> {
+    if bytes.len() >= 4 && &bytes[..4] == MAGIC_V1 {
+        return Ok(ContainerRead {
+            table: legacy::parse_container_v1(bytes)?,
+            outcome: RecoveryOutcome::Legacy,
+        });
+    }
+    parse_container_v2(bytes)
+}
+
+/// Validate the prologue; returns the codec name and the offset of the
+/// first record. Truncation here is an error, not a recovery — no commit
+/// point can exist in a file without a complete prologue.
+fn parse_prologue(bytes: &[u8]) -> Result<(String, usize)> {
+    if bytes.len() < 4 {
+        return Err(Error::Corrupt("container prologue truncated".into()));
+    }
+    if &bytes[..4] != MAGIC_V2 {
+        return Err(Error::Corrupt("bad container magic".into()));
+    }
+    let nlen = *bytes
+        .get(4)
+        .ok_or_else(|| Error::Corrupt("container prologue truncated".into()))?
+        as usize;
+    let crc_at = 5 + nlen;
+    let end = crc_at + 4;
+    if bytes.len() < end {
+        return Err(Error::Corrupt("container prologue truncated".into()));
+    }
+    let stored = u32::from_le_bytes(bytes[crc_at..end].try_into().expect("4 bytes"));
+    let computed = crc32(&bytes[..crc_at]);
+    if stored != computed {
+        return Err(Error::ChecksumMismatch {
+            context: "container prologue".into(),
+            stored,
+            computed,
+        });
+    }
+    let codec_name = String::from_utf8(bytes[5..crc_at].to_vec())
+        .map_err(|_| Error::Corrupt("codec name not UTF-8".into()))?;
+    Ok((codec_name, end))
+}
+
+/// Fast path: the last [`LOCATOR_BYTES`] of the file are a valid locator
+/// whose `COMMIT` record validates and closes the file exactly. Returns
+/// the commit directory when so.
+fn valid_trailing_locator(bytes: &[u8], body_start: usize) -> Option<&[u8]> {
+    if bytes.len() < body_start + LOCATOR_BYTES {
+        return None;
+    }
+    let loc = &bytes[bytes.len() - LOCATOR_BYTES..];
+    if &loc[..4] != LOCATOR_MAGIC {
+        return None;
+    }
+    let stored = u32::from_le_bytes(loc[12..16].try_into().expect("4 bytes"));
+    if crc32(&loc[..12]) != stored {
+        return None;
+    }
+    let offset =
+        usize::try_from(u64::from_le_bytes(loc[4..12].try_into().expect("8 bytes"))).ok()?;
+    if offset < body_start {
+        return None;
+    }
+    let rec = take_record(bytes, offset)?;
+    if rec.tag != TAG_COMMIT || rec.end + LOCATOR_BYTES != bytes.len() {
+        return None;
+    }
+    Some(rec.body)
+}
+
+fn parse_container_v2(bytes: &[u8]) -> Result<ContainerRead> {
+    let (codec_name, body_start) = parse_prologue(bytes)?;
+
+    if let Some(dir) = valid_trailing_locator(bytes, body_start) {
+        let columns = load_directory(bytes, dir, body_start)?;
+        return Ok(ContainerRead {
+            table: CompressedTable {
+                codec_name,
+                columns,
+            },
+            outcome: RecoveryOutcome::Clean,
+        });
+    }
+
+    // Torn tail: scan forward from the prologue, validating record
+    // checksums, and resume from the last commit point that validates.
+    let mut pos = body_start;
+    let mut last_commit: Option<&[u8]> = None;
+    let mut since_commit: u64 = 0;
+    let mut torn_tail = false;
+    while pos < bytes.len() {
+        match take_record(bytes, pos) {
+            Some(rec) if rec.tag == TAG_COMMIT => {
+                last_commit = Some(rec.body);
+                since_commit = 0;
+                // The writer put a locator right after this commit; skip
+                // it — including a torn prefix of it at EOF, which loses
+                // nothing (the commit record alone is the commit point).
+                let expect = locator(pos as u64);
+                let avail = &bytes[rec.end..];
+                let k = avail.len().min(LOCATOR_BYTES);
+                if avail[..k] == expect[..k] {
+                    pos = rec.end + k;
+                } else {
+                    pos = rec.end;
+                }
+            }
+            Some(rec) => {
+                since_commit += 1;
+                pos = rec.end;
+            }
+            None => {
+                torn_tail = true;
+                break;
+            }
+        }
+    }
+    let dropped_records = since_commit + u64::from(torn_tail);
+    let columns = match last_commit {
+        Some(dir) => load_directory(bytes, dir, body_start)?,
+        // No commit ever made it to disk: recover to the empty container.
+        None => Vec::new(),
+    };
+    Ok(ContainerRead {
+        table: CompressedTable {
+            codec_name,
+            columns,
+        },
+        outcome: RecoveryOutcome::Recovered { dropped_records },
+    })
+}
+
+/// Materialize the columns a commit directory describes, cross-validating
+/// every claim against the chunk records it references. Every count is
+/// bounded by real bytes **before** anything is reserved for it — a
+/// directory claiming petabytes backed by a tiny file is a typed error,
+/// never an allocation.
+fn load_directory(bytes: &[u8], dir: &[u8], body_start: usize) -> Result<Vec<CompressedColumn>> {
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
-        let s = bytes
+        let s = dir
             .get(*pos..*pos + n)
-            .ok_or_else(|| Error::Corrupt("container truncated".into()))?;
+            .ok_or_else(|| Error::Corrupt("commit directory truncated".into()))?;
         *pos += n;
         Ok(s)
     };
-    if take(&mut pos, 4)? != MAGIC {
-        return Err(Error::Corrupt("bad container magic".into()));
-    }
-    let nlen = take(&mut pos, 1)?[0] as usize;
-    let codec_name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
-        .map_err(|_| Error::Corrupt("codec name not UTF-8".into()))?;
     let ncols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
-
-    // Header pass: metadata + chunk sizes.
-    struct Meta {
-        name: String,
-        precision: Precision,
-        rows: usize,
-        chunk_elems: usize,
-        sizes: Vec<usize>,
+    if ncols > dir.len() / COLUMN_DIR_BYTES {
+        return Err(Error::Corrupt(format!(
+            "directory claims {ncols} columns in {} bytes",
+            dir.len()
+        )));
     }
-    let mut metas = Vec::with_capacity(ncols);
+    let mut columns = Vec::with_capacity(ncols);
     for _ in 0..ncols {
         let nlen = take(&mut pos, 1)?[0] as usize;
         let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
@@ -286,47 +846,104 @@ fn parse_container(bytes: &[u8]) -> Result<CompressedTable> {
             1 => Precision::Double,
             b => return Err(Error::Corrupt(format!("bad precision byte {b}"))),
         };
-        let rows = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
-        let chunk_elems = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
-        let nchunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
-        if chunk_elems == 0 || nchunks > rows.max(1) {
-            return Err(Error::Corrupt("implausible chunk layout".into()));
+        let esize = precision.bytes();
+        let rows = usize::try_from(u64::from_le_bytes(
+            take(&mut pos, 8)?.try_into().expect("8 bytes"),
+        ))
+        .map_err(|_| Error::Corrupt("row count does not fit in memory".into()))?;
+        let chunk_elems =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let nchunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        if chunk_elems == 0 {
+            return Err(Error::Corrupt("zero chunk size".into()));
         }
-        let mut sizes = Vec::with_capacity(nchunks);
+        if nchunks != rows.div_ceil(chunk_elems) {
+            return Err(Error::Corrupt(format!(
+                "directory claims {nchunks} chunks for {rows} rows at {chunk_elems} elems/chunk"
+            )));
+        }
+        // The chunk table must be backed by real directory bytes before the
+        // chunk list is reserved.
+        if dir.len().saturating_sub(pos) < nchunks.saturating_mul(CHUNK_DIR_BYTES) {
+            return Err(Error::Corrupt("directory chunk table truncated".into()));
+        }
+        let mut chunks = Vec::with_capacity(nchunks);
+        let mut remaining = rows;
         for _ in 0..nchunks {
-            sizes.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize);
+            let offset = usize::try_from(u64::from_le_bytes(
+                take(&mut pos, 8)?.try_into().expect("8 bytes"),
+            ))
+            .map_err(|_| Error::Corrupt("chunk offset outside the file".into()))?;
+            let payload_len = usize::try_from(u64::from_le_bytes(
+                take(&mut pos, 8)?.try_into().expect("8 bytes"),
+            ))
+            .map_err(|_| Error::Corrupt("chunk payload length does not fit".into()))?;
+            let elems =
+                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+            if elems != remaining.min(chunk_elems) {
+                return Err(Error::Corrupt(
+                    "chunk element count disagrees with the row count".into(),
+                ));
+            }
+            // Claim plausibility, both directions, before touching the
+            // record: payload within the expansion ceiling for the chunk's
+            // raw size, and raw size within the decode-claim ceiling for
+            // the payload (the codec-level gate every decode enforces).
+            let raw = elems.saturating_mul(esize);
+            if payload_len
+                > raw
+                    .saturating_mul(MAX_CHUNK_EXPANSION)
+                    .saturating_add(CHUNK_SLACK)
+            {
+                return Err(Error::Corrupt(format!(
+                    "directory claims {payload_len} payload bytes for a {raw}-byte chunk"
+                )));
+            }
+            let cdesc = DataDesc::new(precision, vec![elems], Domain::Database)?;
+            fcbench_core::blocks::check_decode_claim(&cdesc, payload_len)?;
+            if offset < body_start || offset >= bytes.len() {
+                return Err(Error::Corrupt("chunk offset outside the file".into()));
+            }
+            let rec = match check_record(bytes, offset) {
+                Ok(rec) => rec,
+                Err(RecordCheck::Truncated) => {
+                    return Err(Error::Corrupt("committed chunk record truncated".into()))
+                }
+                Err(RecordCheck::Mismatch { stored, computed }) => {
+                    return Err(Error::ChecksumMismatch {
+                        context: format!("chunk record at offset {offset}"),
+                        stored,
+                        computed,
+                    })
+                }
+            };
+            if rec.tag != TAG_CHUNK || rec.body.len() < 4 {
+                return Err(Error::Corrupt(
+                    "directory points at something that is not a chunk record".into(),
+                ));
+            }
+            let rec_elems = u32::from_le_bytes(rec.body[..4].try_into().expect("4 bytes")) as usize;
+            let payload = &rec.body[4..];
+            if rec_elems != elems || payload.len() != payload_len {
+                return Err(Error::Corrupt(
+                    "chunk record disagrees with the directory".into(),
+                ));
+            }
+            chunks.push(payload.to_vec());
+            remaining -= elems;
         }
-        metas.push(Meta {
+        columns.push(CompressedColumn {
             name,
             precision,
             rows,
             chunk_elems,
-            sizes,
-        });
-    }
-
-    // Body pass: slice out chunk payloads.
-    let mut columns = Vec::with_capacity(ncols);
-    for m in metas {
-        let mut chunks = Vec::with_capacity(m.sizes.len());
-        for &sz in &m.sizes {
-            chunks.push(take(&mut pos, sz)?.to_vec());
-        }
-        columns.push(CompressedColumn {
-            name: m.name,
-            precision: m.precision,
-            rows: m.rows,
-            chunk_elems: m.chunk_elems,
             chunks,
         });
     }
-    if pos != bytes.len() {
-        return Err(Error::Corrupt("trailing bytes in container".into()));
+    if pos != dir.len() {
+        return Err(Error::Corrupt("trailing bytes in commit directory".into()));
     }
-    Ok(CompressedTable {
-        codec_name,
-        columns,
-    })
+    Ok(columns)
 }
 
 impl CompressedColumn {
@@ -335,7 +952,8 @@ impl CompressedColumn {
     pub fn decode(&self, codec: &dyn Compressor) -> Result<ColumnData> {
         let esize = self.precision.bytes();
         let mut scratch = FloatData::scratch();
-        let mut bytes = Vec::with_capacity(self.rows * esize);
+        let mut bytes =
+            Vec::with_capacity(self.rows.saturating_mul(esize).min(MAX_UPFRONT_RESERVE));
         let mut remaining = self.rows;
         for chunk in &self.chunks {
             let elems = remaining.min(self.chunk_elems);
@@ -357,6 +975,29 @@ impl CompressedColumn {
         })
     }
 
+    /// An independent pooled reading cursor over this column; any number
+    /// of cursors (over the same or different columns, from the same or
+    /// different tables) can share one engine concurrently.
+    pub fn cursor<'a>(
+        &'a self,
+        pool: &'a WorkerPool,
+        codec: &Arc<dyn Compressor>,
+    ) -> Result<ColumnCursor<'a>> {
+        Ok(ColumnCursor {
+            col: self,
+            pool,
+            codec: Arc::clone(codec),
+            bdesc: DataDesc::new(self.precision, vec![1], Domain::Database)?,
+            submitted: 0,
+            collected: 0,
+            remaining_submit: self.rows,
+            pending: VecDeque::new(),
+            inflight_cap: usize::MAX,
+            current: Vec::new(),
+            failed: false,
+        })
+    }
+
     /// [`decode`](Self::decode) with chunk decompression pipelined across
     /// the persistent worker-pool engine, collected in page order.
     pub fn decode_pooled(
@@ -365,52 +1006,11 @@ impl CompressedColumn {
         codec: &Arc<dyn Compressor>,
     ) -> Result<ColumnData> {
         let esize = self.precision.bytes();
-        let mut bytes = Vec::with_capacity(self.rows * esize);
-        let mut desc = DataDesc::new(self.precision, vec![1], Domain::Database)?;
-        let mut pending: VecDeque<Ticket> = VecDeque::new();
-        let mut first_err: Option<Error> = None;
-        let mut remaining = self.rows;
-
-        /// Append the oldest in-flight decoded page; `false` when nothing
-        /// is in flight.
-        fn collect_decoded(pending: &mut VecDeque<Ticket>, bytes: &mut Vec<u8>) -> Result<bool> {
-            let Some(ticket) = pending.pop_front() else {
-                return Ok(false);
-            };
-            ticket.collect(|decoded| bytes.extend_from_slice(decoded))?;
-            Ok(true)
-        }
-
-        for chunk in &self.chunks {
-            let elems = remaining.min(self.chunk_elems);
-            if elems == 0 {
-                first_err.get_or_insert(Error::Corrupt("more chunks than rows".into()));
-                break;
-            }
-            desc.dims[0] = elems;
-            // Same saturation discipline as the write side.
-            let submitted = pool.submit_decompress_draining(codec, &desc, chunk, || {
-                collect_decoded(&mut pending, &mut bytes)
-            });
-            match submitted {
-                Ok(t) => pending.push_back(t),
-                Err(e) => {
-                    first_err = Some(e);
-                    break;
-                }
-            }
-            remaining -= elems;
-        }
-        while !pending.is_empty() {
-            if let Err(e) = collect_decoded(&mut pending, &mut bytes) {
-                let _ = first_err.get_or_insert(e);
-            }
-        }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        if remaining != 0 {
-            return Err(Error::Corrupt("chunks do not cover all rows".into()));
+        let mut bytes =
+            Vec::with_capacity(self.rows.saturating_mul(esize).min(MAX_UPFRONT_RESERVE));
+        let mut cursor = self.cursor(pool, codec)?;
+        while let Some(chunk) = cursor.next_chunk()? {
+            bytes.extend_from_slice(chunk);
         }
         if bytes.len() != self.rows * esize {
             return Err(Error::Corrupt("reassembled column size mismatch".into()));
@@ -428,9 +1028,353 @@ impl CompressedColumn {
     }
 }
 
+/// An independent pooled decode cursor over one [`CompressedColumn`]: a
+/// bounded read-ahead of chunks is kept in flight on the shared engine and
+/// decoded pages come back in column order. Cursors follow the engine's
+/// saturation discipline (never block in submit while holding tickets), so
+/// any number of concurrent readers — the paper's database serving many
+/// scans at once — can share one pool without deadlocking it.
+pub struct ColumnCursor<'a> {
+    col: &'a CompressedColumn,
+    pool: &'a WorkerPool,
+    codec: Arc<dyn Compressor>,
+    bdesc: DataDesc,
+    /// Chunks submitted to the engine.
+    submitted: usize,
+    /// Chunks handed to the caller.
+    collected: usize,
+    /// Rows not yet covered by submitted chunks.
+    remaining_submit: usize,
+    pending: VecDeque<Ticket>,
+    /// Upper bound on read-ahead jobs in flight (shared-pool fairness).
+    inflight_cap: usize,
+    /// The most recently collected decoded page.
+    current: Vec<u8>,
+    /// Sticky failure: once a chunk errors, later reads refuse instead of
+    /// yielding pages out of order.
+    failed: bool,
+}
+
+impl ColumnCursor<'_> {
+    /// Cap this cursor's decode read-ahead at `cap` in-flight chunks
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn max_in_flight(mut self, cap: usize) -> Self {
+        self.inflight_cap = cap.max(1);
+        self
+    }
+
+    /// Chunks not yet handed to the caller.
+    pub fn chunks_remaining(&self) -> usize {
+        self.col.chunks.len() - self.collected
+    }
+
+    /// Decode and return the next page's element bytes in column order, or
+    /// `None` after the final chunk. The returned slice lives until the
+    /// next call.
+    pub fn next_chunk(&mut self) -> Result<Option<&[u8]>> {
+        if self.failed {
+            return Err(Error::Corrupt(
+                "column cursor is in a failed state (an earlier chunk errored)".into(),
+            ));
+        }
+        match self.advance() {
+            Ok(false) => Ok(None),
+            Ok(true) => Ok(Some(&self.current)),
+            Err(e) => {
+                self.failed = true;
+                self.pending.clear();
+                Err(e)
+            }
+        }
+    }
+
+    fn advance(&mut self) -> Result<bool> {
+        if self.collected == self.col.chunks.len() {
+            return Ok(false);
+        }
+        // Keep the read-ahead window full, bounded by the queue. With jobs
+        // of our own in flight we never block in submit — a saturated pool
+        // just ends the top-up (collecting our front below frees a slot).
+        let window = self.pool.queue_depth().min(self.inflight_cap);
+        while self.submitted < self.col.chunks.len() && self.pending.len() < window {
+            let elems = self.remaining_submit.min(self.col.chunk_elems);
+            if elems == 0 {
+                return Err(Error::Corrupt("more chunks than rows".into()));
+            }
+            self.bdesc.dims[0] = elems;
+            let payload = &self.col.chunks[self.submitted];
+            let ticket = match self
+                .pool
+                .try_submit_decompress(&self.codec, &self.bdesc, payload)?
+            {
+                Some(t) => t,
+                None if self.pending.is_empty() => {
+                    self.pool
+                        .submit_decompress(&self.codec, &self.bdesc, payload)?
+                }
+                None => break,
+            };
+            self.pending.push_back(ticket);
+            self.submitted += 1;
+            self.remaining_submit -= elems;
+        }
+        if self.submitted == self.col.chunks.len() && self.remaining_submit != 0 {
+            return Err(Error::Corrupt("chunks do not cover all rows".into()));
+        }
+        let ticket = self
+            .pending
+            .pop_front()
+            .ok_or_else(|| Error::Corrupt("column cursor lost its read-ahead".into()))?;
+        let current = &mut self.current;
+        ticket.collect(|decoded| {
+            current.clear();
+            current.extend_from_slice(decoded);
+        })?;
+        self.collected += 1;
+        Ok(true)
+    }
+}
+
+/// The legacy `FCDB1` layout: directory first, concatenated chunk body
+/// after, no checksums and no commit points.
+///
+/// **Deprecated.** New containers are always written as `FCDB2`; this
+/// module exists so files produced before the layout change still read
+/// (surfacing [`RecoveryOutcome::Legacy`]) and can be upgraded in place
+/// with [`upgrade_container`]. A torn or bit-flipped `FCDB1` file is
+/// undetectable beyond structural bounds checks — migrate.
+pub mod legacy {
+    use super::*;
+
+    /// Parse a legacy `FCDB1` image. Prefer [`parse_container`], which
+    /// dispatches on the magic and reports the layout via
+    /// [`RecoveryOutcome::Legacy`].
+    pub fn parse_container_v1(bytes: &[u8]) -> Result<CompressedTable> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let s = bytes
+                .get(*pos..*pos + n)
+                .ok_or_else(|| Error::Corrupt("container truncated".into()))?;
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != MAGIC_V1 {
+            return Err(Error::Corrupt("bad container magic".into()));
+        }
+        let nlen = take(&mut pos, 1)?[0] as usize;
+        let codec_name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
+            .map_err(|_| Error::Corrupt("codec name not UTF-8".into()))?;
+        let ncols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+
+        struct Meta {
+            name: String,
+            precision: Precision,
+            rows: usize,
+            chunk_elems: usize,
+            sizes: Vec<usize>,
+        }
+        let mut metas = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let nlen = take(&mut pos, 1)?[0] as usize;
+            let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
+                .map_err(|_| Error::Corrupt("column name not UTF-8".into()))?;
+            let precision = match take(&mut pos, 1)?[0] {
+                0 => Precision::Single,
+                1 => Precision::Double,
+                b => return Err(Error::Corrupt(format!("bad precision byte {b}"))),
+            };
+            let rows = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
+            let chunk_elems =
+                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            let nchunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            if chunk_elems == 0 || nchunks > rows.max(1) {
+                return Err(Error::Corrupt("implausible chunk layout".into()));
+            }
+            let mut sizes = Vec::with_capacity(nchunks);
+            for _ in 0..nchunks {
+                sizes.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize);
+            }
+            metas.push(Meta {
+                name,
+                precision,
+                rows,
+                chunk_elems,
+                sizes,
+            });
+        }
+
+        let mut columns = Vec::with_capacity(ncols);
+        for m in metas {
+            let mut chunks = Vec::with_capacity(m.sizes.len());
+            for &sz in &m.sizes {
+                chunks.push(take(&mut pos, sz)?.to_vec());
+            }
+            columns.push(CompressedColumn {
+                name: m.name,
+                precision: m.precision,
+                rows: m.rows,
+                chunk_elems: m.chunk_elems,
+                chunks,
+            });
+        }
+        if pos != bytes.len() {
+            return Err(Error::Corrupt("trailing bytes in container".into()));
+        }
+        Ok(CompressedTable {
+            codec_name,
+            columns,
+        })
+    }
+
+    /// Write `columns` in the legacy `FCDB1` layout (inline compression
+    /// only, whole container materialized in memory — the behavior
+    /// `FCDB2` replaced). Kept for fixture generation and upgrade tests;
+    /// do not use for new files.
+    pub fn write_container_v1(
+        path: &Path,
+        codec: &dyn Compressor,
+        columns: &[ColumnData],
+        chunk_elems: usize,
+    ) -> Result<()> {
+        assert!(chunk_elems > 0);
+        let codec_name = codec.info().name.as_bytes();
+        if codec_name.len() > 255 {
+            return Err(Error::NameTooLong {
+                len: codec_name.len(),
+            });
+        }
+        let mut header = Vec::new();
+        header.extend_from_slice(MAGIC_V1);
+        header.push(codec_name.len() as u8);
+        header.extend_from_slice(codec_name);
+        header.extend_from_slice(&(columns.len() as u32).to_le_bytes());
+
+        let mut scratch = FloatData::scratch();
+        let mut payload = Vec::new();
+        let mut body: Vec<u8> = Vec::new();
+        for col in columns {
+            let esize = col.precision.bytes();
+            let chunk_bytes = chunk_elems * esize;
+            let nchunks = col.bytes.len().div_ceil(chunk_bytes).max(1);
+
+            let name = col.name.as_bytes();
+            header.push(name.len() as u8);
+            header.extend_from_slice(name);
+            header.push(precision_byte(col.precision));
+            header.extend_from_slice(&(col.rows() as u64).to_le_bytes());
+            header.extend_from_slice(&(chunk_elems as u32).to_le_bytes());
+            header.extend_from_slice(&(nchunks as u32).to_le_bytes());
+
+            let mut sizes: Vec<u64> = Vec::with_capacity(nchunks);
+            for chunk in col.bytes.chunks(chunk_bytes.max(esize)) {
+                let elems = chunk.len() / esize;
+                let desc = DataDesc::new(col.precision, vec![elems], Domain::Database)?;
+                scratch.refill_from_slice(&desc, chunk)?;
+                let n = codec.compress_into(&scratch, &mut payload)?;
+                sizes.push(n as u64);
+                body.extend_from_slice(&payload[..n]);
+            }
+            for s in sizes {
+                header.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&header)?;
+        f.write_all(&body)?;
+        f.sync_all()?;
+        Ok(())
+    }
+}
+
+/// One-shot converter: read the container at `src` (any layout) and write
+/// it at `dst` as a clean single-commit `FCDB2` file, re-framing the
+/// already-compressed chunks without recompressing anything (no codec
+/// needed).
+pub fn upgrade_container(src: &Path, dst: &Path) -> Result<()> {
+    let read = read_container(src)?;
+    write_compressed_table(dst, &read.table)
+}
+
+/// Write an already-compressed table as a single-commit `FCDB2` file.
+fn write_compressed_table(path: &Path, table: &CompressedTable) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut sink = std::io::BufWriter::new(file);
+    let mut written = write_prologue(&mut sink, &table.codec_name)?;
+    let mut metas = Vec::with_capacity(table.columns.len());
+    for col in &table.columns {
+        if col.name.len() > 255 {
+            return Err(Error::NameTooLong {
+                len: col.name.len(),
+            });
+        }
+        if col.chunk_elems == 0 || col.chunk_elems > u32::MAX as usize {
+            return Err(Error::BadDescriptor(format!(
+                "chunk size {} is outside 1..=u32::MAX elements",
+                col.chunk_elems
+            )));
+        }
+        let nlen = [col.name.len() as u8];
+        let prec = [precision_byte(col.precision)];
+        let ce = (col.chunk_elems as u32).to_le_bytes();
+        written += put_record(
+            &mut sink,
+            TAG_COLUMN,
+            &[&nlen, col.name.as_bytes(), &prec, &ce],
+        )?;
+        let mut meta = ColumnMeta {
+            name: col.name.clone(),
+            precision: col.precision,
+            chunk_elems: col.chunk_elems as u32,
+            rows: 0,
+            chunks: Vec::new(),
+        };
+        let mut remaining = col.rows;
+        for chunk in &col.chunks {
+            let elems = remaining.min(col.chunk_elems);
+            if elems == 0 {
+                return Err(Error::Corrupt("more chunks than rows".into()));
+            }
+            let offset = written;
+            let rec = put_record(
+                &mut sink,
+                TAG_CHUNK,
+                &[&(elems as u32).to_le_bytes(), chunk],
+            )?;
+            meta.chunks.push(ChunkMeta {
+                offset,
+                payload_len: chunk.len() as u64,
+                elems: elems as u32,
+            });
+            meta.rows += elems as u64;
+            written += rec;
+            remaining -= elems;
+        }
+        if remaining != 0 {
+            return Err(Error::Corrupt("chunks do not cover all rows".into()));
+        }
+        metas.push(meta);
+    }
+    let dir = encode_directory(&metas);
+    put_record(&mut sink, TAG_COMMIT, &[&dir])?;
+    sink.write_all(&locator(written))?;
+    sink.flush()?;
+    let file = sink.into_inner().map_err(|e| Error::Io(e.to_string()))?;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Byte length of a framed record with `body_len` body bytes (exposed for
+/// the crash-recovery tests, which compute framing boundaries).
+pub fn record_len(body_len: u64) -> u64 {
+    RECORD_OVERHEAD + body_len
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fcbench_core::pool::PoolConfig;
     use fcbench_core::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
 
     struct StoreCodec;
@@ -461,8 +1405,6 @@ mod tests {
 
     #[test]
     fn pooled_container_matches_inline_bytes_and_round_trips() {
-        use fcbench_core::pool::PoolConfig;
-
         let inline_path = tmp("pool-a");
         let pooled_path = tmp("pool-b");
         let a: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.7).sin()).collect();
@@ -483,8 +1425,9 @@ mod tests {
             std::fs::read(&pooled_path).unwrap()
         );
 
-        let table = read_container(&pooled_path).unwrap();
-        for (col, orig) in table.columns.iter().zip(cols.iter()) {
+        let read = read_container(&pooled_path).unwrap();
+        assert_eq!(read.outcome, RecoveryOutcome::Clean);
+        for (col, orig) in read.table.columns.iter().zip(cols.iter()) {
             let inline = col.decode(&StoreCodec).unwrap();
             let pooled = col.decode_pooled(&pool, &codec).unwrap();
             assert_eq!(inline.bytes, orig.bytes);
@@ -505,7 +1448,9 @@ mod tests {
         ];
         write_container(&path, &StoreCodec, &cols, 128).unwrap();
 
-        let table = read_container(&path).unwrap();
+        let read = read_container(&path).unwrap();
+        assert!(read.is_clean());
+        let table = read.table;
         assert_eq!(table.codec_name, "store");
         assert_eq!(table.columns.len(), 2);
         assert_eq!(table.columns[0].rows, 1000);
@@ -525,7 +1470,7 @@ mod tests {
         let path = tmp("ragged");
         let a: Vec<f64> = (0..130).map(|i| i as f64).collect();
         write_container(&path, &StoreCodec, &[ColumnData::from_f64("x", &a)], 64).unwrap();
-        let table = read_container(&path).unwrap();
+        let table = read_container(&path).unwrap().table;
         assert_eq!(table.columns[0].chunks.len(), 3); // 64 + 64 + 2
         let col = table.columns[0].decode(&StoreCodec).unwrap();
         assert_eq!(col.rows(), 130);
@@ -533,19 +1478,164 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_file_rejected() {
-        let path = tmp("corrupt");
+    fn incremental_writes_and_commits_append() {
+        // Feed a column in dribbles across chunk boundaries, commit, then
+        // append a second column and commit again: the trailing commit
+        // sees both.
+        let path = tmp("incr");
+        let a: Vec<f64> = (0..777).map(|i| i as f64 * 0.25).collect();
+        let b: Vec<f32> = (0..333).map(|i| i as f32).collect();
+        let a_bytes = ColumnData::from_f64("a", &a).bytes;
+        let b_bytes = ColumnData::from_f32("b", &b).bytes;
+
+        let file = std::fs::File::create(&path).unwrap();
+        let mut w = ContainerWriter::new(
+            std::io::BufWriter::new(file),
+            ChunkExec::Inline(&StoreCodec),
+        )
+        .unwrap();
+        w.begin_column("a", Precision::Double, 100).unwrap();
+        for piece in a_bytes.chunks(13) {
+            w.write(piece).unwrap();
+        }
+        w.commit().unwrap();
+        assert_eq!(w.uncommitted_records(), 0);
+        w.begin_column("b", Precision::Single, 50).unwrap();
+        w.write(&b_bytes).unwrap();
+        w.finish().unwrap();
+
+        let read = read_container(&path).unwrap();
+        assert!(read.is_clean());
+        assert_eq!(read.table.columns.len(), 2);
+        assert_eq!(
+            read.table.columns[0].decode(&StoreCodec).unwrap().bytes,
+            a_bytes
+        );
+        assert_eq!(
+            read.table.columns[1].decode(&StoreCodec).unwrap().bytes,
+            b_bytes
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tails_recover_and_committed_corruption_errors() {
+        let path = tmp("torn");
         let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
         write_container(&path, &StoreCodec, &[ColumnData::from_f64("x", &a)], 32).unwrap();
-        let mut bytes = std::fs::read(&path).unwrap();
-        bytes[0] = b'Z';
-        assert!(parse_container(&bytes).is_err());
         let good = std::fs::read(&path).unwrap();
-        assert!(parse_container(&good[..good.len() - 1]).is_err());
+
+        // Bad magic is an error — there is nothing to recover toward.
+        let mut bad = good.clone();
+        bad[0] = b'Z';
+        assert!(parse_container(&bad).is_err());
+
+        // Shaving the locator's last byte tears the tail but loses no
+        // committed data: the commit record itself still validates.
+        let read = parse_container(&good[..good.len() - 1]).unwrap();
+        assert_eq!(
+            read.outcome,
+            RecoveryOutcome::Recovered { dropped_records: 0 }
+        );
+        assert_eq!(
+            read.table.columns[0].decode(&StoreCodec).unwrap().bytes,
+            ColumnData::from_f64("x", &a).bytes
+        );
+
+        // Garbage appended after the locator is a torn (unparseable) tail.
         let mut extra = good.clone();
         extra.push(0);
-        assert!(parse_container(&extra).is_err());
+        let read = parse_container(&extra).unwrap();
+        assert_eq!(
+            read.outcome,
+            RecoveryOutcome::Recovered { dropped_records: 1 }
+        );
+
+        // A bit flip inside a committed chunk record is corruption, not a
+        // torn tail: typed checksum error.
+        let mut flipped = good.clone();
+        let first_chunk = take_record(&good, {
+            // prologue: 4 + 1 + "store" + 4 crc; first record is COLUMN.
+            let body_start = 4 + 1 + 5 + 4;
+            take_record(&good, body_start).unwrap().end
+        })
+        .unwrap();
+        assert_eq!(first_chunk.tag, TAG_CHUNK);
+        let body_mid = (first_chunk.end - first_chunk.body.len() / 2) - 2;
+        flipped[body_mid] ^= 0x40;
+        assert!(matches!(
+            parse_container(&flipped),
+            Err(Error::ChecksumMismatch { .. })
+        ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_misuse_is_rejected() {
+        let mut w = ContainerWriter::new(Vec::new(), ChunkExec::Inline(&StoreCodec)).unwrap();
+        // No open column.
+        assert!(matches!(w.write(&[0u8; 8]), Err(Error::Unsupported(_))));
+        // Bad page sizes.
+        assert!(w.begin_column("x", Precision::Double, 0).is_err());
+        // Mid-element tail.
+        w.begin_column("x", Precision::Double, 4).unwrap();
+        w.write(&[0u8; 9]).unwrap();
+        assert!(matches!(w.end_column(), Err(Error::BadDescriptor(_))));
+    }
+
+    #[test]
+    fn cursor_streams_pages_in_order_with_tiny_caps() {
+        let path = tmp("cursor");
+        let a: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let cols = [ColumnData::from_f64("x", &a)];
+        write_container(&path, &StoreCodec, &cols, 64).unwrap();
+        let table = read_container(&path).unwrap().table;
+        let pool = WorkerPool::new(PoolConfig::with_threads(2).queue_depth(3));
+        let codec: Arc<dyn Compressor> = Arc::new(StoreCodec);
+
+        let col = &table.columns[0];
+        let mut cursor = col.cursor(&pool, &codec).unwrap().max_in_flight(1);
+        assert_eq!(cursor.chunks_remaining(), col.chunks.len());
+        let mut restored = Vec::new();
+        while let Some(page) = cursor.next_chunk().unwrap() {
+            restored.extend_from_slice(page);
+        }
+        assert_eq!(restored, cols[0].bytes);
+        assert_eq!(cursor.chunks_remaining(), 0);
+        assert!(cursor.next_chunk().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_read_and_upgrade() {
+        let v1 = tmp("legacy-v1");
+        let v2 = tmp("legacy-v2");
+        let a: Vec<f64> = (0..300).map(|i| i as f64 * 1.5).collect();
+        let cols = [ColumnData::from_f64("x", &a)];
+        legacy::write_container_v1(&v1, &StoreCodec, &cols, 128).unwrap();
+
+        let read = read_container(&v1).unwrap();
+        assert_eq!(read.outcome, RecoveryOutcome::Legacy);
+        assert_eq!(
+            read.table.columns[0].decode(&StoreCodec).unwrap().bytes,
+            cols[0].bytes
+        );
+
+        upgrade_container(&v1, &v2).unwrap();
+        let upgraded = read_container(&v2).unwrap();
+        assert!(upgraded.is_clean());
+        assert_eq!(upgraded.table.codec_name, "store");
+        assert_eq!(
+            upgraded.table.columns[0].decode(&StoreCodec).unwrap().bytes,
+            cols[0].bytes
+        );
+        // Same compressed payloads, no recompression.
+        assert_eq!(
+            upgraded.table.columns[0].chunks,
+            read.table.columns[0].chunks
+        );
+        std::fs::remove_file(&v1).ok();
+        std::fs::remove_file(&v2).ok();
     }
 
     #[test]

@@ -16,7 +16,8 @@ pub mod dataframe;
 
 pub use bench3::{measure_three_primitives, measure_three_primitives_pooled, ThreePrimitives};
 pub use container::{
-    read_container, write_container, write_container_pooled, ChunkExec, ColumnData,
-    CompressedColumn, CompressedTable,
+    legacy, parse_container, read_container, upgrade_container, write_container,
+    write_container_pooled, ChunkExec, ColumnCursor, ColumnData, CompressedColumn, CompressedTable,
+    ContainerRead, ContainerWriter, RecoveryOutcome,
 };
 pub use dataframe::{Column, DataFrame};

@@ -276,6 +276,7 @@ pub fn error_code(err: &Error) -> u8 {
         Error::WorkerPanic(_) => ERR_WORKER_PANIC,
         Error::Io(_) => ERR_IO,
         Error::Corrupt(_)
+        | Error::ChecksumMismatch { .. }
         | Error::LosslessViolation { .. }
         | Error::NameTooLong { .. }
         | Error::TooManyDims { .. } => ERR_CORRUPT,

@@ -42,7 +42,9 @@ fn container_round_trips_with_real_codecs() {
         let path = tmp(codec.info().name);
         let cols = orders_table(5000);
         write_container(&path, codec.as_ref(), &cols, 512).expect("write");
-        let table = read_container(&path).expect("read");
+        let read = read_container(&path).expect("read");
+        assert!(read.is_clean(), "freshly written container must be clean");
+        let table = read.table;
         assert_eq!(table.codec_name, codec.info().name);
         for (orig, comp) in cols.iter().zip(table.columns.iter()) {
             let decoded = comp.decode(codec.as_ref()).expect("decode column");
@@ -66,7 +68,7 @@ fn queries_on_compressed_storage_match_plain_scans() {
 
     let codec = Chimp::new();
     write_container(&path, &codec, &cols, 1024).expect("write");
-    let table = read_container(&path).expect("read");
+    let table = read_container(&path).expect("read").table;
     let decoded: Vec<ColumnData> = table
         .columns
         .iter()
