@@ -17,6 +17,8 @@
 //! Every codec implements [`fcbench_core::Compressor`] and round-trips
 //! bit-exactly (NaN payloads and signed zeros included).
 
+#![forbid(unsafe_code)]
+
 pub mod bitshuffle;
 pub mod buff;
 pub mod chimp;

@@ -15,6 +15,8 @@
 //! [`fcbench_core::Compressor::last_aux_time`] for the paper's Table 6
 //! end-to-end wall times.
 
+#![forbid(unsafe_code)]
+
 pub mod gfc;
 pub mod mpc;
 pub mod ndzip_gpu;

@@ -182,16 +182,17 @@ impl<C: Compressor> Compressor for BlockCodec<C> {
             .and_then(|n| n.checked_add(4))
             .filter(|&e| e <= payload.len())
             .ok_or_else(|| Error::Corrupt("block directory truncated".into()))?;
+        // lint: claim-checked(nblocks bounded by the dir_end byte check above)
         let mut lens = Vec::with_capacity(nblocks);
         for i in 0..nblocks {
             let off = 4 + 8 * i;
-            let l = u64::from_le_bytes(payload[off..off + 8].try_into().expect("8 bytes")) as usize;
-            lens.push(l);
+            lens.push(crate::wire::len64(crate::wire::le_u64(payload, off)?));
         }
 
         let epb = self.elems_per_block(desc);
         let total_elems = desc.elements();
         out.refill(desc, |bytes| {
+            // lint: claim-checked(desc is gated by check_decode_claim at the pool/frame boundary)
             bytes.reserve(desc.byte_len());
             let mut block = FloatData::scratch();
             let mut pos = dir_end;

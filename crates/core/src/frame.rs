@@ -133,7 +133,7 @@ fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
 
 fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
     let s = take(bytes, pos, 8)?;
-    Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    crate::wire::le_u64(s, 0)
 }
 
 /// Decode the shared header after the magic: `(codec name, descriptor)`.
@@ -160,6 +160,7 @@ fn decode_header(bytes: &[u8], pos: &mut usize) -> Result<(String, DataDesc)> {
     if ndims == 0 {
         return Err(Error::Corrupt("frame has zero dimensions".into()));
     }
+    // lint: claim-checked(ndims is u8-bounded, at most 255 dims)
     let mut dims = Vec::with_capacity(ndims);
     for _ in 0..ndims {
         let v = read_u64(bytes, pos)?;
@@ -329,7 +330,7 @@ pub fn decode_chunked_frame(bytes: &[u8]) -> Result<ChunkedFrame<'_>> {
         .ok()
         .filter(|&b| b >= 1)
         .ok_or_else(|| Error::Corrupt(format!("bad block size {block_elems}")))?;
-    let nblocks = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4 bytes"));
+    let nblocks = crate::wire::le_u32(take(bytes, &mut pos, 4)?, 0)?;
     let expected = desc.elements().div_ceil(block_elems);
     if nblocks as usize != expected {
         return Err(Error::Corrupt(format!(
@@ -341,6 +342,7 @@ pub fn decode_chunked_frame(bytes: &[u8]) -> Result<ChunkedFrame<'_>> {
     // Bound the preallocation by the bytes actually present (8 per length)
     // so a hostile count can't trigger a huge allocation before validation.
     let avail = bytes.len().saturating_sub(pos) / 8;
+    // lint: claim-checked(count clamped to the directory bytes actually present)
     let mut lens = Vec::with_capacity((nblocks as usize).min(avail));
     for _ in 0..nblocks {
         let l = read_u64(bytes, &mut pos)?;
@@ -348,6 +350,7 @@ pub fn decode_chunked_frame(bytes: &[u8]) -> Result<ChunkedFrame<'_>> {
             .map_err(|_| Error::Corrupt(format!("block length {l} exceeds the address space")))?;
         lens.push(l);
     }
+    // lint: claim-checked(lens were all parsed from real bytes above)
     let mut payloads = Vec::with_capacity(lens.len());
     for l in lens {
         payloads.push(take(bytes, &mut pos, l)?);
@@ -395,7 +398,7 @@ pub fn decode_stream_header<R: std::io::Read>(src: &mut R) -> Result<(String, Da
     let mut at = hdr.len();
     hdr.resize(at + name_len + 3, 0); // name, precision, domain, ndims
     src.read_exact(&mut hdr[at..])?;
-    let ndims = *hdr.last().expect("non-empty header") as usize;
+    let ndims = usize::from(hdr[hdr.len() - 1]);
     at = hdr.len();
     hdr.resize(at + 8 * ndims, 0);
     src.read_exact(&mut hdr[at..])?;

@@ -21,11 +21,17 @@
 //! - the benchmark [run matrix](runner) (codecs × datasets);
 //! - [boxplot & group summaries](summary) for Figures 5–6;
 //! - [block/page compression](blocks) for the Table 10 experiment;
-//! - the [thread-scaling harness](scaling) for Tables 7–8.
+//! - the [thread-scaling harness](scaling) for Tables 7–8;
+//! - the [sync] shim (one poison policy, swappable for the
+//!   `fcbench-analyze` model checker behind the `model-check` feature) and
+//!   the panic-free [wire] decode helpers the repo lints hold decode paths
+//!   to.
 //!
 //! Compressor implementations live in `fcbench-codecs-cpu`,
 //! `fcbench-codecs-gpu`, and `fcbench-dzip`; everything here is
 //! codec-agnostic.
+
+#![forbid(unsafe_code)]
 
 pub mod blocks;
 pub mod codec;
@@ -40,6 +46,8 @@ pub mod runner;
 pub mod scaling;
 pub mod stream;
 pub mod summary;
+pub mod sync;
+pub mod wire;
 
 pub use codec::{
     compress_verified, compress_verified_into, AuxTime, CodecClass, CodecInfo, Community,

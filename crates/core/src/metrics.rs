@@ -115,7 +115,7 @@ pub fn median(values: &[f64]) -> Option<f64> {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len();
     Some(if n % 2 == 1 {
         sorted[n / 2]
@@ -130,7 +130,7 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -117,9 +117,9 @@ impl Pipeline {
     pub fn with_pool(codec: Arc<dyn Compressor>, pool: Arc<WorkerPool>) -> Self {
         let mut p = Self::with_codec(codec);
         p.threads = pool.threads();
-        p.pool
-            .set(pool)
-            .unwrap_or_else(|_| unreachable!("freshly created OnceLock is empty"));
+        // `p` was freshly constructed above, so its OnceLock is empty and
+        // this set always lands.
+        let _ = p.pool.set(pool);
         p
     }
 

@@ -69,10 +69,11 @@
 use crate::codec::Compressor;
 use crate::data::{DataDesc, FloatData};
 use crate::error::{Error, Result};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{lock, wait, AtomicU64, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Configuration of a [`WorkerPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,7 +179,14 @@ impl Slot {
 
     /// Run this slot's job; called on a worker thread.
     fn execute(&mut self) -> Result<usize> {
-        let codec = Arc::clone(self.codec.as_ref().expect("queued slot carries a codec"));
+        // Every dispatch_* fills `codec` before enqueueing; a bare slot
+        // here is an internal bug, surfaced as a typed error rather than a
+        // panic so it cannot take a worker down.
+        let Some(codec) = self.codec.as_ref().map(Arc::clone) else {
+            return Err(Error::Unsupported(
+                "internal: queued slot carries no codec".into(),
+            ));
+        };
         match self.kind {
             JobKind::Compress => codec.compress_into(&self.data, &mut self.buf),
             JobKind::Decompress => {
@@ -245,16 +253,14 @@ struct Shared {
     jobs_done: AtomicU64,
 }
 
-/// A poison-tolerant lock: the pool's invariants are maintained under the
-/// lock by straight-line code, and worker panics are caught before they can
-/// unwind through a guard, so a poisoned mutex only ever reflects a panic
-/// in caller-supplied collect closures — recover the guard.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poison) => poison.into_inner(),
-    }
-}
+// Lock poisoning: the pool uses the engine-wide policy implemented by
+// [`crate::sync::lock`] / [`crate::sync::wait`] — recover the guard. The
+// pool's invariants are maintained under the lock by straight-line code,
+// and worker panics are caught before they can unwind through a guard
+// (see `worker_loop`), so a poisoned mutex only ever reflects a panic in a
+// caller-supplied collect closure; the regression tests
+// `worker_panic_is_a_typed_error_and_pool_survives` and
+// `panicking_collect_closures_do_not_leak_slots` pin this down.
 
 impl Shared {
     /// Mark `idx` finished (or recycle it if abandoned) and wake waiters.
@@ -292,10 +298,7 @@ fn worker_loop(shared: &Shared) {
                 if inner.shutdown {
                     return;
                 }
-                inner = match shared.work.wait(inner) {
-                    Ok(g) => g,
-                    Err(poison) => poison.into_inner(),
-                };
+                inner = wait(&shared.work, inner);
             }
         };
 
@@ -353,7 +356,7 @@ impl WorkerPool {
         let handles = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("fcbench-pool-{i}"))
                     .spawn(move || worker_loop(&shared))
                     .expect("spawn pool worker")
@@ -409,10 +412,7 @@ impl WorkerPool {
             if let Some(idx) = inner.free.pop() {
                 return Ok(idx);
             }
-            inner = match self.shared.free.wait(inner) {
-                Ok(g) => g,
-                Err(poison) => poison.into_inner(),
-            };
+            inner = wait(&self.shared.free, inner);
         }
     }
 
@@ -647,10 +647,7 @@ impl WorkerPool {
     pub fn drain(&self) {
         let mut inner = lock(&self.shared.inner);
         while inner.unfinished > 0 {
-            inner = match self.shared.done.wait(inner) {
-                Ok(g) => g,
-                Err(poison) => poison.into_inner(),
-            };
+            inner = wait(&self.shared.done, inner);
         }
     }
 
@@ -719,17 +716,12 @@ impl Ticket {
         let result = {
             let mut inner = lock(&shared.inner);
             loop {
-                if matches!(inner.states[idx], JobState::Done(_)) {
-                    let state = std::mem::replace(&mut inner.states[idx], JobState::Free);
-                    let JobState::Done(result) = state else {
-                        unreachable!("matched Done above")
-                    };
-                    break result;
+                let state = std::mem::replace(&mut inner.states[idx], JobState::Free);
+                match state {
+                    JobState::Done(result) => break result,
+                    other => inner.states[idx] = other,
                 }
-                inner = match shared.done.wait(inner) {
-                    Ok(g) => g,
-                    Err(poison) => poison.into_inner(),
-                };
+                inner = wait(&shared.done, inner);
             }
         };
 

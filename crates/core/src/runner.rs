@@ -296,7 +296,10 @@ fn run_cell_exec(exec: &Exec<'_>, data: &FloatData, cfg: RunConfig) -> CellOutco
             decomp_transfer_seconds: decomp_aux.total(),
         });
     }
-    CellOutcome::Ok(Measurement::average_of(&runs).expect("at least one repetition"))
+    match Measurement::average_of(&runs) {
+        Some(avg) => CellOutcome::Ok(avg),
+        None => CellOutcome::Failed("no repetitions ran".into()),
+    }
 }
 
 /// Run the full codec × dataset matrix.

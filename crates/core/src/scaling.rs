@@ -39,11 +39,9 @@ impl ScalingCurve {
     /// The thread count with peak throughput (paper: 16–24 for most codecs,
     /// after which oversubscription degrades it).
     pub fn peak(&self) -> Option<&ScalingPoint> {
-        self.points.iter().max_by(|a, b| {
-            a.mb_per_s
-                .partial_cmp(&b.mb_per_s)
-                .expect("finite throughputs")
-        })
+        self.points
+            .iter()
+            .max_by(|a, b| a.mb_per_s.total_cmp(&b.mb_per_s))
     }
 }
 

@@ -204,7 +204,7 @@ pub enum RecordCheck {
 pub fn check_record(bytes: &[u8], pos: usize) -> std::result::Result<RecordView<'_>, RecordCheck> {
     let head_end = pos.checked_add(9).ok_or(RecordCheck::Truncated)?;
     let head = bytes.get(pos..head_end).ok_or(RecordCheck::Truncated)?;
-    let body_len = u64::from_le_bytes(head[1..9].try_into().expect("8 bytes"));
+    let body_len = crate::wire::le_u64(head, 1).map_err(|_| RecordCheck::Truncated)?;
     let body_len = usize::try_from(body_len).map_err(|_| RecordCheck::Truncated)?;
     let body_start = pos + 9;
     let body_end = body_start
@@ -214,7 +214,7 @@ pub fn check_record(bytes: &[u8], pos: usize) -> std::result::Result<RecordView<
     if end > bytes.len() {
         return Err(RecordCheck::Truncated);
     }
-    let stored = u32::from_le_bytes(bytes[body_end..end].try_into().expect("4 bytes"));
+    let stored = crate::wire::le_u32(bytes, body_end).map_err(|_| RecordCheck::Truncated)?;
     let computed = crc32(&bytes[pos..body_end]);
     if computed != stored {
         return Err(RecordCheck::Mismatch { stored, computed });
@@ -735,6 +735,7 @@ impl<R: Read> FrameReader<R> {
         }
         let desc = self.desc.clone();
         out.refill(&desc, |bytes| {
+            // lint: claim-checked(reservation clamped to MAX_UPFRONT_RESERVE)
             bytes.reserve(desc.byte_len().min(MAX_UPFRONT_RESERVE));
             while let Some(block) = self.next_block()? {
                 bytes.extend_from_slice(block);

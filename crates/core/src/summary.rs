@@ -28,7 +28,7 @@ pub fn boxplot(values: &[f64]) -> Option<BoxplotStats> {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in boxplot input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let q1 = quantile(&sorted, 0.25)?;
     let q3 = quantile(&sorted, 0.75)?;
     let med = median(&sorted)?;
@@ -45,7 +45,7 @@ pub fn boxplot(values: &[f64]) -> Option<BoxplotStats> {
         .rev()
         .copied()
         .find(|&v| v <= hi_fence)
-        .unwrap_or(*sorted.last().expect("nonempty"));
+        .unwrap_or(sorted[sorted.len() - 1]);
     let outliers = sorted
         .iter()
         .copied()
@@ -56,7 +56,7 @@ pub fn boxplot(values: &[f64]) -> Option<BoxplotStats> {
         q1,
         median: med,
         q3,
-        max: *sorted.last().expect("nonempty"),
+        max: sorted[sorted.len() - 1],
         whisker_lo,
         whisker_hi,
         outliers,

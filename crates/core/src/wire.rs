@@ -1,0 +1,90 @@
+//! Infallible little-endian wire readers and saturating length
+//! conversions.
+//!
+//! Every byte that crosses a trust boundary — FCS1 requests, FCB frame
+//! headers, FCDB container directories — is decoded through these helpers
+//! instead of `slice[a..b].try_into().expect(..)` patterns: a truncated
+//! buffer is a typed [`Error::Corrupt`], never a panic, and a length claim
+//! wider than `usize` **saturates** rather than truncates. Saturation is
+//! the security-correct direction: an absurd claim becomes `usize::MAX`
+//! and fails *upward* into the plausibility gates
+//! ([`check_decode_claim`](crate::blocks::check_decode_claim) and friends),
+//! where a truncating `as` cast on a 32-bit target could wrap a hostile
+//! 2^32+16 claim into a small, in-bounds, silently-wrong length.
+//!
+//! The `fcbench-analyze` lint rules `no-panic` and `wire-cast` hold
+//! decode paths to these helpers.
+
+use crate::error::{Error, Result};
+
+fn truncated(what: &str, pos: usize, len: usize) -> Error {
+    Error::Corrupt(format!(
+        "truncated wire field: {what} at offset {pos} needs more than the {len} bytes present"
+    ))
+}
+
+/// Read a little-endian `u16` at `pos`, failing on a short buffer.
+pub fn le_u16(buf: &[u8], pos: usize) -> Result<u16> {
+    match buf.get(pos..).and_then(|t| t.first_chunk::<2>()) {
+        Some(w) => Ok(u16::from_le_bytes(*w)),
+        None => Err(truncated("u16", pos, buf.len())),
+    }
+}
+
+/// Read a little-endian `u32` at `pos`, failing on a short buffer.
+pub fn le_u32(buf: &[u8], pos: usize) -> Result<u32> {
+    match buf.get(pos..).and_then(|t| t.first_chunk::<4>()) {
+        Some(w) => Ok(u32::from_le_bytes(*w)),
+        None => Err(truncated("u32", pos, buf.len())),
+    }
+}
+
+/// Read a little-endian `u64` at `pos`, failing on a short buffer.
+pub fn le_u64(buf: &[u8], pos: usize) -> Result<u64> {
+    match buf.get(pos..).and_then(|t| t.first_chunk::<8>()) {
+        Some(w) => Ok(u64::from_le_bytes(*w)),
+        None => Err(truncated("u64", pos, buf.len())),
+    }
+}
+
+/// A wire-claimed `u32` length as `usize`, saturating on narrow targets so
+/// oversized claims fail upward into plausibility gates instead of
+/// wrapping into small in-bounds values.
+pub fn len32(v: u32) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+/// A wire-claimed `u64` length as `usize`, saturating (see [`len32`]).
+pub fn len64(v: u64) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_at_offsets_and_fails_truncated() {
+        let buf: Vec<u8> = (0u8..12).collect();
+        assert_eq!(le_u16(&buf, 0).unwrap(), u16::from_le_bytes([0, 1]));
+        assert_eq!(le_u32(&buf, 3).unwrap(), u32::from_le_bytes([3, 4, 5, 6]));
+        assert_eq!(
+            le_u64(&buf, 4).unwrap(),
+            u64::from_le_bytes([4, 5, 6, 7, 8, 9, 10, 11])
+        );
+        assert!(le_u16(&buf, 11).is_err());
+        assert!(le_u32(&buf, 9).is_err());
+        assert!(le_u64(&buf, 5).is_err());
+        // Offsets past the end (including overflow-prone ones) fail cleanly.
+        assert!(le_u64(&buf, usize::MAX).is_err());
+        assert!(le_u64(&[], 0).is_err());
+    }
+
+    #[test]
+    fn lengths_convert_exactly_on_64_bit() {
+        assert_eq!(len32(u32::MAX), u32::MAX as usize);
+        assert_eq!(len64(7), 7);
+        #[cfg(target_pointer_width = "64")]
+        assert_eq!(len64(u64::MAX), u64::MAX as usize);
+    }
+}

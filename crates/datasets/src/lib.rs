@@ -12,6 +12,8 @@
 //! - [`entropy`] — the value-entropy estimator matching the Table 3
 //!   column.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod entropy;
 pub mod gen;

@@ -51,6 +51,7 @@ use fcbench_core::pool::{Ticket, WorkerPool};
 use fcbench_core::stream::{
     check_record, crc32, put_record, take_record, RecordCheck, RECORD_OVERHEAD,
 };
+use fcbench_core::wire;
 use fcbench_core::{Compressor, DataDesc, Domain, Error, FloatData, Precision, Result};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -193,6 +194,22 @@ struct ChunkMeta {
     offset: u64,
     payload_len: u64,
     elems: u32,
+}
+
+/// The metadata entry of the column the writer's `open` flag says is being
+/// written. `begin_column` pushes the entry and raises the flag together,
+/// so a miss means the writer's own state went inconsistent — reported as
+/// a typed error rather than a panic in the serving path.
+fn open_column(columns: &[ColumnMeta]) -> Result<&ColumnMeta> {
+    columns
+        .last()
+        .ok_or_else(|| Error::Unsupported("internal: open flag set with no column entry".into()))
+}
+
+fn open_column_mut(columns: &mut [ColumnMeta]) -> Result<&mut ColumnMeta> {
+    columns
+        .last_mut()
+        .ok_or_else(|| Error::Unsupported("internal: open flag set with no column entry".into()))
 }
 
 /// Serialize the cumulative commit directory.
@@ -375,7 +392,7 @@ impl<'a, W: Write> ContainerWriter<'a, W> {
                 "container writer has no open column (call begin_column first)".into(),
             ));
         }
-        let col = self.columns.last().expect("open column");
+        let col = open_column(&self.columns)?;
         let cbytes = (col.chunk_elems as usize).saturating_mul(col.precision.bytes());
         while !bytes.is_empty() {
             // Whole pages straight from the caller's chunk, no copy into
@@ -404,7 +421,7 @@ impl<'a, W: Write> ContainerWriter<'a, W> {
     /// Compress one page (full, or the short tail) and emit / enqueue its
     /// chunk record.
     fn emit_chunk(&mut self, chunk: &[u8]) -> Result<()> {
-        let esize = self.columns.last().expect("open column").precision.bytes();
+        let esize = open_column(&self.columns)?.precision.bytes();
         debug_assert!(!chunk.is_empty() && chunk.len() % esize == 0);
         let elems = (chunk.len() / esize) as u32;
         self.bdesc.dims[0] = chunk.len() / esize;
@@ -418,7 +435,7 @@ impl<'a, W: Write> ContainerWriter<'a, W> {
                     TAG_CHUNK,
                     &[&elems.to_le_bytes(), &self.payload[..n]],
                 )?;
-                let col = self.columns.last_mut().expect("open column");
+                let col = open_column_mut(&mut self.columns)?;
                 col.chunks.push(ChunkMeta {
                     offset,
                     payload_len: n as u64,
@@ -481,7 +498,7 @@ impl<'a, W: Write> ContainerWriter<'a, W> {
             let n = put_record(sink, TAG_CHUNK, &[&elems.to_le_bytes(), payload])?;
             Ok((payload.len() as u64, n))
         })??;
-        let col = columns.last_mut().expect("open column");
+        let col = open_column_mut(columns)?;
         col.chunks.push(ChunkMeta {
             offset,
             payload_len,
@@ -509,7 +526,7 @@ impl<'a, W: Write> ContainerWriter<'a, W> {
             return Ok(());
         }
         if !self.buf.is_empty() {
-            let esize = self.columns.last().expect("open column").precision.bytes();
+            let esize = open_column(&self.columns)?.precision.bytes();
             if self.buf.len() % esize != 0 {
                 return Err(Error::BadDescriptor(format!(
                     "column ended mid-element: {} trailing bytes with {esize}-byte elements",
@@ -703,16 +720,17 @@ fn parse_prologue(bytes: &[u8]) -> Result<(String, usize)> {
     if &bytes[..4] != MAGIC_V2 {
         return Err(Error::Corrupt("bad container magic".into()));
     }
-    let nlen = *bytes
-        .get(4)
-        .ok_or_else(|| Error::Corrupt("container prologue truncated".into()))?
-        as usize;
+    let nlen = usize::from(
+        *bytes
+            .get(4)
+            .ok_or_else(|| Error::Corrupt("container prologue truncated".into()))?,
+    );
     let crc_at = 5 + nlen;
     let end = crc_at + 4;
     if bytes.len() < end {
         return Err(Error::Corrupt("container prologue truncated".into()));
     }
-    let stored = u32::from_le_bytes(bytes[crc_at..end].try_into().expect("4 bytes"));
+    let stored = wire::le_u32(bytes, crc_at)?;
     let computed = crc32(&bytes[..crc_at]);
     if stored != computed {
         return Err(Error::ChecksumMismatch {
@@ -737,12 +755,11 @@ fn valid_trailing_locator(bytes: &[u8], body_start: usize) -> Option<&[u8]> {
     if &loc[..4] != LOCATOR_MAGIC {
         return None;
     }
-    let stored = u32::from_le_bytes(loc[12..16].try_into().expect("4 bytes"));
+    let stored = wire::le_u32(loc, 12).ok()?;
     if crc32(&loc[..12]) != stored {
         return None;
     }
-    let offset =
-        usize::try_from(u64::from_le_bytes(loc[4..12].try_into().expect("8 bytes"))).ok()?;
+    let offset = usize::try_from(wire::le_u64(loc, 4).ok()?).ok()?;
     if offset < body_start {
         return None;
     }
@@ -829,7 +846,7 @@ fn load_directory(bytes: &[u8], dir: &[u8], body_start: usize) -> Result<Vec<Com
         *pos += n;
         Ok(s)
     };
-    let ncols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    let ncols = wire::len32(wire::le_u32(take(&mut pos, 4)?, 0)?);
     if ncols > dir.len() / COLUMN_DIR_BYTES {
         return Err(Error::Corrupt(format!(
             "directory claims {ncols} columns in {} bytes",
@@ -838,7 +855,7 @@ fn load_directory(bytes: &[u8], dir: &[u8], body_start: usize) -> Result<Vec<Com
     }
     let mut columns = Vec::with_capacity(ncols);
     for _ in 0..ncols {
-        let nlen = take(&mut pos, 1)?[0] as usize;
+        let nlen = usize::from(take(&mut pos, 1)?[0]);
         let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
             .map_err(|_| Error::Corrupt("column name not UTF-8".into()))?;
         let precision = match take(&mut pos, 1)?[0] {
@@ -847,13 +864,10 @@ fn load_directory(bytes: &[u8], dir: &[u8], body_start: usize) -> Result<Vec<Com
             b => return Err(Error::Corrupt(format!("bad precision byte {b}"))),
         };
         let esize = precision.bytes();
-        let rows = usize::try_from(u64::from_le_bytes(
-            take(&mut pos, 8)?.try_into().expect("8 bytes"),
-        ))
-        .map_err(|_| Error::Corrupt("row count does not fit in memory".into()))?;
-        let chunk_elems =
-            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
-        let nchunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let rows = usize::try_from(wire::le_u64(take(&mut pos, 8)?, 0)?)
+            .map_err(|_| Error::Corrupt("row count does not fit in memory".into()))?;
+        let chunk_elems = wire::len32(wire::le_u32(take(&mut pos, 4)?, 0)?);
+        let nchunks = wire::len32(wire::le_u32(take(&mut pos, 4)?, 0)?);
         if chunk_elems == 0 {
             return Err(Error::Corrupt("zero chunk size".into()));
         }
@@ -870,16 +884,11 @@ fn load_directory(bytes: &[u8], dir: &[u8], body_start: usize) -> Result<Vec<Com
         let mut chunks = Vec::with_capacity(nchunks);
         let mut remaining = rows;
         for _ in 0..nchunks {
-            let offset = usize::try_from(u64::from_le_bytes(
-                take(&mut pos, 8)?.try_into().expect("8 bytes"),
-            ))
-            .map_err(|_| Error::Corrupt("chunk offset outside the file".into()))?;
-            let payload_len = usize::try_from(u64::from_le_bytes(
-                take(&mut pos, 8)?.try_into().expect("8 bytes"),
-            ))
-            .map_err(|_| Error::Corrupt("chunk payload length does not fit".into()))?;
-            let elems =
-                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+            let offset = usize::try_from(wire::le_u64(take(&mut pos, 8)?, 0)?)
+                .map_err(|_| Error::Corrupt("chunk offset outside the file".into()))?;
+            let payload_len = usize::try_from(wire::le_u64(take(&mut pos, 8)?, 0)?)
+                .map_err(|_| Error::Corrupt("chunk payload length does not fit".into()))?;
+            let elems = wire::len32(wire::le_u32(take(&mut pos, 4)?, 0)?);
             if elems != remaining.min(chunk_elems) {
                 return Err(Error::Corrupt(
                     "chunk element count disagrees with the row count".into(),
@@ -922,7 +931,7 @@ fn load_directory(bytes: &[u8], dir: &[u8], body_start: usize) -> Result<Vec<Com
                     "directory points at something that is not a chunk record".into(),
                 ));
             }
-            let rec_elems = u32::from_le_bytes(rec.body[..4].try_into().expect("4 bytes")) as usize;
+            let rec_elems = wire::len32(wire::le_u32(rec.body, 0)?);
             let payload = &rec.body[4..];
             if rec_elems != elems || payload.len() != payload_len {
                 return Err(Error::Corrupt(
@@ -952,6 +961,7 @@ impl CompressedColumn {
     pub fn decode(&self, codec: &dyn Compressor) -> Result<ColumnData> {
         let esize = self.precision.bytes();
         let mut scratch = FloatData::scratch();
+        // lint: claim-checked(reservation clamped to MAX_UPFRONT_RESERVE)
         let mut bytes =
             Vec::with_capacity(self.rows.saturating_mul(esize).min(MAX_UPFRONT_RESERVE));
         let mut remaining = self.rows;
@@ -1006,6 +1016,7 @@ impl CompressedColumn {
         codec: &Arc<dyn Compressor>,
     ) -> Result<ColumnData> {
         let esize = self.precision.bytes();
+        // lint: claim-checked(reservation clamped to MAX_UPFRONT_RESERVE)
         let mut bytes =
             Vec::with_capacity(self.rows.saturating_mul(esize).min(MAX_UPFRONT_RESERVE));
         let mut cursor = self.cursor(pool, codec)?;
@@ -1162,10 +1173,19 @@ pub mod legacy {
         if take(&mut pos, 4)? != MAGIC_V1 {
             return Err(Error::Corrupt("bad container magic".into()));
         }
-        let nlen = take(&mut pos, 1)?[0] as usize;
+        let nlen = usize::from(take(&mut pos, 1)?[0]);
         let codec_name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
             .map_err(|_| Error::Corrupt("codec name not UTF-8".into()))?;
-        let ncols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let ncols = wire::len32(wire::le_u32(take(&mut pos, 4)?, 0)?);
+        // Bound the claim by real bytes before reserving anything for it: a
+        // column header is at least 18 bytes (name length, precision, rows,
+        // chunk_elems, nchunks), so a count beyond remaining/18 is hostile.
+        if ncols > bytes.len().saturating_sub(pos) / 18 {
+            return Err(Error::Corrupt(format!(
+                "container claims {ncols} columns in {} bytes",
+                bytes.len()
+            )));
+        }
 
         struct Meta {
             name: String,
@@ -1174,9 +1194,10 @@ pub mod legacy {
             chunk_elems: usize,
             sizes: Vec<usize>,
         }
+        // lint: claim-checked(ncols bounded by remaining bytes above)
         let mut metas = Vec::with_capacity(ncols);
         for _ in 0..ncols {
-            let nlen = take(&mut pos, 1)?[0] as usize;
+            let nlen = usize::from(take(&mut pos, 1)?[0]);
             let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
                 .map_err(|_| Error::Corrupt("column name not UTF-8".into()))?;
             let precision = match take(&mut pos, 1)?[0] {
@@ -1184,16 +1205,22 @@ pub mod legacy {
                 1 => Precision::Double,
                 b => return Err(Error::Corrupt(format!("bad precision byte {b}"))),
             };
-            let rows = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
-            let chunk_elems =
-                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
-            let nchunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            let rows = usize::try_from(wire::le_u64(take(&mut pos, 8)?, 0)?)
+                .map_err(|_| Error::Corrupt("row count does not fit in memory".into()))?;
+            let chunk_elems = wire::len32(wire::le_u32(take(&mut pos, 4)?, 0)?);
+            let nchunks = wire::len32(wire::le_u32(take(&mut pos, 4)?, 0)?);
             if chunk_elems == 0 || nchunks > rows.max(1) {
                 return Err(Error::Corrupt("implausible chunk layout".into()));
             }
+            // The size table is 8 bytes per chunk; bound the count by the
+            // bytes actually present before reserving the list.
+            if nchunks > bytes.len().saturating_sub(pos) / 8 {
+                return Err(Error::Corrupt("chunk size table truncated".into()));
+            }
+            // lint: claim-checked(nchunks bounded by remaining bytes above)
             let mut sizes = Vec::with_capacity(nchunks);
             for _ in 0..nchunks {
-                sizes.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize);
+                sizes.push(wire::len64(wire::le_u64(take(&mut pos, 8)?, 0)?));
             }
             metas.push(Meta {
                 name,
@@ -1204,8 +1231,10 @@ pub mod legacy {
             });
         }
 
+        // lint: claim-checked(ncols bounded by remaining bytes above)
         let mut columns = Vec::with_capacity(ncols);
         for m in metas {
+            // lint: claim-checked(each size table was bounded by real bytes when parsed)
             let mut chunks = Vec::with_capacity(m.sizes.len());
             for &sz in &m.sizes {
                 chunks.push(take(&mut pos, sz)?.to_vec());

@@ -10,6 +10,8 @@
 //! no joins, no updates — to "bypass the substantial engineering efforts
 //! needed to integrate compressors into an actual database system".
 
+#![forbid(unsafe_code)]
+
 pub mod bench3;
 pub mod container;
 pub mod dataframe;

@@ -24,6 +24,8 @@
 //! about several KB/s. Thus, NN-based compression methods are still not
 //! practical", §4.5). The `dzip` experiment in the harness measures that.
 
+#![forbid(unsafe_code)]
+
 use fcbench_core::{
     CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile,
     PrecisionSupport, Result,

@@ -255,8 +255,8 @@ pub struct BitReader<'a> {
 /// `buf`. In-bounds loads compile to a single unaligned word access.
 #[inline]
 fn load_be_u64(buf: &[u8], byte: usize) -> u64 {
-    match buf.get(byte..byte + 8) {
-        Some(s) => u64::from_be_bytes(s.try_into().expect("8 bytes")),
+    match buf.get(byte..).and_then(|t| t.first_chunk::<8>()) {
+        Some(w) => u64::from_be_bytes(*w),
         None => {
             let mut tmp = [0u8; 8];
             if byte < buf.len() {
@@ -390,8 +390,9 @@ pub mod reference {
         }
         *used -= 1;
         if bit {
-            let last = buf.last_mut().expect("buffer nonempty after push");
-            *last |= 1 << *used;
+            if let Some(last) = buf.last_mut() {
+                *last |= 1 << *used;
+            }
         }
     }
 
@@ -414,8 +415,9 @@ pub mod reference {
             let take = remaining.min(*used);
             let shift = remaining - take;
             let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
-            let last = buf.last_mut().expect("buffer nonempty");
-            *last |= chunk << (*used - take);
+            if let Some(last) = buf.last_mut() {
+                *last |= chunk << (*used - take);
+            }
             *used -= take;
             remaining -= take;
         }

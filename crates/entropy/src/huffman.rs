@@ -84,8 +84,9 @@ fn huffman_lengths_unbounded(freqs: &[u64]) -> Vec<u8> {
         .collect();
 
     while heap.len() > 1 {
-        let Reverse((fa, a)) = heap.pop().expect("heap nonempty");
-        let Reverse((fb, b)) = heap.pop().expect("heap has two");
+        let (Some(Reverse((fa, a))), Some(Reverse((fb, b)))) = (heap.pop(), heap.pop()) else {
+            break;
+        };
         let parent = nodes.len();
         nodes.push(Node {
             freq: fa + fb,

@@ -71,10 +71,13 @@ pub fn compress_with(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
         (MODE_LZ4_RAW, &l4),
         (MODE_LZ4_HUFF, &l4_huff),
     ];
-    let (mode, body) = candidates
-        .iter()
-        .min_by_key(|(_, b)| b.len())
-        .expect("four candidates");
+    let (mode, body) = candidates.iter().skip(1).fold(&candidates[0], |best, c| {
+        if c.1.len() < best.1.len() {
+            c
+        } else {
+            best
+        }
+    });
 
     let mut out = Vec::with_capacity(10 + body.len());
     out.push(MAGIC);

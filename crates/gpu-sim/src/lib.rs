@@ -16,6 +16,8 @@
 //! Device ceilings default to the paper's Quadro RTX 6000
 //! ([`config::GpuConfig::rtx6000`]).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod exec;
 pub mod transfer;

@@ -11,6 +11,8 @@
 //! Xeon Gold 6126 (CPU, integer-op axis) and Quadro RTX 6000 (GPU,
 //! FLOP axis).
 
+#![forbid(unsafe_code)]
+
 use fcbench_core::OpProfile;
 
 /// A named straight-line ceiling.

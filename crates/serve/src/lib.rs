@@ -57,6 +57,8 @@
 //! running.shutdown().unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod protocol;
 pub mod server;

@@ -161,7 +161,8 @@ pub fn encode_name(name: &str, out: &mut Vec<u8>) -> Result<()> {
 
 /// Read a u8-length-prefixed UTF-8 codec name.
 pub fn decode_name<R: Read>(src: &mut R) -> Result<String> {
-    let len = read_u8(src)? as usize;
+    let len = usize::from(read_u8(src)?);
+    // lint: claim-checked(len is u8-bounded, at most 255 bytes)
     let mut buf = vec![0u8; len];
     read_exact(src, &mut buf)?;
     String::from_utf8(buf).map_err(|_| Error::Corrupt("codec name is not UTF-8".into()))
@@ -206,10 +207,11 @@ pub fn decode_desc<R: Read>(src: &mut R) -> Result<DataDesc> {
         3 => Domain::Database,
         b => return Err(Error::Corrupt(format!("bad domain byte {b}"))),
     };
-    let ndims = read_u8(src)? as usize;
+    let ndims = usize::from(read_u8(src)?);
     if ndims == 0 {
         return Err(Error::Corrupt("descriptor has zero dimensions".into()));
     }
+    // lint: claim-checked(ndims is u8-bounded, at most 255 u64 slots)
     let mut dims = Vec::with_capacity(ndims);
     for _ in 0..ndims {
         let d = read_u64(src)?;
@@ -261,9 +263,11 @@ pub fn check_hello_body(body: &[u8]) -> Result<(u16, u64)> {
     if body.len() != 14 {
         return Err(Error::Corrupt("handshake reply has a wrong length".into()));
     }
-    let hello: &[u8; 6] = body[..6].try_into().expect("6 bytes");
+    let hello = body
+        .first_chunk::<6>()
+        .ok_or_else(|| Error::Corrupt("handshake reply has a wrong length".into()))?;
     let version = check_client_hello(hello)?;
-    let max = u64::from_le_bytes(body[6..].try_into().expect("8 bytes"));
+    let max = fcbench_core::wire::le_u64(body, 6)?;
     Ok((version, max))
 }
 
@@ -328,7 +332,7 @@ pub fn decode_error(code: u8, body: &[u8]) -> Error {
 fn decode_unknown_codec(body: &[u8]) -> Option<Error> {
     let mut src = body;
     let take_str = |src: &mut &[u8]| -> Option<String> {
-        let len = read_u16(src).ok()? as usize;
+        let len = usize::from(read_u16(src).ok()?);
         if src.len() < len {
             return None;
         }
@@ -338,7 +342,8 @@ fn decode_unknown_codec(body: &[u8]) -> Option<Error> {
         Some(s)
     };
     let requested = take_str(&mut src)?;
-    let count = read_u16(&mut src).ok()? as usize;
+    let count = usize::from(read_u16(&mut src).ok()?);
+    // lint: claim-checked(count is u16-bounded, at most 65535 entries)
     let mut available = Vec::with_capacity(count);
     for _ in 0..count {
         available.push(take_str(&mut src)?);
@@ -385,7 +390,8 @@ pub fn encode_listings(listings: &[CodecListing]) -> Result<Vec<u8>> {
 /// Decode a `LIST_CODECS` reply body.
 pub fn decode_listings(body: &[u8]) -> Result<Vec<CodecListing>> {
     let mut src = body;
-    let count = read_u16(&mut src)? as usize;
+    let count = usize::from(read_u16(&mut src)?);
+    // lint: claim-checked(count is u16-bounded, at most 65535 small rows)
     let mut listings = Vec::with_capacity(count);
     for _ in 0..count {
         let name = decode_name(&mut src)?;

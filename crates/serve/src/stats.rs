@@ -135,7 +135,8 @@ impl StatsSnapshot {
         let requests_failed = read_u64(&mut src)?;
         let connections_accepted = read_u64(&mut src)?;
         let connections_active = read_u64(&mut src)?;
-        let count = read_u16(&mut src)? as usize;
+        let count = usize::from(read_u16(&mut src)?);
+        // lint: claim-checked(count is u16-bounded, at most 65535 small rows)
         let mut per_codec = Vec::with_capacity(count);
         for _ in 0..count {
             let name = decode_name(&mut src)?;

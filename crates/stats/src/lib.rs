@@ -13,6 +13,8 @@
 //! - [`dist`] — the underlying special functions (log-gamma, regularized
 //!   incomplete gamma/beta, normal/χ²/F distributions).
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod friedman;
 pub mod mannwhitney;

@@ -36,6 +36,8 @@
 //! assert!(compressed.len() < data.bytes().len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use fcbench_codecs_cpu as cpu;
 pub use fcbench_codecs_gpu as gpu;
 pub use fcbench_core as core;
