@@ -30,6 +30,7 @@ const CLAIM_GATE_FILES: &[&str] = &[
     "crates/core/src/blocks.rs",
     "crates/serve/src/protocol.rs",
     "crates/dbsim/src/container.rs",
+    "crates/codecs-cpu/src/predictor.rs",
 ];
 
 /// Function-name prefixes that mark a function as decode-like.

@@ -6,7 +6,7 @@
 //! table and exits, sized for a CI smoke budget. `FCBENCH_QUICK_BENCH=1`
 //! shrinks the workload.
 
-use fcbench_bench::codecs::paper_registry;
+use fcbench_bench::codecs::full_registry;
 use fcbench_core::pool::{PoolConfig, WorkerPool};
 use fcbench_core::stream::{FrameReader, FrameWriter};
 use fcbench_datasets::{find, generate};
@@ -26,7 +26,7 @@ fn main() {
     let data = generate(&spec, elems);
     let raw_mb = data.bytes().len() as f64 / (1024.0 * 1024.0);
 
-    let registry = Arc::new(paper_registry());
+    let registry = Arc::new(full_registry());
     let pool = Arc::new(WorkerPool::new(PoolConfig::for_host()));
     let server = Server::bind(
         "127.0.0.1:0",
@@ -47,7 +47,7 @@ fn main() {
         "codec", "serve MB/s", "direct MB/s", "overhead"
     );
     let mut client = Client::connect(addr).expect("connect");
-    for name in ["gorilla", "chimp128", "bitshuffle-zstd"] {
+    for name in ["gorilla", "chimp128", "bitshuffle-zstd", "dfcm"] {
         let entry = registry.entry(name).expect("registered codec");
 
         // Serve path: compress + decompress over the wire.

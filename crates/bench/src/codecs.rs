@@ -12,7 +12,9 @@
 //! - **scalable** entries carry the thread-count factories behind the
 //!   Tables 7–8 scalability sweeps.
 
-use fcbench_codecs_cpu::{Backend, Bitshuffle, Buff, Chimp, Fpzip, Gorilla, Ndzip, Pfpc, Spdp};
+use fcbench_codecs_cpu::{
+    Backend, Bitshuffle, Buff, Chimp, Fpzip, Gorilla, Ndzip, Pfpc, Predictor, Spdp,
+};
 use fcbench_codecs_gpu::{Gfc, Mpc, NdzipGpu, NvBitcomp, NvLz4};
 use fcbench_core::{CodecRegistry, Compressor, RegistryEntry};
 
@@ -79,6 +81,26 @@ pub fn paper_registry() -> CodecRegistry {
         .with(RegistryEntry::new(NvLz4::new()).block_capable())
         .with(RegistryEntry::new(NvBitcomp::new()).block_capable())
         .with(NdzipGpu::new())
+}
+
+/// [`paper_registry`] plus the single-predictor codec family (last-value,
+/// last-stride, DFCM) appended after the paper's 14 rows.
+///
+/// The predictor rows are baseline attributions, not Table 1 methods, so
+/// experiments that reproduce a specific paper table keep using
+/// [`paper_registry`]; the throughput matrix, the container benches, and
+/// the serving loop use this registry. All three are serial per block but
+/// block-splittable, so they are block-capable and pool-dispatchable.
+pub fn full_registry() -> CodecRegistry {
+    let mut r = paper_registry();
+    for p in [
+        Predictor::last_value(),
+        Predictor::last_stride(),
+        Predictor::dfcm(),
+    ] {
+        r = r.with(RegistryEntry::new(p).block_capable().thread_scalable());
+    }
+    r
 }
 
 #[cfg(test)]
@@ -175,6 +197,35 @@ mod tests {
         let r = paper_registry();
         for name in r.names() {
             assert_eq!(r.get(name).unwrap().info().name, name);
+        }
+    }
+
+    #[test]
+    fn full_registry_appends_predictor_rows_after_paper_order() {
+        let full = full_registry();
+        let names = full.names();
+        assert_eq!(names.len(), 17);
+        assert_eq!(&names[..14], &paper_registry().names()[..]);
+        assert_eq!(&names[14..], &["last-value", "last-stride", "dfcm"]);
+        for name in ["last-value", "last-stride", "dfcm"] {
+            let e = full.entry(name).unwrap();
+            assert!(e.is_block_capable(), "{name}");
+            assert!(e.is_thread_scalable(), "{name}");
+        }
+    }
+
+    #[test]
+    fn predictor_rows_round_trip_the_benchmark_corpus() {
+        let full = full_registry();
+        for ds in crate::perf_json::CORPUS {
+            let spec = fcbench_datasets::find(ds).unwrap();
+            let data = fcbench_datasets::generate(&spec, 4096);
+            for name in ["last-value", "last-stride", "dfcm"] {
+                let codec = full.get(name).unwrap();
+                let c = codec.compress(&data).unwrap();
+                let back = codec.decompress(&c, data.desc()).unwrap();
+                assert_eq!(back.bytes(), data.bytes(), "{name} on {ds}");
+            }
         }
     }
 }

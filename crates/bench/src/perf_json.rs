@@ -10,7 +10,7 @@
 //! The JSON is hand-assembled: the workspace's `serde` is an offline
 //! no-op shim, and the schema is two levels deep.
 
-use crate::codecs::paper_registry;
+use crate::codecs::full_registry;
 use fcbench_core::pool::{PoolConfig, WorkerPool};
 use fcbench_core::FloatData;
 use fcbench_datasets::{find, generate};
@@ -45,7 +45,7 @@ fn rate_mb_s(raw_bytes: usize, reps: usize, mut f: impl FnMut()) -> f64 {
 /// paper's "-" cells) simply skip it; a codec that rejects the whole
 /// corpus is omitted from the snapshot.
 fn measure(elems: usize, reps: usize) -> Vec<CodecRates> {
-    let registry = paper_registry();
+    let registry = full_registry();
     let corpus: Vec<FloatData> = CORPUS
         .iter()
         .map(|name| generate(&find(name).expect("catalog dataset"), elems))
@@ -90,8 +90,9 @@ fn measure(elems: usize, reps: usize) -> Vec<CodecRates> {
 }
 
 /// Codecs measured through the FCDB2 container path: the database-side
-/// rows of the snapshot (a fast XOR codec and the recommended CPU stack).
-pub const CONTAINER_CODECS: [&str; 2] = ["gorilla", "bitshuffle-zstd"];
+/// rows of the snapshot (a fast XOR codec, the recommended CPU stack, and
+/// the hash-predictor baseline from the predictor family).
+pub const CONTAINER_CODECS: [&str; 3] = ["gorilla", "bitshuffle-zstd", "dfcm"];
 
 /// Container page size used for the snapshot, in elements.
 pub const CONTAINER_CHUNK_ELEMS: usize = 4096;
@@ -107,7 +108,7 @@ struct ContainerRates {
 /// path Table 11 times, as MB/s of raw column bytes.
 fn measure_container(elems: usize, reps: usize) -> Vec<ContainerRates> {
     use fcbench_dbsim::{read_container, write_container_pooled, ColumnData};
-    let registry = paper_registry();
+    let registry = full_registry();
     let pool = WorkerPool::new(PoolConfig::for_host());
     let data = generate(&find("tpcDS-store").expect("catalog dataset"), elems);
     let columns = vec![match data.desc().precision {
@@ -206,11 +207,20 @@ mod tests {
     fn snapshot_has_all_hot_codecs_and_valid_shape() {
         let rows = measure(512, 1);
         let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
-        for hot in ["gorilla", "chimp128", "fpzip", "pfpc", "buff"] {
+        for hot in [
+            "gorilla",
+            "chimp128",
+            "fpzip",
+            "pfpc",
+            "buff",
+            "last-value",
+            "last-stride",
+            "dfcm",
+        ] {
             assert!(names.contains(&hot), "{hot} missing from snapshot");
         }
         let container = measure_container(512, 1);
-        let json = render(6, 512, 1, &rows, &container);
+        let json = render(7, 512, 1, &rows, &container);
         // Minimal structural checks without a JSON parser: balanced
         // braces, schema line, one entry per codec.
         assert_eq!(

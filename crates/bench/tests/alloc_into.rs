@@ -9,7 +9,7 @@
 //! allocate inside the measured windows and fail the assertions spuriously.
 
 use fcbench_bench::alloc_track::{self, CountingAllocator};
-use fcbench_bench::codecs::paper_registry;
+use fcbench_bench::codecs::{full_registry, paper_registry};
 use fcbench_core::pool::{PoolConfig, WorkerPool};
 use fcbench_core::{Domain, FloatData, Precision};
 use fcbench_dbsim::{ChunkExec, ContainerWriter};
@@ -26,6 +26,8 @@ fn main() {
     println!("test runner_reuses_buffers_across_repetitions ... ok");
     warm_pool_submits_do_not_allocate_or_spawn();
     println!("test warm_pool_submits_do_not_allocate_or_spawn ... ok");
+    predictor_family_reserves_once_and_pools_cleanly();
+    println!("test predictor_family_reserves_once_and_pools_cleanly ... ok");
     streaming_container_writes_do_not_allocate_per_record();
     println!("test streaming_container_writes_do_not_allocate_per_record ... ok");
     streaming_container_writer_memory_stays_bounded();
@@ -207,6 +209,81 @@ fn warm_pool_submits_do_not_allocate_or_spawn() {
         "gorilla: two-worker warm pool submits must not allocate"
     );
     assert_eq!(pool.threads_spawned(), 2);
+}
+
+/// The predictor codec family holds the same allocation discipline as the
+/// bit-engine codecs: `compress_into` makes one worst-case reservation up
+/// front (header + codes + full-width residuals + tail), so a fresh buffer
+/// allocates exactly once, and warm-pool submits — DFCM's thread-local
+/// table scratch included — touch neither the allocator nor the spawner.
+fn predictor_family_reserves_once_and_pools_cleanly() {
+    alloc_track::mark_installed();
+    let registry = full_registry();
+    let data = telemetry(4096);
+    let pool = WorkerPool::new(PoolConfig::with_threads(1).queue_depth(2));
+
+    for name in ["last-value", "last-stride", "dfcm"] {
+        let codec = registry.get(name).expect("registered codec");
+
+        // Fresh-buffer discipline. Warm per-thread state (dfcm's table and
+        // touched-slot scratch) with a throwaway buffer first, so only the
+        // fresh output vector allocates below.
+        let mut warm = Vec::new();
+        codec.compress_into(&data, &mut warm).expect("compress");
+        let mut payload = Vec::new();
+        let (allocs, _) = alloc_track::count_allocations(|| {
+            std::hint::black_box(codec.compress_into(&data, &mut payload).expect("compress"));
+        });
+        assert_eq!(
+            allocs, 1,
+            "{name}: a fresh-buffer compress_into must allocate exactly once \
+             (the worst-case reserve)"
+        );
+
+        // Warm-pool discipline: steady-state submits are allocation- and
+        // spawn-free in both directions.
+        let mut out = FloatData::scratch();
+        for _ in 0..3 {
+            let n = pool
+                .run_compress(&codec, &data, &mut payload)
+                .expect("compress");
+            pool.run_decompress(&codec, &payload[..n], data.desc(), &mut out)
+                .expect("decompress");
+        }
+        assert_eq!(out.bytes(), data.bytes(), "{name}: warm-up round trip");
+        let spawned_before = pool.threads_spawned();
+
+        let (compress_allocs, _) = alloc_track::count_allocations(|| {
+            for _ in 0..10 {
+                std::hint::black_box(
+                    pool.run_compress(&codec, &data, &mut payload)
+                        .expect("compress"),
+                );
+            }
+        });
+        assert_eq!(
+            compress_allocs, 0,
+            "{name}: steady-state pool compress submits must not allocate"
+        );
+
+        let n = payload.len();
+        let (decompress_allocs, _) = alloc_track::count_allocations(|| {
+            for _ in 0..10 {
+                pool.run_decompress(&codec, &payload[..n], data.desc(), &mut out)
+                    .expect("decompress");
+            }
+        });
+        assert_eq!(
+            decompress_allocs, 0,
+            "{name}: steady-state pool decompress submits must not allocate"
+        );
+        assert_eq!(out.bytes(), data.bytes(), "{name}: still bit-exact");
+        assert_eq!(
+            pool.threads_spawned(),
+            spawned_before,
+            "{name}: submits must never spawn threads"
+        );
+    }
 }
 
 /// The FCDB2 streaming-writer guarantee: a warm inline container write

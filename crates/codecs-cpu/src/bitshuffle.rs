@@ -81,62 +81,219 @@ impl Bitshuffle {
     }
 }
 
+/// The bit-granular transpose this module's blocked kernel replaced.
+///
+/// Retained verbatim so differential tests can prove the word-level
+/// transpose produces byte-identical planes — the PR-5 discipline. Not
+/// used on any production path.
+pub mod reference {
+    /// Transpose the bits of `elems` elements of `elem_bits` bits each,
+    /// one bit per loop iteration.
+    pub fn bit_transpose(data: &[u8], elems: usize, elem_bits: usize) -> Vec<u8> {
+        debug_assert_eq!(data.len(), elems * elem_bits / 8);
+        debug_assert_eq!(elems % 8, 0);
+        let mut out = vec![0u8; data.len()];
+        for e in 0..elems {
+            let base_bit = e * elem_bits;
+            for b in 0..elem_bits {
+                let in_bit = base_bit + b;
+                let byte = data[in_bit / 8];
+                let bit = (byte >> (in_bit % 8)) & 1;
+                if bit != 0 {
+                    // Lane b collects bit b of every element.
+                    let out_bit = b * elems + e;
+                    out[out_bit / 8] |= 1 << (out_bit % 8);
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`bit_transpose`], one bit per loop iteration.
+    pub fn bit_untranspose(data: &[u8], elems: usize, elem_bits: usize) -> Vec<u8> {
+        debug_assert_eq!(data.len(), elems * elem_bits / 8);
+        debug_assert_eq!(elems % 8, 0);
+        let mut out = vec![0u8; data.len()];
+        for e in 0..elems {
+            let base_bit = e * elem_bits;
+            for b in 0..elem_bits {
+                let in_bit = b * elems + e;
+                let byte = data[in_bit / 8];
+                let bit = (byte >> (in_bit % 8)) & 1;
+                if bit != 0 {
+                    let out_bit = base_bit + b;
+                    out[out_bit / 8] |= 1 << (out_bit % 8);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// 8x8 bit-matrix transpose of a u64 (byte = row, LSB-first bit = column),
+/// via three delta-swap rounds (Hacker's Delight §7-3). Branch-free; an
+/// involution.
+#[inline]
+fn transpose8(x: u64) -> u64 {
+    let t = (x ^ (x >> 7)) & 0x00AA_00AA_00AA_00AA;
+    let x = x ^ t ^ (t << 7);
+    let t = (x ^ (x >> 14)) & 0x0000_CCCC_0000_CCCC;
+    let x = x ^ t ^ (t << 14);
+    let t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
+    x ^ t ^ (t << 28)
+}
+
 /// Transpose the bits of `elems` elements of `elem_bits` bits each.
 /// `data.len()` must equal `elems * elem_bits / 8`; `elems` must be a
 /// multiple of 8 so every output lane is whole bytes.
+///
+/// Blocked kernel: each group of 8 elements is processed one element-byte
+/// column at a time — gather 8 bytes into a u64, [`transpose8`] it, and
+/// scatter the 8 result bytes into 8 consecutive bit-lane planes. Eight
+/// bits move per load/store instead of one, and the inner loops are
+/// branch-free gather/transpose/scatter the compiler can vectorize.
+/// Byte-identical to [`reference::bit_transpose`].
 pub fn bit_transpose(data: &[u8], elems: usize, elem_bits: usize) -> Vec<u8> {
-    debug_assert_eq!(data.len(), elems * elem_bits / 8);
-    debug_assert_eq!(elems % 8, 0);
-    let mut out = vec![0u8; data.len()];
-    for e in 0..elems {
-        let base_bit = e * elem_bits;
-        for b in 0..elem_bits {
-            let in_bit = base_bit + b;
-            let byte = data[in_bit / 8];
-            let bit = (byte >> (in_bit % 8)) & 1;
-            if bit != 0 {
-                // Lane b collects bit b of every element.
-                let out_bit = b * elems + e;
-                out[out_bit / 8] |= 1 << (out_bit % 8);
-            }
-        }
-    }
+    let mut out = Vec::new();
+    bit_transpose_into(data, elems, elem_bits, &mut out);
     out
 }
 
-/// Inverse of [`bit_transpose`].
-pub fn bit_untranspose(data: &[u8], elems: usize, elem_bits: usize) -> Vec<u8> {
+/// [`bit_transpose`] into a caller-owned buffer (contents replaced,
+/// capacity reused).
+pub fn bit_transpose_into(data: &[u8], elems: usize, elem_bits: usize, out: &mut Vec<u8>) {
     debug_assert_eq!(data.len(), elems * elem_bits / 8);
     debug_assert_eq!(elems % 8, 0);
-    let mut out = vec![0u8; data.len()];
-    for e in 0..elems {
-        let base_bit = e * elem_bits;
-        for b in 0..elem_bits {
-            let in_bit = b * elems + e;
-            let byte = data[in_bit / 8];
-            let bit = (byte >> (in_bit % 8)) & 1;
-            if bit != 0 {
-                let out_bit = base_bit + b;
-                out[out_bit / 8] |= 1 << (out_bit % 8);
+    let elem_size = elem_bits / 8;
+    let groups = elems / 8;
+    out.clear();
+    out.resize(data.len(), 0);
+    match elem_size {
+        8 => {
+            for (g, grp) in data.chunks_exact(64).enumerate() {
+                let mut rows = [0u64; 8];
+                for (j, r) in grp.chunks_exact(8).enumerate() {
+                    rows[j] = u64::from_le_bytes(r.try_into().unwrap());
+                }
+                let cols = byte_transpose8x8(rows);
+                for (k, &x) in cols.iter().enumerate() {
+                    let yb = transpose8(x).to_le_bytes();
+                    for (t, &b) in yb.iter().enumerate() {
+                        out[(8 * k + t) * groups + g] = b;
+                    }
+                }
+            }
+        }
+        4 => {
+            for (g, grp) in data.chunks_exact(32).enumerate() {
+                let grp: &[u8; 32] = grp.try_into().unwrap();
+                for k in 0..4 {
+                    let x = u64::from_le_bytes([
+                        grp[k],
+                        grp[4 + k],
+                        grp[8 + k],
+                        grp[12 + k],
+                        grp[16 + k],
+                        grp[20 + k],
+                        grp[24 + k],
+                        grp[28 + k],
+                    ]);
+                    let yb = transpose8(x).to_le_bytes();
+                    for (t, &b) in yb.iter().enumerate() {
+                        out[(8 * k + t) * groups + g] = b;
+                    }
+                }
+            }
+        }
+        _ => {
+            for (g, grp) in data.chunks_exact(8 * elem_size).enumerate() {
+                for k in 0..elem_size {
+                    let mut x = 0u64;
+                    for j in 0..8 {
+                        x |= (grp[j * elem_size + k] as u64) << (8 * j);
+                    }
+                    let yb = transpose8(x).to_le_bytes();
+                    for (t, &b) in yb.iter().enumerate() {
+                        out[(8 * k + t) * groups + g] = b;
+                    }
+                }
             }
         }
     }
+}
+
+/// Inverse of [`bit_transpose`]. Byte-identical to
+/// [`reference::bit_untranspose`].
+pub fn bit_untranspose(data: &[u8], elems: usize, elem_bits: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    bit_untranspose_into(data, elems, elem_bits, &mut out);
     out
+}
+
+/// [`bit_untranspose`] into a caller-owned buffer (contents replaced,
+/// capacity reused). Same blocked kernel as the forward direction with
+/// gather and scatter swapped ([`transpose8`] is an involution).
+pub fn bit_untranspose_into(data: &[u8], elems: usize, elem_bits: usize, out: &mut Vec<u8>) {
+    debug_assert_eq!(data.len(), elems * elem_bits / 8);
+    debug_assert_eq!(elems % 8, 0);
+    let elem_size = elem_bits / 8;
+    let groups = elems / 8;
+    out.clear();
+    out.resize(data.len(), 0);
+    for g in 0..groups {
+        let base = g * 8 * elem_size;
+        for k in 0..elem_size {
+            let mut y = 0u64;
+            for t in 0..8 {
+                y |= (data[(8 * k + t) * groups + g] as u64) << (8 * t);
+            }
+            let xb = transpose8(y).to_le_bytes();
+            for (j, &b) in xb.iter().enumerate() {
+                out[base + j * elem_size + k] = b;
+            }
+        }
+    }
+}
+
+/// Transpose an 8x8 byte matrix held in 8 u64 rows (LE byte = column)
+/// with three rounds of block swaps — 24 word ops instead of 64 byte
+/// moves. `result[k]` holds byte `k` of every input row.
+#[inline]
+fn byte_transpose8x8(w: [u64; 8]) -> [u64; 8] {
+    let mut m = w;
+    // 4x4 byte blocks.
+    for i in 0..4 {
+        let (a, b) = (m[i], m[i + 4]);
+        m[i] = (a & 0x0000_0000_FFFF_FFFF) | (b << 32);
+        m[i + 4] = (a >> 32) | (b & 0xFFFF_FFFF_0000_0000);
+    }
+    // 2x2 byte blocks.
+    for i in [0usize, 1, 4, 5] {
+        let (a, b) = (m[i], m[i + 2]);
+        m[i] = (a & 0x0000_FFFF_0000_FFFF) | ((b & 0x0000_FFFF_0000_FFFF) << 16);
+        m[i + 2] = ((a >> 16) & 0x0000_FFFF_0000_FFFF) | (b & 0xFFFF_0000_FFFF_0000);
+    }
+    // Single bytes.
+    for i in [0usize, 2, 4, 6] {
+        let (a, b) = (m[i], m[i + 1]);
+        m[i] = (a & 0x00FF_00FF_00FF_00FF) | ((b & 0x00FF_00FF_00FF_00FF) << 8);
+        m[i + 1] = ((a >> 8) & 0x00FF_00FF_00FF_00FF) | (b & 0xFF00_FF00_FF00_FF00);
+    }
+    m
 }
 
 /// Shuffle one block: whole groups of 8 elements are bit-transposed; a
 /// ragged tail is passed through unchanged (as the reference does).
-fn shuffle_block(block: &[u8], elem_size: usize) -> Vec<u8> {
+fn shuffle_block_into(block: &[u8], elem_size: usize, out: &mut Vec<u8>) {
     let group = 8 * elem_size; // bytes per 8-element transpose unit
     let whole = block.len() / group * group;
     let elems = whole / elem_size;
-    let mut out = if elems > 0 {
-        bit_transpose(&block[..whole], elems, elem_size * 8)
+    if elems > 0 {
+        bit_transpose_into(&block[..whole], elems, elem_size * 8, out);
     } else {
-        Vec::new()
-    };
+        out.clear();
+    }
     out.extend_from_slice(&block[whole..]);
-    out
 }
 
 fn unshuffle_block(block: &[u8], elem_size: usize) -> Vec<u8> {
@@ -152,27 +309,37 @@ fn unshuffle_block(block: &[u8], elem_size: usize) -> Vec<u8> {
     out
 }
 
+// Per-thread staging buffer for the shuffled block: a scoped worker
+// compresses many blocks, so the transpose target is allocated once per
+// thread rather than once per block.
+thread_local! {
+    static SHUFFLE_SCRATCH: std::cell::RefCell<Vec<u8>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 fn compress_one(block: &[u8], elem_size: usize, backend: Backend) -> Vec<u8> {
-    let shuffled = shuffle_block(block, elem_size);
-    let body = match backend {
-        Backend::Lz4 => lz4::compress(&shuffled),
-        Backend::Zzip => {
-            // Blocks are <= 64 KB: a 64 KB window with deep chains gives
-            // 2-byte offsets (as tight as LZ4) plus the entropy stage —
-            // the slower-but-stronger profile of real zstd.
-            zzip::compress_with(
-                &shuffled,
-                Lz77Config {
-                    window: 1 << 16,
-                    chain_depth: 128,
-                },
-            )
-        }
-    };
-    let mut out = Vec::with_capacity(4 + body.len());
-    push_u32(&mut out, block.len() as u32);
-    out.extend_from_slice(&body);
-    out
+    SHUFFLE_SCRATCH.with_borrow_mut(|shuffled| {
+        shuffle_block_into(block, elem_size, shuffled);
+        let body = match backend {
+            Backend::Lz4 => lz4::compress(shuffled),
+            Backend::Zzip => {
+                // Blocks are <= 64 KB: a 64 KB window with deep chains gives
+                // 2-byte offsets (as tight as LZ4) plus the entropy stage —
+                // the slower-but-stronger profile of real zstd.
+                zzip::compress_with(
+                    shuffled,
+                    Lz77Config {
+                        window: 1 << 16,
+                        chain_depth: 128,
+                    },
+                )
+            }
+        };
+        let mut out = Vec::with_capacity(4 + body.len());
+        push_u32(&mut out, block.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    })
 }
 
 fn decompress_one(payload: &[u8], elem_size: usize, backend: Backend) -> Result<Vec<u8>> {
@@ -218,23 +385,31 @@ impl Compressor for Bitshuffle {
         let blocks: Vec<&[u8]> = bytes.chunks(self.block_bytes).collect();
         let mut payloads: Vec<Vec<u8>> = vec![Vec::new(); blocks.len()];
 
-        // Distribute blocks round-robin over `threads` workers.
+        // Distribute blocks round-robin over `threads` workers. A single
+        // worker runs inline: the per-block payloads don't depend on the
+        // worker count, and a spawn costs more than a small input.
         let nworkers = self.threads.min(blocks.len()).max(1);
-        std::thread::scope(|s| {
-            // Split payload slots into per-worker strided views via chunks:
-            // simplest safe partition is contiguous ranges.
-            let per = payloads.len().div_ceil(nworkers);
-            for (wi, slot_chunk) in payloads.chunks_mut(per).enumerate() {
-                let start = wi * per;
-                let blocks = &blocks;
-                let backend = self.backend;
-                s.spawn(move || {
-                    for (k, slot) in slot_chunk.iter_mut().enumerate() {
-                        *slot = compress_one(blocks[start + k], elem_size, backend);
-                    }
-                });
+        if nworkers == 1 {
+            for (slot, block) in payloads.iter_mut().zip(&blocks) {
+                *slot = compress_one(block, elem_size, self.backend);
             }
-        });
+        } else {
+            std::thread::scope(|s| {
+                // Split payload slots into per-worker strided views via chunks:
+                // simplest safe partition is contiguous ranges.
+                let per = payloads.len().div_ceil(nworkers);
+                for (wi, slot_chunk) in payloads.chunks_mut(per).enumerate() {
+                    let start = wi * per;
+                    let blocks = &blocks;
+                    let backend = self.backend;
+                    s.spawn(move || {
+                        for (k, slot) in slot_chunk.iter_mut().enumerate() {
+                            *slot = compress_one(blocks[start + k], elem_size, backend);
+                        }
+                    });
+                }
+            });
+        }
 
         let total: usize = payloads.iter().map(|p| p.len()).sum();
         out.clear();
@@ -285,19 +460,25 @@ impl Compressor for Bitshuffle {
         let mut results: Vec<Result<Vec<u8>>> = Vec::with_capacity(nblocks);
         results.resize_with(nblocks, || Ok(Vec::new()));
         let nworkers = self.threads.min(nblocks).max(1);
-        let per = results.len().div_ceil(nworkers).max(1);
-        std::thread::scope(|s| {
-            for (wi, slot_chunk) in results.chunks_mut(per).enumerate() {
-                let start = wi * per;
-                let slices = &slices;
-                let backend = self.backend;
-                s.spawn(move || {
-                    for (k, slot) in slot_chunk.iter_mut().enumerate() {
-                        *slot = decompress_one(slices[start + k], elem_size, backend);
-                    }
-                });
+        if nworkers <= 1 {
+            for (slot, slice) in results.iter_mut().zip(&slices) {
+                *slot = decompress_one(slice, elem_size, self.backend);
             }
-        });
+        } else {
+            let per = results.len().div_ceil(nworkers).max(1);
+            std::thread::scope(|s| {
+                for (wi, slot_chunk) in results.chunks_mut(per).enumerate() {
+                    let start = wi * per;
+                    let slices = &slices;
+                    let backend = self.backend;
+                    s.spawn(move || {
+                        for (k, slot) in slot_chunk.iter_mut().enumerate() {
+                            *slot = decompress_one(slices[start + k], elem_size, backend);
+                        }
+                    });
+                }
+            });
+        }
 
         out.refill(desc, |bytes| {
             bytes.reserve(desc.byte_len());
@@ -341,6 +522,85 @@ mod tests {
                 let t = bit_transpose(&data, elems, elem_bits);
                 let back = bit_untranspose(&t, elems, elem_bits);
                 assert_eq!(back, data, "elems {elems} bits {elem_bits}");
+            }
+        }
+    }
+
+    // ---- differential tests against the retained bit-granular reference ----
+
+    fn xorshift_bytes(n: usize, mut x: u32) -> Vec<u8> {
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 16) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transpose_matches_reference_exhaustive_small() {
+        // Every group count through several cache-block shapes, every
+        // supported element width (f32, f64, plus the generic-path widths
+        // 16 and 24 bits).
+        for groups in 1..=24usize {
+            let elems = groups * 8;
+            for elem_bits in [16usize, 24, 32, 64] {
+                let n = elems * elem_bits / 8;
+                let data = xorshift_bytes(n, (groups * 31 + elem_bits) as u32 | 1);
+                let fast = bit_transpose(&data, elems, elem_bits);
+                let slow = reference::bit_transpose(&data, elems, elem_bits);
+                assert_eq!(fast, slow, "transpose {elems} x {elem_bits}");
+                let back_fast = bit_untranspose(&fast, elems, elem_bits);
+                let back_slow = reference::bit_untranspose(&fast, elems, elem_bits);
+                assert_eq!(back_fast, back_slow, "untranspose {elems} x {elem_bits}");
+                assert_eq!(back_fast, data);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_matches_reference_large_random() {
+        for (elems, elem_bits, seed) in [
+            (8192usize, 32usize, 7u32),
+            (4096, 64, 11),
+            (1000 * 8, 64, 13),
+        ] {
+            let n = elems * elem_bits / 8;
+            let data = xorshift_bytes(n, seed);
+            assert_eq!(
+                bit_transpose(&data, elems, elem_bits),
+                reference::bit_transpose(&data, elems, elem_bits)
+            );
+            let t = bit_transpose(&data, elems, elem_bits);
+            assert_eq!(
+                bit_untranspose(&t, elems, elem_bits),
+                reference::bit_untranspose(&t, elems, elem_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn transpose_single_bit_probes_match_reference() {
+        // One set bit at every position of a small buffer: catches any
+        // single misrouted bit in the blocked gather/scatter mapping.
+        let elems = 16usize;
+        for elem_bits in [32usize, 64] {
+            let n = elems * elem_bits / 8;
+            for bit in 0..n * 8 {
+                let mut data = vec![0u8; n];
+                data[bit / 8] = 1 << (bit % 8);
+                assert_eq!(
+                    bit_transpose(&data, elems, elem_bits),
+                    reference::bit_transpose(&data, elems, elem_bits),
+                    "probe bit {bit} at {elem_bits}"
+                );
+                assert_eq!(
+                    bit_untranspose(&data, elems, elem_bits),
+                    reference::bit_untranspose(&data, elems, elem_bits),
+                    "inverse probe bit {bit} at {elem_bits}"
+                );
             }
         }
     }

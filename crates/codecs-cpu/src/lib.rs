@@ -28,6 +28,7 @@ pub mod gorilla;
 pub mod gorilla_ts;
 pub mod ndzip;
 pub mod pfpc;
+pub mod predictor;
 pub mod spdp;
 
 pub use bitshuffle::{Backend, Bitshuffle};
@@ -38,4 +39,5 @@ pub use gorilla::Gorilla;
 pub use gorilla_ts::{compress_timestamps, decompress_timestamps};
 pub use ndzip::Ndzip;
 pub use pfpc::Pfpc;
+pub use predictor::{Predictor, PredictorKind};
 pub use spdp::Spdp;

@@ -18,7 +18,7 @@
 //!
 //! Payload: `u32 ncubes | per-cube u32 size | cube streams | border bytes`.
 
-use crate::bitshuffle::{bit_transpose, bit_untranspose};
+use crate::bitshuffle::{bit_transpose_into, bit_untranspose_into};
 use crate::common::{effective_dims, push_u32, read_u32};
 use fcbench_core::{
     CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
@@ -27,6 +27,11 @@ use fcbench_core::{
 
 /// Elements per hypercube.
 pub const CUBE_ELEMS: usize = 4096;
+
+/// Below this many elements compression runs its cubes inline on the
+/// calling thread — the emitted streams are identical either way, and at
+/// benchmark block sizes the per-call spawn cost dwarfs the cube work.
+const PARALLEL_WORDS: usize = 1 << 16;
 
 /// The ndzip CPU codec.
 #[derive(Debug, Clone)]
@@ -152,27 +157,32 @@ pub fn lorenzo_inverse(words: &mut [u64], sides: &[usize], bits: u32) {
 pub fn encode_cube(words: &[u64], elem_bits: usize, out: &mut Vec<u8>) {
     let chunk = elem_bits; // 32 words of 32 bits, or 64 words of 64 bits
     let esize = elem_bits / 8;
+    // Chunk staging buffers are hoisted out of the loop (a cube runs 64–128
+    // chunks) and nonzero words stream straight into `out`, the bitmap
+    // patched in place once the chunk's zero scan is done.
+    let mut raw = Vec::with_capacity(chunk * esize);
+    let mut t = Vec::new();
     for words_chunk in words.chunks(chunk) {
         if words_chunk.len() == chunk {
             // Serialize chunk to bytes, transpose, scan for zero words.
-            let mut raw = Vec::with_capacity(chunk * esize);
+            raw.clear();
             for &w in words_chunk {
                 raw.extend_from_slice(&w.to_le_bytes()[..esize]);
             }
-            let t = bit_transpose(&raw, chunk, elem_bits);
+            bit_transpose_into(&raw, chunk, elem_bits, &mut t);
             // The transposed data is `elem_bits` words of `chunk` bits each;
             // word w is bytes [w*esize, (w+1)*esize) since chunk == elem_bits.
-            let mut bitmap = vec![0u8; esize];
-            let mut nonzero = Vec::with_capacity(t.len());
+            let mut bitmap = [0u8; 8];
+            let bitmap_pos = out.len();
+            out.extend_from_slice(&bitmap[..esize]);
             for w in 0..elem_bits {
                 let slice = &t[w * esize..(w + 1) * esize];
                 if slice.iter().any(|&b| b != 0) {
                     bitmap[w / 8] |= 1 << (w % 8);
-                    nonzero.extend_from_slice(slice);
+                    out.extend_from_slice(slice);
                 }
             }
-            out.extend_from_slice(&bitmap);
-            out.extend_from_slice(&nonzero);
+            out[bitmap_pos..bitmap_pos + esize].copy_from_slice(&bitmap[..esize]);
         } else {
             // Ragged tail inside a border cube: store verbatim.
             for &w in words_chunk {
@@ -192,6 +202,8 @@ pub fn decode_cube(
     let chunk = elem_bits;
     let esize = elem_bits / 8;
     let mut words = Vec::with_capacity(count);
+    let mut t = Vec::new();
+    let mut raw = Vec::new();
     let mut remaining = count;
     while remaining > 0 {
         if remaining >= chunk {
@@ -204,7 +216,8 @@ pub fn decode_cube(
                 .get(*pos..*pos + nset * esize)
                 .ok_or_else(|| Error::Corrupt("ndzip: nonzero words truncated".into()))?;
             *pos += nset * esize;
-            let mut t = vec![0u8; chunk * esize];
+            t.clear();
+            t.resize(chunk * esize, 0);
             let mut taken = 0usize;
             for w in 0..elem_bits {
                 if bitmap[w / 8] & (1 << (w % 8)) != 0 {
@@ -213,7 +226,7 @@ pub fn decode_cube(
                     taken += 1;
                 }
             }
-            let raw = bit_untranspose(&t, chunk, elem_bits);
+            bit_untranspose_into(&t, chunk, elem_bits, &mut raw);
             for c in raw.chunks_exact(esize) {
                 let mut le = [0u8; 8];
                 le[..esize].copy_from_slice(c);
@@ -332,24 +345,38 @@ impl Compressor for Ndzip {
 
         let mut streams: Vec<Vec<u8>> = vec![Vec::new(); plan.cube_indices.len()];
         let nworkers = self.threads.min(streams.len()).max(1);
-        let per = streams.len().div_ceil(nworkers).max(1);
-        std::thread::scope(|s| {
-            for (wi, chunk) in streams.chunks_mut(per).enumerate() {
-                let start = wi * per;
-                let plan = &plan;
-                let words = &words;
-                s.spawn(move || {
-                    for (k, slot) in chunk.iter_mut().enumerate() {
-                        let idxs = &plan.cube_indices[start + k];
-                        let mut cube: Vec<u64> = idxs.iter().map(|&i| words[i]).collect();
-                        lorenzo_forward(&mut cube, &plan.sides, elem_bits as u32);
-                        let mut out = Vec::with_capacity(cube.len() * esize);
-                        encode_cube(&cube, elem_bits, &mut out);
-                        *slot = out;
-                    }
-                });
+        if words.len() < PARALLEL_WORDS || nworkers == 1 {
+            // Inline: at benchmark block sizes the per-call spawn cost
+            // dwarfs the cube work. The cube buffer is reused across cubes;
+            // the emitted streams are identical to the threaded path's.
+            let mut cube: Vec<u64> = Vec::new();
+            for (slot, idxs) in streams.iter_mut().zip(plan.cube_indices.iter()) {
+                cube.clear();
+                cube.extend(idxs.iter().map(|&i| words[i]));
+                lorenzo_forward(&mut cube, &plan.sides, elem_bits as u32);
+                slot.reserve(cube.len() * esize);
+                encode_cube(&cube, elem_bits, slot);
             }
-        });
+        } else {
+            let per = streams.len().div_ceil(nworkers).max(1);
+            std::thread::scope(|s| {
+                for (wi, chunk) in streams.chunks_mut(per).enumerate() {
+                    let start = wi * per;
+                    let plan = &plan;
+                    let words = &words;
+                    s.spawn(move || {
+                        for (k, slot) in chunk.iter_mut().enumerate() {
+                            let idxs = &plan.cube_indices[start + k];
+                            let mut cube: Vec<u64> = idxs.iter().map(|&i| words[i]).collect();
+                            lorenzo_forward(&mut cube, &plan.sides, elem_bits as u32);
+                            let mut out = Vec::with_capacity(cube.len() * esize);
+                            encode_cube(&cube, elem_bits, &mut out);
+                            *slot = out;
+                        }
+                    });
+                }
+            });
+        }
 
         out.clear();
         push_u32(out, streams.len() as u32);

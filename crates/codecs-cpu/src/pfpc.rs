@@ -20,6 +20,13 @@ use fcbench_core::{
     CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
     PrecisionSupport, Result,
 };
+use std::cell::RefCell;
+
+/// Below this many words both directions run their chunks inline on the
+/// calling thread: the chunk layout (and therefore the stream) is
+/// identical either way, and at benchmark block sizes the per-call spawn
+/// cost would dwarf the predictor work itself.
+const PARALLEL_WORDS: usize = 1 << 16;
 
 /// Log2 of the predictor hash-table sizes.
 const TABLE_LOG: u32 = 16;
@@ -64,89 +71,120 @@ impl Pfpc {
     }
 }
 
-struct Predictors {
+/// Reusable FCM/DFCM tables. A chunk touches at most `chunk_len` slots of
+/// each 512 KB table, so zeroing the whole pair per chunk (the original
+/// `vec![0; TABLE_SIZE]` allocation) costs more than the predictor work at
+/// benchmark chunk sizes. Instead the tables live in thread-local scratch
+/// with an all-zero invariant: every slot written during a chunk is
+/// recorded and re-zeroed afterwards — including on corrupt-stream error
+/// paths, so a failed decode cannot poison the next call's predictions.
+struct PredictorScratch {
     fcm: Vec<u64>,
     dfcm: Vec<u64>,
-    fcm_hash: usize,
-    dfcm_hash: usize,
-    last: u64,
+    touched_fcm: Vec<u32>,
+    touched_dfcm: Vec<u32>,
 }
 
-impl Predictors {
-    fn new() -> Self {
-        Predictors {
-            fcm: vec![0; TABLE_SIZE],
-            dfcm: vec![0; TABLE_SIZE],
-            fcm_hash: 0,
-            dfcm_hash: 0,
-            last: 0,
+impl PredictorScratch {
+    const fn new() -> Self {
+        PredictorScratch {
+            fcm: Vec::new(),
+            dfcm: Vec::new(),
+            touched_fcm: Vec::new(),
+            touched_dfcm: Vec::new(),
         }
     }
 
-    /// Current predictions (FCM, DFCM).
-    #[inline]
-    fn predict(&self) -> (u64, u64) {
-        (
-            self.fcm[self.fcm_hash],
-            self.dfcm[self.dfcm_hash].wrapping_add(self.last),
-        )
+    fn ensure(&mut self) {
+        if self.fcm.is_empty() {
+            self.fcm.resize(TABLE_SIZE, 0);
+            self.dfcm.resize(TABLE_SIZE, 0);
+        }
     }
 
-    /// Update tables and hashes with the true value.
-    #[inline]
-    fn update(&mut self, val: u64) {
-        self.fcm[self.fcm_hash] = val;
-        self.fcm_hash = ((self.fcm_hash << 6) ^ (val >> 48) as usize) & (TABLE_SIZE - 1);
-        let delta = val.wrapping_sub(self.last);
-        self.dfcm[self.dfcm_hash] = delta;
-        self.dfcm_hash = ((self.dfcm_hash << 2) ^ (delta >> 40) as usize) & (TABLE_SIZE - 1);
-        self.last = val;
+    /// Restore the all-zero invariant by clearing exactly the slots the
+    /// finished chunk wrote.
+    fn reset(&mut self) {
+        for &s in &self.touched_fcm {
+            self.fcm[s as usize] = 0;
+        }
+        for &s in &self.touched_dfcm {
+            self.dfcm[s as usize] = 0;
+        }
+        self.touched_fcm.clear();
+        self.touched_dfcm.clear();
     }
 }
 
-/// Compress one chunk of words with private predictor state.
-fn compress_chunk(words: &[u64]) -> Vec<u8> {
-    let mut p = Predictors::new();
-    let mut codes = Vec::with_capacity(words.len() / 2 + 1);
-    let mut residuals = Vec::with_capacity(words.len() * 4);
+thread_local! {
+    static PFPC_SCRATCH: RefCell<PredictorScratch> = const { RefCell::new(PredictorScratch::new()) };
+}
 
-    let mut nibbles: Vec<(u32, u64)> = Vec::with_capacity(2);
-    for &val in words {
-        let (f, d) = p.predict();
-        let xf = val ^ f;
-        let xd = val ^ d;
-        let (sel, xor) = if xf <= xd { (0u32, xf) } else { (1u32, xd) };
-        let lzb = (xor.leading_zeros() / 8).min(8);
-        // The code table may claim fewer leading zero bytes than actual
-        // (4 -> 3); residual bytes are emitted per the *code*.
-        let code = lzb_to_code(lzb);
-        nibbles.push(((sel << 3) | code, xor));
-        if nibbles.len() == 2 {
-            codes.push(((nibbles[0].0 << 4) | nibbles[1].0) as u8);
-            for &(nib, x) in &nibbles {
-                let eb = 8 - LZB_TABLE[(nib & 7) as usize];
-                residuals.extend_from_slice(&x.to_le_bytes()[..eb as usize]);
+/// Compress one chunk of words (given as raw little-endian bytes, length a
+/// multiple of 8) with private predictor state, appending the chunk
+/// payload to `out`. Byte-identical to the original per-word
+/// implementation: same predictions, same nibble packing, same residual
+/// order — but the code region is written in place (its size is known up
+/// front) and each residual is one bulk 8-byte store truncated to the
+/// width its code claims.
+fn compress_chunk_into(bytes: &[u8], out: &mut Vec<u8>) {
+    let count = bytes.len() / 8;
+    let ncodes = count.div_ceil(2);
+    let base = out.len();
+    push_u32(out, ncodes as u32);
+    push_u32(out, 0); // residual byte count, patched below
+    let code_base = out.len();
+    out.resize(code_base + ncodes, 0);
+    out.reserve(count * 4);
+
+    PFPC_SCRATCH.with_borrow_mut(|scr| {
+        scr.ensure();
+        let mut fcm_hash = 0usize;
+        let mut dfcm_hash = 0usize;
+        let mut last = 0u64;
+        for (i, w) in bytes.chunks_exact(8).enumerate() {
+            let val = u64::from_le_bytes(w.try_into().expect("8 bytes"));
+            let xf = val ^ scr.fcm[fcm_hash];
+            let xd = val ^ scr.dfcm[dfcm_hash].wrapping_add(last);
+            let (sel, xor) = if xf <= xd { (0u32, xf) } else { (1u32, xd) };
+            let lzb = (xor.leading_zeros() / 8).min(8);
+            // The code table may claim fewer leading zero bytes than
+            // actual (4 -> 3); residual bytes are emitted per the *code*.
+            let code = lzb_to_code(lzb);
+            let nib = (sel << 3) | code;
+            if i & 1 == 0 {
+                out[code_base + i / 2] = (nib << 4) as u8;
+            } else {
+                out[code_base + i / 2] |= nib as u8;
             }
-            nibbles.clear();
-        }
-        p.update(val);
-    }
-    if let Some(&(nib, x)) = nibbles.first() {
-        codes.push((nib << 4) as u8);
-        let eb = 8 - LZB_TABLE[(nib & 7) as usize];
-        residuals.extend_from_slice(&x.to_le_bytes()[..eb as usize]);
-    }
+            let eb = (8 - LZB_TABLE[code as usize]) as usize;
+            let res_start = out.len();
+            out.extend_from_slice(&xor.to_le_bytes());
+            out.truncate(res_start + eb);
 
-    let mut out = Vec::with_capacity(8 + codes.len() + residuals.len());
-    push_u32(&mut out, codes.len() as u32);
-    push_u32(&mut out, residuals.len() as u32);
-    out.extend_from_slice(&codes);
-    out.extend_from_slice(&residuals);
-    out
+            scr.touched_fcm.push(fcm_hash as u32);
+            scr.fcm[fcm_hash] = val;
+            fcm_hash = ((fcm_hash << 6) ^ (val >> 48) as usize) & (TABLE_SIZE - 1);
+            let delta = val.wrapping_sub(last);
+            scr.touched_dfcm.push(dfcm_hash as u32);
+            scr.dfcm[dfcm_hash] = delta;
+            dfcm_hash = ((dfcm_hash << 2) ^ (delta >> 40) as usize) & (TABLE_SIZE - 1);
+            last = val;
+        }
+        scr.reset();
+    });
+
+    let nres = (out.len() - code_base - ncodes) as u32;
+    out[base + 4..base + 8].copy_from_slice(&nres.to_le_bytes());
 }
 
-/// Decompress one chunk of `count` words.
-fn decompress_chunk(payload: &[u8], count: usize) -> Result<Vec<u64>> {
+/// Decompress one chunk of `count` words into `dst` (`count * 8` bytes).
+///
+/// Accepts and rejects exactly the same payloads as the original
+/// Vec-returning decoder; the decoded words land directly in the caller's
+/// output region instead of a per-chunk heap buffer.
+fn decompress_chunk_into(payload: &[u8], count: usize, dst: &mut [u8]) -> Result<()> {
+    debug_assert_eq!(dst.len(), count * 8);
     let mut pos = 0usize;
     let ncodes = read_u32(payload, &mut pos)
         .ok_or_else(|| Error::Corrupt("pfpc: missing code count".into()))?
@@ -164,53 +202,68 @@ fn decompress_chunk(payload: &[u8], count: usize) -> Result<Vec<u64>> {
         return Err(Error::Corrupt("pfpc: code count mismatch".into()));
     }
 
-    let mut p = Predictors::new();
-    let mut out = Vec::with_capacity(count);
-    let mut rpos = 0usize;
-    for (k, &cb) in codes.iter().enumerate() {
-        for half in 0..2 {
-            let idx = 2 * k + half;
-            if idx >= count {
-                break;
-            }
-            let nib = if half == 0 {
-                (cb >> 4) as u32
-            } else {
-                (cb & 0x0F) as u32
-            };
-            let sel = nib >> 3;
-            let code = nib & 7;
-            let eb = (8 - LZB_TABLE[code as usize]) as usize;
-            // Word path: one unaligned 8-byte load + mask covers every
-            // residual width; the byte-copy loop only runs for the last
-            // few residuals of the chunk.
-            let xor = if let Some(s) = residuals.get(rpos..rpos + 8) {
-                let w = u64::from_le_bytes(s.try_into().expect("8 bytes"));
-                if eb == 8 {
-                    w
+    PFPC_SCRATCH.with_borrow_mut(|scr| {
+        scr.ensure();
+        let result = (|| {
+            let mut fcm_hash = 0usize;
+            let mut dfcm_hash = 0usize;
+            let mut last = 0u64;
+            let mut rpos = 0usize;
+            for idx in 0..count {
+                let cb = codes[idx / 2];
+                let nib = if idx & 1 == 0 {
+                    (cb >> 4) as u32
                 } else {
-                    w & ((1u64 << (8 * eb)) - 1)
-                }
-            } else {
-                let rbytes = residuals
-                    .get(rpos..rpos + eb)
-                    .ok_or_else(|| Error::Corrupt("pfpc: residual stream truncated".into()))?;
-                let mut le = [0u8; 8];
-                le[..eb].copy_from_slice(rbytes);
-                u64::from_le_bytes(le)
-            };
-            rpos += eb;
-            let (f, d) = p.predict();
-            let pred = if sel == 0 { f } else { d };
-            let val = pred ^ xor;
-            p.update(val);
-            out.push(val);
-        }
-    }
-    if rpos != residuals.len() {
-        return Err(Error::Corrupt("pfpc: trailing residual bytes".into()));
-    }
-    Ok(out)
+                    (cb & 0x0F) as u32
+                };
+                let sel = nib >> 3;
+                let code = nib & 7;
+                let eb = (8 - LZB_TABLE[code as usize]) as usize;
+                // Word path: one unaligned 8-byte load + mask covers every
+                // residual width; the byte-copy loop only runs for the
+                // last few residuals of the chunk.
+                let xor = if let Some(s) = residuals.get(rpos..rpos + 8) {
+                    let w = u64::from_le_bytes(s.try_into().expect("8 bytes"));
+                    if eb == 8 {
+                        w
+                    } else {
+                        w & ((1u64 << (8 * eb)) - 1)
+                    }
+                } else {
+                    let rbytes = residuals
+                        .get(rpos..rpos + eb)
+                        .ok_or_else(|| Error::Corrupt("pfpc: residual stream truncated".into()))?;
+                    let mut le = [0u8; 8];
+                    le[..eb].copy_from_slice(rbytes);
+                    u64::from_le_bytes(le)
+                };
+                rpos += eb;
+                let pred = if sel == 0 {
+                    scr.fcm[fcm_hash]
+                } else {
+                    scr.dfcm[dfcm_hash].wrapping_add(last)
+                };
+                let val = pred ^ xor;
+
+                scr.touched_fcm.push(fcm_hash as u32);
+                scr.fcm[fcm_hash] = val;
+                fcm_hash = ((fcm_hash << 6) ^ (val >> 48) as usize) & (TABLE_SIZE - 1);
+                let delta = val.wrapping_sub(last);
+                scr.touched_dfcm.push(dfcm_hash as u32);
+                scr.dfcm[dfcm_hash] = delta;
+                dfcm_hash = ((dfcm_hash << 2) ^ (delta >> 40) as usize) & (TABLE_SIZE - 1);
+                last = val;
+
+                dst[idx * 8..idx * 8 + 8].copy_from_slice(&val.to_le_bytes());
+            }
+            if rpos != residuals.len() {
+                return Err(Error::Corrupt("pfpc: trailing residual bytes".into()));
+            }
+            Ok(())
+        })();
+        scr.reset();
+        result
+    })
 }
 
 impl Compressor for Pfpc {
@@ -229,32 +282,46 @@ impl Compressor for Pfpc {
     fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
         let bytes = data.bytes();
         let nwords = bytes.len() / 8;
+        let word_bytes = &bytes[..nwords * 8];
         let tail = &bytes[nwords * 8..];
-        let words: Vec<u64> = bytes[..nwords * 8]
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
-            .collect();
 
         let ranges = chunk_ranges(nwords, self.threads);
-        let mut chunk_payloads: Vec<Vec<u8>> = vec![Vec::new(); ranges.len()];
-        std::thread::scope(|s| {
-            for (slot, &(start, end)) in chunk_payloads.iter_mut().zip(ranges.iter()) {
-                let words = &words[start..end];
-                s.spawn(move || {
-                    *slot = compress_chunk(words);
-                });
-            }
-        });
-
         out.clear();
         push_u64(out, nwords as u64);
-        push_u32(out, chunk_payloads.len() as u32);
+        push_u32(out, ranges.len() as u32);
         out.push(tail.len() as u8);
-        for p in &chunk_payloads {
-            push_u32(out, p.len() as u32);
-        }
-        for p in &chunk_payloads {
-            out.extend_from_slice(p);
+        let dir_base = out.len();
+
+        if nwords < PARALLEL_WORDS {
+            // Inline: compress each chunk straight into the frame (no
+            // per-chunk buffers, no words materialization), patching the
+            // size directory — which precedes the payloads on the wire —
+            // as each chunk's length becomes known.
+            for _ in 0..ranges.len() {
+                push_u32(out, 0);
+            }
+            for (k, &(start, end)) in ranges.iter().enumerate() {
+                let before = out.len();
+                compress_chunk_into(&word_bytes[start * 8..end * 8], out);
+                let sz = ((out.len() - before) as u32).to_le_bytes();
+                out[dir_base + 4 * k..dir_base + 4 * k + 4].copy_from_slice(&sz);
+            }
+        } else {
+            let mut chunk_payloads: Vec<Vec<u8>> = vec![Vec::new(); ranges.len()];
+            std::thread::scope(|s| {
+                for (slot, &(start, end)) in chunk_payloads.iter_mut().zip(ranges.iter()) {
+                    let wb = &word_bytes[start * 8..end * 8];
+                    s.spawn(move || {
+                        compress_chunk_into(wb, slot);
+                    });
+                }
+            });
+            for p in &chunk_payloads {
+                push_u32(out, p.len() as u32);
+            }
+            for p in &chunk_payloads {
+                out.extend_from_slice(p);
+            }
         }
         out.extend_from_slice(tail);
         Ok(out.len())
@@ -316,26 +383,33 @@ impl Compressor for Pfpc {
             return Err(Error::Corrupt("pfpc: trailing bytes".into()));
         }
 
-        let mut results: Vec<Result<Vec<u64>>> = Vec::with_capacity(nchunks);
-        results.resize_with(nchunks, || Ok(Vec::new()));
-        std::thread::scope(|s| {
-            for ((slot, slice), &(start, end)) in results
-                .iter_mut()
-                .zip(chunk_slices.iter())
-                .zip(ranges.iter())
-            {
-                let count = end - start;
-                s.spawn(move || {
-                    *slot = decompress_chunk(slice, count);
-                });
-            }
-        });
-
         out.refill(desc, |bytes| {
-            bytes.reserve(desc.byte_len());
-            for r in results {
-                for w in r? {
-                    bytes.extend_from_slice(&w.to_le_bytes());
+            bytes.clear();
+            bytes.resize(nwords * 8, 0);
+            if nwords < PARALLEL_WORDS {
+                for (slice, &(start, end)) in chunk_slices.iter().zip(ranges.iter()) {
+                    decompress_chunk_into(slice, end - start, &mut bytes[start * 8..end * 8])?;
+                }
+            } else {
+                let mut results: Vec<Result<()>> = Vec::with_capacity(nchunks);
+                results.resize_with(nchunks, || Ok(()));
+                std::thread::scope(|s| {
+                    let mut rest: &mut [u8] = bytes;
+                    for ((slot, slice), &(start, end)) in results
+                        .iter_mut()
+                        .zip(chunk_slices.iter())
+                        .zip(ranges.iter())
+                    {
+                        let count = end - start;
+                        let (dst, tail_rest) = rest.split_at_mut(count * 8);
+                        rest = tail_rest;
+                        s.spawn(move || {
+                            *slot = decompress_chunk_into(slice, count, dst);
+                        });
+                    }
+                });
+                for r in results {
+                    r?;
                 }
             }
             bytes.extend_from_slice(tail);

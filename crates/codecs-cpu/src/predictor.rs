@@ -1,0 +1,556 @@
+//! Single-predictor codec family: last-value, last-stride, and DFCM.
+//!
+//! FPC-style codecs (§3.6) pair *two* hash predictors and spend a selector
+//! bit per word. This family isolates one predictor per codec so the
+//! benchmark matrix can attribute ratio and throughput to the predictor
+//! itself rather than to the selection machinery:
+//!
+//! | codec | prediction for word *i* |
+//! |---|---|
+//! | `last-value`  | `w[i-1]` |
+//! | `last-stride` | `w[i-1] + (w[i-1] - w[i-2])` (wrapping) |
+//! | `dfcm`        | `w[i-1] + table[hash]`, a differential finite-context hash predictor |
+//!
+//! Like pFPC the stream is processed as raw little-endian u64 words with a
+//! verbatim non-multiple-of-8 tail. The prediction is XORed with the true
+//! word and the residual stored with a 4-bit leading-zero-byte code
+//! (0..=8, no folding — the spare nibble values are simply invalid, which
+//! the decoder rejects).
+//!
+//! Wire: `nwords (u64) | tail_len (u8) | codes (ceil(nwords/2) bytes,
+//! high nibble = even word) | residual bytes | tail`.
+
+use crate::common::{push_u64, read_u64};
+use fcbench_core::{
+    CodecClass, CodecInfo, Community, Compressor, DataDesc, Error, FloatData, OpProfile, Platform,
+    PrecisionSupport, Result,
+};
+use std::cell::RefCell;
+
+/// Log2 of the DFCM hash-table size (same sizing as pFPC's tables).
+const TABLE_LOG: u32 = 16;
+const TABLE_SIZE: usize = 1 << TABLE_LOG;
+
+/// Which predictor a [`Predictor`] instance runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// Predict the previous word.
+    LastValue,
+    /// Predict the previous word plus the previous delta.
+    LastStride,
+    /// Differential finite-context-method hash predictor.
+    Dfcm,
+}
+
+/// A single-predictor XOR codec; see the module docs for the family.
+#[derive(Debug, Clone, Copy)]
+pub struct Predictor {
+    kind: PredictorKind,
+}
+
+impl Predictor {
+    pub fn new(kind: PredictorKind) -> Self {
+        Predictor { kind }
+    }
+
+    pub fn last_value() -> Self {
+        Self::new(PredictorKind::LastValue)
+    }
+
+    pub fn last_stride() -> Self {
+        Self::new(PredictorKind::LastStride)
+    }
+
+    pub fn dfcm() -> Self {
+        Self::new(PredictorKind::Dfcm)
+    }
+
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+}
+
+/// One step of a word predictor: produce the guess for the next word, then
+/// absorb the actual word. Compression and decompression drive the same
+/// state machine, so mispredictions cannot diverge between directions.
+trait WordModel {
+    fn predict(&self) -> u64;
+    fn update(&mut self, val: u64);
+}
+
+#[derive(Default)]
+struct LastValueModel {
+    last: u64,
+}
+
+impl WordModel for LastValueModel {
+    #[inline]
+    fn predict(&self) -> u64 {
+        self.last
+    }
+
+    #[inline]
+    fn update(&mut self, val: u64) {
+        self.last = val;
+    }
+}
+
+#[derive(Default)]
+struct LastStrideModel {
+    last: u64,
+    prev: u64,
+}
+
+impl WordModel for LastStrideModel {
+    #[inline]
+    fn predict(&self) -> u64 {
+        self.last.wrapping_add(self.last.wrapping_sub(self.prev))
+    }
+
+    #[inline]
+    fn update(&mut self, val: u64) {
+        self.prev = self.last;
+        self.last = val;
+    }
+}
+
+/// DFCM state borrowing the thread-local table. The table carries an
+/// all-zero invariant between calls: slots written during a call are
+/// recorded and re-zeroed afterwards (including on corrupt-stream error
+/// paths), so one 512 KB allocation per thread serves every call without
+/// a full clear — the same scratch discipline as pFPC.
+struct DfcmModel<'a> {
+    table: &'a mut [u64],
+    touched: &'a mut Vec<u32>,
+    hash: usize,
+    last: u64,
+}
+
+impl WordModel for DfcmModel<'_> {
+    #[inline]
+    fn predict(&self) -> u64 {
+        self.last.wrapping_add(self.table[self.hash])
+    }
+
+    #[inline]
+    fn update(&mut self, val: u64) {
+        let delta = val.wrapping_sub(self.last);
+        self.touched.push(self.hash as u32);
+        self.table[self.hash] = delta;
+        self.hash = ((self.hash << 2) ^ (delta >> 40) as usize) & (TABLE_SIZE - 1);
+        self.last = val;
+    }
+}
+
+struct DfcmScratch {
+    table: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl DfcmScratch {
+    const fn new() -> Self {
+        DfcmScratch {
+            table: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self) {
+        if self.table.is_empty() {
+            self.table.resize(TABLE_SIZE, 0);
+        }
+    }
+
+    fn reset(&mut self) {
+        for &s in &self.touched {
+            self.table[s as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+thread_local! {
+    static DFCM_SCRATCH: RefCell<DfcmScratch> = const { RefCell::new(DfcmScratch::new()) };
+}
+
+/// Encode the word region: fill the pre-zeroed code bytes at `code_base`
+/// in place and append the residual bytes. Each residual is one bulk
+/// 8-byte store truncated to the width its nibble claims.
+fn encode_words<M: WordModel>(bytes: &[u8], code_base: usize, out: &mut Vec<u8>, mut model: M) {
+    for (i, w) in bytes.chunks_exact(8).enumerate() {
+        let val = u64::from_le_bytes(w.try_into().expect("8 bytes"));
+        let xor = val ^ model.predict();
+        let lzb = xor.leading_zeros() / 8; // 0..=8
+        if i & 1 == 0 {
+            out[code_base + i / 2] = (lzb << 4) as u8;
+        } else {
+            out[code_base + i / 2] |= lzb as u8;
+        }
+        let eb = (8 - lzb) as usize;
+        let res_start = out.len();
+        out.extend_from_slice(&xor.to_le_bytes());
+        out.truncate(res_start + eb);
+        model.update(val);
+    }
+}
+
+/// Decode `count` words from the code/residual regions, appending the raw
+/// little-endian bytes to `dst`. Accepts exactly the streams
+/// [`encode_words`] emits: every nibble must be a valid count and the
+/// residual bytes must be consumed exactly.
+fn unpack_words<M: WordModel>(
+    codes: &[u8],
+    residuals: &[u8],
+    count: usize,
+    dst: &mut Vec<u8>,
+    mut model: M,
+) -> Result<()> {
+    let mut rpos = 0usize;
+    for idx in 0..count {
+        let cb = codes[idx / 2];
+        let lzb = if idx & 1 == 0 {
+            (cb >> 4) as usize
+        } else {
+            (cb & 0x0F) as usize
+        };
+        if lzb > 8 {
+            return Err(Error::Corrupt("predictor: invalid code nibble".into()));
+        }
+        let eb = 8 - lzb;
+        // Word path: one unaligned 8-byte load + mask covers every residual
+        // width; the byte-copy fallback only runs near the stream's end.
+        let xor = if let Some(s) = residuals.get(rpos..rpos + 8) {
+            let w = u64::from_le_bytes(s.try_into().expect("8 bytes"));
+            if eb == 8 {
+                w
+            } else {
+                w & ((1u64 << (8 * eb)) - 1)
+            }
+        } else {
+            let rbytes = residuals
+                .get(rpos..rpos + eb)
+                .ok_or_else(|| Error::Corrupt("predictor: residual stream truncated".into()))?;
+            let mut le = [0u8; 8];
+            le[..eb].copy_from_slice(rbytes);
+            u64::from_le_bytes(le)
+        };
+        rpos += eb;
+        let val = model.predict() ^ xor;
+        model.update(val);
+        dst.extend_from_slice(&val.to_le_bytes());
+    }
+    if rpos != residuals.len() {
+        return Err(Error::Corrupt("predictor: trailing residual bytes".into()));
+    }
+    Ok(())
+}
+
+impl Compressor for Predictor {
+    fn info(&self) -> CodecInfo {
+        let (name, year, class) = match self.kind {
+            PredictorKind::LastValue => ("last-value", 2015, CodecClass::Delta),
+            PredictorKind::LastStride => ("last-stride", 2015, CodecClass::Delta),
+            PredictorKind::Dfcm => ("dfcm", 2006, CodecClass::Prediction),
+        };
+        CodecInfo {
+            name,
+            year,
+            community: Community::Database,
+            class,
+            platform: Platform::Cpu,
+            parallel: false,
+            precisions: PrecisionSupport::Both,
+        }
+    }
+
+    fn compress_into(&self, data: &FloatData, out: &mut Vec<u8>) -> Result<usize> {
+        let bytes = data.bytes();
+        let nwords = bytes.len() / 8;
+        let word_bytes = &bytes[..nwords * 8];
+        let tail = &bytes[nwords * 8..];
+        let ncodes = nwords.div_ceil(2);
+
+        out.clear();
+        // Single worst-case reservation (header + codes + full-width
+        // residuals + tail): a fresh buffer allocates exactly once.
+        out.reserve(9 + ncodes + nwords * 8 + tail.len());
+        push_u64(out, nwords as u64);
+        out.push(tail.len() as u8);
+        let code_base = out.len();
+        out.resize(code_base + ncodes, 0);
+
+        match self.kind {
+            PredictorKind::LastValue => {
+                encode_words(word_bytes, code_base, out, LastValueModel::default())
+            }
+            PredictorKind::LastStride => {
+                encode_words(word_bytes, code_base, out, LastStrideModel::default())
+            }
+            PredictorKind::Dfcm => DFCM_SCRATCH.with_borrow_mut(|scr| {
+                scr.ensure();
+                let DfcmScratch { table, touched } = scr;
+                encode_words(
+                    word_bytes,
+                    code_base,
+                    out,
+                    DfcmModel {
+                        table,
+                        touched,
+                        hash: 0,
+                        last: 0,
+                    },
+                );
+                scr.reset();
+            }),
+        }
+        out.extend_from_slice(tail);
+        Ok(out.len())
+    }
+
+    fn decompress_into(&self, payload: &[u8], desc: &DataDesc, out: &mut FloatData) -> Result<()> {
+        // The descriptor is untrusted: reject implausible output claims
+        // before anything is sized against them.
+        fcbench_core::blocks::check_decode_claim(desc, payload.len())?;
+        let mut pos = 0usize;
+        let nwords = read_u64(payload, &mut pos)
+            .ok_or_else(|| Error::Corrupt("predictor: missing word count".into()))?
+            as usize;
+        let tail_len = *payload
+            .get(pos)
+            .ok_or_else(|| Error::Corrupt("predictor: missing tail length".into()))?
+            as usize;
+        pos += 1;
+        if nwords != desc.byte_len() / 8 || tail_len != desc.byte_len() % 8 {
+            return Err(Error::Corrupt(format!(
+                "predictor: stream geometry ({nwords} words + {tail_len}) does not match descriptor"
+            )));
+        }
+        let ncodes = nwords.div_ceil(2);
+        let codes = payload
+            .get(pos..pos + ncodes)
+            .ok_or_else(|| Error::Corrupt("predictor: code bytes truncated".into()))?;
+        pos += ncodes;
+        let body_end = payload
+            .len()
+            .checked_sub(tail_len)
+            .filter(|&e| e >= pos)
+            .ok_or_else(|| Error::Corrupt("predictor: payload shorter than tail".into()))?;
+        let residuals = &payload[pos..body_end];
+        let tail = &payload[body_end..];
+
+        out.refill(desc, |bytes| {
+            bytes.reserve(desc.byte_len());
+            match self.kind {
+                PredictorKind::LastValue => {
+                    unpack_words(codes, residuals, nwords, bytes, LastValueModel::default())?
+                }
+                PredictorKind::LastStride => {
+                    unpack_words(codes, residuals, nwords, bytes, LastStrideModel::default())?
+                }
+                PredictorKind::Dfcm => DFCM_SCRATCH.with_borrow_mut(|scr| {
+                    scr.ensure();
+                    let DfcmScratch { table, touched } = scr;
+                    let result = unpack_words(
+                        codes,
+                        residuals,
+                        nwords,
+                        bytes,
+                        DfcmModel {
+                            table,
+                            touched,
+                            hash: 0,
+                            last: 0,
+                        },
+                    );
+                    scr.reset();
+                    result
+                })?,
+            }
+            bytes.extend_from_slice(tail);
+            Ok(())
+        })
+    }
+
+    fn op_profile(&self, desc: &DataDesc) -> Option<OpProfile> {
+        let n = (desc.byte_len() / 8) as u64;
+        let (int_ops, bytes_moved) = match self.kind {
+            // Predict, XOR, lz count, update: a handful of register ops;
+            // the word moves each way.
+            PredictorKind::LastValue => (5 * n, 2 * 8 * n),
+            PredictorKind::LastStride => (7 * n, 2 * 8 * n),
+            // Adds a table load + store + hash mixing per word.
+            PredictorKind::Dfcm => (12 * n, 4 * 8 * n),
+        };
+        Some(OpProfile {
+            int_ops,
+            float_ops: 0,
+            bytes_moved,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcbench_core::Domain;
+
+    fn all_kinds() -> [Predictor; 3] {
+        [
+            Predictor::last_value(),
+            Predictor::last_stride(),
+            Predictor::dfcm(),
+        ]
+    }
+
+    fn round_trip(data: &FloatData) {
+        for p in all_kinds() {
+            let c = p.compress(data).unwrap();
+            let back = p.decompress(&c, data.desc()).unwrap();
+            assert_eq!(
+                back.bytes(),
+                data.bytes(),
+                "{} round trip failed",
+                p.info().name
+            );
+        }
+    }
+
+    #[test]
+    fn smooth_f64_round_trips_and_compresses() {
+        let vals: Vec<f64> = (0..20_000).map(|i| 5e5 + (i as f64) * 0.25).collect();
+        let data = FloatData::from_f64(&vals, vec![20_000], Domain::Hpc).unwrap();
+        round_trip(&data);
+        // A constant-stride ramp is last-stride's home turf.
+        let c = Predictor::last_stride().compress(&data).unwrap();
+        assert!(
+            c.len() < 20_000 * 8 / 4,
+            "stride-predictable stream should compress 4x+, got {}",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn repeating_values_favor_last_value() {
+        let vals: Vec<f64> = (0..8000).map(|_| 37.25).collect();
+        let data = FloatData::from_f64(&vals, vec![8000], Domain::Hpc).unwrap();
+        round_trip(&data);
+        let c = Predictor::last_value().compress(&data).unwrap();
+        assert!(
+            c.len() < 8000,
+            "constant stream should collapse, got {}",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn cyclic_deltas_favor_dfcm() {
+        // A repeating delta pattern is what the differential context hash
+        // learns; plain last-value/last-stride cannot.
+        let mut acc = 0u64;
+        let vals: Vec<f64> = (0..10_000)
+            .map(|i| {
+                acc = acc.wrapping_add([3, 8, 1, 5][i % 4]);
+                acc as f64
+            })
+            .collect();
+        let data = FloatData::from_f64(&vals, vec![10_000], Domain::Hpc).unwrap();
+        round_trip(&data);
+        let d = Predictor::dfcm().compress(&data).unwrap();
+        let lv = Predictor::last_value().compress(&data).unwrap();
+        assert!(
+            d.len() < lv.len(),
+            "dfcm ({}) should beat last-value ({}) on cyclic deltas",
+            d.len(),
+            lv.len()
+        );
+    }
+
+    #[test]
+    fn single_precision_with_odd_tail() {
+        let vals: Vec<f32> = (0..4001).map(|i| i as f32 * 1.5).collect(); // odd count => 4-byte tail
+        let data = FloatData::from_f32(&vals, vec![4001], Domain::Hpc).unwrap();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn special_values() {
+        let vals = [
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            5e-324,
+            1.0,
+        ];
+        let data = FloatData::from_f64(&vals, vec![7], Domain::Hpc).unwrap();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let data = FloatData::from_f64(&[1.5], vec![1], Domain::Hpc).unwrap();
+        round_trip(&data);
+        let data = FloatData::from_f32(&[2.5], vec![1], Domain::Hpc).unwrap();
+        round_trip(&data); // 4 bytes => pure tail, zero words
+    }
+
+    #[test]
+    fn incompressible_noise_survives() {
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let vals: Vec<f64> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                f64::from_bits((x >> 12) | 0x3FF0_0000_0000_0000)
+            })
+            .collect();
+        let data = FloatData::from_f64(&vals, vec![5000], Domain::Hpc).unwrap();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let vals: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let data = FloatData::from_f64(&vals, vec![500], Domain::Hpc).unwrap();
+        for p in all_kinds() {
+            let c = p.compress(&data).unwrap();
+            assert!(p.decompress(&c[..5], data.desc()).is_err());
+            assert!(p.decompress(&c[..c.len() - 2], data.desc()).is_err());
+            let mut extra = c.clone();
+            extra.push(1);
+            assert!(p.decompress(&extra, data.desc()).is_err());
+            // Invalid nibble (9..=15 is not a leading-zero-byte count).
+            let mut bad = c.clone();
+            bad[9] = 0xFF;
+            assert!(p.decompress(&bad, data.desc()).is_err());
+        }
+    }
+
+    #[test]
+    fn dfcm_state_clean_after_corrupt_stream() {
+        // A rejected stream must not leave table entries behind that would
+        // change the next compression on the same thread.
+        let vals: Vec<f64> = (0..2000).map(|i| (i as f64) * 1.25).collect();
+        let data = FloatData::from_f64(&vals, vec![2000], Domain::Hpc).unwrap();
+        let p = Predictor::dfcm();
+        let clean = p.compress(&data).unwrap();
+        let mut bad = clean.clone();
+        let last = bad.len() - 1;
+        bad.truncate(last); // truncated residual/tail => corrupt
+        assert!(p.decompress(&bad, data.desc()).is_err());
+        let again = p.compress(&data).unwrap();
+        assert_eq!(clean, again, "corrupt decode leaked predictor state");
+    }
+
+    #[test]
+    fn info_rows() {
+        assert_eq!(Predictor::last_value().info().name, "last-value");
+        assert_eq!(Predictor::last_stride().info().name, "last-stride");
+        let d = Predictor::dfcm().info();
+        assert_eq!(d.name, "dfcm");
+        assert_eq!(d.class, CodecClass::Prediction);
+        assert_eq!(d.platform, Platform::Cpu);
+    }
+}

@@ -5,7 +5,7 @@
 //! by frequency damping; codes are canonical so the table header is just
 //! 256 nibble lengths (128 bytes).
 
-use crate::bits::{BitReader, BitWriter};
+use crate::bits::BitReader;
 
 /// Maximum code length in bits.
 pub const MAX_CODE_LEN: u32 = 15;
@@ -138,26 +138,85 @@ pub fn canonical_codes(lens: &[u8; 256]) -> [(u16, u8); 256] {
 /// Encode `data`: 128-byte nibble-packed length table, u32 symbol count,
 /// then the canonical-Huffman bitstream.
 pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(data, &mut out);
+    out
+}
+
+/// Exact length of [`encode`]`(data)` without materializing the stream:
+/// the 132-byte header plus the code-length-weighted histogram, rounded
+/// up to whole bytes. Lets callers evaluating several candidate encodings
+/// (zzip mode selection) price a Huffman mode from one histogram pass.
+pub fn encoded_len(data: &[u8]) -> usize {
     let mut freqs = [0u64; 256];
-    for &b in data {
-        freqs[b as usize] += 1;
+    histogram(data, &mut freqs);
+    let lens = code_lengths(&freqs);
+    let bits: u64 = freqs
+        .iter()
+        .zip(lens.iter())
+        .map(|(&f, &l)| f * u64::from(l))
+        .sum();
+    128 + 4 + (bits as usize).div_ceil(8)
+}
+
+/// Four-lane byte histogram: independent counters break the
+/// store-to-load dependency chain of a single table.
+fn histogram(data: &[u8], freqs: &mut [u64; 256]) {
+    let mut lanes = [[0u64; 256]; 4];
+    let mut chunks = data.chunks_exact(4);
+    for c in &mut chunks {
+        lanes[0][c[0] as usize] += 1;
+        lanes[1][c[1] as usize] += 1;
+        lanes[2][c[2] as usize] += 1;
+        lanes[3][c[3] as usize] += 1;
     }
+    for &b in chunks.remainder() {
+        lanes[0][b as usize] += 1;
+    }
+    for (i, f) in freqs.iter_mut().enumerate() {
+        *f = lanes[0][i] + lanes[1][i] + lanes[2][i] + lanes[3][i];
+    }
+}
+
+/// Like [`encode`] but into a caller-owned buffer (contents replaced,
+/// capacity reused) — no intermediate bitstream copy.
+///
+/// The hot loops are batched: the histogram counts into four lanes to
+/// break the store-to-load dependency chain, and the emitter fuses four
+/// symbols (≤ 60 bits at [`MAX_CODE_LEN`] 15) into one accumulator push.
+/// Concatenating MSB-first codes in an accumulator is bit-exact with
+/// pushing them one by one, so the stream is unchanged.
+pub fn encode_into(data: &[u8], out: &mut Vec<u8>) {
+    let mut freqs = [0u64; 256];
+    histogram(data, &mut freqs);
     let lens = code_lengths(&freqs);
     let codes = canonical_codes(&lens);
 
-    let mut out = Vec::with_capacity(128 + 4 + data.len() / 2);
+    out.clear();
+    out.reserve(128 + 4 + data.len() / 2);
     for pair in lens.chunks(2) {
         out.push((pair[0] << 4) | (pair[1] & 0x0F));
     }
     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
 
-    let mut w = BitWriter::with_capacity(data.len() / 2);
-    for &b in data {
+    let mut w = crate::bits::BitSink::new(out);
+    let mut chunks = data.chunks_exact(4);
+    for c in &mut chunks {
+        let (c0, l0) = codes[c[0] as usize];
+        let (c1, l1) = codes[c[1] as usize];
+        let (c2, l2) = codes[c[2] as usize];
+        let (c3, l3) = codes[c[3] as usize];
+        let mut acc = c0 as u64;
+        acc = (acc << l1) | c1 as u64;
+        acc = (acc << l2) | c2 as u64;
+        acc = (acc << l3) | c3 as u64;
+        w.push_bits(acc, (l0 + l1 + l2 + l3) as u32);
+    }
+    for &b in chunks.remainder() {
         let (code, len) = codes[b as usize];
         w.push_bits(code as u64, len as u32);
     }
-    out.extend_from_slice(&w.into_bytes());
-    out
+    w.finish();
 }
 
 /// Decode a stream produced by [`encode`].

@@ -10,6 +10,8 @@
 //! This is the dictionary backend of `bitshuffle::LZ4` (§3.7) and the
 //! payload codec of the simulated `nvCOMP::LZ4` (§4.3).
 
+use std::cell::RefCell;
+
 /// Minimum match length in the LZ4 format.
 const MIN_MATCH: usize = 4;
 /// No match may start within this many bytes of the end.
@@ -31,61 +33,99 @@ fn read_u32(data: &[u8], i: usize) -> u32 {
     u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]])
 }
 
+/// In-bounds unaligned 8-byte little-endian load (callers guarantee
+/// `i + 8 <= data.len()`; a short read yields 0, never a panic).
+#[inline]
+fn read_u64(data: &[u8], i: usize) -> u64 {
+    match data.get(i..).and_then(|t| t.first_chunk::<8>()) {
+        Some(w) => u64::from_le_bytes(*w),
+        None => 0,
+    }
+}
+
+// Reusable hash table: one 256 KB allocation per thread instead of per
+// call. Must be zeroed per call (0 means empty).
+thread_local! {
+    static LZ4_TABLE: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
 /// Compress `input` into LZ4 block format.
 pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    compress_into(input, &mut out);
+    out
+}
+
+/// Like [`compress`] but into a caller-owned buffer (contents replaced,
+/// capacity reused) — the zero-copy hot path.
+pub fn compress_into(input: &[u8], out: &mut Vec<u8>) {
     let n = input.len();
-    let mut out = Vec::with_capacity(n / 2 + 16);
+    out.clear();
+    out.reserve(n / 2 + 16);
     if n == 0 {
         // A single empty-literals token terminates the block.
         out.push(0);
-        return out;
+        return;
     }
     if n < MF_LIMIT + 1 {
-        emit_final_literals(&mut out, input);
-        return out;
+        emit_final_literals(out, input);
+        return;
     }
 
-    let mut table = vec![0u32; 1 << HASH_LOG];
-    // `table` stores position+1; 0 means empty.
-    let match_limit = n - MF_LIMIT; // last position where a match may start
     let mut anchor = 0usize; // start of pending literals
-    let mut i = 0usize;
+    LZ4_TABLE.with_borrow_mut(|table| {
+        table.resize(1 << HASH_LOG, 0);
+        table.fill(0);
+        // `table` stores position+1; 0 means empty.
+        let match_limit = n - MF_LIMIT; // last position where a match may start
+        let mut i = 0usize;
 
-    while i < match_limit {
-        let h = hash4(read_u32(input, i));
-        let candidate = table[h] as usize;
-        table[h] = (i + 1) as u32;
+        while i < match_limit {
+            let h = hash4(read_u32(input, i));
+            let candidate = table[h] as usize;
+            table[h] = (i + 1) as u32;
 
-        let matched = candidate != 0
-            && i - (candidate - 1) <= MAX_DISTANCE
-            && read_u32(input, candidate - 1) == read_u32(input, i);
+            let matched = candidate != 0
+                && i - (candidate - 1) <= MAX_DISTANCE
+                && read_u32(input, candidate - 1) == read_u32(input, i);
 
-        if !matched {
-            i += 1;
-            continue;
+            if !matched {
+                i += 1;
+                continue;
+            }
+            let m = candidate - 1;
+
+            // Extend the match forward a u64 word at a time, but never
+            // into the last-literals zone.
+            let max_len = n - LAST_LITERALS - i;
+            let mut len = MIN_MATCH;
+            while len + 8 <= max_len {
+                let a = read_u64(input, m + len);
+                let b = read_u64(input, i + len);
+                let x = a ^ b;
+                if x != 0 {
+                    len += (x.trailing_zeros() >> 3) as usize;
+                    break;
+                }
+                len += 8;
+            }
+            while len < max_len && input[m + len] == input[i + len] {
+                len += 1;
+            }
+
+            emit_sequence(out, &input[anchor..i], (i - m) as u16, len);
+            i += len;
+            anchor = i;
+
+            // Prime the table at the end of the match, as the reference does.
+            if i < match_limit {
+                let h2 = hash4(read_u32(input, i.saturating_sub(2)));
+                table[h2] = (i.saturating_sub(2) + 1) as u32;
+            }
         }
-        let m = candidate - 1;
+    });
 
-        // Extend the match forward, but never into the last-literals zone.
-        let mut len = MIN_MATCH;
-        let max_len = n - LAST_LITERALS - i;
-        while len < max_len && input[m + len] == input[i + len] {
-            len += 1;
-        }
-
-        emit_sequence(&mut out, &input[anchor..i], (i - m) as u16, len);
-        i += len;
-        anchor = i;
-
-        // Prime the table at the end of the match, as the reference does.
-        if i < match_limit {
-            let h2 = hash4(read_u32(input, i.saturating_sub(2)));
-            table[h2] = (i.saturating_sub(2) + 1) as u32;
-        }
-    }
-
-    emit_final_literals(&mut out, &input[anchor..]);
-    out
+    emit_final_literals(out, &input[anchor..]);
 }
 
 fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], offset: u16, match_len: usize) {
@@ -189,11 +229,19 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Lz4Error
         }
         match_len += MIN_MATCH;
 
-        // Overlapping copy, byte at a time (offsets < match_len overlap).
+        // Bulk match copy; offsets < match_len overlap and use doubling
+        // self-extension (the copy source grows as the output grows).
         let start = out.len() - offset;
-        for k in 0..match_len {
-            let b = out[start + k];
-            out.push(b);
+        if offset >= match_len {
+            out.extend_from_within(start..start + match_len);
+        } else {
+            let mut remaining = match_len;
+            while remaining > 0 {
+                let avail = out.len() - start;
+                let take = avail.min(remaining);
+                out.extend_from_within(start..start + take);
+                remaining -= take;
+            }
         }
         if out.len() > expected_len {
             return Err(Lz4Error("output exceeds expected length".into()));

@@ -13,6 +13,17 @@
 //! lengths `4..=258`; 255 is followed by a little-endian u16 extension.
 //! The narrow-offset mode keeps matches as tight as LZ4's inside the
 //! 64 KB blocks bitshuffle feeds this codec.
+//!
+//! The compressor walks hash chains exactly like the retained
+//! [`reference`] implementation (same probe order, same depth budget, same
+//! acceptance heuristics), but extends candidate matches a u64 word at a
+//! time, emits items through fixed stack buffers instead of per-item heap
+//! allocations, and reuses the chain tables across calls on the same
+//! thread. The decompressor copies matches with bulk slice operations.
+//! Both directions are byte-identical to the reference — proven by the
+//! differential tests below and the proptests in `tests/proptests.rs`.
+
+use std::cell::RefCell;
 
 /// Minimum match length.
 pub const MIN_MATCH: usize = 4;
@@ -54,6 +65,272 @@ fn hash4(data: &[u8], i: usize) -> usize {
     (v.wrapping_mul(2654435761) >> (32 - HASH_LOG)) as usize
 }
 
+/// The byte-granular implementation this module's kernels replaced.
+///
+/// Retained verbatim so differential tests can prove the optimized
+/// compressor emits byte-identical streams and the optimized decompressor
+/// accepts exactly the same inputs — the discipline PR 5 established for
+/// the bitstream engine. Not used on any production path.
+pub mod reference {
+    use super::{hash4, Lz77Config, Lz77Error, MAX_WINDOW, MIN_MATCH};
+
+    /// Compress `input` with the given effort configuration.
+    pub fn compress(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
+        let mut out = Vec::new();
+        compress_into(input, cfg, &mut out);
+        out
+    }
+
+    /// Byte-granular compressor: per-item heap buffers, one-byte-at-a-time
+    /// match extension, chain tables allocated fresh per call.
+    pub fn compress_into(input: &[u8], cfg: Lz77Config, out: &mut Vec<u8>) {
+        assert!(cfg.window >= MIN_MATCH && cfg.window <= MAX_WINDOW);
+        let offset_bytes: usize = if cfg.window <= u16::MAX as usize {
+            2
+        } else {
+            3
+        };
+        let n = input.len();
+        out.clear();
+        out.reserve(n / 2 + 16);
+        out.push(offset_bytes as u8);
+
+        // Pending group of up to 8 items sharing one control byte.
+        struct GroupBuf {
+            control: u8,
+            nitems: u32,
+            bytes: Vec<u8>,
+        }
+        impl GroupBuf {
+            fn push(&mut self, is_match: bool, item: &[u8], out: &mut Vec<u8>) {
+                if is_match {
+                    self.control |= 1 << self.nitems;
+                }
+                self.bytes.extend_from_slice(item);
+                self.nitems += 1;
+                if self.nitems == 8 {
+                    self.flush(out);
+                }
+            }
+            fn flush(&mut self, out: &mut Vec<u8>) {
+                if self.nitems > 0 {
+                    out.push(self.control);
+                    out.extend_from_slice(&self.bytes);
+                    self.control = 0;
+                    self.nitems = 0;
+                    self.bytes.clear();
+                }
+            }
+        }
+        let mut pending = GroupBuf {
+            control: 0,
+            nitems: 0,
+            bytes: Vec::with_capacity(8 * 6),
+        };
+
+        // head[h] = most recent position+1 with hash h; prev[i % window] = chain.
+        let mut head = vec![0u32; 1 << super::HASH_LOG];
+        let mut prev = vec![0u32; cfg.window];
+
+        let mut i = 0usize;
+        while i < n {
+            let mut best_len = 0usize;
+            let mut best_dist = 0usize;
+
+            if i + MIN_MATCH <= n {
+                let h = hash4(input, i);
+                let mut candidate = head[h] as usize;
+                let mut depth = cfg.chain_depth;
+                let max_len = n - i;
+                while candidate != 0 && depth > 0 {
+                    let c = candidate - 1;
+                    let dist = i - c;
+                    if dist > cfg.window {
+                        break;
+                    }
+                    // Quick check on the byte past the current best.
+                    if best_len == 0 || input.get(c + best_len) == input.get(i + best_len) {
+                        let mut l = 0usize;
+                        while l < max_len && input[c + l] == input[i + l] {
+                            l += 1;
+                        }
+                        if l >= MIN_MATCH && l > best_len {
+                            best_len = l;
+                            best_dist = dist;
+                            if l >= max_len {
+                                break;
+                            }
+                        }
+                    }
+                    candidate = prev[c % cfg.window] as usize;
+                    depth -= 1;
+                }
+                // Insert current position into the chain.
+                prev[i % cfg.window] = head[h];
+                head[h] = (i + 1) as u32;
+            }
+
+            if best_len >= MIN_MATCH {
+                let mut item = Vec::with_capacity(6);
+                item.extend_from_slice(&(best_dist as u32).to_le_bytes()[..offset_bytes]);
+                let code_len = best_len - MIN_MATCH;
+                if code_len < 255 {
+                    item.push(code_len as u8);
+                } else {
+                    item.push(255);
+                    let ext = (code_len - 255).min(u16::MAX as usize);
+                    item.extend_from_slice(&(ext as u16).to_le_bytes());
+                }
+                let actual_len = if code_len < 255 {
+                    best_len
+                } else {
+                    MIN_MATCH + 255 + (code_len - 255).min(u16::MAX as usize)
+                };
+                pending.push(true, &item, out);
+
+                // Insert skipped positions into the chain (sparsely for speed).
+                let end = i + actual_len;
+                let mut j = i + 1;
+                while j < end && j + MIN_MATCH <= n {
+                    let h = hash4(input, j);
+                    prev[j % cfg.window] = head[h];
+                    head[h] = (j + 1) as u32;
+                    j += 1.max(actual_len / 16);
+                }
+                i = end;
+            } else {
+                pending.push(false, &[input[i]], out);
+                i += 1;
+            }
+        }
+        pending.flush(out);
+    }
+
+    /// Byte-granular decompressor: one output byte per loop iteration.
+    pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Lz77Error> {
+        let mut out = Vec::with_capacity(expected_len);
+        let offset_bytes = *input
+            .first()
+            .ok_or_else(|| Lz77Error("missing format header".into()))?
+            as usize;
+        if offset_bytes != 2 && offset_bytes != 3 {
+            return Err(Lz77Error(format!("bad offset width {offset_bytes}")));
+        }
+        let mut pos = 1usize;
+
+        while out.len() < expected_len {
+            let control = *input
+                .get(pos)
+                .ok_or_else(|| Lz77Error("truncated control byte".into()))?;
+            pos += 1;
+            for bit in 0..8 {
+                if out.len() >= expected_len {
+                    break;
+                }
+                if control & (1 << bit) == 0 {
+                    let b = *input
+                        .get(pos)
+                        .ok_or_else(|| Lz77Error("truncated literal".into()))?;
+                    out.push(b);
+                    pos += 1;
+                } else {
+                    if pos + offset_bytes + 1 > input.len() {
+                        return Err(Lz77Error("truncated match".into()));
+                    }
+                    let mut le = [0u8; 4];
+                    le[..offset_bytes].copy_from_slice(&input[pos..pos + offset_bytes]);
+                    let dist = u32::from_le_bytes(le) as usize;
+                    let mut len_code = input[pos + offset_bytes] as usize;
+                    pos += offset_bytes + 1;
+                    let len = if len_code == 255 {
+                        if pos + 2 > input.len() {
+                            return Err(Lz77Error("truncated length extension".into()));
+                        }
+                        let ext = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+                        pos += 2;
+                        len_code = 255 + ext;
+                        MIN_MATCH + len_code
+                    } else {
+                        MIN_MATCH + len_code
+                    };
+                    if dist == 0 || dist > out.len() {
+                        return Err(Lz77Error(format!(
+                            "match distance {dist} invalid at output length {}",
+                            out.len()
+                        )));
+                    }
+                    if out.len() + len > expected_len {
+                        return Err(Lz77Error("match overruns expected length".into()));
+                    }
+                    let start = out.len() - dist;
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+// Reusable hash-chain tables. A scoped worker (bitshuffle block thread,
+// pfpc chunk thread) compresses many blocks over its lifetime; keeping the
+// tables thread-local amortizes the two table allocations across every
+// block the thread touches. `head` must be zeroed per call (it is probed
+// before any insertion); `prev` never needs clearing: every chain
+// traversal only reads slots written earlier in the same call, because a
+// chain is entered through `head` and each inserted position writes its
+// own `prev` slot.
+thread_local! {
+    static CHAIN_SCRATCH: RefCell<(Vec<u32>, Vec<u32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Chain-table slot for position `p`: an AND when the window is a power
+/// of two (every production config), a division otherwise. `mask` is
+/// `window - 1` for power-of-two windows and 0 otherwise (a window of at
+/// least [`MIN_MATCH`] makes 0 unambiguous).
+#[inline]
+fn chain_slot(p: usize, window: usize, mask: usize) -> usize {
+    if mask != 0 {
+        p & mask
+    } else {
+        p % window
+    }
+}
+
+/// In-bounds unaligned 8-byte little-endian load (callers guarantee
+/// `i + 8 <= data.len()`; a short read yields 0, never a panic).
+#[inline]
+fn load_u64(data: &[u8], i: usize) -> u64 {
+    match data.get(i..).and_then(|t| t.first_chunk::<8>()) {
+        Some(w) => u64::from_le_bytes(*w),
+        None => 0,
+    }
+}
+
+/// Word-at-a-time match extension: compare 8 bytes per step, then locate
+/// the first differing byte with `trailing_zeros`. Byte-for-byte
+/// equivalent to the reference's one-byte loop.
+#[inline]
+fn match_len(input: &[u8], c: usize, i: usize, max_len: usize) -> usize {
+    let mut l = 0usize;
+    while l + 8 <= max_len {
+        let a = load_u64(input, c + l);
+        let b = load_u64(input, i + l);
+        let x = a ^ b;
+        if x != 0 {
+            return l + (x.trailing_zeros() >> 3) as usize;
+        }
+        l += 8;
+    }
+    while l < max_len && input[c + l] == input[i + l] {
+        l += 1;
+    }
+    l
+}
+
 /// Compress `input` with the given effort configuration.
 pub fn compress(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
     let mut out = Vec::new();
@@ -63,6 +340,8 @@ pub fn compress(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
 
 /// Like [`compress`] but into a caller-owned buffer (contents replaced,
 /// capacity reused) — the zero-copy `Compressor::compress_into` hot path.
+///
+/// Emits streams byte-identical to [`reference::compress_into`].
 pub fn compress_into(input: &[u8], cfg: Lz77Config, out: &mut Vec<u8>) {
     assert!(cfg.window >= MIN_MATCH && cfg.window <= MAX_WINDOW);
     let offset_bytes: usize = if cfg.window <= u16::MAX as usize {
@@ -75,115 +354,116 @@ pub fn compress_into(input: &[u8], cfg: Lz77Config, out: &mut Vec<u8>) {
     out.reserve(n / 2 + 16);
     out.push(offset_bytes as u8);
 
-    // Pending group of up to 8 items sharing one control byte.
-    struct GroupBuf {
-        control: u8,
-        nitems: u32,
-        bytes: Vec<u8>,
-    }
-    impl GroupBuf {
-        fn push(&mut self, is_match: bool, item: &[u8], out: &mut Vec<u8>) {
-            if is_match {
-                self.control |= 1 << self.nitems;
-            }
-            self.bytes.extend_from_slice(item);
-            self.nitems += 1;
-            if self.nitems == 8 {
-                self.flush(out);
-            }
+    // Pending group of up to 8 items sharing one control byte, staged in a
+    // fixed stack buffer (worst case: 8 items x 6 bytes each).
+    let mut g_control = 0u8;
+    let mut g_nitems = 0u32;
+    let mut g_bytes = [0u8; 48];
+    let mut g_len = 0usize;
+
+    CHAIN_SCRATCH.with_borrow_mut(|(head, prev)| {
+        head.resize(1 << HASH_LOG, 0);
+        head.fill(0);
+        if prev.len() < cfg.window {
+            prev.resize(cfg.window, 0);
         }
-        fn flush(&mut self, out: &mut Vec<u8>) {
-            if self.nitems > 0 {
-                out.push(self.control);
-                out.extend_from_slice(&self.bytes);
-                self.control = 0;
-                self.nitems = 0;
-                self.bytes.clear();
-            }
-        }
-    }
-    let mut pending = GroupBuf {
-        control: 0,
-        nitems: 0,
-        bytes: Vec::with_capacity(8 * 6),
-    };
+        let mask = if cfg.window.is_power_of_two() {
+            cfg.window - 1
+        } else {
+            0
+        };
 
-    // head[h] = most recent position+1 with hash h; prev[i % window] = chain.
-    let mut head = vec![0u32; 1 << HASH_LOG];
-    let mut prev = vec![0u32; cfg.window];
+        let mut i = 0usize;
+        while i < n {
+            let mut best_len = 0usize;
+            let mut best_dist = 0usize;
 
-    let mut i = 0usize;
-    while i < n {
-        let mut best_len = 0usize;
-        let mut best_dist = 0usize;
-
-        if i + MIN_MATCH <= n {
-            let h = hash4(input, i);
-            let mut candidate = head[h] as usize;
-            let mut depth = cfg.chain_depth;
-            let max_len = n - i;
-            while candidate != 0 && depth > 0 {
-                let c = candidate - 1;
-                let dist = i - c;
-                if dist > cfg.window {
-                    break;
-                }
-                // Quick check on the byte past the current best.
-                if best_len == 0 || input.get(c + best_len) == input.get(i + best_len) {
-                    let mut l = 0usize;
-                    while l < max_len && input[c + l] == input[i + l] {
-                        l += 1;
+            if i + MIN_MATCH <= n {
+                let h = hash4(input, i);
+                let mut candidate = head[h] as usize;
+                let mut depth = cfg.chain_depth;
+                let max_len = n - i;
+                while candidate != 0 && depth > 0 {
+                    let c = candidate - 1;
+                    let dist = i - c;
+                    if dist > cfg.window {
+                        break;
                     }
-                    if l >= MIN_MATCH && l > best_len {
-                        best_len = l;
-                        best_dist = dist;
-                        if l >= max_len {
-                            break;
+                    // Quick check on the byte past the current best.
+                    if best_len == 0 || input.get(c + best_len) == input.get(i + best_len) {
+                        let l = match_len(input, c, i, max_len);
+                        if l >= MIN_MATCH && l > best_len {
+                            best_len = l;
+                            best_dist = dist;
+                            if l >= max_len {
+                                break;
+                            }
                         }
                     }
+                    candidate = prev[chain_slot(c, cfg.window, mask)] as usize;
+                    depth -= 1;
                 }
-                candidate = prev[c % cfg.window] as usize;
-                depth -= 1;
+                // Insert current position into the chain.
+                prev[chain_slot(i, cfg.window, mask)] = head[h];
+                head[h] = (i + 1) as u32;
             }
-            // Insert current position into the chain.
-            prev[i % cfg.window] = head[h];
-            head[h] = (i + 1) as u32;
-        }
 
-        if best_len >= MIN_MATCH {
-            let mut item = Vec::with_capacity(6);
-            item.extend_from_slice(&(best_dist as u32).to_le_bytes()[..offset_bytes]);
-            let code_len = best_len - MIN_MATCH;
-            if code_len < 255 {
-                item.push(code_len as u8);
-            } else {
-                item.push(255);
-                let ext = (code_len - 255).min(u16::MAX as usize);
-                item.extend_from_slice(&(ext as u16).to_le_bytes());
-            }
-            let actual_len = if code_len < 255 {
-                best_len
-            } else {
-                MIN_MATCH + 255 + (code_len - 255).min(u16::MAX as usize)
-            };
-            pending.push(true, &item, out);
+            if best_len >= MIN_MATCH {
+                let item_start = g_len;
+                g_bytes[g_len..g_len + 4].copy_from_slice(&(best_dist as u32).to_le_bytes());
+                g_len = item_start + offset_bytes;
+                let code_len = best_len - MIN_MATCH;
+                let actual_len = if code_len < 255 {
+                    g_bytes[g_len] = code_len as u8;
+                    g_len += 1;
+                    best_len
+                } else {
+                    let ext = (code_len - 255).min(u16::MAX as usize);
+                    g_bytes[g_len] = 255;
+                    g_bytes[g_len + 1..g_len + 3].copy_from_slice(&(ext as u16).to_le_bytes());
+                    g_len += 3;
+                    MIN_MATCH + 255 + ext
+                };
+                g_control |= 1 << g_nitems;
+                g_nitems += 1;
+                if g_nitems == 8 {
+                    out.push(g_control);
+                    out.extend_from_slice(&g_bytes[..g_len]);
+                    g_control = 0;
+                    g_nitems = 0;
+                    g_len = 0;
+                }
 
-            // Insert skipped positions into the chain (sparsely for speed).
-            let end = i + actual_len;
-            let mut j = i + 1;
-            while j < end && j + MIN_MATCH <= n {
-                let h = hash4(input, j);
-                prev[j % cfg.window] = head[h];
-                head[h] = (j + 1) as u32;
-                j += 1.max(actual_len / 16);
+                // Insert skipped positions into the chain (sparsely for speed).
+                let end = i + actual_len;
+                let step = 1.max(actual_len / 16);
+                let mut j = i + 1;
+                while j < end && j + MIN_MATCH <= n {
+                    let h = hash4(input, j);
+                    prev[chain_slot(j, cfg.window, mask)] = head[h];
+                    head[h] = (j + 1) as u32;
+                    j += step;
+                }
+                i = end;
+            } else {
+                g_bytes[g_len] = input[i];
+                g_len += 1;
+                g_nitems += 1;
+                if g_nitems == 8 {
+                    out.push(g_control);
+                    out.extend_from_slice(&g_bytes[..g_len]);
+                    g_control = 0;
+                    g_nitems = 0;
+                    g_len = 0;
+                }
+                i += 1;
             }
-            i = end;
-        } else {
-            pending.push(false, &[input[i]], out);
-            i += 1;
         }
+    });
+    if g_nitems > 0 {
+        out.push(g_control);
+        out.extend_from_slice(&g_bytes[..g_len]);
     }
-    pending.flush(out);
 }
 
 /// Error from [`decompress`].
@@ -199,6 +479,11 @@ impl std::fmt::Display for Lz77Error {
 impl std::error::Error for Lz77Error {}
 
 /// Decompress a stream produced by [`compress`].
+///
+/// Accepts and rejects exactly the same inputs as
+/// [`reference::decompress`], but copies matches with bulk slice
+/// operations (doubling self-extension for overlapping matches) and takes
+/// an 8-literal shortcut on all-literal control groups.
 pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Lz77Error> {
     let mut out = Vec::with_capacity(expected_len);
     let offset_bytes = *input
@@ -214,6 +499,12 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Lz77Erro
             .get(pos)
             .ok_or_else(|| Lz77Error("truncated control byte".into()))?;
         pos += 1;
+        // Fast path: a full group of 8 literals, all needed and present.
+        if control == 0 && out.len() + 8 <= expected_len && pos + 8 <= input.len() {
+            out.extend_from_slice(&input[pos..pos + 8]);
+            pos += 8;
+            continue;
+        }
         for bit in 0..8 {
             if out.len() >= expected_len {
                 break;
@@ -254,9 +545,19 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Lz77Erro
                     return Err(Lz77Error("match overruns expected length".into()));
                 }
                 let start = out.len() - dist;
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                if dist >= len {
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping match: the copy source grows as we write.
+                    // Doubling self-extension replicates the pattern in
+                    // O(log(len/dist)) bulk copies.
+                    let mut remaining = len;
+                    while remaining > 0 {
+                        let avail = out.len() - start;
+                        let take = avail.min(remaining);
+                        out.extend_from_within(start..start + take);
+                        remaining -= take;
+                    }
                 }
             }
         }
@@ -373,5 +674,114 @@ mod tests {
         let c = compress(&data, Lz77Config::thorough());
         assert!(c.len() < data.len() / 3);
         round_trip(&data, Lz77Config::thorough());
+    }
+
+    // ---- differential tests against the retained reference ----
+
+    fn assert_identical(data: &[u8], cfg: Lz77Config) {
+        let fast = compress(data, cfg);
+        let slow = reference::compress(data, cfg);
+        assert_eq!(
+            fast,
+            slow,
+            "compressed stream diverged from reference ({} bytes, window {})",
+            data.len(),
+            cfg.window
+        );
+        let d_fast = decompress(&fast, data.len()).expect("fast decompress");
+        let d_slow = reference::decompress(&fast, data.len()).expect("reference decompress");
+        assert_eq!(d_fast, d_slow);
+        assert_eq!(d_fast, data);
+    }
+
+    /// Patterned generator exercising literals, short matches, long runs,
+    /// and near-boundary repeats for a given length.
+    fn patterned(n: usize, seed: u32) -> Vec<u8> {
+        let mut x = seed | 1;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            match x % 4 {
+                0 => data.push((x >> 8) as u8),
+                1 => {
+                    let run = 1 + (x as usize >> 16) % 40;
+                    data.extend(std::iter::repeat_n((x >> 24) as u8, run));
+                }
+                2 if !data.is_empty() => {
+                    let dist = 1 + (x as usize >> 12) % data.len();
+                    let len = 1 + (x as usize >> 20) % 30;
+                    let start = data.len() - dist;
+                    for k in 0..len {
+                        let b = data[start + (k % dist)];
+                        data.push(b);
+                    }
+                }
+                _ => data.extend_from_slice(&(x as f32).to_le_bytes()),
+            }
+        }
+        data.truncate(n);
+        data
+    }
+
+    #[test]
+    fn exhaustive_small_sizes_match_reference() {
+        // Every length through several group boundaries, three seeds each,
+        // both offset widths.
+        for n in 0..=96usize {
+            for seed in [1u32, 0xDEAD, 0xBEEF7] {
+                let data = patterned(n, seed.wrapping_add(n as u32));
+                assert_identical(&data, Lz77Config::fast());
+                assert_identical(&data, Lz77Config::thorough());
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_window_matches_reference() {
+        // Small windows hit the dist > window chain break and the
+        // prev-slot aliasing path (positions beyond one window wrap).
+        for window in [4usize, 16, 64, 100] {
+            let cfg = Lz77Config {
+                window,
+                chain_depth: 8,
+            };
+            for seed in [3u32, 0xACE] {
+                let data = patterned(window * 5 + 7, seed);
+                assert_identical(&data, cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn long_match_extension_matches_reference() {
+        // Matches beyond 258 force the u16 length extension and the
+        // sparse chain-insertion stride.
+        let mut data = vec![7u8; 70_000];
+        data[0] = 1;
+        for (i, b) in data.iter_mut().enumerate().skip(40_000).take(300) {
+            *b = (i % 251) as u8;
+        }
+        assert_identical(&data, Lz77Config::fast());
+        assert_identical(&data, Lz77Config::thorough());
+    }
+
+    #[test]
+    fn scratch_reuse_across_configs_matches_reference() {
+        // Interleave configs on one thread: thread-local chain tables must
+        // not leak state between calls with different windows.
+        let a = patterned(20_000, 11);
+        let b = patterned(5_000, 99);
+        assert_identical(&a, Lz77Config::thorough());
+        assert_identical(&b, Lz77Config::fast());
+        assert_identical(
+            &a,
+            Lz77Config {
+                window: 64,
+                chain_depth: 4,
+            },
+        );
+        assert_identical(&b, Lz77Config::thorough());
     }
 }

@@ -55,37 +55,70 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     compress_with(input, Lz77Config::thorough())
 }
 
+// The match-stage candidates and the winning Huffman body, staged in
+// per-thread buffers: a bitshuffle/pipeline worker compresses many
+// frames, so the staging capacity is allocated once per thread instead of
+// per frame.
+thread_local! {
+    static CANDIDATE_SCRATCH: std::cell::RefCell<[Vec<u8>; 3]> =
+        const { std::cell::RefCell::new([const { Vec::new() }; 3]) };
+}
+
 /// Compress with an explicit LZ77 configuration.
+///
+/// Mode selection prices the three Huffman candidates via
+/// [`huffman::encoded_len`] (one histogram pass each, exact by
+/// construction) and materializes only the winning body — the selected
+/// mode and emitted frame are identical to encoding all six candidates
+/// and keeping the smallest, at roughly half the entropy-stage work.
 pub fn compress_with(input: &[u8], cfg: Lz77Config) -> Vec<u8> {
-    let lz = lz77::compress(input, cfg);
-    let lz_huff = huffman::encode(&lz);
-    let raw_huff = huffman::encode(input);
-    let l4 = lz4::compress(input);
-    let l4_huff = huffman::encode(&l4);
+    CANDIDATE_SCRATCH.with_borrow_mut(|[lz, l4, huff]| {
+        lz77::compress_into(input, cfg, lz);
+        lz4::compress_into(input, l4);
 
-    let candidates: [(u8, &[u8]); 6] = [
-        (MODE_LZ_RAW, &lz),
-        (MODE_LZ_HUFF, &lz_huff),
-        (MODE_HUFF_ONLY, &raw_huff),
-        (MODE_STORED, input),
-        (MODE_LZ4_RAW, &l4),
-        (MODE_LZ4_HUFF, &l4_huff),
-    ];
-    let (mode, body) = candidates.iter().skip(1).fold(&candidates[0], |best, c| {
-        if c.1.len() < best.1.len() {
-            c
-        } else {
-            best
-        }
-    });
+        // Candidate sizes in mode order; first strict minimum wins, so
+        // ties resolve exactly as the materialize-everything fold did.
+        let sizes: [(u8, usize); 6] = [
+            (MODE_LZ_RAW, lz.len()),
+            (MODE_LZ_HUFF, huffman::encoded_len(lz)),
+            (MODE_HUFF_ONLY, huffman::encoded_len(input)),
+            (MODE_STORED, input.len()),
+            (MODE_LZ4_RAW, l4.len()),
+            (MODE_LZ4_HUFF, huffman::encoded_len(l4)),
+        ];
+        let (mode, body_len) =
+            sizes
+                .iter()
+                .skip(1)
+                .fold(&sizes[0], |best, c| if c.1 < best.1 { c } else { best });
 
-    let mut out = Vec::with_capacity(10 + body.len());
-    out.push(MAGIC);
-    out.push(*mode);
-    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
-    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(body);
-    out
+        let body: &[u8] = match *mode {
+            MODE_LZ_RAW => lz,
+            MODE_LZ_HUFF => {
+                huffman::encode_into(lz, huff);
+                huff
+            }
+            MODE_HUFF_ONLY => {
+                huffman::encode_into(input, huff);
+                huff
+            }
+            MODE_LZ4_RAW => l4,
+            MODE_LZ4_HUFF => {
+                huffman::encode_into(l4, huff);
+                huff
+            }
+            _ => input, // MODE_STORED
+        };
+        debug_assert_eq!(body.len(), *body_len);
+
+        let mut out = Vec::with_capacity(10 + body.len());
+        out.push(MAGIC);
+        out.push(*mode);
+        out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(body);
+        out
+    })
 }
 
 /// Decompress a [`compress`] stream.

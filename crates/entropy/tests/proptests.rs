@@ -206,6 +206,54 @@ proptest! {
         }
     }
 
+    // ---- differential: the word-at-a-time lz77 kernel vs the retained
+    // byte-granular reference. Compressed streams must be byte-identical
+    // and both decompressors must agree on arbitrary inputs.
+
+    #[test]
+    fn lz77_compress_matches_reference(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        for cfg in [Lz77Config::fast(), Lz77Config::thorough(),
+                    Lz77Config { window: 64, chain_depth: 4 }] {
+            let fast = lz77::compress(&data, cfg);
+            let slow = lz77::reference::compress(&data, cfg);
+            prop_assert_eq!(&fast, &slow);
+            prop_assert_eq!(lz77::decompress(&fast, data.len()).unwrap(), data.clone());
+        }
+    }
+
+    #[test]
+    fn lz77_compressible_matches_reference(
+        runs in prop::collection::vec((any::<u8>(), 1usize..60), 0..200),
+    ) {
+        let mut data = Vec::new();
+        for &(b, n) in &runs {
+            data.extend(std::iter::repeat_n(b, n));
+        }
+        for cfg in [Lz77Config::fast(), Lz77Config::thorough()] {
+            let fast = lz77::compress(&data, cfg);
+            let slow = lz77::reference::compress(&data, cfg);
+            prop_assert_eq!(&fast, &slow);
+            prop_assert_eq!(
+                lz77::decompress(&fast, data.len()).unwrap(),
+                lz77::reference::decompress(&fast, data.len()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn lz77_decompress_agrees_with_reference_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..500),
+        expected in 0usize..256,
+    ) {
+        let fast = lz77::decompress(&bytes, expected);
+        let slow = lz77::reference::decompress(&bytes, expected);
+        match (fast, slow) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "fast {a:?} vs reference {b:?}"),
+        }
+    }
+
     #[test]
     fn huffman_inverse_pair(data in prop::collection::vec(any::<u8>(), 0..4000)) {
         let c = huffman::encode(&data);
