@@ -8,7 +8,7 @@
 //! fcbench bench-json          write the machine-readable perf snapshot
 //! fcbench --elems N <exp>     scaled dataset size (default 131072)
 //! fcbench --reps N <exp>      timing repetitions per cell (default 1)
-//! fcbench --out PATH          snapshot path for bench-json (default BENCH_7.json)
+//! fcbench --out PATH          snapshot path for bench-json (default BENCH_8.json)
 //! ```
 
 use fcbench_bench::alloc_track::{mark_installed, CountingAllocator};
@@ -26,7 +26,7 @@ struct Opts {
 
 /// PR number stamped into perf snapshots; the default snapshot path is
 /// `BENCH_<PERF_PR>.json`.
-const PERF_PR: u32 = 7;
+const PERF_PR: u32 = 8;
 
 fn parse_args() -> Opts {
     let mut elems = DEFAULT_ELEMS;

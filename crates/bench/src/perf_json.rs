@@ -17,8 +17,12 @@ use fcbench_datasets::{find, generate};
 use std::time::Instant;
 
 /// Snapshot schema identifier, bumped on layout changes (v2 added the
-/// FCDB2 `container` write/read section).
-pub const SCHEMA: &str = "fcbench-perf-v2";
+/// FCDB2 `container` write/read section; v3 added the `env` block and the
+/// `serve` section with loopback request p50/p99 at several connection
+/// counts). Consumers diffing across PRs should key on this field —
+/// earlier snapshots simply lack the newer sections, so backfill-safe
+/// tooling treats a missing section as "not measured", never an error.
+pub const SCHEMA: &str = "fcbench-perf-v3";
 
 /// Datasets making up the corpus: one representative per domain, matching
 /// the `throughput` bench's selection.
@@ -146,6 +150,98 @@ fn measure_container(elems: usize, reps: usize) -> Vec<ContainerRates> {
     rows
 }
 
+/// Connection counts for the serve-path rows: the scaling sweep the
+/// serving layer is judged on.
+pub const SERVE_CONNECTIONS: [usize; 4] = [1, 8, 64, 256];
+
+/// Codec driven through the loopback server (thread-scalable, accepts
+/// every corpus shape, fast enough that the measurement is the serving
+/// path rather than the kernel).
+pub const SERVE_CODEC: &str = "gorilla";
+
+/// Block size for serve-path COMPRESS requests, in elements.
+pub const SERVE_BLOCK_ELEMS: usize = 1024;
+
+struct ServeRates {
+    connections: usize,
+    /// Total COMPRESS requests served across all connections.
+    requests: usize,
+    /// Server-side request latency quantiles (`serve.request.compress`),
+    /// read back over the wire via `STATS_V2`.
+    p50_us: f64,
+    p99_us: f64,
+    /// Aggregate requests per second over the measurement wall time.
+    rps: f64,
+}
+
+/// Drive a loopback `FCS1` server at each connection count and read the
+/// serve-path latency distribution back out of the server's own telemetry
+/// (`STATS_V2`), so the p50/p99 rows are what the *server* measured —
+/// queue effects included — not a client-side stopwatch. Each round gets
+/// a fresh server and pool so its histograms cover exactly that round.
+fn measure_serve(elems: usize, reps: usize) -> Vec<ServeRates> {
+    let data = generate(&find("citytemp").expect("catalog dataset"), elems);
+    let per_client = reps.clamp(1, 8);
+    SERVE_CONNECTIONS
+        .iter()
+        .map(|&conns| serve_round(conns, &data, per_client))
+        .collect()
+}
+
+/// One serve-bench round: fresh server and pool, `conns` concurrent
+/// clients issuing `per_client` COMPRESS requests each, quantiles from
+/// the server's own histograms.
+fn serve_round(conns: usize, data: &FloatData, per_client: usize) -> ServeRates {
+    use fcbench_serve::{Client, ServeConfig, Server};
+    use std::sync::Arc;
+
+    let registry = Arc::new(full_registry());
+    let pool = Arc::new(WorkerPool::new(PoolConfig::for_host()));
+    let server =
+        Server::bind("127.0.0.1:0", registry, pool, ServeConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    let running = server.spawn();
+
+    let t = Instant::now();
+    let workers: Vec<_> = (0..conns)
+        .map(|_| {
+            let data = data.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..per_client {
+                    std::hint::black_box(
+                        client
+                            .compress(SERVE_CODEC, &data, SERVE_BLOCK_ELEMS)
+                            .expect("serve compress"),
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("serve client thread");
+    }
+    let wall = t.elapsed().as_secs_f64();
+
+    let mut admin = Client::connect(addr).expect("connect admin");
+    let v2 = admin.stats_v2().expect("stats_v2");
+    let hist = v2
+        .histogram("serve.request.compress")
+        .expect("compress latency histogram");
+    let requests = conns * per_client;
+    assert_eq!(hist.count() as usize, requests, "every request was timed");
+    let row = ServeRates {
+        connections: conns,
+        requests,
+        p50_us: hist.p50() as f64 / 1e3,
+        p99_us: hist.p99() as f64 / 1e3,
+        rps: requests as f64 / wall.max(f64::EPSILON),
+    };
+    drop(admin);
+    running.shutdown().expect("serve shutdown");
+    row
+}
+
 /// Render the snapshot as pretty-printed JSON.
 fn render(
     pr: u32,
@@ -153,6 +249,7 @@ fn render(
     reps: usize,
     rows: &[CodecRates],
     container: &[ContainerRates],
+    serve: &[ServeRates],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -160,6 +257,16 @@ fn render(
     s.push_str(&format!("  \"pr\": {pr},\n"));
     s.push_str(&format!("  \"elems\": {elems},\n"));
     s.push_str(&format!("  \"reps\": {reps},\n"));
+    // Environment block (v3): what the numbers were taken on, so a
+    // trajectory diff can tell a real regression from a host change.
+    let host = PoolConfig::for_host();
+    s.push_str("  \"env\": {\n");
+    s.push_str(&format!("    \"threads\": {},\n", host.threads));
+    s.push_str(&format!("    \"queue_depth\": {},\n", host.queue_depth));
+    s.push_str(&format!("    \"block_elems\": {},\n", host.block_elems));
+    s.push_str(&format!("    \"os\": \"{}\",\n", std::env::consts::OS));
+    s.push_str(&format!("    \"arch\": \"{}\"\n", std::env::consts::ARCH));
+    s.push_str("  },\n");
     let corpus = CORPUS
         .iter()
         .map(|d| format!("\"{d}\""))
@@ -185,7 +292,20 @@ fn render(
             r.name, r.write_mb_s, r.read_mb_s
         ));
     }
-    s.push_str("  }\n}\n");
+    s.push_str("  },\n");
+    // Serve section (v3): server-measured request latency over loopback,
+    // one row per connection count.
+    s.push_str(&format!(
+        "  \"serve\": {{\n    \"codec\": \"{SERVE_CODEC}\",\n    \"block_elems\": {SERVE_BLOCK_ELEMS},\n    \"rows\": [\n"
+    ));
+    for (i, r) in serve.iter().enumerate() {
+        let comma = if i + 1 == serve.len() { "" } else { "," };
+        s.push_str(&format!(
+            "      {{\"connections\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"rps\": {:.0}}}{comma}\n",
+            r.connections, r.requests, r.p50_us, r.p99_us, r.rps
+        ));
+    }
+    s.push_str("    ]\n  }\n}\n");
     s
 }
 
@@ -194,7 +314,8 @@ fn render(
 pub fn write_snapshot(path: &str, pr: u32, elems: usize, reps: usize) -> std::io::Result<String> {
     let rows = measure(elems, reps);
     let container = measure_container(elems, reps);
-    let json = render(pr, elems, reps, &rows, &container);
+    let serve = measure_serve(elems, reps);
+    let json = render(pr, elems, reps, &rows, &container, &serve);
     std::fs::write(path, &json)?;
     Ok(json)
 }
@@ -220,7 +341,16 @@ mod tests {
             assert!(names.contains(&hot), "{hot} missing from snapshot");
         }
         let container = measure_container(512, 1);
-        let json = render(7, 512, 1, &rows, &container);
+        // One tiny serve row is enough for shape checks: the full
+        // connection sweep runs in `bench-json` proper, not unit tests.
+        let serve = vec![ServeRates {
+            connections: 1,
+            requests: 2,
+            p50_us: 120.0,
+            p99_us: 450.0,
+            rps: 1000.0,
+        }];
+        let json = render(8, 512, 1, &rows, &container, &serve);
         // Minimal structural checks without a JSON parser: balanced
         // braces, schema line, one entry per codec.
         assert_eq!(
@@ -228,7 +358,11 @@ mod tests {
             json.matches('}').count(),
             "unbalanced braces"
         );
-        assert!(json.contains("\"schema\": \"fcbench-perf-v2\""));
+        assert!(json.contains("\"schema\": \"fcbench-perf-v3\""));
+        assert!(json.contains("\"env\""));
+        assert!(json.contains("\"threads\""));
+        assert!(json.contains("\"serve\""));
+        assert!(json.contains("\"p99_us\": 450.0"));
         for r in &rows {
             assert!(json.contains(&format!("\"{}\"", r.name)));
             assert!(r.compress_mb_s.is_finite() && r.compress_mb_s > 0.0);
@@ -240,5 +374,16 @@ mod tests {
             assert!(r.write_mb_s.is_finite() && r.write_mb_s > 0.0);
             assert!(r.read_mb_s.is_finite() && r.read_mb_s > 0.0);
         }
+    }
+
+    #[test]
+    fn serve_round_quantiles_come_from_the_server_histogram() {
+        let data = generate(&find("citytemp").expect("catalog dataset"), 256);
+        let row = serve_round(2, &data, 2);
+        assert_eq!(row.connections, 2);
+        assert_eq!(row.requests, 4);
+        assert!(row.p50_us > 0.0, "server timed the requests");
+        assert!(row.p99_us >= row.p50_us);
+        assert!(row.rps.is_finite() && row.rps > 0.0);
     }
 }

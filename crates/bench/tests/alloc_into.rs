@@ -13,6 +13,7 @@ use fcbench_bench::codecs::{full_registry, paper_registry};
 use fcbench_core::pool::{PoolConfig, WorkerPool};
 use fcbench_core::{Domain, FloatData, Precision};
 use fcbench_dbsim::{ChunkExec, ContainerWriter};
+use fcbench_telemetry::{Registry, Snapshot};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -32,6 +33,49 @@ fn main() {
     println!("test streaming_container_writes_do_not_allocate_per_record ... ok");
     streaming_container_writer_memory_stays_bounded();
     println!("test streaming_container_writer_memory_stays_bounded ... ok");
+    telemetry_records_and_warm_snapshots_do_not_allocate();
+    println!("test telemetry_records_and_warm_snapshots_do_not_allocate ... ok");
+}
+
+/// The telemetry spine's overhead contract: recording through a
+/// pre-resolved handle (counter bump, gauge set, scoped gauge guard,
+/// histogram record/span) is a handful of relaxed atomics — **zero**
+/// allocations — and a warm [`Registry::snapshot_into`] refreshes every
+/// row in place without touching the allocator either. The warm-pool test
+/// above doubles as the end-to-end proof: pool submits stay at zero
+/// allocations *with* queue-wait/exec histograms recording on every job.
+fn telemetry_records_and_warm_snapshots_do_not_allocate() {
+    alloc_track::mark_installed();
+    let registry = Registry::new();
+    let counter = registry.counter("alloc.test.counter");
+    let gauge = registry.gauge("alloc.test.gauge");
+    let hist = registry.histogram("alloc.test.latency");
+
+    let (allocs, _) = alloc_track::count_allocations(|| {
+        for i in 0..1000u64 {
+            counter.inc();
+            gauge.set(i);
+            let _held = gauge.inc_scoped();
+            hist.record(i * 37 + 1);
+            let _span = hist.start_span();
+        }
+    });
+    assert_eq!(allocs, 0, "telemetry record hot path must not allocate");
+
+    // First snapshot sizes the rows and bucket boxes; after that the
+    // refresh is in-place.
+    let mut snap = Snapshot::default();
+    registry.snapshot_into(&mut snap);
+    let (allocs, _) = alloc_track::count_allocations(|| {
+        for _ in 0..10 {
+            registry.snapshot_into(&mut snap);
+        }
+    });
+    assert_eq!(allocs, 0, "warm snapshot_into must not allocate");
+    assert_eq!(snap.counter("alloc.test.counter"), Some(1000));
+    let latency = snap.histogram("alloc.test.latency").expect("histogram row");
+    // 1000 explicit records + 1000 span drops.
+    assert_eq!(latency.count(), 2000);
 }
 
 fn telemetry(n: usize) -> FloatData {

@@ -148,7 +148,7 @@ fn transpose8(x: u64) -> u64 {
 /// multiple of 8 so every output lane is whole bytes.
 ///
 /// Blocked kernel: each group of 8 elements is processed one element-byte
-/// column at a time — gather 8 bytes into a u64, [`transpose8`] it, and
+/// column at a time — gather 8 bytes into a u64, `transpose8` it, and
 /// scatter the 8 result bytes into 8 consecutive bit-lane planes. Eight
 /// bits move per load/store instead of one, and the inner loops are
 /// branch-free gather/transpose/scatter the compiler can vectorize.
@@ -232,7 +232,7 @@ pub fn bit_untranspose(data: &[u8], elems: usize, elem_bits: usize) -> Vec<u8> {
 
 /// [`bit_untranspose`] into a caller-owned buffer (contents replaced,
 /// capacity reused). Same blocked kernel as the forward direction with
-/// gather and scatter swapped ([`transpose8`] is an involution).
+/// gather and scatter swapped (`transpose8` is an involution).
 pub fn bit_untranspose_into(data: &[u8], elems: usize, elem_bits: usize, out: &mut Vec<u8>) {
     debug_assert_eq!(data.len(), elems * elem_bits / 8);
     debug_assert_eq!(elems % 8, 0);

@@ -71,9 +71,11 @@ use crate::data::{DataDesc, FloatData};
 use crate::error::{Error, Result};
 use crate::sync::thread::JoinHandle;
 use crate::sync::{lock, wait, AtomicU64, Condvar, Mutex};
+use fcbench_telemetry::{Counter, Gauge, Histogram, HistogramFamily, Registry};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of a [`WorkerPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +157,8 @@ struct Slot {
     data: FloatData,
     /// Compress: the produced payload. Decompress: the input payload.
     buf: Vec<u8>,
+    /// Stamped at enqueue; the worker turns it into the queue-wait sample.
+    enqueued_at: Option<Instant>,
 }
 
 impl Slot {
@@ -165,6 +169,7 @@ impl Slot {
             desc: FloatData::scratch().desc().clone(),
             data: FloatData::scratch(),
             buf: Vec::new(),
+            enqueued_at: None,
         }
     }
 
@@ -238,6 +243,40 @@ struct Inner {
     shutdown: bool,
 }
 
+/// Pre-resolved telemetry handles: every record below is a handful of
+/// relaxed atomic ops, so instrumentation never shows up in the profiles
+/// it feeds (the alloc test in `crates/bench/tests/alloc_into.rs` holds
+/// warm submits to zero allocations with all of this enabled).
+struct PoolMetrics {
+    registry: Arc<Registry>,
+    /// `pool.queue_wait` — enqueue to worker pickup, nanoseconds.
+    queue_wait: Histogram,
+    /// `pool.exec` — codec execution time inside the worker.
+    exec: Histogram,
+    /// `pool.exec.codec.<name>` — per-codec job timing.
+    exec_codec: HistogramFamily,
+    /// `pool.drain.stalls` — saturated submits that collected their own
+    /// oldest job before getting a slot.
+    drain_stalls: Counter,
+    /// `pool.slots.occupied` — slots currently in flight (acquired, queued,
+    /// running, or awaiting collection).
+    slots_occupied: Gauge,
+}
+
+impl PoolMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        PoolMetrics {
+            queue_wait: registry.histogram("pool.queue_wait"),
+            exec: registry.histogram("pool.exec"),
+            exec_codec: registry.histogram_family("pool.exec.codec"),
+            drain_stalls: registry.counter("pool.drain.stalls"),
+            slots_occupied: registry.gauge("pool.slots.occupied"),
+            registry,
+        }
+    }
+}
+
 struct Shared {
     inner: Mutex<Inner>,
     /// Workers wait here for queued jobs.
@@ -251,6 +290,7 @@ struct Shared {
     slots: Box<[Mutex<Slot>]>,
     /// Jobs executed over the pool's lifetime (includes abandoned ones).
     jobs_done: AtomicU64,
+    metrics: PoolMetrics,
 }
 
 // Lock poisoning: the pool uses the engine-wide policy implemented by
@@ -263,6 +303,14 @@ struct Shared {
 // `panicking_collect_closures_do_not_leak_slots` pin this down.
 
 impl Shared {
+    /// Refresh the occupancy gauge from the free-list length; called under
+    /// the pool lock at every point the free list changes.
+    fn note_occupancy(&self, inner: &Inner) {
+        self.metrics
+            .slots_occupied
+            .set((self.slots.len() - inner.free.len()) as u64);
+    }
+
     /// Mark `idx` finished (or recycle it if abandoned) and wake waiters.
     fn complete(&self, idx: usize, result: Result<usize>) {
         let mut inner = lock(&self.inner);
@@ -276,6 +324,7 @@ impl Shared {
         if abandoned {
             inner.states[idx] = JobState::Free;
             inner.free.push(idx);
+            self.note_occupancy(&inner);
             self.free.notify_all();
         } else {
             inner.states[idx] = JobState::Done(result);
@@ -307,7 +356,15 @@ fn worker_loop(shared: &Shared) {
         // typed error to the collector.
         let result = {
             let mut slot = lock(&shared.slots[idx]);
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| slot.execute()))
+            if let Some(enqueued) = slot.enqueued_at.take() {
+                shared
+                    .metrics
+                    .queue_wait
+                    .record_duration(enqueued.elapsed());
+            }
+            let codec_name = slot.codec.as_ref().map(|c| c.info().name);
+            let started = Instant::now();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| slot.execute()))
                 .unwrap_or_else(|panic| {
                     let msg = panic
                         .downcast_ref::<&str>()
@@ -315,7 +372,13 @@ fn worker_loop(shared: &Shared) {
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "worker panicked".to_string());
                     Err(Error::WorkerPanic(msg))
-                })
+                });
+            let elapsed = started.elapsed();
+            shared.metrics.exec.record_duration(elapsed);
+            if let Some(h) = codec_name.and_then(|name| shared.metrics.exec_codec.get(name)) {
+                h.record_duration(elapsed);
+            }
+            result
         };
         shared.complete(idx, result);
     }
@@ -352,6 +415,7 @@ impl WorkerPool {
             free: Condvar::new(),
             slots: (0..depth).map(|_| Mutex::new(Slot::new())).collect(),
             jobs_done: AtomicU64::new(0),
+            metrics: PoolMetrics::new(),
         });
         let handles = (0..threads)
             .map(|i| {
@@ -395,6 +459,15 @@ impl WorkerPool {
         self.shared.jobs_done.load(Ordering::Relaxed)
     }
 
+    /// The pool's telemetry registry: `pool.queue_wait`, `pool.exec`,
+    /// `pool.exec.codec.<name>`, `pool.drain.stalls`, and
+    /// `pool.slots.occupied`. Layers built on the pool (frame streams, the
+    /// FCS1 server) register their own metrics here so one registry spans
+    /// the whole stack.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.shared.metrics.registry
+    }
+
     /// Acquire a free slot, blocking while all are in flight.
     ///
     /// Deadlock discipline: a caller that already holds uncollected
@@ -410,6 +483,7 @@ impl WorkerPool {
                 return Err(Error::Unsupported("worker pool is shut down".into()));
             }
             if let Some(idx) = inner.free.pop() {
+                self.shared.note_occupancy(&inner);
                 return Ok(idx);
             }
             inner = wait(&self.shared.free, inner);
@@ -423,7 +497,11 @@ impl WorkerPool {
         if inner.shutdown {
             return Err(Error::Unsupported("worker pool is shut down".into()));
         }
-        Ok(inner.free.pop())
+        let idx = inner.free.pop();
+        if idx.is_some() {
+            self.shared.note_occupancy(&inner);
+        }
+        Ok(idx)
     }
 
     /// Return an acquired-but-never-enqueued slot to the free list
@@ -431,6 +509,7 @@ impl WorkerPool {
     fn release_unused_slot(&self, idx: usize) {
         let mut inner = lock(&self.shared.inner);
         inner.free.push(idx);
+        self.shared.note_occupancy(&inner);
         drop(inner);
         self.shared.free.notify_all();
     }
@@ -464,6 +543,7 @@ impl WorkerPool {
                 self.release_unused_slot(idx);
                 return Err(e);
             }
+            slot.enqueued_at = Some(Instant::now());
         }
         self.enqueue(idx);
         Ok(Ticket::new(Arc::clone(&self.shared), idx))
@@ -484,6 +564,7 @@ impl WorkerPool {
             slot.set_desc(desc);
             slot.buf.clear();
             slot.buf.extend_from_slice(payload);
+            slot.enqueued_at = Some(Instant::now());
         }
         self.enqueue(idx);
         Ok(Ticket::new(Arc::clone(&self.shared), idx))
@@ -577,6 +658,7 @@ impl WorkerPool {
             if !drain_own()? {
                 return self.acquire_slot();
             }
+            self.shared.metrics.drain_stalls.inc();
         }
     }
 
@@ -736,6 +818,7 @@ impl Ticket {
             fn drop(&mut self) {
                 let mut inner = lock(&self.shared.inner);
                 inner.free.push(self.idx);
+                self.shared.note_occupancy(&inner);
                 drop(inner);
                 self.shared.free.notify_all();
             }
@@ -771,6 +854,7 @@ impl Drop for Ticket {
             state @ JobState::Done(_) => {
                 *state = JobState::Free;
                 inner.free.push(self.slot);
+                self.shared.note_occupancy(&inner);
                 drop(inner);
                 self.shared.free.notify_all();
             }
@@ -1130,6 +1214,34 @@ mod tests {
             .submit_compress(&codec, data.desc(), data.bytes())
             .unwrap();
         t.collect(|b| assert_eq!(b, data.bytes())).unwrap();
+    }
+
+    #[test]
+    fn telemetry_counts_jobs_and_settles_occupancy() {
+        let pool = WorkerPool::new(PoolConfig::with_threads(2));
+        let codec = arc(Store);
+        let data = sample(64);
+        for _ in 0..5 {
+            let t = pool
+                .submit_compress(&codec, data.desc(), data.bytes())
+                .unwrap();
+            t.collect(|_| ()).unwrap();
+        }
+        let snap = pool.telemetry().snapshot();
+        assert_eq!(snap.histogram("pool.exec").map(|h| h.count()), Some(5));
+        assert_eq!(
+            snap.histogram("pool.queue_wait").map(|h| h.count()),
+            Some(5)
+        );
+        assert_eq!(
+            snap.histogram("pool.exec.codec.store").map(|h| h.count()),
+            Some(5)
+        );
+        assert_eq!(
+            snap.gauge("pool.slots.occupied"),
+            Some(0),
+            "every slot recycled after collect"
+        );
     }
 
     #[test]

@@ -58,6 +58,7 @@ use crate::data::{DataDesc, FloatData};
 use crate::error::{Error, Result};
 use crate::frame::{decode_stream_header, encode_stream_header};
 use crate::pool::{Ticket, WorkerPool};
+use fcbench_telemetry::{Counter, InflightGauge};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -258,6 +259,9 @@ pub struct FrameWriter<W: Write> {
     consumed: usize,
     /// Bytes emitted to the sink so far.
     written: u64,
+    /// This writer's share of the pool-wide
+    /// `stream.writer.blocks_in_flight` gauge (no-op without a pool).
+    inflight: InflightGauge,
 }
 
 impl<W: Write> FrameWriter<W> {
@@ -280,6 +284,9 @@ impl<W: Write> FrameWriter<W> {
             dims: vec![0],
             domain: desc.domain,
         };
+        let inflight = pool.as_ref().map_or_else(InflightGauge::detached, |p| {
+            InflightGauge::attached(p.telemetry().gauge("stream.writer.blocks_in_flight"))
+        });
         Ok(FrameWriter {
             sink,
             codec,
@@ -295,6 +302,7 @@ impl<W: Write> FrameWriter<W> {
             consumed: 0,
             written: prologue.len() as u64,
             desc,
+            inflight,
         })
     }
 
@@ -331,6 +339,7 @@ impl<W: Write> FrameWriter<W> {
             // Free our pool slots right away — an errored writer must not
             // pin the engine for other sessions.
             self.pending.clear();
+            self.inflight.sync(0);
         }
         r
     }
@@ -388,12 +397,14 @@ impl<W: Write> FrameWriter<W> {
                     written,
                     codec,
                     bdesc,
+                    inflight,
                     ..
                 } = self;
                 let ticket = pool.submit_compress_draining(codec, bdesc, block, || {
                     flush_oldest(pending, sink, written)
                 })?;
                 pending.push_back(ticket);
+                inflight.sync(pending.len());
                 Ok(())
             }
             None => {
@@ -410,6 +421,7 @@ impl<W: Write> FrameWriter<W> {
     /// Collect the oldest in-flight block and write its record.
     fn flush_front(&mut self) -> Result<()> {
         flush_oldest(&mut self.pending, &mut self.sink, &mut self.written)?;
+        self.inflight.sync(self.pending.len());
         Ok(())
     }
 
@@ -427,6 +439,7 @@ impl<W: Write> FrameWriter<W> {
         while self.pending.front().is_some_and(Ticket::is_finished) {
             if let Err(e) = self.flush_front() {
                 self.pending.clear();
+                self.inflight.sync(0);
                 return Err(e);
             }
             flushed += 1;
@@ -515,6 +528,12 @@ pub struct FrameReader<R: Read> {
     current: Vec<u8>,
     /// Inline mode: the reusable decode target.
     scratch: FloatData,
+    /// This reader's share of the pool-wide
+    /// `stream.reader.blocks_in_flight` gauge (no-op without a pool).
+    inflight: InflightGauge,
+    /// `stream.reader.read_ahead.stalls` — times the caller had to wait on
+    /// a block the read-ahead had not finished decoding.
+    stalls: Option<Counter>,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -540,6 +559,12 @@ impl<R: Read> FrameReader<R> {
             dims: vec![0],
             domain: desc.domain,
         };
+        let inflight = pool.as_ref().map_or_else(InflightGauge::detached, |p| {
+            InflightGauge::attached(p.telemetry().gauge("stream.reader.blocks_in_flight"))
+        });
+        let stalls = pool
+            .as_ref()
+            .map(|p| p.telemetry().counter("stream.reader.read_ahead.stalls"));
         Ok(FrameReader {
             src,
             codec,
@@ -557,6 +582,8 @@ impl<R: Read> FrameReader<R> {
             current: Vec::new(),
             scratch: FloatData::scratch(),
             desc,
+            inflight,
+            stalls,
         })
     }
 
@@ -653,6 +680,7 @@ impl<R: Read> FrameReader<R> {
                 // blocks out of order — or panicking on a drained queue.
                 self.failed = true;
                 self.pending.clear();
+                self.inflight.sync(0);
                 Err(e)
             }
         }
@@ -709,15 +737,22 @@ impl<R: Read> FrameReader<R> {
                     self.submitted += 1;
                     self.record_ready = false;
                 }
+                self.inflight.sync(self.pending.len());
                 let ticket = self
                     .pending
                     .pop_front()
                     .ok_or_else(|| Error::Corrupt("stream reader lost its read-ahead".into()))?;
+                if !ticket.is_finished() {
+                    if let Some(stalls) = self.stalls.as_ref() {
+                        stalls.inc();
+                    }
+                }
                 let current = &mut self.current;
                 ticket.collect(|decoded| {
                     current.clear();
                     current.extend_from_slice(decoded);
                 })?;
+                self.inflight.sync(self.pending.len());
                 self.collected += 1;
                 Ok(Some(BlockHome::Current))
             }

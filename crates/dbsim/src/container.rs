@@ -53,6 +53,7 @@ use fcbench_core::stream::{
 };
 use fcbench_core::wire;
 use fcbench_core::{Compressor, DataDesc, Domain, Error, FloatData, Precision, Result};
+use fcbench_telemetry::{Counter, Histogram, InflightGauge};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -280,12 +281,21 @@ pub struct ContainerWriter<'a, W: Write> {
     scratch: FloatData,
     /// Inline-mode payload buffer.
     payload: Vec<u8>,
+    /// Commit latency (`dbsim.container.commit`), spanning the column
+    /// close, directory emit, locator, and sink flush.
+    m_commit: Histogram,
+    /// Commits emitted (`dbsim.container.commits`).
+    m_commits: Counter,
+    /// Records made durable across commits
+    /// (`dbsim.container.records.committed`).
+    m_records: Counter,
 }
 
 impl<'a, W: Write> ContainerWriter<'a, W> {
     /// Start a container on `sink`; the prologue is written immediately.
     pub fn new(mut sink: W, exec: ChunkExec<'a>) -> Result<Self> {
         let written = write_prologue(&mut sink, exec.name())?;
+        let reg = crate::metrics::registry();
         Ok(ContainerWriter {
             sink,
             exec,
@@ -300,6 +310,9 @@ impl<'a, W: Write> ContainerWriter<'a, W> {
             bdesc: DataDesc::new(Precision::Double, vec![1], Domain::Database)?,
             scratch: FloatData::scratch(),
             payload: Vec::new(),
+            m_commit: reg.histogram("dbsim.container.commit"),
+            m_commits: reg.counter("dbsim.container.commits"),
+            m_records: reg.counter("dbsim.container.records.committed"),
         })
     }
 
@@ -569,6 +582,7 @@ impl<'a, W: Write> ContainerWriter<'a, W> {
     }
 
     fn commit_inner(&mut self) -> Result<()> {
+        let _span = self.m_commit.start_span();
         self.end_column_inner()?;
         let dir = encode_directory(&self.columns);
         let commit_offset = self.written;
@@ -576,6 +590,8 @@ impl<'a, W: Write> ContainerWriter<'a, W> {
         self.written += rec;
         self.sink.write_all(&locator(commit_offset))?;
         self.written += LOCATOR_BYTES as u64;
+        self.m_records.add(self.uncommitted);
+        self.m_commits.inc();
         self.uncommitted = 0;
         self.commits += 1;
         self.sink.flush()?;
@@ -701,13 +717,32 @@ pub fn read_container(path: &Path) -> Result<ContainerRead> {
 /// [`read_container`] over an in-memory image (exposed so recovery tests
 /// can truncate at arbitrary byte boundaries without touching disk).
 pub fn parse_container(bytes: &[u8]) -> Result<ContainerRead> {
-    if bytes.len() >= 4 && &bytes[..4] == MAGIC_V1 {
-        return Ok(ContainerRead {
+    let read = if bytes.len() >= 4 && &bytes[..4] == MAGIC_V1 {
+        ContainerRead {
             table: legacy::parse_container_v1(bytes)?,
             outcome: RecoveryOutcome::Legacy,
-        });
+        }
+    } else {
+        parse_container_v2(bytes)?
+    };
+    note_outcome(&read.outcome);
+    Ok(read)
+}
+
+/// Count how a parse resolved: `dbsim.recovery.clean` / `.legacy` /
+/// `.recovered` tally outcomes, and `dbsim.recovery.dropped_records`
+/// accumulates the records lost to torn tails.
+fn note_outcome(outcome: &RecoveryOutcome) {
+    let reg = crate::metrics::registry();
+    match outcome {
+        RecoveryOutcome::Clean => reg.counter("dbsim.recovery.clean").inc(),
+        RecoveryOutcome::Legacy => reg.counter("dbsim.recovery.legacy").inc(),
+        RecoveryOutcome::Recovered { dropped_records } => {
+            reg.counter("dbsim.recovery.recovered").inc();
+            reg.counter("dbsim.recovery.dropped_records")
+                .add(*dropped_records);
+        }
     }
-    parse_container_v2(bytes)
 }
 
 /// Validate the prologue; returns the codec name and the offset of the
@@ -993,6 +1028,7 @@ impl CompressedColumn {
         pool: &'a WorkerPool,
         codec: &Arc<dyn Compressor>,
     ) -> Result<ColumnCursor<'a>> {
+        let reg = crate::metrics::registry();
         Ok(ColumnCursor {
             col: self,
             pool,
@@ -1005,6 +1041,8 @@ impl CompressedColumn {
             inflight_cap: usize::MAX,
             current: Vec::new(),
             failed: false,
+            stalls: reg.counter("dbsim.cursor.read_ahead.stalls"),
+            inflight: InflightGauge::attached(reg.gauge("dbsim.cursor.chunks_in_flight")),
         })
     }
 
@@ -1064,6 +1102,12 @@ pub struct ColumnCursor<'a> {
     /// Sticky failure: once a chunk errors, later reads refuse instead of
     /// yielding pages out of order.
     failed: bool,
+    /// Times the caller had to wait on a decode that hadn't finished
+    /// (`dbsim.cursor.read_ahead.stalls`) — read-ahead not keeping up.
+    stalls: Counter,
+    /// This cursor's contribution to `dbsim.cursor.chunks_in_flight`;
+    /// released on drop even if the cursor is abandoned mid-column.
+    inflight: InflightGauge,
 }
 
 impl ColumnCursor<'_> {
@@ -1095,6 +1139,7 @@ impl ColumnCursor<'_> {
             Err(e) => {
                 self.failed = true;
                 self.pending.clear();
+                self.inflight.sync(0);
                 Err(e)
             }
         }
@@ -1130,6 +1175,7 @@ impl ColumnCursor<'_> {
             self.submitted += 1;
             self.remaining_submit -= elems;
         }
+        self.inflight.sync(self.pending.len());
         if self.submitted == self.col.chunks.len() && self.remaining_submit != 0 {
             return Err(Error::Corrupt("chunks do not cover all rows".into()));
         }
@@ -1137,12 +1183,16 @@ impl ColumnCursor<'_> {
             .pending
             .pop_front()
             .ok_or_else(|| Error::Corrupt("column cursor lost its read-ahead".into()))?;
+        if !ticket.is_finished() {
+            self.stalls.inc();
+        }
         let current = &mut self.current;
         ticket.collect(|decoded| {
             current.clear();
             current.extend_from_slice(decoded);
         })?;
         self.collected += 1;
+        self.inflight.sync(self.pending.len());
         Ok(true)
     }
 }
@@ -1464,6 +1514,43 @@ mod tests {
         }
         std::fs::remove_file(&inline_path).ok();
         std::fs::remove_file(&pooled_path).ok();
+    }
+
+    #[test]
+    fn telemetry_counts_commits_and_recovery_outcomes() {
+        // The registry is process-wide and shared with every other test in
+        // this binary, so assert on deltas, not absolute values.
+        let reg = crate::metrics::registry();
+        let before = reg.snapshot();
+        let c = |s: &fcbench_telemetry::Snapshot, n: &str| s.counter(n).unwrap_or(0);
+        let h = |s: &fcbench_telemetry::Snapshot, n: &str| {
+            s.histogram(n).map(|hs| hs.count()).unwrap_or(0)
+        };
+
+        let path = tmp("telemetry");
+        let a: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        write_container(&path, &StoreCodec, &[ColumnData::from_f64("x", &a)], 32).unwrap();
+        assert!(read_container(&path).unwrap().is_clean());
+        std::fs::remove_file(&path).ok();
+
+        let after = reg.snapshot();
+        assert_eq!(
+            c(&after, "dbsim.recovery.clean"),
+            c(&before, "dbsim.recovery.clean") + 1
+        );
+        assert_eq!(
+            c(&after, "dbsim.container.commits"),
+            c(&before, "dbsim.container.commits") + 1
+        );
+        // One COLUMN record plus two CHUNK records were made durable.
+        assert_eq!(
+            c(&after, "dbsim.container.records.committed"),
+            c(&before, "dbsim.container.records.committed") + 3
+        );
+        assert_eq!(
+            h(&after, "dbsim.container.commit"),
+            h(&before, "dbsim.container.commit") + 1
+        );
     }
 
     #[test]

@@ -16,6 +16,24 @@ pub mod bench3;
 pub mod container;
 pub mod dataframe;
 
+/// The crate-wide telemetry registry: container write/commit timing,
+/// crash-recovery outcomes, and cursor read-ahead behaviour all land
+/// here, so one exposition dump covers the whole database-scenario
+/// layer. (Free functions like [`read_container`] have no engine handle
+/// to hang metrics off, hence a process-wide registry rather than a
+/// per-pool one.)
+pub mod metrics {
+    use fcbench_telemetry::Registry;
+    use std::sync::{Arc, LazyLock};
+
+    static REGISTRY: LazyLock<Arc<Registry>> = LazyLock::new(|| Arc::new(Registry::new()));
+
+    /// The process-wide dbsim registry.
+    pub fn registry() -> &'static Arc<Registry> {
+        &REGISTRY
+    }
+}
+
 pub use bench3::{measure_three_primitives, measure_three_primitives_pooled, ThreePrimitives};
 pub use container::{
     legacy, parse_container, read_container, upgrade_container, write_container,

@@ -15,7 +15,7 @@
 //! 64 KB blocks bitshuffle feeds this codec.
 //!
 //! The compressor walks hash chains exactly like the retained
-//! [`reference`] implementation (same probe order, same depth budget, same
+//! [`reference`](mod@reference) implementation (same probe order, same depth budget, same
 //! acceptance heuristics), but extends candidate matches a u64 word at a
 //! time, emits items through fixed stack buffers instead of per-item heap
 //! allocations, and reuses the chain tables across calls on the same

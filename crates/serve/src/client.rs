@@ -142,6 +142,18 @@ impl Client {
         StatsSnapshot::decode(&body)
     }
 
+    /// The server's full telemetry registry: every counter, gauge, and
+    /// latency histogram across the serve, frame-stream, and pool layers.
+    /// Histograms arrive as complete (sparse) bucket snapshots, so the
+    /// caller takes its own quantiles — `p50()`, `p99()` — or merges
+    /// snapshots across servers.
+    pub fn stats_v2(&mut self) -> Result<protocol::StatsV2> {
+        self.stream.write_all(&[protocol::VERB_STATS_V2])?;
+        self.stream.flush()?;
+        let body = self.read_reply()?;
+        protocol::decode_stats_v2(&body)
+    }
+
     /// Raw access for protocol (and hostile-input) tests: send arbitrary
     /// bytes on the connection and read one reply frame.
     pub fn send_raw(&mut self, bytes: &[u8]) -> Result<Vec<u8>> {

@@ -14,7 +14,10 @@
 //!   discipline, capped per connection so no client pins every job slot.
 //! - [`Client`] is the matching blocking library.
 //! - [`ServerStats`] (the `STATS` verb) counts bytes, requests, and
-//!   per-codec traffic with plain atomics.
+//!   per-codec traffic on the server's telemetry registry — the same
+//!   registry the pool and frame streams record latency histograms
+//!   into, exposed whole over the wire by the `STATS_V2` verb
+//!   ([`Client::stats_v2`] → [`StatsV2`]).
 //!
 //! Every protocol error — unknown codec, oversized record, malformed
 //! header, truncated stream — fails the *request* with a typed reply; the
@@ -65,6 +68,6 @@ pub mod server;
 pub mod stats;
 
 pub use client::Client;
-pub use protocol::CodecListing;
+pub use protocol::{CodecListing, StatsV2};
 pub use server::{RunningServer, ServeConfig, Server, ServerHandle};
 pub use stats::{ServerStats, StatsSnapshot};

@@ -17,6 +17,7 @@
 //!                  its prologue names the codec, shape, and block size)
 //!   3 LIST_CODECS  (no payload)
 //!   4 STATS        (no payload)
+//!   5 STATS_V2     (no payload)
 //!
 //! descriptor       u8 precision (0 single / 1 double), u8 domain (0..=3),
 //!                  u8 ndims, ndims x u64 dims
@@ -28,6 +29,14 @@
 //!                  (bit 0 thread-scalable, bit 1 block-capable)
 //!   STATS ok       6 x u64 counters + u16 count + per codec
 //!                  (u8 name len + name + u64 requests)
+//!   STATS_V2 ok    the server's full telemetry registry snapshot:
+//!                  u16 counter count + (u16 name len + name + u64) each,
+//!                  u16 gauge count   + (u16 name len + name + u64) each,
+//!                  u16 histogram count + per histogram: u16 name len +
+//!                  name + u64 total count + u64 sum + u64 max + u16
+//!                  nonzero-bucket count + (u16 bucket index + u64 bucket
+//!                  count) each — sparse, so an idle histogram costs a
+//!                  few bytes, not its full 1312-bucket table
 //!   error          status is an error code; body is the UTF-8 message,
 //!                  except UNKNOWN_CODEC whose body is structured so the
 //!                  client rebuilds the typed error (u16 requested len +
@@ -41,6 +50,7 @@
 //! server.
 
 use fcbench_core::{DataDesc, Domain, Error, Precision, Result};
+use fcbench_telemetry::{HistogramSnapshot, Snapshot};
 use std::io::{Read, Write};
 
 /// Protocol magic, first on the wire in both directions.
@@ -54,6 +64,7 @@ pub const VERB_COMPRESS: u8 = 1;
 pub const VERB_DECOMPRESS: u8 = 2;
 pub const VERB_LIST_CODECS: u8 = 3;
 pub const VERB_STATS: u8 = 4;
+pub const VERB_STATS_V2: u8 = 5;
 
 /// Reply status codes. `0` is success; everything else maps onto a
 /// [`fcbench_core::Error`] variant on the client side.
@@ -408,6 +419,155 @@ pub fn decode_listings(body: &[u8]) -> Result<Vec<CodecListing>> {
     Ok(listings)
 }
 
+/// A decoded `STATS_V2` reply: every counter, gauge, and latency
+/// histogram on the server's telemetry registry, by name — the pool,
+/// frame-stream, and serve-layer metrics in one body, with full
+/// [`HistogramSnapshot`]s so the *client* can take p50/p99/p999 (and
+/// merge snapshots across servers) rather than receiving a few
+/// pre-chosen quantiles.
+#[derive(Debug, Clone, Default)]
+pub struct StatsV2 {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, u64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl StatsV2 {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// Append a u16-length-prefixed metric name (registry names compose
+/// dotted paths and codec labels, so the codec-name u8 limit is too
+/// tight here).
+fn encode_metric_name(name: &str, out: &mut Vec<u8>) -> Result<()> {
+    if name.len() > usize::from(u16::MAX) {
+        return Err(Error::NameTooLong { len: name.len() });
+    }
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    Ok(())
+}
+
+/// Read a u16-length-prefixed UTF-8 metric name from a slice (bounds are
+/// checked against real bytes; nothing is reserved for the claim).
+fn take_metric_name(src: &mut &[u8]) -> Result<String> {
+    let len = usize::from(read_u16(src)?);
+    if src.len() < len {
+        return Err(Error::Corrupt("metric name truncated".into()));
+    }
+    let (head, rest) = src.split_at(len);
+    let name = String::from_utf8(head.to_vec())
+        .map_err(|_| Error::Corrupt("metric name is not UTF-8".into()))?;
+    *src = rest;
+    Ok(name)
+}
+
+/// Bound a declared row count by the bytes actually present: each row
+/// occupies at least `min_row_bytes` on the wire, so a count beyond
+/// `remaining / min_row_bytes` is hostile or corrupt — reject it before
+/// reserving anything for it.
+fn plausible_rows(count: usize, remaining: usize, min_row_bytes: usize) -> Result<usize> {
+    if count > remaining / min_row_bytes.max(1) {
+        return Err(Error::Corrupt(format!(
+            "stats body claims {count} rows in {remaining} bytes"
+        )));
+    }
+    Ok(count)
+}
+
+/// Encode a `STATS_V2` reply body from a registry [`Snapshot`].
+/// Histograms ride sparse — only non-empty buckets — so an idle
+/// histogram costs a few bytes instead of its full bucket table.
+pub fn encode_stats_v2(snap: &Snapshot) -> Result<Vec<u8>> {
+    let mut body = Vec::new();
+    for rows in [&snap.counters, &snap.gauges] {
+        body.extend_from_slice(&(rows.len().min(u16::MAX as usize) as u16).to_le_bytes());
+        for (name, v) in rows.iter().take(u16::MAX as usize) {
+            encode_metric_name(name, &mut body)?;
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    body.extend_from_slice(&(snap.histograms.len().min(u16::MAX as usize) as u16).to_le_bytes());
+    for (name, h) in snap.histograms.iter().take(u16::MAX as usize) {
+        encode_metric_name(name, &mut body)?;
+        body.extend_from_slice(&h.count().to_le_bytes());
+        body.extend_from_slice(&h.sum().to_le_bytes());
+        body.extend_from_slice(&h.max().to_le_bytes());
+        let rows = h.nonzero_len().min(u16::MAX as usize);
+        body.extend_from_slice(&(rows as u16).to_le_bytes());
+        for (i, c) in h.nonzero_buckets().take(rows) {
+            // A bucket index is structurally < NUM_BUCKETS (1312); an
+            // impossible one becomes u16::MAX, which decode rejects.
+            body.extend_from_slice(&u16::try_from(i).unwrap_or(u16::MAX).to_le_bytes());
+            body.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    Ok(body)
+}
+
+/// Decode a `STATS_V2` reply body. Every declared count is bounded by
+/// the bytes actually present (`plausible_rows`) before any
+/// reservation, bucket indices are range-checked by
+/// [`HistogramSnapshot::from_sparse`], and the declared total must agree
+/// with the bucket counts — corrupt wire data becomes a typed error,
+/// never an allocation or a panic.
+pub fn decode_stats_v2(body: &[u8]) -> Result<StatsV2> {
+    let mut src = body;
+    let mut out = StatsV2::default();
+    // Scalar row: 2-byte name length + 8-byte value, at minimum.
+    for dst in [&mut out.counters, &mut out.gauges] {
+        let count = plausible_rows(usize::from(read_u16(&mut src)?), src.len(), 10)?;
+        dst.reserve(count);
+        for _ in 0..count {
+            let name = take_metric_name(&mut src)?;
+            dst.push((name, read_u64(&mut src)?));
+        }
+    }
+    // Histogram row: 2-byte name length + three u64s + 2-byte bucket count.
+    let count = plausible_rows(usize::from(read_u16(&mut src)?), src.len(), 28)?;
+    out.histograms.reserve(count);
+    for _ in 0..count {
+        let name = take_metric_name(&mut src)?;
+        let total = read_u64(&mut src)?;
+        let sum = read_u64(&mut src)?;
+        let max = read_u64(&mut src)?;
+        let rows = plausible_rows(usize::from(read_u16(&mut src)?), src.len(), 10)?;
+        let mut pairs = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let i = read_u16(&mut src)?;
+            pairs.push((i, read_u64(&mut src)?));
+        }
+        let snap = HistogramSnapshot::from_sparse(&pairs, sum, max)
+            .ok_or_else(|| Error::Corrupt("histogram bucket index out of range".into()))?;
+        if snap.count() != total {
+            return Err(Error::Corrupt(
+                "histogram bucket counts disagree with the declared total".into(),
+            ));
+        }
+        out.histograms.push((name, snap));
+    }
+    if !src.is_empty() {
+        return Err(Error::Corrupt("trailing bytes after stats_v2 body".into()));
+    }
+    Ok(out)
+}
+
 /// Write an OK reply frame around `body`.
 pub fn write_ok_reply<W: Write>(sink: &mut W, body: &[u8]) -> Result<()> {
     sink.write_all(&[STATUS_OK])?;
@@ -580,6 +740,87 @@ mod tests {
         assert!(stream_cap(16) > 16 * 9 + 64);
         // No overflow at the extreme.
         assert_eq!(stream_cap(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn stats_v2_round_trips_quantiles_through_the_wire() {
+        let reg = fcbench_telemetry::Registry::new();
+        reg.counter("serve.requests.ok").add(41);
+        reg.gauge("serve.connections.active").add(3);
+        let h = reg.histogram("serve.request.compress");
+        for v in [100u64, 200, 400, 800, 100_000] {
+            h.record(v);
+        }
+        let wire = encode_stats_v2(&reg.snapshot()).unwrap();
+        let back = decode_stats_v2(&wire).unwrap();
+        assert_eq!(back.counter("serve.requests.ok"), Some(41));
+        assert_eq!(back.gauge("serve.connections.active"), Some(3));
+        let hist = back.histogram("serve.request.compress").unwrap();
+        assert_eq!(hist.count(), 5);
+        assert_eq!(
+            hist.max(),
+            reg.snapshot()
+                .histogram("serve.request.compress")
+                .unwrap()
+                .max()
+        );
+        // Quantiles survive intact: the client recomputes them from the
+        // same buckets the server holds.
+        assert_eq!(
+            hist.p99(),
+            reg.snapshot()
+                .histogram("serve.request.compress")
+                .unwrap()
+                .p99()
+        );
+        assert!(back.histogram("no.such.metric").is_none());
+    }
+
+    #[test]
+    fn stats_v2_rejects_hostile_claims_before_allocating() {
+        // A body declaring 65535 counters with no bytes behind them.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_stats_v2(&wire),
+            Err(Error::Corrupt(m)) if m.contains("rows")
+        ));
+
+        // An out-of-range bucket index inside an otherwise valid body.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&0u16.to_le_bytes()); // counters
+        wire.extend_from_slice(&0u16.to_le_bytes()); // gauges
+        wire.extend_from_slice(&1u16.to_le_bytes()); // one histogram
+        wire.extend_from_slice(&1u16.to_le_bytes());
+        wire.push(b'h');
+        wire.extend_from_slice(&1u64.to_le_bytes()); // total
+        wire.extend_from_slice(&5u64.to_le_bytes()); // sum
+        wire.extend_from_slice(&5u64.to_le_bytes()); // max
+        wire.extend_from_slice(&1u16.to_le_bytes()); // one bucket row
+        wire.extend_from_slice(&u16::MAX.to_le_bytes()); // index 65535 >= NUM_BUCKETS
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        assert!(matches!(
+            decode_stats_v2(&wire),
+            Err(Error::Corrupt(m)) if m.contains("bucket index")
+        ));
+
+        // Bucket counts that disagree with the declared total.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&0u16.to_le_bytes());
+        wire.extend_from_slice(&0u16.to_le_bytes());
+        wire.extend_from_slice(&1u16.to_le_bytes());
+        wire.extend_from_slice(&1u16.to_le_bytes());
+        wire.push(b'h');
+        wire.extend_from_slice(&9u64.to_le_bytes()); // claims 9 samples
+        wire.extend_from_slice(&5u64.to_le_bytes());
+        wire.extend_from_slice(&5u64.to_le_bytes());
+        wire.extend_from_slice(&1u16.to_le_bytes());
+        wire.extend_from_slice(&3u16.to_le_bytes());
+        wire.extend_from_slice(&1u64.to_le_bytes()); // buckets hold 1
+        assert!(matches!(
+            decode_stats_v2(&wire),
+            Err(Error::Corrupt(m)) if m.contains("disagree")
+        ));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::stats::{ServerStats, StatsSnapshot};
 use fcbench_core::registry::RegistryEntry;
 use fcbench_core::stream::{FrameReader, FrameWriter};
 use fcbench_core::{CodecRegistry, DataDesc, Error, Result, WorkerPool};
+use fcbench_telemetry::{Histogram, HistogramFamily, Registry};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -70,10 +71,73 @@ impl Default for ServeConfig {
     }
 }
 
+/// Pre-resolved latency handles on the server's telemetry registry (the
+/// pool's registry, so pool, frame-stream, and serve metrics share one
+/// exposition and one `STATS_V2` body). Everything here is resolved once
+/// at bind time; recording on the request path is a single relaxed
+/// atomic op per sample.
+struct ServeMetrics {
+    registry: Arc<Registry>,
+    /// Wall time per verb, refusals included — what a client waited.
+    req_compress: Histogram,
+    req_decompress: Histogram,
+    req_list_codecs: Histogram,
+    req_stats: Histogram,
+    req_stats_v2: Histogram,
+    /// Served-request wall time by codec (`serve.request.codec.<name>`),
+    /// recorded when the reply body is ready.
+    req_codec: HistogramFamily,
+    /// Phase breakdown of the two data verbs: reading the request off
+    /// the socket, waiting on the engine, writing the reply.
+    phase_decode: Histogram,
+    phase_engine: Histogram,
+    phase_reply_write: Histogram,
+    /// Connection lifetime, accept to hangup.
+    conn_lifetime: Histogram,
+}
+
+impl ServeMetrics {
+    fn new(registry: &Arc<Registry>) -> Self {
+        ServeMetrics {
+            registry: Arc::clone(registry),
+            req_compress: registry.histogram("serve.request.compress"),
+            req_decompress: registry.histogram("serve.request.decompress"),
+            req_list_codecs: registry.histogram("serve.request.list_codecs"),
+            req_stats: registry.histogram("serve.request.stats"),
+            req_stats_v2: registry.histogram("serve.request.stats_v2"),
+            req_codec: registry.histogram_family("serve.request.codec"),
+            phase_decode: registry.histogram("serve.phase.decode"),
+            phase_engine: registry.histogram("serve.phase.engine"),
+            phase_reply_write: registry.histogram("serve.phase.reply_write"),
+            conn_lifetime: registry.histogram("serve.connection.lifetime"),
+        }
+    }
+
+    /// The per-verb latency histogram, or `None` for an unknown verb.
+    fn verb_histogram(&self, verb: u8) -> Option<&Histogram> {
+        match verb {
+            protocol::VERB_COMPRESS => Some(&self.req_compress),
+            protocol::VERB_DECOMPRESS => Some(&self.req_decompress),
+            protocol::VERB_LIST_CODECS => Some(&self.req_list_codecs),
+            protocol::VERB_STATS => Some(&self.req_stats),
+            protocol::VERB_STATS_V2 => Some(&self.req_stats_v2),
+            _ => None,
+        }
+    }
+
+    /// Record a served request's wall time against its codec.
+    fn note_codec(&self, name: &str, elapsed: Duration) {
+        if let Some(h) = self.req_codec.get(name) {
+            h.record_duration(elapsed);
+        }
+    }
+}
+
 struct Shared {
     registry: Arc<CodecRegistry>,
     pool: Arc<WorkerPool>,
     stats: ServerStats,
+    metrics: ServeMetrics,
     config: ServeConfig,
     shutdown: AtomicBool,
 }
@@ -118,7 +182,11 @@ impl Server {
     ) -> Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let stats = ServerStats::new(&registry);
+        // Serve metrics live on the pool's registry: one snapshot (and one
+        // STATS_V2 body) spans the request layer, the frame streams, and
+        // the engine underneath them.
+        let metrics = ServeMetrics::new(pool.telemetry());
+        let stats = ServerStats::new(&registry, &metrics.registry);
         Ok(Server {
             listener,
             addr,
@@ -126,6 +194,7 @@ impl Server {
                 registry,
                 pool,
                 stats,
+                metrics,
                 config,
                 shutdown: AtomicBool::new(false),
             }),
@@ -219,6 +288,14 @@ impl ServerHandle {
     /// A point-in-time copy of the serving counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// The server's telemetry registry (shared with its worker pool):
+    /// request/phase latency histograms, serving counters, engine and
+    /// frame-stream metrics. Snapshot it, or dump it with
+    /// [`Registry::render_text`].
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.shared.metrics.registry
     }
 
     /// Signal a graceful shutdown: the accept loop (which polls the flag
@@ -417,21 +494,19 @@ impl Write for Conn<'_> {
     }
 }
 
-/// Decrements the active-connection gauge however the handler exits.
-struct ActiveGuard<'a>(&'a ServerStats);
-
-impl Drop for ActiveGuard<'_> {
-    fn drop(&mut self) {
-        self.0.connection_closed();
-    }
-}
-
 fn handle_connection(stream: TcpStream, shared: &Shared) {
-    shared.stats.connection_opened();
-    let _active = ActiveGuard(&shared.stats);
+    // The guard holds this connection's slot in the active gauge and
+    // releases it on drop — no exit path (error, panic unwinding through
+    // the handler, early return) can leak an increment.
+    let _active = shared.stats.connection_opened();
+    let opened = Instant::now();
     // Connection-level I/O failures are that connection's problem alone;
     // request accounting (including deaths mid-request) happens inside.
     let _ = serve_connection(&stream, shared);
+    shared
+        .metrics
+        .conn_lifetime
+        .record_duration(opened.elapsed());
 }
 
 fn serve_connection(stream: &TcpStream, shared: &Shared) -> Result<()> {
@@ -473,16 +548,23 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) -> Result<()> {
             return Ok(());
         }
         conn.accounted = false;
+        let started = Instant::now();
         let served = match verb[0] {
-            protocol::VERB_COMPRESS => handle_compress(&mut conn, shared),
-            protocol::VERB_DECOMPRESS => handle_decompress(&mut conn, shared),
+            protocol::VERB_COMPRESS => handle_compress(&mut conn, shared, started),
+            protocol::VERB_DECOMPRESS => handle_decompress(&mut conn, shared, started),
             protocol::VERB_LIST_CODECS => handle_list_codecs(&mut conn, shared),
             protocol::VERB_STATS => handle_stats(&mut conn, shared),
+            protocol::VERB_STATS_V2 => handle_stats_v2(&mut conn, shared),
             other => fail_close(
                 &mut conn,
                 &Error::Corrupt(format!("unknown request verb {other}")),
             ),
         };
+        // Refusals count too: a typed error reply is still time the
+        // client waited on this verb.
+        if let Some(h) = shared.metrics.verb_histogram(verb[0]) {
+            h.record_duration(started.elapsed());
+        }
         let flow = match served {
             Ok(f) => f,
             Err(e) => {
@@ -557,7 +639,7 @@ fn discard_body(conn: &mut Conn<'_>, len: usize) -> Result<()> {
     Ok(())
 }
 
-fn handle_compress(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
+fn handle_compress(conn: &mut Conn<'_>, shared: &Shared, started: Instant) -> Result<Flow> {
     // A malformed header desyncs framing: reply, then close.
     let (name, desc, block_elems) = match read_compress_header(conn) {
         Ok(h) => h,
@@ -636,20 +718,37 @@ fn handle_compress(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
     if let Some(e) = refusal {
         return fail_continue(conn, &e);
     }
+    // The body is off the socket; what remains is draining the engine
+    // (finish collects the in-flight blocks) and writing the reply.
+    shared
+        .metrics
+        .phase_decode
+        .record_duration(started.elapsed());
+    let engine_started = Instant::now();
     match writer.finish() {
         Ok(body) => {
+            shared
+                .metrics
+                .phase_engine
+                .record_duration(engine_started.elapsed());
             // Count before replying: once the client has read this reply,
             // a stats snapshot must already include the request.
             conn.count_ok();
             shared.stats.count_codec(&name);
+            shared.metrics.note_codec(&name, started.elapsed());
+            let write_started = Instant::now();
             protocol::write_ok_reply(conn, &body)?;
+            shared
+                .metrics
+                .phase_reply_write
+                .record_duration(write_started.elapsed());
             Ok(Flow::Continue)
         }
         Err(e) => fail_continue(conn, &e),
     }
 }
 
-fn handle_decompress(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
+fn handle_decompress(conn: &mut Conn<'_>, shared: &Shared, started: Instant) -> Result<Flow> {
     // An implausible declared length (or a truncated body) breaks framing:
     // typed reply, then close. The cap here is on *compressed stream*
     // bytes, with expansion headroom over the raw-byte cap so a stream
@@ -662,6 +761,10 @@ fn handle_decompress(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
         Ok(b) => b,
         Err(e) => return fail_close(conn, &e),
     };
+    shared
+        .metrics
+        .phase_decode
+        .record_duration(started.elapsed());
 
     // The FCB3 prologue names the codec and shape; everything after this
     // point consumed the body already, so errors keep the connection.
@@ -703,6 +806,7 @@ fn handle_decompress(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
     if let Err(e) = protocol::encode_desc(&desc, &mut reply) {
         return fail_continue(conn, &e);
     }
+    let engine_started = Instant::now();
     loop {
         match reader.next_block() {
             Ok(Some(block)) => reply.extend_from_slice(block),
@@ -710,9 +814,19 @@ fn handle_decompress(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
             Err(e) => return fail_continue(conn, &e),
         }
     }
+    shared
+        .metrics
+        .phase_engine
+        .record_duration(engine_started.elapsed());
     conn.count_ok();
     shared.stats.count_codec(&name);
+    shared.metrics.note_codec(&name, started.elapsed());
+    let write_started = Instant::now();
     protocol::write_ok_reply(conn, &reply)?;
+    shared
+        .metrics
+        .phase_reply_write
+        .record_duration(write_started.elapsed());
     Ok(Flow::Continue)
 }
 
@@ -739,6 +853,19 @@ fn handle_stats(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
     // Snapshot first so a STATS reply never counts itself, then count
     // before replying like every other verb.
     let body = match shared.stats.snapshot().encode() {
+        Ok(b) => b,
+        Err(e) => return fail_continue(conn, &e),
+    };
+    conn.count_ok();
+    protocol::write_ok_reply(conn, &body)?;
+    Ok(Flow::Continue)
+}
+
+fn handle_stats_v2(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
+    // Snapshot-then-count, like STATS: a STATS_V2 reply never counts
+    // itself. The body carries the whole registry — pool, frame-stream,
+    // and serve metrics, with sparse histogram buckets.
+    let body = match protocol::encode_stats_v2(&shared.metrics.registry.snapshot()) {
         Ok(b) => b,
         Err(e) => return fail_continue(conn, &e),
     };

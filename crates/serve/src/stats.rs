@@ -1,87 +1,104 @@
-//! Atomic serving counters surfaced by the `STATS` verb.
+//! Serving counters surfaced by the `STATS` verb.
+//!
+//! Since the telemetry spine landed, [`ServerStats`] is a *view* over
+//! pre-resolved handles on the server's [`Registry`] — the same registry
+//! the pool and frame streams record into — rather than a second,
+//! parallel set of atomics. The `STATS` v1 wire reply is byte-identical
+//! to what the plain-atomics version produced; `STATS_V2` exposes the
+//! whole registry (see [`protocol::encode_stats_v2`](crate::protocol)).
 
 use crate::protocol::{decode_name, encode_name, read_u16, read_u64};
 use fcbench_core::{CodecRegistry, Error, Result};
-use std::sync::atomic::{AtomicU64, Ordering};
+use fcbench_telemetry::{Counter, Gauge, GaugeGuard, Registry};
 
-/// Lock-free counters updated by every connection handler. Per-codec
-/// request counts are a fixed array parallel to the registry's
-/// registration order, so bumping one is a single `fetch_add`.
+/// Pre-resolved serving handles, updated lock-free by every connection
+/// handler. Per-codec request counts are a fixed vector parallel to the
+/// codec registry's registration order, so bumping one is a single
+/// `fetch_add` on a pre-resolved counter.
 pub struct ServerStats {
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    requests_ok: AtomicU64,
-    requests_failed: AtomicU64,
-    connections_accepted: AtomicU64,
-    connections_active: AtomicU64,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    requests_ok: Counter,
+    requests_failed: Counter,
+    connections_accepted: Counter,
+    connections_active: Gauge,
     codec_names: Vec<&'static str>,
-    codec_requests: Box<[AtomicU64]>,
+    codec_requests: Vec<Counter>,
 }
 
 impl ServerStats {
-    /// Counters for the codecs of `registry`, all zero.
-    pub fn new(registry: &CodecRegistry) -> Self {
+    /// Resolve the serving handles on `metrics`, one per-codec counter for
+    /// each entry of `registry`. (Handles onto an existing registry start
+    /// from whatever the registry already holds — a fresh registry per
+    /// server keeps them zero.)
+    pub fn new(registry: &CodecRegistry, metrics: &Registry) -> Self {
         let codec_names = registry.names();
-        let codec_requests = codec_names.iter().map(|_| AtomicU64::new(0)).collect();
+        let codec_requests = codec_names
+            .iter()
+            .map(|name| metrics.counter(&format!("serve.requests.codec.{name}")))
+            .collect();
         ServerStats {
-            bytes_in: AtomicU64::new(0),
-            bytes_out: AtomicU64::new(0),
-            requests_ok: AtomicU64::new(0),
-            requests_failed: AtomicU64::new(0),
-            connections_accepted: AtomicU64::new(0),
-            connections_active: AtomicU64::new(0),
+            bytes_in: metrics.counter("serve.bytes.in"),
+            bytes_out: metrics.counter("serve.bytes.out"),
+            requests_ok: metrics.counter("serve.requests.ok"),
+            requests_failed: metrics.counter("serve.requests.failed"),
+            connections_accepted: metrics.counter("serve.connections.accepted"),
+            connections_active: metrics.gauge("serve.connections.active"),
             codec_names,
             codec_requests,
         }
     }
 
     pub fn add_bytes_in(&self, n: u64) {
-        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+        self.bytes_in.add(n);
     }
 
     pub fn add_bytes_out(&self, n: u64) {
-        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+        self.bytes_out.add(n);
     }
 
     pub fn request_ok(&self) {
-        self.requests_ok.fetch_add(1, Ordering::Relaxed);
+        self.requests_ok.inc();
     }
 
     pub fn request_failed(&self) {
-        self.requests_failed.fetch_add(1, Ordering::Relaxed);
+        self.requests_failed.inc();
     }
 
-    pub fn connection_opened(&self) {
-        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
-        self.connections_active.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub fn connection_closed(&self) {
-        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    /// Book one accepted connection and return the RAII guard holding its
+    /// slot in the active-connection gauge: the gauge decrements when the
+    /// guard drops, however the handler exits — there is no code path that
+    /// can leak an increment.
+    #[must_use]
+    pub fn connection_opened(&self) -> GaugeGuard {
+        self.connections_accepted.inc();
+        self.connections_active.inc_scoped()
     }
 
     /// Count one served request against `codec` (no-op for names outside
     /// the registry — those failed before reaching a codec).
     pub fn count_codec(&self, codec: &str) {
         if let Some(i) = self.codec_names.iter().position(|n| *n == codec) {
-            self.codec_requests[i].fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = self.codec_requests.get(i) {
+                c.inc();
+            }
         }
     }
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            requests_ok: self.requests_ok.load(Ordering::Relaxed),
-            requests_failed: self.requests_failed.load(Ordering::Relaxed),
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_active: self.connections_active.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            requests_ok: self.requests_ok.get(),
+            requests_failed: self.requests_failed.get(),
+            connections_accepted: self.connections_accepted.get(),
+            connections_active: self.connections_active.get(),
             per_codec: self
                 .codec_names
                 .iter()
                 .zip(self.codec_requests.iter())
-                .map(|(name, count)| (name.to_string(), count.load(Ordering::Relaxed)))
+                .map(|(name, count)| (name.to_string(), count.get()))
                 .collect(),
         }
     }
@@ -162,6 +179,7 @@ mod tests {
     use super::*;
     use fcbench_core::codec::{CodecClass, CodecInfo, Community, Platform, PrecisionSupport};
     use fcbench_core::{Compressor, DataDesc, FloatData};
+    use std::sync::Arc;
 
     struct Fake(&'static str);
 
@@ -188,8 +206,9 @@ mod tests {
     #[test]
     fn counters_accumulate_and_snapshot() {
         let registry = CodecRegistry::new().with(Fake("a")).with(Fake("b"));
-        let stats = ServerStats::new(&registry);
-        stats.connection_opened();
+        let metrics = Arc::new(Registry::new());
+        let stats = ServerStats::new(&registry, &metrics);
+        let active = stats.connection_opened();
         stats.add_bytes_in(100);
         stats.add_bytes_out(40);
         stats.request_ok();
@@ -207,8 +226,28 @@ mod tests {
             snap.per_codec,
             vec![("a".to_string(), 0), ("b".to_string(), 1)]
         );
-        stats.connection_closed();
+        drop(active);
         assert_eq!(stats.snapshot().connections_active, 0);
+        // Everything also landed on the shared registry, where the
+        // exposition dump and STATS_V2 read it.
+        let reg = metrics.snapshot();
+        assert_eq!(reg.counter("serve.bytes.in"), Some(100));
+        assert_eq!(reg.counter("serve.requests.codec.b"), Some(1));
+        assert_eq!(reg.gauge("serve.connections.active"), Some(0));
+    }
+
+    #[test]
+    fn active_gauge_cannot_leak_past_its_guard() {
+        let registry = CodecRegistry::new().with(Fake("a"));
+        let metrics = Arc::new(Registry::new());
+        let stats = ServerStats::new(&registry, &metrics);
+        {
+            let _a = stats.connection_opened();
+            let _b = stats.connection_opened();
+            assert_eq!(stats.snapshot().connections_active, 2);
+        }
+        assert_eq!(stats.snapshot().connections_active, 0);
+        assert_eq!(stats.snapshot().connections_accepted, 2);
     }
 
     #[test]
@@ -225,5 +264,28 @@ mod tests {
         let wire = snap.encode().unwrap();
         assert_eq!(StatsSnapshot::decode(&wire).unwrap(), snap);
         assert!(StatsSnapshot::decode(&wire[..10]).is_err());
+    }
+
+    #[test]
+    fn v1_wire_reply_is_byte_identical_to_the_pre_telemetry_layout() {
+        // The v1 body is a fixed hand-computable layout: 6 u64 counters,
+        // u16 codec count, then (u8 len + name + u64) per codec. Pin it so
+        // the registry migration can never drift the wire.
+        let registry = CodecRegistry::new().with(Fake("ab"));
+        let metrics = Arc::new(Registry::new());
+        let stats = ServerStats::new(&registry, &metrics);
+        stats.add_bytes_in(7);
+        stats.request_ok();
+        stats.count_codec("ab");
+        let wire = stats.snapshot().encode().unwrap();
+        let mut expect = Vec::new();
+        for v in [7u64, 0, 1, 0, 0, 0] {
+            expect.extend_from_slice(&v.to_le_bytes());
+        }
+        expect.extend_from_slice(&1u16.to_le_bytes());
+        expect.push(2);
+        expect.extend_from_slice(b"ab");
+        expect.extend_from_slice(&1u64.to_le_bytes());
+        assert_eq!(wire, expect);
     }
 }

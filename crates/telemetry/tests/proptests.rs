@@ -1,0 +1,103 @@
+//! Property tests for the log-linear histogram core: bucket round-trips
+//! stay within the advertised error bound, merged snapshots are
+//! indistinguishable from recording the union, and hostile values saturate
+//! instead of panicking.
+
+use fcbench_telemetry::{
+    bucket_index, bucket_lower, bucket_value, bucket_width, Histogram, HistogramSnapshot,
+    MAX_TRACKABLE, NUM_BUCKETS, SUBS_PER_OCTAVE,
+};
+use proptest::prelude::*;
+
+/// Samples spanning every octave: uniform small values plus shifted ones so
+/// the high buckets are exercised as often as the exact range.
+fn arb_sample() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0usize..45).prop_map(|(v, shift)| (v % 4096) << shift.min(44))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bucket_roundtrip_error_is_bounded(raw in arb_sample()) {
+        let v = raw.min(MAX_TRACKABLE);
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        // The value falls inside its bucket's [lower, lower + width) range.
+        let lo = bucket_lower(i);
+        let width = bucket_width(i);
+        prop_assert!(lo <= v && v < lo + width, "v={v} i={i} lo={lo} width={width}");
+        // The representative is within v / SUBS_PER_OCTAVE of the sample
+        // (exact below SUBS_PER_OCTAVE).
+        let rep = bucket_value(i);
+        prop_assert!(
+            rep.abs_diff(v).saturating_mul(SUBS_PER_OCTAVE as u64) <= v,
+            "v={v} rep={rep}"
+        );
+        if v < SUBS_PER_OCTAVE as u64 {
+            prop_assert_eq!(rep, v);
+        }
+    }
+
+    #[test]
+    fn merged_quantiles_match_recording_the_union(
+        a in prop::collection::vec(arb_sample(), 0..200),
+        b in prop::collection::vec(arb_sample(), 0..200),
+    ) {
+        let ha = Histogram::detached();
+        let hb = Histogram::detached();
+        let hu = Histogram::detached();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge_from(&hb.snapshot());
+        let union = hu.snapshot();
+        prop_assert_eq!(&merged, &union);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(merged.quantile(q), union.quantile(q), "q={}", q);
+        }
+    }
+
+    #[test]
+    fn hostile_values_saturate_instead_of_panicking(
+        extremes in prop::collection::vec(
+            (0usize..4, any::<u64>()).prop_map(|(pick, v)| match pick {
+                0 => u64::MAX,
+                1 => MAX_TRACKABLE,
+                2 => MAX_TRACKABLE + 1,
+                _ => v,
+            }),
+            1..50,
+        ),
+    ) {
+        let h = Histogram::detached();
+        for &v in &extremes {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), extremes.len() as u64);
+        prop_assert!(s.max() <= MAX_TRACKABLE);
+        for q in [0.5, 0.99, 0.999] {
+            prop_assert!(s.quantile(q) <= MAX_TRACKABLE);
+        }
+    }
+
+    #[test]
+    fn sparse_wire_form_roundtrips(samples in prop::collection::vec(arb_sample(), 0..200)) {
+        let h = Histogram::detached();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let pairs: Vec<(u16, u64)> = s.nonzero_buckets().map(|(i, c)| (i as u16, c)).collect();
+        prop_assert_eq!(pairs.len(), s.nonzero_len());
+        let back = HistogramSnapshot::from_sparse(&pairs, s.sum(), s.max());
+        prop_assert_eq!(back, Some(s));
+    }
+}

@@ -2,7 +2,8 @@
 //! host-sized worker-pool engine, then drive it like a fleet of database
 //! nodes would — concurrent clients compressing sensor pages, reading them
 //! back byte-exact, querying the codec catalogue, and finally pulling the
-//! server's live STATS before a graceful shutdown.
+//! server's live STATS and full STATS_V2 telemetry (latency quantiles per
+//! layer, plus the greppable text exposition) before a graceful shutdown.
 //!
 //! ```sh
 //! cargo run --release --example compression_service
@@ -103,6 +104,36 @@ fn main() {
     }
     assert!(stats.requests_ok >= 17); // 8x(compress+decompress) + list
     assert!(stats.requests_failed >= 1);
+
+    // STATS_V2: the whole telemetry registry over the wire — serve verbs,
+    // frame-stream occupancy, and pool latency in one mergeable snapshot.
+    // The client takes its own quantiles from the sparse bucket rows.
+    let v2 = admin.stats_v2().expect("STATS_V2");
+    println!("\nSTATS_V2 latency (client-side quantiles, µs):");
+    println!(
+        "{:<26} {:>8} {:>10} {:>10}",
+        "histogram", "count", "p50", "p99"
+    );
+    for name in [
+        "serve.request.compress",
+        "serve.request.decompress",
+        "serve.phase.engine",
+        "pool.queue_wait",
+        "pool.exec",
+    ] {
+        let h = v2.histogram(name).expect("layered histogram");
+        assert!(h.count() > 0, "{name} must have recorded");
+        println!(
+            "{name:<26} {:>8} {:>10.1} {:>10.1}",
+            h.count(),
+            h.p50() as f64 / 1e3,
+            h.p99() as f64 / 1e3
+        );
+    }
+
+    // The same registry, server-side, as greppable text exposition.
+    println!("\n--- text exposition ---");
+    print!("{}", running.handle().telemetry().render_text());
 
     drop(admin);
     running.shutdown().expect("graceful shutdown");

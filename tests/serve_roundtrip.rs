@@ -397,3 +397,64 @@ fn compressed_streams_interoperate_with_local_frame_io() {
     drop(client);
     running.shutdown().expect("graceful shutdown");
 }
+
+#[test]
+fn stats_v2_carries_layered_latency_histograms_over_the_wire() {
+    let running = start_server(PoolConfig::with_threads(2), ServeConfig::default());
+    let addr = running.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let data = decimal_data(600, 0.3);
+    for _ in 0..4 {
+        let restored = client.roundtrip("gorilla", &data, 64).expect("roundtrip");
+        assert_eq!(restored.bytes(), data.bytes());
+    }
+    let v1 = client.stats().expect("stats v1");
+    let v2 = client.stats_v2().expect("stats v2");
+
+    // The v1 counters and the registry view are the same numbers — one
+    // metrics system, two wire forms. (STATS ran before STATS_V2, so the
+    // ok-count v2 reports includes the STATS request itself.)
+    assert_eq!(v2.counter("serve.requests.ok"), Some(v1.requests_ok + 1));
+    assert_eq!(
+        v2.counter("serve.requests.codec.gorilla"),
+        Some(v1.per_codec.iter().find(|(n, _)| n == "gorilla").unwrap().1)
+    );
+    assert_eq!(v2.gauge("serve.connections.active"), Some(1));
+
+    // Serve-layer latency histograms crossed the wire with usable
+    // quantiles: 4 compress + 4 decompress requests were timed.
+    let compress = v2.histogram("serve.request.compress").expect("histogram");
+    assert_eq!(compress.count(), 4);
+    assert!(compress.p99() >= compress.p50());
+    assert!(compress.max() > 0);
+    assert_eq!(
+        v2.histogram("serve.request.decompress")
+            .expect("histogram")
+            .count(),
+        4
+    );
+    let codec_hist = v2
+        .histogram("serve.request.codec.gorilla")
+        .expect("per-codec histogram");
+    assert_eq!(codec_hist.count(), 8);
+
+    // Engine metrics from the layers below ride the same body: gorilla is
+    // thread-scalable, so its blocks crossed the worker pool.
+    assert!(v2.counter("pool.drain.stalls").is_some());
+    assert!(v2.histogram("pool.exec").expect("pool.exec").count() > 0);
+    assert!(
+        v2.histogram("pool.exec.codec.gorilla")
+            .expect("per-codec pool histogram")
+            .count()
+            > 0
+    );
+    assert!(v2.histogram("pool.queue_wait").expect("queue wait").count() > 0);
+
+    // Phase breakdown sums to less than the verb totals measured around it.
+    let engine = v2.histogram("serve.phase.engine").expect("engine phase");
+    assert_eq!(engine.count(), 8);
+
+    drop(client);
+    running.shutdown().expect("graceful shutdown");
+}
