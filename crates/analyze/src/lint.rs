@@ -28,6 +28,7 @@ const CLAIM_GATE_FILES: &[&str] = &[
     "crates/core/src/frame.rs",
     "crates/core/src/stream.rs",
     "crates/core/src/blocks.rs",
+    "crates/core/src/fault.rs",
     "crates/serve/src/protocol.rs",
     "crates/dbsim/src/container.rs",
     "crates/codecs-cpu/src/predictor.rs",

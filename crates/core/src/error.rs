@@ -38,6 +38,15 @@ pub enum Error {
     WorkerPanic(String),
     /// An I/O error from the on-disk container (message only, to stay `Clone`).
     Io(String),
+    /// The server is saturated and shed this request instead of queueing
+    /// it unboundedly. Carries the server's backoff hint; retrying after
+    /// (at least) that long is expected to succeed. The only error variant
+    /// that *invites* an automatic retry — see `RetryPolicy` in
+    /// `fcbench-serve`.
+    Busy {
+        /// Suggested minimum wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// A stored checksum did not match the recomputed one — corruption
     /// *inside* the committed region of a container. (A torn tail after the
     /// last commit point is recovered, not errored; see `fcbench-dbsim`.)
@@ -87,6 +96,9 @@ impl fmt::Display for Error {
                 write!(f, "codec panicked in a pool worker: {msg}")
             }
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::Busy { retry_after_ms } => {
+                write!(f, "server is busy; retry after {retry_after_ms}ms")
+            }
             Error::ChecksumMismatch {
                 context,
                 stored,

@@ -25,7 +25,11 @@
 //! - the [sync] shim (one poison policy, swappable for the
 //!   `fcbench-analyze` model checker behind the `model-check` feature) and
 //!   the panic-free [wire] decode helpers the repo lints hold decode paths
-//!   to.
+//!   to;
+//! - the seeded [fault]-injection harness (`fp1:` replayable plans, the
+//!   `FaultyIo` Read/Write wrapper, and named fail-points behind the
+//!   non-default `fault-inject` feature) the chaos suite drives resilience
+//!   tests with.
 //!
 //! Compressor implementations live in `fcbench-codecs-cpu`,
 //! `fcbench-codecs-gpu`, and `fcbench-dzip`; everything here is
@@ -37,6 +41,7 @@ pub mod blocks;
 pub mod codec;
 pub mod data;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod metrics;
 pub mod pipeline;
@@ -48,6 +53,11 @@ pub mod stream;
 pub mod summary;
 pub mod sync;
 pub mod wire;
+
+/// The zero-alloc telemetry spine every layer records into, re-exported
+/// so downstream users (and the umbrella crate's tests) can construct a
+/// [`Registry`](fcbench_telemetry::Registry) without naming the crate.
+pub use fcbench_telemetry as telemetry;
 
 pub use codec::{
     compress_verified, compress_verified_into, AuxTime, CodecClass, CodecInfo, Community,

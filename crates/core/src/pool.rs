@@ -595,6 +595,7 @@ impl WorkerPool {
         desc: &DataDesc,
         bytes: &[u8],
     ) -> Result<Ticket> {
+        crate::fault::fail_point("pool.submit")?;
         Self::check_compress_job(desc, bytes)?;
         let idx = self.acquire_slot()?;
         self.dispatch_compress(idx, codec, desc, bytes)
@@ -608,6 +609,7 @@ impl WorkerPool {
         desc: &DataDesc,
         bytes: &[u8],
     ) -> Result<Option<Ticket>> {
+        crate::fault::fail_point("pool.submit")?;
         Self::check_compress_job(desc, bytes)?;
         match self.try_acquire_slot()? {
             Some(idx) => Ok(Some(self.dispatch_compress(idx, codec, desc, bytes)?)),
@@ -627,6 +629,7 @@ impl WorkerPool {
         desc: &DataDesc,
         payload: &[u8],
     ) -> Result<Ticket> {
+        crate::fault::fail_point("pool.submit")?;
         let idx = self.acquire_slot()?;
         self.dispatch_decompress(idx, codec, desc, payload)
     }
@@ -639,6 +642,7 @@ impl WorkerPool {
         desc: &DataDesc,
         payload: &[u8],
     ) -> Result<Option<Ticket>> {
+        crate::fault::fail_point("pool.submit")?;
         match self.try_acquire_slot()? {
             Some(idx) => Ok(Some(self.dispatch_decompress(idx, codec, desc, payload)?)),
             None => Ok(None),
@@ -675,6 +679,7 @@ impl WorkerPool {
         bytes: &[u8],
         drain_own: impl FnMut() -> Result<bool>,
     ) -> Result<Ticket> {
+        crate::fault::fail_point("pool.submit")?;
         Self::check_compress_job(desc, bytes)?;
         let idx = self.acquire_slot_draining(drain_own)?;
         self.dispatch_compress(idx, codec, desc, bytes)
@@ -690,6 +695,7 @@ impl WorkerPool {
         payload: &[u8],
         drain_own: impl FnMut() -> Result<bool>,
     ) -> Result<Ticket> {
+        crate::fault::fail_point("pool.submit")?;
         let idx = self.acquire_slot_draining(drain_own)?;
         self.dispatch_decompress(idx, codec, desc, payload)
     }

@@ -334,7 +334,7 @@ impl<W: Write> FrameWriter<W> {
     /// On error the writer abandons its in-flight jobs (releasing their
     /// pool slots immediately) and the stream is unusable; drop it.
     pub fn write(&mut self, bytes: &[u8]) -> Result<()> {
-        let r = self.write_inner(bytes);
+        let r = crate::fault::fail_point("frame.write").and_then(|()| self.write_inner(bytes));
         if r.is_err() {
             // Free our pool slots right away — an errored writer must not
             // pin the engine for other sessions.

@@ -582,6 +582,7 @@ impl<'a, W: Write> ContainerWriter<'a, W> {
     }
 
     fn commit_inner(&mut self) -> Result<()> {
+        fcbench_core::fault::fail_point("container.commit")?;
         let _span = self.m_commit.start_span();
         self.end_column_inner()?;
         let dir = encode_directory(&self.columns);

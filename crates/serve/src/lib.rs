@@ -67,7 +67,7 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig, RetryPolicy};
 pub use protocol::{CodecListing, StatsV2};
 pub use server::{RunningServer, ServeConfig, Server, ServerHandle};
 pub use stats::{ServerStats, StatsSnapshot};

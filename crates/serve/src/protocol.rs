@@ -40,7 +40,10 @@
 //!   error          status is an error code; body is the UTF-8 message,
 //!                  except UNKNOWN_CODEC whose body is structured so the
 //!                  client rebuilds the typed error (u16 requested len +
-//!                  requested + u16 count + (u16 len + name) each)
+//!                  requested + u16 count + (u16 len + name) each), and
+//!                  BUSY (code 8) whose body leads with a u64 retry-after
+//!                  hint in milliseconds (then the message) — the server
+//!                  shed the request under load; retry after the hint
 //! ```
 //!
 //! Every error is a *request* failure: the server replies and (whenever the
@@ -76,6 +79,9 @@ pub const ERR_UNSUPPORTED: u8 = 4;
 pub const ERR_CORRUPT: u8 = 5;
 pub const ERR_WORKER_PANIC: u8 = 6;
 pub const ERR_IO: u8 = 7;
+/// The server shed the request under load; the body carries a u64
+/// retry-after hint (milliseconds) followed by the display message.
+pub const ERR_BUSY: u8 = 8;
 
 /// Ceiling a client accepts for one reply body (a compressed stream never
 /// legitimately expands a request beyond the reader-side record caps).
@@ -290,6 +296,7 @@ pub fn error_code(err: &Error) -> u8 {
         Error::Unsupported(_) | Error::UnsupportedPrecision { .. } => ERR_UNSUPPORTED,
         Error::WorkerPanic(_) => ERR_WORKER_PANIC,
         Error::Io(_) => ERR_IO,
+        Error::Busy { .. } => ERR_BUSY,
         Error::Corrupt(_)
         | Error::ChecksumMismatch { .. }
         | Error::LosslessViolation { .. }
@@ -317,6 +324,12 @@ pub fn encode_error_body(err: &Error) -> Vec<u8> {
             }
             body
         }
+        Error::Busy { retry_after_ms } => {
+            let mut body = Vec::new();
+            body.extend_from_slice(&retry_after_ms.to_le_bytes());
+            body.extend_from_slice(err.to_string().as_bytes());
+            body
+        }
         other => other.to_string().into_bytes(),
     }
 }
@@ -328,6 +341,16 @@ pub fn decode_error(code: u8, body: &[u8]) -> Error {
             return err;
         }
         return Error::Corrupt("malformed unknown-codec reply".into());
+    }
+    if code == ERR_BUSY {
+        // Structured: the retry-after hint leads, the display message
+        // trails (and is ignored — the typed error regenerates it).
+        return match body.first_chunk::<8>() {
+            Some(ms) => Error::Busy {
+                retry_after_ms: u64::from_le_bytes(*ms),
+            },
+            None => Error::Corrupt("malformed busy reply".into()),
+        };
     }
     let msg = String::from_utf8_lossy(body).into_owned();
     match code {
@@ -570,6 +593,7 @@ pub fn decode_stats_v2(body: &[u8]) -> Result<StatsV2> {
 
 /// Write an OK reply frame around `body`.
 pub fn write_ok_reply<W: Write>(sink: &mut W, body: &[u8]) -> Result<()> {
+    fcbench_core::fault::fail_point("serve.reply_write")?;
     sink.write_all(&[STATUS_OK])?;
     sink.write_all(&(body.len() as u64).to_le_bytes())?;
     sink.write_all(body)?;
@@ -670,6 +694,25 @@ mod tests {
         assert_eq!(code, ERR_UNKNOWN_CODEC);
         let back = decode_error(code, &encode_error_body(&err));
         assert_eq!(back, err);
+    }
+
+    #[test]
+    fn busy_errors_carry_their_retry_hint_typed() {
+        let err = Error::Busy { retry_after_ms: 75 };
+        assert_eq!(error_code(&err), ERR_BUSY);
+        let body = encode_error_body(&err);
+        // The hint leads so clients parse it without touching the text.
+        assert_eq!(&body[..8], &75u64.to_le_bytes());
+        assert_eq!(decode_error(ERR_BUSY, &body), err);
+        // A truncated busy body degrades to a typed Corrupt, not a panic.
+        assert!(matches!(
+            decode_error(ERR_BUSY, &body[..4]),
+            Error::Corrupt(_)
+        ));
+        // And through a full reply frame.
+        let mut wire = Vec::new();
+        write_err_reply(&mut wire, &err).unwrap();
+        assert_eq!(read_reply(&mut &wire[..]).unwrap_err(), err);
     }
 
     #[test]

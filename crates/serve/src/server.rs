@@ -22,7 +22,7 @@ use crate::stats::{ServerStats, StatsSnapshot};
 use fcbench_core::registry::RegistryEntry;
 use fcbench_core::stream::{FrameReader, FrameWriter};
 use fcbench_core::{CodecRegistry, DataDesc, Error, Result, WorkerPool};
-use fcbench_telemetry::{Histogram, HistogramFamily, Registry};
+use fcbench_telemetry::{Counter, Gauge, Histogram, HistogramFamily, Registry};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -57,6 +57,28 @@ pub struct ServeConfig {
     pub stall_limit: Duration,
     /// Patience for mid-request reads once shutdown has been signalled.
     pub shutdown_grace: Duration,
+    /// Socket write deadline: one `write` that makes no progress for this
+    /// long (a peer that stopped reading its reply) fails the connection
+    /// and counts `serve.timeouts.write`.
+    pub write_deadline: Duration,
+    /// How long a connection may sit at a request boundary with no verb
+    /// byte before it is reaped (`serve.timeouts.idle`). Keep-alive
+    /// clients that speak within the window are unaffected.
+    pub idle_timeout: Duration,
+    /// Deadline on the `HELLO` handshake — deliberately shorter than
+    /// [`idle_timeout`](Self::idle_timeout), so a pre-handshake socket
+    /// (a port scanner, a slow-loris opener) cannot pin a handler thread
+    /// for the full idle window.
+    pub handshake_deadline: Duration,
+    /// Load-shedding threshold: when more than this many data requests
+    /// (`COMPRESS`/`DECOMPRESS`) are in flight server-wide, further ones
+    /// are refused with a typed `ERR_BUSY` reply carrying
+    /// [`busy_retry_after`](Self::busy_retry_after) instead of queueing
+    /// on the saturated engine. `0` picks an automatic ceiling well above
+    /// the pool's queue depth; `usize::MAX` disables shedding.
+    pub shed_max_inflight: usize,
+    /// The retry-after hint an `ERR_BUSY` reply carries.
+    pub busy_retry_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +89,11 @@ impl Default for ServeConfig {
             idle_poll: Duration::from_millis(50),
             stall_limit: Duration::from_secs(30),
             shutdown_grace: Duration::from_secs(2),
+            write_deadline: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(300),
+            handshake_deadline: Duration::from_secs(5),
+            shed_max_inflight: 0,
+            busy_retry_after: Duration::from_millis(50),
         }
     }
 }
@@ -94,6 +121,18 @@ struct ServeMetrics {
     phase_reply_write: Histogram,
     /// Connection lifetime, accept to hangup.
     conn_lifetime: Histogram,
+    /// Data requests being served right now, server-wide — the admission
+    /// gauge the shedding threshold is compared against.
+    inflight: Gauge,
+    /// Requests refused with `ERR_BUSY` under load.
+    shed: Counter,
+    /// Mid-request read stalls that exhausted the server's patience.
+    timeouts_read: Counter,
+    /// Reply writes that timed out against a peer that stopped reading.
+    timeouts_write: Counter,
+    /// Connections reaped at a boundary: idle past the window, or a
+    /// handshake that never arrived.
+    timeouts_idle: Counter,
 }
 
 impl ServeMetrics {
@@ -110,6 +149,11 @@ impl ServeMetrics {
             phase_engine: registry.histogram("serve.phase.engine"),
             phase_reply_write: registry.histogram("serve.phase.reply_write"),
             conn_lifetime: registry.histogram("serve.connection.lifetime"),
+            inflight: registry.gauge("serve.requests.inflight"),
+            shed: registry.counter("serve.requests.shed"),
+            timeouts_read: registry.counter("serve.timeouts.read"),
+            timeouts_write: registry.counter("serve.timeouts.write"),
+            timeouts_idle: registry.counter("serve.timeouts.idle"),
         }
     }
 
@@ -139,12 +183,31 @@ struct Shared {
     stats: ServerStats,
     metrics: ServeMetrics,
     config: ServeConfig,
+    /// [`ServeConfig::shed_max_inflight`] with `0` resolved to the
+    /// automatic ceiling (64 data requests per pool job slot, at least
+    /// 1024 — far past the point where queueing more helps anyone).
+    shed_threshold: usize,
     shutdown: AtomicBool,
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Admission control for the data verbs: shed when the in-flight
+    /// gauge (which already counts the request asking) exceeds the
+    /// threshold. Cheap — one relaxed load — so it runs per request.
+    fn should_shed(&self) -> bool {
+        self.metrics.inflight.get() > self.shed_threshold as u64
+    }
+
+    /// The typed error a shed request is refused with.
+    fn busy(&self) -> Error {
+        Error::Busy {
+            retry_after_ms: u64::try_from(self.config.busy_retry_after.as_millis())
+                .unwrap_or(u64::MAX),
+        }
     }
 }
 
@@ -187,6 +250,10 @@ impl Server {
         // the engine underneath them.
         let metrics = ServeMetrics::new(pool.telemetry());
         let stats = ServerStats::new(&registry, &metrics.registry);
+        let shed_threshold = match config.shed_max_inflight {
+            0 => (pool.config().queue_depth.saturating_mul(64)).max(1024),
+            n => n,
+        };
         Ok(Server {
             listener,
             addr,
@@ -196,6 +263,7 @@ impl Server {
                 stats,
                 metrics,
                 config,
+                shed_threshold,
                 shutdown: AtomicBool::new(false),
             }),
         })
@@ -340,6 +408,16 @@ enum Flow {
     Close,
 }
 
+/// What happened while waiting at a message boundary.
+enum Boundary {
+    /// A full message head arrived.
+    Message,
+    /// The peer closed (or shutdown was signalled) — end quietly.
+    Closed,
+    /// The peer stayed silent past the caller's budget.
+    TimedOut,
+}
+
 /// One connection's view of the socket: counts bytes for [`ServerStats`]
 /// and absorbs read timeouts with the mid-message patience policy (stall
 /// limits, shutdown grace). Boundary reads — where blocking forever on an
@@ -381,18 +459,25 @@ impl Conn<'_> {
         }
     }
 
-    /// Wait for the first byte(s) of a message, then read the rest.
-    /// `Ok(false)` means the connection ended cleanly before a message
-    /// started: the peer closed, or shutdown was signalled while idle.
-    fn read_message_start(&mut self, buf: &mut [u8]) -> Result<bool> {
+    /// Wait (up to `budget`) for the first byte(s) of a message, then read
+    /// the rest. [`Boundary::Closed`] means the connection ended cleanly
+    /// before a message started: the peer closed, or shutdown was
+    /// signalled while idle. [`Boundary::TimedOut`] means the peer stayed
+    /// silent past the budget — the caller reaps the connection (idle
+    /// keep-alive expiry, or a handshake that never came).
+    fn read_message_start(&mut self, buf: &mut [u8], budget: Duration) -> Result<Boundary> {
         debug_assert!(!buf.is_empty());
+        let waiting_since = Instant::now();
         let got = loop {
             match self.stream_read(buf) {
-                Ok(0) => return Ok(false),
+                Ok(0) => return Ok(Boundary::Closed),
                 Ok(n) => break n,
                 Err(e) if is_timeout(&e) => {
                     if self.shared.shutting_down() {
-                        return Ok(false);
+                        return Ok(Boundary::Closed);
+                    }
+                    if waiting_since.elapsed() >= budget {
+                        return Ok(Boundary::TimedOut);
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -403,7 +488,7 @@ impl Conn<'_> {
             let rest = &mut buf[got..];
             protocol::read_exact(self, rest)?;
         }
-        Ok(true)
+        Ok(Boundary::Message)
     }
 
     fn stream_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
@@ -436,6 +521,7 @@ impl Conn<'_> {
                     let since = *self.stalled_since.get_or_insert_with(Instant::now);
                     if since.elapsed() >= self.stall_budget() {
                         self.stalled_since = None;
+                        self.shared.metrics.timeouts_read.inc();
                         return Err(Error::Io(
                             "request read stalled past the server's patience".into(),
                         ));
@@ -469,6 +555,7 @@ impl Read for Conn<'_> {
                     let since = *self.stalled_since.get_or_insert_with(Instant::now);
                     if since.elapsed() >= self.stall_budget() {
                         self.stalled_since = None;
+                        self.shared.metrics.timeouts_read.inc();
                         return Err(std::io::Error::new(
                             std::io::ErrorKind::TimedOut,
                             "request read stalled past the server's patience",
@@ -483,10 +570,22 @@ impl Read for Conn<'_> {
 }
 
 impl Write for Conn<'_> {
+    /// Reply write under the socket's write deadline
+    /// ([`ServeConfig::write_deadline`]): a peer that stopped reading
+    /// fails the write with a timeout, counted before it propagates.
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        let n = (&mut &*self.stream).write(buf)?;
-        self.shared.stats.add_bytes_out(n as u64);
-        Ok(n)
+        match (&mut &*self.stream).write(buf) {
+            Ok(n) => {
+                self.shared.stats.add_bytes_out(n as u64);
+                Ok(n)
+            }
+            Err(e) => {
+                if is_timeout(&e) {
+                    self.shared.metrics.timeouts_write.inc();
+                }
+                Err(e)
+            }
+        }
     }
 
     fn flush(&mut self) -> std::io::Result<()> {
@@ -515,7 +614,7 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) -> Result<()> {
     stream.set_nonblocking(false)?;
     let _ = stream.set_nodelay(true);
     stream.set_read_timeout(Some(shared.config.idle_poll))?;
-    stream.set_write_timeout(Some(shared.config.stall_limit))?;
+    stream.set_write_timeout(Some(shared.config.write_deadline))?;
     let mut conn = Conn {
         stream,
         shared,
@@ -524,9 +623,16 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) -> Result<()> {
     };
 
     // Handshake: garbage gets a typed reply and the connection is done.
+    // The wait is bounded by its own (short) deadline so a pre-handshake
+    // socket cannot pin this handler thread for the idle window.
     let mut hello = [0u8; 6];
-    if !conn.read_message_start(&mut hello)? {
-        return Ok(());
+    match conn.read_message_start(&mut hello, shared.config.handshake_deadline)? {
+        Boundary::Message => {}
+        Boundary::Closed => return Ok(()),
+        Boundary::TimedOut => {
+            shared.metrics.timeouts_idle.inc();
+            return Ok(());
+        }
     }
     if let Err(e) = protocol::check_client_hello(&hello) {
         // Same half-close/drain discipline as every other refusal that
@@ -541,15 +647,29 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) -> Result<()> {
         &protocol::hello_body(shared.config.max_request_bytes as u64),
     )?;
 
-    // Request loop: one verb frame at a time, in order.
+    // Request loop: one verb frame at a time, in order. A connection
+    // silent past the idle window is reaped at the boundary — nothing is
+    // half-sent there, so a quiet close is correct and cheap.
     loop {
         let mut verb = [0u8; 1];
-        if !conn.read_message_start(&mut verb)? {
-            return Ok(());
+        match conn.read_message_start(&mut verb, shared.config.idle_timeout)? {
+            Boundary::Message => {}
+            Boundary::Closed => return Ok(()),
+            Boundary::TimedOut => {
+                shared.metrics.timeouts_idle.inc();
+                return Ok(());
+            }
         }
         conn.accounted = false;
         let started = Instant::now();
+        // The guard counts this request in the admission gauge for as
+        // long as it is being served; the shed check reads the gauge
+        // *with this request included*, so a threshold of N admits N
+        // concurrent data requests and refuses the N+1th.
+        let _inflight = shared.metrics.inflight.inc_scoped();
         let served = match verb[0] {
+            protocol::VERB_COMPRESS if shared.should_shed() => shed_compress(&mut conn, shared),
+            protocol::VERB_DECOMPRESS if shared.should_shed() => shed_decompress(&mut conn, shared),
             protocol::VERB_COMPRESS => handle_compress(&mut conn, shared, started),
             protocol::VERB_DECOMPRESS => handle_decompress(&mut conn, shared, started),
             protocol::VERB_LIST_CODECS => handle_list_codecs(&mut conn, shared),
@@ -637,6 +757,51 @@ fn discard_body(conn: &mut Conn<'_>, len: usize) -> Result<()> {
         remaining -= take;
     }
     Ok(())
+}
+
+/// Shed a `COMPRESS` under load: consume the request (header and body) so
+/// framing stays intact, then refuse with `ERR_BUSY` and keep the
+/// connection — the client retries after the hint without reconnecting.
+fn shed_compress(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
+    let (_name, desc, _block_elems) = match read_compress_header(conn) {
+        Ok(h) => h,
+        Err(e) => return fail_close(conn, &e),
+    };
+    let body_len = desc.byte_len();
+    if body_len > shared.config.max_request_bytes {
+        // Too large to skip even when healthy — same close as the
+        // served path, but the busy hint tells the client what to fix
+        // first (nothing: this request could never succeed here).
+        return fail_close(
+            conn,
+            &Error::Unsupported(format!(
+                "request claims {body_len} element bytes; this server accepts at most {}",
+                shared.config.max_request_bytes
+            )),
+        );
+    }
+    discard_body(conn, body_len)?;
+    shared.metrics.shed.inc();
+    fail_continue(conn, &shared.busy())
+}
+
+/// Shed a `DECOMPRESS` under load; same framing discipline as
+/// [`shed_compress`].
+fn shed_decompress(conn: &mut Conn<'_>, shared: &Shared) -> Result<Flow> {
+    let len = protocol::read_u64(conn)?;
+    let cap = protocol::stream_cap(shared.config.max_request_bytes as u64);
+    let skippable = usize::try_from(len).ok().filter(|&l| l as u64 <= cap);
+    let Some(len) = skippable else {
+        return fail_close(
+            conn,
+            &Error::Unsupported(format!(
+                "message declares {len} bytes but this endpoint accepts at most {cap}"
+            )),
+        );
+    };
+    discard_body(conn, len)?;
+    shared.metrics.shed.inc();
+    fail_continue(conn, &shared.busy())
 }
 
 fn handle_compress(conn: &mut Conn<'_>, shared: &Shared, started: Instant) -> Result<Flow> {
